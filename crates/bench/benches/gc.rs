@@ -1,0 +1,36 @@
+//! Garbled-circuit throughput: garbling and evaluating the DELPHI ReLU
+//! circuit (the per-ReLU costs behind Figures 3 and 4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pi_gc::circuit::to_bits;
+use pi_gc::garble::{evaluate, garble};
+use pi_gc::relu::relu_trunc_circuit;
+use rand::SeedableRng;
+
+fn bench_gc(c: &mut Criterion) {
+    let p = 1032193u64; // 20-bit NTT prime (the protocol field)
+    let (circuit, layout) = relu_trunc_circuit(p, 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+
+    let mut group = c.benchmark_group("garbled_relu");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("garble", |b| b.iter(|| garble(&circuit, &mut rng)));
+
+    let g = garble(&circuit, &mut rng);
+    let mut inputs = to_bits(12345 % p, layout.width);
+    inputs.extend(to_bits(54321 % p, layout.width));
+    inputs.extend(to_bits(777 % p, layout.width));
+    let labels = g.encoding.encode_bits(0, &inputs);
+    group.bench_function("evaluate", |b| b.iter(|| evaluate(&circuit, &g.garbled, &labels)));
+    group.finish();
+
+    println!(
+        "garbled ReLU: {} AND gates, {} bytes/ReLU (paper measures 18.2 KB at 41-bit fields)",
+        circuit.and_count(),
+        circuit.garbled_size_bytes()
+    );
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! BFV operation costs: encryption, plaintext multiplication, rotation,
+//! and the diagonal-method matvec that dominates DELPHI's offline phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_he::linalg::{encrypt_vector, matvec, PlainMatrix};
+use pi_he::{BatchEncoder, BfvParams, KeySet};
+use rand::{Rng, SeedableRng};
+
+fn bench_he(c: &mut Criterion) {
+    let params = BfvParams::small_test();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let keys = KeySet::generate(&params, &mut rng);
+    let enc = BatchEncoder::new(&params);
+    let t = params.t();
+
+    let mut group = c.benchmark_group("bfv");
+    group.sample_size(10);
+
+    let pt = enc.encode(&vec![42u64; params.n()]);
+    group.bench_function("encrypt", |b| b.iter(|| keys.public.encrypt(&pt, &mut rng)));
+    let ct = keys.public.encrypt(&pt, &mut rng);
+    group.bench_function("decrypt", |b| b.iter(|| keys.secret.decrypt(&ct)));
+    group.bench_function("mul_plain", |b| b.iter(|| ct.mul_plain(&pt)));
+    group.bench_function("rotate_1", |b| b.iter(|| keys.galois.rotate_rows(&ct, 1)));
+
+    let dim = 64usize;
+    let data: Vec<u64> = (0..dim * dim).map(|_| rng.gen_range(0..t.value())).collect();
+    let w = PlainMatrix::new(dim, dim, &data, t);
+    let v: Vec<u64> = (0..dim).map(|_| rng.gen_range(0..t.value())).collect();
+    let ct_v = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+    group.bench_function("matvec_64x64", |b| b.iter(|| matvec(&keys.galois, &enc, &w, &ct_v)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_he);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! NTT throughput: the innermost kernel of every HE operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_field::Modulus;
+use pi_poly::NttTables;
+use rand::{Rng, SeedableRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    group.sample_size(20);
+    for n in [1024usize, 2048, 4096] {
+        let q = Modulus::new(pi_field::find_ntt_prime(59, n as u64));
+        let tables = NttTables::new(n, q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                tables.forward(&mut a);
+                a
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                tables.forward(&mut a);
+                tables.inverse(&mut a);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! IKNP OT-extension throughput (labels per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pi_ot::ext::{setup_in_process, OtExtReceiver, OtExtSender};
+use rand::{Rng, SeedableRng};
+
+fn bench_ot(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let (s, r) = setup_in_process(&mut rng);
+    let sender = OtExtSender::new(s);
+    let receiver = OtExtReceiver::new(r);
+    let m = 1024usize;
+    let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+    let pairs: Vec<(u128, u128)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
+
+    let mut group = c.benchmark_group("ot_extension");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("extend_1024", |b| {
+        b.iter(|| receiver.extend(&choices, &mut rng))
+    });
+    let (u_msg, keys) = receiver.extend(&choices, &mut rng);
+    group.bench_function("transfer_1024", |b| b.iter(|| sender.transfer(&u_msg, &pairs)));
+    let y = sender.transfer(&u_msg, &pairs);
+    group.bench_function("decode_1024", |b| b.iter(|| receiver.decode(&y, &choices, &keys)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ot);
+criterion_main!(benches);

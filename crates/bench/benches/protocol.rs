@@ -1,0 +1,37 @@
+//! End-to-end protocol benchmarks on a tiny CNN (cleartext linear mode so
+//! the GC/OT paths dominate, as a per-ReLU protocol cost probe).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{private_inference, ProtocolConfig, ProtocolKind};
+use pi_he::BfvParams;
+use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+use rand::SeedableRng;
+
+fn model() -> PiModel {
+    let he = BfvParams::small_test();
+    let fx = FixedConfig { p: he.t(), f: 5 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let net = Network::materialize(&zoo::tiny_cnn(), &mut rng);
+    PiModel::lower(&QuantNetwork::quantize(&net, fx))
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let model = model();
+    let input = vec![0u64; model.input_len];
+    let mut group = c.benchmark_group("protocol_tiny_cnn");
+    group.sample_size(10);
+    group.bench_function("server_garbler_clear", |b| {
+        b.iter(|| {
+            private_inference(&model, &input, &ProtocolConfig::clear(ProtocolKind::ServerGarbler))
+        })
+    });
+    group.bench_function("client_garbler_clear", |b| {
+        b.iter(|| {
+            private_inference(&model, &input, &ProtocolConfig::clear(ProtocolKind::ClientGarbler))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3: client-side pre-processing storage per inference (GB) for
+//! each network/dataset pair under the baseline Server-Garbler protocol.
+
+use pi_bench::{gb, header};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::calib;
+
+fn main() {
+    header("Client storage per inference (Server-Garbler)", "Figure 3");
+    // Paper values (GB), for comparison.
+    let paper: &[(&str, &str, f64)] = &[
+        ("vgg16", "cifar100", 5.0),
+        ("resnet32", "cifar100", 6.0),
+        ("resnet18", "cifar100", 10.0),
+        ("vgg16", "tinyimagenet", 20.0),
+        ("resnet32", "tinyimagenet", 22.0),
+        ("resnet18", "tinyimagenet", 41.0),
+        ("vgg16", "imagenet", 247.0),
+        ("resnet32", "imagenet", 271.0),
+        ("resnet18", "imagenet", 498.0),
+    ];
+    println!("{:<10} {:<14} {:>12} {:>14} {:>10}", "network", "dataset", "ReLUs", "storage", "paper");
+    for ds in Dataset::all() {
+        for arch in [Architecture::Vgg16, Architecture::ResNet32, Architecture::ResNet18] {
+            let stats = arch.spec(ds).stats().expect("zoo specs valid");
+            let bytes = stats.total_relus as f64 * calib::GC_EVALUATOR_BYTES_PER_RELU;
+            let paper_gb = paper
+                .iter()
+                .find(|(a, d, _)| *a == arch.name() && *d == ds.name())
+                .map(|(_, _, v)| *v)
+                .unwrap_or(f64::NAN);
+            println!(
+                "{:<10} {:<14} {:>12} {:>14} {:>7.0} GB",
+                arch.name(),
+                ds.name(),
+                stats.total_relus,
+                gb(bytes),
+                paper_gb
+            );
+        }
+    }
+}

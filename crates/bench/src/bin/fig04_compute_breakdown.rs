@@ -1,0 +1,30 @@
+//! Figure 4: per-inference latency of HE.Eval (server, offline), GC.Garble
+//! (server, offline) and GC.Eval (client, online) for each network on
+//! CIFAR-100 and TinyImageNet.
+
+use pi_bench::{header, paper_costs, secs};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::Garbler;
+
+fn main() {
+    header("Compute latency breakdown per inference (Server-Garbler)", "Figure 4");
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>12}",
+        "network", "dataset", "HE.Eval", "GC.Eval", "GC.Garble"
+    );
+    for ds in [Dataset::Cifar100, Dataset::TinyImageNet] {
+        for arch in [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18] {
+            let c = paper_costs(arch, ds, Garbler::Server);
+            println!(
+                "{:<10} {:<14} {:>12} {:>12} {:>12}",
+                arch.name(),
+                ds.name(),
+                secs(c.he_seq_s()),
+                secs(c.eval_s),
+                secs(c.garble_s)
+            );
+        }
+    }
+    println!();
+    println!("paper anchor (ResNet-18/TinyImageNet): HE 17.8 min, GC.Eval 200 s, GC.Garble 25.1 s");
+}

@@ -1,0 +1,35 @@
+//! Figure 5: total communication latency per inference for ResNet-18 on
+//! TinyImageNet as a function of total bandwidth (even upload/download
+//! split), split into upload and download time.
+
+use pi_bench::{header, paper_costs};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::Garbler;
+use pi_sim::link::Link;
+
+fn main() {
+    header("Communication latency vs bandwidth (ResNet-18/TinyImageNet)", "Figure 5");
+    let c = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    let up = c.offline_up_bytes + c.online_up_bytes;
+    let down = c.offline_down_bytes + c.online_down_bytes;
+    println!("total upload: {:.2} GB   total download: {:.2} GB", up / 1e9, down / 1e9);
+    println!("download share of bytes: {:.1}%", 100.0 * down / (up + down));
+    println!();
+    println!("{:>10} {:>14} {:>14} {:>14}", "Mbps", "upload", "download", "total");
+    let mut mbps = 100.0;
+    while mbps <= 1000.0 {
+        let link = Link::even(mbps * 1e6);
+        let t_up = link.transfer_s(up, 0.0);
+        let t_down = link.transfer_s(0.0, down);
+        println!(
+            "{:>10} {:>12.1} m {:>12.1} m {:>12.1} m",
+            mbps,
+            t_up / 60.0,
+            t_down / 60.0,
+            (t_up + t_down) / 60.0
+        );
+        mbps += 100.0;
+    }
+    println!();
+    println!("paper anchor: ~11 min total at 1 Gbps; download dominates");
+}

@@ -1,0 +1,32 @@
+//! Figure 9: sequential vs layer-parallel HE latency on the server.
+
+use pi_bench::{eval_pairs, header, paper_costs, secs};
+use pi_sim::cost::Garbler;
+
+fn main() {
+    header("Sequential vs layer-parallel HE (server)", "Figure 9");
+    println!(
+        "{:<10} {:<14} {:>14} {:>14} {:>9}",
+        "network", "dataset", "sequential", "LPHE", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for (arch, ds) in eval_pairs() {
+        let c = paper_costs(arch, ds, Garbler::Server);
+        let seq = c.he_seq_s();
+        let par = c.he_lphe_s(c.server_cores);
+        speedups.push(seq / par);
+        println!(
+            "{:<10} {:<14} {:>14} {:>14} {:>8.1}x",
+            arch.name(),
+            ds.name(),
+            secs(seq),
+            secs(par),
+            seq / par
+        );
+    }
+    println!();
+    println!(
+        "mean speedup: {:.1}x (paper: 9.7x across datasets/networks; R18/Tiny 17.76 -> 2.35 min)",
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    );
+}

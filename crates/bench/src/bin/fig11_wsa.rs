@@ -1,0 +1,42 @@
+//! Figure 11: total communication latency vs the fraction of a 1 Gbps
+//! TDD link allocated to upload, for both protocols, with the optimal
+//! slot configurations highlighted.
+
+use pi_bench::{header, paper_costs};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::Garbler;
+use pi_sim::link::{optimal_upload_fraction, Link};
+
+fn main() {
+    header("Wireless slot allocation sweep (ResNet-18/TinyImageNet)", "Figure 11");
+    let sg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    let cg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Client);
+    println!("{:>10} {:>18} {:>18}", "upload x", "Server-Garbler", "Client-Garbler");
+    for i in 1..=9 {
+        let x = i as f64 / 10.0;
+        let link = Link { total_bps: 1e9, upload_fraction: x };
+        let t_sg = link.transfer_s(
+            sg.offline_up_bytes + sg.online_up_bytes,
+            sg.offline_down_bytes + sg.online_down_bytes,
+        );
+        let t_cg = link.transfer_s(
+            cg.offline_up_bytes + cg.online_up_bytes,
+            cg.offline_down_bytes + cg.online_down_bytes,
+        );
+        println!("{:>10.1} {:>16.1} m {:>16.1} m", x, t_sg / 60.0, t_cg / 60.0);
+    }
+    let x_sg = optimal_upload_fraction(
+        sg.offline_up_bytes + sg.online_up_bytes,
+        sg.offline_down_bytes + sg.online_down_bytes,
+    );
+    let x_cg = optimal_upload_fraction(
+        cg.offline_up_bytes + cg.online_up_bytes,
+        cg.offline_down_bytes + cg.online_down_bytes,
+    );
+    println!();
+    println!(
+        "optimal: Server-Garbler download {:.0} Mbps (paper: 802); Client-Garbler upload {:.0} Mbps (paper: 835)",
+        (1.0 - x_sg) * 1000.0,
+        x_cg * 1000.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14: total latency and normalized breakdown under accumulating
+//! future optimizations (GC FASE 19x, GC 100x, HE 1000x, BW 10x, 10x
+//! fewer ReLUs), plus the offline fraction annotation.
+
+use pi_bench::{header, paper_costs};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::Garbler;
+use pi_sim::future::{scenario_breakdown, FutureScenario};
+use pi_sim::link::Link;
+
+fn main() {
+    header("Future-optimization waterfall (ResNet-18/TinyImageNet)", "Figure 14");
+    let cg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Client);
+    let sg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+
+    // Server-Garbler* bar (LPHE + WSA enabled).
+    let sg_link = sg.wsa_link(1e9);
+    let sg_total = sg.offline_lphe_s(&sg_link) + sg.online_s(&sg_link);
+    println!("{:<16} {:>10} {:>9}  (paper: 930 s)", "Server-Garbler*", format!("{sg_total:.0} s"), "");
+
+    println!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "scenario", "total", "off-frac", "offcomm", "garble", "HE", "oncomm", "eval", "SS"
+    );
+    let paper_totals = [1052.0, 662.0, 645.0, 492.0, 54.0, 6.0];
+    for (sc, paper) in FutureScenario::ladder().iter().zip(paper_totals) {
+        let b = scenario_breakdown(&cg, sc, 1e9);
+        println!(
+            "{:<16} {:>8.0} s {:>8.0}% {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>9.2} {:>9.2}  (paper: {paper:.0} s)",
+            sc.name,
+            b.total_s(),
+            100.0 * b.offline_fraction(),
+            b.offline_comm_s,
+            b.garble_s,
+            b.he_s,
+            b.online_comm_s,
+            b.eval_s,
+            b.ss_s
+        );
+    }
+    let _ = Link::even(1e9);
+}

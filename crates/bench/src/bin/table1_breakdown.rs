@@ -1,0 +1,40 @@
+//! Table 1: total time (seconds) for the Server-Garbler protocol running
+//! ResNet-18 on TinyImageNet at an even 1 Gbps split.
+
+use pi_bench::{header, paper_costs};
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::Garbler;
+use pi_sim::link::Link;
+
+fn main() {
+    header("Server-Garbler time breakdown, ResNet-18/TinyImageNet", "Table 1");
+    let c = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    let link = Link::even(1e9);
+    let off_gc = c.garble_s;
+    let off_he = c.he_seq_s();
+    let off_comm = c.offline_comm_s(&link);
+    let on_gc = c.eval_s;
+    let on_ss = c.ss_s;
+    let on_comm = c.online_comm_s(&link);
+    println!("{:<10} {:>10} {:>10} {:>8} {:>10} {:>10}", "", "GC", "HE", "SS", "Comms", "Total");
+    println!(
+        "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
+        "Offline", off_gc, off_he, 0.0, off_comm, off_gc + off_he + off_comm
+    );
+    println!(
+        "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
+        "Online", on_gc, 0.0, on_ss, on_comm, on_gc + on_ss + on_comm
+    );
+    println!(
+        "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
+        "Total",
+        off_gc + on_gc,
+        off_he,
+        on_ss,
+        off_comm + on_comm,
+        off_gc + off_he + off_comm + on_gc + on_ss + on_comm
+    );
+    println!();
+    println!("paper: Offline GC 25.1 / HE 1080 / Comms 704 = 1809;");
+    println!("       Online GC 200 / SS 0.61 / Comms 42.5 = 243;  Total 2052");
+}

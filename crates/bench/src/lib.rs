@@ -1,0 +1,88 @@
+//! Shared harness utilities for the figure/table regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). Binaries print the same rows/series
+//! the paper reports, alongside the paper's published values where they
+//! exist, so EXPERIMENTS.md can record paper-vs-measured per experiment.
+
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::{Garbler, ProtocolCosts};
+use pi_sim::devices::DeviceProfile;
+
+/// Builds the paper's standard cost profile (Atom client, EPYC server).
+pub fn paper_costs(arch: Architecture, ds: Dataset, garbler: Garbler) -> ProtocolCosts {
+    ProtocolCosts::new(arch, ds, garbler, &DeviceProfile::atom(), &DeviceProfile::epyc())
+}
+
+/// Formats a byte count as gigabytes with one decimal.
+pub fn gb(bytes: f64) -> String {
+    format!("{:.1} GB", bytes / 1e9)
+}
+
+/// Formats seconds as `MM:SS` minutes when large, seconds otherwise.
+pub fn secs(s: f64) -> String {
+    if s >= 120.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{s:.1} s")
+    }
+}
+
+/// Returns true if the process was invoked with `--full` (paper-scale
+/// simulation: 24 h windows, 50 runs). Default is a quick profile so the
+/// whole harness finishes in minutes.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Simulation runs to average: 50 in `--full` mode (as in the paper),
+/// 8 otherwise.
+pub fn sim_runs() -> usize {
+    if full_mode() {
+        50
+    } else {
+        8
+    }
+}
+
+/// The six network/dataset pairs of the paper's main evaluation
+/// (CIFAR-100 and TinyImageNet across the three architectures).
+pub fn eval_pairs() -> Vec<(Architecture, Dataset)> {
+    let mut v = Vec::new();
+    for ds in [Dataset::Cifar100, Dataset::TinyImageNet] {
+        for arch in [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18] {
+            v.push((arch, ds));
+        }
+    }
+    v
+}
+
+/// Prints a standard header naming the experiment and its paper anchor.
+pub fn header(what: &str, paper_ref: &str) {
+    println!("=== {what} ===");
+    println!("(reproduces {paper_ref}; see EXPERIMENTS.md for paper-vs-measured)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(gb(41.2e9), "41.2 GB");
+        assert_eq!(secs(30.0), "30.0 s");
+        assert_eq!(secs(600.0), "10.0 min");
+    }
+
+    #[test]
+    fn eval_pairs_cover_six() {
+        assert_eq!(eval_pairs().len(), 6);
+    }
+
+    #[test]
+    fn paper_costs_builds() {
+        let c = paper_costs(Architecture::ResNet32, Dataset::Cifar100, Garbler::Server);
+        assert!(c.relus > 0.0);
+    }
+}

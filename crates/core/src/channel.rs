@@ -1,0 +1,100 @@
+//! Byte-counting channels connecting the two protocol parties.
+//!
+//! Both parties run in-process (one thread each) and exchange typed
+//! [`Msg`](crate::msg::Msg) values over crossbeam channels. Every message
+//! knows its wire-format size, so the channel accumulates exact upload /
+//! download byte counts — the quantities the paper's communication analysis
+//! (Figure 5, Table 1, WSA) is built on.
+
+use crate::msg::Msg;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One endpoint of a bidirectional, byte-counting message channel.
+#[derive(Debug)]
+pub struct Channel {
+    tx: Sender<Msg>,
+    rx: Receiver<Msg>,
+    sent_bytes: Arc<AtomicU64>,
+    sent_msgs: Arc<AtomicU64>,
+}
+
+/// Creates a connected pair of endpoints. By convention the first endpoint
+/// goes to the client and the second to the server.
+pub fn local_pair() -> (Channel, Channel) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    let a = Channel {
+        tx: tx_a,
+        rx: rx_a,
+        sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_msgs: Arc::new(AtomicU64::new(0)),
+    };
+    let b = Channel {
+        tx: tx_b,
+        rx: rx_b,
+        sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_msgs: Arc::new(AtomicU64::new(0)),
+    };
+    (a, b)
+}
+
+impl Channel {
+    /// Sends a message, accounting its wire size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected (protocol bug in tests).
+    pub fn send(&self, msg: Msg) {
+        self.sent_bytes.fetch_add(msg.byte_len() as u64, Ordering::Relaxed);
+        self.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(msg).expect("peer disconnected");
+    }
+
+    /// Receives the next message (blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected.
+    pub fn recv(&self) -> Msg {
+        self.rx.recv().expect("peer disconnected")
+    }
+
+    /// Total bytes sent from this endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent from this endpoint (round counting).
+    pub fn messages_sent(&self) -> u64 {
+        self.sent_msgs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_counting() {
+        let (a, b) = local_pair();
+        a.send(Msg::VecU64(vec![1, 2, 3]));
+        match b.recv() {
+            Msg::VecU64(v) => assert_eq!(v, vec![1, 2, 3]),
+            other => panic!("unexpected message {other:?}"),
+        }
+        assert_eq!(a.bytes_sent(), 3 * 8 + 8);
+        assert_eq!(a.messages_sent(), 1);
+        assert_eq!(b.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn bidirectional() {
+        let (a, b) = local_pair();
+        a.send(Msg::VecU64(vec![7]));
+        b.send(Msg::VecU64(vec![8, 9]));
+        assert!(matches!(a.recv(), Msg::VecU64(v) if v == vec![8, 9]));
+        assert!(matches!(b.recv(), Msg::VecU64(v) if v == vec![7]));
+    }
+}

@@ -1,0 +1,423 @@
+//! Shared protocol machinery: configuration, model metadata, the HE-powered
+//! offline linear pass (with layer-parallel HE), and OT-over-channel setup.
+
+use crate::channel::Channel;
+use crate::msg::Msg;
+use crate::report::SideCosts;
+use pi_field::Modulus;
+use pi_gc::circuit::{from_bits, to_bits};
+use pi_he::linalg::{self, PlainMatrix};
+use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, PublicKey};
+use pi_nn::PiModel;
+use pi_ot::base::{BaseOtReceiver, BaseOtSender};
+use pi_ot::ext::{ReceiverSetup, SenderSetup, KAPPA};
+use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Which hybrid protocol variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// DELPHI's baseline: the server garbles, the client stores and
+    /// evaluates the circuits.
+    ServerGarbler,
+    /// The paper's proposed optimization (§5.1): the client garbles, the
+    /// server stores and evaluates; OT for the server's labels moves online.
+    ClientGarbler,
+}
+
+/// How the offline linear phase exchanges the client's randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinearMode {
+    /// Real BFV homomorphic evaluation (`E(W·r − s)`).
+    He,
+    /// Cleartext exchange — **insecure**, test-only: exercises the full
+    /// GC/OT/SS paths on larger networks without HE cost.
+    Clear,
+}
+
+/// Protocol configuration.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Which party garbles.
+    pub kind: ProtocolKind,
+    /// HE or cleartext offline linear phase.
+    pub linear: LinearMode,
+    /// BFV parameters (plaintext modulus must equal the model field).
+    pub he_params: Option<BfvParams>,
+    /// Server threads for layer-parallel HE (1 = sequential baseline).
+    pub lphe_threads: usize,
+    /// RNG seeds for (client, server).
+    pub seeds: (u64, u64),
+}
+
+impl ProtocolConfig {
+    /// Server-Garbler over real HE with sequential offline HE.
+    pub fn server_garbler(he_params: BfvParams) -> Self {
+        Self {
+            kind: ProtocolKind::ServerGarbler,
+            linear: LinearMode::He,
+            he_params: Some(he_params),
+            lphe_threads: 1,
+            seeds: (1, 2),
+        }
+    }
+
+    /// Client-Garbler over real HE with layer-parallel offline HE.
+    pub fn client_garbler(he_params: BfvParams, lphe_threads: usize) -> Self {
+        Self {
+            kind: ProtocolKind::ClientGarbler,
+            linear: LinearMode::He,
+            he_params: Some(he_params),
+            lphe_threads,
+            seeds: (1, 2),
+        }
+    }
+
+    /// Cleartext-linear test configuration for a protocol kind.
+    pub fn clear(kind: ProtocolKind) -> Self {
+        Self { kind, linear: LinearMode::Clear, he_params: None, lphe_threads: 1, seeds: (1, 2) }
+    }
+}
+
+/// Structure-only view of a [`PiModel`] phase (what the client knows).
+#[derive(Clone, Debug)]
+pub struct PhaseMeta {
+    /// Activation indices feeding the phase.
+    pub inputs: Vec<usize>,
+    /// Per-input activation lengths.
+    pub input_lens: Vec<usize>,
+    /// Output length.
+    pub rows: usize,
+    /// Concatenated input length.
+    pub cols: usize,
+    /// Truncation shift of the following garbled ReLU (`None` = final).
+    pub relu_shift: Option<u32>,
+    /// Power-of-two dimension the HE matvec works at.
+    pub padded_dim: usize,
+}
+
+/// Structure-only view of a model: everything the client needs without the
+/// server's proprietary weights.
+#[derive(Clone, Debug)]
+pub struct ModelMeta {
+    /// The protocol field.
+    pub p: Modulus,
+    /// Fractional bits.
+    pub f: u32,
+    /// Network input length.
+    pub input_len: usize,
+    /// Phase structure.
+    pub phases: Vec<PhaseMeta>,
+    /// Bit width of garbled ReLU values (`ceil(log2 p)`).
+    pub relu_width: usize,
+}
+
+impl ModelMeta {
+    /// Extracts the structure of a model.
+    pub fn of(model: &PiModel) -> Self {
+        let phases = model
+            .phases
+            .iter()
+            .map(|ph| PhaseMeta {
+                inputs: ph.inputs.clone(),
+                input_lens: ph.input_lens.clone(),
+                rows: ph.rows,
+                cols: ph.cols,
+                relu_shift: ph.relu_shift,
+                padded_dim: ph.rows.max(ph.cols).next_power_of_two(),
+            })
+            .collect();
+        Self {
+            p: model.p,
+            f: model.f,
+            input_len: model.input_len,
+            phases,
+            relu_width: model.p.bits() as usize,
+        }
+    }
+
+    /// Length of activation `a` (0 = input, `i` = output of phase `i-1`).
+    pub fn act_len(&self, a: usize) -> usize {
+        if a == 0 {
+            self.input_len
+        } else {
+            self.phases[a - 1].rows
+        }
+    }
+
+    /// Number of activations (input + one per garbled ReLU).
+    pub fn num_acts(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+/// Converts a field element to `width` little-endian bits.
+pub fn field_bits(v: u64, width: usize) -> Vec<bool> {
+    to_bits(v, width)
+}
+
+/// Converts little-endian bits back to a field element.
+pub fn bits_field(bits: &[bool]) -> u64 {
+    from_bits(bits)
+}
+
+// ---------------------------------------------------------------------------
+// Offline linear pass (identical in both protocols).
+// ---------------------------------------------------------------------------
+
+/// Client state for the HE path.
+pub struct ClientHe {
+    /// Key material (secret stays here).
+    pub keys: KeySet,
+    /// Batch encoder.
+    pub encoder: BatchEncoder,
+}
+
+/// Client side of the offline linear pass: sends `E(r_cat)` per phase and
+/// decrypts the returned shares `W·r − s`.
+///
+/// Returns the client's additive shares, one vector per phase.
+#[allow(clippy::too_many_arguments)]
+pub fn client_offline_linear<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    r_acts: &[Vec<u64>],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+    costs: &mut SideCosts,
+) -> Vec<Vec<u64>> {
+    let t0 = Instant::now();
+    let he = match cfg.linear {
+        LinearMode::He => {
+            let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
+            assert_eq!(
+                params.t().value(),
+                meta.p.value(),
+                "model field must equal the HE plaintext modulus"
+            );
+            let keys = KeySet::generate(params, rng);
+            let encoder = BatchEncoder::new(params);
+            chan.send(Msg::HeKeys {
+                pk: Box::new(keys.public.clone()),
+                gk: Box::new(keys.galois.clone()),
+            });
+            Some(ClientHe { keys, encoder })
+        }
+        LinearMode::Clear => None,
+    };
+    // Send r_cat per phase.
+    for ph in &meta.phases {
+        let mut r_cat: Vec<u64> = Vec::with_capacity(ph.cols);
+        for &a in &ph.inputs {
+            r_cat.extend_from_slice(&r_acts[a]);
+        }
+        match &he {
+            Some(ch) => {
+                let params = cfg.he_params.as_ref().expect("HE mode");
+                assert!(
+                    ph.padded_dim <= ch.encoder.row_size(),
+                    "phase dimension {} exceeds HE slot capacity {}",
+                    ph.padded_dim,
+                    ch.encoder.row_size()
+                );
+                r_cat.resize(ph.padded_dim, 0);
+                let ct = ch.keys.public.encrypt(&ch.encoder.encode_periodic(&r_cat), rng);
+                let _ = params;
+                chan.send(Msg::HeCts(vec![ct]));
+            }
+            None => chan.send(Msg::VecU64(r_cat)),
+        }
+    }
+    // Receive shares.
+    let mut shares = Vec::with_capacity(meta.phases.len());
+    for ph in &meta.phases {
+        let share = match &he {
+            Some(ch) => match chan.recv() {
+                Msg::HeCts(cts) => {
+                    let pt = ch.keys.secret.decrypt(&cts[0]);
+                    ch.encoder.decode_prefix(&pt, ph.rows)
+                }
+                other => panic!("expected HeCts, got {other:?}"),
+            },
+            None => match chan.recv() {
+                Msg::VecU64(v) => v,
+                other => panic!("expected VecU64, got {other:?}"),
+            },
+        };
+        shares.push(share);
+    }
+    costs.he_ms += t0.elapsed().as_secs_f64() * 1e3;
+    shares
+}
+
+/// Server side of the offline linear pass: computes `E(W·r − s)` per phase,
+/// optionally in parallel across layers (LPHE, §5.2 of the paper).
+///
+/// Returns the server's random shares `s_i`.
+pub fn server_offline_linear<R: Rng + ?Sized>(
+    model: &PiModel,
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+    costs: &mut SideCosts,
+) -> Vec<Vec<u64>> {
+    let t0 = Instant::now();
+    let p = model.p;
+    // Receive keys (HE mode).
+    let he: Option<(PublicKey, GaloisKeys, BatchEncoder)> = match cfg.linear {
+        LinearMode::He => match chan.recv() {
+            Msg::HeKeys { pk, gk } => {
+                let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
+                let encoder = BatchEncoder::new(params);
+                Some((*pk, *gk, encoder))
+            }
+            other => panic!("expected HeKeys, got {other:?}"),
+        },
+        LinearMode::Clear => None,
+    };
+    // Receive per-phase inputs.
+    enum PhaseInput {
+        Ct(Ciphertext),
+        Clear(Vec<u64>),
+    }
+    let inputs: Vec<PhaseInput> = model
+        .phases
+        .iter()
+        .map(|_| match chan.recv() {
+            Msg::HeCts(mut cts) => PhaseInput::Ct(cts.remove(0)),
+            Msg::VecU64(v) => PhaseInput::Clear(v),
+            other => panic!("unexpected offline linear message {other:?}"),
+        })
+        .collect();
+    // Sample server shares.
+    let s_vecs: Vec<Vec<u64>> = model
+        .phases
+        .iter()
+        .map(|ph| (0..ph.rows).map(|_| rng.gen_range(0..p.value())).collect())
+        .collect();
+    // Build matrices.
+    let matrices: Vec<PlainMatrix> = model
+        .phases
+        .iter()
+        .map(|ph| PlainMatrix::new(ph.rows, ph.cols, &ph.matrix, p))
+        .collect();
+    // Evaluate each phase, optionally layer-parallel.
+    let responses: Vec<Msg> = {
+        let work = |i: usize, input: &PhaseInput| -> Msg {
+            let w = &matrices[i];
+            match (input, &he) {
+                (PhaseInput::Ct(ct), Some((_, gk, encoder))) => {
+                    let params = cfg.he_params.as_ref().expect("HE mode");
+                    let prod = linalg::matvec(gk, encoder, w, ct);
+                    let resp = linalg::sub_share(params, encoder, &prod, &s_vecs[i], w.padded_dim());
+                    Msg::HeCts(vec![resp])
+                }
+                (PhaseInput::Clear(r_cat), _) => {
+                    let wr = w.matvec_plain(&r_cat[..w.cols()], p);
+                    let share: Vec<u64> =
+                        wr.iter().zip(&s_vecs[i]).map(|(&a, &s)| p.sub(a, s)).collect();
+                    Msg::VecU64(share)
+                }
+                (PhaseInput::Ct(_), None) => unreachable!("ciphertext without HE keys"),
+            }
+        };
+        let threads = cfg.lphe_threads.max(1).min(model.phases.len().max(1));
+        if threads <= 1 {
+            inputs.iter().enumerate().map(|(i, inp)| work(i, inp)).collect()
+        } else {
+            // Layer-parallel HE: a shared work queue over the phases.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<parking_lot::Mutex<Option<Msg>>> =
+                (0..inputs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let msg = work(i, &inputs[i]);
+                        *slots[i].lock() = Some(msg);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("all phases processed"))
+                .collect()
+        }
+    };
+    for msg in responses {
+        chan.send(msg);
+    }
+    costs.he_ms += t0.elapsed().as_secs_f64() * 1e3;
+    s_vecs
+}
+
+// ---------------------------------------------------------------------------
+// Base OT over the channel.
+// ---------------------------------------------------------------------------
+
+/// The party that will act as OT-extension *receiver* (it plays base-OT
+/// sender). Returns its extension setup.
+pub fn ot_base_as_ext_receiver<R: Rng + ?Sized>(
+    chan: &Channel,
+    rng: &mut R,
+    costs: &mut SideCosts,
+) -> ReceiverSetup {
+    let t0 = Instant::now();
+    let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
+    let (sender, setup) = BaseOtSender::new(rng);
+    chan.send(Msg::OtBaseSetup(setup));
+    let choice = match chan.recv() {
+        Msg::OtBaseChoice(c) => c,
+        other => panic!("expected OtBaseChoice, got {other:?}"),
+    };
+    let transfer = sender.transfer(&choice, &seed_pairs, rng);
+    chan.send(Msg::OtBaseTransfer(transfer));
+    costs.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
+    ReceiverSetup { seed_pairs }
+}
+
+/// The party that will act as OT-extension *sender* (it plays base-OT
+/// receiver). Returns its extension setup.
+pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(
+    chan: &Channel,
+    rng: &mut R,
+    costs: &mut SideCosts,
+) -> SenderSetup {
+    let t0 = Instant::now();
+    let s: u128 = rng.gen();
+    let s_bits: Vec<bool> = (0..KAPPA).map(|i| (s >> i) & 1 == 1).collect();
+    let setup = match chan.recv() {
+        Msg::OtBaseSetup(s) => s,
+        other => panic!("expected OtBaseSetup, got {other:?}"),
+    };
+    let (receiver, choice) = BaseOtReceiver::choose(&setup, &s_bits, rng);
+    chan.send(Msg::OtBaseChoice(choice));
+    let transfer = match chan.recv() {
+        Msg::OtBaseTransfer(t) => t,
+        other => panic!("expected OtBaseTransfer, got {other:?}"),
+    };
+    let seeds = receiver.receive(&transfer);
+    costs.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
+    SenderSetup { s, seeds }
+}
+
+/// Per-party cost summary returned by protocol party functions.
+#[derive(Clone, Debug, Default)]
+pub struct PartyOutcome {
+    /// Bytes this party had sent when its offline phase ended.
+    pub offline_sent: u64,
+    /// Total bytes this party sent.
+    pub total_sent: u64,
+    /// Compute timings attributed to the offline phase.
+    pub offline: SideCosts,
+    /// Compute timings attributed to the online phase.
+    pub online: SideCosts,
+    /// Bytes this party must store between offline and online.
+    pub storage_bytes: u64,
+    /// Garbled-circuit bytes this party transmitted or received.
+    pub gc_bytes: u64,
+}

@@ -1,0 +1,274 @@
+//! Hybrid private-inference protocols — the paper's core system.
+//!
+//! This crate implements end-to-end two-party private inference in the
+//! DELPHI family over the substrates in this workspace:
+//!
+//! * [`server_garbler`] — the baseline protocol (server garbles, client
+//!   stores and evaluates the ReLU circuits);
+//! * [`client_garbler`] — the paper's proposed §5.1 optimization (roles
+//!   reversed: storage and online GC evaluation move to the server);
+//! * layer-parallel HE (§5.2) via `ProtocolConfig::lphe_threads`;
+//! * exact communication/storage accounting on byte-counting channels,
+//!   feeding the wireless-slot-allocation analysis (§5.3) in `pi-sim`.
+//!
+//! Both protocols produce outputs that are **bit-exact** with the
+//! plaintext fixed-point reference ([`pi_nn::QuantNetwork::forward_fixed`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pi_core::{private_inference, ProtocolConfig, ProtocolKind};
+//! use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+//! use rand::SeedableRng;
+//!
+//! let he = pi_he::BfvParams::small_test();
+//! let fx = FixedConfig { p: he.t(), f: 5 };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = Network::materialize(&zoo::tiny_cnn(), &mut rng);
+//! let model = PiModel::lower(&QuantNetwork::quantize(&net, fx));
+//!
+//! let input = vec![0u64; model.input_len];
+//! let cfg = ProtocolConfig::client_garbler(he, 4);
+//! let (output, report) = private_inference(&model, &input, &cfg);
+//! assert_eq!(output, model.forward(&input));
+//! println!("offline download: {} bytes", report.offline.download_bytes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod client_garbler;
+pub mod common;
+pub mod msg;
+pub mod report;
+pub mod server_garbler;
+
+pub use common::{LinearMode, ModelMeta, ProtocolConfig, ProtocolKind};
+pub use report::{CostReport, SideCosts};
+
+use pi_nn::PiModel;
+use rand::SeedableRng;
+
+/// Runs a full private inference with both parties in process (one thread
+/// each), returning the client's output and the merged cost report.
+///
+/// # Panics
+///
+/// Panics on protocol violations (mismatched configuration, wrong input
+/// length) — these are programming errors in a two-party deployment.
+pub fn private_inference(
+    model: &PiModel,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+) -> (Vec<u64>, CostReport) {
+    let meta = ModelMeta::of(model);
+    let (chan_c, chan_s) = channel::local_pair();
+    let (client_seed, server_seed) = cfg.seeds;
+    let (output, client_out, server_out) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(server_seed);
+            match cfg.kind {
+                ProtocolKind::ServerGarbler => {
+                    server_garbler::run_server(model, cfg, &chan_s, &mut rng)
+                }
+                ProtocolKind::ClientGarbler => {
+                    client_garbler::run_server(model, cfg, &chan_s, &mut rng)
+                }
+            }
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(client_seed);
+        let (output, client_out) = match cfg.kind {
+            ProtocolKind::ServerGarbler => {
+                server_garbler::run_client(&meta, input, cfg, &chan_c, &mut rng)
+            }
+            ProtocolKind::ClientGarbler => {
+                client_garbler::run_client(&meta, input, cfg, &chan_c, &mut rng)
+            }
+        };
+        let server_out = server.join().expect("server thread must not panic");
+        (output, client_out, server_out)
+    });
+
+    let mut report = CostReport {
+        offline: SideCosts {
+            upload_bytes: client_out.offline_sent,
+            download_bytes: server_out.offline_sent,
+            ..Default::default()
+        },
+        online: SideCosts {
+            upload_bytes: client_out.total_sent - client_out.offline_sent,
+            download_bytes: server_out.total_sent - server_out.offline_sent,
+            ..Default::default()
+        },
+        client_storage_bytes: client_out.storage_bytes,
+        server_storage_bytes: server_out.storage_bytes,
+        relu_count: model.total_relus() as u64,
+        gc_bytes: client_out.gc_bytes.max(server_out.gc_bytes),
+    };
+    for (dst, src) in [
+        (&mut report.offline, (&client_out.offline, &server_out.offline)),
+        (&mut report.online, (&client_out.online, &server_out.online)),
+    ] {
+        dst.he_ms = src.0.he_ms + src.1.he_ms;
+        dst.garble_ms = src.0.garble_ms + src.1.garble_ms;
+        dst.eval_ms = src.0.eval_ms + src.1.eval_ms;
+        dst.ot_ms = src.0.ot_ms + src.1.ot_ms;
+        dst.ss_ms = src.0.ss_ms + src.1.ss_ms;
+    }
+    (output, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_he::BfvParams;
+    use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+    use rand::{Rng, SeedableRng};
+
+    fn build_model(spec: &pi_nn::NetSpec, he: &BfvParams, seed: u64) -> PiModel {
+        let fx = FixedConfig { p: he.t(), f: 5 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::materialize(spec, &mut rng);
+        PiModel::lower(&QuantNetwork::quantize(&net, fx))
+    }
+
+    fn random_input(model: &PiModel, seed: u64) -> Vec<u64> {
+        // Small-magnitude fixed-point inputs (|x| < 1).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = 1u64 << model.f;
+        (0..model.input_len)
+            .map(|_| {
+                let v: i64 = rng.gen_range(-(f as i64)..=f as i64);
+                model.p.from_signed(v)
+            })
+            .collect()
+    }
+
+    fn check_protocol(cfg: &ProtocolConfig, spec: &pi_nn::NetSpec, he: &BfvParams) {
+        let model = build_model(spec, he, 11);
+        let input = random_input(&model, 22);
+        let expect = model.forward(&input);
+        let (got, report) = private_inference(&model, &input, cfg);
+        assert_eq!(got, expect, "private output must equal fixed-point reference");
+        assert!(report.offline.download_bytes > 0);
+        assert!(report.online.total_bytes() > 0);
+        assert!(report.relu_count > 0);
+    }
+
+    #[test]
+    fn server_garbler_clear_tiny_cnn() {
+        check_protocol(
+            &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+            &zoo::tiny_cnn(),
+            &BfvParams::small_test(),
+        );
+    }
+
+    #[test]
+    fn client_garbler_clear_tiny_cnn() {
+        check_protocol(
+            &ProtocolConfig::clear(ProtocolKind::ClientGarbler),
+            &zoo::tiny_cnn(),
+            &BfvParams::small_test(),
+        );
+    }
+
+    #[test]
+    fn server_garbler_clear_residual() {
+        check_protocol(
+            &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+            &zoo::tiny_resnet(),
+            &BfvParams::small_test(),
+        );
+    }
+
+    #[test]
+    fn client_garbler_clear_pooling() {
+        check_protocol(
+            &ProtocolConfig::clear(ProtocolKind::ClientGarbler),
+            &zoo::tiny_cnn_pool(),
+            &BfvParams::small_test(),
+        );
+    }
+
+    #[test]
+    fn server_garbler_he_tiny_cnn() {
+        let he = BfvParams::small_test();
+        check_protocol(&ProtocolConfig::server_garbler(he.clone()), &zoo::tiny_cnn(), &he);
+    }
+
+    #[test]
+    fn client_garbler_he_tiny_cnn_lphe() {
+        let he = BfvParams::small_test();
+        check_protocol(&ProtocolConfig::client_garbler(he.clone(), 4), &zoo::tiny_cnn(), &he);
+    }
+
+    #[test]
+    fn client_garbler_moves_storage_to_server() {
+        let spec = zoo::tiny_cnn();
+        let he = BfvParams::small_test();
+        let model = build_model(&spec, &he, 5);
+        let input = random_input(&model, 6);
+        let (_, sg) = private_inference(
+            &model,
+            &input,
+            &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+        );
+        let (_, cg) = private_inference(
+            &model,
+            &input,
+            &ProtocolConfig::clear(ProtocolKind::ClientGarbler),
+        );
+        assert!(
+            cg.client_storage_bytes < sg.client_storage_bytes / 2,
+            "client-garbler must relieve client storage: SG={} CG={}",
+            sg.client_storage_bytes,
+            cg.client_storage_bytes
+        );
+        assert!(
+            cg.server_storage_bytes > sg.server_storage_bytes,
+            "storage must move to the server"
+        );
+        // Client-Garbler moves OT online: online comms grow.
+        assert!(cg.online.total_bytes() > sg.online.total_bytes());
+        // Offline GC bytes flow in opposite directions.
+        assert!(sg.offline.download_bytes > sg.offline.upload_bytes);
+        assert!(cg.offline.upload_bytes > cg.offline.download_bytes);
+    }
+
+    #[test]
+    fn lphe_preserves_results() {
+        let he = BfvParams::small_test();
+        let model = build_model(&zoo::tiny_cnn(), &he, 7);
+        let input = random_input(&model, 8);
+        let mut seq = ProtocolConfig::client_garbler(he.clone(), 1);
+        seq.seeds = (3, 4);
+        let mut par = ProtocolConfig::client_garbler(he, 4);
+        par.seeds = (3, 4);
+        let (out_seq, _) = private_inference(&model, &input, &seq);
+        let (out_par, _) = private_inference(&model, &input, &par);
+        assert_eq!(out_seq, out_par, "LPHE is a scheduling change, not a semantic one");
+    }
+
+    #[test]
+    fn storage_per_relu_in_plausible_band() {
+        // Our 20-bit field gives a smaller per-ReLU GC than the paper's
+        // 41-bit DELPHI field; the ratio GC-bytes/ReLU must still be in the
+        // right order of magnitude (KBs) and the evaluator-side storage must
+        // exceed the garbler-side encodings substantially.
+        let he = BfvParams::small_test();
+        let model = build_model(&zoo::tiny_cnn(), &he, 9);
+        let input = random_input(&model, 10);
+        let (_, sg) = private_inference(
+            &model,
+            &input,
+            &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+        );
+        let per_relu = sg.gc_bytes as f64 / sg.relu_count as f64;
+        assert!(
+            (1_000.0..20_000.0).contains(&per_relu),
+            "GC bytes per ReLU = {per_relu}"
+        );
+    }
+}

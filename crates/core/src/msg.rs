@@ -1,0 +1,82 @@
+//! Protocol messages and their wire-format sizes.
+//!
+//! Parties exchange typed values in process; `byte_len` reports the size
+//! each message would occupy in a binary wire format (fixed-width fields,
+//! length-prefixed sequences), which drives all communication accounting.
+
+use pi_gc::Label;
+use pi_he::{Ciphertext, GaloisKeys, PublicKey};
+use pi_ot::base::{ReceiverChoiceMsg, SenderSetupMsg, SenderTransferMsg};
+use pi_ot::ext::{ExtendMsg, TransferMsg};
+
+/// A message between the client and the server.
+#[derive(Debug)]
+pub enum Msg {
+    /// Client → server: HE public key and rotation keys (offline, once).
+    HeKeys {
+        /// Encryption key.
+        pk: Box<PublicKey>,
+        /// Rotation keys.
+        gk: Box<GaloisKeys>,
+    },
+    /// Encrypted vectors (client's `E(r)` per phase, or the server's
+    /// `E(W·r − s)` response).
+    HeCts(Vec<Ciphertext>),
+    /// Cleartext field vector: masked activations, output shares, or — in
+    /// the insecure test-only `LinearMode::Clear` — the raw randomness.
+    VecU64(Vec<u64>),
+    /// Garbled ReLU tables for one phase: one table set per activation
+    /// element (each `(T_G, T_E)` pair is 32 bytes).
+    GcTables(Vec<Vec<(Label, Label)>>),
+    /// Output-decode bits for one phase (garbler → evaluator when the
+    /// evaluator is entitled to the decoded output, i.e. Client-Garbler).
+    GcDecode(Vec<Vec<bool>>),
+    /// Wire labels (garbler-encoded inputs, or evaluator-returned outputs).
+    GcLabels(Vec<Label>),
+    /// Base-OT setup (sender's group element).
+    OtBaseSetup(SenderSetupMsg),
+    /// Base-OT receiver public keys.
+    OtBaseChoice(ReceiverChoiceMsg),
+    /// Base-OT encrypted payloads.
+    OtBaseTransfer(SenderTransferMsg),
+    /// IKNP extension matrix.
+    OtExtend(ExtendMsg),
+    /// IKNP masked label pairs.
+    OtTransfer(TransferMsg),
+}
+
+impl Msg {
+    /// Wire-format size in bytes.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Msg::HeKeys { pk, gk } => pk.byte_len() + gk.byte_len(),
+            Msg::HeCts(cts) => 8 + cts.iter().map(|c| c.byte_len()).sum::<usize>(),
+            Msg::VecU64(v) => 8 + v.len() * 8,
+            Msg::GcTables(circuits) => {
+                8 + circuits.iter().map(|t| 8 + t.len() * 32).sum::<usize>()
+            }
+            Msg::GcDecode(bits) => {
+                8 + bits.iter().map(|b| 8 + b.len().div_ceil(8)).sum::<usize>()
+            }
+            Msg::GcLabels(labels) => 8 + labels.len() * 16,
+            Msg::OtBaseSetup(m) => m.byte_len(),
+            Msg::OtBaseChoice(m) => m.byte_len(),
+            Msg::OtBaseTransfer(m) => m.byte_len(),
+            Msg::OtExtend(m) => 8 + m.byte_len(),
+            Msg::OtTransfer(m) => 8 + m.byte_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_and_label_sizes() {
+        assert_eq!(Msg::VecU64(vec![0; 10]).byte_len(), 88);
+        assert_eq!(Msg::GcLabels(vec![0; 4]).byte_len(), 72);
+        assert_eq!(Msg::GcTables(vec![vec![(0, 0); 3]; 2]).byte_len(), 8 + 2 * (8 + 96));
+        assert_eq!(Msg::GcDecode(vec![vec![true; 17]]).byte_len(), 8 + 8 + 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cost accounting: compute time, communication, and storage per phase.
+
+/// Costs attributed to one protocol phase (offline or online).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SideCosts {
+    /// Bytes sent client → server during this phase.
+    pub upload_bytes: u64,
+    /// Bytes sent server → client during this phase.
+    pub download_bytes: u64,
+    /// Wall-clock milliseconds spent in homomorphic evaluation.
+    pub he_ms: f64,
+    /// Wall-clock milliseconds spent garbling.
+    pub garble_ms: f64,
+    /// Wall-clock milliseconds spent evaluating garbled circuits.
+    pub eval_ms: f64,
+    /// Wall-clock milliseconds spent in oblivious transfer (both roles).
+    pub ot_ms: f64,
+    /// Wall-clock milliseconds spent in secret-sharing arithmetic.
+    pub ss_ms: f64,
+}
+
+impl SideCosts {
+    /// Total communication in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes + self.download_bytes
+    }
+
+    /// Total accounted compute milliseconds.
+    pub fn total_compute_ms(&self) -> f64 {
+        self.he_ms + self.garble_ms + self.eval_ms + self.ot_ms + self.ss_ms
+    }
+}
+
+/// Full cost report of one private inference.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// Offline (pre-processing) phase costs.
+    pub offline: SideCosts,
+    /// Online phase costs.
+    pub online: SideCosts,
+    /// Bytes the client must store between the offline and online phases
+    /// (the paper's Figure 3 / Figure 8 quantity).
+    pub client_storage_bytes: u64,
+    /// Bytes the server must store between phases.
+    pub server_storage_bytes: u64,
+    /// Number of garbled ReLU elements in the inference.
+    pub relu_count: u64,
+    /// Total garbled-circuit material transmitted (bytes).
+    pub gc_bytes: u64,
+}
+
+impl CostReport {
+    /// Client storage per ReLU in bytes (compare with the paper's
+    /// 18.2 KB/ReLU for Server-Garbler).
+    pub fn client_storage_per_relu(&self) -> f64 {
+        if self.relu_count == 0 {
+            0.0
+        } else {
+            self.client_storage_bytes as f64 / self.relu_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let c = SideCosts {
+            upload_bytes: 10,
+            download_bytes: 20,
+            he_ms: 1.0,
+            garble_ms: 2.0,
+            eval_ms: 3.0,
+            ot_ms: 4.0,
+            ss_ms: 5.0,
+        };
+        assert_eq!(c.total_bytes(), 30);
+        assert!((c.total_compute_ms() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_relu_guard() {
+        let r = CostReport::default();
+        assert_eq!(r.client_storage_per_relu(), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The baseline Server-Garbler protocol (DELPHI, §2.2 of the paper).
+//!
+//! Offline: HE linear precompute; the **server garbles** every ReLU and
+//! ships the circuits to the client, which stores them (the 18.2 KB/ReLU
+//! client storage pressure of Figures 3 and 8); the client's GC input
+//! labels transfer via offline OT.
+//!
+//! Online: the client sends `x − r₁`; per linear phase the server computes
+//! its share `W(x−r) + s + b`; per ReLU the server sends labels for its
+//! share, the **client evaluates** the garbled circuits (the 200-second
+//! Atom-class bottleneck of Figure 4) and returns output labels, which the
+//! server decodes into the next masked activation.
+
+use crate::channel::Channel;
+use crate::common::{
+    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver,
+    ot_base_as_ext_sender, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig,
+};
+use crate::msg::Msg;
+use pi_gc::garble::{evaluate, garble, Garbling};
+use pi_gc::relu::relu_trunc_circuit;
+use pi_gc::{Circuit, Label};
+use pi_nn::PiModel;
+use pi_ot::ext::{OtExtReceiver, OtExtSender};
+use rand::Rng;
+use std::time::Instant;
+
+/// Client state for one garbled ReLU phase.
+struct ClientPhaseGc {
+    /// Tables per activation element.
+    tables: Vec<Vec<(Label, Label)>>,
+    /// The client's input labels per element (2k: share_b then r).
+    my_labels: Vec<Vec<Label>>,
+}
+
+/// Runs the client role. Returns the inference output and cost summary.
+pub fn run_client<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+) -> (Vec<u64>, PartyOutcome) {
+    assert_eq!(input.len(), meta.input_len, "input length mismatch");
+    let p = meta.p;
+    let k = meta.relu_width;
+    let mut out = PartyOutcome::default();
+
+    // ---------------- Offline ----------------
+    // Randomness per activation.
+    let r_acts: Vec<Vec<u64>> = (0..meta.num_acts())
+        .map(|a| (0..meta.act_len(a)).map(|_| rng.gen_range(0..p.value())).collect())
+        .collect();
+    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out.offline);
+
+    // Base OT: client is the extension receiver (it obtains labels).
+    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng, &mut out.offline));
+
+    // Per ReLU phase: receive circuits, fetch own labels via OT.
+    let relu_phases: Vec<usize> = (0..meta.phases.len())
+        .filter(|&i| meta.phases[i].relu_shift.is_some())
+        .collect();
+    let mut gcs: Vec<ClientPhaseGc> = Vec::with_capacity(relu_phases.len());
+    for &i in &relu_phases {
+        let ph = &meta.phases[i];
+        let m = ph.rows;
+        let tables = match chan.recv() {
+            Msg::GcTables(t) => t,
+            other => panic!("expected GcTables, got {other:?}"),
+        };
+        out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        // Choice bits: per element, share_b bits then r bits.
+        let t0 = Instant::now();
+        let mut choices = Vec::with_capacity(m * 2 * k);
+        for j in 0..m {
+            choices.extend(field_bits(c_shares[i][j], k));
+            choices.extend(field_bits(r_acts[i + 1][j], k));
+        }
+        let (extend, keys) = ext_receiver.extend(&choices, rng);
+        chan.send(Msg::OtExtend(extend));
+        let transfer = match chan.recv() {
+            Msg::OtTransfer(t) => t,
+            other => panic!("expected OtTransfer, got {other:?}"),
+        };
+        let labels = ext_receiver.decode(&transfer, &choices, &keys);
+        out.offline.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let my_labels: Vec<Vec<Label>> =
+            labels.chunks(2 * k).map(|c| c.to_vec()).collect();
+        gcs.push(ClientPhaseGc { tables, my_labels });
+    }
+
+    // Client storage: garbled circuits + own labels + shares + randomness.
+    out.storage_bytes = out.gc_bytes
+        + gcs.iter().map(|g| g.my_labels.iter().map(|l| l.len() as u64 * 16).sum::<u64>()).sum::<u64>()
+        + c_shares.iter().map(|s| s.len() as u64 * 8).sum::<u64>()
+        + r_acts.iter().map(|r| r.len() as u64 * 8).sum::<u64>();
+    out.offline_sent = chan.bytes_sent();
+
+    // ---------------- Online ----------------
+    // Send masked input.
+    let masked: Vec<u64> = input.iter().zip(&r_acts[0]).map(|(&x, &r)| p.sub(x, r)).collect();
+    chan.send(Msg::VecU64(masked));
+
+    // Rebuild circuits (topology is public).
+    let circuits: Vec<Circuit> = relu_phases
+        .iter()
+        .map(|&i| relu_trunc_circuit(p.value(), meta.phases[i].relu_shift.expect("relu phase")).0)
+        .collect();
+
+    for (gc_idx, &i) in relu_phases.iter().enumerate() {
+        let ph = &meta.phases[i];
+        let m = ph.rows;
+        let server_labels = match chan.recv() {
+            Msg::GcLabels(l) => l,
+            other => panic!("expected GcLabels, got {other:?}"),
+        };
+        assert_eq!(server_labels.len(), m * k, "server label count");
+        let t0 = Instant::now();
+        let circuit = &circuits[gc_idx];
+        let mut out_labels = Vec::with_capacity(m * k);
+        for j in 0..m {
+            let mut labels = Vec::with_capacity(3 * k);
+            labels.extend_from_slice(&server_labels[j * k..(j + 1) * k]);
+            labels.extend_from_slice(&gcs[gc_idx].my_labels[j]);
+            let garbled = pi_gc::GarbledCircuit {
+                tables: gcs[gc_idx].tables[j].clone(),
+                output_decode: vec![false; k], // decode stays with the garbler
+            };
+            out_labels.extend(evaluate(circuit, &garbled, &labels));
+        }
+        out.online.eval_ms += t0.elapsed().as_secs_f64() * 1e3;
+        chan.send(Msg::GcLabels(out_labels));
+    }
+
+    // Final phase: combine output shares.
+    let server_share = match chan.recv() {
+        Msg::VecU64(v) => v,
+        other => panic!("expected final share, got {other:?}"),
+    };
+    let last = meta.phases.len() - 1;
+    let output: Vec<u64> = server_share
+        .iter()
+        .zip(&c_shares[last])
+        .map(|(&a, &b)| p.add(a, b))
+        .collect();
+    out.total_sent = chan.bytes_sent();
+    (output, out)
+}
+
+/// Runs the server role (holds the model weights).
+pub fn run_server<R: Rng + ?Sized>(
+    model: &PiModel,
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+) -> PartyOutcome {
+    let p = model.p;
+    let meta = ModelMeta::of(model);
+    let k = meta.relu_width;
+    let mut out = PartyOutcome::default();
+
+    // ---------------- Offline ----------------
+    let s_vecs = server_offline_linear(model, cfg, chan, rng, &mut out.offline);
+    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng, &mut out.offline));
+
+    let relu_phases: Vec<usize> = (0..meta.phases.len())
+        .filter(|&i| meta.phases[i].relu_shift.is_some())
+        .collect();
+    // Garble each ReLU phase and serve the client's labels via OT.
+    let mut garblings: Vec<Vec<Garbling>> = Vec::with_capacity(relu_phases.len());
+    let mut circuits: Vec<Circuit> = Vec::with_capacity(relu_phases.len());
+    for &i in &relu_phases {
+        let ph = &meta.phases[i];
+        let m = ph.rows;
+        let shift = ph.relu_shift.expect("relu phase");
+        let t0 = Instant::now();
+        let (circuit, _) = relu_trunc_circuit(p.value(), shift);
+        let phase_g: Vec<Garbling> = (0..m).map(|_| garble(&circuit, rng)).collect();
+        out.offline.garble_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let tables: Vec<Vec<(Label, Label)>> =
+            phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
+        out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        chan.send(Msg::GcTables(tables));
+        // OT: client's inputs occupy wire positions [k, 3k).
+        let t1 = Instant::now();
+        let extend = match chan.recv() {
+            Msg::OtExtend(e) => e,
+            other => panic!("expected OtExtend, got {other:?}"),
+        };
+        let mut pairs = Vec::with_capacity(m * 2 * k);
+        for g in &phase_g {
+            for bit in 0..2 * k {
+                pairs.push(g.encoding.label_pair(k + bit));
+            }
+        }
+        chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
+        out.offline.ot_ms += t1.elapsed().as_secs_f64() * 1e3;
+        circuits.push(circuit);
+        garblings.push(phase_g);
+    }
+
+    // Server storage: its own input encodings (k labels + delta per
+    // element), output decode bits, and the shares s_i.
+    out.storage_bytes = garblings
+        .iter()
+        .flatten()
+        .map(|_| (k as u64 + 1) * 16 + k.div_ceil(8) as u64)
+        .sum::<u64>()
+        + s_vecs.iter().map(|s| s.len() as u64 * 8).sum::<u64>();
+    out.offline_sent = chan.bytes_sent();
+
+    // ---------------- Online ----------------
+    let masked_input = match chan.recv() {
+        Msg::VecU64(v) => v,
+        other => panic!("expected masked input, got {other:?}"),
+    };
+    // masked_acts[a] = x_a - r_a.
+    let mut masked_acts: Vec<Vec<u64>> = vec![masked_input];
+    let mut gc_idx = 0usize;
+    for (i, ph) in model.phases.iter().enumerate() {
+        // Server share: W (x - r) + s + b.
+        let t0 = Instant::now();
+        let x_cat: Vec<u64> = ph
+            .inputs
+            .iter()
+            .flat_map(|&a| masked_acts[a].iter().copied())
+            .collect();
+        let mut y_s = ph.apply(&x_cat, p);
+        for (v, &s) in y_s.iter_mut().zip(&s_vecs[i]) {
+            *v = p.add(*v, s);
+        }
+        out.online.ss_ms += t0.elapsed().as_secs_f64() * 1e3;
+        match ph.relu_shift {
+            Some(_) => {
+                // Send labels for the server's share (wire positions 0..k).
+                let t1 = Instant::now();
+                let phase_g = &garblings[gc_idx];
+                let mut labels = Vec::with_capacity(y_s.len() * k);
+                for (j, &v) in y_s.iter().enumerate() {
+                    labels.extend(phase_g[j].encoding.encode_bits(0, &field_bits(v, k)));
+                }
+                chan.send(Msg::GcLabels(labels));
+                // Receive and decode output labels.
+                let out_labels = match chan.recv() {
+                    Msg::GcLabels(l) => l,
+                    other => panic!("expected output labels, got {other:?}"),
+                };
+                let mut next_masked = Vec::with_capacity(y_s.len());
+                for (j, chunk) in out_labels.chunks(k).enumerate() {
+                    let bits = phase_g[j].garbled.decode_outputs(chunk);
+                    next_masked.push(bits_field(&bits));
+                }
+                out.online.eval_ms += t1.elapsed().as_secs_f64() * 1e3;
+                masked_acts.push(next_masked);
+                gc_idx += 1;
+            }
+            None => {
+                chan.send(Msg::VecU64(y_s));
+            }
+        }
+    }
+    out.total_sent = chan.bytes_sent();
+    out
+}

@@ -1,0 +1,513 @@
+//! Fixed-width 1024-bit integers with Montgomery modular arithmetic.
+//!
+//! This is the minimal big-integer machinery needed by the Naor–Pinkas base
+//! oblivious transfer in `pi-ot`: modular multiplication and exponentiation
+//! over a fixed 1024-bit MODP group (Oakley Group 2 from RFC 2409).
+//!
+//! 1024-bit discrete log is below modern security margins; DESIGN.md
+//! documents this as a stand-in for an elliptic-curve group so that the base
+//! OT exercises real public-key structure without external curve crates.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of 64-bit limbs in a [`U1024`].
+pub const LIMBS: usize = 16;
+
+/// A 1024-bit unsigned integer stored as 16 little-endian 64-bit limbs.
+///
+/// # Examples
+///
+/// ```
+/// use pi_field::U1024;
+/// let a = U1024::from_u64(7);
+/// let b = U1024::from_u64(35);
+/// assert!(a < b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct U1024 {
+    limbs: [u64; LIMBS],
+}
+
+impl fmt::Debug for U1024 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U1024(0x")?;
+        let mut leading = true;
+        for limb in self.limbs.iter().rev() {
+            if leading && *limb == 0 {
+                continue;
+            }
+            if leading {
+                write!(f, "{limb:x}")?;
+                leading = false;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        if leading {
+            write!(f, "0")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialOrd for U1024 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U1024 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Default for U1024 {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl U1024 {
+    /// The value 0.
+    pub const ZERO: Self = Self { limbs: [0; LIMBS] };
+
+    /// The value 1.
+    pub const ONE: Self = {
+        let mut l = [0u64; LIMBS];
+        l[0] = 1;
+        Self { limbs: l }
+    };
+
+    /// Builds a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        Self { limbs }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub const fn from_u64(x: u64) -> Self {
+        let mut l = [0u64; LIMBS];
+        l[0] = x;
+        Self { limbs: l }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Serializes to 128 little-endian bytes.
+    pub fn to_le_bytes(&self) -> [u8; 128] {
+        let mut out = [0u8; 128];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from 128 little-endian bytes.
+    pub fn from_le_bytes(bytes: &[u8; 128]) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *limb = u64::from_le_bytes(b);
+        }
+        Self { limbs }
+    }
+
+    /// Adds with carry; returns (sum, carry).
+    pub fn overflowing_add(&self, other: &Self) -> (Self, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (Self { limbs: out }, carry != 0)
+    }
+
+    /// Subtracts with borrow; returns (difference, borrow).
+    pub fn overflowing_sub(&self, other: &Self) -> (Self, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut borrow = 0u64;
+        for i in 0..LIMBS {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (Self { limbs: out }, borrow != 0)
+    }
+
+    /// Doubles the value modulo `m` (assumes `self < m`).
+    fn double_mod(&self, m: &Self) -> Self {
+        let (doubled, carry) = self.overflowing_add(self);
+        let (reduced, borrow) = doubled.overflowing_sub(m);
+        if carry || !borrow {
+            reduced
+        } else {
+            doubled
+        }
+    }
+
+    /// Adds modulo `m` (assumes both operands `< m`).
+    pub fn add_mod(&self, other: &Self, m: &Self) -> Self {
+        let (sum, carry) = self.overflowing_add(other);
+        let (reduced, borrow) = sum.overflowing_sub(m);
+        if carry || !borrow {
+            reduced
+        } else {
+            sum
+        }
+    }
+}
+
+/// A fixed prime-order multiplicative group `Z_p^*` with Montgomery
+/// arithmetic, supporting the operations the base OT needs: exponentiation,
+/// multiplication, inversion, and sampling.
+///
+/// # Examples
+///
+/// ```
+/// use pi_field::ModpGroup;
+/// let g = ModpGroup::oakley2();
+/// let mut rng = rand::thread_rng();
+/// let (x, gx) = g.random_element(&mut rng);
+/// // g^x * g^(-x) == 1 via Fermat inversion
+/// let inv = g.inv(&gx);
+/// assert_eq!(g.mul(&gx, &inv), pi_field::U1024::ONE);
+/// # let _ = x;
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModpGroup {
+    /// The prime modulus p.
+    p: U1024,
+    /// -p^{-1} mod 2^64 (Montgomery constant).
+    n0_inv: u64,
+    /// R^2 mod p where R = 2^1024 (for conversion into Montgomery form).
+    r2: U1024,
+    /// R mod p (Montgomery form of 1).
+    r1: U1024,
+    /// The generator (2 for Oakley Group 2), in normal form.
+    generator: U1024,
+}
+
+/// The 1024-bit Oakley Group 2 prime (RFC 2409 §6.2), big-endian words
+/// listed most-significant first.
+const OAKLEY2_BE: [u64; LIMBS] = [
+    0xFFFFFFFFFFFFFFFF,
+    0xC90FDAA22168C234,
+    0xC4C6628B80DC1CD1,
+    0x29024E088A67CC74,
+    0x020BBEA63B139B22,
+    0x514A08798E3404DD,
+    0xEF9519B3CD3A431B,
+    0x302B0A6DF25F1437,
+    0x4FE1356D6D51C245,
+    0xE485B576625E7EC6,
+    0xF44C42E9A637ED6B,
+    0x0BFF5CB6F406B7ED,
+    0xEE386BFB5A899FA5,
+    0xAE9F24117C4B1FE6,
+    0x49286651ECE65381,
+    0xFFFFFFFFFFFFFFFF,
+];
+
+impl ModpGroup {
+    /// Constructs the Oakley Group 2 (1024-bit MODP, generator 2).
+    pub fn oakley2() -> Self {
+        let mut limbs = [0u64; LIMBS];
+        for (i, w) in OAKLEY2_BE.iter().rev().enumerate() {
+            limbs[i] = *w;
+        }
+        Self::new(U1024::from_limbs(limbs), U1024::from_u64(2))
+    }
+
+    /// Constructs a group from an odd modulus and generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even or smaller than 3.
+    pub fn new(p: U1024, generator: U1024) -> Self {
+        assert!(p.limbs[0] & 1 == 1, "modulus must be odd");
+        // n0_inv = -p^{-1} mod 2^64 via Newton iteration.
+        let p0 = p.limbs[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // r1 = 2^1024 mod p: start from the highest representable value and
+        // fold in; compute by doubling 1, 1024 times, mod p.
+        let mut r1 = U1024::ONE;
+        for _ in 0..1024 {
+            r1 = r1.double_mod(&p);
+        }
+        // r2 = R^2 mod p: double r1 another 1024 times.
+        let mut r2 = r1;
+        for _ in 0..1024 {
+            r2 = r2.double_mod(&p);
+        }
+        Self { p, n0_inv, r2, r1, generator }
+    }
+
+    /// Returns the group modulus.
+    pub fn modulus(&self) -> &U1024 {
+        &self.p
+    }
+
+    /// Returns the group generator.
+    pub fn generator(&self) -> &U1024 {
+        &self.generator
+    }
+
+    /// Montgomery reduction of a 32-limb product (CIOS interleaved form
+    /// operates on the fly in `mont_mul`; this reduces an existing wide
+    /// value).
+    fn mont_mul(&self, a: &U1024, b: &U1024) -> U1024 {
+        // CIOS (coarsely integrated operand scanning) Montgomery multiply.
+        let mut t = [0u64; LIMBS + 2];
+        for i in 0..LIMBS {
+            // t += a[i] * b
+            let mut carry = 0u64;
+            for j in 0..LIMBS {
+                let prod = a.limbs[i] as u128 * b.limbs[j] as u128
+                    + t[j] as u128
+                    + carry as u128;
+                t[j] = prod as u64;
+                carry = (prod >> 64) as u64;
+            }
+            let s = t[LIMBS] as u128 + carry as u128;
+            t[LIMBS] = s as u64;
+            t[LIMBS + 1] = (s >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64; t += m * p; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let prod = m as u128 * self.p.limbs[0] as u128 + t[0] as u128;
+            let mut carry = (prod >> 64) as u64;
+            for j in 1..LIMBS {
+                let prod = m as u128 * self.p.limbs[j] as u128
+                    + t[j] as u128
+                    + carry as u128;
+                t[j - 1] = prod as u64;
+                carry = (prod >> 64) as u64;
+            }
+            let s = t[LIMBS] as u128 + carry as u128;
+            t[LIMBS - 1] = s as u64;
+            let s2 = t[LIMBS + 1] as u64 + ((s >> 64) as u64);
+            t[LIMBS] = s2;
+            t[LIMBS + 1] = 0;
+        }
+        let mut out = [0u64; LIMBS];
+        out.copy_from_slice(&t[..LIMBS]);
+        let result = U1024::from_limbs(out);
+        if t[LIMBS] != 0 || result >= self.p {
+            result.overflowing_sub(&self.p).0
+        } else {
+            result
+        }
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, a: &U1024) -> U1024 {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, a: &U1024) -> U1024 {
+        self.mont_mul(a, &U1024::ONE)
+    }
+
+    /// Modular multiplication `a * b mod p` (normal form in and out).
+    pub fn mul(&self, a: &U1024, b: &U1024) -> U1024 {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod p`.
+    ///
+    /// The exponent is given as little-endian limbs; high zero limbs cost
+    /// nothing beyond the scan.
+    pub fn pow(&self, base: &U1024, exp: &U1024) -> U1024 {
+        let base_m = self.to_mont(base);
+        let mut acc = self.r1; // Montgomery form of 1
+        let mut started = false;
+        for i in (0..LIMBS).rev() {
+            let limb = exp.limbs[i];
+            if !started && limb == 0 {
+                continue;
+            }
+            let top = if started { 63 } else { 63 - limb.leading_zeros() as usize };
+            for bit in (0..=top).rev() {
+                if started {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+                if (limb >> bit) & 1 == 1 {
+                    if started {
+                        acc = self.mont_mul(&acc, &base_m);
+                    } else {
+                        acc = base_m;
+                        started = true;
+                    }
+                }
+            }
+        }
+        if !started {
+            return U1024::ONE; // exp == 0
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Raises the generator to `exp`.
+    pub fn pow_g(&self, exp: &U1024) -> U1024 {
+        self.pow(&self.generator, exp)
+    }
+
+    /// Modular inversion via Fermat's little theorem (`a^(p-2)`).
+    pub fn inv(&self, a: &U1024) -> U1024 {
+        let (pm2, _) = self.p.overflowing_sub(&U1024::from_u64(2));
+        self.pow(a, &pm2)
+    }
+
+    /// Modular division `a / b mod p`.
+    pub fn div(&self, a: &U1024, b: &U1024) -> U1024 {
+        self.mul(a, &self.inv(b))
+    }
+
+    /// Samples a random exponent `x` in `[1, p-1)` and returns `(x, g^x)`.
+    pub fn random_element<R: Rng + ?Sized>(&self, rng: &mut R) -> (U1024, U1024) {
+        let x = self.random_exponent(rng);
+        let gx = self.pow_g(&x);
+        (x, gx)
+    }
+
+    /// Samples a random exponent below `p - 1` (rejection sampling on the
+    /// top limb is unnecessary for OT purposes; we mask to 1023 bits which
+    /// is < p for the Oakley prime).
+    pub fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> U1024 {
+        let mut limbs = [0u64; LIMBS];
+        for limb in &mut limbs {
+            *limb = rng.gen();
+        }
+        limbs[LIMBS - 1] &= (1 << 63) - 1; // clear top bit => value < 2^1023 < p
+        if limbs.iter().all(|&l| l == 0) {
+            limbs[0] = 1;
+        }
+        U1024::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_group() -> ModpGroup {
+        // p = 2^61 - 1 (prime), generator 3 (need only correctness of the
+        // arithmetic, not that 3 generates the whole group).
+        ModpGroup::new(U1024::from_u64((1 << 61) - 1), U1024::from_u64(3))
+    }
+
+    #[test]
+    fn cmp_and_basic_arith() {
+        let a = U1024::from_u64(10);
+        let b = U1024::from_u64(3);
+        assert!(a > b);
+        let (sum, c) = a.overflowing_add(&b);
+        assert_eq!(sum, U1024::from_u64(13));
+        assert!(!c);
+        let (diff, bo) = b.overflowing_sub(&a);
+        assert!(bo); // wraps
+        let (back, _) = diff.overflowing_add(&a);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = ModpGroup::oakley2();
+        let (_, elem) = g.random_element(&mut rng);
+        let bytes = elem.to_le_bytes();
+        assert_eq!(U1024::from_le_bytes(&bytes), elem);
+    }
+
+    #[test]
+    fn small_group_matches_u128_math() {
+        let g = small_group();
+        let p = (1u64 << 61) - 1;
+        let mul = |a: u64, b: u64| ((a as u128 * b as u128) % p as u128) as u64;
+        let a = 123_456_789_012_345u64;
+        let b = 987_654_321_098_765u64;
+        assert_eq!(g.mul(&U1024::from_u64(a), &U1024::from_u64(b)), U1024::from_u64(mul(a, b)));
+        // pow
+        let mut expect = 1u64;
+        for _ in 0..77 {
+            expect = mul(expect, 3);
+        }
+        assert_eq!(g.pow_g(&U1024::from_u64(77)), U1024::from_u64(expect));
+        // exp 0 and 1
+        assert_eq!(g.pow_g(&U1024::ZERO), U1024::ONE);
+        assert_eq!(g.pow_g(&U1024::ONE), U1024::from_u64(3));
+    }
+
+    #[test]
+    fn fermat_inverse_small() {
+        let g = small_group();
+        let a = U1024::from_u64(0xdead_beef);
+        assert_eq!(g.mul(&a, &g.inv(&a)), U1024::ONE);
+    }
+
+    #[test]
+    fn oakley_group_exponent_laws() {
+        let g = ModpGroup::oakley2();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let x = g.random_exponent(&mut rng);
+        let y = g.random_exponent(&mut rng);
+        // (g^x)^y == (g^y)^x : the Diffie-Hellman property base OT relies on.
+        let gx = g.pow_g(&x);
+        let gy = g.pow_g(&y);
+        assert_eq!(g.pow(&gx, &y), g.pow(&gy, &x));
+    }
+
+    #[test]
+    fn oakley_inverse() {
+        let g = ModpGroup::oakley2();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (_, a) = g.random_element(&mut rng);
+        assert_eq!(g.mul(&a, &g.inv(&a)), U1024::ONE);
+        assert_eq!(g.div(&a, &a), U1024::ONE);
+    }
+
+    #[test]
+    fn mont_form_of_one_is_consistent() {
+        let g = ModpGroup::oakley2();
+        assert_eq!(g.from_mont(&g.r1), U1024::ONE);
+        assert_eq!(g.to_mont(&U1024::ONE), g.r1);
+    }
+
+    #[test]
+    fn add_mod_stays_reduced() {
+        let g = small_group();
+        let p = g.modulus();
+        let a = U1024::from_u64((1 << 61) - 2);
+        let s = a.add_mod(&a, p);
+        // (p-1)+(p-1) mod p == p-2
+        assert_eq!(s, U1024::from_u64((1 << 61) - 3));
+    }
+}

@@ -1,0 +1,35 @@
+//! Modular-arithmetic substrate for the private-inference stack.
+//!
+//! This crate provides the three arithmetic building blocks that everything
+//! above it (polynomial rings, BFV homomorphic encryption, secret sharing,
+//! and the Naor–Pinkas base oblivious transfer) is built on:
+//!
+//! * [`Modulus`] — a word-sized modulus with Barrett reduction, giving fast
+//!   `add`/`sub`/`mul`/`pow`/`inv` over `Z_q` for `q < 2^62`.
+//! * [`prime`] — deterministic Miller–Rabin primality testing and searching
+//!   for NTT-friendly primes (`q ≡ 1 (mod 2N)`), plus primitive-root finding.
+//! * [`bignum`] — a fixed-width 1024-bit unsigned integer with Montgomery
+//!   multiplication and modular exponentiation over the Oakley Group 2 MODP
+//!   prime, used by the base oblivious transfer in `pi-ot`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_field::Modulus;
+//!
+//! let q = Modulus::new(97);
+//! assert_eq!(q.mul(50, 2), 3); // 100 mod 97
+//! assert_eq!(q.pow(3, 96), 1); // Fermat
+//! assert_eq!(q.mul(5, q.inv(5).unwrap()), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bignum;
+pub mod modulus;
+pub mod prime;
+
+pub use bignum::{ModpGroup, U1024};
+pub use modulus::Modulus;
+pub use prime::{find_ntt_prime, is_prime, primitive_root};

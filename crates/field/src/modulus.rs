@@ -1,0 +1,311 @@
+//! Word-sized modular arithmetic with Barrett reduction.
+
+use std::fmt;
+
+/// A modulus `q < 2^62` with precomputed Barrett constant.
+///
+/// All arithmetic is over the ring `Z_q = {0, 1, ..., q-1}`. Inputs to
+/// [`Modulus::add`], [`Modulus::sub`] and [`Modulus::mul`] must already be
+/// reduced; use [`Modulus::reduce`] for arbitrary `u64` and
+/// [`Modulus::reduce_u128`] for 128-bit products.
+///
+/// # Examples
+///
+/// ```
+/// use pi_field::Modulus;
+/// let q = Modulus::new(17);
+/// assert_eq!(q.add(16, 5), 4);
+/// assert_eq!(q.sub(3, 5), 15);
+/// assert_eq!(q.neg(1), 16);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// floor(2^128 / q), stored as (hi, lo) 64-bit words.
+    barrett_hi: u64,
+    barrett_lo: u64,
+}
+
+impl fmt::Debug for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Modulus({})", self.value)
+    }
+}
+
+impl fmt::Display for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+impl Modulus {
+    /// Creates a new modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62`.
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        assert!(q < (1u64 << 62), "modulus must be below 2^62");
+        // Compute floor(2^128 / q) via 128-bit long division in two halves.
+        // hi = floor(2^64 / q) contribution; do full division of the 256-bit
+        // value 2^128 by q using u128 arithmetic:
+        //   2^128 / q = (2^64 / q) * 2^64 + ((2^64 mod q) * 2^64) / q   (approx)
+        // We do it exactly with u128:
+        let hi = u128::MAX / q as u128; // floor((2^128 - 1)/q) == floor(2^128/q) unless q | 2^128
+        // q is odd in all our uses (prime), so q does not divide 2^128 and
+        // floor((2^128-1)/q) == floor(2^128/q). For even q the constant may be
+        // one short, which Barrett's final correction step absorbs.
+        Self {
+            value: q,
+            barrett_hi: (hi >> 64) as u64,
+            barrett_lo: hi as u64,
+        }
+    }
+
+    /// Returns the modulus value `q`.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Returns the number of bits needed to represent `q - 1`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        64 - (self.value - 1).leading_zeros()
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u64 {
+        if x < self.value {
+            x
+        } else {
+            x % self.value
+        }
+    }
+
+    /// Reduces a 128-bit value into `[0, q)` using Barrett reduction.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // Estimate quotient: qhat = floor(x * floor(2^128/q) / 2^128).
+        let xl = x as u64;
+        let xh = (x >> 64) as u64;
+        // x * barrett = (xh*2^64 + xl) * (bh*2^64 + bl); we need bits >= 128.
+        let bl = self.barrett_lo as u128;
+        let bh = self.barrett_hi as u128;
+        let xl = xl as u128;
+        let xh = xh as u128;
+        // Partial products contributing to the >=2^128 part:
+        let lo_lo = (xl * bl) >> 64; // carries into the 2^64 word
+        let mid1 = xl * bh;
+        let mid2 = xh * bl;
+        let mid = lo_lo + (mid1 & ((1u128 << 64) - 1)) + (mid2 & ((1u128 << 64) - 1));
+        let qhat = xh * bh + (mid1 >> 64) + (mid2 >> 64) + (mid >> 64);
+        let r = x.wrapping_sub(qhat.wrapping_mul(self.value as u128)) as u64;
+        // qhat can undershoot by at most 2.
+        let mut r = r;
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Modular addition of two reduced values.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two reduced values.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation of a reduced value.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.value);
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular multiplication of two reduced values.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add: `(a * b + c) mod q` for reduced inputs.
+    #[inline]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut base = self.reduce(base);
+        let mut acc = 1 % self.value;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via the extended Euclidean algorithm.
+    ///
+    /// Returns `None` if `a` is not invertible (i.e. `gcd(a, q) != 1`).
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return None;
+        }
+        let (mut old_r, mut r) = (a as i128, self.value as i128);
+        let (mut old_s, mut s) = (1i128, 0i128);
+        while r != 0 {
+            let quot = old_r / r;
+            (old_r, r) = (r, old_r - quot * r);
+            (old_s, s) = (s, old_s - quot * s);
+        }
+        if old_r != 1 {
+            return None;
+        }
+        let q = self.value as i128;
+        Some(((old_s % q + q) % q) as u64)
+    }
+
+    /// Maps a reduced value into the balanced representation
+    /// `(-q/2, q/2]` as a signed integer.
+    ///
+    /// Used when interpreting field elements as signed fixed-point numbers.
+    #[inline]
+    pub fn to_signed(&self, a: u64) -> i64 {
+        debug_assert!(a < self.value);
+        if a > self.value / 2 {
+            a as i64 - self.value as i64
+        } else {
+            a as i64
+        }
+    }
+
+    /// Maps a signed integer into `[0, q)`.
+    #[inline]
+    pub fn from_signed(&self, a: i64) -> u64 {
+        let q = self.value as i64;
+        let r = a % q;
+        if r < 0 {
+            (r + q) as u64
+        } else {
+            r as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_ops() {
+        let q = Modulus::new(97);
+        assert_eq!(q.add(96, 1), 0);
+        assert_eq!(q.sub(0, 1), 96);
+        assert_eq!(q.mul(96, 96), 1);
+        assert_eq!(q.neg(0), 0);
+        assert_eq!(q.neg(40), 57);
+        assert_eq!(q.pow(2, 10), 1024 % 97);
+        assert_eq!(q.inv(0), None);
+    }
+
+    #[test]
+    fn reduce_u128_edge_cases() {
+        let q = Modulus::new((1u64 << 61) + 1); // not prime, fine for reduction
+        assert_eq!(q.reduce_u128(0), 0);
+        assert_eq!(q.reduce_u128(q.value() as u128), 0);
+        assert_eq!(q.reduce_u128(u128::MAX), (u128::MAX % q.value() as u128) as u64);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let q = Modulus::new(1_000_003);
+        assert_eq!(q.to_signed(1), 1);
+        assert_eq!(q.to_signed(q.value() - 1), -1);
+        assert_eq!(q.from_signed(-1), q.value() - 1);
+        assert_eq!(q.from_signed(-(q.value() as i64)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_huge_modulus() {
+        Modulus::new(1u64 << 62);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_modulus() {
+        Modulus::new(1);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_u128(q in 2u64..(1 << 62), a: u64, b: u64) {
+            let m = Modulus::new(q);
+            let a = a % q;
+            let b = b % q;
+            prop_assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % q as u128);
+        }
+
+        #[test]
+        fn reduce_u128_matches(q in 2u64..(1 << 62), x: u128) {
+            let m = Modulus::new(q);
+            prop_assert_eq!(m.reduce_u128(x) as u128, x % q as u128);
+        }
+
+        #[test]
+        fn add_sub_inverse(q in 2u64..(1 << 62), a: u64, b: u64) {
+            let m = Modulus::new(q);
+            let a = a % q;
+            let b = b % q;
+            prop_assert_eq!(m.sub(m.add(a, b), b), a);
+            prop_assert_eq!(m.add(m.sub(a, b), b), a);
+        }
+
+        #[test]
+        fn inverse_is_inverse(a in 1u64..96) {
+            let m = Modulus::new(97);
+            let inv = m.inv(a).unwrap();
+            prop_assert_eq!(m.mul(a, inv), 1);
+        }
+
+        #[test]
+        fn pow_agrees_with_naive(base in 0u64..97, exp in 0u64..64) {
+            let m = Modulus::new(97);
+            let mut acc = 1u64;
+            for _ in 0..exp {
+                acc = m.mul(acc, base % 97);
+            }
+            prop_assert_eq!(m.pow(base, exp), acc);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Primality testing, NTT-friendly prime search, and primitive roots.
+
+use crate::Modulus;
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` which
+/// is known to be deterministic for all `n < 3.3 * 10^24`, far beyond `u64`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(pi_field::is_prime(65537));
+/// assert!(!pi_field::is_prime(65535));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod 2n)`.
+///
+/// Such primes admit a primitive `2n`-th root of unity, which is what the
+/// negacyclic NTT over `Z_q[x]/(x^n + 1)` requires.
+///
+/// # Panics
+///
+/// Panics if `bits < 4`, `bits > 61`, `n` is not a power of two, or no such
+/// prime exists below `2^bits` (which cannot happen for the parameter ranges
+/// used in this workspace).
+///
+/// # Examples
+///
+/// ```
+/// let q = pi_field::find_ntt_prime(20, 1024);
+/// assert!(pi_field::is_prime(q));
+/// assert_eq!(q % 2048, 1);
+/// ```
+pub fn find_ntt_prime(bits: u32, n: u64) -> u64 {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    find_prime_congruent(bits, 2 * n)
+}
+
+/// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod step)`.
+///
+/// BFV uses this to pick a ciphertext modulus that is simultaneously
+/// NTT-friendly and congruent to 1 modulo the plaintext modulus `t`
+/// (`step = 2N·t`), which makes `q mod t = 1` and keeps the
+/// plaintext-multiplication rounding error negligible.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `4..=61` or no such prime exists below
+/// `2^bits`.
+///
+/// # Examples
+///
+/// ```
+/// let q = pi_field::prime::find_prime_congruent(40, 4096 * 13);
+/// assert!(pi_field::is_prime(q));
+/// assert_eq!(q % (4096 * 13), 1);
+/// ```
+pub fn find_prime_congruent(bits: u32, step: u64) -> u64 {
+    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
+    let top = 1u64 << bits;
+    assert!(step < top, "congruence step must be below 2^bits");
+    // Largest candidate of the form k*step + 1 below 2^bits.
+    let mut cand = (top - 1) / step * step + 1;
+    while cand > step {
+        if is_prime(cand) {
+            return cand;
+        }
+        cand -= step;
+    }
+    panic!("no prime of {bits} bits congruent to 1 mod {step}");
+}
+
+/// Finds a generator of the multiplicative group `Z_q^*` for prime `q`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime.
+pub fn primitive_root(q: u64) -> u64 {
+    assert!(is_prime(q), "q must be prime");
+    if q == 2 {
+        return 1;
+    }
+    let phi = q - 1;
+    let factors = factorize(phi);
+    let m = Modulus::new(q);
+    'cand: for g in 2..q {
+        for &f in &factors {
+            if m.pow(g, phi / f) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime field has a generator")
+}
+
+/// Returns the distinct prime factors of `n` by trial division with Pollard
+/// fallback-free bounds (fine for the ≤ 62-bit inputs used here since `n` is
+/// always `q - 1` with `q` an NTT prime, whose cofactor after stripping small
+/// factors is itself prime or small).
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Computes a primitive `order`-th root of unity modulo prime `q`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+pub fn root_of_unity(q: u64, order: u64) -> u64 {
+    assert_eq!((q - 1) % order, 0, "order must divide q-1");
+    let g = primitive_root(q);
+    let m = Modulus::new(q);
+    m.pow(g, (q - 1) / order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 97, 65537, 998244353];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 6601, 41041, 101101];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_prime_classification() {
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime M61
+        assert!(!is_prime((1u64 << 59) - 1));
+    }
+
+    #[test]
+    fn ntt_prime_structure() {
+        for (bits, n) in [(20u32, 1024u64), (30, 2048), (54, 4096), (59, 8192)] {
+            let q = find_ntt_prime(bits, n);
+            assert!(is_prime(q));
+            assert_eq!(q % (2 * n), 1);
+            assert!(q < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_full_order() {
+        for q in [97u64, 257, 65537, find_ntt_prime(20, 512)] {
+            let g = primitive_root(q);
+            let m = Modulus::new(q);
+            assert_eq!(m.pow(g, q - 1), 1);
+            // Order must not be a proper divisor.
+            for &f in &factorize(q - 1) {
+                assert_ne!(m.pow(g, (q - 1) / f), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let q = find_ntt_prime(20, 1024);
+        let w = root_of_unity(q, 2048);
+        let m = Modulus::new(q);
+        assert_eq!(m.pow(w, 2048), 1);
+        assert_ne!(m.pow(w, 1024), 1);
+        // w^1024 must be -1 for a primitive 2048th root.
+        assert_eq!(m.pow(w, 1024), q - 1);
+    }
+
+    #[test]
+    fn factorize_basics() {
+        assert_eq!(factorize(12), vec![2, 3]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(2 * 3 * 5 * 7 * 11), vec![2, 3, 5, 7, 11]);
+    }
+}

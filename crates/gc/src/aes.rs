@@ -1,0 +1,234 @@
+//! Software AES-128 and the fixed-key garbling hash.
+//!
+//! Garbled-circuit implementations model their gate hash as a tweakable
+//! correlation-robust function built from AES with a fixed, public key
+//! (Bellare et al., "Efficient Garbling from a Fixed-Key Blockcipher"):
+//!
+//! `H(x, tweak) = π(2x ⊕ tweak) ⊕ (2x ⊕ tweak)`
+//!
+//! where `π` is AES-128 under the fixed key and `2x` doubles in `GF(2^128)`.
+//! We implement AES in portable software (no AES-NI) — the paper's client
+//! device (Intel Atom) is similarly modest, and the simulator calibrates
+//! absolute rates separately.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Clone, Debug)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = key;
+        for r in 1..11 {
+            let prev = rk[r - 1];
+            let mut w = [prev[12], prev[13], prev[14], prev[15]];
+            w.rotate_left(1);
+            for b in &mut w {
+                *b = SBOX[*b as usize];
+            }
+            w[0] ^= RCON[r - 1];
+            for i in 0..4 {
+                rk[r][i] = prev[i] ^ w[i];
+            }
+            for i in 4..16 {
+                rk[r][i] = prev[i] ^ rk[r][i - 4];
+            }
+        }
+        Self { round_keys: rk }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypts a `u128` (big-endian byte interpretation).
+    pub fn encrypt_u128(&self, x: u128) -> u128 {
+        let mut b = x.to_be_bytes();
+        self.encrypt_block(&mut b);
+        u128::from_be_bytes(b)
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Column-major state: byte (row r, col c) at index c*4 + r.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        for r in 0..4 {
+            state[c * 4 + r] ^= t ^ xtime(col[r] ^ col[(r + 1) % 4]);
+        }
+    }
+}
+
+/// The fixed-key tweakable hash used by the garbler and evaluator.
+#[derive(Clone, Debug)]
+pub struct GcHash {
+    aes: Aes128,
+}
+
+/// Doubling in GF(2^128) with the standard reduction polynomial.
+#[inline]
+fn gf_double(x: u128) -> u128 {
+    let carry = (x >> 127) & 1;
+    (x << 1) ^ (carry * 0x87)
+}
+
+impl Default for GcHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GcHash {
+    /// Creates the hash with the conventional fixed key.
+    pub fn new() -> Self {
+        // A fixed, public constant (first 16 bytes of the expansion of pi).
+        let key = [
+            0x24, 0x3f, 0x6a, 0x88, 0x85, 0xa3, 0x08, 0xd3, 0x13, 0x19, 0x8a, 0x2e, 0x03, 0x70,
+            0x73, 0x44,
+        ];
+        Self { aes: Aes128::new(key) }
+    }
+
+    /// `H(x, tweak) = π(2x ⊕ tweak) ⊕ (2x ⊕ tweak)`.
+    #[inline]
+    pub fn hash(&self, x: u128, tweak: u64) -> u128 {
+        let input = gf_double(x) ^ tweak as u128;
+        self.aes.encrypt_u128(input) ^ input
+    }
+
+    /// Hash used to derive key material from OT (keyed by index).
+    #[inline]
+    pub fn kdf(&self, x: u128, index: u64) -> u128 {
+        self.hash(x, index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_vector() {
+        // FIPS-197 Appendix B test vector.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        Aes128::new(key).encrypt_block(&mut block);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn nist_all_zero_vector() {
+        // NIST SP 800-38A style: AES-128(key=0, pt=0) well-known value.
+        let mut block = [0u8; 16];
+        Aes128::new([0u8; 16]).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca,
+                0x34, 0x2b, 0x2e
+            ]
+        );
+    }
+
+    #[test]
+    fn gf_double_known() {
+        assert_eq!(gf_double(1), 2);
+        assert_eq!(gf_double(1u128 << 127), 0x87);
+        assert_eq!(gf_double((1u128 << 127) | 1), 0x87 ^ 2);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_tweaked() {
+        let h = GcHash::new();
+        let x = 0xdeadbeef_u128;
+        assert_eq!(h.hash(x, 7), h.hash(x, 7));
+        assert_ne!(h.hash(x, 7), h.hash(x, 8));
+        assert_ne!(h.hash(x, 7), h.hash(x ^ 1, 7));
+    }
+
+    #[test]
+    fn hash_has_no_obvious_linearity() {
+        let h = GcHash::new();
+        let a = 0x1234_u128;
+        let b = 0x5678_u128;
+        assert_ne!(h.hash(a, 0) ^ h.hash(b, 0), h.hash(a ^ b, 0));
+    }
+}

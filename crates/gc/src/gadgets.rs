@@ -1,0 +1,251 @@
+//! Higher-level garbled gadgets beyond ReLU: multipliers, maxima, and a
+//! private argmax.
+//!
+//! Hybrid PI reveals the full logit vector to the client; several
+//! follow-ups instead return only the predicted class. The
+//! [`argmax_circuit`] here implements that inside a garbled circuit over
+//! additively shared logits — the same share-recombination front end as
+//! the ReLU circuit, followed by a comparison tree.
+
+use crate::circuit::{Bit, Circuit, CircuitBuilder};
+
+impl CircuitBuilder {
+    /// Schoolbook multiplication of two little-endian words, returning
+    /// `a.len() + b.len()` bits. Costs `O(n²)` AND gates — the reason PI
+    /// protocols evaluate linear layers under HE rather than inside GCs.
+    pub fn mul(&mut self, a: &[Bit], b: &[Bit]) -> Vec<Bit> {
+        let out_len = a.len() + b.len();
+        let mut acc = self.constant(0, out_len);
+        for (i, &bi) in b.iter().enumerate() {
+            // partial = (a & bi) << i, padded to out_len
+            let mut partial = vec![Bit::Const(false); out_len];
+            for (j, &aj) in a.iter().enumerate() {
+                partial[i + j] = self.and(aj, bi);
+            }
+            let sum = self.add(&acc, &partial);
+            acc = sum[..out_len].to_vec();
+        }
+        acc
+    }
+
+    /// Maximum of two equal-width unsigned words (one comparison + mux).
+    pub fn max(&mut self, a: &[Bit], b: &[Bit]) -> Vec<Bit> {
+        let ge = self.geq(a, b);
+        self.mux_word(ge, a, b)
+    }
+
+    /// Maximum of two values carrying payloads: returns
+    /// `(max_value, payload_of_max)`.
+    pub fn max_with_payload(
+        &mut self,
+        a: &[Bit],
+        pa: &[Bit],
+        b: &[Bit],
+        pb: &[Bit],
+    ) -> (Vec<Bit>, Vec<Bit>) {
+        let ge = self.geq(a, b);
+        (self.mux_word(ge, a, b), self.mux_word(ge, pa, pb))
+    }
+}
+
+/// Input layout of an [`argmax_circuit`] over `n` shared logits of width
+/// `k`: garbler shares (`n·k` bits), then evaluator shares (`n·k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArgmaxLayout {
+    /// Number of logits.
+    pub n: usize,
+    /// Bit width per logit.
+    pub width: usize,
+    /// Index width of the output (`ceil(log2 n)`).
+    pub index_width: usize,
+}
+
+/// Builds a garbled argmax over additively shared logits mod `p`:
+/// reconstructs each logit from its two shares, maps the balanced
+/// representation to an order-preserving unsigned key (`y + p/2 mod p`),
+/// and folds a max tree, outputting the index of the largest logit.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is out of the supported gadget range.
+pub fn argmax_circuit(p: u64, n: usize) -> (Circuit, ArgmaxLayout) {
+    assert!(n >= 2, "argmax needs at least two logits");
+    assert!((3..(1u64 << 40)).contains(&p), "field out of gadget range");
+    let k = 64 - (p - 1).leading_zeros() as usize;
+    let index_width = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut cb = CircuitBuilder::new();
+    let a: Vec<Vec<Bit>> = (0..n).map(|_| cb.inputs(k)).collect();
+    let b: Vec<Vec<Bit>> = (0..n).map(|_| cb.inputs(k)).collect();
+    // Reconstruct and order-map each logit: key = (y + floor(p/2)) mod p is
+    // an order-preserving map from balanced values to unsigned comparison.
+    let half = cb.constant(p / 2, k);
+    let mut entries: Vec<(Vec<Bit>, Vec<Bit>)> = (0..n)
+        .map(|i| {
+            let y = cb.add_mod(&a[i], &b[i], p);
+            let key = cb.add_mod(&y, &half, p);
+            let idx = cb.constant(i as u64, index_width);
+            (key, idx)
+        })
+        .collect();
+    // Fold a max tree.
+    while entries.len() > 1 {
+        let mut next = Vec::with_capacity(entries.len().div_ceil(2));
+        let mut it = entries.into_iter();
+        while let Some((ka, ia)) = it.next() {
+            match it.next() {
+                Some((kb, ib)) => {
+                    let (k_max, i_max) = cb.max_with_payload(&ka, &ia, &kb, &ib);
+                    next.push((k_max, i_max));
+                }
+                None => next.push((ka, ia)),
+            }
+        }
+        entries = next;
+    }
+    let (_, winner) = entries.pop().expect("non-empty");
+    (cb.build(&winner), ArgmaxLayout { n, width: k, index_width })
+}
+
+/// Cleartext reference for [`argmax_circuit`]: index of the largest logit
+/// in balanced representation.
+pub fn argmax_reference(p: u64, logits: &[u64]) -> usize {
+    let signed = |v: u64| if v > p / 2 { v as i64 - p as i64 } else { v as i64 };
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &v)| (signed(v), std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{from_bits, to_bits};
+    use crate::garble::{evaluate, garble};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multiplier_correct() {
+        for (a, b) in [(0u64, 0u64), (1, 1), (15, 15), (12, 10), (255, 255)] {
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.inputs(8);
+            let wb = cb.inputs(8);
+            let prod = cb.mul(&wa, &wb);
+            let c = cb.build(&prod);
+            let mut inp = to_bits(a, 8);
+            inp.extend(to_bits(b, 8));
+            assert_eq!(from_bits(&c.eval_plain(&inp)), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn max_gadget() {
+        for (a, b) in [(3u64, 9u64), (9, 3), (7, 7), (0, 255)] {
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.inputs(8);
+            let wb = cb.inputs(8);
+            let m = cb.max(&wa, &wb);
+            let c = cb.build(&m);
+            let mut inp = to_bits(a, 8);
+            inp.extend(to_bits(b, 8));
+            assert_eq!(from_bits(&c.eval_plain(&inp)), a.max(b));
+        }
+    }
+
+    const P: u64 = 65537;
+
+    fn run_argmax_plain(logits: &[u64], shares: &[u64]) -> usize {
+        let (c, layout) = argmax_circuit(P, logits.len());
+        // a_i = share, b_i = logit - share mod p.
+        let mut inp = Vec::new();
+        for (l, s) in logits.iter().zip(shares) {
+            let _ = (l, s);
+        }
+        for s in shares {
+            inp.extend(to_bits(*s, layout.width));
+        }
+        for (l, s) in logits.iter().zip(shares) {
+            inp.extend(to_bits((l + P - s % P) % P, layout.width));
+        }
+        from_bits(&c.eval_plain(&inp)) as usize
+    }
+
+    #[test]
+    fn argmax_positive_and_negative_logits() {
+        // Balanced values: [3, -2, 7, 0] -> index 2.
+        let logits = [3u64, P - 2, 7, 0];
+        let shares = [11u64, 222, 3333, 44444];
+        assert_eq!(run_argmax_plain(&logits, &shares), 2);
+        // All negative: pick the least negative.
+        let logits = [P - 5, P - 2, P - 9];
+        assert_eq!(run_argmax_plain(&logits, &[1, 2, 3]), 1);
+    }
+
+    #[test]
+    fn argmax_non_power_of_two_widths() {
+        let logits = [1u64, 2, 3, 4, 5]; // n = 5
+        assert_eq!(run_argmax_plain(&logits, &[9, 9, 9, 9, 9]), 4);
+    }
+
+    #[test]
+    fn garbled_argmax_end_to_end() {
+        let n = 4usize;
+        let (c, layout) = argmax_circuit(P, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        use rand::Rng;
+        for _ in 0..10 {
+            let logits: Vec<u64> =
+                (0..n).map(|_| rng.gen_range(0..P)).collect();
+            let shares: Vec<u64> = (0..n).map(|_| rng.gen_range(0..P)).collect();
+            let mut inp = Vec::new();
+            for s in &shares {
+                inp.extend(to_bits(*s, layout.width));
+            }
+            for (l, s) in logits.iter().zip(&shares) {
+                inp.extend(to_bits((l + P - s % P) % P, layout.width));
+            }
+            let g = garble(&c, &mut rng);
+            let labels = g.encoding.encode_bits(0, &inp);
+            let got =
+                from_bits(&g.garbled.decode_outputs(&evaluate(&c, &g.garbled, &labels))) as usize;
+            assert_eq!(got, argmax_reference(P, &logits), "logits {logits:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn argmax_rejects_single_logit() {
+        argmax_circuit(P, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn mul_matches_u64(a in 0u64..(1 << 12), b in 0u64..(1 << 12)) {
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.inputs(12);
+            let wb = cb.inputs(12);
+            let prod = cb.mul(&wa, &wb);
+            let c = cb.build(&prod);
+            let mut inp = to_bits(a, 12);
+            inp.extend(to_bits(b, 12));
+            prop_assert_eq!(from_bits(&c.eval_plain(&inp)), a * b);
+        }
+
+        #[test]
+        fn argmax_matches_reference(
+            logits in prop::collection::vec(0..P, 2..6),
+            seed: u64,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let shares: Vec<u64> = logits.iter().map(|_| rng.gen_range(0..P)).collect();
+            prop_assert_eq!(
+                run_argmax_plain(&logits, &shares),
+                argmax_reference(P, &logits)
+            );
+        }
+    }
+}

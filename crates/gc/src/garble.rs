@@ -1,0 +1,343 @@
+//! FreeXOR + HalfGates garbling and evaluation (Zahur–Rosulek–Evans).
+//!
+//! The garbler assigns each wire `w` a pair of 128-bit labels
+//! `(W⁰, W¹ = W⁰ ⊕ Δ)` for a circuit-global `Δ` with `lsb(Δ) = 1`
+//! (point-and-permute). XOR gates are free; each AND gate produces two
+//! ciphertexts (32 bytes) and costs the evaluator two hash calls.
+
+use crate::aes::GcHash;
+use crate::circuit::{Circuit, Gate};
+use rand::Rng;
+
+/// A 128-bit wire label.
+pub type Label = u128;
+
+/// The garbler's secrets for a circuit: per-input zero-labels and the global
+/// offset `Δ`. Knowing these, any input bit can be encoded as a label.
+#[derive(Clone, Debug)]
+pub struct InputEncoding {
+    /// Zero-label of each input wire.
+    pub label0: Vec<Label>,
+    /// Global FreeXOR offset (lsb = 1).
+    pub delta: Label,
+}
+
+impl InputEncoding {
+    /// Encodes one input bit at position `i`.
+    pub fn encode_bit(&self, i: usize, bit: bool) -> Label {
+        self.label0[i] ^ if bit { self.delta } else { 0 }
+    }
+
+    /// Encodes a slice of input bits starting at `offset`.
+    pub fn encode_bits(&self, offset: usize, bits: &[bool]) -> Vec<Label> {
+        bits.iter().enumerate().map(|(i, &b)| self.encode_bit(offset + i, b)).collect()
+    }
+
+    /// Returns the `(zero, one)` label pair for input `i` — what the OT
+    /// sender feeds into the transfer.
+    pub fn label_pair(&self, i: usize) -> (Label, Label) {
+        (self.label0[i], self.label0[i] ^ self.delta)
+    }
+
+    /// Serialized size in bytes (for storage accounting: the garbler keeps
+    /// this to encode online inputs — the paper's 3.5 KB/ReLU figure).
+    pub fn byte_len(&self) -> usize {
+        16 * (self.label0.len() + 1)
+    }
+}
+
+/// The transmitted garbled circuit: one 32-byte table per AND gate plus one
+/// decode bit per output wire.
+#[derive(Clone, Debug)]
+pub struct GarbledCircuit {
+    /// `(T_G, T_E)` ciphertext pairs, in AND-gate order.
+    pub tables: Vec<(Label, Label)>,
+    /// `lsb(C⁰)` per output wire, used to decode output labels to bits.
+    pub output_decode: Vec<bool>,
+}
+
+impl GarbledCircuit {
+    /// Size in bytes when transmitted (tables + decode bits).
+    pub fn byte_len(&self) -> usize {
+        self.tables.len() * 32 + self.output_decode.len().div_ceil(8)
+    }
+
+    /// Decodes output labels into cleartext bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of labels differs from the number of outputs.
+    pub fn decode_outputs(&self, labels: &[Label]) -> Vec<bool> {
+        assert_eq!(labels.len(), self.output_decode.len(), "output arity mismatch");
+        labels
+            .iter()
+            .zip(&self.output_decode)
+            .map(|(&l, &d)| ((l & 1) != 0) ^ d)
+            .collect()
+    }
+}
+
+/// Everything the garbler produces for one circuit.
+#[derive(Clone, Debug)]
+pub struct Garbling {
+    /// The material sent to the evaluator.
+    pub garbled: GarbledCircuit,
+    /// The garbler-retained input encoding.
+    pub encoding: InputEncoding,
+    /// Zero-labels of the output wires (lets the garbler decode outputs it
+    /// receives back, or re-share them).
+    pub output_label0: Vec<Label>,
+}
+
+/// Garbles a circuit with fresh randomness.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Garbling {
+    let hash = GcHash::new();
+    let delta: Label = rng.gen::<u128>() | 1;
+    let mut label0 = vec![0u128; circuit.num_wires];
+    for l in label0.iter_mut().take(circuit.num_inputs) {
+        *l = rng.gen();
+    }
+    let mut tables = Vec::with_capacity(circuit.and_count());
+    let mut gate_index = 0u64;
+    for g in &circuit.gates {
+        match *g {
+            Gate::Xor { a, b, out } => {
+                label0[out] = label0[a] ^ label0[b];
+            }
+            Gate::Not { a, out } => {
+                // Pass-through label; semantics flip via delta.
+                label0[out] = label0[a] ^ delta;
+            }
+            Gate::And { a, b, out } => {
+                let j0 = 2 * gate_index;
+                let j1 = 2 * gate_index + 1;
+                gate_index += 1;
+                let a0 = label0[a];
+                let a1 = a0 ^ delta;
+                let b0 = label0[b];
+                let b1 = b0 ^ delta;
+                let pa = a0 & 1 != 0;
+                let pb = b0 & 1 != 0;
+                // Garbler half gate: computes a & pb.
+                let tg = hash.hash(a0, j0) ^ hash.hash(a1, j0) ^ if pb { delta } else { 0 };
+                let wg0 = hash.hash(a0, j0) ^ if pa { tg } else { 0 };
+                // Evaluator half gate: computes a & (b ^ pb).
+                let te = hash.hash(b0, j1) ^ hash.hash(b1, j1) ^ a0;
+                let we0 = hash.hash(b0, j1) ^ if pb { te ^ a0 } else { 0 };
+                label0[out] = wg0 ^ we0;
+                tables.push((tg, te));
+            }
+        }
+    }
+    let output_decode = circuit.outputs.iter().map(|&o| label0[o] & 1 != 0).collect();
+    let output_label0 = circuit.outputs.iter().map(|&o| label0[o]).collect();
+    Garbling {
+        garbled: GarbledCircuit { tables, output_decode },
+        encoding: InputEncoding {
+            label0: label0[..circuit.num_inputs].to_vec(),
+            delta,
+        },
+        output_label0,
+    }
+}
+
+/// Evaluates a garbled circuit on input labels, returning output labels.
+///
+/// # Panics
+///
+/// Panics if `input_labels.len() != circuit.num_inputs` or the table count
+/// does not match the circuit's AND count.
+pub fn evaluate(circuit: &Circuit, garbled: &GarbledCircuit, input_labels: &[Label]) -> Vec<Label> {
+    assert_eq!(input_labels.len(), circuit.num_inputs, "input label count mismatch");
+    assert_eq!(garbled.tables.len(), circuit.and_count(), "garbled table count mismatch");
+    let hash = GcHash::new();
+    let mut labels = vec![0u128; circuit.num_wires];
+    labels[..input_labels.len()].copy_from_slice(input_labels);
+    let mut gate_index = 0u64;
+    let mut table_iter = garbled.tables.iter();
+    for g in &circuit.gates {
+        match *g {
+            Gate::Xor { a, b, out } => labels[out] = labels[a] ^ labels[b],
+            Gate::Not { a, out } => labels[out] = labels[a],
+            Gate::And { a, b, out } => {
+                let (tg, te) = *table_iter.next().expect("table count verified");
+                let j0 = 2 * gate_index;
+                let j1 = 2 * gate_index + 1;
+                gate_index += 1;
+                let la = labels[a];
+                let lb = labels[b];
+                let sa = la & 1 != 0;
+                let sb = lb & 1 != 0;
+                let wg = hash.hash(la, j0) ^ if sa { tg } else { 0 };
+                let we = hash.hash(lb, j1) ^ if sb { te ^ la } else { 0 };
+                labels[out] = wg ^ we;
+            }
+        }
+    }
+    circuit.outputs.iter().map(|&o| labels[o]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{from_bits, to_bits, CircuitBuilder};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    /// Garble + evaluate must agree with plain evaluation.
+    fn check_consistency(circuit: &Circuit, inputs: &[bool], rng: &mut impl rand::Rng) {
+        let expect = circuit.eval_plain(inputs);
+        let g = garble(circuit, rng);
+        let labels = g.encoding.encode_bits(0, inputs);
+        let out_labels = evaluate(circuit, &g.garbled, &labels);
+        let got = g.garbled.decode_outputs(&out_labels);
+        assert_eq!(got, expect);
+        // Output labels must be one of the two valid labels per wire.
+        for (l, l0) in out_labels.iter().zip(&g.output_label0) {
+            assert!(*l == *l0 || *l == *l0 ^ g.encoding.delta);
+        }
+    }
+
+    #[test]
+    fn single_and_all_combinations() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(2);
+        let o = cb.and(w[0], w[1]);
+        let c = cb.build(&[o]);
+        let mut r = rng();
+        for a in [false, true] {
+            for b in [false, true] {
+                check_consistency(&c, &[a, b], &mut r);
+            }
+        }
+    }
+
+    #[test]
+    fn single_xor_all_combinations() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(2);
+        let o = cb.xor(w[0], w[1]);
+        let c = cb.build(&[o]);
+        assert_eq!(c.and_count(), 0);
+        let mut r = rng();
+        for a in [false, true] {
+            for b in [false, true] {
+                check_consistency(&c, &[a, b], &mut r);
+            }
+        }
+    }
+
+    #[test]
+    fn not_gate_flips() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(1);
+        let o = cb.not(w[0]);
+        let c = cb.build(&[o]);
+        let mut r = rng();
+        check_consistency(&c, &[true], &mut r);
+        check_consistency(&c, &[false], &mut r);
+    }
+
+    #[test]
+    fn or_and_mux_gadgets() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(3);
+        let o1 = cb.or(w[0], w[1]);
+        let o2 = cb.mux(w[2], w[0], w[1]);
+        let c = cb.build(&[o1, o2]);
+        let mut r = rng();
+        for bits in 0..8u8 {
+            let inp = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            check_consistency(&c, &inp, &mut r);
+        }
+    }
+
+    #[test]
+    fn garbled_adder_matches_arithmetic() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.inputs(16);
+        let b = cb.inputs(16);
+        let s = cb.add(&a, &b);
+        let c = cb.build(&s);
+        let mut r = rng();
+        for (x, y) in [(12345u64, 54321u64), (0, 0), (65535, 65535), (1, 65535)] {
+            let mut inp = to_bits(x, 16);
+            inp.extend(to_bits(y, 16));
+            let g = garble(&c, &mut r);
+            let labels = g.encoding.encode_bits(0, &inp);
+            let out = g.garbled.decode_outputs(&evaluate(&c, &g.garbled, &labels));
+            assert_eq!(from_bits(&out), x + y);
+        }
+    }
+
+    #[test]
+    fn garbled_size_accounting() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.inputs(8);
+        let b = cb.inputs(8);
+        let s = cb.add(&a, &b);
+        let c = cb.build(&s);
+        let mut r = rng();
+        let g = garble(&c, &mut r);
+        assert_eq!(g.garbled.tables.len(), c.and_count());
+        assert_eq!(g.garbled.byte_len(), c.and_count() * 32 + 2); // 9 outputs -> 2 bytes
+        assert_eq!(g.encoding.byte_len(), 16 * 17);
+    }
+
+    #[test]
+    fn delta_has_lsb_set_and_labels_distinct() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(4);
+        let o = cb.and(w[0], w[1]);
+        let o2 = cb.and(w[2], w[3]);
+        let c = cb.build(&[o, o2]);
+        let g = garble(&c, &mut rng());
+        assert_eq!(g.encoding.delta & 1, 1);
+        let (l0, l1) = g.encoding.label_pair(0);
+        assert_ne!(l0, l1);
+        assert_eq!(l0 ^ l1, g.encoding.delta);
+        // Point-and-permute: select bits of a pair differ.
+        assert_ne!(l0 & 1, l1 & 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_label_count_rejected() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.inputs(2);
+        let o = cb.and(w[0], w[1]);
+        let c = cb.build(&[o]);
+        let g = garble(&c, &mut rng());
+        evaluate(&c, &g.garbled, &[g.encoding.label0[0]]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_mod_arithmetic_circuits(a in 0u64..9973, b in 0u64..9973, seed: u64) {
+            let p = 9973u64; // 14-bit prime
+            let width = 14usize;
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.inputs(width);
+            let wb = cb.inputs(width);
+            let sum = cb.add_mod(&wa, &wb, p);
+            let diff = cb.sub_mod(&wa, &wb, p);
+            let mut outs = sum;
+            outs.extend(diff);
+            let c = cb.build(&outs);
+
+            let mut inp = to_bits(a, width);
+            inp.extend(to_bits(b, width));
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = garble(&c, &mut r);
+            let labels = g.encoding.encode_bits(0, &inp);
+            let out = g.garbled.decode_outputs(&evaluate(&c, &g.garbled, &labels));
+            prop_assert_eq!(from_bits(&out[..width]), (a + b) % p);
+            prop_assert_eq!(from_bits(&out[width..]), (a + p - b) % p);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Garbled circuits for private inference: FreeXOR + HalfGates over a
+//! fixed-key AES hash, a constant-folding circuit builder with mod-p
+//! arithmetic gadgets, and the DELPHI garbled-ReLU circuit.
+//!
+//! # Role in the system
+//!
+//! Hybrid PI protocols (DELPHI, Gazelle) evaluate every ReLU inside a
+//! garbled circuit so the non-linearity never sees cleartext activations.
+//! One party garbles (producing ~32 bytes per AND gate that must be stored
+//! and transmitted — the dominant storage/communication cost the paper
+//! characterizes) and the other evaluates with two AES calls per AND gate.
+//!
+//! # Example
+//!
+//! ```
+//! use pi_gc::{circuit::CircuitBuilder, garble};
+//! use rand::SeedableRng;
+//!
+//! // Build a tiny circuit: out = (a & b) ^ c
+//! let mut cb = CircuitBuilder::new();
+//! let w = cb.inputs(3);
+//! let ab = cb.and(w[0], w[1]);
+//! let out = cb.xor(ab, w[2]);
+//! let circuit = cb.build(&[out]);
+//!
+//! // Garble, encode inputs, evaluate, decode.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = garble::garble(&circuit, &mut rng);
+//! let labels = g.encoding.encode_bits(0, &[true, true, false]);
+//! let out_labels = garble::evaluate(&circuit, &g.garbled, &labels);
+//! assert_eq!(g.garbled.decode_outputs(&out_labels), vec![true]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod circuit;
+pub mod gadgets;
+pub mod garble;
+pub mod relu;
+
+pub use aes::{Aes128, GcHash};
+pub use circuit::{Circuit, CircuitBuilder};
+pub use gadgets::{argmax_circuit, argmax_reference, ArgmaxLayout};
+pub use garble::{evaluate, garble, GarbledCircuit, Garbling, InputEncoding, Label};
+pub use relu::{relu_circuit, relu_reference, relu_trunc_circuit, relu_trunc_reference, ReluLayout};

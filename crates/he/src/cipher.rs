@@ -1,0 +1,72 @@
+//! Ciphertexts, plaintexts, and their homomorphic operations.
+
+use crate::params::BfvParams;
+use pi_poly::Poly;
+
+/// A BFV plaintext: a polynomial with coefficients in `[0, t)`, stored in the
+/// ciphertext ring (coefficients embedded into `Z_q`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plaintext {
+    /// The message polynomial in the ciphertext ring (values `< t`).
+    pub poly: Poly,
+}
+
+/// A degree-1 BFV ciphertext `(c0, c1)` decrypting to
+/// `round(t/q * (c0 + c1·s))`.
+#[derive(Clone, Debug)]
+pub struct Ciphertext {
+    /// The constant component.
+    pub c0: Poly,
+    /// The `s`-linear component.
+    pub c1: Poly,
+}
+
+impl Ciphertext {
+    /// Homomorphic addition.
+    pub fn add(&self, other: &Self) -> Self {
+        Self { c0: self.c0.add(&other.c0), c1: self.c1.add(&other.c1) }
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        Self { c0: self.c0.sub(&other.c0), c1: self.c1.sub(&other.c1) }
+    }
+
+    /// Homomorphic negation.
+    pub fn neg(&self) -> Self {
+        Self { c0: self.c0.neg(), c1: self.c1.neg() }
+    }
+
+    /// Adds a plaintext: the message polynomial is scaled by `Δ` and added to
+    /// `c0`.
+    pub fn add_plain(&self, pt: &Plaintext, params: &BfvParams) -> Self {
+        let scaled = pt.poly.scale(params.delta());
+        Self { c0: self.c0.add(&scaled), c1: self.c1.clone() }
+    }
+
+    /// Subtracts a plaintext.
+    pub fn sub_plain(&self, pt: &Plaintext, params: &BfvParams) -> Self {
+        let scaled = pt.poly.scale(params.delta());
+        Self { c0: self.c0.sub(&scaled), c1: self.c1.clone() }
+    }
+
+    /// Multiplies by a plaintext polynomial (slot-wise product when both are
+    /// batch-encoded). The plaintext is *not* scaled: `Enc(Δm)·p` decrypts to
+    /// `m·p` with noise grown by roughly `‖p‖`.
+    pub fn mul_plain(&self, pt: &Plaintext) -> Self {
+        Self { c0: self.c0.mul(&pt.poly), c1: self.c1.mul(&pt.poly) }
+    }
+
+    /// Applies the Galois automorphism `x ↦ x^g` to both components.
+    ///
+    /// The result decrypts under the permuted secret `s(x^g)`; callers must
+    /// key-switch back with [`crate::GaloisKeys::switch`].
+    pub fn galois_raw(&self, g: usize) -> Self {
+        Self { c0: self.c0.galois(g), c1: self.c1.galois(g) }
+    }
+
+    /// Serialized size in bytes (for communication accounting).
+    pub fn byte_len(&self) -> usize {
+        2 * self.c0.ctx().n() * 8
+    }
+}

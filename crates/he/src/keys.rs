@@ -1,0 +1,384 @@
+//! Key generation, encryption, decryption, and Galois key switching.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::params::BfvParams;
+use pi_poly::{sample, Poly};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The BFV secret key: a ternary ring element `s`.
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    params: BfvParams,
+    s: Poly,
+}
+
+/// The BFV public key: an RLWE sample `(pk0, pk1) = (-(a·s + e), a)`.
+#[derive(Clone, Debug)]
+pub struct PublicKey {
+    params: BfvParams,
+    pk0: Poly,
+    pk1: Poly,
+}
+
+/// Key-switching keys for a set of Galois elements, enabling slot rotations.
+#[derive(Clone, Debug)]
+pub struct GaloisKeys {
+    params: BfvParams,
+    /// For each Galois element `g`, a vector of `(k0_i, k1_i)` pairs, one per
+    /// decomposition digit, satisfying `k0_i + k1_i·s = B^i·s(x^g) + e_i`.
+    keys: HashMap<usize, Vec<(Poly, Poly)>>,
+}
+
+/// A convenience bundle of all keys one party generates.
+#[derive(Clone, Debug)]
+pub struct KeySet {
+    /// The secret (decryption) key — stays with the client.
+    pub secret: SecretKey,
+    /// The public (encryption) key — shared with the server.
+    pub public: PublicKey,
+    /// Rotation keys — shared with the server.
+    pub galois: GaloisKeys,
+}
+
+impl KeySet {
+    /// Generates a fresh key set with rotation keys for all power-of-two
+    /// row rotations (enough to compose any rotation in log steps) plus the
+    /// single-step rotations the diagonal method uses directly.
+    pub fn generate<R: Rng + ?Sized>(params: &BfvParams, rng: &mut R) -> Self {
+        let secret = SecretKey::generate(params, rng);
+        let public = secret.public_key(rng);
+        let n = params.n();
+        // Galois elements 3^(2^j) mod 2N for power-of-two rotations.
+        let mut elements = Vec::new();
+        let m = 2 * n;
+        let mut g = 3usize;
+        let mut step = 1usize;
+        while step < n / 2 {
+            elements.push(g);
+            g = (g * g) % m;
+            step *= 2;
+        }
+        // Row swap (x -> x^{2N-1}).
+        elements.push(m - 1);
+        let galois = secret.galois_keys(&elements, rng);
+        Self { secret, public, galois }
+    }
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret key.
+    pub fn generate<R: Rng + ?Sized>(params: &BfvParams, rng: &mut R) -> Self {
+        let s = sample::ternary(params.ring(), rng).into_ntt();
+        Self { params: params.clone(), s }
+    }
+
+    /// Parameters this key was generated for.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Derives the public key `(-(a·s + e), a)`.
+    pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
+        let a = sample::uniform(self.params.ring(), rng).into_ntt();
+        let e = sample::centered_binomial(self.params.ring(), rng, self.params.error_k);
+        let pk0 = a.mul(&self.s).add(&e.into_ntt()).neg();
+        PublicKey { params: self.params.clone(), pk0, pk1: a }
+    }
+
+    /// Generates key-switching keys for the given Galois elements.
+    pub fn galois_keys<R: Rng + ?Sized>(&self, elements: &[usize], rng: &mut R) -> GaloisKeys {
+        let params = &self.params;
+        let mut keys = HashMap::new();
+        let s_coeff = self.s.clone().into_coeff();
+        for &g in elements {
+            let s_g = s_coeff.galois(g).into_ntt();
+            let mut digit_keys = Vec::with_capacity(params.ks_digits);
+            let mut base_pow = 1u64;
+            for _ in 0..params.ks_digits {
+                let a = sample::uniform(params.ring(), rng).into_ntt();
+                let e = sample::centered_binomial(params.ring(), rng, params.error_k);
+                // k0 = -(a·s + e) + B^i · s(x^g)
+                let k0 = a
+                    .mul(&self.s)
+                    .add(&e.into_ntt())
+                    .neg()
+                    .add(&s_g.scale(base_pow));
+                digit_keys.push((k0, a));
+                base_pow = params.q().reduce_u128(
+                    base_pow as u128 * (1u128 << params.ks_log_base),
+                );
+            }
+            keys.insert(g, digit_keys);
+        }
+        GaloisKeys { params: params.clone(), keys }
+    }
+
+    /// Decrypts a ciphertext to a plaintext (coefficients in `[0, t)`).
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let v = ct.c0.add(&ct.c1.mul(&self.s)).into_coeff();
+        let q = self.params.q().value();
+        let t = self.params.t().value();
+        let coeffs: Vec<u64> = v
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                // round(t * c / q) mod t
+                let prod = c as u128 * t as u128;
+                let rounded = ((prod + q as u128 / 2) / q as u128) as u64;
+                rounded % t
+            })
+            .collect();
+        Plaintext { poly: Poly::from_coeffs(self.params.ring().clone(), coeffs) }
+    }
+
+    /// Returns the invariant noise budget of a ciphertext in bits: the
+    /// headroom between the current noise magnitude and the decryption
+    /// failure threshold `q/(2t)`. Zero means decryption is unreliable.
+    pub fn noise_budget(&self, ct: &Ciphertext) -> u32 {
+        let v = ct.c0.add(&ct.c1.mul(&self.s)).into_coeff();
+        let q = self.params.q().value();
+        let t = self.params.t().value();
+        let delta = self.params.delta();
+        // noise = v - Δ·round(t v / q); measure max |noise| over coefficients.
+        let mut max_noise = 0u64;
+        for &c in v.coeffs().iter() {
+            let m = (((c as u128 * t as u128) + q as u128 / 2) / q as u128) as u64 % t;
+            let centered = (c as i128 - (delta as i128 * m as i128)).rem_euclid(q as i128);
+            let noise =
+                if centered > q as i128 / 2 { (q as i128 - centered) as u64 } else { centered as u64 };
+            max_noise = max_noise.max(noise);
+        }
+        let threshold = q / (2 * t);
+        if max_noise == 0 {
+            return 64 - threshold.leading_zeros();
+        }
+        if max_noise >= threshold {
+            return 0;
+        }
+        (threshold / max_noise).ilog2()
+    }
+}
+
+impl PublicKey {
+    /// Encrypts a plaintext: `(pk0·u + e1 + Δm, pk1·u + e2)`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let params = &self.params;
+        let u = sample::ternary(params.ring(), rng).into_ntt();
+        let e1 = sample::centered_binomial(params.ring(), rng, params.error_k);
+        let e2 = sample::centered_binomial(params.ring(), rng, params.error_k);
+        let scaled = pt.poly.scale(params.delta());
+        let c0 = self.pk0.mul(&u).add(&e1.into_ntt()).add(&scaled.into_ntt());
+        let c1 = self.pk1.mul(&u).add(&e2.into_ntt());
+        Ciphertext { c0, c1 }
+    }
+
+    /// Encrypts the all-zero plaintext (used to re-randomize shares).
+    pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        let zero = Plaintext { poly: Poly::zero(self.params.ring().clone()) };
+        self.encrypt(&zero, rng)
+    }
+
+    /// Parameters this key was generated for.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Serialized size in bytes (two ring polynomials).
+    pub fn byte_len(&self) -> usize {
+        2 * self.params.n() * 8
+    }
+}
+
+impl GaloisKeys {
+    /// Applies Galois automorphism `g` to a ciphertext and key-switches the
+    /// result back to the original secret key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key-switching key for `g` was generated.
+    pub fn apply(&self, ct: &Ciphertext, g: usize) -> Ciphertext {
+        let rotated = ct.galois_raw(g);
+        self.switch(&rotated, g)
+    }
+
+    /// Key-switches a ciphertext whose `c1` component is keyed under
+    /// `s(x^g)` back to `s`.
+    pub fn switch(&self, ct: &Ciphertext, g: usize) -> Ciphertext {
+        let digit_keys = self
+            .keys
+            .get(&g)
+            .unwrap_or_else(|| panic!("no Galois key for element {g}"));
+        let digits = ct
+            .c1
+            .clone()
+            .into_coeff()
+            .decompose(self.params.ks_log_base, self.params.ks_digits);
+        let mut c0 = ct.c0.clone().into_ntt();
+        let mut c1 = Poly::zero(self.params.ring().clone()).into_ntt();
+        for (d, (k0, k1)) in digits.into_iter().zip(digit_keys) {
+            let d = d.into_ntt();
+            c0 = c0.add(&d.mul(k0));
+            c1 = c1.add(&d.mul(k1));
+        }
+        Ciphertext { c0, c1 }
+    }
+
+    /// Rotates the SIMD rows of a batch-encoded ciphertext left by `k`
+    /// positions (each of the two length-`N/2` rows rotates cyclically),
+    /// composing power-of-two rotation keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= N/2`.
+    pub fn rotate_rows(&self, ct: &Ciphertext, k: usize) -> Ciphertext {
+        let half = self.params.n() / 2;
+        assert!(k < half, "rotation amount must be below N/2");
+        if k == 0 {
+            return ct.clone();
+        }
+        let m = 2 * self.params.n();
+        let mut result = ct.clone();
+        let mut g = 3usize;
+        let mut bit = 1usize;
+        let mut remaining = k;
+        while remaining > 0 {
+            if remaining & bit != 0 {
+                result = self.apply(&result, g);
+                remaining -= bit;
+            }
+            g = (g * g) % m;
+            bit <<= 1;
+        }
+        result
+    }
+
+    /// Swaps the two SIMD rows (`x ↦ x^{2N-1}`).
+    pub fn rotate_columns(&self, ct: &Ciphertext) -> Ciphertext {
+        self.apply(ct, 2 * self.params.n() - 1)
+    }
+
+    /// Parameters these keys were generated for.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Serialized size in bytes: two polynomials per decomposition digit per
+    /// Galois element.
+    pub fn byte_len(&self) -> usize {
+        self.keys.values().map(|digits| digits.len() * 2 * self.params.n() * 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (BfvParams, KeySet, rand::rngs::StdRng) {
+        let params = BfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let keys = KeySet::generate(&params, &mut rng);
+        (params, keys, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (params, keys, mut rng) = setup();
+        use rand::Rng;
+        let t = params.t().value();
+        let coeffs: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let pt = Plaintext { poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()) };
+        let ct = keys.public.encrypt(&pt, &mut rng);
+        let dec = keys.secret.decrypt(&ct);
+        assert_eq!(dec.poly.coeffs(), coeffs);
+        assert!(keys.secret.noise_budget(&ct) > 20);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (params, keys, mut rng) = setup();
+        let t = params.t();
+        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 5) };
+        let b = Plaintext { poly: Poly::constant(params.ring().clone(), t.value() - 2) };
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let sum = keys.secret.decrypt(&ca.add(&cb));
+        assert_eq!(sum.poly.coeffs()[0], 3); // 5 + (-2) mod t
+        let diff = keys.secret.decrypt(&ca.sub(&cb));
+        assert_eq!(diff.poly.coeffs()[0], 7);
+    }
+
+    #[test]
+    fn add_sub_plain() {
+        let (params, keys, mut rng) = setup();
+        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 100) };
+        let b = Plaintext { poly: Poly::constant(params.ring().clone(), 30) };
+        let ca = keys.public.encrypt(&a, &mut rng);
+        assert_eq!(keys.secret.decrypt(&ca.add_plain(&b, &params)).poly.coeffs()[0], 130);
+        assert_eq!(keys.secret.decrypt(&ca.sub_plain(&b, &params)).poly.coeffs()[0], 70);
+    }
+
+    #[test]
+    fn plaintext_multiplication_constant() {
+        let (params, keys, mut rng) = setup();
+        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 9) };
+        let b = Plaintext { poly: Poly::constant(params.ring().clone(), 7) };
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let prod = keys.secret.decrypt(&ca.mul_plain(&b));
+        assert_eq!(prod.poly.coeffs()[0], 63);
+        assert!(keys.secret.noise_budget(&ca.mul_plain(&b)) > 5);
+    }
+
+    #[test]
+    fn encrypt_zero_rerandomizes() {
+        let (params, keys, mut rng) = setup();
+        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 42) };
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let masked = ca.add(&keys.public.encrypt_zero(&mut rng));
+        assert_eq!(keys.secret.decrypt(&masked).poly.coeffs()[0], 42);
+        assert_ne!(masked.c0.coeffs(), ca.c0.coeffs());
+    }
+
+    #[test]
+    fn key_switching_preserves_message() {
+        let (params, keys, mut rng) = setup();
+        use rand::Rng;
+        let t = params.t().value();
+        let coeffs: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let pt = Plaintext { poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()) };
+        let ct = keys.public.encrypt(&pt, &mut rng);
+        // Apply g then switch; message polynomial becomes m(x^g).
+        let g = 3usize;
+        let out = keys.galois.apply(&ct, g);
+        let dec = keys.secret.decrypt(&out);
+        let expected = pt.poly.galois(g);
+        // compare mod t (galois on plaintext ring then reduce)
+        let tq = params.t();
+        let expect_coeffs: Vec<u64> = {
+            // galois was applied in the Z_q ring; re-do it mod t directly.
+            let n = params.n();
+            let mut out = vec![0u64; n];
+            for (i, &c) in coeffs.iter().enumerate() {
+                let e = (i * g) % (2 * n);
+                if e < n {
+                    out[e] = tq.add(out[e], c);
+                } else {
+                    out[e - n] = tq.sub(out[e - n], c);
+                }
+            }
+            out
+        };
+        let _ = expected;
+        assert_eq!(dec.poly.coeffs(), expect_coeffs);
+        assert!(keys.secret.noise_budget(&out) > 5, "key switching must not exhaust noise");
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_galois_key_panics() {
+        let (_, keys, mut rng) = setup();
+        let ct = keys.public.encrypt_zero(&mut rng);
+        keys.galois.apply(&ct, 5); // 5 is not among generated elements
+    }
+}

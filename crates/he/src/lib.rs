@@ -1,0 +1,49 @@
+//! BFV homomorphic encryption for hybrid private inference.
+//!
+//! This crate implements the lattice-based leveled HE scheme that DELPHI and
+//! Gazelle build their offline linear-layer evaluation on:
+//!
+//! * [`BfvParams`] — ring degree `N`, ciphertext modulus `q`, plaintext
+//!   modulus `t ≡ 1 (mod 2N)` (prime, so plaintexts batch into SIMD slots).
+//! * [`keys`] — secret/public key generation and Galois (rotation) keys with
+//!   digit-decomposition key switching.
+//! * [`BatchEncoder`] — packs vectors of `Z_t` values into plaintext slots
+//!   via a CRT/NTT encoding, exactly the layout rotations act on.
+//! * [`Ciphertext`] — additions, plaintext multiplication, and slot
+//!   rotations; everything DELPHI's offline phase (`E(w·r − s)`) needs.
+//! * [`linalg`] — Halevi–Shoup diagonal-method matrix-vector products and
+//!   im2col-based convolution over packed ciphertexts.
+//!
+//! # Example
+//!
+//! ```
+//! use pi_he::{BfvParams, KeySet, BatchEncoder};
+//! use rand::SeedableRng;
+//!
+//! let params = BfvParams::small_test();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let keys = KeySet::generate(&params, &mut rng);
+//! let enc = BatchEncoder::new(&params);
+//!
+//! let v: Vec<u64> = (0..enc.slot_count() as u64).collect();
+//! let pt = enc.encode(&v);
+//! let ct = keys.public.encrypt(&pt, &mut rng);
+//! let dec = enc.decode(&keys.secret.decrypt(&ct));
+//! assert_eq!(dec, v);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod encoder;
+pub mod keys;
+pub mod linalg;
+pub mod params;
+pub mod wire;
+
+pub use cipher::{Ciphertext, Plaintext};
+pub use encoder::BatchEncoder;
+pub use keys::{GaloisKeys, KeySet, PublicKey, SecretKey};
+pub use params::BfvParams;
+pub use wire::{ciphertext_from_bytes, ciphertext_to_bytes, WireError};

@@ -1,0 +1,311 @@
+//! Encrypted linear algebra: the Gazelle/DELPHI offline workhorse.
+//!
+//! The server holds a plaintext matrix `W` (a fully-connected layer, or a
+//! convolution lowered to a matrix via im2col) and an encryption of the
+//! client's random vector `r`. It computes `E(W·r)` with the Halevi–Shoup
+//! diagonal method over SIMD slots, then subtracts its own random share `s`
+//! to produce `E(W·r − s)` — the client's additive share of the layer.
+//!
+//! We use the rotate-after-multiply formulation
+//! `W·v = Σ_k rot(v ⊙ rot⁻¹(diag_k, k), k)` evaluated as a Horner-style
+//! chain (one ciphertext rotation per diagonal), so key-switching noise adds
+//! instead of being amplified by the plaintext multiplication.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::encoder::BatchEncoder;
+use crate::keys::GaloisKeys;
+use pi_field::Modulus;
+
+/// A dense matrix over `Z_t`, stored row-major, padded internally to a
+/// power-of-two dimension for the diagonal method.
+#[derive(Clone, Debug)]
+pub struct PlainMatrix {
+    rows: usize,
+    cols: usize,
+    /// Padded square dimension (power of two, >= max(rows, cols)).
+    dim: usize,
+    /// Row-major padded data, `dim x dim`.
+    data: Vec<u64>,
+}
+
+impl PlainMatrix {
+    /// Builds a matrix from row-major data, validating entries against `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or any entry is `>= t`.
+    pub fn new(rows: usize, cols: usize, data: &[u64], t: Modulus) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix must be non-empty");
+        assert!(
+            data.iter().all(|&x| x < t.value()),
+            "matrix entries must be reduced mod t"
+        );
+        let dim = rows.max(cols).next_power_of_two();
+        let mut padded = vec![0u64; dim * dim];
+        for r in 0..rows {
+            padded[r * dim..r * dim + cols].copy_from_slice(&data[r * cols..(r + 1) * cols]);
+        }
+        Self { rows, cols, dim, data: padded }
+    }
+
+    /// Number of (logical) rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of (logical) columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The padded power-of-two dimension the encrypted kernel works at.
+    pub fn padded_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Plaintext matrix-vector product mod `t` (reference implementation and
+    /// the server's share-correction path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec_plain(&self, v: &[u64], t: Modulus) -> Vec<u64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = 0u64;
+                for c in 0..self.cols {
+                    acc = t.add(acc, t.mul(self.data[r * self.dim + c], t.reduce(v[c])));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The `k`-th generalized diagonal, pre-rotated right by `k` so that the
+    /// encrypted kernel can rotate after multiplying:
+    /// `p_k[i] = W[(i − k) mod d][i]`.
+    fn shifted_diagonal(&self, k: usize) -> Vec<u64> {
+        let d = self.dim;
+        (0..d).map(|i| self.data[((i + d - k) % d) * d + i]).collect()
+    }
+}
+
+/// Computes `E(W · v)` from `E(v)`.
+///
+/// The input ciphertext must hold `v` encoded periodically with period
+/// `W.padded_dim()` (see [`BatchEncoder::encode_periodic`]); the result holds
+/// `W·v` (padded with zero rows) in the same periodic layout, so
+/// `decode_prefix(…, W.rows())` extracts the product.
+///
+/// # Panics
+///
+/// Panics if the padded dimension exceeds the encoder row size.
+pub fn matvec(
+    gk: &GaloisKeys,
+    enc: &BatchEncoder,
+    w: &PlainMatrix,
+    ct_v: &Ciphertext,
+) -> Ciphertext {
+    let d = w.dim;
+    assert!(
+        d <= enc.row_size(),
+        "matrix dimension {d} exceeds slot row size {}",
+        enc.row_size()
+    );
+    // Horner-style chain over diagonals k = d-1 .. 0:
+    //   acc <- rot(acc, 1) + v ⊙ p_k
+    // yielding acc = Σ_k rot(v ⊙ p_k, k) = W·v.
+    let mut acc: Option<Ciphertext> = None;
+    for k in (0..d).rev() {
+        let p_k = enc.encode_periodic(&w.shifted_diagonal(k));
+        let term = ct_v.mul_plain(&p_k);
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => gk.rotate_rows(&prev, 1).add(&term),
+        });
+    }
+    acc.expect("dimension is at least 1")
+}
+
+/// Counts the homomorphic operations a `dim × dim` diagonal matvec performs.
+/// Used by the cost model in `pi-sim` (one plaintext multiplication and one
+/// rotation per diagonal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatvecOpCount {
+    /// Plaintext multiplications.
+    pub pt_muls: usize,
+    /// Ciphertext rotations (key switches).
+    pub rotations: usize,
+    /// Ciphertext additions.
+    pub additions: usize,
+}
+
+/// Returns the operation count of [`matvec`] at a padded dimension.
+pub fn matvec_op_count(dim: usize) -> MatvecOpCount {
+    MatvecOpCount { pt_muls: dim, rotations: dim.saturating_sub(1), additions: dim.saturating_sub(1) }
+}
+
+/// Encrypts a vector for [`matvec`]: encodes periodically at the matrix's
+/// padded dimension (zero-padding the tail) and encrypts.
+///
+/// # Panics
+///
+/// Panics if `v.len() > w.cols()`.
+pub fn encrypt_vector<R: rand::Rng + ?Sized>(
+    pk: &crate::keys::PublicKey,
+    enc: &BatchEncoder,
+    w: &PlainMatrix,
+    v: &[u64],
+    rng: &mut R,
+) -> Ciphertext {
+    assert!(v.len() <= w.cols(), "vector longer than matrix columns");
+    let mut padded = v.to_vec();
+    padded.resize(w.padded_dim(), 0);
+    pk.encrypt(&enc.encode_periodic(&padded), rng)
+}
+
+/// Subtracts a plaintext share vector `s` (periodic layout) from an
+/// encrypted matvec result: the DELPHI offline step `E(W·r) − s`.
+pub fn sub_share(
+    params: &crate::BfvParams,
+    enc: &BatchEncoder,
+    ct: &Ciphertext,
+    s: &[u64],
+    dim: usize,
+) -> Ciphertext {
+    let mut padded = s.to_vec();
+    padded.resize(dim, 0);
+    let pt: Plaintext = enc.encode_periodic(&padded);
+    ct.sub_plain(&pt, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeySet;
+    use crate::params::BfvParams;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64) -> (BfvParams, KeySet, BatchEncoder, rand::rngs::StdRng) {
+        let params = BfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keys = KeySet::generate(&params, &mut rng);
+        let enc = BatchEncoder::new(&params);
+        (params, keys, enc, rng)
+    }
+
+    fn random_matrix(
+        rows: usize,
+        cols: usize,
+        max: u64,
+        t: Modulus,
+        rng: &mut impl Rng,
+    ) -> PlainMatrix {
+        let data: Vec<u64> = (0..rows * cols).map(|_| rng.gen_range(0..max)).collect();
+        PlainMatrix::new(rows, cols, &data, t)
+    }
+
+    #[test]
+    fn plain_matvec_identity() {
+        let t = Modulus::new(97);
+        let eye = PlainMatrix::new(3, 3, &[1, 0, 0, 0, 1, 0, 0, 0, 1], t);
+        assert_eq!(eye.matvec_plain(&[5, 6, 7], t), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn plain_matvec_rectangular() {
+        let t = Modulus::new(97);
+        let w = PlainMatrix::new(2, 3, &[1, 2, 3, 4, 5, 6], t);
+        // [1 2 3; 4 5 6] * [1, 1, 1] = [6, 15]
+        assert_eq!(w.matvec_plain(&[1, 1, 1], t), vec![6, 15]);
+        assert_eq!(w.padded_dim(), 4);
+    }
+
+    #[test]
+    fn encrypted_matvec_small_square() {
+        let (params, keys, enc, mut rng) = setup(7);
+        let t = params.t();
+        let w = random_matrix(8, 8, 256, t, &mut rng);
+        let v: Vec<u64> = (0..8).map(|_| rng.gen_range(0..256)).collect();
+        let expect = w.matvec_plain(&v, t);
+
+        let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+        let out = matvec(&keys.galois, &enc, &w, &ct);
+        assert!(keys.secret.noise_budget(&out) > 0, "noise exhausted");
+        let got = enc.decode_prefix(&keys.secret.decrypt(&out), 8);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn encrypted_matvec_rectangular_pads() {
+        let (params, keys, enc, mut rng) = setup(8);
+        let t = params.t();
+        let w = random_matrix(5, 12, 64, t, &mut rng);
+        assert_eq!(w.padded_dim(), 16);
+        let v: Vec<u64> = (0..12).map(|_| rng.gen_range(0..64)).collect();
+        let expect = w.matvec_plain(&v, t);
+        let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+        let out = matvec(&keys.galois, &enc, &w, &ct);
+        let got = enc.decode_prefix(&keys.secret.decrypt(&out), 5);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn encrypted_matvec_dim_64_with_field_entries() {
+        let (params, keys, enc, mut rng) = setup(9);
+        let t = params.t();
+        // Full-range Z_t entries at a realistic layer dimension.
+        let w = random_matrix(64, 64, t.value(), t, &mut rng);
+        let v: Vec<u64> = (0..64).map(|_| rng.gen_range(0..t.value())).collect();
+        let expect = w.matvec_plain(&v, t);
+        let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+        let out = matvec(&keys.galois, &enc, &w, &ct);
+        assert!(keys.secret.noise_budget(&out) > 0);
+        let got = enc.decode_prefix(&keys.secret.decrypt(&out), 64);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn delphi_offline_share_correctness() {
+        // The actual DELPHI offline identity: client decrypts E(W·r − s) and
+        // client_share + server-online computation reconstructs W·x.
+        let (params, keys, enc, mut rng) = setup(10);
+        let t = params.t();
+        let w = random_matrix(16, 16, t.value(), t, &mut rng);
+        let r: Vec<u64> = (0..16).map(|_| rng.gen_range(0..t.value())).collect();
+        let s: Vec<u64> = (0..16).map(|_| rng.gen_range(0..t.value())).collect();
+
+        let ct_r = encrypt_vector(&keys.public, &enc, &w, &r, &mut rng);
+        let ct_wr = matvec(&keys.galois, &enc, &w, &ct_r);
+        let ct_share = sub_share(&params, &enc, &ct_wr, &s, w.padded_dim());
+        let client_share = enc.decode_prefix(&keys.secret.decrypt(&ct_share), 16);
+
+        // client_share + s == W·r
+        let wr = w.matvec_plain(&r, t);
+        for i in 0..16 {
+            assert_eq!(t.add(client_share[i], s[i]), wr[i]);
+        }
+    }
+
+    #[test]
+    fn op_count_formula() {
+        let c = matvec_op_count(64);
+        assert_eq!(c.pt_muls, 64);
+        assert_eq!(c.rotations, 63);
+        assert_eq!(c.additions, 63);
+        assert_eq!(matvec_op_count(1).rotations, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_matrix_rejected() {
+        let (params, keys, enc, mut rng) = setup(11);
+        let t = params.t();
+        let d = enc.row_size() * 2;
+        let w = PlainMatrix::new(d, d, &vec![0u64; d * d], t);
+        let ct = keys.public.encrypt_zero(&mut rng);
+        matvec(&keys.galois, &enc, &w, &ct);
+    }
+}

@@ -1,0 +1,130 @@
+//! BFV parameter sets.
+
+use pi_field::{find_ntt_prime, Modulus};
+
+use pi_poly::RingContext;
+use std::sync::Arc;
+
+/// Parameters for a BFV instance.
+///
+/// Invariants (checked at construction):
+/// * `n` is a power of two;
+/// * `q ≡ 1 (mod 2n)` and prime (NTT-friendly ciphertext modulus);
+/// * `t ≡ 1 (mod 2n)` and prime (plaintext modulus supporting SIMD batching);
+/// * `t << q` so the scaling factor `Δ = floor(q/t)` leaves noise headroom.
+#[derive(Clone, Debug)]
+pub struct BfvParams {
+    ring: Arc<RingContext>,
+    t: Modulus,
+    /// Δ = floor(q / t): the plaintext scaling factor.
+    delta: u64,
+    /// log2 of the key-switching decomposition base.
+    pub ks_log_base: u32,
+    /// Number of key-switching digits: ceil(bits(q) / ks_log_base).
+    pub ks_digits: usize,
+    /// Centered-binomial error parameter (variance k/2).
+    pub error_k: u32,
+}
+
+impl BfvParams {
+    /// Builds a parameter set from ring degree and bit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no suitable primes exist or if `t_bits >= q_bits - 10`
+    /// (insufficient noise headroom).
+    pub fn new(n: usize, q_bits: u32, t_bits: u32) -> Self {
+        assert!(t_bits + 10 <= q_bits, "plaintext modulus too close to ciphertext modulus");
+        let t = Modulus::new(find_ntt_prime(t_bits, n as u64));
+        // q ≡ 1 (mod 2N·t): NTT-friendly AND q mod t == 1, so the Δ·t ≈ q
+        // rounding error in plaintext multiplication stays negligible.
+        let q = Modulus::new(pi_field::prime::find_prime_congruent(
+            q_bits,
+            2 * n as u64 * t.value(),
+        ));
+        let ring = Arc::new(RingContext::with_modulus(n, q));
+        let delta = q.value() / t.value();
+        let ks_log_base = 10;
+        let ks_digits = (q.bits() as usize).div_ceil(ks_log_base as usize);
+        Self { ring, t, delta, ks_log_base, ks_digits, error_k: 8 }
+    }
+
+    /// The default parameter set used by the protocol crates:
+    /// `N = 4096`, 61-bit `q`, 20-bit `t`. Mirrors the Gazelle/DELPHI regime
+    /// (single-multiplication depth, SIMD batching, rotation support).
+    pub fn default_pi() -> Self {
+        Self::new(4096, 61, 20)
+    }
+
+    /// A small, fast parameter set for unit tests: `N = 2048`, 61-bit `q`,
+    /// 20-bit `t`.
+    pub fn small_test() -> Self {
+        Self::new(2048, 61, 20)
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.ring.n()
+    }
+
+    /// Ciphertext modulus.
+    pub fn q(&self) -> Modulus {
+        self.ring.q()
+    }
+
+    /// Plaintext modulus.
+    pub fn t(&self) -> Modulus {
+        self.t
+    }
+
+    /// Plaintext scaling factor `Δ = floor(q/t)`.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The shared ring context.
+    pub fn ring(&self) -> &Arc<RingContext> {
+        &self.ring
+    }
+
+    /// Number of SIMD slots (= `N`, arranged as 2 rows of `N/2`).
+    pub fn slot_count(&self) -> usize {
+        self.ring.n()
+    }
+
+    /// Size in bytes of a serialized ciphertext (two polynomials of `N`
+    /// 8-byte words). Used for communication accounting.
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * self.ring.n() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_field::is_prime;
+
+    #[test]
+    fn default_params_valid() {
+        let p = BfvParams::default_pi();
+        assert_eq!(p.n(), 4096);
+        assert!(is_prime(p.q().value()));
+        assert!(is_prime(p.t().value()));
+        assert_eq!(p.q().value() % (2 * 4096), 1);
+        assert_eq!(p.t().value() % (2 * 4096), 1);
+        assert!(p.delta() > (1 << 38));
+        assert_eq!(p.ciphertext_bytes(), 2 * 4096 * 8);
+    }
+
+    #[test]
+    fn ks_digits_cover_modulus() {
+        let p = BfvParams::small_test();
+        assert!(p.ks_digits as u32 * p.ks_log_base >= p.q().bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_headroom_violation() {
+        BfvParams::new(1024, 25, 20);
+    }
+}

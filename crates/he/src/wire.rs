@@ -1,0 +1,226 @@
+//! Binary wire format for ciphertexts and plaintexts.
+//!
+//! The protocol crates account message sizes analytically; this module
+//! provides the actual byte-level encoding (little-endian u64 coefficients
+//! with a small header) so ciphertexts can cross process or machine
+//! boundaries, and so the analytic sizes can be validated against real
+//! serialization.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::params::BfvParams;
+use pi_poly::{Poly, PolyForm};
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Byte buffer too short or of the wrong length.
+    Truncated,
+    /// Header fields disagree with the given parameters.
+    ParamMismatch,
+    /// A coefficient was not reduced modulo `q`.
+    UnreducedCoefficient,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "byte buffer truncated"),
+            WireError::ParamMismatch => write!(f, "header does not match parameters"),
+            WireError::UnreducedCoefficient => write!(f, "coefficient not reduced mod q"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const MAGIC_CT: u32 = 0x4246_5643; // "BFVC"
+const MAGIC_PT: u32 = 0x4246_5650; // "BFVP"
+
+fn write_poly(out: &mut Vec<u8>, poly: &Poly) {
+    // Always serialize in coefficient form for canonical bytes.
+    let coeffs = poly.coeffs();
+    out.push(match poly.form() {
+        PolyForm::Coeff => 0,
+        PolyForm::Ntt => 1,
+    });
+    for c in coeffs {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn read_poly(
+    bytes: &[u8],
+    params: &BfvParams,
+    offset: &mut usize,
+) -> Result<Poly, WireError> {
+    let n = params.n();
+    if bytes.len() < *offset + 1 + 8 * n {
+        return Err(WireError::Truncated);
+    }
+    let form = bytes[*offset];
+    *offset += 1;
+    let mut coeffs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[*offset..*offset + 8]);
+        *offset += 8;
+        let c = u64::from_le_bytes(b);
+        if c >= params.q().value() {
+            return Err(WireError::UnreducedCoefficient);
+        }
+        coeffs.push(c);
+    }
+    let poly = Poly::from_coeffs(params.ring().clone(), coeffs);
+    Ok(if form == 1 { poly.into_ntt() } else { poly })
+}
+
+/// Serializes a ciphertext: magic, `N`, then both polynomials.
+pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
+    let n = ct.c0.ctx().n();
+    let mut out = Vec::with_capacity(8 + 2 * (1 + 8 * n));
+    out.extend_from_slice(&MAGIC_CT.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_poly(&mut out, &ct.c0);
+    write_poly(&mut out, &ct.c1);
+    out
+}
+
+/// Deserializes a ciphertext under the given parameters.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, parameter mismatch, or unreduced
+/// coefficients.
+pub fn ciphertext_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("length checked"));
+    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("length checked")) as usize;
+    if magic != MAGIC_CT || n != params.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = 8;
+    let c0 = read_poly(bytes, params, &mut offset)?;
+    let c1 = read_poly(bytes, params, &mut offset)?;
+    Ok(Ciphertext { c0, c1 })
+}
+
+/// Serializes a plaintext (coefficients < `t`).
+pub fn plaintext_to_bytes(pt: &Plaintext) -> Vec<u8> {
+    let n = pt.poly.ctx().n();
+    let mut out = Vec::with_capacity(8 + 1 + 8 * n);
+    out.extend_from_slice(&MAGIC_PT.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_poly(&mut out, &pt.poly);
+    out
+}
+
+/// Deserializes a plaintext under the given parameters.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, parameter mismatch, or unreduced
+/// coefficients.
+pub fn plaintext_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<Plaintext, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("length checked"));
+    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("length checked")) as usize;
+    if magic != MAGIC_PT || n != params.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = 8;
+    let poly = read_poly(bytes, params, &mut offset)?;
+    Ok(Plaintext { poly })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::keys::KeySet;
+    use rand::SeedableRng;
+
+    fn setup() -> (BfvParams, KeySet, BatchEncoder, rand::rngs::StdRng) {
+        let params = BfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let keys = KeySet::generate(&params, &mut rng);
+        let enc = BatchEncoder::new(&params);
+        (params, keys, enc, rng)
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_preserves_decryption() {
+        let (params, keys, enc, mut rng) = setup();
+        let pt = enc.encode(&[1, 2, 3, 4, 5]);
+        let ct = keys.public.encrypt(&pt, &mut rng);
+        let bytes = ciphertext_to_bytes(&ct);
+        let back = ciphertext_from_bytes(&bytes, &params).unwrap();
+        assert_eq!(&enc.decode(&keys.secret.decrypt(&back))[..5], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn serialized_size_matches_analytic_model() {
+        let (params, keys, _, mut rng) = setup();
+        let ct = keys.public.encrypt_zero(&mut rng);
+        let bytes = ciphertext_to_bytes(&ct);
+        // Analytic size (2 polys x N x 8) plus 10 bytes of header/form tags.
+        assert_eq!(bytes.len(), params.ciphertext_bytes() + 10);
+    }
+
+    #[test]
+    fn plaintext_roundtrip() {
+        let (params, _, enc, _) = setup();
+        let pt = enc.encode(&[9, 8, 7]);
+        let back = plaintext_from_bytes(&plaintext_to_bytes(&pt), &params).unwrap();
+        assert_eq!(enc.decode(&back), enc.decode(&pt));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (params, keys, _, mut rng) = setup();
+        let bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes[..bytes.len() - 1], &params),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes[..4], &params),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_params_detected() {
+        let (params, keys, _, mut rng) = setup();
+        let mut bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes, &params),
+            Err(WireError::ParamMismatch)
+        ));
+        // Plaintext magic fed to ciphertext parser.
+        let pt_bytes = plaintext_to_bytes(&Plaintext {
+            poly: pi_poly::Poly::zero(params.ring().clone()),
+        });
+        assert!(matches!(
+            ciphertext_from_bytes(&pt_bytes, &params),
+            Err(WireError::ParamMismatch) | Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn unreduced_coefficient_detected() {
+        let (params, keys, _, mut rng) = setup();
+        let mut bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
+        // Corrupt the first coefficient to u64::MAX (> q).
+        let start = 8 + 1;
+        bytes[start..start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes, &params),
+            Err(WireError::UnreducedCoefficient)
+        ));
+    }
+}

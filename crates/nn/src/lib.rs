@@ -1,0 +1,46 @@
+//! Neural-network substrate for private inference.
+//!
+//! This crate supplies everything the PI protocols and the system simulator
+//! need to know about networks:
+//!
+//! * [`spec`] — shape-level architecture descriptions and PI cost
+//!   statistics (ReLU counts, MACs, HE layer dimensions) that work at
+//!   ImageNet scale without materializing weights.
+//! * [`network`] — materialized `f64` networks with a reference forward
+//!   pass (convolution, pooling, residual blocks).
+//! * [`quant`] — exact fixed-point quantization into `Z_p`:
+//!   [`quant::QuantNetwork::forward_fixed`] is the bit-exact semantics the
+//!   two-party protocols must reproduce.
+//! * [`pimodel`] — lowering into DELPHI's alternating linear-phase /
+//!   garbled-ReLU structure with explicit per-phase matrices.
+//! * [`zoo`] — ResNet-32, ResNet-18, and VGG-16 on CIFAR-100,
+//!   TinyImageNet, and ImageNet, reproducing the paper's exact ReLU counts
+//!   (Figure 3), plus tiny networks for protocol tests.
+//!
+//! # Example
+//!
+//! ```
+//! use pi_nn::zoo::{Architecture, Dataset};
+//!
+//! let spec = Architecture::ResNet18.spec(Dataset::TinyImageNet);
+//! let stats = spec.stats()?;
+//! assert_eq!(stats.total_relus, 2_228_224); // Figure 3 of the paper
+//! # Ok::<(), pi_nn::spec::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod pimodel;
+pub mod quant;
+pub mod spec;
+pub mod tensor;
+pub mod zoo;
+
+pub use network::Network;
+pub use pimodel::{PiModel, PiPhase};
+pub use quant::{FixedConfig, QuantNetwork};
+pub use spec::{LinearKind, NetSpec, NetworkStats, SpecOp};
+pub use tensor::Tensor;
+pub use zoo::{Architecture, Dataset};

@@ -1,0 +1,553 @@
+//! Lowering quantized networks into DELPHI's alternating phase model.
+//!
+//! A hybrid PI protocol views a network as a sequence of *linear phases*
+//! separated by garbled ReLUs: phase `i` is an affine map over one or more
+//! earlier activations (residual skips make a phase consume two), and the
+//! ReLU after it produces activation `i + 1`. [`PiModel`] materializes each
+//! phase as an explicit matrix over the concatenated inputs by probing the
+//! quantized ops with basis vectors — exactly the object the offline HE
+//! pass multiplies the client's randomness by.
+//!
+//! Activation indexing: `0` is the network input; `i >= 1` is the output of
+//! the `i`-th garbled ReLU. The final phase has no ReLU; its output is the
+//! network's (scale-`2f`) logits.
+
+use crate::quant::{conv2d_field, expect_chw, relu_trunc_field, QuantNetwork, QuantOp};
+use crate::spec::Shape;
+use pi_field::Modulus;
+
+/// A segment-internal op after skip resolution.
+#[derive(Clone, Debug)]
+enum SegOp {
+    Conv2d {
+        weight: Vec<u64>,
+        shape: [usize; 4],
+        bias: Vec<u64>,
+        stride: usize,
+        padding: usize,
+    },
+    Linear {
+        weight: Vec<u64>,
+        out: usize,
+        inf: usize,
+        bias: Vec<u64>,
+    },
+    SumPool2d {
+        k: usize,
+    },
+    GlobalSumPool,
+    Flatten,
+    /// Add extra input `slot` (index into the phase's extra inputs),
+    /// optionally through a 1×1 projection, scale-matched by `scale_shift`.
+    AddExtra {
+        slot: usize,
+        proj: Option<ProjWeights>,
+        scale_shift: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct ProjWeights {
+    weight: Vec<u64>,
+    co: usize,
+    ci: usize,
+    stride: usize,
+    bias: Vec<u64>,
+    /// Shape of the activation the projection reads.
+    in_shape: (usize, usize, usize),
+}
+
+/// One linear phase of the PI computation: an affine map over the
+/// concatenation of the referenced activations.
+#[derive(Clone, Debug)]
+pub struct PiPhase {
+    /// Activation indices feeding this phase (main input first).
+    pub inputs: Vec<usize>,
+    /// Length of each input activation.
+    pub input_lens: Vec<usize>,
+    /// Row-major matrix, `rows × cols` with `cols = Σ input_lens`.
+    pub matrix: Vec<u64>,
+    /// Output length.
+    pub rows: usize,
+    /// Concatenated input length.
+    pub cols: usize,
+    /// Bias (scale `2f`).
+    pub bias: Vec<u64>,
+    /// `Some(shift)` if a garbled ReLU (with truncation) follows; `None`
+    /// for the final phase.
+    pub relu_shift: Option<u32>,
+}
+
+impl PiPhase {
+    /// Applies the affine map to concatenated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn apply(&self, x: &[u64], p: Modulus) -> Vec<u64> {
+        assert_eq!(x.len(), self.cols, "phase input length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = self.bias[r];
+                for c in 0..self.cols {
+                    acc = p.add(acc, p.mul(self.matrix[r * self.cols + c], x[c]));
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// A network in phase-matrix form, ready for the two-party protocols.
+#[derive(Clone, Debug)]
+pub struct PiModel {
+    /// Prime field.
+    pub p: Modulus,
+    /// Fractional bits.
+    pub f: u32,
+    /// Linear phases in execution order.
+    pub phases: Vec<PiPhase>,
+    /// Network input length (activation 0).
+    pub input_len: usize,
+    /// Network name.
+    pub name: String,
+}
+
+impl PiModel {
+    /// Lowers a quantized network into phase-matrix form.
+    ///
+    /// This materializes one dense matrix per phase (size
+    /// `out_features × in_features`), so it is intended for the small
+    /// networks used in end-to-end protocol tests; ImageNet-scale networks
+    /// are handled by the cost model in `pi-sim` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network ends in a ReLU (the final phase must be
+    /// linear) or a skip is saved mid-segment (outside the supported
+    /// family).
+    pub fn lower(qnet: &QuantNetwork) -> Self {
+        let p = qnet.config.p;
+        // Split ops into segments at ReluTrunc boundaries, resolving skips.
+        struct Segment {
+            main_act: usize,
+            main_shape: Shape,
+            ops: Vec<SegOp>,
+            extra_acts: Vec<usize>,
+            relu_shift: Option<u32>,
+        }
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut cur_act = 0usize;
+        let mut cur_shape = Shape::Chw(qnet.input[0], qnet.input[1], qnet.input[2]);
+        let mut seg_ops: Vec<SegOp> = Vec::new();
+        let mut seg_extras: Vec<usize> = Vec::new();
+        let mut seg_start_shape = cur_shape.clone();
+        // Skip stack entries: (source activation, optional projection).
+        let mut skip_stack: Vec<(usize, Option<ProjWeights>)> = Vec::new();
+        for op in &qnet.ops {
+            match op {
+                QuantOp::Conv2d { weight, shape, bias, stride, padding } => {
+                    let (_, h, w) = expect_chw(&cur_shape);
+                    let oh = (h + 2 * padding - shape[2]) / stride + 1;
+                    let ow = (w + 2 * padding - shape[3]) / stride + 1;
+                    seg_ops.push(SegOp::Conv2d {
+                        weight: weight.clone(),
+                        shape: *shape,
+                        bias: bias.clone(),
+                        stride: *stride,
+                        padding: *padding,
+                    });
+                    cur_shape = Shape::Chw(shape[0], oh, ow);
+                }
+                QuantOp::Linear { weight, out, inf, bias } => {
+                    seg_ops.push(SegOp::Linear {
+                        weight: weight.clone(),
+                        out: *out,
+                        inf: *inf,
+                        bias: bias.clone(),
+                    });
+                    cur_shape = Shape::Flat(*out);
+                }
+                QuantOp::SumPool2d { k } => {
+                    let (c, h, w) = expect_chw(&cur_shape);
+                    seg_ops.push(SegOp::SumPool2d { k: *k });
+                    cur_shape = Shape::Chw(c, h / k, w / k);
+                }
+                QuantOp::GlobalSumPool => {
+                    let (c, _, _) = expect_chw(&cur_shape);
+                    seg_ops.push(SegOp::GlobalSumPool);
+                    cur_shape = Shape::Flat(c);
+                }
+                QuantOp::Flatten => {
+                    seg_ops.push(SegOp::Flatten);
+                    cur_shape = Shape::Flat(cur_shape.volume());
+                }
+                QuantOp::SaveSkip => {
+                    assert!(
+                        seg_ops.is_empty(),
+                        "skips must be saved at activation boundaries"
+                    );
+                    skip_stack.push((cur_act, None));
+                }
+                QuantOp::SaveSkipProj { weight, co, ci, stride, bias } => {
+                    assert!(
+                        seg_ops.is_empty(),
+                        "skips must be saved at activation boundaries"
+                    );
+                    let in_shape = expect_chw(&cur_shape);
+                    skip_stack.push((
+                        cur_act,
+                        Some(ProjWeights {
+                            weight: weight.clone(),
+                            co: *co,
+                            ci: *ci,
+                            stride: *stride,
+                            bias: bias.clone(),
+                            in_shape,
+                        }),
+                    ));
+                }
+                QuantOp::AddSkip { scale_shift } => {
+                    let (src, proj) = skip_stack.pop().expect("balanced skips");
+                    let slot = seg_extras.len();
+                    seg_extras.push(src);
+                    seg_ops.push(SegOp::AddExtra { slot, proj, scale_shift: *scale_shift });
+                }
+                QuantOp::ReluTrunc { shift } => {
+                    segments.push(Segment {
+                        main_act: cur_act,
+                        main_shape: seg_start_shape.clone(),
+                        ops: std::mem::take(&mut seg_ops),
+                        extra_acts: std::mem::take(&mut seg_extras),
+                        relu_shift: Some(*shift),
+                    });
+                    cur_act += 1;
+                    seg_start_shape = cur_shape.clone();
+                }
+            }
+        }
+        assert!(!seg_ops.is_empty(), "network must end with a linear phase, not a ReLU");
+        segments.push(Segment {
+            main_act: cur_act,
+            main_shape: seg_start_shape,
+            ops: seg_ops,
+            extra_acts: seg_extras,
+            relu_shift: None,
+        });
+
+        // Track activation lengths: act 0 = input; act i = output of phase i.
+        let input_len: usize = qnet.input.iter().product();
+        let mut act_lens = vec![input_len];
+        let mut phases = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            let main_len = seg.main_shape.volume();
+            debug_assert_eq!(act_lens[seg.main_act], main_len);
+            let extra_lens: Vec<usize> =
+                seg.extra_acts.iter().map(|&a| act_lens[a]).collect();
+            let extra_shapes: Vec<Option<(usize, usize, usize)>> = seg
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    SegOp::AddExtra { proj, .. } => {
+                        Some(proj.as_ref().map(|pw| pw.in_shape))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let _ = extra_shapes;
+            let cols: usize = main_len + extra_lens.iter().sum::<usize>();
+            // Probe with basis vectors to build the matrix.
+            let probe = |main: &[u64], extras: &[Vec<u64>], with_bias: bool| -> Vec<u64> {
+                run_segment(&seg.ops, &seg.main_shape, main, extras, with_bias, p)
+            };
+            let zero_main = vec![0u64; main_len];
+            let zero_extras: Vec<Vec<u64>> =
+                extra_lens.iter().map(|&l| vec![0u64; l]).collect();
+            let bias = probe(&zero_main, &zero_extras, true);
+            let rows = bias.len();
+            let mut matrix = vec![0u64; rows * cols];
+            let mut col = 0usize;
+            for input_idx in 0..=extra_lens.len() {
+                let len = if input_idx == 0 { main_len } else { extra_lens[input_idx - 1] };
+                for i in 0..len {
+                    let mut main = zero_main.clone();
+                    let mut extras = zero_extras.clone();
+                    if input_idx == 0 {
+                        main[i] = 1;
+                    } else {
+                        extras[input_idx - 1][i] = 1;
+                    }
+                    let out = probe(&main, &extras, false);
+                    for (r, &v) in out.iter().enumerate() {
+                        matrix[r * cols + col] = v;
+                    }
+                    col += 1;
+                }
+            }
+            let mut inputs = vec![seg.main_act];
+            inputs.extend(&seg.extra_acts);
+            let mut input_lens = vec![main_len];
+            input_lens.extend(&extra_lens);
+            act_lens.push(rows); // activation i+1 length (post-relu same len)
+            phases.push(PiPhase {
+                inputs,
+                input_lens,
+                matrix,
+                rows,
+                cols,
+                bias,
+                relu_shift: seg.relu_shift,
+            });
+        }
+        Self { p, f: qnet.config.f, phases, input_len, name: qnet.name.clone() }
+    }
+
+    /// Reference forward pass over the phase matrices; must agree exactly
+    /// with [`QuantNetwork::forward_fixed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_len`.
+    pub fn forward(&self, input: &[u64]) -> Vec<u64> {
+        assert_eq!(input.len(), self.input_len, "input length mismatch");
+        let mut acts: Vec<Vec<u64>> = vec![input.to_vec()];
+        let mut output = Vec::new();
+        for phase in &self.phases {
+            let x: Vec<u64> = phase
+                .inputs
+                .iter()
+                .flat_map(|&a| acts[a].iter().copied())
+                .collect();
+            let y = phase.apply(&x, self.p);
+            match phase.relu_shift {
+                Some(shift) => {
+                    acts.push(y.iter().map(|&v| relu_trunc_field(v, shift, self.p)).collect());
+                }
+                None => output = y,
+            }
+        }
+        output
+    }
+
+    /// Number of garbled ReLU values across the network (the paper's
+    /// per-inference ReLU count).
+    pub fn total_relus(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|ph| ph.relu_shift.is_some())
+            .map(|ph| ph.rows)
+            .sum()
+    }
+
+    /// Output length of the final phase.
+    pub fn output_len(&self) -> usize {
+        self.phases.last().map(|ph| ph.rows).unwrap_or(0)
+    }
+}
+
+/// Executes a segment's ops on explicit main/extra input values.
+fn run_segment(
+    ops: &[SegOp],
+    main_shape: &Shape,
+    main: &[u64],
+    extras: &[Vec<u64>],
+    with_bias: bool,
+    p: Modulus,
+) -> Vec<u64> {
+    let mut x = main.to_vec();
+    let mut shape = main_shape.clone();
+    let maybe_bias = |b: &[u64]| -> Vec<u64> {
+        if with_bias {
+            b.to_vec()
+        } else {
+            vec![0u64; b.len()]
+        }
+    };
+    for op in ops {
+        match op {
+            SegOp::Conv2d { weight, shape: ws, bias, stride, padding } => {
+                let (c, h, w) = expect_chw(&shape);
+                let (out, os) = conv2d_field(
+                    &x, c, h, w, weight, *ws, &maybe_bias(bias), *stride, *padding, p,
+                );
+                x = out;
+                shape = os;
+            }
+            SegOp::Linear { weight, out, inf, bias } => {
+                assert_eq!(x.len(), *inf);
+                let b = maybe_bias(bias);
+                let mut y = vec![0u64; *out];
+                for (o, yo) in y.iter_mut().enumerate() {
+                    let mut acc = b[o];
+                    for i in 0..*inf {
+                        acc = p.add(acc, p.mul(weight[o * inf + i], x[i]));
+                    }
+                    *yo = acc;
+                }
+                x = y;
+                shape = Shape::Flat(*out);
+            }
+            SegOp::SumPool2d { k } => {
+                let (c, h, w) = expect_chw(&shape);
+                let (oh, ow) = (h / k, w / k);
+                let mut y = vec![0u64; c * oh * ow];
+                for ci in 0..c {
+                    for yy in 0..oh {
+                        for xx in 0..ow {
+                            let mut acc = 0u64;
+                            for dy in 0..*k {
+                                for dx in 0..*k {
+                                    acc = p.add(acc, x[(ci * h + yy * k + dy) * w + xx * k + dx]);
+                                }
+                            }
+                            y[(ci * oh + yy) * ow + xx] = acc;
+                        }
+                    }
+                }
+                x = y;
+                shape = Shape::Chw(c, oh, ow);
+            }
+            SegOp::GlobalSumPool => {
+                let (c, h, w) = expect_chw(&shape);
+                let mut y = vec![0u64; c];
+                for ci in 0..c {
+                    let mut acc = 0u64;
+                    for i in 0..h * w {
+                        acc = p.add(acc, x[ci * h * w + i]);
+                    }
+                    y[ci] = acc;
+                }
+                x = y;
+                shape = Shape::Flat(c);
+            }
+            SegOp::Flatten => shape = Shape::Flat(x.len()),
+            SegOp::AddExtra { slot, proj, scale_shift } => {
+                let extra = &extras[*slot];
+                let skip: Vec<u64> = match proj {
+                    None => extra.clone(),
+                    Some(pw) => {
+                        let (c, h, w) = pw.in_shape;
+                        assert_eq!(extra.len(), c * h * w);
+                        assert_eq!(c, pw.ci);
+                        let (oh, ow) = (h.div_ceil(pw.stride), w.div_ceil(pw.stride));
+                        let b = maybe_bias(&pw.bias);
+                        let mut y = vec![0u64; pw.co * oh * ow];
+                        for o in 0..pw.co {
+                            for yy in 0..oh {
+                                for xx in 0..ow {
+                                    let mut acc = b[o];
+                                    for c_in in 0..pw.ci {
+                                        acc = p.add(
+                                            acc,
+                                            p.mul(
+                                                pw.weight[o * pw.ci + c_in],
+                                                extra[(c_in * h + yy * pw.stride) * w
+                                                    + xx * pw.stride],
+                                            ),
+                                        );
+                                    }
+                                    y[(o * oh + yy) * ow + xx] = acc;
+                                }
+                            }
+                        }
+                        y
+                    }
+                };
+                let mult = p.reduce(1u64 << *scale_shift);
+                for (a, &b) in x.iter_mut().zip(&skip) {
+                    *a = p.add(*a, p.mul(b, mult));
+                }
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::quant::{FixedConfig, QuantNetwork};
+    use crate::zoo;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> FixedConfig {
+        FixedConfig { p: Modulus::new(pi_field::find_ntt_prime(20, 2048)), f: 5 }
+    }
+
+    fn lower(spec: &crate::spec::NetSpec, seed: u64) -> (QuantNetwork, PiModel) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::materialize(spec, &mut rng);
+        let qnet = QuantNetwork::quantize(&net, config());
+        let model = PiModel::lower(&qnet);
+        (qnet, model)
+    }
+
+    fn check_model_matches_fixed(spec: &crate::spec::NetSpec, seed: u64) {
+        let (qnet, model) = lower(spec, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1000);
+        let c = config();
+        let vol: usize = spec.input.iter().product();
+        for _ in 0..3 {
+            let input: Vec<f64> = (0..vol).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let q_in = c.quantize_vec(&input);
+            assert_eq!(
+                model.forward(&q_in),
+                qnet.forward_fixed(&q_in),
+                "phase-matrix forward must equal op-level fixed forward for {}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_cnn_lowering_exact() {
+        check_model_matches_fixed(&zoo::tiny_cnn(), 7);
+    }
+
+    #[test]
+    fn residual_lowering_exact() {
+        check_model_matches_fixed(&zoo::tiny_resnet(), 8);
+    }
+
+    #[test]
+    fn pooling_lowering_exact() {
+        check_model_matches_fixed(&zoo::tiny_cnn_pool(), 9);
+    }
+
+    #[test]
+    fn phase_structure_sequential() {
+        let (_, model) = lower(&zoo::tiny_cnn(), 10);
+        // conv -> relu, fc -> relu, fc => 3 phases.
+        assert_eq!(model.phases.len(), 3);
+        assert!(model.phases[0].relu_shift.is_some());
+        assert!(model.phases[2].relu_shift.is_none());
+        // Sequential: each phase has exactly one input, the previous act.
+        for (i, ph) in model.phases.iter().enumerate() {
+            assert_eq!(ph.inputs, vec![i]);
+        }
+    }
+
+    #[test]
+    fn phase_structure_residual_has_skip_inputs() {
+        let (_, model) = lower(&zoo::tiny_resnet(), 11);
+        // Some phase must consume two activations (main + skip).
+        assert!(
+            model.phases.iter().any(|ph| ph.inputs.len() == 2),
+            "residual network must produce a two-input phase"
+        );
+        // Total ReLUs must match the spec stats.
+        let stats = zoo::tiny_resnet().stats().unwrap();
+        assert_eq!(model.total_relus() as u64, stats.total_relus);
+    }
+
+    #[test]
+    fn matrix_dimensions_consistent() {
+        let (_, model) = lower(&zoo::tiny_cnn(), 12);
+        for ph in &model.phases {
+            assert_eq!(ph.matrix.len(), ph.rows * ph.cols);
+            assert_eq!(ph.bias.len(), ph.rows);
+            assert_eq!(ph.cols, ph.input_lens.iter().sum::<usize>());
+        }
+    }
+}

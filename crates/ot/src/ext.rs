@@ -1,0 +1,310 @@
+//! IKNP oblivious-transfer extension (semi-honest).
+//!
+//! 128 base OTs (with the roles *reversed*) bootstrap an unbounded number of
+//! extended OTs that cost only symmetric-key operations:
+//!
+//! * Setup: the extension **sender** plays base-OT *receiver* with a random
+//!   128-bit choice string `s`, obtaining one seed per column; the extension
+//!   **receiver** plays base-OT *sender* with random seed pairs.
+//! * Extension: the receiver expands both seeds of every column `i` with a
+//!   PRG and sends `u_i = G(k_i^0) ⊕ G(k_i^1) ⊕ x` (`x` = its choice bits).
+//!   The sender forms `q_i = G(k_i^{s_i}) ⊕ s_i·u_i`, so row `j` satisfies
+//!   `q_j = t_j ⊕ x_j·s`.
+//! * Transfer: the sender masks `m_j^0` with `H(j, q_j)` and `m_j^1` with
+//!   `H(j, q_j ⊕ s)`; the receiver unmasks its chosen message with
+//!   `H(j, t_j)`.
+
+use crate::base::{BaseOtReceiver, BaseOtSender};
+use pi_gc::{Aes128, GcHash};
+use rand::Rng;
+
+/// Security parameter: number of base OTs / matrix columns.
+pub const KAPPA: usize = 128;
+
+/// PRG: expands a 128-bit seed into `n` bits (AES-CTR).
+fn prg_bits(seed: u128, n: usize) -> Vec<bool> {
+    let aes = Aes128::new(seed.to_le_bytes());
+    let mut bits = Vec::with_capacity(n);
+    let mut counter = 0u128;
+    while bits.len() < n {
+        let block = aes.encrypt_u128(counter);
+        counter += 1;
+        for b in 0..128 {
+            if bits.len() == n {
+                break;
+            }
+            bits.push((block >> b) & 1 == 1);
+        }
+    }
+    bits
+}
+
+/// Sender-side outcome of the base phase: the secret column-choice string
+/// `s` and one seed per column.
+#[derive(Clone, Debug)]
+pub struct SenderSetup {
+    /// The 128 secret choice bits, packed.
+    pub s: u128,
+    /// Seed `k_i^{s_i}` per column.
+    pub seeds: Vec<u128>,
+}
+
+/// Receiver-side outcome of the base phase: both seeds of every column.
+#[derive(Clone, Debug)]
+pub struct ReceiverSetup {
+    /// Seed pairs `(k_i^0, k_i^1)` per column.
+    pub seed_pairs: Vec<(u128, u128)>,
+}
+
+/// Runs the base phase in process (both parties local). Real deployments
+/// move the three base-OT messages over the network; `pi-core` does exactly
+/// that with its channels.
+pub fn setup_in_process<R: Rng + ?Sized>(rng: &mut R) -> (SenderSetup, ReceiverSetup) {
+    let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
+    let s: u128 = rng.gen();
+    let s_bits: Vec<bool> = (0..KAPPA).map(|i| (s >> i) & 1 == 1).collect();
+
+    // Extension-sender plays base-OT receiver.
+    let (base_sender, setup_msg) = BaseOtSender::new(rng);
+    let (base_receiver, choice_msg) = BaseOtReceiver::choose(&setup_msg, &s_bits, rng);
+    let transfer = base_sender.transfer(&choice_msg, &seed_pairs, rng);
+    let seeds = base_receiver.receive(&transfer);
+
+    (SenderSetup { s, seeds }, ReceiverSetup { seed_pairs })
+}
+
+/// The receiver's extension message: one packed column of `u` bits per base
+/// OT (column-major, `num_transfers` bits each).
+#[derive(Clone, Debug)]
+pub struct ExtendMsg {
+    /// `u_i` columns, each of length `num_transfers` (bit-packed in bytes).
+    pub u_columns: Vec<Vec<u8>>,
+    /// Number of transfers (rows).
+    pub num_transfers: usize,
+}
+
+impl ExtendMsg {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.u_columns.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// The sender's masked message pairs.
+#[derive(Clone, Debug)]
+pub struct TransferMsg {
+    /// `(y_j^0, y_j^1)` per transfer.
+    pub pairs: Vec<(u128, u128)>,
+}
+
+impl TransferMsg {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        32 * self.pairs.len()
+    }
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bit(bytes: &[u8], i: usize) -> bool {
+    (bytes[i / 8] >> (i % 8)) & 1 == 1
+}
+
+/// OT-extension sender: holds message pairs, learns nothing about choices.
+#[derive(Clone, Debug)]
+pub struct OtExtSender {
+    setup: SenderSetup,
+}
+
+impl OtExtSender {
+    /// Wraps a completed base phase.
+    pub fn new(setup: SenderSetup) -> Self {
+        assert_eq!(setup.seeds.len(), KAPPA, "need exactly {KAPPA} base seeds");
+        Self { setup }
+    }
+
+    /// Produces masked pairs for `pairs.len()` transfers given the
+    /// receiver's extension message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's transfer count differs from `pairs.len()`.
+    pub fn transfer(&self, msg: &ExtendMsg, pairs: &[(u128, u128)]) -> TransferMsg {
+        let m = pairs.len();
+        assert_eq!(msg.num_transfers, m, "extension rows must match pair count");
+        assert_eq!(msg.u_columns.len(), KAPPA, "need {KAPPA} u columns");
+        let h = GcHash::new();
+        // q rows: q_j = bits j of columns (G(k_i^{s_i}) ^ s_i * u_i).
+        let mut q_rows = vec![0u128; m];
+        for i in 0..KAPPA {
+            let s_i = (self.setup.s >> i) & 1 == 1;
+            let col = prg_bits(self.setup.seeds[i], m);
+            for (j, &g_bit) in col.iter().enumerate() {
+                let bit = g_bit ^ (s_i && unpack_bit(&msg.u_columns[i], j));
+                if bit {
+                    q_rows[j] |= 1u128 << i;
+                }
+            }
+        }
+        let out = pairs
+            .iter()
+            .enumerate()
+            .map(|(j, &(m0, m1))| {
+                let y0 = m0 ^ h.kdf(q_rows[j], j as u64);
+                let y1 = m1 ^ h.kdf(q_rows[j] ^ self.setup.s, j as u64);
+                (y0, y1)
+            })
+            .collect();
+        TransferMsg { pairs: out }
+    }
+}
+
+/// OT-extension receiver: holds choice bits, learns exactly one message per
+/// transfer.
+#[derive(Clone, Debug)]
+pub struct OtExtReceiver {
+    setup: ReceiverSetup,
+}
+
+impl OtExtReceiver {
+    /// Wraps a completed base phase.
+    pub fn new(setup: ReceiverSetup) -> Self {
+        assert_eq!(setup.seed_pairs.len(), KAPPA, "need exactly {KAPPA} base seed pairs");
+        Self { setup }
+    }
+
+    /// Builds the extension message for the given choice bits and returns it
+    /// together with the per-transfer decode keys `t_j` (kept locally).
+    pub fn extend<R: Rng + ?Sized>(
+        &self,
+        choices: &[bool],
+        _rng: &mut R,
+    ) -> (ExtendMsg, Vec<u128>) {
+        let m = choices.len();
+        let mut t_rows = vec![0u128; m];
+        let mut u_columns = Vec::with_capacity(KAPPA);
+        for i in 0..KAPPA {
+            let (k0, k1) = self.setup.seed_pairs[i];
+            let g0 = prg_bits(k0, m);
+            let g1 = prg_bits(k1, m);
+            let u: Vec<bool> = (0..m).map(|j| g0[j] ^ g1[j] ^ choices[j]).collect();
+            u_columns.push(pack_bits(&u));
+            for (j, &g_bit) in g0.iter().enumerate() {
+                if g_bit {
+                    t_rows[j] |= 1u128 << i;
+                }
+            }
+        }
+        (ExtendMsg { u_columns, num_transfers: m }, t_rows)
+    }
+
+    /// Unmasks the chosen messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts disagree.
+    pub fn decode(&self, msg: &TransferMsg, choices: &[bool], t_rows: &[u128]) -> Vec<u128> {
+        assert_eq!(msg.pairs.len(), choices.len(), "transfer count mismatch");
+        assert_eq!(t_rows.len(), choices.len(), "key count mismatch");
+        let h = GcHash::new();
+        msg.pairs
+            .iter()
+            .enumerate()
+            .map(|(j, &(y0, y1))| {
+                let y = if choices[j] { y1 } else { y0 };
+                y ^ h.kdf(t_rows[j], j as u64)
+            })
+            .collect()
+    }
+}
+
+/// Communication cost of one extended OT in bytes (the `u` column bits
+/// amortized per transfer, plus the two masked labels), used by `pi-sim`.
+pub fn bytes_per_extended_ot() -> usize {
+    KAPPA / 8 + 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (OtExtSender, OtExtReceiver, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+        let (s, r) = setup_in_process(&mut rng);
+        (OtExtSender::new(s), OtExtReceiver::new(r), rng)
+    }
+
+    #[test]
+    fn end_to_end_many_transfers() {
+        let (sender, receiver, mut rng) = setup();
+        use rand::Rng;
+        let m = 500;
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let pairs: Vec<(u128, u128)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
+        let (u_msg, keys) = receiver.extend(&choices, &mut rng);
+        let y_msg = sender.transfer(&u_msg, &pairs);
+        let got = receiver.decode(&y_msg, &choices, &keys);
+        for j in 0..m {
+            let expect = if choices[j] { pairs[j].1 } else { pairs[j].0 };
+            assert_eq!(got[j], expect, "transfer {j}");
+        }
+    }
+
+    #[test]
+    fn unchosen_messages_unrecoverable_with_wrong_key() {
+        let (sender, receiver, mut rng) = setup();
+        let choices = vec![false];
+        let pairs = vec![(42u128, 77u128)];
+        let (u_msg, keys) = receiver.extend(&choices, &mut rng);
+        let y_msg = sender.transfer(&u_msg, &pairs);
+        // Decoding position 1 with the receiver's t key gives garbage.
+        let h = GcHash::new();
+        let wrong = y_msg.pairs[0].1 ^ h.kdf(keys[0], 0);
+        assert_ne!(wrong, 77u128);
+    }
+
+    #[test]
+    fn empty_extension_is_fine() {
+        let (sender, receiver, mut rng) = setup();
+        let (u_msg, keys) = receiver.extend(&[], &mut rng);
+        let y_msg = sender.transfer(&u_msg, &[]);
+        assert!(receiver.decode(&y_msg, &[], &keys).is_empty());
+    }
+
+    #[test]
+    fn message_sizes() {
+        let (sender, receiver, mut rng) = setup();
+        let m = 64;
+        let choices = vec![true; m];
+        let pairs = vec![(0u128, 1u128); m];
+        let (u_msg, keys) = receiver.extend(&choices, &mut rng);
+        assert_eq!(u_msg.byte_len(), KAPPA * (m / 8));
+        let y_msg = sender.transfer(&u_msg, &pairs);
+        assert_eq!(y_msg.byte_len(), 32 * m);
+        let _ = keys;
+    }
+
+    #[test]
+    fn prg_deterministic_and_seed_sensitive() {
+        assert_eq!(prg_bits(5, 300), prg_bits(5, 300));
+        assert_ne!(prg_bits(5, 300), prg_bits(6, 300));
+        assert_eq!(prg_bits(5, 300).len(), 300);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_counts_rejected() {
+        let (sender, receiver, mut rng) = setup();
+        let (u_msg, _) = receiver.extend(&[true, false], &mut rng);
+        sender.transfer(&u_msg, &[(0, 0)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Oblivious transfer: Naor–Pinkas base OT over a 1024-bit MODP group and
+//! the IKNP OT extension.
+//!
+//! OT is the mechanism by which the garbled-circuit evaluator obtains wire
+//! labels for *its* input bits without the garbler learning those bits
+//! (§2.1.4 of the paper). A handful of public-key **base OTs** bootstrap
+//! thousands of cheap symmetric-key **extended OTs** — which is why the
+//! paper can treat OT compute as minor while still accounting for its
+//! communication.
+//!
+//! The crate is transport-agnostic: protocol messages are plain data with
+//! `byte_len` accessors, and `pi-core` moves them over its byte-counting
+//! channels.
+//!
+//! # Example (in-process round trip)
+//!
+//! ```
+//! use pi_ot::ext::{self, OtExtReceiver, OtExtSender};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // Base phase (normally over the network).
+//! let (sender_setup, receiver_setup) = ext::setup_in_process(&mut rng);
+//! let sender = OtExtSender::new(sender_setup);
+//! let receiver = OtExtReceiver::new(receiver_setup);
+//!
+//! let choices = vec![true, false, true];
+//! let pairs: Vec<(u128, u128)> = vec![(1, 2), (3, 4), (5, 6)];
+//! let (u_msg, keys) = receiver.extend(&choices, &mut rng);
+//! let y_msg = sender.transfer(&u_msg, &pairs);
+//! let got = receiver.decode(&y_msg, &choices, &keys);
+//! assert_eq!(got, vec![2, 3, 6]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod ext;
+
+pub use base::{BaseOtReceiver, BaseOtSender};
+pub use ext::{OtExtReceiver, OtExtSender};

@@ -1,0 +1,257 @@
+//! Negacyclic number-theoretic transform.
+//!
+//! For `q ≡ 1 (mod 2N)` there is a primitive 2N-th root of unity `ψ`, and the
+//! map `f(x) ↦ (f(ψ ω^0), f(ψ ω^1), ...)` with `ω = ψ²` diagonalizes
+//! multiplication in `Z_q[x]/(x^N + 1)`. We implement the standard in-place
+//! Cooley–Tukey forward / Gentleman–Sande inverse transforms with `ψ` powers
+//! folded into the butterfly twiddles, as in Longa–Naehrig.
+
+use pi_field::{prime, Modulus};
+
+/// Precomputed twiddle tables for a negacyclic NTT of size `n` modulo `q`.
+#[derive(Clone, Debug)]
+pub struct NttTables {
+    n: usize,
+    q: Modulus,
+    /// psi powers in bit-reversed order (forward butterflies).
+    psi_rev: Vec<u64>,
+    /// inverse psi powers in bit-reversed order (inverse butterflies).
+    psi_inv_rev: Vec<u64>,
+    /// n^{-1} mod q for the final inverse scaling.
+    n_inv: u64,
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTables {
+    /// Builds NTT tables for ring degree `n` (a power of two) and prime `q`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` is not an NTT prime for `n`.
+    pub fn new(n: usize, q: Modulus) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two >= 2");
+        assert_eq!(
+            (q.value() - 1) % (2 * n as u64),
+            0,
+            "q must satisfy q ≡ 1 (mod 2n)"
+        );
+        let psi = prime::root_of_unity(q.value(), 2 * n as u64);
+        let psi_inv = q.inv(psi).expect("psi invertible");
+        let bits = n.trailing_zeros();
+        let mut psi_rev = vec![0u64; n];
+        let mut psi_inv_rev = vec![0u64; n];
+        let mut power = 1u64;
+        let mut power_inv = 1u64;
+        let mut psi_pows = vec![0u64; n];
+        let mut psi_inv_pows = vec![0u64; n];
+        for i in 0..n {
+            psi_pows[i] = power;
+            psi_inv_pows[i] = power_inv;
+            power = q.mul(power, psi);
+            power_inv = q.mul(power_inv, psi_inv);
+        }
+        for i in 0..n {
+            psi_rev[i] = psi_pows[bit_reverse(i, bits)];
+            psi_inv_rev[i] = psi_inv_pows[bit_reverse(i, bits)];
+        }
+        let n_inv = q.inv(n as u64).expect("n invertible mod q");
+        Self { n, q, psi_rev, psi_inv_rev, n_inv }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus.
+    pub fn q(&self) -> Modulus {
+        self.q
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = &self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = q.mul(a[j + t], s);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = &self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.mul(q.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = q.mul(*x, self.n_inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_field::find_ntt_prime;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn tables(n: usize, bits: u32) -> NttTables {
+        NttTables::new(n, Modulus::new(find_ntt_prime(bits, n as u64)))
+    }
+
+    /// Schoolbook negacyclic multiplication for reference.
+    fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: Modulus) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = q.mul(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    out[k] = q.add(out[k], prod);
+                } else {
+                    out[k - n] = q.sub(out[k - n], prod);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 16, 256, 1024] {
+            let t = tables(n, 30);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().value())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform must change the data");
+            t.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn pointwise_mul_matches_schoolbook() {
+        let n = 64;
+        let t = tables(n, 30);
+        let q = t.q();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        let expect = negacyclic_mul_naive(&a, &b, q);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn x_times_x_n_minus_1_wraps_negatively() {
+        // x * x^(n-1) == x^n == -1 in the negacyclic ring.
+        let n = 32;
+        let t = tables(n, 30);
+        let q = t.q();
+        let mut a = vec![0u64; n];
+        a[1] = 1; // x
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1; // x^{n-1}
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+        t.inverse(&mut c);
+        let mut expect = vec![0u64; n];
+        expect[0] = q.value() - 1; // -1
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_length() {
+        let t = tables(16, 30);
+        let mut a = vec![0u64; 8];
+        t.forward(&mut a);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn roundtrip_random(seed in any::<u64>()) {
+            let n = 128;
+            let t = tables(n, 28);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().value())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            prop_assert_eq!(a, orig);
+        }
+
+        #[test]
+        fn ntt_is_linear(seed in any::<u64>()) {
+            let n = 64;
+            let t = tables(n, 28);
+            let q = t.q();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            let mut fsum = sum;
+            t.forward(&mut fa);
+            t.forward(&mut fb);
+            t.forward(&mut fsum);
+            let pointwise: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.add(x, y)).collect();
+            prop_assert_eq!(fsum, pointwise);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Randomness for RLWE: uniform, ternary, and centered-binomial samplers.
+
+use crate::poly::{Poly, RingContext};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Samples a polynomial with coefficients uniform in `[0, q)`.
+pub fn uniform<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
+    let q = ctx.q().value();
+    let coeffs = (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect();
+    Poly::from_coeffs(ctx.clone(), coeffs)
+}
+
+/// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`, the
+/// standard BFV secret-key distribution.
+pub fn ternary<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
+    let coeffs: Vec<i64> = (0..ctx.n()).map(|_| rng.gen_range(-1i64..=1)).collect();
+    Poly::from_signed(ctx.clone(), &coeffs)
+}
+
+/// Samples an error polynomial from a centered binomial distribution with
+/// parameter `k` (variance `k/2`, support `[-k, k]`).
+///
+/// `k = 21` approximates the discrete Gaussian with σ ≈ 3.2 that SEAL uses;
+/// centered binomial is the standard constant-time drop-in (as in Kyber).
+pub fn centered_binomial<R: Rng + ?Sized>(
+    ctx: &Arc<RingContext>,
+    rng: &mut R,
+    k: u32,
+) -> Poly {
+    let coeffs: Vec<i64> = (0..ctx.n())
+        .map(|_| {
+            let mut acc = 0i64;
+            for _ in 0..k {
+                acc += rng.gen_range(0..=1) - rng.gen_range(0..=1i64);
+            }
+            acc
+        })
+        .collect();
+    Poly::from_signed(ctx.clone(), &coeffs)
+}
+
+/// Default error sampler: centered binomial approximating σ ≈ 3.2.
+pub fn error<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
+    centered_binomial(ctx, rng, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> Arc<RingContext> {
+        Arc::new(RingContext::new(1024, 30))
+    }
+
+    #[test]
+    fn ternary_support() {
+        let ctx = ctx();
+        let q = ctx.q();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = ternary(&ctx, &mut rng);
+        for c in s.coeffs() {
+            let v = q.to_signed(c);
+            assert!((-1..=1).contains(&v), "ternary coefficient out of range: {v}");
+        }
+        // All three values should appear in 1024 draws.
+        let coeffs = s.coeffs();
+        assert!(coeffs.iter().any(|&c| c == 0));
+        assert!(coeffs.iter().any(|&c| c == 1));
+        assert!(coeffs.iter().any(|&c| c == q.value() - 1));
+    }
+
+    #[test]
+    fn error_bounded_and_centered() {
+        let ctx = ctx();
+        let q = ctx.q();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let e = error(&ctx, &mut rng);
+        let signed: Vec<i64> = e.coeffs().iter().map(|&c| q.to_signed(c)).collect();
+        assert!(signed.iter().all(|&v| v.abs() <= 21));
+        let mean: f64 = signed.iter().map(|&v| v as f64).sum::<f64>() / signed.len() as f64;
+        assert!(mean.abs() < 1.0, "error distribution should be centered, mean={mean}");
+        // Variance should be near k/2 = 10.5.
+        let var: f64 =
+            signed.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / signed.len() as f64;
+        assert!((5.0..20.0).contains(&var), "variance {var} out of plausible range");
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let u = uniform(&ctx, &mut rng);
+        let q = ctx.q().value();
+        let coeffs = u.coeffs();
+        assert!(coeffs.iter().all(|&c| c < q));
+        // Expect to see values in both halves of the range.
+        assert!(coeffs.iter().any(|&c| c < q / 2));
+        assert!(coeffs.iter().any(|&c| c >= q / 2));
+    }
+}

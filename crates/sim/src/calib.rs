@@ -1,0 +1,115 @@
+//! Calibration constants, anchored to the paper's measurements.
+//!
+//! The paper's own artifact is a SimPy simulator driven by constants
+//! measured on an Intel Atom Z8350 client and an AMD EPYC 7502 server with
+//! the DELPHI codebase; this module encodes those published numbers (with
+//! the section/figure they come from) so the Rust simulator reproduces the
+//! same system behaviour. Derived rates use the ResNet-18/TinyImageNet
+//! anchor of 2,228,224 ReLUs.
+
+/// ReLU count of ResNet-18 on TinyImageNet — the paper's running example
+/// (matches our model zoo and the paper's 41 GB / 18.2 KB figure).
+pub const RELUS_R18_TINY: f64 = 2_228_224.0;
+
+// ---------------------------------------------------------------------------
+// Storage (§4.1.1)
+// ---------------------------------------------------------------------------
+
+/// Evaluator-side storage per ReLU: the garbled circuit itself (18.2 KB,
+/// measured on fancy-garbling; §4.1.1). Dominates client storage under
+/// Server-Garbler (Figure 3).
+pub const GC_EVALUATOR_BYTES_PER_RELU: f64 = 18.2e3;
+
+/// Garbler-side storage per ReLU: input encodings (3.5 KB; §4.1.1). This is
+/// what remains on the client under Client-Garbler (Figure 8's 5×
+/// reduction).
+pub const GC_GARBLER_BYTES_PER_RELU: f64 = 3.5e3;
+
+// ---------------------------------------------------------------------------
+// Compute rates, seconds per ReLU (Table 1, §5.1, §5.5)
+// ---------------------------------------------------------------------------
+
+/// GC garbling on the AMD EPYC 7502 server: 25.1 s for ResNet-18/Tiny.
+pub const SERVER_GARBLE_S_PER_RELU: f64 = 25.1 / RELUS_R18_TINY;
+
+/// GC evaluation on the server: 11.1 s for ResNet-18/Tiny (§5.1).
+pub const SERVER_EVAL_S_PER_RELU: f64 = 11.1 / RELUS_R18_TINY;
+
+/// GC garbling on the Intel Atom client: 382.6 s (§5.5).
+pub const ATOM_GARBLE_S_PER_RELU: f64 = 382.6 / RELUS_R18_TINY;
+
+/// GC evaluation on the Atom client: 200 s (Table 1 online GC).
+pub const ATOM_EVAL_S_PER_RELU: f64 = 200.0 / RELUS_R18_TINY;
+
+/// GC garbling on an Intel i5 client: 107.2 s (§5.5).
+pub const I5_GARBLE_S_PER_RELU: f64 = 107.2 / RELUS_R18_TINY;
+
+/// Online secret-sharing evaluation: 0.61 s for ResNet-18/Tiny (§4.1.2),
+/// expressed per MAC (2.44 GMACs for that network).
+pub const SERVER_SS_S_PER_MAC: f64 = 0.61 / 2.44e9;
+
+// ---------------------------------------------------------------------------
+// HE (§5.2)
+// ---------------------------------------------------------------------------
+
+/// Sequential HE time for ResNet-18/Tiny: 17.76 minutes (§5.2) — the
+/// anchor for the per-operation constant below.
+pub const HE_SEQ_R18_TINY_S: f64 = 17.76 * 60.0;
+
+/// SIMD slots per ciphertext in the cost model (DELPHI-class parameters).
+pub const HE_SLOTS: f64 = 4096.0;
+
+/// Ciphertext size in bytes for communication accounting (DELPHI-class
+/// parameters: N = 8192, ~180-bit q ≈ 2 polys × 8192 × 24 B).
+pub const HE_CT_BYTES: f64 = 2.0 * 8192.0 * 24.0;
+
+// ---------------------------------------------------------------------------
+// Communication, bytes per ReLU (Table 1, Figure 5, §5.3)
+// ---------------------------------------------------------------------------
+
+/// DELPHI's field width in bits (its prime is ~41 bits); wire labels are
+/// 16 bytes each, so one share costs `41 × 16` bytes of labels.
+pub const FIELD_BITS: f64 = 41.0;
+
+/// Labels for one party's share of one ReLU: `41 labels × 16 B`.
+pub const LABEL_BYTES_PER_SHARE: f64 = FIELD_BITS * 16.0;
+
+/// IKNP extension upload per OT (the `u` column bits): 16 B.
+pub const OT_EXT_UP_BYTES_PER_OT: f64 = 16.0;
+
+/// IKNP masked pair download per OT: 32 B.
+pub const OT_EXT_DOWN_BYTES_PER_OT: f64 = 32.0;
+
+// ---------------------------------------------------------------------------
+// Energy (§5.1)
+// ---------------------------------------------------------------------------
+
+/// Client energy to garble one ReLU on the Atom: 2.33 J / 10,000 ReLUs.
+pub const ATOM_GARBLE_J_PER_RELU: f64 = 2.33 / 10_000.0;
+
+/// Client energy to evaluate one ReLU on the Atom: 1.25 J / 10,000 ReLUs.
+pub const ATOM_EVAL_J_PER_RELU: f64 = 1.25 / 10_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_reproduce_anchor_numbers() {
+        assert!((SERVER_GARBLE_S_PER_RELU * RELUS_R18_TINY - 25.1).abs() < 1e-9);
+        assert!((ATOM_EVAL_S_PER_RELU * RELUS_R18_TINY - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_anchor_matches_figure_3() {
+        // 2.23M ReLUs x 18.2 KB ≈ 40.6 GB — the paper's "41 GB".
+        let gb = RELUS_R18_TINY * GC_EVALUATOR_BYTES_PER_RELU / 1e9;
+        assert!((40.0..41.5).contains(&gb), "{gb}");
+    }
+
+    #[test]
+    fn garbler_storage_is_5x_smaller() {
+        let ratio = GC_EVALUATOR_BYTES_PER_RELU / GC_GARBLER_BYTES_PER_RELU;
+        assert!((4.5..5.5).contains(&ratio), "{ratio}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Estimating the benefits of future research (§6, Figure 14).
+//!
+//! Starting from the optimized Client-Garbler protocol, the paper stacks
+//! hypothetical improvements — GC acceleration (FASE's 19×, then 100×),
+//! HE accelerators (1000×), next-generation wireless (10× bandwidth), and
+//! PI-friendly networks with 10× fewer ReLUs — and tracks the total
+//! latency and its breakdown.
+
+use crate::cost::ProtocolCosts;
+use crate::link::Link;
+
+/// Single-inference latency broken into the paper's six components.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Offline communication seconds.
+    pub offline_comm_s: f64,
+    /// GC garbling seconds (offline).
+    pub garble_s: f64,
+    /// HE evaluation seconds (offline, layer-parallel).
+    pub he_s: f64,
+    /// Online communication seconds.
+    pub online_comm_s: f64,
+    /// GC evaluation seconds (online).
+    pub eval_s: f64,
+    /// Secret-sharing evaluation seconds (online).
+    pub ss_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency.
+    pub fn total_s(&self) -> f64 {
+        self.offline_comm_s + self.garble_s + self.he_s + self.online_comm_s + self.eval_s + self.ss_s
+    }
+
+    /// Offline share of the total (the annotation above Figure 14's bars).
+    pub fn offline_fraction(&self) -> f64 {
+        let t = self.total_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.offline_comm_s + self.garble_s + self.he_s) / t
+        }
+    }
+}
+
+/// A cumulative what-if scenario.
+#[derive(Clone, Debug)]
+pub struct FutureScenario {
+    /// Display name (e.g. `"GC FASE 19x"`).
+    pub name: String,
+    /// Speedup applied to garbling and evaluation.
+    pub gc_speedup: f64,
+    /// Speedup applied to HE evaluation.
+    pub he_speedup: f64,
+    /// Multiplier on total wireless bandwidth.
+    pub bw_mult: f64,
+    /// Divisor on ReLU count (PI-friendly architectures).
+    pub relu_div: f64,
+}
+
+impl FutureScenario {
+    /// The paper's cumulative scenario ladder for Figure 14 (applied on top
+    /// of the Client-Garbler + LPHE + WSA baseline).
+    pub fn ladder() -> Vec<FutureScenario> {
+        let base = |name: &str| FutureScenario {
+            name: name.into(),
+            gc_speedup: 1.0,
+            he_speedup: 1.0,
+            bw_mult: 1.0,
+            relu_div: 1.0,
+        };
+        let mut out = vec![base("Client-Garbler")];
+        let mut s = base("GC FASE 19x");
+        s.gc_speedup = 19.0;
+        out.push(s.clone());
+        s.name = "GC 100x".into();
+        s.gc_speedup = 100.0;
+        out.push(s.clone());
+        s.name = "HE 1000x".into();
+        s.he_speedup = 1000.0;
+        out.push(s.clone());
+        s.name = "BW 10x".into();
+        s.bw_mult = 10.0;
+        out.push(s.clone());
+        s.name = "Fewer ReLUs".into();
+        s.relu_div = 10.0;
+        out.push(s);
+        out
+    }
+}
+
+/// Computes the single-inference latency breakdown for a cost profile
+/// under a scenario's modifiers, using a WSA-optimal link at
+/// `base_bps × bw_mult`.
+pub fn scenario_breakdown(
+    costs: &ProtocolCosts,
+    scenario: &FutureScenario,
+    base_bps: f64,
+) -> LatencyBreakdown {
+    // ReLU reduction scales every ReLU-proportional quantity.
+    let rd = scenario.relu_div;
+    let offline_up = scale_relu_bytes(costs.offline_up_bytes, costs, rd);
+    let offline_down = scale_relu_bytes(costs.offline_down_bytes, costs, rd);
+    let online_up = costs.online_up_bytes / rd;
+    let online_down = costs.online_down_bytes / rd;
+    let link = Link::wsa_optimal(
+        base_bps * scenario.bw_mult,
+        offline_up + online_up,
+        offline_down + online_down,
+    );
+    LatencyBreakdown {
+        offline_comm_s: link.transfer_s(offline_up, offline_down),
+        garble_s: costs.garble_s / rd / scenario.gc_speedup,
+        he_s: costs.he_lphe_s(costs.server_cores) / scenario.he_speedup,
+        online_comm_s: link.transfer_s(online_up, online_down),
+        eval_s: costs.eval_s / rd / scenario.gc_speedup,
+        ss_s: costs.ss_s,
+    }
+}
+
+/// Scales the ReLU-proportional part of an offline byte count, leaving the
+/// HE ciphertext traffic (layer-proportional) untouched.
+fn scale_relu_bytes(bytes: f64, costs: &ProtocolCosts, relu_div: f64) -> f64 {
+    // HE traffic is bounded above by a small fraction; approximate the
+    // non-ReLU floor as the ciphertext traffic estimate.
+    let he_floor = bytes.min(0.02 * (costs.offline_up_bytes + costs.offline_down_bytes));
+    he_floor + (bytes - he_floor) / relu_div
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Garbler, ProtocolCosts};
+    use crate::devices::DeviceProfile;
+    use pi_nn::zoo::{Architecture, Dataset};
+
+    fn cg_costs() -> ProtocolCosts {
+        ProtocolCosts::new(
+            Architecture::ResNet18,
+            Dataset::TinyImageNet,
+            Garbler::Client,
+            &DeviceProfile::atom(),
+            &DeviceProfile::epyc(),
+        )
+    }
+
+    #[test]
+    fn ladder_monotonically_improves() {
+        let costs = cg_costs();
+        let mut prev = f64::INFINITY;
+        for sc in FutureScenario::ladder() {
+            let t = scenario_breakdown(&costs, &sc, 1e9).total_s();
+            assert!(t <= prev * 1.001, "{} regressed: {t} vs {prev}", sc.name);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn baseline_total_near_paper_1052s() {
+        let costs = cg_costs();
+        let ladder = FutureScenario::ladder();
+        let t = scenario_breakdown(&costs, &ladder[0], 1e9).total_s();
+        assert!((800.0..1400.0).contains(&t), "Client-Garbler total = {t}");
+    }
+
+    #[test]
+    fn bandwidth_step_dominates() {
+        // The paper's biggest single step is BW 10x (492 -> 54 s, ~9x).
+        let costs = cg_costs();
+        let ladder = FutureScenario::ladder();
+        let before = scenario_breakdown(&costs, &ladder[3], 1e9).total_s();
+        let after = scenario_breakdown(&costs, &ladder[4], 1e9).total_s();
+        let speedup = before / after;
+        assert!((5.0..12.0).contains(&speedup), "BW step speedup = {speedup}");
+    }
+
+    #[test]
+    fn final_scenario_single_digit_seconds() {
+        let costs = cg_costs();
+        let ladder = FutureScenario::ladder();
+        let t = scenario_breakdown(&costs, ladder.last().unwrap(), 1e9).total_s();
+        assert!(t < 20.0, "end state = {t} s (paper: ~6 s)");
+    }
+
+    #[test]
+    fn offline_fraction_stays_dominant_early() {
+        // Figure 14 annotates ~76-89% offline for the early bars.
+        let costs = cg_costs();
+        let b = scenario_breakdown(&costs, &FutureScenario::ladder()[0], 1e9);
+        assert!(b.offline_fraction() > 0.6, "{}", b.offline_fraction());
+    }
+}

@@ -1,0 +1,87 @@
+//! Server-Garbler vs Client-Garbler, measured on real crypto.
+//!
+//! Runs both protocols on the same residual network and compares the
+//! measured communication, storage, and per-primitive compute — the
+//! small-scale analogue of the paper's §5.1 analysis (storage moves to the
+//! server, OT moves online, online GC evaluation moves to the fast party).
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use pi_core::{private_inference, CostReport, ProtocolConfig, ProtocolKind};
+use pi_he::BfvParams;
+use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+use rand::{Rng, SeedableRng};
+
+fn run(model: &PiModel, input: &[u64], kind: ProtocolKind, he: BfvParams) -> CostReport {
+    let cfg = match kind {
+        ProtocolKind::ServerGarbler => ProtocolConfig::server_garbler(he),
+        ProtocolKind::ClientGarbler => ProtocolConfig::client_garbler(he, 4),
+    };
+    let (out, report) = private_inference(model, input, &cfg);
+    assert_eq!(out, model.forward(input), "correctness check");
+    report
+}
+
+fn main() {
+    let he = BfvParams::small_test();
+    let fx = FixedConfig { p: he.t(), f: 5 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let spec = zoo::tiny_resnet();
+    let net = Network::materialize(&spec, &mut rng);
+    let model = PiModel::lower(&QuantNetwork::quantize(&net, fx));
+    let input: Vec<u64> = (0..model.input_len)
+        .map(|_| fx.p.from_signed(rng.gen_range(-32..=32)))
+        .collect();
+
+    println!("network: {} ({} ReLUs)\n", spec.name, model.total_relus());
+    let sg = run(&model, &input, ProtocolKind::ServerGarbler, he.clone());
+    let cg = run(&model, &input, ProtocolKind::ClientGarbler, he);
+
+    let row = |name: &str, a: f64, b: f64, unit: &str| {
+        println!("{name:<28} {a:>12.1} {b:>12.1}  {unit}");
+    };
+    println!("{:<28} {:>12} {:>12}", "", "Server-Garb.", "Client-Garb.");
+    row(
+        "client storage",
+        sg.client_storage_bytes as f64 / 1e3,
+        cg.client_storage_bytes as f64 / 1e3,
+        "KB",
+    );
+    row(
+        "server storage",
+        sg.server_storage_bytes as f64 / 1e3,
+        cg.server_storage_bytes as f64 / 1e3,
+        "KB",
+    );
+    row(
+        "offline upload",
+        sg.offline.upload_bytes as f64 / 1e3,
+        cg.offline.upload_bytes as f64 / 1e3,
+        "KB",
+    );
+    row(
+        "offline download",
+        sg.offline.download_bytes as f64 / 1e3,
+        cg.offline.download_bytes as f64 / 1e3,
+        "KB",
+    );
+    row(
+        "online bytes (both ways)",
+        sg.online.total_bytes() as f64 / 1e3,
+        cg.online.total_bytes() as f64 / 1e3,
+        "KB",
+    );
+    row("offline garbling", sg.offline.garble_ms, cg.offline.garble_ms, "ms");
+    row("online GC evaluation", sg.online.eval_ms, cg.online.eval_ms, "ms");
+    row("online OT", sg.online.ot_ms, cg.online.ot_ms, "ms");
+
+    println!();
+    println!(
+        "client storage reduction: {:.1}x (the paper's Figure 8 shows ~5x at scale,",
+        sg.client_storage_bytes as f64 / cg.client_storage_bytes as f64
+    );
+    println!("where the 18.2 KB/ReLU circuits dominate the fixed-size share vectors)");
+    println!("note the direction flip: SG downloads its GCs, CG uploads them; CG pays OT online.");
+}

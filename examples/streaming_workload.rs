@@ -1,0 +1,84 @@
+//! A cloud vision API under streaming private-inference load.
+//!
+//! The paper's headline system insight: offline costs do not stay offline.
+//! This example simulates a smartphone-class client (Intel Atom, limited
+//! storage) querying a ResNet-18/TinyImageNet prediction service at
+//! increasing request rates, under the baseline protocol and under the
+//! paper's full optimization stack (Client-Garbler + LPHE + WSA).
+//!
+//! ```text
+//! cargo run --release --example streaming_workload
+//! ```
+
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::{Garbler, ProtocolCosts};
+use pi_sim::devices::DeviceProfile;
+use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
+use pi_sim::link::Link;
+
+fn main() {
+    let client = DeviceProfile::atom();
+    let server = DeviceProfile::epyc();
+    let arch = Architecture::ResNet18;
+    let ds = Dataset::TinyImageNet;
+
+    let baseline = ProtocolCosts::new(arch, ds, Garbler::Server, &client, &server);
+    let proposed = ProtocolCosts::new(arch, ds, Garbler::Client, &client, &server);
+
+    println!("workload: {} on {}, 24 h of Poisson arrivals, phone-class client\n", arch.name(), ds.name());
+    println!(
+        "per-precompute client storage: baseline {:.1} GB, proposed {:.1} GB",
+        baseline.client_storage_bytes / 1e9,
+        proposed.client_storage_bytes / 1e9
+    );
+
+    let configs = [
+        (
+            "baseline (Server-Garbler, even 1 Gbps, 64 GB)",
+            &baseline,
+            SystemConfig {
+                scheduling: OfflineScheduling::Sequential,
+                link: Link::even(1e9),
+                client_storage_bytes: 64e9,
+            },
+        ),
+        (
+            "proposed (Client-Garbler + LPHE + WSA, 16 GB)",
+            &proposed,
+            SystemConfig {
+                scheduling: OfflineScheduling::Lphe,
+                link: proposed.wsa_link(1e9),
+                client_storage_bytes: 16e9,
+            },
+        ),
+    ];
+
+    for (name, costs, sys) in configs {
+        println!("\n--- {name} ---");
+        println!(
+            "{:>10} {:>12} {:>10} {:>10} {:>10} {:>6}",
+            "req/min", "mean (min)", "queue", "offline", "online", "sat?"
+        );
+        for per_min in [120.0f64, 60.0, 36.0, 22.0, 18.0, 15.0] {
+            let wl = Workload {
+                rate_per_min: 1.0 / per_min,
+                duration_s: 24.0 * 3600.0,
+                runs: 10,
+                seed: 99,
+            };
+            let s = simulate(costs, &sys, &wl);
+            println!(
+                "{:>10} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>6}",
+                format!("1/{per_min}"),
+                s.mean_latency_s / 60.0,
+                s.mean_queue_s / 60.0,
+                s.mean_offline_s / 60.0,
+                s.mean_online_s / 60.0,
+                if s.saturated { "yes" } else { "no" }
+            );
+        }
+    }
+
+    println!("\nthe proposed stack sustains a higher arrival rate at lower latency with");
+    println!("4x less client storage — the paper's 1.8x mean-latency / 2.24x rate headline.");
+}

@@ -1,0 +1,124 @@
+//! Workspace-spanning integration tests: full private inference across
+//! every crate (nn → he/gc/ot/ss → core), checked against both the
+//! fixed-point reference and f64 inference.
+
+use pi_core::{private_inference, ProtocolConfig, ProtocolKind};
+use pi_he::BfvParams;
+use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork, Tensor};
+use rand::{Rng, SeedableRng};
+
+struct Setup {
+    net: Network,
+    qnet: QuantNetwork,
+    model: PiModel,
+    fx: FixedConfig,
+    he: BfvParams,
+}
+
+fn setup(spec: &pi_nn::NetSpec, seed: u64) -> Setup {
+    let he = BfvParams::small_test();
+    let fx = FixedConfig { p: he.t(), f: 5 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = Network::materialize(spec, &mut rng);
+    let qnet = QuantNetwork::quantize(&net, fx);
+    let model = PiModel::lower(&qnet);
+    Setup { net, qnet, model, fx, he }
+}
+
+fn random_input_f(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Both protocols, real HE: output must be bit-exact with the fixed-point
+/// reference and within quantization error of f64 inference.
+#[test]
+fn he_protocols_match_reference_and_f64() {
+    let spec = zoo::tiny_cnn();
+    let s = setup(&spec, 100);
+    let input_f = random_input_f(s.model.input_len, 101);
+    let input = s.fx.quantize_vec(&input_f);
+    let reference = s.qnet.forward_fixed(&input);
+    let f64_out = s.net.forward(&Tensor::from_vec(&spec.input, input_f));
+
+    for kind in [ProtocolKind::ServerGarbler, ProtocolKind::ClientGarbler] {
+        let cfg = match kind {
+            ProtocolKind::ServerGarbler => ProtocolConfig::server_garbler(s.he.clone()),
+            ProtocolKind::ClientGarbler => ProtocolConfig::client_garbler(s.he.clone(), 3),
+        };
+        let (out, report) = private_inference(&s.model, &input, &cfg);
+        assert_eq!(out, reference, "{kind:?} disagrees with fixed-point reference");
+        for (&q, &f) in out.iter().zip(f64_out.data()) {
+            let deq = s.fx.dequantize(q, 2 * s.fx.f);
+            assert!(
+                (deq - f).abs() < 0.3,
+                "{kind:?}: dequantized {deq} too far from f64 {f}"
+            );
+        }
+        assert!(report.offline.he_ms > 0.0, "HE must actually run");
+        assert!(report.gc_bytes > 0);
+    }
+}
+
+/// Residual networks (two-input phases) through the full stack.
+#[test]
+fn residual_network_he_end_to_end() {
+    let spec = zoo::tiny_resnet();
+    let s = setup(&spec, 200);
+    let input_f = random_input_f(s.model.input_len, 201);
+    let input = s.fx.quantize_vec(&input_f);
+    let cfg = ProtocolConfig::client_garbler(s.he.clone(), 4);
+    let (out, _) = private_inference(&s.model, &input, &cfg);
+    assert_eq!(out, s.qnet.forward_fixed(&input));
+}
+
+/// Pooling networks (divisor folding) through the full stack.
+#[test]
+fn pooling_network_he_end_to_end() {
+    let spec = zoo::tiny_cnn_pool();
+    let s = setup(&spec, 300);
+    let input_f = random_input_f(s.model.input_len, 301);
+    let input = s.fx.quantize_vec(&input_f);
+    let cfg = ProtocolConfig::server_garbler(s.he.clone());
+    let (out, _) = private_inference(&s.model, &input, &cfg);
+    assert_eq!(out, s.qnet.forward_fixed(&input));
+}
+
+/// Different inputs through one model: protocols are reusable and the
+/// randomness is fresh per inference (outputs differ where they should).
+#[test]
+fn multiple_inferences_same_model() {
+    let spec = zoo::tiny_cnn();
+    let s = setup(&spec, 400);
+    let cfg = ProtocolConfig::clear(ProtocolKind::ClientGarbler);
+    for seed in 0..4u64 {
+        let input_f = random_input_f(s.model.input_len, 500 + seed);
+        let input = s.fx.quantize_vec(&input_f);
+        let (out, _) = private_inference(&s.model, &input, &cfg);
+        assert_eq!(out, s.qnet.forward_fixed(&input), "inference {seed}");
+    }
+}
+
+/// Negative-heavy inputs exercise the sign logic in the garbled ReLU.
+#[test]
+fn all_negative_input_clamps_correctly() {
+    let spec = zoo::tiny_cnn();
+    let s = setup(&spec, 600);
+    let input: Vec<u64> =
+        (0..s.model.input_len).map(|i| s.fx.p.from_signed(-((i % 30) as i64 + 1))).collect();
+    let cfg = ProtocolConfig::clear(ProtocolKind::ServerGarbler);
+    let (out, _) = private_inference(&s.model, &input, &cfg);
+    assert_eq!(out, s.qnet.forward_fixed(&input));
+}
+
+/// Zero input is the degenerate path (everything masked by pure
+/// randomness).
+#[test]
+fn zero_input_works() {
+    let spec = zoo::tiny_cnn();
+    let s = setup(&spec, 700);
+    let input = vec![0u64; s.model.input_len];
+    let cfg = ProtocolConfig::clear(ProtocolKind::ClientGarbler);
+    let (out, _) = private_inference(&s.model, &input, &cfg);
+    assert_eq!(out, s.qnet.forward_fixed(&input));
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the system simulator and analytic models.
+
+use pi_nn::zoo::{Architecture, Dataset};
+use pi_sim::cost::{makespan, Garbler, ProtocolCosts};
+use pi_sim::devices::DeviceProfile;
+use pi_sim::engine::{simulate, OfflineScheduling, ServiceProfile, SystemConfig, Workload};
+use pi_sim::link::{optimal_upload_fraction, Link};
+use proptest::prelude::*;
+
+fn costs(g: Garbler) -> ProtocolCosts {
+    ProtocolCosts::new(
+        Architecture::ResNet32,
+        Dataset::Cifar100,
+        g,
+        &DeviceProfile::atom(),
+        &DeviceProfile::epyc(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The closed-form WSA optimum beats (or ties) every grid point.
+    #[test]
+    fn wsa_optimum_beats_grid(up in 1e6..100e9f64, down in 1e6..100e9f64) {
+        let x = optimal_upload_fraction(up, down);
+        let t_opt = Link { total_bps: 1e9, upload_fraction: x }.transfer_s(up, down);
+        for i in 1..100 {
+            let xi = i as f64 / 100.0;
+            let t = Link { total_bps: 1e9, upload_fraction: xi }.transfer_s(up, down);
+            prop_assert!(t_opt <= t * 1.0001, "x*={x} beaten at x={xi}: {t_opt} > {t}");
+        }
+    }
+
+    /// Makespan bounds: max(job) <= makespan <= sum(jobs), and LPT is
+    /// within 4/3 of the trivial lower bound.
+    #[test]
+    fn makespan_bounds(jobs in prop::collection::vec(0.1f64..100.0, 1..40), cores in 1usize..32) {
+        let m = makespan(&jobs, cores);
+        let max = jobs.iter().cloned().fold(0.0, f64::max);
+        let sum: f64 = jobs.iter().sum();
+        let lower = max.max(sum / cores as f64);
+        prop_assert!(m >= lower - 1e-9);
+        prop_assert!(m <= sum + 1e-9);
+        prop_assert!(m <= lower * 4.0 / 3.0 + max, "LPT bound violated: {m} vs {lower}");
+    }
+
+    /// More bandwidth never hurts.
+    #[test]
+    fn bandwidth_monotonicity(mbps in 100.0f64..2000.0) {
+        let c = costs(Garbler::Client);
+        let t1 = c.offline_comm_s(&Link::even(mbps * 1e6));
+        let t2 = c.offline_comm_s(&Link::even(2.0 * mbps * 1e6));
+        prop_assert!(t2 < t1);
+    }
+
+    /// More client storage never increases mean latency (same seed).
+    #[test]
+    fn storage_monotonicity(gb1 in 2.0f64..20.0, extra in 1.0f64..60.0) {
+        let c = costs(Garbler::Client);
+        let mk = |gb: f64| SystemConfig {
+            scheduling: OfflineScheduling::Lphe,
+            link: c.wsa_link(1e9),
+            client_storage_bytes: gb * 1e9,
+        };
+        let wl = Workload { rate_per_min: 1.0 / 4.0, duration_s: 6.0 * 3600.0, runs: 4, seed: 3 };
+        let small = simulate(&c, &mk(gb1), &wl);
+        let large = simulate(&c, &mk(gb1 + extra), &wl);
+        prop_assert!(
+            large.mean_latency_s <= small.mean_latency_s * 1.05 + 1.0,
+            "storage {} -> {}: latency {} -> {}",
+            gb1, gb1 + extra, small.mean_latency_s, large.mean_latency_s
+        );
+    }
+
+    /// Mean latency is never below the online service time.
+    #[test]
+    fn latency_at_least_online(rate_denom_min in 2.0f64..60.0) {
+        let c = costs(Garbler::Server);
+        let sys = SystemConfig {
+            scheduling: OfflineScheduling::Sequential,
+            link: Link::even(1e9),
+            client_storage_bytes: 32e9,
+        };
+        let wl = Workload {
+            rate_per_min: 1.0 / rate_denom_min,
+            duration_s: 6.0 * 3600.0,
+            runs: 3,
+            seed: 4,
+        };
+        let s = simulate(&c, &sys, &wl);
+        if s.completed > 0.0 {
+            prop_assert!(s.mean_latency_s >= c.online_s(&sys.link) - 1e-6);
+        }
+    }
+}
+
+/// LPHE's offline job is never slower than the sequential baseline and the
+/// components add up.
+#[test]
+fn offline_job_composition() {
+    for g in [Garbler::Server, Garbler::Client] {
+        let c = costs(g);
+        let link = Link::even(1e9);
+        assert!(c.he_lphe_s(32) <= c.he_seq_s() + 1e-9);
+        assert!(c.he_lphe_s(1) - c.he_seq_s() < 1e-9);
+        let sys_seq = SystemConfig {
+            scheduling: OfflineScheduling::Sequential,
+            link,
+            client_storage_bytes: 64e9,
+        };
+        let sys_lphe =
+            SystemConfig { scheduling: OfflineScheduling::Lphe, link, client_storage_bytes: 64e9 };
+        let p_seq = ServiceProfile::derive(&c, &sys_seq);
+        let p_lphe = ServiceProfile::derive(&c, &sys_lphe);
+        assert!(p_lphe.offline_job_s <= p_seq.offline_job_s);
+        assert_eq!(p_seq.offline_concurrency, 1);
+    }
+}
+
+/// The three scheduling modes have the documented concurrency semantics.
+#[test]
+fn scheduling_concurrency_semantics() {
+    let c = costs(Garbler::Client);
+    let mk = |sched, gb: f64| {
+        ServiceProfile::derive(
+            &c,
+            &SystemConfig {
+                scheduling: sched,
+                link: Link::even(1e9),
+                client_storage_bytes: gb * 1e9,
+            },
+        )
+    };
+    assert_eq!(mk(OfflineScheduling::Lphe, 100.0).offline_concurrency, 1);
+    let rlp = mk(OfflineScheduling::Rlp, 100.0);
+    assert!(rlp.offline_concurrency > 1);
+    assert!(rlp.offline_concurrency <= 32);
+    // RLP concurrency is storage-bounded.
+    let rlp_small = mk(OfflineScheduling::Rlp, 2.0);
+    assert!(rlp_small.offline_concurrency <= rlp.offline_concurrency);
+}
+
+/// Saturation appears beyond the pipeline rate and not far below it.
+#[test]
+fn saturation_thresholds() {
+    let c = costs(Garbler::Client);
+    let sys = SystemConfig {
+        scheduling: OfflineScheduling::Lphe,
+        link: c.wsa_link(1e9),
+        client_storage_bytes: 64e9,
+    };
+    let profile = ServiceProfile::derive(&c, &sys);
+    let pipeline_rate_per_min = 60.0 / profile.offline_job_s;
+    let mk = |mult: f64| Workload {
+        rate_per_min: pipeline_rate_per_min * mult,
+        duration_s: 24.0 * 3600.0,
+        runs: 6,
+        seed: 5,
+    };
+    assert!(!simulate(&c, &sys, &mk(0.5)).saturated, "half the pipeline rate must be fine");
+    assert!(simulate(&c, &sys, &mk(2.0)).saturated, "twice the pipeline rate must saturate");
+}
