@@ -22,7 +22,9 @@ fn bench_gc(c: &mut Criterion) {
     inputs.extend(to_bits(54321 % p, layout.width));
     inputs.extend(to_bits(777 % p, layout.width));
     let labels = g.encoding.encode_bits(0, &inputs);
-    group.bench_function("evaluate", |b| b.iter(|| evaluate(&circuit, &g.garbled, &labels)));
+    group.bench_function("evaluate", |b| {
+        b.iter(|| evaluate(&circuit, &g.garbled, &labels))
+    });
     group.finish();
 
     println!(

@@ -1,8 +1,13 @@
 //! BFV operation costs: encryption, plaintext multiplication, rotation,
 //! and the diagonal-method matvec that dominates DELPHI's offline phase.
+//!
+//! `mul_plain` / `matvec_64x64` re-encode or re-transform plaintext operands
+//! on every call (the pre-optimization behaviour); the `*_precomputed`
+//! variants reuse Shoup-form operands, which is how the offline phase
+//! actually runs (one weight matrix, many clients).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pi_he::linalg::{encrypt_vector, matvec, PlainMatrix};
+use pi_he::linalg::{encode_diagonals, encrypt_vector, matvec, matvec_precomputed, PlainMatrix};
 use pi_he::{BatchEncoder, BfvParams, KeySet};
 use rand::{Rng, SeedableRng};
 
@@ -21,14 +26,26 @@ fn bench_he(c: &mut Criterion) {
     let ct = keys.public.encrypt(&pt, &mut rng);
     group.bench_function("decrypt", |b| b.iter(|| keys.secret.decrypt(&ct)));
     group.bench_function("mul_plain", |b| b.iter(|| ct.mul_plain(&pt)));
+    let pt_op = pt.to_operand();
+    group.bench_function("mul_plain_precomputed", |b| {
+        b.iter(|| ct.mul_plain_operand(&pt_op))
+    });
     group.bench_function("rotate_1", |b| b.iter(|| keys.galois.rotate_rows(&ct, 1)));
 
     let dim = 64usize;
-    let data: Vec<u64> = (0..dim * dim).map(|_| rng.gen_range(0..t.value())).collect();
+    let data: Vec<u64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
     let w = PlainMatrix::new(dim, dim, &data, t);
     let v: Vec<u64> = (0..dim).map(|_| rng.gen_range(0..t.value())).collect();
     let ct_v = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
-    group.bench_function("matvec_64x64", |b| b.iter(|| matvec(&keys.galois, &enc, &w, &ct_v)));
+    group.bench_function("matvec_64x64", |b| {
+        b.iter(|| matvec(&keys.galois, &enc, &w, &ct_v))
+    });
+    let diagonals = encode_diagonals(&enc, &w);
+    group.bench_function("matvec_64x64_precomputed", |b| {
+        b.iter(|| matvec_precomputed(&keys.galois, &diagonals, &ct_v))
+    });
     group.finish();
 }
 

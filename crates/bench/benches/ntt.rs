@@ -1,8 +1,13 @@
 //! NTT throughput: the innermost kernel of every HE operation.
+//!
+//! Reports the Barrett-reduction reference transform (`*_barrett`) next to
+//! the lazy-reduction Harvey engine (`*_harvey`) so the speedup of the
+//! Shoup/lazy formulation is measured directly, plus the batched stage-major
+//! kernel (`forward_many`) and the pointwise Shoup product.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pi_field::Modulus;
-use pi_poly::NttTables;
+use pi_poly::{NttTables, ShoupVec};
 use rand::{Rng, SeedableRng};
 
 fn bench_ntt(c: &mut Criterion) {
@@ -13,19 +18,79 @@ fn bench_ntt(c: &mut Criterion) {
         let tables = NttTables::new(n, q);
         let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
         let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
-        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+
+        group.bench_with_input(BenchmarkId::new("forward_barrett", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                tables.forward_reference(&mut a);
+                a
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forward_harvey", n), &n, |b, _| {
             b.iter(|| {
                 let mut a = data.clone();
                 tables.forward(&mut a);
                 a
             })
         });
-        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("roundtrip_barrett", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                tables.forward_reference(&mut a);
+                tables.inverse_reference(&mut a);
+                a
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip_harvey", n), &n, |b, _| {
             b.iter(|| {
                 let mut a = data.clone();
                 tables.forward(&mut a);
                 tables.inverse(&mut a);
                 a
+            })
+        });
+
+        // Batched transform of a ciphertext-pair-sized batch (2 polys) and a
+        // key-switch-digit-sized batch (6 polys, matching default ks_digits).
+        for batch_size in [2usize, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("forward_many_x{batch_size}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut polys: Vec<Vec<u64>> =
+                            (0..batch_size).map(|_| data.clone()).collect();
+                        let mut refs: Vec<&mut [u64]> =
+                            polys.iter_mut().map(|p| p.as_mut_slice()).collect();
+                        tables.forward_many(&mut refs);
+                        polys
+                    })
+                },
+            );
+        }
+
+        // Pointwise products: Barrett mul vs precomputed Shoup operand.
+        let other: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        let op = ShoupVec::new(q, &other);
+        group.bench_with_input(BenchmarkId::new("dyadic_barrett", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0u64; n];
+                tables.dyadic_mul(&mut out, &data, &other);
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dyadic_shoup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0u64; n];
+                tables.dyadic_mul_shoup(&mut out, &data, &op);
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dyadic_acc_shoup_lazy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = vec![0u64; n];
+                tables.dyadic_mul_acc_shoup(&mut acc, &data, &op);
+                acc
             })
         });
     }

@@ -20,9 +20,13 @@ fn bench_ot(c: &mut Criterion) {
         b.iter(|| receiver.extend(&choices, &mut rng))
     });
     let (u_msg, keys) = receiver.extend(&choices, &mut rng);
-    group.bench_function("transfer_1024", |b| b.iter(|| sender.transfer(&u_msg, &pairs)));
+    group.bench_function("transfer_1024", |b| {
+        b.iter(|| sender.transfer(&u_msg, &pairs))
+    });
     let y = sender.transfer(&u_msg, &pairs);
-    group.bench_function("decode_1024", |b| b.iter(|| receiver.decode(&y, &choices, &keys)));
+    group.bench_function("decode_1024", |b| {
+        b.iter(|| receiver.decode(&y, &choices, &keys))
+    });
     group.finish();
 }
 

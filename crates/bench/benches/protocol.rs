@@ -22,12 +22,20 @@ fn bench_protocol(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("server_garbler_clear", |b| {
         b.iter(|| {
-            private_inference(&model, &input, &ProtocolConfig::clear(ProtocolKind::ServerGarbler))
+            private_inference(
+                &model,
+                &input,
+                &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+            )
         })
     });
     group.bench_function("client_garbler_clear", |b| {
         b.iter(|| {
-            private_inference(&model, &input, &ProtocolConfig::clear(ProtocolKind::ClientGarbler))
+            private_inference(
+                &model,
+                &input,
+                &ProtocolConfig::clear(ProtocolKind::ClientGarbler),
+            )
         })
     });
     group.finish();

@@ -20,7 +20,12 @@ fn bench_sim(c: &mut Criterion) {
         client_storage_bytes: 64e9,
     };
     let profile = ServiceProfile::derive(&costs, &sys);
-    let wl = Workload { rate_per_min: 1.0 / 20.0, duration_s: 24.0 * 3600.0, runs: 1, seed: 5 };
+    let wl = Workload {
+        rate_per_min: 1.0 / 20.0,
+        duration_s: 24.0 * 3600.0,
+        runs: 1,
+        seed: 5,
+    };
     let mut group = c.benchmark_group("simulator");
     group.sample_size(20);
     group.bench_function("one_24h_run", |b| {

@@ -8,10 +8,7 @@ use pi_sim::cost::Garbler;
 use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
 use pi_sim::link::Link;
 
-fn max_sustainable_per_min(
-    costs: &pi_sim::ProtocolCosts,
-    sys: &SystemConfig,
-) -> f64 {
+fn max_sustainable_per_min(costs: &pi_sim::ProtocolCosts, sys: &SystemConfig) -> f64 {
     // Bisect the saturation boundary (minutes per request).
     let mut lo = 1.0f64; // surely saturated
     let mut hi = 240.0f64; // surely fine
@@ -33,18 +30,49 @@ fn max_sustainable_per_min(
 }
 
 fn main() {
-    header("Ablation of the proposed optimizations (ResNet-18/TinyImageNet)", "§5.4 / DESIGN.md");
-    let sg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
-    let cg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Client);
+    header(
+        "Ablation of the proposed optimizations (ResNet-18/TinyImageNet)",
+        "§5.4 / DESIGN.md",
+    );
+    let sg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
+    let cg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Client,
+    );
 
     // (protocol costs, scheduling, link, label)
     let configs: Vec<(&str, &pi_sim::ProtocolCosts, OfflineScheduling, Link)> = vec![
-        ("baseline (SG)", &sg, OfflineScheduling::Sequential, Link::even(1e9)),
+        (
+            "baseline (SG)",
+            &sg,
+            OfflineScheduling::Sequential,
+            Link::even(1e9),
+        ),
         ("+ LPHE only", &sg, OfflineScheduling::Lphe, Link::even(1e9)),
-        ("+ WSA only", &sg, OfflineScheduling::Sequential, sg.wsa_link(1e9)),
-        ("+ CG only", &cg, OfflineScheduling::Sequential, Link::even(1e9)),
+        (
+            "+ WSA only",
+            &sg,
+            OfflineScheduling::Sequential,
+            sg.wsa_link(1e9),
+        ),
+        (
+            "+ CG only",
+            &cg,
+            OfflineScheduling::Sequential,
+            Link::even(1e9),
+        ),
         ("CG + LPHE", &cg, OfflineScheduling::Lphe, Link::even(1e9)),
-        ("CG + LPHE + WSA (proposed)", &cg, OfflineScheduling::Lphe, cg.wsa_link(1e9)),
+        (
+            "CG + LPHE + WSA (proposed)",
+            &cg,
+            OfflineScheduling::Lphe,
+            cg.wsa_link(1e9),
+        ),
     ];
 
     println!(

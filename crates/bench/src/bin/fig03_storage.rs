@@ -19,9 +19,16 @@ fn main() {
         ("resnet32", "imagenet", 271.0),
         ("resnet18", "imagenet", 498.0),
     ];
-    println!("{:<10} {:<14} {:>12} {:>14} {:>10}", "network", "dataset", "ReLUs", "storage", "paper");
+    println!(
+        "{:<10} {:<14} {:>12} {:>14} {:>10}",
+        "network", "dataset", "ReLUs", "storage", "paper"
+    );
     for ds in Dataset::all() {
-        for arch in [Architecture::Vgg16, Architecture::ResNet32, Architecture::ResNet18] {
+        for arch in [
+            Architecture::Vgg16,
+            Architecture::ResNet32,
+            Architecture::ResNet18,
+        ] {
             let stats = arch.spec(ds).stats().expect("zoo specs valid");
             let bytes = stats.total_relus as f64 * calib::GC_EVALUATOR_BYTES_PER_RELU;
             let paper_gb = paper

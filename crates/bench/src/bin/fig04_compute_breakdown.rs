@@ -7,13 +7,20 @@ use pi_nn::zoo::{Architecture, Dataset};
 use pi_sim::cost::Garbler;
 
 fn main() {
-    header("Compute latency breakdown per inference (Server-Garbler)", "Figure 4");
+    header(
+        "Compute latency breakdown per inference (Server-Garbler)",
+        "Figure 4",
+    );
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>12}",
         "network", "dataset", "HE.Eval", "GC.Eval", "GC.Garble"
     );
     for ds in [Dataset::Cifar100, Dataset::TinyImageNet] {
-        for arch in [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18] {
+        for arch in [
+            Architecture::ResNet32,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ] {
             let c = paper_costs(arch, ds, Garbler::Server);
             println!(
                 "{:<10} {:<14} {:>12} {:>12} {:>12}",

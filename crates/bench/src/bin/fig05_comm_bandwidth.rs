@@ -8,14 +8,31 @@ use pi_sim::cost::Garbler;
 use pi_sim::link::Link;
 
 fn main() {
-    header("Communication latency vs bandwidth (ResNet-18/TinyImageNet)", "Figure 5");
-    let c = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    header(
+        "Communication latency vs bandwidth (ResNet-18/TinyImageNet)",
+        "Figure 5",
+    );
+    let c = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
     let up = c.offline_up_bytes + c.online_up_bytes;
     let down = c.offline_down_bytes + c.online_down_bytes;
-    println!("total upload: {:.2} GB   total download: {:.2} GB", up / 1e9, down / 1e9);
-    println!("download share of bytes: {:.1}%", 100.0 * down / (up + down));
+    println!(
+        "total upload: {:.2} GB   total download: {:.2} GB",
+        up / 1e9,
+        down / 1e9
+    );
+    println!(
+        "download share of bytes: {:.1}%",
+        100.0 * down / (up + down)
+    );
     println!();
-    println!("{:>10} {:>14} {:>14} {:>14}", "Mbps", "upload", "download", "total");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "Mbps", "upload", "download", "total"
+    );
     let mut mbps = 100.0;
     while mbps <= 1000.0 {
         let link = Link::even(mbps * 1e6);

@@ -9,8 +9,15 @@ use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
 use pi_sim::link::Link;
 
 fn main() {
-    header("Mean latency vs arrival rate (Server-Garbler, 128 GB)", "Figure 7");
-    let c = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    header(
+        "Mean latency vs arrival rate (Server-Garbler, 128 GB)",
+        "Figure 7",
+    );
+    let c = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
     let sys = SystemConfig {
         scheduling: OfflineScheduling::Sequential,
         link: Link::even(1e9),

@@ -5,7 +5,10 @@ use pi_bench::{eval_pairs, gb, header, paper_costs};
 use pi_sim::cost::Garbler;
 
 fn main() {
-    header("Client storage: Server-Garbler vs Client-Garbler", "Figure 8");
+    header(
+        "Client storage: Server-Garbler vs Client-Garbler",
+        "Figure 8",
+    );
     println!(
         "{:<10} {:<14} {:>16} {:>18} {:>8}",
         "network", "dataset", "Server-Garbler", "Client-Garbler", "ratio"

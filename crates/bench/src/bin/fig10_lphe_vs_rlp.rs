@@ -9,7 +9,10 @@ use pi_sim::devices::DeviceProfile;
 use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
 
 fn main() {
-    header("LPHE vs RLP across client storage (Client-Garbler + WSA)", "Figure 10");
+    header(
+        "LPHE vs RLP across client storage (Client-Garbler + WSA)",
+        "Figure 10",
+    );
     // The paper assigns 17 server cores (one per ResNet-18 linear layer).
     let mut server = DeviceProfile::epyc();
     server.cores = 17;
@@ -21,16 +24,20 @@ fn main() {
         &server,
     );
     let link = costs.wsa_link(1e9);
-    println!("client precompute footprint: {:.1} GB", costs.client_storage_bytes / 1e9);
+    println!(
+        "client precompute footprint: {:.1} GB",
+        costs.client_storage_bytes / 1e9
+    );
     println!();
     println!(
         "{:>8} {:>6} {:>10} {:>14} {:>14} {:>6}",
         "storage", "sched", "slots", "req/min", "mean (min)", "sat?"
     );
     for &gb in &[8.0f64, 16.0, 32.0, 64.0, 140.0] {
-        for (name, sched) in
-            [("LPHE", OfflineScheduling::Lphe), ("RLP", OfflineScheduling::Rlp)]
-        {
+        for (name, sched) in [
+            ("LPHE", OfflineScheduling::Lphe),
+            ("RLP", OfflineScheduling::Rlp),
+        ] {
             let sys = SystemConfig {
                 scheduling: sched,
                 link,

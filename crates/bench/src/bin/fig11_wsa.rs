@@ -8,13 +8,30 @@ use pi_sim::cost::Garbler;
 use pi_sim::link::{optimal_upload_fraction, Link};
 
 fn main() {
-    header("Wireless slot allocation sweep (ResNet-18/TinyImageNet)", "Figure 11");
-    let sg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
-    let cg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Client);
-    println!("{:>10} {:>18} {:>18}", "upload x", "Server-Garbler", "Client-Garbler");
+    header(
+        "Wireless slot allocation sweep (ResNet-18/TinyImageNet)",
+        "Figure 11",
+    );
+    let sg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
+    let cg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Client,
+    );
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "upload x", "Server-Garbler", "Client-Garbler"
+    );
     for i in 1..=9 {
         let x = i as f64 / 10.0;
-        let link = Link { total_bps: 1e9, upload_fraction: x };
+        let link = Link {
+            total_bps: 1e9,
+            upload_fraction: x,
+        };
         let t_sg = link.transfer_s(
             sg.offline_up_bytes + sg.online_up_bytes,
             sg.offline_down_bytes + sg.online_down_bytes,
@@ -23,7 +40,12 @@ fn main() {
             cg.offline_up_bytes + cg.online_up_bytes,
             cg.offline_down_bytes + cg.online_down_bytes,
         );
-        println!("{:>10.1} {:>16.1} m {:>16.1} m", x, t_sg / 60.0, t_cg / 60.0);
+        println!(
+            "{:>10.1} {:>16.1} m {:>16.1} m",
+            x,
+            t_sg / 60.0,
+            t_cg / 60.0
+        );
     }
     let x_sg = optimal_upload_fraction(
         sg.offline_up_bytes + sg.online_up_bytes,

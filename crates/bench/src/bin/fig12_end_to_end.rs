@@ -14,7 +14,10 @@ fn main() {
         let cg = paper_costs(arch, ds, Garbler::Client);
         // Rate grid scaled to each workload's offline time.
         let base = sg.offline_seq_s(&Link::even(1e9)) / 60.0;
-        let rates: Vec<f64> = [3.0, 1.5, 1.0, 0.75, 0.6, 0.5].iter().map(|m| base * m).collect();
+        let rates: Vec<f64> = [3.0, 1.5, 1.0, 0.75, 0.6, 0.5]
+            .iter()
+            .map(|m| base * m)
+            .collect();
         println!("--- {} / {} ---", arch.name(), ds.name());
         print!("{:>24}", "config \\ req per (min)");
         for r in &rates {
@@ -22,10 +25,34 @@ fn main() {
         }
         println!();
         for (label, costs, sched, link, storage) in [
-            ("SG 16GB", &sg, OfflineScheduling::Sequential, Link::even(1e9), 16e9),
-            ("SG 32GB", &sg, OfflineScheduling::Sequential, Link::even(1e9), 32e9),
-            ("SG 64GB", &sg, OfflineScheduling::Sequential, Link::even(1e9), 64e9),
-            ("Proposed 16GB", &cg, OfflineScheduling::Lphe, cg.wsa_link(1e9), 16e9),
+            (
+                "SG 16GB",
+                &sg,
+                OfflineScheduling::Sequential,
+                Link::even(1e9),
+                16e9,
+            ),
+            (
+                "SG 32GB",
+                &sg,
+                OfflineScheduling::Sequential,
+                Link::even(1e9),
+                32e9,
+            ),
+            (
+                "SG 64GB",
+                &sg,
+                OfflineScheduling::Sequential,
+                Link::even(1e9),
+                64e9,
+            ),
+            (
+                "Proposed 16GB",
+                &cg,
+                OfflineScheduling::Lphe,
+                cg.wsa_link(1e9),
+                16e9,
+            ),
         ] {
             print!("{label:>24}");
             for per_min in &rates {
@@ -35,7 +62,11 @@ fn main() {
                     runs: sim_runs(),
                     seed: 12,
                 };
-                let sys = SystemConfig { scheduling: sched, link, client_storage_bytes: storage };
+                let sys = SystemConfig {
+                    scheduling: sched,
+                    link,
+                    client_storage_bytes: storage,
+                };
                 let s = simulate(costs, &sys, &wl);
                 if s.saturated {
                     print!(" {:>8}", "SAT");

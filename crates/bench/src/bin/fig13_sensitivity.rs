@@ -9,9 +9,20 @@ use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
 use pi_sim::link::Link;
 
 fn main() {
-    header("Device sensitivity (ResNet-18/TinyImageNet, 16 GB)", "Figure 13");
-    let clients = [DeviceProfile::atom(), DeviceProfile::i5(), DeviceProfile::i5_2x()];
-    let servers = [DeviceProfile::epyc(), DeviceProfile::epyc_2x(), DeviceProfile::epyc_4x()];
+    header(
+        "Device sensitivity (ResNet-18/TinyImageNet, 16 GB)",
+        "Figure 13",
+    );
+    let clients = [
+        DeviceProfile::atom(),
+        DeviceProfile::i5(),
+        DeviceProfile::i5_2x(),
+    ];
+    let servers = [
+        DeviceProfile::epyc(),
+        DeviceProfile::epyc_2x(),
+        DeviceProfile::epyc_4x(),
+    ];
     let rates_per_min: Vec<f64> = vec![65.0, 31.0, 20.0, 15.0, 12.0, 10.0];
     for server in &servers {
         println!("--- server: {} ---", server.name);

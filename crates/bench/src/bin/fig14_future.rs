@@ -9,14 +9,30 @@ use pi_sim::future::{scenario_breakdown, FutureScenario};
 use pi_sim::link::Link;
 
 fn main() {
-    header("Future-optimization waterfall (ResNet-18/TinyImageNet)", "Figure 14");
-    let cg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Client);
-    let sg = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    header(
+        "Future-optimization waterfall (ResNet-18/TinyImageNet)",
+        "Figure 14",
+    );
+    let cg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Client,
+    );
+    let sg = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
 
     // Server-Garbler* bar (LPHE + WSA enabled).
     let sg_link = sg.wsa_link(1e9);
     let sg_total = sg.offline_lphe_s(&sg_link) + sg.online_s(&sg_link);
-    println!("{:<16} {:>10} {:>9}  (paper: 930 s)", "Server-Garbler*", format!("{sg_total:.0} s"), "");
+    println!(
+        "{:<16} {:>10} {:>9}  (paper: 930 s)",
+        "Server-Garbler*",
+        format!("{sg_total:.0} s"),
+        ""
+    );
 
     println!(
         "{:<16} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",

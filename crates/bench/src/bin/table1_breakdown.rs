@@ -7,8 +7,15 @@ use pi_sim::cost::Garbler;
 use pi_sim::link::Link;
 
 fn main() {
-    header("Server-Garbler time breakdown, ResNet-18/TinyImageNet", "Table 1");
-    let c = paper_costs(Architecture::ResNet18, Dataset::TinyImageNet, Garbler::Server);
+    header(
+        "Server-Garbler time breakdown, ResNet-18/TinyImageNet",
+        "Table 1",
+    );
+    let c = paper_costs(
+        Architecture::ResNet18,
+        Dataset::TinyImageNet,
+        Garbler::Server,
+    );
     let link = Link::even(1e9);
     let off_gc = c.garble_s;
     let off_he = c.he_seq_s();
@@ -16,14 +23,27 @@ fn main() {
     let on_gc = c.eval_s;
     let on_ss = c.ss_s;
     let on_comm = c.online_comm_s(&link);
-    println!("{:<10} {:>10} {:>10} {:>8} {:>10} {:>10}", "", "GC", "HE", "SS", "Comms", "Total");
     println!(
-        "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
-        "Offline", off_gc, off_he, 0.0, off_comm, off_gc + off_he + off_comm
+        "{:<10} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "", "GC", "HE", "SS", "Comms", "Total"
     );
     println!(
         "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
-        "Online", on_gc, 0.0, on_ss, on_comm, on_gc + on_ss + on_comm
+        "Offline",
+        off_gc,
+        off_he,
+        0.0,
+        off_comm,
+        off_gc + off_he + off_comm
+    );
+    println!(
+        "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
+        "Online",
+        on_gc,
+        0.0,
+        on_ss,
+        on_comm,
+        on_gc + on_ss + on_comm
     );
     println!(
         "{:<10} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",

@@ -11,7 +11,13 @@ use pi_sim::devices::DeviceProfile;
 
 /// Builds the paper's standard cost profile (Atom client, EPYC server).
 pub fn paper_costs(arch: Architecture, ds: Dataset, garbler: Garbler) -> ProtocolCosts {
-    ProtocolCosts::new(arch, ds, garbler, &DeviceProfile::atom(), &DeviceProfile::epyc())
+    ProtocolCosts::new(
+        arch,
+        ds,
+        garbler,
+        &DeviceProfile::atom(),
+        &DeviceProfile::epyc(),
+    )
 }
 
 /// Formats a byte count as gigabytes with one decimal.
@@ -50,7 +56,11 @@ pub fn sim_runs() -> usize {
 pub fn eval_pairs() -> Vec<(Architecture, Dataset)> {
     let mut v = Vec::new();
     for ds in [Dataset::Cifar100, Dataset::TinyImageNet] {
-        for arch in [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18] {
+        for arch in [
+            Architecture::ResNet32,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ] {
             v.push((arch, ds));
         }
     }

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) with a simple
+//! warmup-then-sample timer. Each sample runs the closure enough times to
+//! cover ~5 ms; the reported figure is the median over samples of the mean
+//! per-iteration time, with min/max spread. Passing `--test` (as
+//! `cargo bench -- --test` does in CI) runs every closure exactly once as a
+//! smoke test, matching real criterion's behaviour.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration annotation (reported alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Mean per-iteration nanoseconds for each sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs and times `f`, recording per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup + calibration: find an iteration count covering ~5 ms.
+        let calib_start = Instant::now();
+        black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1) as usize).min(100_000);
+        for _ in 0..3.min(per_sample) {
+            black_box(f());
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level harness handle passed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_id();
+        run_one(self.test_mode, &name, 10, None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    if b.results.is_empty() {
+        println!("{name}: no measurements recorded");
+        return;
+    }
+    let mut sorted = b.results.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mut line = format!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(tp) = throughput {
+        match tp {
+            Throughput::Elements(n) if n > 0 => {
+                let _ = write!(line, "  thrpt: {:.0} elem/s", 1e9 * n as f64 / median);
+            }
+            Throughput::Bytes(n) if n > 0 => {
+                let _ = write!(line, "  thrpt: {}/s", fmt_bytes(1e9 * n as f64 / median));
+            }
+            _ => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_bytes(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} GB", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2} MB", bps / 1e6)
+    } else {
+        format!("{:.2} KB", bps / 1e3)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            self.criterion.test_mode,
+            &name,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            self.criterion.test_mode,
+            &name,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("forward", 4096).into_id(), "forward/4096");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: 3,
+            results: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.results.len(), 3);
+        assert!(b.results.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: 10,
+            results: Vec::new(),
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.results.is_empty());
+    }
+}

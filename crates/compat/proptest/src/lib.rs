@@ -1,0 +1,254 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace uses:
+//!
+//! * the [`proptest!`] macro with `pat in strategy` and `name: Type`
+//!   parameters and an optional `#![proptest_config(..)]` header;
+//! * range strategies (`0u64..(1 << 62)`, `-1i64..=1`, `0.1f64..100.0`),
+//!   [`any`], and `prop::collection::vec`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped to panicking asserts).
+//!
+//! Each generated test runs `cases` random samples from a deterministic
+//! per-test seed. There is no shrinking: a failure reports the panicking
+//! assertion directly, which is adequate for the differential tests here.
+
+use std::marker::PhantomData;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::Rng;
+
+/// Runner configuration (only `cases` is honoured by the stub).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::*;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    /// Strategy for the full range of a type; built by [`super::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_any_strategy!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+    );
+
+    /// Strategy producing `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategy over every value of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(PhantomData)
+}
+
+/// Collection strategies, exposed as `prop::collection` like the real crate.
+pub mod prop {
+    /// `prop::collection::*` namespace.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// Vectors of `element` with length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Derives a deterministic per-test seed from its module path and name.
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a, stable across runs so failures are reproducible.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure in the stub).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure in the stub).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Binds one property parameter per step: `pat in strategy` draws from the
+/// strategy, `name: Type` draws from `any::<Type>()`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $pat:ident in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:ident in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $pat:ident : $ty:ty, $($rest:tt)*) => {
+        let $pat: $ty = $crate::strategy::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:ident : $ty:ty) => {
+        let $pat: $ty = $crate::strategy::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::TestRng as ::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// The `proptest!` block macro: expands each contained `#[test] fn` into a
+/// multi-case randomized test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respected(a in 10u64..20, b in -3i64..=3, f in 0.5f64..1.5) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-3..=3).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn typed_params_sample_full_range(x: u64, flag: bool) {
+            // Smoke: both forms bind and are usable.
+            let _ = x.wrapping_add(flag as u64);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0u64..5, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test() {
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+    }
+}

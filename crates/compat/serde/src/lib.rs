@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker [`Serialize`]/[`Deserialize`] traits plus the no-op derive
+//! macros from the local `serde_derive` stub, so code annotated with
+//! `#[derive(Serialize, Deserialize)]` compiles without crates.io access.
+//! Nothing in the offline build actually serializes through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait DeserializeTrait {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (nothing serializes through serde in the offline build), so
+//! these derives intentionally expand to nothing. Swap in the real
+//! `serde`/`serde_derive` crates to restore actual trait impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted so `#[derive(Serialize)]` compiles offline.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted so `#[derive(Deserialize)]` compiles offline.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

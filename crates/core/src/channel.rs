@@ -47,7 +47,8 @@ impl Channel {
     ///
     /// Panics if the peer disconnected (protocol bug in tests).
     pub fn send(&self, msg: Msg) {
-        self.sent_bytes.fetch_add(msg.byte_len() as u64, Ordering::Relaxed);
+        self.sent_bytes
+            .fetch_add(msg.byte_len() as u64, Ordering::Relaxed);
         self.sent_msgs.fetch_add(1, Ordering::Relaxed);
         self.tx.send(msg).expect("peer disconnected");
     }

@@ -13,8 +13,8 @@
 
 use crate::channel::Channel;
 use crate::common::{
-    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver,
-    ot_base_as_ext_sender, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig,
+    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
+    server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
 };
 use crate::msg::Msg;
 use pi_gc::garble::{evaluate, garble, Garbling};
@@ -40,7 +40,11 @@ pub fn run_client<R: Rng + ?Sized>(
 
     // ---------------- Offline ----------------
     let r_acts: Vec<Vec<u64>> = (0..meta.num_acts())
-        .map(|a| (0..meta.act_len(a)).map(|_| rng.gen_range(0..p.value())).collect())
+        .map(|a| {
+            (0..meta.act_len(a))
+                .map(|_| rng.gen_range(0..p.value()))
+                .collect()
+        })
         .collect();
     let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out.offline);
 
@@ -67,13 +71,17 @@ pub fn run_client<R: Rng + ?Sized>(
         out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
         chan.send(Msg::GcTables(tables));
         chan.send(Msg::GcDecode(
-            phase_g.iter().map(|g| g.garbled.output_decode.clone()).collect(),
+            phase_g
+                .iter()
+                .map(|g| g.garbled.output_decode.clone())
+                .collect(),
         ));
         let mut labels = Vec::with_capacity(m * 2 * k);
         for (j, g) in phase_g.iter().enumerate() {
             labels.extend(g.encoding.encode_bits(0, &field_bits(c_shares[i][j], k)));
             labels.extend(
-                g.encoding.encode_bits(2 * k, &field_bits(r_acts[i + 1][j], k)),
+                g.encoding
+                    .encode_bits(2 * k, &field_bits(r_acts[i + 1][j], k)),
             );
         }
         chan.send(Msg::GcLabels(labels));
@@ -93,7 +101,11 @@ pub fn run_client<R: Rng + ?Sized>(
     out.offline_sent = chan.bytes_sent();
 
     // ---------------- Online ----------------
-    let masked: Vec<u64> = input.iter().zip(&r_acts[0]).map(|(&x, &r)| p.sub(x, r)).collect();
+    let masked: Vec<u64> = input
+        .iter()
+        .zip(&r_acts[0])
+        .map(|(&x, &r)| p.sub(x, r))
+        .collect();
     chan.send(Msg::VecU64(masked));
 
     // Serve the server's labels via OT, one extension per ReLU phase.
@@ -132,8 +144,12 @@ pub fn run_client<R: Rng + ?Sized>(
 }
 
 /// Runs the server role (evaluator; holds the model weights).
+///
+/// `pre` holds the model's precomputed offline-linear operands
+/// ([`ServerPrecomp`]); build it once and reuse it across inferences.
 pub fn run_server<R: Rng + ?Sized>(
     model: &PiModel,
+    pre: &ServerPrecomp,
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
@@ -144,7 +160,7 @@ pub fn run_server<R: Rng + ?Sized>(
     let mut out = PartyOutcome::default();
 
     // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, cfg, chan, rng, &mut out.offline);
+    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng, &mut out.offline);
     let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng, &mut out.offline));
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())
@@ -170,17 +186,29 @@ pub fn run_server<R: Rng + ?Sized>(
             Msg::GcLabels(l) => l,
             other => panic!("expected GcLabels, got {other:?}"),
         };
-        gcs.push(ServerPhaseGc { tables, decode, client_labels });
+        gcs.push(ServerPhaseGc {
+            tables,
+            decode,
+            client_labels,
+        });
     }
 
     // Server storage: garbled circuits + the client's labels + decode bits
     // + its linear shares. This is where the paper's client-storage burden
     // lands after the role swap.
     out.storage_bytes = out.gc_bytes
-        + gcs.iter().map(|g| g.client_labels.len() as u64 * 16).sum::<u64>()
         + gcs
             .iter()
-            .map(|g| g.decode.iter().map(|d| d.len().div_ceil(8) as u64).sum::<u64>())
+            .map(|g| g.client_labels.len() as u64 * 16)
+            .sum::<u64>()
+        + gcs
+            .iter()
+            .map(|g| {
+                g.decode
+                    .iter()
+                    .map(|d| d.len().div_ceil(8) as u64)
+                    .sum::<u64>()
+            })
             .sum::<u64>()
         + s_vecs.iter().map(|s| s.len() as u64 * 8).sum::<u64>();
     out.offline_sent = chan.bytes_sent();
@@ -233,13 +261,9 @@ pub fn run_server<R: Rng + ?Sized>(
                 for j in 0..m {
                     let mut labels = Vec::with_capacity(3 * k);
                     // share_a (client) | share_b (server, via OT) | r (client)
-                    labels.extend_from_slice(
-                        &phase.client_labels[j * 2 * k..j * 2 * k + k],
-                    );
+                    labels.extend_from_slice(&phase.client_labels[j * 2 * k..j * 2 * k + k]);
                     labels.extend_from_slice(&my_labels[j * k..(j + 1) * k]);
-                    labels.extend_from_slice(
-                        &phase.client_labels[j * 2 * k + k..(j + 1) * 2 * k],
-                    );
+                    labels.extend_from_slice(&phase.client_labels[j * 2 * k + k..(j + 1) * 2 * k]);
                     let garbled = GarbledCircuit {
                         tables: phase.tables[j].clone(),
                         output_decode: phase.decode[j].clone(),

@@ -6,7 +6,7 @@ use crate::msg::Msg;
 use crate::report::SideCosts;
 use pi_field::Modulus;
 use pi_gc::circuit::{from_bits, to_bits};
-use pi_he::linalg::{self, PlainMatrix};
+use pi_he::linalg::{self, EncodedDiagonals, PlainMatrix};
 use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, PublicKey};
 use pi_nn::PiModel;
 use pi_ot::base::{BaseOtReceiver, BaseOtSender};
@@ -76,7 +76,13 @@ impl ProtocolConfig {
 
     /// Cleartext-linear test configuration for a protocol kind.
     pub fn clear(kind: ProtocolKind) -> Self {
-        Self { kind, linear: LinearMode::Clear, he_params: None, lphe_threads: 1, seeds: (1, 2) }
+        Self {
+            kind,
+            linear: LinearMode::Clear,
+            he_params: None,
+            lphe_threads: 1,
+            seeds: (1, 2),
+        }
     }
 }
 
@@ -222,7 +228,10 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
                     ch.encoder.row_size()
                 );
                 r_cat.resize(ph.padded_dim, 0);
-                let ct = ch.keys.public.encrypt(&ch.encoder.encode_periodic(&r_cat), rng);
+                let ct = ch
+                    .keys
+                    .public
+                    .encrypt(&ch.encoder.encode_periodic(&r_cat), rng);
                 let _ = params;
                 chan.send(Msg::HeCts(vec![ct]));
             }
@@ -251,12 +260,63 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
     shares
 }
 
+/// Per-model server-side precomputation for the offline linear pass: the
+/// padded plaintext matrices and — in HE mode — their Halevi–Shoup diagonals
+/// encoded as Shoup-form operands ([`EncodedDiagonals`]).
+///
+/// Depends only on the model weights and the protocol configuration, never
+/// on a client's keys, so one instance serves every inference of every
+/// client. Build it once per served model and pass it to each
+/// [`server_offline_linear`] / `run_server` call (or use
+/// [`crate::private_inference_precomputed`]).
+#[derive(Debug)]
+pub struct ServerPrecomp {
+    /// Padded plaintext matrix per linear phase.
+    pub matrices: Vec<PlainMatrix>,
+    /// Encoded Shoup-form diagonals per phase (HE mode only).
+    pub diagonals: Option<Vec<EncodedDiagonals>>,
+}
+
+impl ServerPrecomp {
+    /// Precomputes the offline-linear operands for `model` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` selects HE mode without parameters.
+    pub fn new(model: &PiModel, cfg: &ProtocolConfig) -> Self {
+        let p = model.p;
+        let matrices: Vec<PlainMatrix> = model
+            .phases
+            .iter()
+            .map(|ph| PlainMatrix::new(ph.rows, ph.cols, &ph.matrix, p))
+            .collect();
+        let diagonals = match cfg.linear {
+            LinearMode::He => {
+                let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
+                let encoder = BatchEncoder::new(params);
+                Some(
+                    matrices
+                        .iter()
+                        .map(|w| linalg::encode_diagonals(&encoder, w))
+                        .collect(),
+                )
+            }
+            LinearMode::Clear => None,
+        };
+        Self {
+            matrices,
+            diagonals,
+        }
+    }
+}
+
 /// Server side of the offline linear pass: computes `E(W·r − s)` per phase,
 /// optionally in parallel across layers (LPHE, §5.2 of the paper).
 ///
 /// Returns the server's random shares `s_i`.
 pub fn server_offline_linear<R: Rng + ?Sized>(
     model: &PiModel,
+    pre: &ServerPrecomp,
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
@@ -296,27 +356,30 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
         .iter()
         .map(|ph| (0..ph.rows).map(|_| rng.gen_range(0..p.value())).collect())
         .collect();
-    // Build matrices.
-    let matrices: Vec<PlainMatrix> = model
-        .phases
-        .iter()
-        .map(|ph| PlainMatrix::new(ph.rows, ph.cols, &ph.matrix, p))
-        .collect();
-    // Evaluate each phase, optionally layer-parallel.
+    // Evaluate each phase, optionally layer-parallel, using the per-model
+    // precomputed matrices and Shoup-form diagonals.
     let responses: Vec<Msg> = {
         let work = |i: usize, input: &PhaseInput| -> Msg {
-            let w = &matrices[i];
+            let w = &pre.matrices[i];
             match (input, &he) {
                 (PhaseInput::Ct(ct), Some((_, gk, encoder))) => {
                     let params = cfg.he_params.as_ref().expect("HE mode");
-                    let prod = linalg::matvec(gk, encoder, w, ct);
-                    let resp = linalg::sub_share(params, encoder, &prod, &s_vecs[i], w.padded_dim());
+                    let diagonals = pre
+                        .diagonals
+                        .as_ref()
+                        .expect("HE mode requires encoded diagonals");
+                    let prod = linalg::matvec_precomputed(gk, &diagonals[i], ct);
+                    let resp =
+                        linalg::sub_share(params, encoder, &prod, &s_vecs[i], w.padded_dim());
                     Msg::HeCts(vec![resp])
                 }
                 (PhaseInput::Clear(r_cat), _) => {
                     let wr = w.matvec_plain(&r_cat[..w.cols()], p);
-                    let share: Vec<u64> =
-                        wr.iter().zip(&s_vecs[i]).map(|(&a, &s)| p.sub(a, s)).collect();
+                    let share: Vec<u64> = wr
+                        .iter()
+                        .zip(&s_vecs[i])
+                        .map(|(&a, &s)| p.sub(a, s))
+                        .collect();
                     Msg::VecU64(share)
                 }
                 (PhaseInput::Ct(_), None) => unreachable!("ciphertext without HE keys"),
@@ -324,12 +387,17 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
         };
         let threads = cfg.lphe_threads.max(1).min(model.phases.len().max(1));
         if threads <= 1 {
-            inputs.iter().enumerate().map(|(i, inp)| work(i, inp)).collect()
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, inp)| work(i, inp))
+                .collect()
         } else {
             // Layer-parallel HE: a shared work queue over the phases.
             let next = AtomicUsize::new(0);
-            let slots: Vec<parking_lot::Mutex<Option<Msg>>> =
-                (0..inputs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+            let slots: Vec<parking_lot::Mutex<Option<Msg>>> = (0..inputs.len())
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect();
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {

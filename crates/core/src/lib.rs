@@ -44,7 +44,7 @@ pub mod msg;
 pub mod report;
 pub mod server_garbler;
 
-pub use common::{LinearMode, ModelMeta, ProtocolConfig, ProtocolKind};
+pub use common::{LinearMode, ModelMeta, ProtocolConfig, ProtocolKind, ServerPrecomp};
 pub use report::{CostReport, SideCosts};
 
 use pi_nn::PiModel;
@@ -62,6 +62,25 @@ pub fn private_inference(
     input: &[u64],
     cfg: &ProtocolConfig,
 ) -> (Vec<u64>, CostReport) {
+    let pre = ServerPrecomp::new(model, cfg);
+    private_inference_precomputed(model, &pre, input, cfg)
+}
+
+/// Like [`private_inference`], but reuses the server's per-model
+/// precomputation ([`ServerPrecomp`]: padded matrices and Shoup-form encoded
+/// diagonals). Build the precomputation once per served model — it depends
+/// only on the weights and protocol config, not on any client's keys — and
+/// amortize it across every inference and client.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`private_inference`].
+pub fn private_inference_precomputed(
+    model: &PiModel,
+    pre: &ServerPrecomp,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+) -> (Vec<u64>, CostReport) {
     let meta = ModelMeta::of(model);
     let (chan_c, chan_s) = channel::local_pair();
     let (client_seed, server_seed) = cfg.seeds;
@@ -70,10 +89,10 @@ pub fn private_inference(
             let mut rng = rand::rngs::StdRng::seed_from_u64(server_seed);
             match cfg.kind {
                 ProtocolKind::ServerGarbler => {
-                    server_garbler::run_server(model, cfg, &chan_s, &mut rng)
+                    server_garbler::run_server(model, pre, cfg, &chan_s, &mut rng)
                 }
                 ProtocolKind::ClientGarbler => {
-                    client_garbler::run_server(model, cfg, &chan_s, &mut rng)
+                    client_garbler::run_server(model, pre, cfg, &chan_s, &mut rng)
                 }
             }
         });
@@ -107,7 +126,10 @@ pub fn private_inference(
         gc_bytes: client_out.gc_bytes.max(server_out.gc_bytes),
     };
     for (dst, src) in [
-        (&mut report.offline, (&client_out.offline, &server_out.offline)),
+        (
+            &mut report.offline,
+            (&client_out.offline, &server_out.offline),
+        ),
         (&mut report.online, (&client_out.online, &server_out.online)),
     ] {
         dst.he_ms = src.0.he_ms + src.1.he_ms;
@@ -150,7 +172,10 @@ mod tests {
         let input = random_input(&model, 22);
         let expect = model.forward(&input);
         let (got, report) = private_inference(&model, &input, cfg);
-        assert_eq!(got, expect, "private output must equal fixed-point reference");
+        assert_eq!(
+            got, expect,
+            "private output must equal fixed-point reference"
+        );
         assert!(report.offline.download_bytes > 0);
         assert!(report.online.total_bytes() > 0);
         assert!(report.relu_count > 0);
@@ -195,13 +220,21 @@ mod tests {
     #[test]
     fn server_garbler_he_tiny_cnn() {
         let he = BfvParams::small_test();
-        check_protocol(&ProtocolConfig::server_garbler(he.clone()), &zoo::tiny_cnn(), &he);
+        check_protocol(
+            &ProtocolConfig::server_garbler(he.clone()),
+            &zoo::tiny_cnn(),
+            &he,
+        );
     }
 
     #[test]
     fn client_garbler_he_tiny_cnn_lphe() {
         let he = BfvParams::small_test();
-        check_protocol(&ProtocolConfig::client_garbler(he.clone(), 4), &zoo::tiny_cnn(), &he);
+        check_protocol(
+            &ProtocolConfig::client_garbler(he.clone(), 4),
+            &zoo::tiny_cnn(),
+            &he,
+        );
     }
 
     #[test]
@@ -248,7 +281,10 @@ mod tests {
         par.seeds = (3, 4);
         let (out_seq, _) = private_inference(&model, &input, &seq);
         let (out_par, _) = private_inference(&model, &input, &par);
-        assert_eq!(out_seq, out_par, "LPHE is a scheduling change, not a semantic one");
+        assert_eq!(
+            out_seq, out_par,
+            "LPHE is a scheduling change, not a semantic one"
+        );
     }
 
     #[test]

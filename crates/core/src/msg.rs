@@ -52,12 +52,8 @@ impl Msg {
             Msg::HeKeys { pk, gk } => pk.byte_len() + gk.byte_len(),
             Msg::HeCts(cts) => 8 + cts.iter().map(|c| c.byte_len()).sum::<usize>(),
             Msg::VecU64(v) => 8 + v.len() * 8,
-            Msg::GcTables(circuits) => {
-                8 + circuits.iter().map(|t| 8 + t.len() * 32).sum::<usize>()
-            }
-            Msg::GcDecode(bits) => {
-                8 + bits.iter().map(|b| 8 + b.len().div_ceil(8)).sum::<usize>()
-            }
+            Msg::GcTables(circuits) => 8 + circuits.iter().map(|t| 8 + t.len() * 32).sum::<usize>(),
+            Msg::GcDecode(bits) => 8 + bits.iter().map(|b| 8 + b.len().div_ceil(8)).sum::<usize>(),
             Msg::GcLabels(labels) => 8 + labels.len() * 16,
             Msg::OtBaseSetup(m) => m.byte_len(),
             Msg::OtBaseChoice(m) => m.byte_len(),
@@ -76,7 +72,10 @@ mod tests {
     fn vec_and_label_sizes() {
         assert_eq!(Msg::VecU64(vec![0; 10]).byte_len(), 88);
         assert_eq!(Msg::GcLabels(vec![0; 4]).byte_len(), 72);
-        assert_eq!(Msg::GcTables(vec![vec![(0, 0); 3]; 2]).byte_len(), 8 + 2 * (8 + 96));
+        assert_eq!(
+            Msg::GcTables(vec![vec![(0, 0); 3]; 2]).byte_len(),
+            8 + 2 * (8 + 96)
+        );
         assert_eq!(Msg::GcDecode(vec![vec![true; 17]]).byte_len(), 8 + 8 + 3);
     }
 }

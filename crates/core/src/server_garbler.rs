@@ -13,8 +13,8 @@
 
 use crate::channel::Channel;
 use crate::common::{
-    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver,
-    ot_base_as_ext_sender, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig,
+    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
+    server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
 };
 use crate::msg::Msg;
 use pi_gc::garble::{evaluate, garble, Garbling};
@@ -49,7 +49,11 @@ pub fn run_client<R: Rng + ?Sized>(
     // ---------------- Offline ----------------
     // Randomness per activation.
     let r_acts: Vec<Vec<u64>> = (0..meta.num_acts())
-        .map(|a| (0..meta.act_len(a)).map(|_| rng.gen_range(0..p.value())).collect())
+        .map(|a| {
+            (0..meta.act_len(a))
+                .map(|_| rng.gen_range(0..p.value()))
+                .collect()
+        })
         .collect();
     let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out.offline);
 
@@ -84,21 +88,27 @@ pub fn run_client<R: Rng + ?Sized>(
         };
         let labels = ext_receiver.decode(&transfer, &choices, &keys);
         out.offline.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
-        let my_labels: Vec<Vec<Label>> =
-            labels.chunks(2 * k).map(|c| c.to_vec()).collect();
+        let my_labels: Vec<Vec<Label>> = labels.chunks(2 * k).map(|c| c.to_vec()).collect();
         gcs.push(ClientPhaseGc { tables, my_labels });
     }
 
     // Client storage: garbled circuits + own labels + shares + randomness.
     out.storage_bytes = out.gc_bytes
-        + gcs.iter().map(|g| g.my_labels.iter().map(|l| l.len() as u64 * 16).sum::<u64>()).sum::<u64>()
+        + gcs
+            .iter()
+            .map(|g| g.my_labels.iter().map(|l| l.len() as u64 * 16).sum::<u64>())
+            .sum::<u64>()
         + c_shares.iter().map(|s| s.len() as u64 * 8).sum::<u64>()
         + r_acts.iter().map(|r| r.len() as u64 * 8).sum::<u64>();
     out.offline_sent = chan.bytes_sent();
 
     // ---------------- Online ----------------
     // Send masked input.
-    let masked: Vec<u64> = input.iter().zip(&r_acts[0]).map(|(&x, &r)| p.sub(x, r)).collect();
+    let masked: Vec<u64> = input
+        .iter()
+        .zip(&r_acts[0])
+        .map(|(&x, &r)| p.sub(x, r))
+        .collect();
     chan.send(Msg::VecU64(masked));
 
     // Rebuild circuits (topology is public).
@@ -148,8 +158,12 @@ pub fn run_client<R: Rng + ?Sized>(
 }
 
 /// Runs the server role (holds the model weights).
+///
+/// `pre` holds the model's precomputed offline-linear operands
+/// ([`ServerPrecomp`]); build it once and reuse it across inferences.
 pub fn run_server<R: Rng + ?Sized>(
     model: &PiModel,
+    pre: &ServerPrecomp,
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
@@ -160,7 +174,7 @@ pub fn run_server<R: Rng + ?Sized>(
     let mut out = PartyOutcome::default();
 
     // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, cfg, chan, rng, &mut out.offline);
+    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng, &mut out.offline);
     let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng, &mut out.offline));
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())

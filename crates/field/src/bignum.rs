@@ -130,6 +130,7 @@ impl U1024 {
     }
 
     /// Adds with carry; returns (sum, carry).
+    #[allow(clippy::needless_range_loop)] // lockstep carry chain over two limb arrays
     pub fn overflowing_add(&self, other: &Self) -> (Self, bool) {
         let mut out = [0u64; LIMBS];
         let mut carry = 0u64;
@@ -143,6 +144,7 @@ impl U1024 {
     }
 
     /// Subtracts with borrow; returns (difference, borrow).
+    #[allow(clippy::needless_range_loop)] // lockstep borrow chain over two limb arrays
     pub fn overflowing_sub(&self, other: &Self) -> (Self, bool) {
         let mut out = [0u64; LIMBS];
         let mut borrow = 0u64;
@@ -264,7 +266,13 @@ impl ModpGroup {
         for _ in 0..1024 {
             r2 = r2.double_mod(&p);
         }
-        Self { p, n0_inv, r2, r1, generator }
+        Self {
+            p,
+            n0_inv,
+            r2,
+            r1,
+            generator,
+        }
     }
 
     /// Returns the group modulus.
@@ -283,13 +291,12 @@ impl ModpGroup {
     fn mont_mul(&self, a: &U1024, b: &U1024) -> U1024 {
         // CIOS (coarsely integrated operand scanning) Montgomery multiply.
         let mut t = [0u64; LIMBS + 2];
+        #[allow(clippy::needless_range_loop)] // lockstep scan over a, b, and t
         for i in 0..LIMBS {
             // t += a[i] * b
             let mut carry = 0u64;
             for j in 0..LIMBS {
-                let prod = a.limbs[i] as u128 * b.limbs[j] as u128
-                    + t[j] as u128
-                    + carry as u128;
+                let prod = a.limbs[i] as u128 * b.limbs[j] as u128 + t[j] as u128 + carry as u128;
                 t[j] = prod as u64;
                 carry = (prod >> 64) as u64;
             }
@@ -301,15 +308,13 @@ impl ModpGroup {
             let prod = m as u128 * self.p.limbs[0] as u128 + t[0] as u128;
             let mut carry = (prod >> 64) as u64;
             for j in 1..LIMBS {
-                let prod = m as u128 * self.p.limbs[j] as u128
-                    + t[j] as u128
-                    + carry as u128;
+                let prod = m as u128 * self.p.limbs[j] as u128 + t[j] as u128 + carry as u128;
                 t[j - 1] = prod as u64;
                 carry = (prod >> 64) as u64;
             }
             let s = t[LIMBS] as u128 + carry as u128;
             t[LIMBS - 1] = s as u64;
-            let s2 = t[LIMBS + 1] as u64 + ((s >> 64) as u64);
+            let s2 = t[LIMBS + 1] + ((s >> 64) as u64);
             t[LIMBS] = s2;
             t[LIMBS + 1] = 0;
         }
@@ -329,6 +334,7 @@ impl ModpGroup {
     }
 
     /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)] // "from Montgomery form", not a constructor
     fn from_mont(&self, a: &U1024) -> U1024 {
         self.mont_mul(a, &U1024::ONE)
     }
@@ -353,7 +359,11 @@ impl ModpGroup {
             if !started && limb == 0 {
                 continue;
             }
-            let top = if started { 63 } else { 63 - limb.leading_zeros() as usize };
+            let top = if started {
+                63
+            } else {
+                63 - limb.leading_zeros() as usize
+            };
             for bit in (0..=top).rev() {
                 if started {
                     acc = self.mont_mul(&acc, &acc);
@@ -454,7 +464,10 @@ mod tests {
         let mul = |a: u64, b: u64| ((a as u128 * b as u128) % p as u128) as u64;
         let a = 123_456_789_012_345u64;
         let b = 987_654_321_098_765u64;
-        assert_eq!(g.mul(&U1024::from_u64(a), &U1024::from_u64(b)), U1024::from_u64(mul(a, b)));
+        assert_eq!(
+            g.mul(&U1024::from_u64(a), &U1024::from_u64(b)),
+            U1024::from_u64(mul(a, b))
+        );
         // pow
         let mut expect = 1u64;
         for _ in 0..77 {

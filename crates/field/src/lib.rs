@@ -5,7 +5,10 @@
 //! and the Naor–Pinkas base oblivious transfer) is built on:
 //!
 //! * [`Modulus`] — a word-sized modulus with Barrett reduction, giving fast
-//!   `add`/`sub`/`mul`/`pow`/`inv` over `Z_q` for `q < 2^62`.
+//!   `add`/`sub`/`mul`/`pow`/`inv` over `Z_q` for `q < 2^62`, plus
+//!   precomputed-quotient (Shoup) multiplication ([`ShoupMul`]) and
+//!   lazy-reduction arithmetic over `[0, 2q)`/`[0, 4q)` for hot NTT and
+//!   pointwise kernels (see the `modulus` module docs for the range table).
 //! * [`prime`] — deterministic Miller–Rabin primality testing and searching
 //!   for NTT-friendly primes (`q ≡ 1 (mod 2N)`), plus primitive-root finding.
 //! * [`bignum`] — a fixed-width 1024-bit unsigned integer with Montgomery
@@ -31,5 +34,5 @@ pub mod modulus;
 pub mod prime;
 
 pub use bignum::{ModpGroup, U1024};
-pub use modulus::Modulus;
+pub use modulus::{Modulus, ShoupMul};
 pub use prime::{find_ntt_prime, is_prime, primitive_root};

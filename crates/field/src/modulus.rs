@@ -1,13 +1,44 @@
-//! Word-sized modular arithmetic with Barrett reduction.
+//! Word-sized modular arithmetic with Barrett and Shoup reduction.
+//!
+//! # Reduction strategies and lazy ranges
+//!
+//! Two multiplication strategies coexist here, mirroring the
+//! Longa–Naehrig/Harvey formulation used by production lattice libraries:
+//!
+//! * **Barrett** ([`Modulus::mul`], [`Modulus::reduce_u128`]): works for any
+//!   pair of reduced operands; used when both factors vary.
+//! * **Shoup** ([`Modulus::mul_shoup`], [`Modulus::mul_shoup_lazy`]): when one
+//!   factor `w < q` is fixed and reused (NTT twiddles, plaintext diagonals,
+//!   key-switching keys), precomputing `w' = floor(w·2^64 / q)` (a
+//!   [`ShoupMul`]) turns each product into two multiplies, one high-half
+//!   multiply, and at most one conditional subtraction — no 128-bit Barrett
+//!   machinery in the inner loop.
+//!
+//! The *lazy* variants deliberately leave results **unreduced** so hot loops
+//! can defer the final correction:
+//!
+//! | function                     | accepts            | returns    |
+//! |------------------------------|--------------------|------------|
+//! | [`Modulus::add`]/[`sub`](Modulus::sub)/[`mul`](Modulus::mul) | `[0, q)` | `[0, q)` |
+//! | [`Modulus::mul_shoup`]       | any `u64` × Shoup  | `[0, q)`   |
+//! | [`Modulus::mul_shoup_lazy`]  | any `u64` × Shoup  | `[0, 2q)`  |
+//! | [`Modulus::add_lazy`]        | `[0, 2q)`          | `[0, 2q)`  |
+//! | [`Modulus::sub_lazy`]        | `[0, 2q)`          | `[0, 2q)`  |
+//! | [`Modulus::reduce_lazy`]     | `[0, 2q)`          | `[0, q)`   |
+//! | [`Modulus::reduce_4q`]       | `[0, 4q)`          | `[0, q)`   |
+//!
+//! Because `q < 2^62`, every value in `[0, 4q)` fits a `u64` with headroom,
+//! which is exactly what the Harvey NTT butterflies in `pi-poly` exploit.
 
 use std::fmt;
 
 /// A modulus `q < 2^62` with precomputed Barrett constant.
 ///
-/// All arithmetic is over the ring `Z_q = {0, 1, ..., q-1}`. Inputs to
+/// All strict arithmetic is over the ring `Z_q = {0, 1, ..., q-1}`. Inputs to
 /// [`Modulus::add`], [`Modulus::sub`] and [`Modulus::mul`] must already be
 /// reduced; use [`Modulus::reduce`] for arbitrary `u64` and
-/// [`Modulus::reduce_u128`] for 128-bit products.
+/// [`Modulus::reduce_u128`] for 128-bit products. See the module docs for the
+/// lazy-reduction variants and their accepted/returned ranges.
 ///
 /// # Examples
 ///
@@ -24,6 +55,20 @@ pub struct Modulus {
     /// floor(2^128 / q), stored as (hi, lo) 64-bit words.
     barrett_hi: u64,
     barrett_lo: u64,
+}
+
+/// A fixed multiplicand `w < q` in Shoup representation: the value itself
+/// plus the precomputed quotient `w' = floor(w·2^64 / q)`.
+///
+/// Build with [`Modulus::shoup`]; consume with [`Modulus::mul_shoup`] /
+/// [`Modulus::mul_shoup_lazy`]. Precomputing `w'` costs one 128-bit division,
+/// amortized across every later multiplication by `w`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShoupMul {
+    /// The multiplicand `w`, reduced into `[0, q)`.
+    pub value: u64,
+    /// `floor(w · 2^64 / q)`.
+    pub quotient: u64,
 }
 
 impl fmt::Debug for Modulus {
@@ -53,9 +98,10 @@ impl Modulus {
         //   2^128 / q = (2^64 / q) * 2^64 + ((2^64 mod q) * 2^64) / q   (approx)
         // We do it exactly with u128:
         let hi = u128::MAX / q as u128; // floor((2^128 - 1)/q) == floor(2^128/q) unless q | 2^128
-        // q is odd in all our uses (prime), so q does not divide 2^128 and
-        // floor((2^128-1)/q) == floor(2^128/q). For even q the constant may be
-        // one short, which Barrett's final correction step absorbs.
+                                        // q is odd in all our uses (prime), so q does not divide 2^128 and
+                                        // floor((2^128-1)/q) == floor(2^128/q). For even q the constant may be
+                                        // one short, which Barrett's final correction step absorbs (see the
+                                        // bound analysis in `reduce_u128`).
         Self {
             value: q,
             barrett_hi: (hi >> 64) as u64,
@@ -67,6 +113,12 @@ impl Modulus {
     #[inline]
     pub fn value(&self) -> u64 {
         self.value
+    }
+
+    /// Returns `2q`, the upper bound of the lazy `[0, 2q)` range.
+    #[inline]
+    pub fn twice(&self) -> u64 {
+        self.value << 1
     }
 
     /// Returns the number of bits needed to represent `q - 1`.
@@ -86,6 +138,15 @@ impl Modulus {
     }
 
     /// Reduces a 128-bit value into `[0, q)` using Barrett reduction.
+    ///
+    /// The quotient estimate `qhat = floor(x·B / 2^128)` with
+    /// `B = floor((2^128 - 1)/q)` undershoots the true quotient
+    /// `t = floor(x/q)` by a **proven bound of at most 2**:
+    /// `B ≥ 2^128/q − 2` (equality gap 1 from the `−1` in the dividend, 1
+    /// from the floor), so `x·B/2^128 ≥ x/q − 2·x/2^128 > x/q − 2`, hence
+    /// `qhat ≥ t − 2` and the remainder `x − qhat·q < 3q < 3·2^62 < 2^64`
+    /// fits a word. Two explicit conditional subtractions therefore complete
+    /// the reduction — no data-dependent loop.
     #[inline]
     pub fn reduce_u128(&self, x: u128) -> u64 {
         // Estimate quotient: qhat = floor(x * floor(2^128/q) / 2^128).
@@ -102,13 +163,121 @@ impl Modulus {
         let mid2 = xh * bl;
         let mid = lo_lo + (mid1 & ((1u128 << 64) - 1)) + (mid2 & ((1u128 << 64) - 1));
         let qhat = xh * bh + (mid1 >> 64) + (mid2 >> 64) + (mid >> 64);
-        let r = x.wrapping_sub(qhat.wrapping_mul(self.value as u128)) as u64;
-        // qhat can undershoot by at most 2.
-        let mut r = r;
-        while r >= self.value {
+        let mut r = x.wrapping_sub(qhat.wrapping_mul(self.value as u128)) as u64;
+        // r < 3q by the bound above: two conditional subtractions finish.
+        if r >= self.twice() {
+            r -= self.twice();
+        }
+        if r >= self.value {
             r -= self.value;
         }
         r
+    }
+
+    /// Precomputes the Shoup representation of a fixed multiplicand.
+    ///
+    /// The multiplicand must already be reduced (`w < q`): the range proof
+    /// behind [`Modulus::mul_shoup_lazy`] assumes it, and an unreduced `w`
+    /// would yield products that are not congruent to `a·(w mod q)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `w >= q`. Release builds do **not** reduce or check;
+    /// violating the contract silently produces wrong results, so callers
+    /// must pass reduced values (every call site in this workspace does).
+    #[inline]
+    pub fn shoup(&self, w: u64) -> ShoupMul {
+        debug_assert!(w < self.value, "Shoup operand must be reduced");
+        ShoupMul {
+            value: w,
+            quotient: (((w as u128) << 64) / self.value as u128) as u64,
+        }
+    }
+
+    /// Shoup multiplication `a·w mod q` with the result in `[0, 2q)`.
+    ///
+    /// Accepts **any** `a: u64` (not just reduced values): with
+    /// `w' = floor(w·2^64/q)` and `r0 = w·2^64 − w'·q ∈ [0, q)`, the
+    /// estimated quotient `Q = floor(w'·a / 2^64)` satisfies
+    /// `Q ≥ floor(w·a/q − r0·a/(q·2^64)) ≥ floor(w·a/q) − 1` because
+    /// `r0·a/(q·2^64) < 1`. Hence `w·a − Q·q ∈ [0, 2q)`, which fits a `u64`
+    /// (`2q < 2^63`), so computing it in wrapping low-64 arithmetic is exact.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: ShoupMul) -> u64 {
+        let q_est = ((w.quotient as u128 * a as u128) >> 64) as u64;
+        w.value
+            .wrapping_mul(a)
+            .wrapping_sub(q_est.wrapping_mul(self.value))
+    }
+
+    /// Shoup multiplication `a·w mod q`, fully reduced into `[0, q)`.
+    ///
+    /// One conditional subtraction on top of [`Modulus::mul_shoup_lazy`].
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, w: ShoupMul) -> u64 {
+        let r = self.mul_shoup_lazy(a, w);
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+
+    /// Lazy addition over the `[0, 2q)` domain: inputs in `[0, 2q)`, output
+    /// in `[0, 2q)` (one conditional subtraction of `2q`). Cannot overflow:
+    /// `4q < 2^64`.
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twice() && b < self.twice());
+        let s = a + b;
+        if s >= self.twice() {
+            s - self.twice()
+        } else {
+            s
+        }
+    }
+
+    /// Lazy subtraction over the `[0, 2q)` domain: computes
+    /// `a − b (mod 2q)`-style as `a + 2q − b` with one conditional
+    /// subtraction, keeping the result in `[0, 2q)`. The result is congruent
+    /// to `a − b (mod q)` because `2q ≡ 0 (mod q)`.
+    #[inline]
+    pub fn sub_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twice() && b < self.twice());
+        let d = a + self.twice() - b;
+        if d >= self.twice() {
+            d - self.twice()
+        } else {
+            d
+        }
+    }
+
+    /// Final correction from the lazy `[0, 2q)` domain into `[0, q)`.
+    #[inline]
+    pub fn reduce_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < self.twice());
+        if a >= self.value {
+            a - self.value
+        } else {
+            a
+        }
+    }
+
+    /// Final correction from the forward-NTT `[0, 4q)` domain into `[0, q)`:
+    /// two conditional subtractions.
+    #[inline]
+    pub fn reduce_4q(&self, a: u64) -> u64 {
+        debug_assert!(a < 4 * self.value);
+        let a = if a >= self.twice() {
+            a - self.twice()
+        } else {
+            a
+        };
+        if a >= self.value {
+            a - self.value
+        } else {
+            a
+        }
     }
 
     /// Modular addition of two reduced values.
@@ -243,7 +412,75 @@ mod tests {
         let q = Modulus::new((1u64 << 61) + 1); // not prime, fine for reduction
         assert_eq!(q.reduce_u128(0), 0);
         assert_eq!(q.reduce_u128(q.value() as u128), 0);
-        assert_eq!(q.reduce_u128(u128::MAX), (u128::MAX % q.value() as u128) as u64);
+        assert_eq!(
+            q.reduce_u128(u128::MAX),
+            (u128::MAX % q.value() as u128) as u64
+        );
+    }
+
+    #[test]
+    fn shoup_basic() {
+        let q = Modulus::new(97);
+        let w = q.shoup(35);
+        assert_eq!(w.value, 35);
+        for a in 0..97 {
+            assert_eq!(q.mul_shoup(a, w), q.mul(a, 35));
+            assert!(q.mul_shoup_lazy(a, w) < 2 * 97);
+        }
+        // Lazy result is congruent mod q even for unreduced a.
+        for a in [97u64, 1000, u64::MAX, u64::MAX - 1] {
+            let lazy = q.mul_shoup_lazy(a, w);
+            assert!(lazy < 2 * 97);
+            assert_eq!(lazy % 97, ((a as u128 * 35) % 97) as u64);
+        }
+    }
+
+    #[test]
+    fn shoup_at_61_bit_overflow_boundary() {
+        // Largest NTT-friendly prime below 2^61 used by default_pi params;
+        // exercises the top of the supported range where w·a approaches
+        // 2^125 and the lazy domain approaches 2^63.
+        let q = Modulus::new(crate::find_ntt_prime(61, 4096));
+        assert!(q.value() > (1u64 << 60));
+        let w_vals = [1u64, 2, q.value() - 1, q.value() / 2, (1u64 << 60) + 12345];
+        let a_vals = [
+            0u64,
+            1,
+            q.value() - 1,
+            q.twice() - 1,     // top of the lazy input range
+            4 * q.value() - 1, // top of the Harvey forward range
+            u64::MAX,          // arbitrary-u64 contract
+        ];
+        for &wv in &w_vals {
+            let w = q.shoup(wv % q.value());
+            for &a in &a_vals {
+                let lazy = q.mul_shoup_lazy(a, w);
+                assert!(lazy < q.twice(), "lazy out of range: {lazy}");
+                let expect = ((a as u128 * w.value as u128) % q.value() as u128) as u64;
+                assert_eq!(lazy % q.value(), expect);
+                assert_eq!(q.mul_shoup(a, w), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_domain_ops() {
+        let q = Modulus::new(97);
+        let two_q = q.twice();
+        for a in (0..two_q).step_by(7) {
+            for b in (0..two_q).step_by(11) {
+                let s = q.add_lazy(a, b);
+                assert!(s < two_q);
+                assert_eq!(s % 97, (a + b) % 97);
+                let d = q.sub_lazy(a, b);
+                assert!(d < two_q);
+                assert_eq!(d % 97, (a + 2 * 97 - b) % 97);
+            }
+            assert_eq!(q.reduce_lazy(a), a % 97);
+        }
+        for a in 0..4 * 97 {
+            assert_eq!(q.reduce_4q(a), a % 97);
+        }
     }
 
     #[test]
@@ -280,6 +517,39 @@ mod tests {
         fn reduce_u128_matches(q in 2u64..(1 << 62), x: u128) {
             let m = Modulus::new(q);
             prop_assert_eq!(m.reduce_u128(x) as u128, x % q as u128);
+        }
+
+        #[test]
+        fn mul_shoup_matches_mul(q in 2u64..(1 << 62), w: u64, a: u64) {
+            let m = Modulus::new(q);
+            let w = m.shoup(w % q);
+            let a_red = a % q;
+            // Exact Shoup ≡ Barrett on reduced operands.
+            prop_assert_eq!(m.mul_shoup(a_red, w), m.mul(a_red, w.value));
+            // Lazy Shoup: in range and congruent, for ARBITRARY u64 a.
+            let lazy = m.mul_shoup_lazy(a, w);
+            prop_assert!(lazy < m.twice());
+            prop_assert_eq!(
+                lazy as u128 % q as u128,
+                (a as u128 * w.value as u128) % q as u128
+            );
+        }
+
+        #[test]
+        fn lazy_ops_congruent(q in 2u64..(1 << 62), a: u64, b: u64) {
+            let m = Modulus::new(q);
+            let a = a % m.twice();
+            let b = b % m.twice();
+            let s = m.add_lazy(a, b);
+            prop_assert!(s < m.twice());
+            prop_assert_eq!(s % q, ((a as u128 + b as u128) % q as u128) as u64);
+            let d = m.sub_lazy(a, b);
+            prop_assert!(d < m.twice());
+            prop_assert_eq!(
+                d % q,
+                ((a as u128 + 2 * q as u128 - b as u128) % q as u128) as u64
+            );
+            prop_assert_eq!(m.reduce_lazy(a), a % q);
         }
 
         #[test]

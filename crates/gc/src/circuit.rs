@@ -48,7 +48,10 @@ pub struct Circuit {
 impl Circuit {
     /// Number of AND gates (determines garbled-circuit size: 32 bytes each).
     pub fn and_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::And { .. })).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And { .. }))
+            .count()
     }
 
     /// Size in bytes of the garbled tables for this circuit under
@@ -111,7 +114,10 @@ impl CircuitBuilder {
     /// Panics if called after any gate has been added (inputs must come
     /// first so they occupy wires `0..num_inputs`).
     pub fn inputs(&mut self, n: usize) -> Vec<Bit> {
-        assert!(!self.inputs_frozen, "all inputs must be allocated before gates");
+        assert!(
+            !self.inputs_frozen,
+            "all inputs must be allocated before gates"
+        );
         let start = self.num_wires;
         self.num_wires += n;
         self.num_inputs += n;
@@ -190,7 +196,10 @@ impl CircuitBuilder {
     /// Panics if widths differ.
     pub fn mux_word(&mut self, sel: Bit, a: &[Bit], b: &[Bit]) -> Vec<Bit> {
         assert_eq!(a.len(), b.len(), "mux operands must have equal width");
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// Ripple-carry addition of two little-endian words, returning
@@ -222,7 +231,11 @@ impl CircuitBuilder {
     /// returning `(difference, borrow)`. The difference is the low
     /// `width` bits of `a - b` mod `2^width`; `borrow` is true iff `a < b`.
     pub fn sub(&mut self, a: &[Bit], b: &[Bit]) -> (Vec<Bit>, Bit) {
-        assert_eq!(a.len(), b.len(), "subtractor operands must have equal width");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "subtractor operands must have equal width"
+        );
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = Bit::Const(false);
         for (&x, &y) in a.iter().zip(b) {
@@ -243,7 +256,9 @@ impl CircuitBuilder {
 
     /// Encodes a constant as `width` little-endian constant bits.
     pub fn constant(&self, value: u64, width: usize) -> Vec<Bit> {
-        (0..width).map(|i| Bit::Const((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| Bit::Const((value >> i) & 1 == 1))
+            .collect()
     }
 
     /// `a >= b` over equal-width words (true iff no borrow in `a - b`).
@@ -319,7 +334,9 @@ pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
 /// Panics if more than 64 bits are given.
 pub fn from_bits(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64, "too many bits for u64");
-    bits.iter().rev().fold(0u64, |acc, &b| (acc << 1) | b as u64)
+    bits.iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 1) | b as u64)
 }
 
 #[cfg(test)]
@@ -346,13 +363,19 @@ mod tests {
     #[test]
     fn adder_basic() {
         assert_eq!(eval_binary_gadget(8, 100, 55, |cb, a, b| cb.add(a, b)), 155);
-        assert_eq!(eval_binary_gadget(8, 255, 255, |cb, a, b| cb.add(a, b)), 510);
+        assert_eq!(
+            eval_binary_gadget(8, 255, 255, |cb, a, b| cb.add(a, b)),
+            510
+        );
         assert_eq!(eval_binary_gadget(4, 0, 0, |cb, a, b| cb.add(a, b)), 0);
     }
 
     #[test]
     fn subtractor_basic() {
-        assert_eq!(eval_binary_gadget(8, 100, 55, |cb, a, b| cb.sub(a, b).0), 45);
+        assert_eq!(
+            eval_binary_gadget(8, 100, 55, |cb, a, b| cb.sub(a, b).0),
+            45
+        );
         // wraps mod 256
         assert_eq!(eval_binary_gadget(8, 5, 10, |cb, a, b| cb.sub(a, b).0), 251);
     }

@@ -103,13 +103,26 @@ pub fn argmax_circuit(p: u64, n: usize) -> (Circuit, ArgmaxLayout) {
         entries = next;
     }
     let (_, winner) = entries.pop().expect("non-empty");
-    (cb.build(&winner), ArgmaxLayout { n, width: k, index_width })
+    (
+        cb.build(&winner),
+        ArgmaxLayout {
+            n,
+            width: k,
+            index_width,
+        },
+    )
 }
 
 /// Cleartext reference for [`argmax_circuit`]: index of the largest logit
 /// in balanced representation.
 pub fn argmax_reference(p: u64, logits: &[u64]) -> usize {
-    let signed = |v: u64| if v > p / 2 { v as i64 - p as i64 } else { v as i64 };
+    let signed = |v: u64| {
+        if v > p / 2 {
+            v as i64 - p as i64
+        } else {
+            v as i64
+        }
+    };
     logits
         .iter()
         .enumerate()
@@ -196,8 +209,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(50);
         use rand::Rng;
         for _ in 0..10 {
-            let logits: Vec<u64> =
-                (0..n).map(|_| rng.gen_range(0..P)).collect();
+            let logits: Vec<u64> = (0..n).map(|_| rng.gen_range(0..P)).collect();
             let shares: Vec<u64> = (0..n).map(|_| rng.gen_range(0..P)).collect();
             let mut inp = Vec::new();
             for s in &shares {

@@ -30,7 +30,10 @@ impl InputEncoding {
 
     /// Encodes a slice of input bits starting at `offset`.
     pub fn encode_bits(&self, offset: usize, bits: &[bool]) -> Vec<Label> {
-        bits.iter().enumerate().map(|(i, &b)| self.encode_bit(offset + i, b)).collect()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| self.encode_bit(offset + i, b))
+            .collect()
     }
 
     /// Returns the `(zero, one)` label pair for input `i` — what the OT
@@ -68,7 +71,11 @@ impl GarbledCircuit {
     ///
     /// Panics if the number of labels differs from the number of outputs.
     pub fn decode_outputs(&self, labels: &[Label]) -> Vec<bool> {
-        assert_eq!(labels.len(), self.output_decode.len(), "output arity mismatch");
+        assert_eq!(
+            labels.len(),
+            self.output_decode.len(),
+            "output arity mismatch"
+        );
         labels
             .iter()
             .zip(&self.output_decode)
@@ -129,10 +136,17 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Garbling {
             }
         }
     }
-    let output_decode = circuit.outputs.iter().map(|&o| label0[o] & 1 != 0).collect();
+    let output_decode = circuit
+        .outputs
+        .iter()
+        .map(|&o| label0[o] & 1 != 0)
+        .collect();
     let output_label0 = circuit.outputs.iter().map(|&o| label0[o]).collect();
     Garbling {
-        garbled: GarbledCircuit { tables, output_decode },
+        garbled: GarbledCircuit {
+            tables,
+            output_decode,
+        },
         encoding: InputEncoding {
             label0: label0[..circuit.num_inputs].to_vec(),
             delta,
@@ -148,8 +162,16 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Garbling {
 /// Panics if `input_labels.len() != circuit.num_inputs` or the table count
 /// does not match the circuit's AND count.
 pub fn evaluate(circuit: &Circuit, garbled: &GarbledCircuit, input_labels: &[Label]) -> Vec<Label> {
-    assert_eq!(input_labels.len(), circuit.num_inputs, "input label count mismatch");
-    assert_eq!(garbled.tables.len(), circuit.and_count(), "garbled table count mismatch");
+    assert_eq!(
+        input_labels.len(),
+        circuit.num_inputs,
+        "input label count mismatch"
+    );
+    assert_eq!(
+        garbled.tables.len(),
+        circuit.and_count(),
+        "garbled table count mismatch"
+    );
     let hash = GcHash::new();
     let mut labels = vec![0u128; circuit.num_wires];
     labels[..input_labels.len()].copy_from_slice(input_labels);

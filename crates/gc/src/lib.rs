@@ -44,4 +44,6 @@ pub use aes::{Aes128, GcHash};
 pub use circuit::{Circuit, CircuitBuilder};
 pub use gadgets::{argmax_circuit, argmax_reference, ArgmaxLayout};
 pub use garble::{evaluate, garble, GarbledCircuit, Garbling, InputEncoding, Label};
-pub use relu::{relu_circuit, relu_reference, relu_trunc_circuit, relu_trunc_reference, ReluLayout};
+pub use relu::{
+    relu_circuit, relu_reference, relu_trunc_circuit, relu_trunc_reference, ReluLayout,
+};

@@ -74,7 +74,10 @@ pub fn relu_trunc_circuit(p: u64, shift: u32) -> (Circuit, ReluLayout) {
     assert!(p >= 3, "field too small for signed semantics");
     assert!(p < (1 << 40), "field width beyond supported gadget range");
     let k = 64 - (p - 1).leading_zeros() as usize;
-    assert!((shift as usize) < k, "truncation must leave at least one bit");
+    assert!(
+        (shift as usize) < k,
+        "truncation must leave at least one bit"
+    );
     let layout = ReluLayout::new(k);
     let mut cb = CircuitBuilder::new();
     let a = cb.inputs(k);
@@ -209,8 +212,10 @@ mod tests {
         // Roughly proportional to width (each gadget is one AND per bit).
         let per_bit_narrow = narrow as f64 / 8.0;
         let per_bit_wide = wide as f64 / 17.0;
-        assert!((per_bit_narrow - per_bit_wide).abs() < 2.0,
-            "AND gates per bit should be nearly constant: {per_bit_narrow} vs {per_bit_wide}");
+        assert!(
+            (per_bit_narrow - per_bit_wide).abs() < 2.0,
+            "AND gates per bit should be nearly constant: {per_bit_narrow} vs {per_bit_wide}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Ciphertexts, plaintexts, and their homomorphic operations.
 
 use crate::params::BfvParams;
-use pi_poly::Poly;
+use pi_poly::{Poly, PolyOperand};
 
 /// A BFV plaintext: a polynomial with coefficients in `[0, t)`, stored in the
 /// ciphertext ring (coefficients embedded into `Z_q`).
@@ -9,6 +9,28 @@ use pi_poly::Poly;
 pub struct Plaintext {
     /// The message polynomial in the ciphertext ring (values `< t`).
     pub poly: Poly,
+}
+
+/// A plaintext precomputed as a multiplication operand: NTT form with Shoup
+/// quotients, so each `ciphertext × plaintext` product is two `mul_shoup`
+/// passes instead of two NTT-convert-and-Barrett multiplies.
+///
+/// Build once per repeated operand ([`Plaintext::to_operand`]) — encoder
+/// outputs multiplying many ciphertexts, Halevi–Shoup matrix diagonals — and
+/// apply with [`Ciphertext::mul_plain_operand`].
+#[derive(Clone, Debug)]
+pub struct PlainOperand {
+    /// The precomputed evaluation-form operand.
+    pub op: PolyOperand,
+}
+
+impl Plaintext {
+    /// Precomputes this plaintext for repeated ciphertext multiplication.
+    pub fn to_operand(&self) -> PlainOperand {
+        PlainOperand {
+            op: self.poly.to_operand(),
+        }
+    }
 }
 
 /// A degree-1 BFV ciphertext `(c0, c1)` decrypting to
@@ -24,37 +46,66 @@ pub struct Ciphertext {
 impl Ciphertext {
     /// Homomorphic addition.
     pub fn add(&self, other: &Self) -> Self {
-        Self { c0: self.c0.add(&other.c0), c1: self.c1.add(&other.c1) }
+        Self {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
     }
 
     /// Homomorphic subtraction.
     pub fn sub(&self, other: &Self) -> Self {
-        Self { c0: self.c0.sub(&other.c0), c1: self.c1.sub(&other.c1) }
+        Self {
+            c0: self.c0.sub(&other.c0),
+            c1: self.c1.sub(&other.c1),
+        }
     }
 
     /// Homomorphic negation.
     pub fn neg(&self) -> Self {
-        Self { c0: self.c0.neg(), c1: self.c1.neg() }
+        Self {
+            c0: self.c0.neg(),
+            c1: self.c1.neg(),
+        }
     }
 
     /// Adds a plaintext: the message polynomial is scaled by `Δ` and added to
     /// `c0`.
     pub fn add_plain(&self, pt: &Plaintext, params: &BfvParams) -> Self {
         let scaled = pt.poly.scale(params.delta());
-        Self { c0: self.c0.add(&scaled), c1: self.c1.clone() }
+        Self {
+            c0: self.c0.add(&scaled),
+            c1: self.c1.clone(),
+        }
     }
 
     /// Subtracts a plaintext.
     pub fn sub_plain(&self, pt: &Plaintext, params: &BfvParams) -> Self {
         let scaled = pt.poly.scale(params.delta());
-        Self { c0: self.c0.sub(&scaled), c1: self.c1.clone() }
+        Self {
+            c0: self.c0.sub(&scaled),
+            c1: self.c1.clone(),
+        }
     }
 
     /// Multiplies by a plaintext polynomial (slot-wise product when both are
     /// batch-encoded). The plaintext is *not* scaled: `Enc(Δm)·p` decrypts to
     /// `m·p` with noise grown by roughly `‖p‖`.
     pub fn mul_plain(&self, pt: &Plaintext) -> Self {
-        Self { c0: self.c0.mul(&pt.poly), c1: self.c1.mul(&pt.poly) }
+        Self {
+            c0: self.c0.mul(&pt.poly),
+            c1: self.c1.mul(&pt.poly),
+        }
+    }
+
+    /// Multiplies by a precomputed plaintext operand (see [`PlainOperand`]).
+    /// Semantically identical to [`Ciphertext::mul_plain`], but the
+    /// plaintext's NTT transform and Shoup quotients are amortized across
+    /// every ciphertext it multiplies.
+    pub fn mul_plain_operand(&self, pt: &PlainOperand) -> Self {
+        Self {
+            c0: self.c0.mul_operand(&pt.op),
+            c1: self.c1.mul_operand(&pt.op),
+        }
     }
 
     /// Applies the Galois automorphism `x ↦ x^g` to both components.
@@ -62,7 +113,10 @@ impl Ciphertext {
     /// The result decrypts under the permuted secret `s(x^g)`; callers must
     /// key-switch back with [`crate::GaloisKeys::switch`].
     pub fn galois_raw(&self, g: usize) -> Self {
-        Self { c0: self.c0.galois(g), c1: self.c1.galois(g) }
+        Self {
+            c0: self.c0.galois(g),
+            c1: self.c1.galois(g),
+        }
     }
 
     /// Serialized size in bytes (for communication accounting).

@@ -59,7 +59,11 @@ impl BatchEncoder {
                 .expect("evaluation point for negative slot must exist");
             e = (e * 3) % m;
         }
-        Self { params: params.clone(), t_ntt, slot_to_eval }
+        Self {
+            params: params.clone(),
+            t_ntt,
+            slot_to_eval,
+        }
     }
 
     /// Identifies a primitive 2N-th root psi among the evaluation points such
@@ -101,7 +105,9 @@ impl BatchEncoder {
             evals[self.slot_to_eval[j]] = v;
         }
         self.t_ntt.inverse(&mut evals);
-        Plaintext { poly: Poly::from_coeffs(self.params.ring().clone(), evals) }
+        Plaintext {
+            poly: Poly::from_coeffs(self.params.ring().clone(), evals),
+        }
     }
 
     /// Encodes a vector of length `d` repeated periodically across all `N`
@@ -114,7 +120,10 @@ impl BatchEncoder {
     pub fn encode_periodic(&self, values: &[u64]) -> Plaintext {
         let d = values.len();
         let half = self.row_size();
-        assert!(d > 0 && half % d == 0, "period {d} must divide row size {half}");
+        assert!(
+            d > 0 && half.is_multiple_of(d),
+            "period {d} must divide row size {half}"
+        );
         let full: Vec<u64> = (0..self.params.n()).map(|i| values[i % half % d]).collect();
         // i % half maps row-1 slots onto the same column pattern as row 0.
         self.encode(&full)
@@ -198,7 +207,9 @@ mod tests {
             .zip(b.poly.coeffs().iter())
             .map(|(&x, &y)| t.add(t.reduce(x), t.reduce(y)))
             .collect();
-        let sum = Plaintext { poly: Poly::from_coeffs(params.ring().clone(), sum_coeffs) };
+        let sum = Plaintext {
+            poly: Poly::from_coeffs(params.ring().clone(), sum_coeffs),
+        };
         assert_eq!(&enc.decode(&sum)[..4], &[11, 22, 33, 44]);
     }
 

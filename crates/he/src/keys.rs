@@ -2,7 +2,7 @@
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::params::BfvParams;
-use pi_poly::{sample, Poly};
+use pi_poly::{sample, Poly, PolyOperand};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -22,12 +22,17 @@ pub struct PublicKey {
 }
 
 /// Key-switching keys for a set of Galois elements, enabling slot rotations.
+///
+/// Keys are stored as precomputed Shoup operands ([`PolyOperand`]): each
+/// `(k0_i, k1_i)` pair multiplies every decomposed digit of every rotated
+/// ciphertext, so the one-time quotient precomputation at generation pays
+/// for itself on the first rotation.
 #[derive(Clone, Debug)]
 pub struct GaloisKeys {
     params: BfvParams,
     /// For each Galois element `g`, a vector of `(k0_i, k1_i)` pairs, one per
     /// decomposition digit, satisfying `k0_i + k1_i·s = B^i·s(x^g) + e_i`.
-    keys: HashMap<usize, Vec<(Poly, Poly)>>,
+    keys: HashMap<usize, Vec<(PolyOperand, PolyOperand)>>,
 }
 
 /// A convenience bundle of all keys one party generates.
@@ -62,7 +67,11 @@ impl KeySet {
         // Row swap (x -> x^{2N-1}).
         elements.push(m - 1);
         let galois = secret.galois_keys(&elements, rng);
-        Self { secret, public, galois }
+        Self {
+            secret,
+            public,
+            galois,
+        }
     }
 }
 
@@ -70,7 +79,10 @@ impl SecretKey {
     /// Samples a fresh ternary secret key.
     pub fn generate<R: Rng + ?Sized>(params: &BfvParams, rng: &mut R) -> Self {
         let s = sample::ternary(params.ring(), rng).into_ntt();
-        Self { params: params.clone(), s }
+        Self {
+            params: params.clone(),
+            s,
+        }
     }
 
     /// Parameters this key was generated for.
@@ -83,7 +95,11 @@ impl SecretKey {
         let a = sample::uniform(self.params.ring(), rng).into_ntt();
         let e = sample::centered_binomial(self.params.ring(), rng, self.params.error_k);
         let pk0 = a.mul(&self.s).add(&e.into_ntt()).neg();
-        PublicKey { params: self.params.clone(), pk0, pk1: a }
+        PublicKey {
+            params: self.params.clone(),
+            pk0,
+            pk1: a,
+        }
     }
 
     /// Generates key-switching keys for the given Galois elements.
@@ -104,14 +120,17 @@ impl SecretKey {
                     .add(&e.into_ntt())
                     .neg()
                     .add(&s_g.scale(base_pow));
-                digit_keys.push((k0, a));
-                base_pow = params.q().reduce_u128(
-                    base_pow as u128 * (1u128 << params.ks_log_base),
-                );
+                digit_keys.push((k0.to_operand(), a.to_operand()));
+                base_pow = params
+                    .q()
+                    .reduce_u128(base_pow as u128 * (1u128 << params.ks_log_base));
             }
             keys.insert(g, digit_keys);
         }
-        GaloisKeys { params: params.clone(), keys }
+        GaloisKeys {
+            params: params.clone(),
+            keys,
+        }
     }
 
     /// Decrypts a ciphertext to a plaintext (coefficients in `[0, t)`).
@@ -129,7 +148,9 @@ impl SecretKey {
                 rounded % t
             })
             .collect();
-        Plaintext { poly: Poly::from_coeffs(self.params.ring().clone(), coeffs) }
+        Plaintext {
+            poly: Poly::from_coeffs(self.params.ring().clone(), coeffs),
+        }
     }
 
     /// Returns the invariant noise budget of a ciphertext in bits: the
@@ -145,8 +166,11 @@ impl SecretKey {
         for &c in v.coeffs().iter() {
             let m = (((c as u128 * t as u128) + q as u128 / 2) / q as u128) as u64 % t;
             let centered = (c as i128 - (delta as i128 * m as i128)).rem_euclid(q as i128);
-            let noise =
-                if centered > q as i128 / 2 { (q as i128 - centered) as u64 } else { centered as u64 };
+            let noise = if centered > q as i128 / 2 {
+                (q as i128 - centered) as u64
+            } else {
+                centered as u64
+            };
             max_noise = max_noise.max(noise);
         }
         let threshold = q / (2 * t);
@@ -175,7 +199,9 @@ impl PublicKey {
 
     /// Encrypts the all-zero plaintext (used to re-randomize shares).
     pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
-        let zero = Plaintext { poly: Poly::zero(self.params.ring().clone()) };
+        let zero = Plaintext {
+            poly: Poly::zero(self.params.ring().clone()),
+        };
         self.encrypt(&zero, rng)
     }
 
@@ -204,24 +230,46 @@ impl GaloisKeys {
 
     /// Key-switches a ciphertext whose `c1` component is keyed under
     /// `s(x^g)` back to `s`.
+    ///
+    /// The hot path of every rotation: all `ks_digits` decomposed digits are
+    /// NTT-transformed in one batched stage-major pass
+    /// ([`pi_poly::NttTables::forward_many`]), then accumulated against the
+    /// Shoup-form keys in the lazy `[0, 2q)` domain with one final
+    /// correction — `mul_shoup + add_lazy` per slot per digit, no Barrett
+    /// reduction and no intermediate `Poly` allocations.
     pub fn switch(&self, ct: &Ciphertext, g: usize) -> Ciphertext {
         let digit_keys = self
             .keys
             .get(&g)
             .unwrap_or_else(|| panic!("no Galois key for element {g}"));
-        let digits = ct
+        let ring = self.params.ring();
+        let ntt = ring.ntt();
+        let q = self.params.q();
+        let mut digits: Vec<Vec<u64>> = ct
             .c1
             .clone()
             .into_coeff()
-            .decompose(self.params.ks_log_base, self.params.ks_digits);
-        let mut c0 = ct.c0.clone().into_ntt();
-        let mut c1 = Poly::zero(self.params.ring().clone()).into_ntt();
-        for (d, (k0, k1)) in digits.into_iter().zip(digit_keys) {
-            let d = d.into_ntt();
-            c0 = c0.add(&d.mul(k0));
-            c1 = c1.add(&d.mul(k1));
+            .decompose(self.params.ks_log_base, self.params.ks_digits)
+            .into_iter()
+            .map(Poly::into_data)
+            .collect();
+        {
+            let mut batch: Vec<&mut [u64]> = digits.iter_mut().map(|d| d.as_mut_slice()).collect();
+            ntt.forward_many(&mut batch);
         }
-        Ciphertext { c0, c1 }
+        let mut c0 = ct.c0.clone().into_ntt().into_data();
+        let mut c1 = vec![0u64; self.params.n()];
+        for (d, (k0, k1)) in digits.iter().zip(digit_keys) {
+            ntt.dyadic_mul_acc_shoup(&mut c0, d, k0.shoup());
+            ntt.dyadic_mul_acc_shoup(&mut c1, d, k1.shoup());
+        }
+        for x in c0.iter_mut().chain(c1.iter_mut()) {
+            *x = q.reduce_lazy(*x);
+        }
+        Ciphertext {
+            c0: Poly::from_ntt_data(ring.clone(), c0),
+            c1: Poly::from_ntt_data(ring.clone(), c1),
+        }
     }
 
     /// Rotates the SIMD rows of a batch-encoded ciphertext left by `k`
@@ -266,7 +314,10 @@ impl GaloisKeys {
     /// Serialized size in bytes: two polynomials per decomposition digit per
     /// Galois element.
     pub fn byte_len(&self) -> usize {
-        self.keys.values().map(|digits| digits.len() * 2 * self.params.n() * 8).sum()
+        self.keys
+            .values()
+            .map(|digits| digits.len() * 2 * self.params.n() * 8)
+            .sum()
     }
 }
 
@@ -288,7 +339,9 @@ mod tests {
         use rand::Rng;
         let t = params.t().value();
         let coeffs: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
-        let pt = Plaintext { poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()) };
+        let pt = Plaintext {
+            poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()),
+        };
         let ct = keys.public.encrypt(&pt, &mut rng);
         let dec = keys.secret.decrypt(&ct);
         assert_eq!(dec.poly.coeffs(), coeffs);
@@ -299,8 +352,12 @@ mod tests {
     fn homomorphic_addition() {
         let (params, keys, mut rng) = setup();
         let t = params.t();
-        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 5) };
-        let b = Plaintext { poly: Poly::constant(params.ring().clone(), t.value() - 2) };
+        let a = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 5),
+        };
+        let b = Plaintext {
+            poly: Poly::constant(params.ring().clone(), t.value() - 2),
+        };
         let ca = keys.public.encrypt(&a, &mut rng);
         let cb = keys.public.encrypt(&b, &mut rng);
         let sum = keys.secret.decrypt(&ca.add(&cb));
@@ -312,18 +369,38 @@ mod tests {
     #[test]
     fn add_sub_plain() {
         let (params, keys, mut rng) = setup();
-        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 100) };
-        let b = Plaintext { poly: Poly::constant(params.ring().clone(), 30) };
+        let a = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 100),
+        };
+        let b = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 30),
+        };
         let ca = keys.public.encrypt(&a, &mut rng);
-        assert_eq!(keys.secret.decrypt(&ca.add_plain(&b, &params)).poly.coeffs()[0], 130);
-        assert_eq!(keys.secret.decrypt(&ca.sub_plain(&b, &params)).poly.coeffs()[0], 70);
+        assert_eq!(
+            keys.secret
+                .decrypt(&ca.add_plain(&b, &params))
+                .poly
+                .coeffs()[0],
+            130
+        );
+        assert_eq!(
+            keys.secret
+                .decrypt(&ca.sub_plain(&b, &params))
+                .poly
+                .coeffs()[0],
+            70
+        );
     }
 
     #[test]
     fn plaintext_multiplication_constant() {
         let (params, keys, mut rng) = setup();
-        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 9) };
-        let b = Plaintext { poly: Poly::constant(params.ring().clone(), 7) };
+        let a = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 9),
+        };
+        let b = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 7),
+        };
         let ca = keys.public.encrypt(&a, &mut rng);
         let prod = keys.secret.decrypt(&ca.mul_plain(&b));
         assert_eq!(prod.poly.coeffs()[0], 63);
@@ -333,7 +410,9 @@ mod tests {
     #[test]
     fn encrypt_zero_rerandomizes() {
         let (params, keys, mut rng) = setup();
-        let a = Plaintext { poly: Poly::constant(params.ring().clone(), 42) };
+        let a = Plaintext {
+            poly: Poly::constant(params.ring().clone(), 42),
+        };
         let ca = keys.public.encrypt(&a, &mut rng);
         let masked = ca.add(&keys.public.encrypt_zero(&mut rng));
         assert_eq!(keys.secret.decrypt(&masked).poly.coeffs()[0], 42);
@@ -346,7 +425,9 @@ mod tests {
         use rand::Rng;
         let t = params.t().value();
         let coeffs: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
-        let pt = Plaintext { poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()) };
+        let pt = Plaintext {
+            poly: Poly::from_coeffs(params.ring().clone(), coeffs.clone()),
+        };
         let ct = keys.public.encrypt(&pt, &mut rng);
         // Apply g then switch; message polynomial becomes m(x^g).
         let g = 3usize;
@@ -371,7 +452,10 @@ mod tests {
         };
         let _ = expected;
         assert_eq!(dec.poly.coeffs(), expect_coeffs);
-        assert!(keys.secret.noise_budget(&out) > 5, "key switching must not exhaust noise");
+        assert!(
+            keys.secret.noise_budget(&out) > 5,
+            "key switching must not exhaust noise"
+        );
     }
 
     #[test]

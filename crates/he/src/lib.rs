@@ -42,7 +42,7 @@ pub mod linalg;
 pub mod params;
 pub mod wire;
 
-pub use cipher::{Ciphertext, Plaintext};
+pub use cipher::{Ciphertext, PlainOperand, Plaintext};
 pub use encoder::BatchEncoder;
 pub use keys::{GaloisKeys, KeySet, PublicKey, SecretKey};
 pub use params::BfvParams;

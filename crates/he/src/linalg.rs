@@ -46,7 +46,12 @@ impl PlainMatrix {
         for r in 0..rows {
             padded[r * dim..r * dim + cols].copy_from_slice(&data[r * cols..(r + 1) * cols]);
         }
-        Self { rows, cols, dim, data: padded }
+        Self {
+            rows,
+            cols,
+            dim,
+            data: padded,
+        }
     }
 
     /// Number of (logical) rows.
@@ -72,11 +77,15 @@ impl PlainMatrix {
     /// Panics if `v.len() != cols`.
     pub fn matvec_plain(&self, v: &[u64], t: Modulus) -> Vec<u64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
+        // Reduce the vector once up front instead of per matrix element, and
+        // fuse each step's multiply and add into one Barrett reduction.
+        let v_red: Vec<u64> = v.iter().map(|&x| t.reduce(x)).collect();
         (0..self.rows)
             .map(|r| {
+                let row = &self.data[r * self.dim..r * self.dim + self.cols];
                 let mut acc = 0u64;
-                for c in 0..self.cols {
-                    acc = t.add(acc, t.mul(self.data[r * self.dim + c], t.reduce(v[c])));
+                for (&w, &x) in row.iter().zip(&v_red) {
+                    acc = t.mul_add(w, x, acc);
                 }
                 acc
             })
@@ -88,8 +97,71 @@ impl PlainMatrix {
     /// `p_k[i] = W[(i − k) mod d][i]`.
     fn shifted_diagonal(&self, k: usize) -> Vec<u64> {
         let d = self.dim;
-        (0..d).map(|i| self.data[((i + d - k) % d) * d + i]).collect()
+        (0..d)
+            .map(|i| self.data[((i + d - k) % d) * d + i])
+            .collect()
     }
+}
+
+/// A matrix's Halevi–Shoup diagonals, encoded and precomputed as Shoup-form
+/// multiplication operands.
+///
+/// Encoding a diagonal costs an inverse NTT (in the plaintext field) plus a
+/// forward NTT and Shoup precomputation (in the ciphertext ring); in the
+/// DELPHI offline phase the same weight matrix serves every client and every
+/// query, so this work is done once via [`encode_diagonals`] and reused by
+/// [`matvec_precomputed`].
+#[derive(Clone, Debug)]
+pub struct EncodedDiagonals {
+    dim: usize,
+    /// `ops[k]` is the encoded, pre-rotated diagonal `p_k` as an operand.
+    ops: Vec<crate::cipher::PlainOperand>,
+}
+
+impl EncodedDiagonals {
+    /// The padded dimension (number of diagonals).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Encodes all shifted diagonals of `w` and precomputes their Shoup
+/// operands for [`matvec_precomputed`].
+///
+/// # Panics
+///
+/// Panics if the padded dimension exceeds the encoder row size.
+pub fn encode_diagonals(enc: &BatchEncoder, w: &PlainMatrix) -> EncodedDiagonals {
+    let d = w.dim;
+    assert!(
+        d <= enc.row_size(),
+        "matrix dimension {d} exceeds slot row size {}",
+        enc.row_size()
+    );
+    let ops = (0..d)
+        .map(|k| enc.encode_periodic(&w.shifted_diagonal(k)).to_operand())
+        .collect();
+    EncodedDiagonals { dim: d, ops }
+}
+
+/// Computes `E(W · v)` from `E(v)` using precomputed diagonal operands.
+///
+/// The inner loop per diagonal is a `mul_shoup` pass over the ciphertext
+/// pair plus the lazy-reduced additions inside the rotation's key switch —
+/// no Barrett reduction and no per-call plaintext encoding.
+pub fn matvec_precomputed(gk: &GaloisKeys, w: &EncodedDiagonals, ct_v: &Ciphertext) -> Ciphertext {
+    // Horner-style chain over diagonals k = d-1 .. 0:
+    //   acc <- rot(acc, 1) + v ⊙ p_k
+    // yielding acc = Σ_k rot(v ⊙ p_k, k) = W·v.
+    let mut acc: Option<Ciphertext> = None;
+    for op in w.ops.iter().rev() {
+        let term = ct_v.mul_plain_operand(op);
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => gk.rotate_rows(&prev, 1).add(&term),
+        });
+    }
+    acc.expect("dimension is at least 1")
 }
 
 /// Computes `E(W · v)` from `E(v)`.
@@ -98,6 +170,9 @@ impl PlainMatrix {
 /// `W.padded_dim()` (see [`BatchEncoder::encode_periodic`]); the result holds
 /// `W·v` (padded with zero rows) in the same periodic layout, so
 /// `decode_prefix(…, W.rows())` extracts the product.
+///
+/// Encodes and precomputes the diagonals on every call; when the same matrix
+/// is applied repeatedly, use [`encode_diagonals`] + [`matvec_precomputed`].
 ///
 /// # Panics
 ///
@@ -108,25 +183,7 @@ pub fn matvec(
     w: &PlainMatrix,
     ct_v: &Ciphertext,
 ) -> Ciphertext {
-    let d = w.dim;
-    assert!(
-        d <= enc.row_size(),
-        "matrix dimension {d} exceeds slot row size {}",
-        enc.row_size()
-    );
-    // Horner-style chain over diagonals k = d-1 .. 0:
-    //   acc <- rot(acc, 1) + v ⊙ p_k
-    // yielding acc = Σ_k rot(v ⊙ p_k, k) = W·v.
-    let mut acc: Option<Ciphertext> = None;
-    for k in (0..d).rev() {
-        let p_k = enc.encode_periodic(&w.shifted_diagonal(k));
-        let term = ct_v.mul_plain(&p_k);
-        acc = Some(match acc {
-            None => term,
-            Some(prev) => gk.rotate_rows(&prev, 1).add(&term),
-        });
-    }
-    acc.expect("dimension is at least 1")
+    matvec_precomputed(gk, &encode_diagonals(enc, w), ct_v)
 }
 
 /// Counts the homomorphic operations a `dim × dim` diagonal matvec performs.
@@ -144,7 +201,11 @@ pub struct MatvecOpCount {
 
 /// Returns the operation count of [`matvec`] at a padded dimension.
 pub fn matvec_op_count(dim: usize) -> MatvecOpCount {
-    MatvecOpCount { pt_muls: dim, rotations: dim.saturating_sub(1), additions: dim.saturating_sub(1) }
+    MatvecOpCount {
+        pt_muls: dim,
+        rotations: dim.saturating_sub(1),
+        additions: dim.saturating_sub(1),
+    }
 }
 
 /// Encrypts a vector for [`matvec`]: encodes periodically at the matrix's
@@ -265,6 +326,23 @@ mod tests {
         assert!(keys.secret.noise_budget(&out) > 0);
         let got = enc.decode_prefix(&keys.secret.decrypt(&out), 64);
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn precomputed_matvec_matches_and_reuses() {
+        let (params, keys, enc, mut rng) = setup(12);
+        let t = params.t();
+        let w = random_matrix(16, 16, t.value(), t, &mut rng);
+        let diag = encode_diagonals(&enc, &w);
+        assert_eq!(diag.dim(), 16);
+        // One precomputation serves many client vectors.
+        for _ in 0..3 {
+            let v: Vec<u64> = (0..16).map(|_| rng.gen_range(0..t.value())).collect();
+            let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+            let out = matvec_precomputed(&keys.galois, &diag, &ct);
+            let got = enc.decode_prefix(&keys.secret.decrypt(&out), 16);
+            assert_eq!(got, w.matvec_plain(&v, t));
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl BfvParams {
     /// Panics if no suitable primes exist or if `t_bits >= q_bits - 10`
     /// (insufficient noise headroom).
     pub fn new(n: usize, q_bits: u32, t_bits: u32) -> Self {
-        assert!(t_bits + 10 <= q_bits, "plaintext modulus too close to ciphertext modulus");
+        assert!(
+            t_bits + 10 <= q_bits,
+            "plaintext modulus too close to ciphertext modulus"
+        );
         let t = Modulus::new(find_ntt_prime(t_bits, n as u64));
         // q ≡ 1 (mod 2N·t): NTT-friendly AND q mod t == 1, so the Δ·t ≈ q
         // rounding error in plaintext multiplication stays negligible.
@@ -46,7 +49,14 @@ impl BfvParams {
         let delta = q.value() / t.value();
         let ks_log_base = 10;
         let ks_digits = (q.bits() as usize).div_ceil(ks_log_base as usize);
-        Self { ring, t, delta, ks_log_base, ks_digits, error_k: 8 }
+        Self {
+            ring,
+            t,
+            delta,
+            ks_log_base,
+            ks_digits,
+            error_k: 8,
+        }
     }
 
     /// The default parameter set used by the protocol crates:

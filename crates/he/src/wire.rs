@@ -48,11 +48,7 @@ fn write_poly(out: &mut Vec<u8>, poly: &Poly) {
     }
 }
 
-fn read_poly(
-    bytes: &[u8],
-    params: &BfvParams,
-    offset: &mut usize,
-) -> Result<Poly, WireError> {
+fn read_poly(bytes: &[u8], params: &BfvParams, offset: &mut usize) -> Result<Poly, WireError> {
     let n = params.n();
     if bytes.len() < *offset + 1 + 8 * n {
         return Err(WireError::Truncated);
@@ -158,7 +154,10 @@ mod tests {
         let ct = keys.public.encrypt(&pt, &mut rng);
         let bytes = ciphertext_to_bytes(&ct);
         let back = ciphertext_from_bytes(&bytes, &params).unwrap();
-        assert_eq!(&enc.decode(&keys.secret.decrypt(&back))[..5], &[1, 2, 3, 4, 5]);
+        assert_eq!(
+            &enc.decode(&keys.secret.decrypt(&back))[..5],
+            &[1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl Network {
         let mut ops = Vec::with_capacity(spec.ops.len());
         for (i, op) in spec.ops.iter().enumerate() {
             let materialized = match *op {
-                SpecOp::Conv2d { co, k, stride, padding } => {
+                SpecOp::Conv2d {
+                    co,
+                    k,
+                    stride,
+                    padding,
+                } => {
                     let ci = match prev {
                         Shape::Chw(c, ..) => c,
                         Shape::Flat(_) => unreachable!("shape-checked"),
@@ -121,7 +126,10 @@ impl Network {
             ops.push(materialized);
             prev = shapes[i].clone();
         }
-        Self { spec: spec.clone(), ops }
+        Self {
+            spec: spec.clone(),
+            ops,
+        }
     }
 
     /// Plaintext `f64` forward pass.
@@ -139,9 +147,12 @@ impl Network {
         let mut skips: Vec<Tensor> = Vec::new();
         for op in &self.ops {
             x = match op {
-                Op::Conv2d { weight, bias, stride, padding } => {
-                    conv2d(&x, weight, bias, *stride, *padding)
-                }
+                Op::Conv2d {
+                    weight,
+                    bias,
+                    stride,
+                    padding,
+                } => conv2d(&x, weight, bias, *stride, *padding),
                 Op::Linear { weight, bias } => linear(&x, weight, bias),
                 Op::Relu => {
                     let mut y = x;
@@ -177,7 +188,11 @@ impl Network {
                     skips.push(x.clone());
                     x
                 }
-                Op::SaveSkipProj { weight, bias, stride } => {
+                Op::SaveSkipProj {
+                    weight,
+                    bias,
+                    stride,
+                } => {
                     skips.push(conv2d(&x, weight, bias, *stride, 0));
                     x
                 }
@@ -203,6 +218,7 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &[f64], stride: usize, padding:
     let oh = (h + 2 * padding - k) / stride + 1;
     let ow = (w + 2 * padding - k) / stride + 1;
     let mut out = Tensor::zeros(&[co, oh, ow]);
+    #[allow(clippy::needless_range_loop)] // o indexes bias, weight, and out together
     for o in 0..co {
         for y in 0..oh {
             for xx in 0..ow {
@@ -213,7 +229,8 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &[f64], stride: usize, padding:
                             let sy = (y * stride + dy) as isize - padding as isize;
                             let sx = (xx * stride + dx) as isize - padding as isize;
                             if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
-                                acc += x.at3(c, sy as usize, sx as usize) * weight.at4(o, c, dy, dx);
+                                acc +=
+                                    x.at3(c, sy as usize, sx as usize) * weight.at4(o, c, dy, dx);
                             }
                         }
                     }
@@ -229,6 +246,7 @@ fn linear(x: &Tensor, weight: &Tensor, bias: &[f64]) -> Tensor {
     let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
     assert_eq!(x.len(), in_f, "linear input length mismatch");
     let mut out = Tensor::zeros(&[out_f]);
+    #[allow(clippy::needless_range_loop)] // o indexes bias, weight, and out together
     for o in 0..out_f {
         let mut acc = bias[o];
         for i in 0..in_f {
@@ -281,10 +299,7 @@ mod tests {
         let x = Tensor::from_vec(&[1, 3, 3], vec![1.0; 9]);
         let w = Tensor::from_vec(&[1, 1, 3, 3], vec![1.0; 9]);
         let y = conv2d(&x, &w, &[0.0], 1, 1);
-        assert_eq!(
-            y.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
@@ -311,7 +326,12 @@ mod tests {
             input: [1, 2, 2],
             ops: vec![
                 SpecOp::SaveSkip,
-                SpecOp::Conv2d { co: 1, k: 1, stride: 1, padding: 0 },
+                SpecOp::Conv2d {
+                    co: 1,
+                    k: 1,
+                    stride: 1,
+                    padding: 0,
+                },
                 SpecOp::AddSkip,
                 SpecOp::Relu,
             ],
@@ -334,7 +354,12 @@ mod tests {
             name: "mix".into(),
             input: [2, 8, 8],
             ops: vec![
-                SpecOp::Conv2d { co: 4, k: 3, stride: 1, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 4,
+                    k: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 SpecOp::Relu,
                 SpecOp::AvgPool2d { k: 2 },
                 SpecOp::GlobalAvgPool,

@@ -89,6 +89,7 @@ impl PiPhase {
         (0..self.rows)
             .map(|r| {
                 let mut acc = self.bias[r];
+                #[allow(clippy::needless_range_loop)] // c indexes the matrix row and x together
                 for c in 0..self.cols {
                     acc = p.add(acc, p.mul(self.matrix[r * self.cols + c], x[c]));
                 }
@@ -146,7 +147,13 @@ impl PiModel {
         let mut skip_stack: Vec<(usize, Option<ProjWeights>)> = Vec::new();
         for op in &qnet.ops {
             match op {
-                QuantOp::Conv2d { weight, shape, bias, stride, padding } => {
+                QuantOp::Conv2d {
+                    weight,
+                    shape,
+                    bias,
+                    stride,
+                    padding,
+                } => {
                     let (_, h, w) = expect_chw(&cur_shape);
                     let oh = (h + 2 * padding - shape[2]) / stride + 1;
                     let ow = (w + 2 * padding - shape[3]) / stride + 1;
@@ -159,7 +166,12 @@ impl PiModel {
                     });
                     cur_shape = Shape::Chw(shape[0], oh, ow);
                 }
-                QuantOp::Linear { weight, out, inf, bias } => {
+                QuantOp::Linear {
+                    weight,
+                    out,
+                    inf,
+                    bias,
+                } => {
                     seg_ops.push(SegOp::Linear {
                         weight: weight.clone(),
                         out: *out,
@@ -189,7 +201,13 @@ impl PiModel {
                     );
                     skip_stack.push((cur_act, None));
                 }
-                QuantOp::SaveSkipProj { weight, co, ci, stride, bias } => {
+                QuantOp::SaveSkipProj {
+                    weight,
+                    co,
+                    ci,
+                    stride,
+                    bias,
+                } => {
                     assert!(
                         seg_ops.is_empty(),
                         "skips must be saved at activation boundaries"
@@ -211,7 +229,11 @@ impl PiModel {
                     let (src, proj) = skip_stack.pop().expect("balanced skips");
                     let slot = seg_extras.len();
                     seg_extras.push(src);
-                    seg_ops.push(SegOp::AddExtra { slot, proj, scale_shift: *scale_shift });
+                    seg_ops.push(SegOp::AddExtra {
+                        slot,
+                        proj,
+                        scale_shift: *scale_shift,
+                    });
                 }
                 QuantOp::ReluTrunc { shift } => {
                     segments.push(Segment {
@@ -226,7 +248,10 @@ impl PiModel {
                 }
             }
         }
-        assert!(!seg_ops.is_empty(), "network must end with a linear phase, not a ReLU");
+        assert!(
+            !seg_ops.is_empty(),
+            "network must end with a linear phase, not a ReLU"
+        );
         segments.push(Segment {
             main_act: cur_act,
             main_shape: seg_start_shape,
@@ -242,15 +267,12 @@ impl PiModel {
         for seg in &segments {
             let main_len = seg.main_shape.volume();
             debug_assert_eq!(act_lens[seg.main_act], main_len);
-            let extra_lens: Vec<usize> =
-                seg.extra_acts.iter().map(|&a| act_lens[a]).collect();
+            let extra_lens: Vec<usize> = seg.extra_acts.iter().map(|&a| act_lens[a]).collect();
             let extra_shapes: Vec<Option<(usize, usize, usize)>> = seg
                 .ops
                 .iter()
                 .filter_map(|o| match o {
-                    SegOp::AddExtra { proj, .. } => {
-                        Some(proj.as_ref().map(|pw| pw.in_shape))
-                    }
+                    SegOp::AddExtra { proj, .. } => Some(proj.as_ref().map(|pw| pw.in_shape)),
                     _ => None,
                 })
                 .collect();
@@ -261,14 +283,17 @@ impl PiModel {
                 run_segment(&seg.ops, &seg.main_shape, main, extras, with_bias, p)
             };
             let zero_main = vec![0u64; main_len];
-            let zero_extras: Vec<Vec<u64>> =
-                extra_lens.iter().map(|&l| vec![0u64; l]).collect();
+            let zero_extras: Vec<Vec<u64>> = extra_lens.iter().map(|&l| vec![0u64; l]).collect();
             let bias = probe(&zero_main, &zero_extras, true);
             let rows = bias.len();
             let mut matrix = vec![0u64; rows * cols];
             let mut col = 0usize;
             for input_idx in 0..=extra_lens.len() {
-                let len = if input_idx == 0 { main_len } else { extra_lens[input_idx - 1] };
+                let len = if input_idx == 0 {
+                    main_len
+                } else {
+                    extra_lens[input_idx - 1]
+                };
                 for i in 0..len {
                     let mut main = zero_main.clone();
                     let mut extras = zero_extras.clone();
@@ -299,7 +324,13 @@ impl PiModel {
                 relu_shift: seg.relu_shift,
             });
         }
-        Self { p, f: qnet.config.f, phases, input_len, name: qnet.name.clone() }
+        Self {
+            p,
+            f: qnet.config.f,
+            phases,
+            input_len,
+            name: qnet.name.clone(),
+        }
     }
 
     /// Reference forward pass over the phase matrices; must agree exactly
@@ -321,7 +352,11 @@ impl PiModel {
             let y = phase.apply(&x, self.p);
             match phase.relu_shift {
                 Some(shift) => {
-                    acts.push(y.iter().map(|&v| relu_trunc_field(v, shift, self.p)).collect());
+                    acts.push(
+                        y.iter()
+                            .map(|&v| relu_trunc_field(v, shift, self.p))
+                            .collect(),
+                    );
                 }
                 None => output = y,
             }
@@ -365,15 +400,35 @@ fn run_segment(
     };
     for op in ops {
         match op {
-            SegOp::Conv2d { weight, shape: ws, bias, stride, padding } => {
+            SegOp::Conv2d {
+                weight,
+                shape: ws,
+                bias,
+                stride,
+                padding,
+            } => {
                 let (c, h, w) = expect_chw(&shape);
                 let (out, os) = conv2d_field(
-                    &x, c, h, w, weight, *ws, &maybe_bias(bias), *stride, *padding, p,
+                    &x,
+                    c,
+                    h,
+                    w,
+                    weight,
+                    *ws,
+                    &maybe_bias(bias),
+                    *stride,
+                    *padding,
+                    p,
                 );
                 x = out;
                 shape = os;
             }
-            SegOp::Linear { weight, out, inf, bias } => {
+            SegOp::Linear {
+                weight,
+                out,
+                inf,
+                bias,
+            } => {
                 assert_eq!(x.len(), *inf);
                 let b = maybe_bias(bias);
                 let mut y = vec![0u64; *out];
@@ -421,7 +476,11 @@ fn run_segment(
                 shape = Shape::Flat(c);
             }
             SegOp::Flatten => shape = Shape::Flat(x.len()),
-            SegOp::AddExtra { slot, proj, scale_shift } => {
+            SegOp::AddExtra {
+                slot,
+                proj,
+                scale_shift,
+            } => {
                 let extra = &extras[*slot];
                 let skip: Vec<u64> = match proj {
                     None => extra.clone(),
@@ -472,7 +531,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn config() -> FixedConfig {
-        FixedConfig { p: Modulus::new(pi_field::find_ntt_prime(20, 2048)), f: 5 }
+        FixedConfig {
+            p: Modulus::new(pi_field::find_ntt_prime(20, 2048)),
+            f: 5,
+        }
     }
 
     fn lower(spec: &crate::spec::NetSpec, seed: u64) -> (QuantNetwork, PiModel) {

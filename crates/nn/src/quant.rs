@@ -31,7 +31,8 @@ pub struct FixedConfig {
 impl FixedConfig {
     /// Quantizes a real to a field element at scale `2^f`.
     pub fn quantize(&self, x: f64) -> u64 {
-        self.p.from_signed((x * (1u64 << self.f) as f64).round() as i64)
+        self.p
+            .from_signed((x * (1u64 << self.f) as f64).round() as i64)
     }
 
     /// Dequantizes a field element at scale `2^bits`.
@@ -137,7 +138,7 @@ impl QuantNetwork {
     /// supported family.
     pub fn quantize(net: &Network, config: FixedConfig) -> Self {
         let scale = (1u64 << config.f) as f64;
-        let scale2 = (scale * scale) as f64;
+        let scale2 = scale * scale;
         let mut ops = Vec::with_capacity(net.ops.len());
         // Divisor accumulated from pools, divided out of the next weights.
         let mut pending_div = 1.0f64;
@@ -148,9 +149,17 @@ impl QuantNetwork {
         let q = |x: f64| config.p.from_signed(x.round() as i64);
         for op in &net.ops {
             match op {
-                Op::Conv2d { weight, bias, stride, padding } => {
-                    let w: Vec<u64> =
-                        weight.data().iter().map(|&v| q(v * scale / pending_div)).collect();
+                Op::Conv2d {
+                    weight,
+                    bias,
+                    stride,
+                    padding,
+                } => {
+                    let w: Vec<u64> = weight
+                        .data()
+                        .iter()
+                        .map(|&v| q(v * scale / pending_div))
+                        .collect();
                     let b: Vec<u64> = bias.iter().map(|&v| q(v * scale2)).collect();
                     let s = weight.shape();
                     ops.push(QuantOp::Conv2d {
@@ -164,8 +173,11 @@ impl QuantNetwork {
                     cur_scale = 2 * config.f;
                 }
                 Op::Linear { weight, bias } => {
-                    let w: Vec<u64> =
-                        weight.data().iter().map(|&v| q(v * scale / pending_div)).collect();
+                    let w: Vec<u64> = weight
+                        .data()
+                        .iter()
+                        .map(|&v| q(v * scale / pending_div))
+                        .collect();
                     let b: Vec<u64> = bias.iter().map(|&v| q(v * scale2)).collect();
                     ops.push(QuantOp::Linear {
                         weight: w,
@@ -208,7 +220,11 @@ impl QuantNetwork {
                     skip_scales.push(cur_scale);
                     ops.push(QuantOp::SaveSkip);
                 }
-                Op::SaveSkipProj { weight, bias, stride } => {
+                Op::SaveSkipProj {
+                    weight,
+                    bias,
+                    stride,
+                } => {
                     assert!(pending_div == 1.0, "skip across a pending pool divisor");
                     let w: Vec<u64> = weight.data().iter().map(|&v| q(v * scale)).collect();
                     let b: Vec<u64> = bias.iter().map(|&v| q(v * scale2)).collect();
@@ -227,7 +243,9 @@ impl QuantNetwork {
                         skip_scale <= cur_scale,
                         "skip scale must not exceed main scale"
                     );
-                    ops.push(QuantOp::AddSkip { scale_shift: cur_scale - skip_scale });
+                    ops.push(QuantOp::AddSkip {
+                        scale_shift: cur_scale - skip_scale,
+                    });
                 }
             }
         }
@@ -235,7 +253,12 @@ impl QuantNetwork {
             (pending_div - 1.0).abs() < 1e-9,
             "network ends with an unfolded pool divisor"
         );
-        Self { config, ops, input: net.spec.input, name: net.spec.name.clone() }
+        Self {
+            config,
+            ops,
+            input: net.spec.input,
+            name: net.spec.name.clone(),
+        }
     }
 
     /// Exact fixed-point forward pass over `Z_p` — the reference semantics
@@ -254,15 +277,25 @@ impl QuantNetwork {
         let mut skips: Vec<Vec<u64>> = Vec::new();
         for op in &self.ops {
             match op {
-                QuantOp::Conv2d { weight, shape: ws, bias, stride, padding } => {
+                QuantOp::Conv2d {
+                    weight,
+                    shape: ws,
+                    bias,
+                    stride,
+                    padding,
+                } => {
                     let (c, h, w) = expect_chw(&shape);
-                    let (out, os) = conv2d_field(
-                        &x, c, h, w, weight, *ws, bias, *stride, *padding, p,
-                    );
+                    let (out, os) =
+                        conv2d_field(&x, c, h, w, weight, *ws, bias, *stride, *padding, p);
                     x = out;
                     shape = os;
                 }
-                QuantOp::Linear { weight, out, inf, bias } => {
+                QuantOp::Linear {
+                    weight,
+                    out,
+                    inf,
+                    bias,
+                } => {
                     assert_eq!(x.len(), *inf, "linear input mismatch");
                     let mut y = vec![0u64; *out];
                     for (o, yo) in y.iter_mut().enumerate() {
@@ -290,10 +323,8 @@ impl QuantNetwork {
                                 let mut acc = 0u64;
                                 for dy in 0..*k {
                                     for dx in 0..*k {
-                                        acc = p.add(
-                                            acc,
-                                            x[(ci * h + yy * k + dy) * w + xx * k + dx],
-                                        );
+                                        acc =
+                                            p.add(acc, x[(ci * h + yy * k + dy) * w + xx * k + dx]);
                                     }
                                 }
                                 y[(ci * oh + yy) * ow + xx] = acc;
@@ -318,7 +349,13 @@ impl QuantNetwork {
                 }
                 QuantOp::Flatten => shape = Shape::Flat(x.len()),
                 QuantOp::SaveSkip => skips.push(x.clone()),
-                QuantOp::SaveSkipProj { weight, co, ci, stride, bias } => {
+                QuantOp::SaveSkipProj {
+                    weight,
+                    co,
+                    ci,
+                    stride,
+                    bias,
+                } => {
                     let (c, h, w) = expect_chw(&shape);
                     assert_eq!(c, *ci);
                     let (oh, ow) = (h.div_ceil(*stride), w.div_ceil(*stride));
@@ -419,7 +456,10 @@ pub(crate) fn conv2d_field(
 /// Recovers the spatial size (`h·w`) at the position of a `GlobalAvgPool`
 /// in the original network via shape inference.
 fn global_pool_spatial(net: &Network, op_index: usize) -> usize {
-    let shapes = net.spec.infer_shapes().expect("materialized networks are shape-valid");
+    let shapes = net
+        .spec
+        .infer_shapes()
+        .expect("materialized networks are shape-valid");
     if op_index == 0 {
         return net.spec.input[1] * net.spec.input[2];
     }
@@ -438,7 +478,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn config() -> FixedConfig {
-        FixedConfig { p: Modulus::new(pi_field::find_ntt_prime(20, 2048)), f: 5 }
+        FixedConfig {
+            p: Modulus::new(pi_field::find_ntt_prime(20, 2048)),
+            f: 5,
+        }
     }
 
     #[test]
@@ -506,7 +549,10 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, QuantOp::ReluTrunc { .. }))
             .count();
-        assert_eq!(relus as u64, zoo::tiny_resnet().stats().unwrap().relu_layers.len() as u64);
+        assert_eq!(
+            relus as u64,
+            zoo::tiny_resnet().stats().unwrap().relu_layers.len() as u64
+        );
     }
 
     #[test]

@@ -178,12 +178,22 @@ impl NetSpec {
         let mut skips: Vec<Shape> = Vec::new();
         let mut out = Vec::with_capacity(self.ops.len());
         for (i, op) in self.ops.iter().enumerate() {
-            let err = |reason: String| SpecError::ShapeMismatch { op_index: i, reason };
+            let err = |reason: String| SpecError::ShapeMismatch {
+                op_index: i,
+                reason,
+            };
             shape = match *op {
-                SpecOp::Conv2d { co, k, stride, padding } => match shape {
+                SpecOp::Conv2d {
+                    co,
+                    k,
+                    stride,
+                    padding,
+                } => match shape {
                     Shape::Chw(_, h, w) => {
                         if h + 2 * padding < k || w + 2 * padding < k {
-                            return Err(err(format!("kernel {k} larger than padded input {h}x{w}")));
+                            return Err(err(format!(
+                                "kernel {k} larger than padded input {h}x{w}"
+                            )));
                         }
                         let oh = (h + 2 * padding - k) / stride + 1;
                         let ow = (w + 2 * padding - k) / stride + 1;
@@ -193,7 +203,9 @@ impl NetSpec {
                 },
                 SpecOp::Linear { out } => match shape {
                     Shape::Flat(_) => Shape::Flat(out),
-                    Shape::Chw(..) => return Err(err("linear on CHW tensor (flatten first)".into())),
+                    Shape::Chw(..) => {
+                        return Err(err("linear on CHW tensor (flatten first)".into()))
+                    }
                 },
                 SpecOp::Relu => shape,
                 SpecOp::AvgPool2d { k } => match shape {
@@ -335,7 +347,12 @@ mod tests {
             name: "tiny".into(),
             input: [1, 4, 4],
             ops: vec![
-                SpecOp::Conv2d { co: 2, k: 3, stride: 1, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 2,
+                    k: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 SpecOp::Relu,
                 SpecOp::Flatten,
                 SpecOp::Linear { out: 10 },
@@ -367,9 +384,19 @@ mod tests {
             input: [4, 8, 8],
             ops: vec![
                 SpecOp::SaveSkip,
-                SpecOp::Conv2d { co: 4, k: 3, stride: 1, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 4,
+                    k: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 SpecOp::Relu,
-                SpecOp::Conv2d { co: 4, k: 3, stride: 1, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 4,
+                    k: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 SpecOp::AddSkip,
                 SpecOp::Relu,
             ],
@@ -387,9 +414,19 @@ mod tests {
             input: [4, 8, 8],
             ops: vec![
                 SpecOp::SaveSkipProj { co: 8, stride: 2 },
-                SpecOp::Conv2d { co: 8, k: 3, stride: 2, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 8,
+                    k: 3,
+                    stride: 2,
+                    padding: 1,
+                },
                 SpecOp::Relu,
-                SpecOp::Conv2d { co: 8, k: 3, stride: 1, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 8,
+                    k: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 SpecOp::AddSkip,
                 SpecOp::Relu,
             ],
@@ -407,7 +444,12 @@ mod tests {
             input: [4, 8, 8],
             ops: vec![
                 SpecOp::SaveSkip,
-                SpecOp::Conv2d { co: 8, k: 3, stride: 2, padding: 1 },
+                SpecOp::Conv2d {
+                    co: 8,
+                    k: 3,
+                    stride: 2,
+                    padding: 1,
+                },
                 SpecOp::AddSkip,
             ],
         };
@@ -425,7 +467,11 @@ mod tests {
             ops: vec![SpecOp::SaveSkip],
         };
         assert_eq!(spec.infer_shapes(), Err(SpecError::SkipImbalance));
-        let spec2 = NetSpec { name: "bad3".into(), input: [1, 4, 4], ops: vec![SpecOp::AddSkip] };
+        let spec2 = NetSpec {
+            name: "bad3".into(),
+            input: [1, 4, 4],
+            ops: vec![SpecOp::AddSkip],
+        };
         assert_eq!(spec2.infer_shapes(), Err(SpecError::SkipImbalance));
     }
 

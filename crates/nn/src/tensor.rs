@@ -11,7 +11,12 @@ pub struct Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor(shape={:?}, data[..4]={:?})", self.shape, &self.data[..self.data.len().min(4)])
+        write!(
+            f,
+            "Tensor(shape={:?}, data[..4]={:?})",
+            self.shape,
+            &self.data[..self.data.len().min(4)]
+        )
     }
 }
 
@@ -19,7 +24,10 @@ impl Tensor {
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Builds a tensor from shape and data.
@@ -28,8 +36,15 @@ impl Tensor {
     ///
     /// Panics if `data.len()` does not match the shape volume.
     pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), shape.iter().product::<usize>(), "shape/data mismatch");
-        Self { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor shape.

@@ -77,7 +77,11 @@ impl Architecture {
 
     /// All three architectures.
     pub fn all() -> [Architecture; 3] {
-        [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18]
+        [
+            Architecture::ResNet32,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ]
     }
 
     /// Builds the spec for a dataset.
@@ -96,9 +100,19 @@ fn basic_block(ops: &mut Vec<SpecOp>, co: usize, stride: usize, project: bool) {
     } else {
         ops.push(SpecOp::SaveSkip);
     }
-    ops.push(SpecOp::Conv2d { co, k: 3, stride, padding: 1 });
+    ops.push(SpecOp::Conv2d {
+        co,
+        k: 3,
+        stride,
+        padding: 1,
+    });
     ops.push(SpecOp::Relu);
-    ops.push(SpecOp::Conv2d { co, k: 3, stride: 1, padding: 1 });
+    ops.push(SpecOp::Conv2d {
+        co,
+        k: 3,
+        stride: 1,
+        padding: 1,
+    });
     ops.push(SpecOp::AddSkip);
     ops.push(SpecOp::Relu);
 }
@@ -107,7 +121,12 @@ fn basic_block(ops: &mut Vec<SpecOp>, co: usize, stride: usize, project: bool) {
 /// (16, 32, 64 channels), global average pool, classifier.
 pub fn resnet32(dataset: Dataset) -> NetSpec {
     let mut ops = vec![
-        SpecOp::Conv2d { co: 16, k: 3, stride: 1, padding: 1 },
+        SpecOp::Conv2d {
+            co: 16,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
         SpecOp::Relu,
     ];
     let stages = [(16usize, 1usize), (32, 2), (64, 2)];
@@ -120,7 +139,9 @@ pub fn resnet32(dataset: Dataset) -> NetSpec {
         }
     }
     ops.push(SpecOp::GlobalAvgPool);
-    ops.push(SpecOp::Linear { out: dataset.classes() });
+    ops.push(SpecOp::Linear {
+        out: dataset.classes(),
+    });
     NetSpec {
         name: format!("resnet32-{}", dataset.name()),
         input: dataset.input(),
@@ -133,7 +154,12 @@ pub fn resnet32(dataset: Dataset) -> NetSpec {
 /// (64, 128, 256, 512), global average pool, classifier.
 pub fn resnet18(dataset: Dataset) -> NetSpec {
     let mut ops = vec![
-        SpecOp::Conv2d { co: 64, k: 3, stride: 1, padding: 1 },
+        SpecOp::Conv2d {
+            co: 64,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
         SpecOp::Relu,
     ];
     let stages = [(64usize, 1usize), (128, 2), (256, 2), (512, 2)];
@@ -145,7 +171,9 @@ pub fn resnet18(dataset: Dataset) -> NetSpec {
         }
     }
     ops.push(SpecOp::GlobalAvgPool);
-    ops.push(SpecOp::Linear { out: dataset.classes() });
+    ops.push(SpecOp::Linear {
+        out: dataset.classes(),
+    });
     NetSpec {
         name: format!("resnet18-{}", dataset.name()),
         input: dataset.input(),
@@ -159,7 +187,12 @@ pub fn vgg16(dataset: Dataset) -> NetSpec {
     let groups: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     for &(co, reps) in &groups {
         for _ in 0..reps {
-            ops.push(SpecOp::Conv2d { co, k: 3, stride: 1, padding: 1 });
+            ops.push(SpecOp::Conv2d {
+                co,
+                k: 3,
+                stride: 1,
+                padding: 1,
+            });
             ops.push(SpecOp::Relu);
         }
         ops.push(SpecOp::AvgPool2d { k: 2 });
@@ -169,7 +202,9 @@ pub fn vgg16(dataset: Dataset) -> NetSpec {
     ops.push(SpecOp::Relu);
     ops.push(SpecOp::Linear { out: 4096 });
     ops.push(SpecOp::Relu);
-    ops.push(SpecOp::Linear { out: dataset.classes() });
+    ops.push(SpecOp::Linear {
+        out: dataset.classes(),
+    });
     NetSpec {
         name: format!("vgg16-{}", dataset.name()),
         input: dataset.input(),
@@ -184,7 +219,12 @@ pub fn tiny_cnn() -> NetSpec {
         name: "tiny-cnn".into(),
         input: [1, 6, 6],
         ops: vec![
-            SpecOp::Conv2d { co: 2, k: 3, stride: 1, padding: 1 },
+            SpecOp::Conv2d {
+                co: 2,
+                k: 3,
+                stride: 1,
+                padding: 1,
+            },
             SpecOp::Relu,
             SpecOp::Flatten,
             SpecOp::Linear { out: 16 },
@@ -197,14 +237,23 @@ pub fn tiny_cnn() -> NetSpec {
 /// A small residual network exercising identity and projection skips.
 pub fn tiny_resnet() -> NetSpec {
     let mut ops = vec![
-        SpecOp::Conv2d { co: 2, k: 3, stride: 1, padding: 1 },
+        SpecOp::Conv2d {
+            co: 2,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
         SpecOp::Relu,
     ];
     basic_block(&mut ops, 2, 1, false); // identity skip
     basic_block(&mut ops, 4, 2, true); // projection skip
     ops.push(SpecOp::GlobalAvgPool);
     ops.push(SpecOp::Linear { out: 3 });
-    NetSpec { name: "tiny-resnet".into(), input: [1, 8, 8], ops }
+    NetSpec {
+        name: "tiny-resnet".into(),
+        input: [1, 8, 8],
+        ops,
+    }
 }
 
 /// A small CNN with average pooling (tests divisor folding).
@@ -213,10 +262,20 @@ pub fn tiny_cnn_pool() -> NetSpec {
         name: "tiny-cnn-pool".into(),
         input: [1, 8, 8],
         ops: vec![
-            SpecOp::Conv2d { co: 2, k: 3, stride: 1, padding: 1 },
+            SpecOp::Conv2d {
+                co: 2,
+                k: 3,
+                stride: 1,
+                padding: 1,
+            },
             SpecOp::Relu,
             SpecOp::AvgPool2d { k: 2 },
-            SpecOp::Conv2d { co: 2, k: 3, stride: 1, padding: 1 },
+            SpecOp::Conv2d {
+                co: 2,
+                k: 3,
+                stride: 1,
+                padding: 1,
+            },
             SpecOp::Relu,
             SpecOp::GlobalAvgPool,
             SpecOp::Linear { out: 3 },
@@ -245,7 +304,8 @@ mod tests {
         for (arch, ds, relus) in expect {
             let stats = arch.spec(ds).stats().unwrap();
             assert_eq!(
-                stats.total_relus, relus,
+                stats.total_relus,
+                relus,
                 "{} on {}: got {} ReLUs",
                 arch.name(),
                 ds.name(),
@@ -284,11 +344,22 @@ mod tests {
     #[test]
     fn parameter_counts_plausible() {
         // ResNet-18 ~ 11M params on ImageNet-class nets.
-        let s = Architecture::ResNet18.spec(Dataset::TinyImageNet).stats().unwrap();
-        assert!((10_000_000..13_000_000).contains(&s.total_params), "{}", s.total_params);
+        let s = Architecture::ResNet18
+            .spec(Dataset::TinyImageNet)
+            .stats()
+            .unwrap();
+        assert!(
+            (10_000_000..13_000_000).contains(&s.total_params),
+            "{}",
+            s.total_params
+        );
         // VGG-16 on ImageNet ~ 138M params (dominated by FC layers).
         let v = Architecture::Vgg16.spec(Dataset::ImageNet).stats().unwrap();
-        assert!((120_000_000..150_000_000).contains(&v.total_params), "{}", v.total_params);
+        assert!(
+            (120_000_000..150_000_000).contains(&v.total_params),
+            "{}",
+            v.total_params
+        );
     }
 
     #[test]

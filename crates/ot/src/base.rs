@@ -26,7 +26,10 @@ fn hash_group_element(h: &GcHash, elem: &U1024, tweak: u64) -> u128 {
     for (i, chunk) in bytes.chunks(16).enumerate() {
         let mut block = [0u8; 16];
         block.copy_from_slice(chunk);
-        acc = h.hash(acc ^ u128::from_le_bytes(block), tweak.wrapping_add(i as u64));
+        acc = h.hash(
+            acc ^ u128::from_le_bytes(block),
+            tweak.wrapping_add(i as u64),
+        );
     }
     acc
 }
@@ -150,7 +153,11 @@ impl BaseOtReceiver {
             secrets.push(k);
         }
         (
-            Self { group, secrets, choices: choices.to_vec() },
+            Self {
+                group,
+                secrets,
+                choices: choices.to_vec(),
+            },
             ReceiverChoiceMsg { pk0 },
         )
     }
@@ -161,13 +168,21 @@ impl BaseOtReceiver {
     ///
     /// Panics if the transfer count differs from the choice count.
     pub fn receive(&self, msg: &SenderTransferMsg) -> Vec<u128> {
-        assert_eq!(msg.items.len(), self.choices.len(), "transfer count mismatch");
+        assert_eq!(
+            msg.items.len(),
+            self.choices.len(),
+            "transfer count mismatch"
+        );
         let h = GcHash::new();
         msg.items
             .iter()
             .enumerate()
             .map(|(i, (gr0, gr1, e0, e1))| {
-                let (gr, e) = if self.choices[i] { (gr1, e1) } else { (gr0, e0) };
+                let (gr, e) = if self.choices[i] {
+                    (gr1, e1)
+                } else {
+                    (gr0, e0)
+                };
                 let key = hash_group_element(&h, &self.group.pow(gr, &self.secrets[i]), i as u64);
                 e ^ key
             })
@@ -186,8 +201,7 @@ mod tests {
         let (sender, setup) = BaseOtSender::new(&mut rng);
         let choices = vec![false, true, true, false];
         let (receiver, choice_msg) = BaseOtReceiver::choose(&setup, &choices, &mut rng);
-        let pairs: Vec<(u128, u128)> =
-            (0..4).map(|i| (100 + i as u128, 200 + i as u128)).collect();
+        let pairs: Vec<(u128, u128)> = (0..4).map(|i| (100 + i as u128, 200 + i as u128)).collect();
         let transfer = sender.transfer(&choice_msg, &pairs, &mut rng);
         let got = receiver.receive(&transfer);
         assert_eq!(got, vec![100, 201, 202, 103]);

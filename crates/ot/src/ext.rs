@@ -177,7 +177,11 @@ pub struct OtExtReceiver {
 impl OtExtReceiver {
     /// Wraps a completed base phase.
     pub fn new(setup: ReceiverSetup) -> Self {
-        assert_eq!(setup.seed_pairs.len(), KAPPA, "need exactly {KAPPA} base seed pairs");
+        assert_eq!(
+            setup.seed_pairs.len(),
+            KAPPA,
+            "need exactly {KAPPA} base seed pairs"
+        );
         Self { setup }
     }
 
@@ -203,7 +207,13 @@ impl OtExtReceiver {
                 }
             }
         }
-        (ExtendMsg { u_columns, num_transfers: m }, t_rows)
+        (
+            ExtendMsg {
+                u_columns,
+                num_transfers: m,
+            },
+            t_rows,
+        )
     }
 
     /// Unmasks the chosen messages.

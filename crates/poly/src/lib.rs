@@ -30,5 +30,5 @@ pub mod ntt;
 pub mod poly;
 pub mod sample;
 
-pub use ntt::NttTables;
-pub use poly::{Poly, PolyForm, RingContext};
+pub use ntt::{NttTables, ShoupVec};
+pub use poly::{Poly, PolyForm, PolyOperand, RingContext};

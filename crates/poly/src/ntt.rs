@@ -1,24 +1,111 @@
-//! Negacyclic number-theoretic transform.
+//! Negacyclic number-theoretic transform with lazy-reduction Harvey
+//! butterflies.
 //!
 //! For `q ≡ 1 (mod 2N)` there is a primitive 2N-th root of unity `ψ`, and the
 //! map `f(x) ↦ (f(ψ ω^0), f(ψ ω^1), ...)` with `ω = ψ²` diagonalizes
-//! multiplication in `Z_q[x]/(x^N + 1)`. We implement the standard in-place
+//! multiplication in `Z_q[x]/(x^N + 1)`. We implement the in-place
 //! Cooley–Tukey forward / Gentleman–Sande inverse transforms with `ψ` powers
-//! folded into the butterfly twiddles, as in Longa–Naehrig.
+//! folded into the butterfly twiddles, as in Longa–Naehrig, and with the
+//! Harvey lazy-reduction formulation in the butterflies: twiddles are stored
+//! with precomputed Shoup quotients ([`pi_field::ShoupMul`]), so the hot loop
+//! is two multiplies, one high-half multiply, and a couple of conditional
+//! subtractions — no 128-bit Barrett reduction.
+//!
+//! # Lazy-reduction invariants
+//!
+//! With `q < 2^62` every value in `[0, 4q)` fits a `u64`:
+//!
+//! * **Forward (Cooley–Tukey)**: butterfly inputs and outputs live in
+//!   `[0, 4q)`. Each butterfly first conditionally subtracts `2q` from the
+//!   upper operand (bringing it to `[0, 2q)`), multiplies the lower operand
+//!   by the twiddle via `mul_shoup_lazy` (any `u64` in, `[0, 2q)` out), and
+//!   emits `u + v ∈ [0, 4q)` and `u − v + 2q ∈ (0, 4q)`. [`NttTables::forward`]
+//!   runs a single final correction pass `[0, 4q) → [0, q)`.
+//! * **Inverse (Gentleman–Sande)**: butterfly inputs and outputs live in
+//!   `[0, 2q)` (so [`NttTables::inverse`] also accepts lazily-accumulated
+//!   inputs in `[0, 2q)`, e.g. from [`NttTables::dyadic_mul_acc_shoup`]).
+//!   The sum path uses `add_lazy`; the difference path feeds `u − v + 2q ∈
+//!   (0, 4q)` into `mul_shoup_lazy`. The final stage folds the `n^{-1}`
+//!   scaling into its twiddles (`n^{-1}` and `ψ^{-1}·n^{-1}` in Shoup form)
+//!   and reduces exactly, so the output is strictly in `[0, q)` with no
+//!   separate scaling pass.
+//!
+//! The pre-optimization Barrett transforms survive as
+//! [`NttTables::forward_reference`] / [`NttTables::inverse_reference`]; they
+//! are the differential-test oracle and the before/after benchmark baseline.
 
-use pi_field::{prime, Modulus};
+use pi_field::{prime, Modulus, ShoupMul};
+
+/// A vector of fixed multiplicands in Shoup form: values plus precomputed
+/// quotients, stored as two parallel arrays for cache-friendly pointwise
+/// kernels. Used for NTT-form polynomials that multiply many ciphertexts
+/// (plaintext diagonals, key-switching keys).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShoupVec {
+    values: Vec<u64>,
+    quotients: Vec<u64>,
+}
+
+impl ShoupVec {
+    /// Precomputes Shoup quotients for a slice of reduced values.
+    pub fn new(q: Modulus, values: &[u64]) -> Self {
+        let mut vals = Vec::with_capacity(values.len());
+        let mut quots = Vec::with_capacity(values.len());
+        for &v in values {
+            let s = q.shoup(v);
+            vals.push(s.value);
+            quots.push(s.quotient);
+        }
+        Self {
+            values: vals,
+            quotients: quots,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw (reduced) values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The `i`-th element as a [`ShoupMul`].
+    #[inline]
+    pub fn get(&self, i: usize) -> ShoupMul {
+        ShoupMul {
+            value: self.values[i],
+            quotient: self.quotients[i],
+        }
+    }
+}
 
 /// Precomputed twiddle tables for a negacyclic NTT of size `n` modulo `q`.
+///
+/// Alongside the bit-reversed `ψ` powers, every table stores the Shoup
+/// quotient companion so butterflies avoid Barrett reduction entirely.
 #[derive(Clone, Debug)]
 pub struct NttTables {
     n: usize,
     q: Modulus,
-    /// psi powers in bit-reversed order (forward butterflies).
-    psi_rev: Vec<u64>,
-    /// inverse psi powers in bit-reversed order (inverse butterflies).
-    psi_inv_rev: Vec<u64>,
-    /// n^{-1} mod q for the final inverse scaling.
-    n_inv: u64,
+    /// psi powers in bit-reversed order with Shoup quotients (forward
+    /// butterflies).
+    psi_rev: ShoupVec,
+    /// inverse psi powers in bit-reversed order with Shoup quotients
+    /// (inverse butterflies).
+    psi_inv_rev: ShoupVec,
+    /// n^{-1} mod q, folded into the last inverse stage (Shoup form).
+    n_inv: ShoupMul,
+    /// psi_inv_rev[1] · n^{-1} mod q, the last-stage twiddle with the
+    /// inverse scaling folded in (Shoup form).
+    psi_n_inv: ShoupMul,
 }
 
 fn bit_reverse(x: usize, bits: u32) -> usize {
@@ -33,7 +120,10 @@ impl NttTables {
     ///
     /// Panics if `n` is not a power of two or `q` is not an NTT prime for `n`.
     pub fn new(n: usize, q: Modulus) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ring degree must be a power of two >= 2"
+        );
         assert_eq!(
             (q.value() - 1) % (2 * n as u64),
             0,
@@ -58,8 +148,17 @@ impl NttTables {
             psi_rev[i] = psi_pows[bit_reverse(i, bits)];
             psi_inv_rev[i] = psi_inv_pows[bit_reverse(i, bits)];
         }
-        let n_inv = q.inv(n as u64).expect("n invertible mod q");
-        Self { n, q, psi_rev, psi_inv_rev, n_inv }
+        let n_inv_val = q.inv(n as u64).expect("n invertible mod q");
+        let n_inv = q.shoup(n_inv_val);
+        let psi_n_inv = q.shoup(q.mul(psi_inv_rev[1], n_inv_val));
+        Self {
+            n,
+            q,
+            psi_rev: ShoupVec::new(q, &psi_rev),
+            psi_inv_rev: ShoupVec::new(q, &psi_inv_rev),
+            n_inv,
+            psi_n_inv,
+        }
     }
 
     /// Ring degree.
@@ -72,12 +171,236 @@ impl NttTables {
         self.q
     }
 
+    /// One forward Cooley–Tukey stage over one polynomial.
+    /// Inputs/outputs in `[0, 4q)`.
+    #[inline]
+    fn forward_stage(&self, a: &mut [u64], m: usize, t: usize) {
+        let q = &self.q;
+        let two_q = q.twice();
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = self.psi_rev.get(m + i);
+            let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let mut u = *x;
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let v = q.mul_shoup_lazy(*y, s);
+                *x = u + v;
+                *y = u + two_q - v;
+            }
+        }
+    }
+
+    /// One inverse Gentleman–Sande stage (not the last) over one polynomial.
+    /// Inputs/outputs in `[0, 2q)`.
+    #[inline]
+    fn inverse_stage(&self, a: &mut [u64], h: usize, t: usize) {
+        let q = &self.q;
+        let two_q = q.twice();
+        for i in 0..h {
+            let j1 = 2 * i * t;
+            let s = self.psi_inv_rev.get(h + i);
+            let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *x;
+                let v = *y;
+                *x = q.add_lazy(u, v);
+                *y = q.mul_shoup_lazy(u + two_q - v, s);
+            }
+        }
+    }
+
+    /// The last inverse stage with the `n^{-1}` scaling folded into the
+    /// twiddles; reduces exactly into `[0, q)`.
+    #[inline]
+    fn inverse_last_stage(&self, a: &mut [u64]) {
+        let q = &self.q;
+        let two_q = q.twice();
+        let half = self.n / 2;
+        let (lo, hi) = a.split_at_mut(half);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            // u + v < 4q and u + 2q − v < 4q: both valid mul_shoup operands.
+            *x = q.mul_shoup(u + v, self.n_inv);
+            *y = q.mul_shoup(u + two_q - v, self.psi_n_inv);
+        }
+    }
+
     /// In-place forward negacyclic NTT (coefficient → evaluation form).
+    ///
+    /// Input coefficients must be in `[0, q)`; output is in `[0, q)` (the
+    /// butterflies run lazily in `[0, 4q)` with a single final correction
+    /// pass — see the module docs).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            self.forward_stage(a, m, t);
+            m *= 2;
+        }
+        for x in a.iter_mut() {
+            *x = self.q.reduce_4q(*x);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    ///
+    /// Accepts inputs in the lazy range `[0, 2q)` (strictly reduced values
+    /// included); output is strictly in `[0, q)`. The `n^{-1}` scaling is
+    /// folded into the final stage's twiddles rather than a separate pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 2 {
+            let h = m / 2;
+            self.inverse_stage(a, h, t);
+            t *= 2;
+            m = h;
+        }
+        self.inverse_last_stage(a);
+    }
+
+    /// Forward-transforms a batch of polynomials stage-by-stage, so each
+    /// twiddle is loaded once per stage for the whole batch (one pass over
+    /// the twiddle tables instead of `batch.len()` passes). The per-element
+    /// invariants match [`NttTables::forward`].
+    ///
+    /// This is the kernel behind ciphertext-pair transforms and the
+    /// key-switch digit transforms (`ks_digits` polynomials per rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `n`.
+    pub fn forward_many(&self, batch: &mut [&mut [u64]]) {
+        for a in batch.iter() {
+            assert_eq!(a.len(), self.n);
+        }
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for a in batch.iter_mut() {
+                self.forward_stage(a, m, t);
+            }
+            m *= 2;
+        }
+        for a in batch.iter_mut() {
+            for x in a.iter_mut() {
+                *x = self.q.reduce_4q(*x);
+            }
+        }
+    }
+
+    /// Inverse-transforms a batch of polynomials stage-by-stage (the inverse
+    /// counterpart of [`NttTables::forward_many`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `n`.
+    pub fn inverse_many(&self, batch: &mut [&mut [u64]]) {
+        for a in batch.iter() {
+            assert_eq!(a.len(), self.n);
+        }
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 2 {
+            let h = m / 2;
+            for a in batch.iter_mut() {
+                self.inverse_stage(a, h, t);
+            }
+            t *= 2;
+            m = h;
+        }
+        for a in batch.iter_mut() {
+            self.inverse_last_stage(a);
+        }
+    }
+
+    /// Pointwise product `out[i] = a[i]·b[i] mod q` of two evaluation-form
+    /// vectors, both strictly reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dyadic_mul(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
+        assert!(out.len() == self.n && a.len() == self.n && b.len() == self.n);
+        let q = &self.q;
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = q.mul(x, y);
+        }
+    }
+
+    /// Pointwise multiply-accumulate `acc[i] = (acc[i] + a[i]·b[i]) mod q`
+    /// for strictly reduced inputs — one fused Barrett reduction per slot
+    /// instead of separate `mul` + `add`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dyadic_mul_acc(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        assert!(acc.len() == self.n && a.len() == self.n && b.len() == self.n);
+        let q = &self.q;
+        for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            *o = q.mul_add(x, y, *o);
+        }
+    }
+
+    /// Pointwise Shoup product `out[i] = a[i]·op[i] mod q`, strictly reduced.
+    /// `a` may be in the lazy range `[0, 2q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dyadic_mul_shoup(&self, out: &mut [u64], a: &[u64], op: &ShoupVec) {
+        assert!(out.len() == self.n && a.len() == self.n && op.len() == self.n);
+        let q = &self.q;
+        for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+            *o = q.mul_shoup(x, op.get(i));
+        }
+    }
+
+    /// Lazy pointwise Shoup multiply-accumulate over the `[0, 2q)` domain:
+    /// `acc[i] ← add_lazy(acc[i], mul_shoup_lazy(a[i], op[i]))`.
+    ///
+    /// `acc` must be in `[0, 2q)` and stays in `[0, 2q)`; `a` may be any
+    /// `u64` (the Shoup contract). Chain across many operands — e.g. the
+    /// key-switch digit products or Halevi–Shoup diagonal terms — and either
+    /// finish with [`Modulus::reduce_lazy`] per slot or feed the accumulator
+    /// directly to [`NttTables::inverse`], which accepts `[0, 2q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dyadic_mul_acc_shoup(&self, acc: &mut [u64], a: &[u64], op: &ShoupVec) {
+        assert!(acc.len() == self.n && a.len() == self.n && op.len() == self.n);
+        let q = &self.q;
+        for (i, (o, &x)) in acc.iter_mut().zip(a).enumerate() {
+            *o = q.add_lazy(*o, q.mul_shoup_lazy(x, op.get(i)));
+        }
+    }
+
+    /// Reference forward transform using generic Barrett multiplication —
+    /// the pre-optimization implementation, kept as the differential-test
+    /// oracle and benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let q = &self.q;
         let mut t = self.n;
@@ -87,7 +410,7 @@ impl NttTables {
             for i in 0..m {
                 let j1 = 2 * i * t;
                 let j2 = j1 + t;
-                let s = self.psi_rev[m + i];
+                let s = self.psi_rev.values()[m + i];
                 for j in j1..j2 {
                     let u = a[j];
                     let v = q.mul(a[j + t], s);
@@ -99,12 +422,13 @@ impl NttTables {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    /// Reference inverse transform using generic Barrett multiplication (see
+    /// [`NttTables::forward_reference`]).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let q = &self.q;
         let mut t = 1;
@@ -114,7 +438,7 @@ impl NttTables {
             let mut j1 = 0;
             for i in 0..h {
                 let j2 = j1 + t;
-                let s = self.psi_inv_rev[h + i];
+                let s = self.psi_inv_rev.values()[h + i];
                 for j in j1..j2 {
                     let u = a[j];
                     let v = a[j + t];
@@ -127,7 +451,7 @@ impl NttTables {
             m = h;
         }
         for x in a.iter_mut() {
-            *x = q.mul(*x, self.n_inv);
+            *x = q.mul(*x, self.n_inv.value);
         }
     }
 }
@@ -143,10 +467,15 @@ mod tests {
         NttTables::new(n, Modulus::new(find_ntt_prime(bits, n as u64)))
     }
 
+    fn random_vec(n: usize, q: Modulus, rng: &mut impl Rng) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q.value())).collect()
+    }
+
     /// Schoolbook negacyclic multiplication for reference.
     fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: Modulus) -> Vec<u64> {
         let n = a.len();
         let mut out = vec![0u64; n];
+        #[allow(clippy::needless_range_loop)] // i, j index a, b, and out together
         for i in 0..n {
             for j in 0..n {
                 let prod = q.mul(a[i], b[j]);
@@ -166,13 +495,144 @@ mod tests {
         for n in [4usize, 16, 256, 1024] {
             let t = tables(n, 30);
             let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
-            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().value())).collect();
+            let orig: Vec<u64> = random_vec(n, t.q(), &mut rng);
             let mut a = orig.clone();
             t.forward(&mut a);
             assert_ne!(a, orig, "transform must change the data");
             t.inverse(&mut a);
             assert_eq!(a, orig);
         }
+    }
+
+    #[test]
+    fn harvey_matches_reference_transform() {
+        // Differential test across the full supported ring-degree and
+        // prime-size range: lazy Harvey ≡ Barrett reference, element for
+        // element, in both directions.
+        for n in [4usize, 16, 64, 256, 1024, 4096] {
+            for bits in [28u32, 45, 59, 61] {
+                let t = tables(n, bits);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 1000 + bits as u64);
+                let orig = random_vec(n, t.q(), &mut rng);
+
+                let mut fast = orig.clone();
+                let mut slow = orig.clone();
+                t.forward(&mut fast);
+                t.forward_reference(&mut slow);
+                assert_eq!(fast, slow, "forward mismatch at n={n}, bits={bits}");
+
+                let mut fast_inv = fast.clone();
+                let mut slow_inv = fast;
+                t.inverse(&mut fast_inv);
+                t.inverse_reference(&mut slow_inv);
+                assert_eq!(fast_inv, slow_inv, "inverse mismatch at n={n}, bits={bits}");
+                assert_eq!(fast_inv, orig, "roundtrip mismatch at n={n}, bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn harvey_at_61_bit_overflow_boundary() {
+        // q just below 2^61: the [0, 4q) forward domain tops out near 2^63,
+        // stressing the u64 headroom the lazy invariants rely on.
+        let n = 1024;
+        let q = Modulus::new(find_ntt_prime(61, n as u64));
+        assert!(q.value() > (1u64 << 60));
+        let t = NttTables::new(n, q);
+        // All-max-value input maximizes intermediate magnitudes.
+        let mut a = vec![q.value() - 1; n];
+        let mut b = a.clone();
+        t.forward(&mut a);
+        t.forward_reference(&mut b);
+        assert_eq!(a, b);
+        t.inverse(&mut a);
+        assert_eq!(a, vec![q.value() - 1; n]);
+    }
+
+    #[test]
+    fn forward_many_matches_individual() {
+        let n = 256;
+        let t = tables(n, 59);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let polys: Vec<Vec<u64>> = (0..5).map(|_| random_vec(n, t.q(), &mut rng)).collect();
+        let mut expect = polys.clone();
+        for p in &mut expect {
+            t.forward(p);
+        }
+        let mut batch = polys.clone();
+        {
+            let mut refs: Vec<&mut [u64]> = batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+            t.forward_many(&mut refs);
+        }
+        assert_eq!(batch, expect);
+
+        // And back, batched.
+        {
+            let mut refs: Vec<&mut [u64]> = batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+            t.inverse_many(&mut refs);
+        }
+        assert_eq!(batch, polys);
+    }
+
+    #[test]
+    fn dyadic_kernels_match_scalar_ops() {
+        let n = 128;
+        let t = tables(n, 59);
+        let q = t.q();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = random_vec(n, q, &mut rng);
+        let b = random_vec(n, q, &mut rng);
+        let acc0 = random_vec(n, q, &mut rng);
+
+        let mut out = vec![0u64; n];
+        t.dyadic_mul(&mut out, &a, &b);
+        for i in 0..n {
+            assert_eq!(out[i], q.mul(a[i], b[i]));
+        }
+
+        let mut acc = acc0.clone();
+        t.dyadic_mul_acc(&mut acc, &a, &b);
+        for i in 0..n {
+            assert_eq!(acc[i], q.add(acc0[i], q.mul(a[i], b[i])));
+        }
+
+        let op = ShoupVec::new(q, &b);
+        let mut out_s = vec![0u64; n];
+        t.dyadic_mul_shoup(&mut out_s, &a, &op);
+        assert_eq!(out_s, out);
+
+        let mut lazy = acc0.clone();
+        t.dyadic_mul_acc_shoup(&mut lazy, &a, &op);
+        for i in 0..n {
+            assert!(lazy[i] < q.twice());
+            assert_eq!(q.reduce_lazy(lazy[i]), acc[i]);
+        }
+    }
+
+    #[test]
+    fn lazy_accumulator_feeds_inverse() {
+        // acc = a1⊙b1 + a2⊙b2 in the lazy domain, then inverse() directly.
+        let n = 64;
+        let t = tables(n, 59);
+        let q = t.q();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mk = |rng: &mut rand::rngs::StdRng| {
+            let mut v = random_vec(n, q, rng);
+            t.forward(&mut v);
+            v
+        };
+        let (a1, b1, a2, b2) = (mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng));
+
+        let mut acc = vec![0u64; n];
+        t.dyadic_mul_acc_shoup(&mut acc, &a1, &ShoupVec::new(q, &b1));
+        t.dyadic_mul_acc_shoup(&mut acc, &a2, &ShoupVec::new(q, &b2));
+        t.inverse(&mut acc);
+
+        let mut expect = vec![0u64; n];
+        t.dyadic_mul_acc(&mut expect, &a1, &b1);
+        t.dyadic_mul_acc(&mut expect, &a2, &b2);
+        t.inverse(&mut expect);
+        assert_eq!(acc, expect);
     }
 
     #[test]
@@ -214,6 +674,21 @@ mod tests {
     }
 
     #[test]
+    fn minimum_ring_degree() {
+        // n = 2 exercises the "last stage only" inverse path.
+        let t = tables(2, 28);
+        let q = t.q();
+        let orig = vec![3u64, q.value() - 2];
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        t.forward(&mut a);
+        t.forward_reference(&mut b);
+        assert_eq!(a, b);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
     #[should_panic]
     fn rejects_wrong_length() {
         let t = tables(16, 30);
@@ -233,6 +708,22 @@ mod tests {
             t.forward(&mut a);
             t.inverse(&mut a);
             prop_assert_eq!(a, orig);
+        }
+
+        #[test]
+        fn harvey_reference_agree_random(seed in any::<u64>(), bits in 28u32..=61) {
+            let n = 64;
+            let t = tables(n, bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().value())).collect();
+            let mut fast = orig.clone();
+            let mut slow = orig;
+            t.forward(&mut fast);
+            t.forward_reference(&mut slow);
+            prop_assert_eq!(&fast, &slow);
+            t.inverse(&mut fast);
+            t.inverse_reference(&mut slow);
+            prop_assert_eq!(fast, slow);
         }
 
         #[test]

@@ -1,6 +1,6 @@
 //! Ring elements of `Z_q[x]/(x^N + 1)`.
 
-use crate::ntt::NttTables;
+use crate::ntt::{NttTables, ShoupVec};
 use pi_field::{find_ntt_prime, Modulus};
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +62,30 @@ pub enum PolyForm {
     Ntt,
 }
 
+/// A polynomial frozen in evaluation form with precomputed Shoup quotients,
+/// for repeated multiplication against many ciphertext polynomials.
+///
+/// Build with [`Poly::to_operand`]; consume with [`Poly::mul_operand`] or,
+/// for lazy accumulation chains, via [`PolyOperand::shoup`] and
+/// [`NttTables::dyadic_mul_acc_shoup`].
+#[derive(Clone, Debug)]
+pub struct PolyOperand {
+    ctx: Arc<RingContext>,
+    op: ShoupVec,
+}
+
+impl PolyOperand {
+    /// The ring context this operand belongs to.
+    pub fn ctx(&self) -> &Arc<RingContext> {
+        &self.ctx
+    }
+
+    /// The underlying Shoup-form evaluation vector.
+    pub fn shoup(&self) -> &ShoupVec {
+        &self.op
+    }
+}
+
 /// A polynomial in `Z_q[x]/(x^N + 1)`.
 ///
 /// Values track which basis they are in; binary operations require matching
@@ -101,7 +125,11 @@ impl Poly {
     /// The zero polynomial (coefficient form).
     pub fn zero(ctx: Arc<RingContext>) -> Self {
         let n = ctx.n;
-        Self { ctx, form: PolyForm::Coeff, data: vec![0; n] }
+        Self {
+            ctx,
+            form: PolyForm::Coeff,
+            data: vec![0; n],
+        }
     }
 
     /// Builds a polynomial from coefficients, reducing each mod `q`.
@@ -115,14 +143,22 @@ impl Poly {
         for c in &mut coeffs {
             *c = q.reduce(*c);
         }
-        Self { ctx, form: PolyForm::Coeff, data: coeffs }
+        Self {
+            ctx,
+            form: PolyForm::Coeff,
+            data: coeffs,
+        }
     }
 
     /// Builds a constant polynomial `c`.
     pub fn constant(ctx: Arc<RingContext>, c: u64) -> Self {
         let mut data = vec![0u64; ctx.n];
         data[0] = ctx.q.reduce(c);
-        Self { ctx, form: PolyForm::Coeff, data }
+        Self {
+            ctx,
+            form: PolyForm::Coeff,
+            data,
+        }
     }
 
     /// Builds a polynomial from signed coefficients (balanced representation).
@@ -130,7 +166,11 @@ impl Poly {
         assert_eq!(coeffs.len(), ctx.n);
         let q = ctx.q;
         let data = coeffs.iter().map(|&c| q.from_signed(c)).collect();
-        Self { ctx, form: PolyForm::Coeff, data }
+        Self {
+            ctx,
+            form: PolyForm::Coeff,
+            data,
+        }
     }
 
     /// Returns the ring context.
@@ -146,6 +186,34 @@ impl Poly {
     /// Returns the raw data in the current basis.
     pub fn data(&self) -> &[u64] {
         &self.data
+    }
+
+    /// Consumes the polynomial, returning its raw data in the current basis.
+    /// Pair with [`Poly::form`] (or [`Poly::into_ntt`]/[`Poly::into_coeff`]
+    /// first) and rebuild with [`Poly::from_ntt_data`] /
+    /// [`Poly::from_coeffs`]. Used by kernels that accumulate over raw
+    /// slices (batched NTTs, lazy dyadic chains).
+    pub fn into_data(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Builds a polynomial already in evaluation (NTT) form from strictly
+    /// reduced data. The inverse of `poly.into_ntt().into_data()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n`; debug-panics if any value is `>= q`.
+    pub fn from_ntt_data(ctx: Arc<RingContext>, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), ctx.n, "evaluation vector must have length n");
+        debug_assert!(
+            data.iter().all(|&x| x < ctx.q.value()),
+            "NTT data must be reduced"
+        );
+        Self {
+            ctx,
+            form: PolyForm::Ntt,
+            data,
+        }
     }
 
     /// Returns the coefficients, converting from NTT form if needed.
@@ -194,7 +262,11 @@ impl Poly {
             (self.clone().into_coeff(), other.clone().into_coeff())
         };
         let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect();
-        Self { ctx: self.ctx.clone(), form: a.form, data }
+        Self {
+            ctx: self.ctx.clone(),
+            form: a.form,
+            data,
+        }
     }
 
     /// Ring addition.
@@ -213,7 +285,11 @@ impl Poly {
     pub fn neg(&self) -> Self {
         let q = self.ctx.q;
         let data = self.data.iter().map(|&x| q.neg(x)).collect();
-        Self { ctx: self.ctx.clone(), form: self.form, data }
+        Self {
+            ctx: self.ctx.clone(),
+            form: self.form,
+            data,
+        }
     }
 
     /// Ring multiplication via NTT.
@@ -222,8 +298,58 @@ impl Poly {
         let a = self.clone().into_ntt();
         let b = other.clone().into_ntt();
         let q = self.ctx.q;
-        let data = a.data.iter().zip(&b.data).map(|(&x, &y)| q.mul(x, y)).collect();
-        Self { ctx: self.ctx.clone(), form: PolyForm::Ntt, data }
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| q.mul(x, y))
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            form: PolyForm::Ntt,
+            data,
+        }
+    }
+
+    /// Precomputes this polynomial as a reusable multiplication operand:
+    /// evaluation form with per-slot Shoup quotients. Worth it whenever the
+    /// polynomial multiplies more than one other polynomial (plaintext
+    /// diagonals, key-switching keys, fixed masks).
+    pub fn to_operand(&self) -> PolyOperand {
+        let eval = self.clone().into_ntt();
+        let op = ShoupVec::new(self.ctx.q, &eval.data);
+        PolyOperand {
+            ctx: self.ctx.clone(),
+            op,
+        }
+    }
+
+    /// Ring multiplication by a precomputed operand: one pass of
+    /// `mul_shoup` per slot, no Barrett reduction. When `self` is already in
+    /// evaluation form (the common case for ciphertext components) no copy
+    /// or transform of `self` is made.
+    pub fn mul_operand(&self, other: &PolyOperand) -> Self {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx)
+                || (self.ctx.n == other.ctx.n && self.ctx.q == other.ctx.q),
+            "operand from a different ring"
+        );
+        let mut data = vec![0u64; self.ctx.n];
+        match self.form {
+            PolyForm::Ntt => self
+                .ctx
+                .ntt
+                .dyadic_mul_shoup(&mut data, &self.data, &other.op),
+            PolyForm::Coeff => {
+                let a = self.clone().into_ntt();
+                self.ctx.ntt.dyadic_mul_shoup(&mut data, &a.data, &other.op);
+            }
+        }
+        Self {
+            ctx: self.ctx.clone(),
+            form: PolyForm::Ntt,
+            data,
+        }
     }
 
     /// Multiplies by a scalar.
@@ -231,7 +357,11 @@ impl Poly {
         let q = self.ctx.q;
         let c = q.reduce(c);
         let data = self.data.iter().map(|&x| q.mul(x, c)).collect();
-        Self { ctx: self.ctx.clone(), form: self.form, data }
+        Self {
+            ctx: self.ctx.clone(),
+            form: self.form,
+            data,
+        }
     }
 
     /// Applies the Galois automorphism `x ↦ x^g` for odd `g`.
@@ -257,7 +387,11 @@ impl Poly {
                 data[e - n] = q.sub(data[e - n], c);
             }
         }
-        Self { ctx: self.ctx.clone(), form: PolyForm::Coeff, data }
+        Self {
+            ctx: self.ctx.clone(),
+            form: PolyForm::Coeff,
+            data,
+        }
     }
 
     /// Decomposes the polynomial into digits base `2^log_base`, least
@@ -272,9 +406,12 @@ impl Poly {
         let mut digits = Vec::with_capacity(num_digits);
         for d in 0..num_digits {
             let shift = d as u32 * log_base;
-            let data: Vec<u64> =
-                (0..n).map(|i| (src.data[i] >> shift) & mask).collect();
-            digits.push(Self { ctx: self.ctx.clone(), form: PolyForm::Coeff, data });
+            let data: Vec<u64> = (0..n).map(|i| (src.data[i] >> shift) & mask).collect();
+            digits.push(Self {
+                ctx: self.ctx.clone(),
+                form: PolyForm::Coeff,
+                data,
+            });
         }
         digits
     }
@@ -302,7 +439,10 @@ mod tests {
     fn random_poly(ctx: &Arc<RingContext>, seed: u64) -> Poly {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let q = ctx.q().value();
-        Poly::from_coeffs(ctx.clone(), (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect())
+        Poly::from_coeffs(
+            ctx.clone(),
+            (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect(),
+        )
     }
 
     #[test]
@@ -323,6 +463,29 @@ mod tests {
         let c = random_poly(&ctx, 5);
         assert_eq!(a.mul(&b), b.mul(&a));
         assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn mul_operand_matches_mul() {
+        let ctx = ctx(64);
+        let a = random_poly(&ctx, 40);
+        let b = random_poly(&ctx, 41);
+        let op = b.to_operand();
+        assert_eq!(a.mul_operand(&op), a.mul(&b));
+        // Operand reuse across many multiplicands.
+        for seed in 50..54 {
+            let c = random_poly(&ctx, seed);
+            assert_eq!(c.mul_operand(&op), c.mul(&b));
+        }
+    }
+
+    #[test]
+    fn ntt_data_roundtrip() {
+        let ctx = ctx(32);
+        let a = random_poly(&ctx, 60);
+        let data = a.clone().into_ntt().into_data();
+        let back = Poly::from_ntt_data(ctx, data);
+        assert_eq!(back, a);
     }
 
     #[test]

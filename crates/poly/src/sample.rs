@@ -23,11 +23,7 @@ pub fn ternary<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
 ///
 /// `k = 21` approximates the discrete Gaussian with σ ≈ 3.2 that SEAL uses;
 /// centered binomial is the standard constant-time drop-in (as in Kyber).
-pub fn centered_binomial<R: Rng + ?Sized>(
-    ctx: &Arc<RingContext>,
-    rng: &mut R,
-    k: u32,
-) -> Poly {
+pub fn centered_binomial<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R, k: u32) -> Poly {
     let coeffs: Vec<i64> = (0..ctx.n())
         .map(|_| {
             let mut acc = 0i64;
@@ -62,12 +58,15 @@ mod tests {
         let s = ternary(&ctx, &mut rng);
         for c in s.coeffs() {
             let v = q.to_signed(c);
-            assert!((-1..=1).contains(&v), "ternary coefficient out of range: {v}");
+            assert!(
+                (-1..=1).contains(&v),
+                "ternary coefficient out of range: {v}"
+            );
         }
         // All three values should appear in 1024 draws.
         let coeffs = s.coeffs();
-        assert!(coeffs.iter().any(|&c| c == 0));
-        assert!(coeffs.iter().any(|&c| c == 1));
+        assert!(coeffs.contains(&0));
+        assert!(coeffs.contains(&1));
         assert!(coeffs.iter().any(|&c| c == q.value() - 1));
     }
 
@@ -80,11 +79,20 @@ mod tests {
         let signed: Vec<i64> = e.coeffs().iter().map(|&c| q.to_signed(c)).collect();
         assert!(signed.iter().all(|&v| v.abs() <= 21));
         let mean: f64 = signed.iter().map(|&v| v as f64).sum::<f64>() / signed.len() as f64;
-        assert!(mean.abs() < 1.0, "error distribution should be centered, mean={mean}");
+        assert!(
+            mean.abs() < 1.0,
+            "error distribution should be centered, mean={mean}"
+        );
         // Variance should be near k/2 = 10.5.
-        let var: f64 =
-            signed.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / signed.len() as f64;
-        assert!((5.0..20.0).contains(&var), "variance {var} out of plausible range");
+        let var: f64 = signed
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / signed.len() as f64;
+        assert!(
+            (5.0..20.0).contains(&var),
+            "variance {var} out of plausible range"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn he_ops(layer: &pi_nn::spec::LinearLayerStat) -> f64 {
     match layer.kind {
         LinearKind::Conv { co, k, .. } => in_cts * co as f64 * (k * k) as f64,
         LinearKind::Proj { co, .. } => in_cts * co as f64,
-        LinearKind::Fc => layer.in_features.max(layer.out_features).next_power_of_two() as f64,
+        LinearKind::Fc => layer
+            .in_features
+            .max(layer.out_features)
+            .next_power_of_two() as f64,
     }
 }
 
@@ -109,8 +112,11 @@ impl ProtocolCosts {
     ) -> Self {
         let relus = stats.total_relus as f64;
         let per_op = he_s_per_op();
-        let he_layer_s: Vec<f64> =
-            stats.linear_layers.iter().map(|l| he_ops(l) * per_op / server.speed).collect();
+        let he_layer_s: Vec<f64> = stats
+            .linear_layers
+            .iter()
+            .map(|l| he_ops(l) * per_op / server.speed)
+            .collect();
         let (garble_s, eval_s, client_energy_j) = match garbler {
             Garbler::Server => (
                 server.server_garble_s(relus),
@@ -300,7 +306,11 @@ mod tests {
         );
         let cg = r18_tiny(Garbler::Client);
         // ~8 GB for Client-Garbler (Figure 8).
-        assert!((7e9..9e9).contains(&cg.client_storage_bytes), "{}", cg.client_storage_bytes);
+        assert!(
+            (7e9..9e9).contains(&cg.client_storage_bytes),
+            "{}",
+            cg.client_storage_bytes
+        );
         // The 5x reduction headline.
         let ratio = sg.client_storage_bytes / cg.client_storage_bytes;
         assert!((4.0..6.5).contains(&ratio), "ratio = {ratio}");
@@ -323,7 +333,10 @@ mod tests {
         let comm = c.offline_comm_s(&link);
         assert!((600.0..900.0).contains(&comm), "offline comm = {comm}");
         let offline = c.offline_seq_s(&link);
-        assert!((1600.0..2100.0).contains(&offline), "offline total = {offline}");
+        assert!(
+            (1600.0..2100.0).contains(&offline),
+            "offline total = {offline}"
+        );
         // Online: eval 200 s + comms ~40 s.
         let online = c.online_s(&link);
         assert!((220.0..280.0).contains(&online), "online total = {online}");

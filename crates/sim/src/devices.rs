@@ -18,33 +18,57 @@ pub struct DeviceProfile {
 impl DeviceProfile {
     /// The paper's client: Intel Atom Z8350 (1.92 GHz, 4 cores, 2 GB RAM).
     pub fn atom() -> Self {
-        Self { name: "Intel Atom Z8350", speed: 1.0, cores: 4 }
+        Self {
+            name: "Intel Atom Z8350",
+            speed: 1.0,
+            cores: 4,
+        }
     }
 
     /// Intel i5-class client. The speedup is the paper's measured garbling
     /// ratio: 382.6 s (Atom) → 107.2 s (i5) ≈ 3.57×.
     pub fn i5() -> Self {
-        Self { name: "Intel i5", speed: 382.6 / 107.2, cores: 4 }
+        Self {
+            name: "Intel i5",
+            speed: 382.6 / 107.2,
+            cores: 4,
+        }
     }
 
     /// Hypothetical 2× i5 client (garbling at 53.8 s, §5.5).
     pub fn i5_2x() -> Self {
-        Self { name: "Intel i5 (2x)", speed: 2.0 * 382.6 / 107.2, cores: 4 }
+        Self {
+            name: "Intel i5 (2x)",
+            speed: 2.0 * 382.6 / 107.2,
+            cores: 4,
+        }
     }
 
     /// The paper's server: AMD EPYC 7502 (2.5 GHz, 32 cores, 256 GB RAM).
     pub fn epyc() -> Self {
-        Self { name: "AMD EPYC 7502", speed: 1.0, cores: 32 }
+        Self {
+            name: "AMD EPYC 7502",
+            speed: 1.0,
+            cores: 32,
+        }
     }
 
     /// Hypothetical 2× server (§5.5).
     pub fn epyc_2x() -> Self {
-        Self { name: "AMD EPYC (2x)", speed: 2.0, cores: 32 }
+        Self {
+            name: "AMD EPYC (2x)",
+            speed: 2.0,
+            cores: 32,
+        }
     }
 
     /// Hypothetical 4× server (§5.5).
     pub fn epyc_4x() -> Self {
-        Self { name: "AMD EPYC (4x)", speed: 4.0, cores: 32 }
+        Self {
+            name: "AMD EPYC (4x)",
+            speed: 4.0,
+            cores: 32,
+        }
     }
 
     /// Seconds to garble `relus` ReLUs on this device as a *client*.

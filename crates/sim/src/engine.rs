@@ -57,7 +57,12 @@ pub struct Workload {
 impl Workload {
     /// The paper's standard setup: 24 hours, 50 runs.
     pub fn standard(rate_per_min: f64, seed: u64) -> Self {
-        Self { rate_per_min, duration_s: 24.0 * 3600.0, runs: 50, seed }
+        Self {
+            rate_per_min,
+            duration_s: 24.0 * 3600.0,
+            runs: 50,
+            seed,
+        }
     }
 }
 
@@ -106,7 +111,10 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on time.
-        other.time.partial_cmp(&self.time).unwrap_or(Ordering::Equal)
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -198,7 +206,10 @@ pub fn simulate_once(profile: &ServiceProfile, wl: &Workload, seed: u64) -> SimS
     let inline = profile.storage_slots == 0;
     let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
     for &a in &arrivals {
-        heap.push(Scheduled { time: a, event: Event::Arrival });
+        heap.push(Scheduled {
+            time: a,
+            event: Event::Arrival,
+        });
     }
 
     let mut buffer = 0usize; // ready precomputes
@@ -230,7 +241,10 @@ pub fn simulate_once(profile: &ServiceProfile, wl: &Workload, seed: u64) -> SimS
             && *in_flight < profile.offline_concurrency
         {
             *in_flight += 1;
-            heap.push(Scheduled { time: now + profile.offline_job_s, event: Event::PrecomputeDone });
+            heap.push(Scheduled {
+                time: now + profile.offline_job_s,
+                event: Event::PrecomputeDone,
+            });
         }
     }
 
@@ -269,7 +283,10 @@ pub fn simulate_once(profile: &ServiceProfile, wl: &Workload, seed: u64) -> SimS
                     let service = profile.offline_job_s + profile.online_s;
                     let finish = eligible_at + service;
                     server_busy = true;
-                    heap.push(Scheduled { time: finish, event: Event::ServiceDone });
+                    heap.push(Scheduled {
+                        time: finish,
+                        event: Event::ServiceDone,
+                    });
                     total_latency += finish - arrival;
                     total_queue += eligible_at - arrival;
                     total_offline += profile.offline_job_s;
@@ -281,7 +298,10 @@ pub fn simulate_once(profile: &ServiceProfile, wl: &Workload, seed: u64) -> SimS
                     let start = eligible_at.max(now);
                     let finish = start + profile.online_s;
                     server_busy = true;
-                    heap.push(Scheduled { time: finish, event: Event::ServiceDone });
+                    heap.push(Scheduled {
+                        time: finish,
+                        event: Event::ServiceDone,
+                    });
                     total_latency += finish - arrival;
                     // Attribution: waiting before the server was free is
                     // queueing; waiting after (for a precompute) is offline
@@ -335,7 +355,12 @@ mod tests {
     }
 
     fn fast_wl(rate_per_min: f64, seed: u64) -> Workload {
-        Workload { rate_per_min, duration_s: 24.0 * 3600.0, runs: 8, seed }
+        Workload {
+            rate_per_min,
+            duration_s: 24.0 * 3600.0,
+            runs: 8,
+            seed,
+        }
     }
 
     #[test]
@@ -393,7 +418,10 @@ mod tests {
         let costs = r18_costs(Garbler::Client);
         let s = sys(16.0, &costs);
         let profile = ServiceProfile::derive(&costs, &s);
-        assert!(profile.storage_slots >= 1, "CG must buffer a precompute in 16 GB");
+        assert!(
+            profile.storage_slots >= 1,
+            "CG must buffer a precompute in 16 GB"
+        );
         let stats = simulate(&costs, &s, &fast_wl(1.0 / 100.0, 5));
         // Low-rate latency is online-dominated, minutes not hours.
         assert!(stats.mean_latency_s < 600.0, "{}", stats.mean_latency_s);
@@ -408,8 +436,11 @@ mod tests {
             client_storage_bytes: gb * 1e9,
         };
         let rate = 1.0 / 15.0;
-        let lphe_small =
-            simulate(&costs, &mk(OfflineScheduling::Lphe, 16.0), &fast_wl(rate, 6));
+        let lphe_small = simulate(
+            &costs,
+            &mk(OfflineScheduling::Lphe, 16.0),
+            &fast_wl(rate, 6),
+        );
         let rlp_small = simulate(&costs, &mk(OfflineScheduling::Rlp, 16.0), &fast_wl(rate, 6));
         // With one slot, RLP under-utilizes cores: worse latency.
         assert!(
@@ -420,9 +451,16 @@ mod tests {
         );
         // With many slots, RLP throughput wins at high rates.
         let rate_hi = 1.0 / 11.0;
-        let lphe_big =
-            simulate(&costs, &mk(OfflineScheduling::Lphe, 140.0), &fast_wl(rate_hi, 7));
-        let rlp_big = simulate(&costs, &mk(OfflineScheduling::Rlp, 140.0), &fast_wl(rate_hi, 7));
+        let lphe_big = simulate(
+            &costs,
+            &mk(OfflineScheduling::Lphe, 140.0),
+            &fast_wl(rate_hi, 7),
+        );
+        let rlp_big = simulate(
+            &costs,
+            &mk(OfflineScheduling::Rlp, 140.0),
+            &fast_wl(rate_hi, 7),
+        );
         assert!(
             rlp_big.mean_latency_s < lphe_big.mean_latency_s,
             "RLP {} vs LPHE {}",

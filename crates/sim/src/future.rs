@@ -29,7 +29,12 @@ pub struct LatencyBreakdown {
 impl LatencyBreakdown {
     /// Total latency.
     pub fn total_s(&self) -> f64 {
-        self.offline_comm_s + self.garble_s + self.he_s + self.online_comm_s + self.eval_s + self.ss_s
+        self.offline_comm_s
+            + self.garble_s
+            + self.he_s
+            + self.online_comm_s
+            + self.eval_s
+            + self.ss_s
     }
 
     /// Offline share of the total (the annotation above Figure 14's bars).
@@ -171,7 +176,10 @@ mod tests {
         let before = scenario_breakdown(&costs, &ladder[3], 1e9).total_s();
         let after = scenario_breakdown(&costs, &ladder[4], 1e9).total_s();
         let speedup = before / after;
-        assert!((5.0..12.0).contains(&speedup), "BW step speedup = {speedup}");
+        assert!(
+            (5.0..12.0).contains(&speedup),
+            "BW step speedup = {speedup}"
+        );
     }
 
     #[test]

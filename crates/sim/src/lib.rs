@@ -54,8 +54,8 @@ pub mod multi_client;
 
 pub use cost::{Garbler, ProtocolCosts};
 pub use devices::DeviceProfile;
-pub use engine::{simulate, OfflineScheduling, SimStats, SystemConfig, Workload};
 pub use energy::ClientEnergy;
+pub use engine::{simulate, OfflineScheduling, SimStats, SystemConfig, Workload};
 pub use future::{scenario_breakdown, FutureScenario, LatencyBreakdown};
-pub use multi_client::{simulate_multi_client, MultiClientConfig};
 pub use link::{optimal_upload_fraction, Link};
+pub use multi_client::{simulate_multi_client, MultiClientConfig};

@@ -24,7 +24,10 @@ pub struct Link {
 impl Link {
     /// An evenly split link (the default provisioning the paper critiques).
     pub fn even(total_bps: f64) -> Self {
-        Self { total_bps, upload_fraction: 0.5 }
+        Self {
+            total_bps,
+            upload_fraction: 0.5,
+        }
     }
 
     /// A link with the WSA-optimal split for the given byte profile.
@@ -107,7 +110,13 @@ mod tests {
     fn optimum_is_stationary() {
         let (up, down) = (3e9, 40e9);
         let x = optimal_upload_fraction(up, down);
-        let t = |x: f64| Link { total_bps: 1e9, upload_fraction: x }.transfer_s(up, down);
+        let t = |x: f64| {
+            Link {
+                total_bps: 1e9,
+                upload_fraction: x,
+            }
+            .transfer_s(up, down)
+        };
         assert!(t(x) <= t(x + 0.01) && t(x) <= t(x - 0.01));
     }
 

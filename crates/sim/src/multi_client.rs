@@ -88,7 +88,7 @@ fn simulate_multi_once(costs: &ProtocolCosts, cfg: &MultiClientConfig, seed: u64
     // core is free (earliest-core-available).
     let mut core_free = vec![0.0f64; costs.server_cores.max(1)];
     let mut client_ready: Vec<Vec<f64>> = vec![Vec::new(); cfg.clients]; // ready times
-    // Seed initial precompute production per client.
+                                                                         // Seed initial precompute production per client.
     for ready in client_ready.iter_mut() {
         for _ in 0..slots_per_client {
             let core = core_free
@@ -114,9 +114,7 @@ fn simulate_multi_once(costs: &ProtocolCosts, cfg: &MultiClientConfig, seed: u64
     for &(arrival, c) in &arrivals {
         // Next precompute ready time for this client; if none buffered,
         // schedule one inline on the earliest core.
-        let ready_at = if let Some(pos) =
-            client_ready[c].iter().position(|&r| r <= f64::INFINITY)
-        {
+        let ready_at = if let Some(pos) = client_ready[c].iter().position(|&r| r <= f64::INFINITY) {
             client_ready[c].swap_remove(pos)
         } else {
             let core = core_free
@@ -206,7 +204,11 @@ mod tests {
         let c = costs();
         let stats = simulate_multi_client(&c, &cfg(1, 1.0 / 60.0));
         let online = c.online_s(&cfg(1, 1.0).per_client.link);
-        assert!(stats.mean_latency_s < 3.0 * online, "{}", stats.mean_latency_s);
+        assert!(
+            stats.mean_latency_s < 3.0 * online,
+            "{}",
+            stats.mean_latency_s
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn reconstruct(shares: &[Share], p: Modulus) -> u64 {
 /// Panics if lengths differ.
 pub fn reconstruct_vec(a: &[Share], b: &[Share], p: Modulus) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "share vectors must have equal length");
-    a.iter().zip(b).map(|(&x, &y)| p.add(p.reduce(x), p.reduce(y))).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| p.add(p.reduce(x), p.reduce(y)))
+        .collect()
 }
 
 /// A Beaver multiplication triple: shares of random `a`, `b` and of
@@ -77,8 +80,16 @@ pub fn deal_triple<R: Rng + ?Sized>(p: Modulus, rng: &mut R) -> (BeaverTriple, B
     let (b1, b2) = share(b, p, rng);
     let (c1, c2) = share(c, p, rng);
     (
-        BeaverTriple { a: a1, b: b1, c: c1 },
-        BeaverTriple { a: a2, b: b2, c: c2 },
+        BeaverTriple {
+            a: a1,
+            b: b1,
+            c: c1,
+        },
+        BeaverTriple {
+            a: a2,
+            b: b2,
+            c: c2,
+        },
     )
 }
 
@@ -94,7 +105,10 @@ pub struct BeaverOpening {
 
 /// Step 1 of Beaver multiplication: compute this party's opening.
 pub fn beaver_open(x: Share, y: Share, t: &BeaverTriple, p: Modulus) -> BeaverOpening {
-    BeaverOpening { d: p.sub(x, t.a), e: p.sub(y, t.b) }
+    BeaverOpening {
+        d: p.sub(x, t.a),
+        e: p.sub(y, t.b),
+    }
 }
 
 /// Step 2: given both openings (so `d`, `e` are public), produce this

@@ -63,7 +63,10 @@ fn main() {
     }
 
     println!("\nclient energy per inference (GC role, Atom measurements):");
-    for (name, g) in [("Server-Garbler (evaluate)", Garbler::Server), ("Client-Garbler (garble)", Garbler::Client)] {
+    for (name, g) in [
+        ("Server-Garbler (evaluate)", Garbler::Server),
+        ("Client-Garbler (garble)", Garbler::Client),
+    ] {
         let e = ClientEnergy::per_inference(costs.relus, g);
         println!(
             "  {name:<26} {:.3} J  ({:.0} inferences per 12 Wh battery)",

@@ -73,8 +73,18 @@ fn main() {
         cg.online.total_bytes() as f64 / 1e3,
         "KB",
     );
-    row("offline garbling", sg.offline.garble_ms, cg.offline.garble_ms, "ms");
-    row("online GC evaluation", sg.online.eval_ms, cg.online.eval_ms, "ms");
+    row(
+        "offline garbling",
+        sg.offline.garble_ms,
+        cg.offline.garble_ms,
+        "ms",
+    );
+    row(
+        "online GC evaluation",
+        sg.online.eval_ms,
+        cg.online.eval_ms,
+        "ms",
+    );
     row("online OT", sg.online.ot_ms, cg.online.ot_ms, "ms");
 
     println!();

@@ -19,7 +19,12 @@ fn main() {
     //    field that activations/weights are quantized into.
     let he = BfvParams::small_test();
     let fx = FixedConfig { p: he.t(), f: 5 };
-    println!("field p = {} ({} bits), {} fractional bits", fx.p, fx.p.bits(), fx.f);
+    println!(
+        "field p = {} ({} bits), {} fractional bits",
+        fx.p,
+        fx.p.bits(),
+        fx.f
+    );
 
     // 2. Build a network (the server's proprietary model).
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
@@ -35,7 +40,9 @@ fn main() {
     );
 
     // 3. The client's private input.
-    let input_f: Vec<f64> = (0..model.input_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let input_f: Vec<f64> = (0..model.input_len)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     let input = fx.quantize_vec(&input_f);
 
     // 4. Run the two-party protocol (client and server threads, real
@@ -44,7 +51,11 @@ fn main() {
     let (output, report) = private_inference(&model, &input, &cfg);
 
     // 5. Verify: bit-exact with the fixed-point reference, close to f64.
-    assert_eq!(output, qnet.forward_fixed(&input), "private != plaintext fixed-point");
+    assert_eq!(
+        output,
+        qnet.forward_fixed(&input),
+        "private != plaintext fixed-point"
+    );
     let plain = net.forward(&Tensor::from_vec(&spec.input, input_f));
     println!("\nlogits (private vs f64):");
     for (i, (&q, &f)) in output.iter().zip(plain.data()).enumerate() {

@@ -25,7 +25,11 @@ fn main() {
     let baseline = ProtocolCosts::new(arch, ds, Garbler::Server, &client, &server);
     let proposed = ProtocolCosts::new(arch, ds, Garbler::Client, &client, &server);
 
-    println!("workload: {} on {}, 24 h of Poisson arrivals, phone-class client\n", arch.name(), ds.name());
+    println!(
+        "workload: {} on {}, 24 h of Poisson arrivals, phone-class client\n",
+        arch.name(),
+        ds.name()
+    );
     println!(
         "per-precompute client storage: baseline {:.1} GB, proposed {:.1} GB",
         baseline.client_storage_bytes / 1e9,

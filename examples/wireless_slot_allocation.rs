@@ -25,14 +25,22 @@ fn main() {
         "network", "dataset", "proto", "optimal split", "even", "WSA", "saving"
     );
     for ds in [Dataset::Cifar100, Dataset::TinyImageNet] {
-        for arch in [Architecture::ResNet32, Architecture::Vgg16, Architecture::ResNet18] {
+        for arch in [
+            Architecture::ResNet32,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ] {
             for (label, g) in [("SG", Garbler::Server), ("CG", Garbler::Client)] {
                 let c = ProtocolCosts::new(arch, ds, g, &client, &server);
                 let up = c.offline_up_bytes + c.online_up_bytes;
                 let down = c.offline_down_bytes + c.online_down_bytes;
                 let x = optimal_upload_fraction(up, down);
                 let even = Link::even(1e9).transfer_s(up, down);
-                let wsa = Link { total_bps: 1e9, upload_fraction: x }.transfer_s(up, down);
+                let wsa = Link {
+                    total_bps: 1e9,
+                    upload_fraction: x,
+                }
+                .transfer_s(up, down);
                 println!(
                     "{:<10} {:<14} {:>6} {:>10.0} Mbps {:>10.1} m {:>10.1} m {:>7.0}%",
                     arch.name(),

@@ -22,7 +22,13 @@ fn setup(spec: &pi_nn::NetSpec, seed: u64) -> Setup {
     let net = Network::materialize(spec, &mut rng);
     let qnet = QuantNetwork::quantize(&net, fx);
     let model = PiModel::lower(&qnet);
-    Setup { net, qnet, model, fx, he }
+    Setup {
+        net,
+        qnet,
+        model,
+        fx,
+        he,
+    }
 }
 
 fn random_input_f(len: usize, seed: u64) -> Vec<f64> {
@@ -47,7 +53,10 @@ fn he_protocols_match_reference_and_f64() {
             ProtocolKind::ClientGarbler => ProtocolConfig::client_garbler(s.he.clone(), 3),
         };
         let (out, report) = private_inference(&s.model, &input, &cfg);
-        assert_eq!(out, reference, "{kind:?} disagrees with fixed-point reference");
+        assert_eq!(
+            out, reference,
+            "{kind:?} disagrees with fixed-point reference"
+        );
         for (&q, &f) in out.iter().zip(f64_out.data()) {
             let deq = s.fx.dequantize(q, 2 * s.fx.f);
             assert!(
@@ -86,16 +95,36 @@ fn pooling_network_he_end_to_end() {
 
 /// Different inputs through one model: protocols are reusable and the
 /// randomness is fresh per inference (outputs differ where they should).
+/// Uses the precomputed-server API to assert the per-model precomputation
+/// really is inference-independent.
 #[test]
 fn multiple_inferences_same_model() {
     let spec = zoo::tiny_cnn();
     let s = setup(&spec, 400);
     let cfg = ProtocolConfig::clear(ProtocolKind::ClientGarbler);
+    let pre = pi_core::ServerPrecomp::new(&s.model, &cfg);
     for seed in 0..4u64 {
         let input_f = random_input_f(s.model.input_len, 500 + seed);
         let input = s.fx.quantize_vec(&input_f);
-        let (out, _) = private_inference(&s.model, &input, &cfg);
+        let (out, _) = pi_core::private_inference_precomputed(&s.model, &pre, &input, &cfg);
         assert_eq!(out, s.qnet.forward_fixed(&input), "inference {seed}");
+    }
+}
+
+/// HE-mode inference reuse: one `ServerPrecomp` (encoded Shoup diagonals)
+/// serves several inferences with fresh client keys each time, matching the
+/// fixed-point reference bit-exactly.
+#[test]
+fn he_precomputed_diagonals_reused_across_inferences() {
+    let spec = zoo::tiny_cnn();
+    let s = setup(&spec, 410);
+    let cfg = ProtocolConfig::client_garbler(s.he.clone(), 2);
+    let pre = pi_core::ServerPrecomp::new(&s.model, &cfg);
+    for seed in 0..2u64 {
+        let input_f = random_input_f(s.model.input_len, 520 + seed);
+        let input = s.fx.quantize_vec(&input_f);
+        let (out, _) = pi_core::private_inference_precomputed(&s.model, &pre, &input, &cfg);
+        assert_eq!(out, s.qnet.forward_fixed(&input), "HE inference {seed}");
     }
 }
 
@@ -104,8 +133,9 @@ fn multiple_inferences_same_model() {
 fn all_negative_input_clamps_correctly() {
     let spec = zoo::tiny_cnn();
     let s = setup(&spec, 600);
-    let input: Vec<u64> =
-        (0..s.model.input_len).map(|i| s.fx.p.from_signed(-((i % 30) as i64 + 1))).collect();
+    let input: Vec<u64> = (0..s.model.input_len)
+        .map(|i| s.fx.p.from_signed(-((i % 30) as i64 + 1)))
+        .collect();
     let cfg = ProtocolConfig::clear(ProtocolKind::ServerGarbler);
     let (out, _) = private_inference(&s.model, &input, &cfg);
     assert_eq!(out, s.qnet.forward_fixed(&input));

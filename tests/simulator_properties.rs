@@ -109,8 +109,11 @@ fn offline_job_composition() {
             link,
             client_storage_bytes: 64e9,
         };
-        let sys_lphe =
-            SystemConfig { scheduling: OfflineScheduling::Lphe, link, client_storage_bytes: 64e9 };
+        let sys_lphe = SystemConfig {
+            scheduling: OfflineScheduling::Lphe,
+            link,
+            client_storage_bytes: 64e9,
+        };
         let p_seq = ServiceProfile::derive(&c, &sys_seq);
         let p_lphe = ServiceProfile::derive(&c, &sys_lphe);
         assert!(p_lphe.offline_job_s <= p_seq.offline_job_s);
@@ -158,6 +161,12 @@ fn saturation_thresholds() {
         runs: 6,
         seed: 5,
     };
-    assert!(!simulate(&c, &sys, &mk(0.5)).saturated, "half the pipeline rate must be fine");
-    assert!(simulate(&c, &sys, &mk(2.0)).saturated, "twice the pipeline rate must saturate");
+    assert!(
+        !simulate(&c, &sys, &mk(0.5)).saturated,
+        "half the pipeline rate must be fine"
+    );
+    assert!(
+        simulate(&c, &sys, &mk(2.0)).saturated,
+        "twice the pipeline rate must saturate"
+    );
 }

@@ -32,7 +32,10 @@ fn he_matvec_on_real_phase_matrices() {
         let ct = encrypt_vector(&keys.public, &enc, &w, &r, &mut rng);
         let wr_ct = matvec(&keys.galois, &enc, &w, &ct);
         let resp = sub_share(&he, &enc, &wr_ct, &s, w.padded_dim());
-        assert!(keys.secret.noise_budget(&resp) > 0, "phase {i}: noise exhausted");
+        assert!(
+            keys.secret.noise_budget(&resp) > 0,
+            "phase {i}: noise exhausted"
+        );
         let share = enc.decode_prefix(&keys.secret.decrypt(&resp), ph.rows);
         let expect = w.matvec_plain(&r, p);
         for j in 0..ph.rows {
@@ -62,7 +65,10 @@ fn garbled_relu_equals_quant_semantics() {
         bits.extend(to_bits(r, layout.width));
         let g = garble(&circuit, &mut rng);
         let labels = g.encoding.encode_bits(0, &bits);
-        let got = from_bits(&g.garbled.decode_outputs(&evaluate(&circuit, &g.garbled, &labels)));
+        let got = from_bits(
+            &g.garbled
+                .decode_outputs(&evaluate(&circuit, &g.garbled, &labels)),
+        );
         let expect = p.sub(relu_trunc_field(y, shift, p), r);
         assert_eq!(got, expect, "case {case}: y={y}, r={r}");
     }
@@ -88,15 +94,19 @@ fn ot_delivered_labels_evaluate_correctly() {
     let r = 3u64;
     let mut choices = to_bits(share_b, layout.width);
     choices.extend(to_bits(r, layout.width));
-    let pairs: Vec<(u128, u128)> =
-        (0..2 * layout.width).map(|i| g.encoding.label_pair(layout.width + i)).collect();
+    let pairs: Vec<(u128, u128)> = (0..2 * layout.width)
+        .map(|i| g.encoding.label_pair(layout.width + i))
+        .collect();
     let (ext, keys) = receiver.extend(&choices, &mut rng);
     let transfer = sender.transfer(&ext, &pairs);
     let fetched = receiver.decode(&transfer, &choices, &keys);
 
     let mut labels = g.encoding.encode_bits(0, &to_bits(share_a, layout.width));
     labels.extend(fetched);
-    let got = from_bits(&g.garbled.decode_outputs(&evaluate(&circuit, &g.garbled, &labels)));
+    let got = from_bits(
+        &g.garbled
+            .decode_outputs(&evaluate(&circuit, &g.garbled, &labels)),
+    );
     assert_eq!(got, (share_a + share_b + p - r) % p); // 123 - 3 = 120
     assert_eq!(got, 120);
 }
@@ -108,7 +118,11 @@ fn ot_delivered_labels_evaluate_correctly() {
 fn lowering_stress_many_inputs() {
     let he = BfvParams::small_test();
     let fx = FixedConfig { p: he.t(), f: 4 };
-    for (spec, seed) in [(zoo::tiny_cnn(), 10u64), (zoo::tiny_resnet(), 11), (zoo::tiny_cnn_pool(), 12)] {
+    for (spec, seed) in [
+        (zoo::tiny_cnn(), 10u64),
+        (zoo::tiny_resnet(), 11),
+        (zoo::tiny_cnn_pool(), 12),
+    ] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let net = Network::materialize(&spec, &mut rng);
         let qnet = QuantNetwork::quantize(&net, fx);
@@ -117,7 +131,12 @@ fn lowering_stress_many_inputs() {
             let input: Vec<u64> = (0..model.input_len)
                 .map(|_| fx.p.from_signed(rng.gen_range(-64..=64)))
                 .collect();
-            assert_eq!(model.forward(&input), qnet.forward_fixed(&input), "{}", spec.name);
+            assert_eq!(
+                model.forward(&input),
+                qnet.forward_fixed(&input),
+                "{}",
+                spec.name
+            );
         }
     }
 }
