@@ -1,0 +1,106 @@
+//! RNS throughput: per-residue NTTs and the RNS-BFV multiply pipeline.
+//!
+//! Extends the perf trajectory past the single-prime ceiling: `forward` here
+//! is `k` Harvey transforms (one per CRT prime), `forward_many` batches a
+//! ciphertext pair residue-major, and the BFV group reports the cost of the
+//! new capability — ciphertext×ciphertext multiplication with CRT-gadget
+//! relinearization, which no single-prime parameter set can do at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_he::rns::{RnsBfvParams, RnsKeySet};
+use pi_poly::rns::RnsContext;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_rns_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rns_ntt");
+    group.sample_size(20);
+    for (n, count) in [(2048usize, 3usize), (4096, 4)] {
+        let ctx = Arc::new(RnsContext::with_ntt_primes(n, 50, count));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let data: Vec<Vec<u64>> = (0..count)
+            .map(|i| {
+                let q = ctx.modulus(i).value();
+                (0..n).map(|_| rng.gen_range(0..q)).collect()
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("forward_x{count}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut cols = data.clone();
+                    ctx.ntt().forward(&mut cols);
+                    cols
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("roundtrip_x{count}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut cols = data.clone();
+                    ctx.ntt().forward(&mut cols);
+                    ctx.ntt().inverse(&mut cols);
+                    cols
+                })
+            },
+        );
+        // Ciphertext-pair-sized batch (2 RNS polys), residue-major.
+        group.bench_with_input(
+            BenchmarkId::new(format!("forward_many_2x{count}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut polys = vec![data.clone(), data.clone()];
+                    let mut refs: Vec<&mut [Vec<u64>]> =
+                        polys.iter_mut().map(|p| p.as_mut_slice()).collect();
+                    ctx.ntt().forward_many(&mut refs);
+                    polys
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rns_bfv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rns_bfv");
+    group.sample_size(10);
+    for (label, params) in [
+        ("n2048_3x45", RnsBfvParams::new(2048, 45, 3, 16)),
+        ("n4096_4x50", RnsBfvParams::default_rns()),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let t = params.t().value();
+        let m1: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let m2: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let ct1 = keys.public.encrypt(&m1, &mut rng);
+        let ct2 = keys.public.encrypt(&m2, &mut rng);
+
+        group.bench_function(format!("encrypt/{label}"), |b| {
+            b.iter(|| keys.public.encrypt(&m1, &mut rng))
+        });
+        group.bench_function(format!("decrypt/{label}"), |b| {
+            b.iter(|| keys.secret.decrypt(&ct1))
+        });
+        let op = params.plain_operand(&m2);
+        group.bench_function(format!("mul_plain/{label}"), |b| {
+            b.iter(|| ct1.mul_plain(&op))
+        });
+        group.bench_function(format!("multiply/{label}"), |b| {
+            b.iter(|| ct1.multiply(&ct2, &keys.relin))
+        });
+        group.bench_function(format!("relinearize/{label}"), |b| {
+            let raw = ct1.multiply_no_relin(&ct2, &params);
+            b.iter(|| raw.relinearize(&keys.relin))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rns_ntt, bench_rns_bfv);
+criterion_main!(benches);

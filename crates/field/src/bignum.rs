@@ -178,6 +178,134 @@ impl U1024 {
             sum
         }
     }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_len(&self) -> u32 {
+        for i in (0..LIMBS).rev() {
+            if self.limbs[i] != 0 {
+                return i as u32 * 64 + (64 - self.limbs[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Tests bit `i` (little-endian numbering).
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Multiplies by a word, saturating semantics are **not** provided: the
+    /// product must fit 1024 bits.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on overflow past the top limb.
+    pub fn mul_u64(&self, x: u64) -> Self {
+        let mut out = [0u64; LIMBS];
+        let mut carry = 0u64;
+        for (o, &l) in out.iter_mut().zip(self.limbs.iter()) {
+            let prod = l as u128 * x as u128 + carry as u128;
+            *o = prod as u64;
+            carry = (prod >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0, "U1024::mul_u64 overflow");
+        Self { limbs: out }
+    }
+
+    /// Adds a word.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on overflow past the top limb.
+    pub fn add_u64(&self, x: u64) -> Self {
+        let (sum, carry) = self.overflowing_add(&Self::from_u64(x));
+        debug_assert!(!carry, "U1024::add_u64 overflow");
+        sum
+    }
+
+    /// Remainder modulo a word-sized modulus `q < 2^62` (the [`crate::Modulus`]
+    /// range), by limb-wise Horner reduction: fast enough to sit inside CRT
+    /// residue decomposition loops.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `q` is zero or `q >= 2^62` (the intermediate
+    /// `r·2^64 + limb` must fit a `u128`).
+    pub fn rem_u64(&self, q: u64) -> u64 {
+        debug_assert!(q != 0 && q < (1u64 << 62));
+        let mut r = 0u64;
+        for &limb in self.limbs.iter().rev() {
+            r = ((((r as u128) << 64) | limb as u128) % q as u128) as u64;
+        }
+        r
+    }
+
+    /// Left shift by `k` bits.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if nonzero bits are shifted out the top.
+    pub fn shl(&self, k: u32) -> Self {
+        debug_assert!(self.bit_len() + k <= 1024, "U1024::shl overflow");
+        let word = (k / 64) as usize;
+        let bit = k % 64;
+        let mut out = [0u64; LIMBS];
+        for i in (word..LIMBS).rev() {
+            let mut v = self.limbs[i - word] << bit;
+            if bit > 0 && i > word {
+                v |= self.limbs[i - word - 1] >> (64 - bit);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Right shift by one bit.
+    #[allow(clippy::needless_range_loop)] // each limb also reads its neighbour
+    pub fn shr1(&self) -> Self {
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            out[i] = self.limbs[i] >> 1;
+            if i + 1 < LIMBS {
+                out[i] |= self.limbs[i + 1] << 63;
+            }
+        }
+        Self { limbs: out }
+    }
+
+    /// Quotient and remainder by schoolbook binary long division, iterating
+    /// only over the `bit_len(self) − bit_len(d) + 1` candidate quotient
+    /// bits. This is what CRT composition/rounding needs: dividends exceed
+    /// divisors by at most a couple hundred bits, so the loop is short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &Self) -> (Self, Self) {
+        assert!(!d.is_zero(), "division by zero");
+        let my_bits = self.bit_len();
+        let d_bits = d.bit_len();
+        if my_bits < d_bits {
+            return (Self::ZERO, *self);
+        }
+        let mut shift = my_bits - d_bits;
+        let mut shifted = d.shl(shift);
+        let mut quot = Self::ZERO;
+        let mut rem = *self;
+        loop {
+            if rem >= shifted {
+                rem = rem.overflowing_sub(&shifted).0;
+                quot.limbs[(shift / 64) as usize] |= 1 << (shift % 64);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+            shifted = shifted.shr1();
+        }
+        (quot, rem)
+    }
 }
 
 /// A fixed prime-order multiplicative group `Z_p^*` with Montgomery
@@ -512,6 +640,67 @@ mod tests {
         let g = ModpGroup::oakley2();
         assert_eq!(g.from_mont(&g.r1), U1024::ONE);
         assert_eq!(g.to_mont(&U1024::ONE), g.r1);
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(U1024::ZERO.bit_len(), 0);
+        assert_eq!(U1024::ONE.bit_len(), 1);
+        assert_eq!(U1024::from_u64(0xff).bit_len(), 8);
+        let mut limbs = [0u64; LIMBS];
+        limbs[3] = 1 << 5;
+        let x = U1024::from_limbs(limbs);
+        assert_eq!(x.bit_len(), 3 * 64 + 6);
+        assert!(x.bit(3 * 64 + 5));
+        assert!(!x.bit(3 * 64 + 4));
+    }
+
+    #[test]
+    fn word_arithmetic_and_shifts() {
+        let a = U1024::from_u64(1 << 40);
+        assert_eq!(a.mul_u64(1 << 20), a.shl(20));
+        assert_eq!(a.add_u64(5).rem_u64(1 << 40), 5);
+        assert_eq!(a.shl(64).shr1().bit_len(), 104);
+        // Cross-limb carry in mul_u64.
+        let b = U1024::from_u64(u64::MAX).mul_u64(u64::MAX);
+        assert_eq!(b.bit_len(), 128);
+        assert_eq!(b.rem_u64((1 << 61) - 1), {
+            let m = (1u128 << 61) - 1;
+            ((u64::MAX as u128 % m) * (u64::MAX as u128 % m) % m) as u64
+        });
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let cases: [(u128, u128); 5] = [
+            (0, 7),
+            (6, 7),
+            (12345678901234567890, 97),
+            (u128::MAX, 3),
+            (u128::MAX, u128::MAX - 1),
+        ];
+        let big = |v: u128| U1024::from_u64((v >> 64) as u64).shl(64).add_u64(v as u64);
+        for (x, d) in cases {
+            let (q, r) = big(x).div_rem(&big(d));
+            assert_eq!(q, big(x / d), "quotient for {x}/{d}");
+            assert_eq!(r, big(x % d), "remainder for {x}%{d}");
+        }
+    }
+
+    #[test]
+    fn div_rem_wide_values() {
+        // (2^500 + 12345) / (2^130 + 7): verify via multiply-back identity.
+        let x = U1024::ONE.shl(500).add_u64(12345);
+        let d = U1024::ONE.shl(130).add_u64(7);
+        let (q, r) = x.div_rem(&d);
+        assert!(r < d);
+        // q*d + r == x, assembled with schoolbook ops.
+        let mut back = U1024::ZERO;
+        // back = q * d via shift-add on set bits of d (d has 2 bits set).
+        back = back.overflowing_add(&q.shl(130)).0;
+        back = back.overflowing_add(&q.mul_u64(7)).0;
+        back = back.overflowing_add(&r).0;
+        assert_eq!(back, x);
     }
 
     #[test]

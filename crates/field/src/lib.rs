@@ -10,10 +10,16 @@
 //!   lazy-reduction arithmetic over `[0, 2q)`/`[0, 4q)` for hot NTT and
 //!   pointwise kernels (see the `modulus` module docs for the range table).
 //! * [`prime`] — deterministic Miller–Rabin primality testing and searching
-//!   for NTT-friendly primes (`q ≡ 1 (mod 2N)`), plus primitive-root finding.
+//!   for NTT-friendly primes (`q ≡ 1 (mod 2N)`), plus primitive-root finding
+//!   and multi-prime searches ([`find_distinct_ntt_primes`]) for CRT bases.
+//! * [`crt`] — [`CrtBasis`], an ordered set of distinct primes with
+//!   precomputed reconstruction constants (punctured products `Q/q_i`, their
+//!   inverses, Garner pairwise inverses) and big-integer compose/decompose —
+//!   the residue-number-system substrate for >62-bit ciphertext moduli.
 //! * [`bignum`] — a fixed-width 1024-bit unsigned integer with Montgomery
 //!   multiplication and modular exponentiation over the Oakley Group 2 MODP
-//!   prime, used by the base oblivious transfer in `pi-ot`.
+//!   prime, used by the base oblivious transfer in `pi-ot` and by the CRT
+//!   composition/rounding paths in the RNS layers above.
 //!
 //! # Examples
 //!
@@ -30,9 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod bignum;
+pub mod crt;
 pub mod modulus;
 pub mod prime;
 
 pub use bignum::{ModpGroup, U1024};
+pub use crt::{CrtBasis, CrtError};
 pub use modulus::{Modulus, ShoupMul};
-pub use prime::{find_ntt_prime, is_prime, primitive_root};
+pub use prime::{find_distinct_ntt_primes, find_ntt_prime, is_prime, primitive_root};

@@ -88,6 +88,82 @@ pub fn find_ntt_prime(bits: u32, n: u64) -> u64 {
     find_prime_congruent(bits, 2 * n)
 }
 
+/// Fallible variant of [`find_ntt_prime`]: returns `None` when no prime
+/// `q < 2^bits` with `q ≡ 1 (mod 2n)` exists, instead of panicking.
+///
+/// # Panics
+///
+/// Still panics on malformed *inputs* (`bits` outside `4..=61`, `n` not a
+/// power of two, or `2n >= 2^bits`): those are caller bugs, not search
+/// failures.
+///
+/// # Examples
+///
+/// ```
+/// assert!(pi_field::prime::try_find_ntt_prime(20, 1024).is_some());
+/// ```
+pub fn try_find_ntt_prime(bits: u32, n: u64) -> Option<u64> {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    try_find_prime_congruent(bits, 2 * n)
+}
+
+/// Fallible variant of [`find_prime_congruent`]: `None` when no prime of the
+/// requested shape exists below `2^bits`.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `4..=61` or `step >= 2^bits` (input-contract
+/// violations, as in [`try_find_ntt_prime`]).
+pub fn try_find_prime_congruent(bits: u32, step: u64) -> Option<u64> {
+    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
+    let top = 1u64 << bits;
+    assert!(step < top, "congruence step must be below 2^bits");
+    // Largest candidate of the form k*step + 1 below 2^bits.
+    let mut cand = (top - 1) / step * step + 1;
+    while cand > step {
+        if is_prime(cand) {
+            return Some(cand);
+        }
+        cand -= step;
+    }
+    None
+}
+
+/// Finds `count` **distinct** primes below `2^bits`, each `≡ 1 (mod step)`,
+/// in descending order — the moduli of a CRT basis (`step = 2N` keeps every
+/// residue NTT-friendly, so one residue column per prime can run the Harvey
+/// transforms independently).
+///
+/// Returns `None` if fewer than `count` such primes exist below `2^bits`.
+///
+/// # Panics
+///
+/// Panics on input-contract violations as in [`try_find_prime_congruent`],
+/// or if `count` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let primes = pi_field::find_distinct_ntt_primes(30, 3, 2 * 1024).unwrap();
+/// assert_eq!(primes.len(), 3);
+/// assert!(primes.windows(2).all(|w| w[0] > w[1]));
+/// ```
+pub fn find_distinct_ntt_primes(bits: u32, count: usize, step: u64) -> Option<Vec<u64>> {
+    assert!(count > 0, "count must be positive");
+    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
+    let top = 1u64 << bits;
+    assert!(step < top, "congruence step must be below 2^bits");
+    let mut primes = Vec::with_capacity(count);
+    let mut cand = (top - 1) / step * step + 1;
+    while cand > step && primes.len() < count {
+        if is_prime(cand) {
+            primes.push(cand);
+        }
+        cand -= step;
+    }
+    (primes.len() == count).then_some(primes)
+}
+
 /// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod step)`.
 ///
 /// BFV uses this to pick a ciphertext modulus that is simultaneously
@@ -108,18 +184,8 @@ pub fn find_ntt_prime(bits: u32, n: u64) -> u64 {
 /// assert_eq!(q % (4096 * 13), 1);
 /// ```
 pub fn find_prime_congruent(bits: u32, step: u64) -> u64 {
-    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
-    let top = 1u64 << bits;
-    assert!(step < top, "congruence step must be below 2^bits");
-    // Largest candidate of the form k*step + 1 below 2^bits.
-    let mut cand = (top - 1) / step * step + 1;
-    while cand > step {
-        if is_prime(cand) {
-            return cand;
-        }
-        cand -= step;
-    }
-    panic!("no prime of {bits} bits congruent to 1 mod {step}");
+    try_find_prime_congruent(bits, step)
+        .unwrap_or_else(|| panic!("no prime of {bits} bits congruent to 1 mod {step}"))
 }
 
 /// Finds a generator of the multiplicative group `Z_q^*` for prime `q`.
@@ -234,6 +300,40 @@ mod tests {
         assert_ne!(m.pow(w, 1024), 1);
         // w^1024 must be -1 for a primitive 2048th root.
         assert_eq!(m.pow(w, 1024), q - 1);
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_search() {
+        assert_eq!(try_find_ntt_prime(20, 1024), Some(find_ntt_prime(20, 1024)));
+        assert_eq!(
+            try_find_prime_congruent(40, 4096 * 13),
+            Some(find_prime_congruent(40, 4096 * 13))
+        );
+        // step = 2^(bits-1): the only candidate is step + 1.
+        assert_eq!(try_find_prime_congruent(5, 16), Some(17)); // 17 is prime
+        assert_eq!(try_find_prime_congruent(6, 32), None); // 33 = 3·11
+    }
+
+    #[test]
+    fn distinct_ntt_primes_are_distinct_and_congruent() {
+        let step = 2 * 2048u64;
+        let primes = find_distinct_ntt_primes(45, 7, step).unwrap();
+        assert_eq!(primes.len(), 7);
+        for w in primes.windows(2) {
+            assert!(w[0] > w[1], "primes must be strictly descending");
+        }
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!(p % step, 1);
+            assert!(p < (1 << 45));
+        }
+    }
+
+    #[test]
+    fn distinct_ntt_primes_exhaustion_returns_none() {
+        // Below 2^8 with step 64 the candidates are 193, 129, 65: only 193 is
+        // prime, so asking for three must fail.
+        assert_eq!(find_distinct_ntt_primes(8, 3, 64), None);
     }
 
     #[test]

@@ -6,6 +6,30 @@ use pi_poly::{sample, Poly, PolyOperand};
 use rand::Rng;
 use std::collections::HashMap;
 
+/// Errors from key-dependent operations.
+///
+/// Service-style callers (a server fielding rotation requests from many
+/// clients, as in `examples/multi_client_service.rs`) should use the `try_*`
+/// variants and reject bad requests with this error instead of letting a
+/// missing key panic the worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyError {
+    /// No key-switching key was generated for the requested Galois element.
+    MissingGaloisKey(usize),
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyError::MissingGaloisKey(g) => {
+                write!(f, "no Galois key for element {g}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
 /// The BFV secret key: a ternary ring element `s`.
 #[derive(Clone, Debug)]
 pub struct SecretKey {
@@ -217,15 +241,30 @@ impl PublicKey {
 }
 
 impl GaloisKeys {
+    /// Returns whether a key-switching key exists for Galois element `g`.
+    pub fn contains(&self, g: usize) -> bool {
+        self.keys.contains_key(&g)
+    }
+
     /// Applies Galois automorphism `g` to a ciphertext and key-switches the
     /// result back to the original secret key.
     ///
     /// # Panics
     ///
-    /// Panics if no key-switching key for `g` was generated.
+    /// Panics if no key-switching key for `g` was generated; use
+    /// [`GaloisKeys::try_apply`] to surface that as a [`KeyError`] instead.
     pub fn apply(&self, ct: &Ciphertext, g: usize) -> Ciphertext {
+        self.try_apply(ct, g).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GaloisKeys::apply`]: rejects unknown Galois elements with
+    /// [`KeyError::MissingGaloisKey`] instead of panicking.
+    pub fn try_apply(&self, ct: &Ciphertext, g: usize) -> Result<Ciphertext, KeyError> {
+        if !self.contains(g) {
+            return Err(KeyError::MissingGaloisKey(g));
+        }
         let rotated = ct.galois_raw(g);
-        self.switch(&rotated, g)
+        self.try_switch(&rotated, g)
     }
 
     /// Key-switches a ciphertext whose `c1` component is keyed under
@@ -237,11 +276,19 @@ impl GaloisKeys {
     /// Shoup-form keys in the lazy `[0, 2q)` domain with one final
     /// correction — `mul_shoup + add_lazy` per slot per digit, no Barrett
     /// reduction and no intermediate `Poly` allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key-switching key for `g` was generated; use
+    /// [`GaloisKeys::try_switch`] for the fallible variant.
     pub fn switch(&self, ct: &Ciphertext, g: usize) -> Ciphertext {
-        let digit_keys = self
-            .keys
-            .get(&g)
-            .unwrap_or_else(|| panic!("no Galois key for element {g}"));
+        self.try_switch(ct, g).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GaloisKeys::switch`]: rejects unknown Galois elements with
+    /// [`KeyError::MissingGaloisKey`] instead of panicking.
+    pub fn try_switch(&self, ct: &Ciphertext, g: usize) -> Result<Ciphertext, KeyError> {
+        let digit_keys = self.keys.get(&g).ok_or(KeyError::MissingGaloisKey(g))?;
         let ring = self.params.ring();
         let ntt = ring.ntt();
         let q = self.params.q();
@@ -266,10 +313,10 @@ impl GaloisKeys {
         for x in c0.iter_mut().chain(c1.iter_mut()) {
             *x = q.reduce_lazy(*x);
         }
-        Ciphertext {
+        Ok(Ciphertext {
             c0: Poly::from_ntt_data(ring.clone(), c0),
             c1: Poly::from_ntt_data(ring.clone(), c1),
-        }
+        })
     }
 
     /// Rotates the SIMD rows of a batch-encoded ciphertext left by `k`
@@ -278,12 +325,25 @@ impl GaloisKeys {
     ///
     /// # Panics
     ///
-    /// Panics if `k >= N/2`.
+    /// Panics if `k >= N/2` or a needed power-of-two rotation key is missing
+    /// (see [`GaloisKeys::try_rotate_rows`]).
     pub fn rotate_rows(&self, ct: &Ciphertext, k: usize) -> Ciphertext {
+        self.try_rotate_rows(ct, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GaloisKeys::rotate_rows`]: rejects a missing composition
+    /// key with [`KeyError::MissingGaloisKey`] instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `k >= N/2` (an out-of-domain rotation is a caller
+    /// bug, not a key-provisioning failure).
+    pub fn try_rotate_rows(&self, ct: &Ciphertext, k: usize) -> Result<Ciphertext, KeyError> {
         let half = self.params.n() / 2;
         assert!(k < half, "rotation amount must be below N/2");
         if k == 0 {
-            return ct.clone();
+            return Ok(ct.clone());
         }
         let m = 2 * self.params.n();
         let mut result = ct.clone();
@@ -292,18 +352,29 @@ impl GaloisKeys {
         let mut remaining = k;
         while remaining > 0 {
             if remaining & bit != 0 {
-                result = self.apply(&result, g);
+                result = self.try_apply(&result, g)?;
                 remaining -= bit;
             }
             g = (g * g) % m;
             bit <<= 1;
         }
-        result
+        Ok(result)
     }
 
     /// Swaps the two SIMD rows (`x ↦ x^{2N-1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row-swap key is missing; see
+    /// [`GaloisKeys::try_rotate_columns`].
     pub fn rotate_columns(&self, ct: &Ciphertext) -> Ciphertext {
-        self.apply(ct, 2 * self.params.n() - 1)
+        self.try_rotate_columns(ct)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GaloisKeys::rotate_columns`].
+    pub fn try_rotate_columns(&self, ct: &Ciphertext) -> Result<Ciphertext, KeyError> {
+        self.try_apply(ct, 2 * self.params.n() - 1)
     }
 
     /// Parameters these keys were generated for.
@@ -464,5 +535,27 @@ mod tests {
         let (_, keys, mut rng) = setup();
         let ct = keys.public.encrypt_zero(&mut rng);
         keys.galois.apply(&ct, 5); // 5 is not among generated elements
+    }
+
+    #[test]
+    fn missing_galois_key_surfaces_error() {
+        let (_, keys, mut rng) = setup();
+        let ct = keys.public.encrypt_zero(&mut rng);
+        assert!(!keys.galois.contains(5));
+        assert_eq!(
+            keys.galois.try_apply(&ct, 5).err(),
+            Some(KeyError::MissingGaloisKey(5))
+        );
+        assert_eq!(
+            keys.galois.try_switch(&ct, 5).err(),
+            Some(KeyError::MissingGaloisKey(5))
+        );
+        // The generated power-of-two composition keys still work through the
+        // fallible path.
+        assert!(keys.galois.try_rotate_rows(&ct, 3).is_ok());
+        assert!(keys.galois.try_rotate_columns(&ct).is_ok());
+        // A graceful service can report the failure without dying.
+        let msg = keys.galois.try_apply(&ct, 5).unwrap_err().to_string();
+        assert!(msg.contains("no Galois key"));
     }
 }

@@ -13,6 +13,9 @@
 //!   rotations; everything DELPHI's offline phase (`E(w·r − s)`) needs.
 //! * [`linalg`] — Halevi–Shoup diagonal-method matrix-vector products and
 //!   im2col-based convolution over packed ciphertexts.
+//! * [`rns`] — RNS-BFV over multi-prime CRT moduli ([`RnsBfvParams`]):
+//!   ciphertext moduli beyond 100 bits, exact ciphertext–ciphertext
+//!   multiplication with CRT-gadget relinearization, and mul-depth above 1.
 //!
 //! # Example
 //!
@@ -40,10 +43,12 @@ pub mod encoder;
 pub mod keys;
 pub mod linalg;
 pub mod params;
+pub mod rns;
 pub mod wire;
 
 pub use cipher::{Ciphertext, PlainOperand, Plaintext};
 pub use encoder::BatchEncoder;
-pub use keys::{GaloisKeys, KeySet, PublicKey, SecretKey};
+pub use keys::{GaloisKeys, KeyError, KeySet, PublicKey, SecretKey};
 pub use params::BfvParams;
+pub use rns::{RnsBfvParams, RnsCiphertext, RnsKeySet, RnsPublicKey, RnsRelinKey, RnsSecretKey};
 pub use wire::{ciphertext_from_bytes, ciphertext_to_bytes, WireError};

@@ -1,0 +1,925 @@
+//! RNS-BFV: homomorphic encryption over multi-prime CRT moduli, with
+//! ciphertext–ciphertext multiplication (mul-depth > 1).
+//!
+//! The single-prime BFV in [`crate::params`]/[`crate::keys`] tops out at a
+//! 61-bit ciphertext modulus — enough for one multiplicative level. This
+//! module lifts the whole scheme onto an [`RnsPoly`] substrate so the
+//! ciphertext modulus is a product `Q = ∏ q_i` of NTT-friendly primes
+//! (hundreds of bits), which is what deeper homomorphic circuits need.
+//!
+//! # Residue layout and lazy-range invariants
+//!
+//! * Every key and ciphertext polynomial is an [`RnsPoly`] over the **base**
+//!   context (`k` primes): one residue column per prime, normally kept in
+//!   evaluation (NTT) form, always strictly reduced per column when
+//!   observable. The lazy `[0, 2q_i)` accumulation domain appears only
+//!   inside relinearization, which chains `dyadic_mul_acc_shoup` across the
+//!   `k` gadget digits per residue and runs one `reduce_lazy` correction
+//!   pass at the end — exactly the key-switch kernel shape from PR 1, once
+//!   per residue column.
+//! * Ciphertext–ciphertext multiplication is **exact**: operands are lifted
+//!   from the base basis into an **extended** basis (base primes plus
+//!   `k + 1` auxiliary primes) through centered CRT composition
+//!   ([`RnsPoly::extend_centered`]), so the integer tensor-product
+//!   coefficients (bounded by `N·(Q/2)²`) never wrap. The `t/Q` rescaling
+//!   then composes each coefficient, rounds with big-integer division, and
+//!   re-decomposes into the base basis. No approximate (floating-point or
+//!   BEHZ-style correction-term) machinery: correctness first, per the
+//!   differential-oracle discipline of this repo.
+//! * Relinearization uses the **CRT gadget**: `c₂ = Σ_i [c₂]_{q_i} · g_i
+//!   (mod Q)` with `g_i = (Q/q_i)·[(Q/q_i)^{-1}]_{q_i}`, so the "digits" are
+//!   the residue columns themselves — no base-`2^w` decomposition, and the
+//!   key for digit `i` is a precomputed [`RnsOperand`] `(values, quotients)`
+//!   pair per prime.
+//!
+//! # Example
+//!
+//! ```
+//! use pi_he::rns::{RnsBfvParams, RnsKeySet};
+//! use rand::SeedableRng;
+//!
+//! let params = RnsBfvParams::new(1024, 40, 3, 16);
+//! assert!(params.q_bits() > 100);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let keys = RnsKeySet::generate(&params, &mut rng);
+//!
+//! // Constant messages 3 and 5: the ring product is the constant 15.
+//! let mut m1 = vec![0u64; 1024];
+//! m1[0] = 3;
+//! let mut m2 = vec![0u64; 1024];
+//! m2[0] = 5;
+//! let c1 = keys.public.encrypt(&m1, &mut rng);
+//! let c2 = keys.public.encrypt(&m2, &mut rng);
+//! let prod = c1.multiply(&c2, &keys.relin);
+//! let dec = keys.secret.decrypt(&prod);
+//! assert_eq!(dec[0], 15);
+//! assert!(dec[1..].iter().all(|&c| c == 0));
+//! ```
+
+use pi_field::{Modulus, U1024};
+use pi_poly::rns::{RnsContext, RnsOperand, RnsPoly};
+use pi_poly::{sample, PolyForm};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters for an RNS-BFV instance.
+///
+/// Invariants (checked at construction):
+/// * `n` is a power of two and every basis prime satisfies
+///   `q_i ≡ 1 (mod 2n)` (per-residue NTT friendliness);
+/// * the extended basis holds the base primes followed by `k + 1` auxiliary
+///   primes of the same bit size, so `P > n·Q` and centered tensor-product
+///   coefficients (`≤ N·(Q/2)²`) are exactly representable mod `Q·P`;
+/// * `t` is prime and far below `Q` (noise headroom).
+#[derive(Clone, Debug)]
+pub struct RnsBfvParams {
+    /// Plaintext modulus.
+    t: Modulus,
+    /// Base context: ciphertext ring over `Q = ∏ q_i`.
+    base: Arc<RnsContext>,
+    /// Extended context: base primes followed by auxiliary primes, for the
+    /// exact tensor product.
+    ext: Arc<RnsContext>,
+    /// `Δ = ⌊Q/t⌋ mod q_i`, per base prime.
+    delta_residues: Vec<u64>,
+    /// `⌊Q/2⌋` (rounding offset for the `t/Q` rescale and decoding).
+    half_q: U1024,
+    /// `⌊Q/(2t)⌋`, the decryption-failure threshold.
+    noise_threshold: U1024,
+    /// Centered-binomial error parameter (variance k/2).
+    pub error_k: u32,
+}
+
+impl RnsBfvParams {
+    /// Builds a parameter set: ring degree `n`, `count` base primes of
+    /// `prime_bits` bits each, and a `t_bits`-bit plaintext modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prime searches cannot find `2·count + 1` distinct
+    /// NTT-friendly primes of the requested size, if the plaintext modulus
+    /// leaves fewer than 30 bits of noise headroom, or if the auxiliary
+    /// basis cannot absorb the tensor-product magnitude (requires
+    /// `prime_bits > log2(n) + 2`).
+    pub fn new(n: usize, prime_bits: u32, count: usize, t_bits: u32) -> Self {
+        assert!(count >= 1, "need at least one base prime");
+        assert!(
+            t_bits + 30 <= prime_bits * count as u32,
+            "plaintext modulus too close to ciphertext modulus"
+        );
+        assert!(
+            prime_bits > (n as u64).ilog2() + 2,
+            "primes too small to cover the n·Q tensor growth"
+        );
+        let primes = pi_field::find_distinct_ntt_primes(prime_bits, 2 * count + 1, 2 * n as u64)
+            .unwrap_or_else(|| {
+                panic!("not enough {prime_bits}-bit NTT primes for a {count}-prime basis")
+            });
+        let base_basis =
+            Arc::new(pi_field::CrtBasis::new(&primes[..count]).expect("base basis must be valid"));
+        let ext_basis =
+            Arc::new(pi_field::CrtBasis::new(&primes).expect("extended basis must be valid"));
+        // P > n·Q ⟺ bits(Q·P) ≥ 2·bits(Q) + log2(n) + 1: the k+1 auxiliary
+        // primes of the same size always clear this for prime_bits > log2(n)+2,
+        // but assert rather than assume.
+        assert!(
+            ext_basis.product_bits() > 2 * base_basis.product_bits() + (n as u64).ilog2(),
+            "auxiliary basis too small for exact tensor products"
+        );
+        let t = Modulus::new(pi_field::prime::find_prime_congruent(t_bits, 2));
+        let q_big = *base_basis.product();
+        let delta = q_big.div_rem(&U1024::from_u64(t.value())).0;
+        let delta_residues = base_basis
+            .moduli()
+            .iter()
+            .map(|m| delta.rem_u64(m.value()))
+            .collect();
+        let half_q = q_big.shr1();
+        let noise_threshold = q_big.div_rem(&U1024::from_u64(2 * t.value())).0;
+        let base = Arc::new(RnsContext::new(n, base_basis));
+        let ext = Arc::new(RnsContext::new(n, ext_basis));
+        Self {
+            t,
+            base,
+            ext,
+            delta_residues,
+            half_q,
+            noise_threshold,
+            error_k: 8,
+        }
+    }
+
+    /// Default multi-level parameter set: `N = 4096`, four 50-bit primes
+    /// (200-bit `Q`), 20-bit `t` — two-plus multiplicative levels with
+    /// comfortable margin.
+    pub fn default_rns() -> Self {
+        Self::new(4096, 50, 4, 20)
+    }
+
+    /// A small, fast parameter set for unit tests: `N = 1024`, three 40-bit
+    /// primes (>100-bit `Q`), 16-bit `t`.
+    pub fn small_test() -> Self {
+        Self::new(1024, 40, 3, 16)
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Number of base primes `k`.
+    pub fn basis_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Total bit size of the ciphertext modulus `Q`.
+    pub fn q_bits(&self) -> u32 {
+        self.base.basis().product_bits()
+    }
+
+    /// Plaintext modulus.
+    pub fn t(&self) -> Modulus {
+        self.t
+    }
+
+    /// The base RNS ring context.
+    pub fn base(&self) -> &Arc<RnsContext> {
+        &self.base
+    }
+
+    /// The extended RNS ring context used by ciphertext multiplication.
+    pub fn ext(&self) -> &Arc<RnsContext> {
+        &self.ext
+    }
+
+    /// Serialized size in bytes of a degree-1 ciphertext (`2·k·N` words).
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * self.basis_len() * self.n() * 8
+    }
+
+    /// Embeds a message (coefficients in `[0, t)`) into the base ring,
+    /// scaled by `Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != n` or any coefficient is `>= t`.
+    fn encode_scaled(&self, m: &[u64]) -> RnsPoly {
+        assert_eq!(m.len(), self.n(), "message must have length n");
+        assert!(
+            m.iter().all(|&c| c < self.t.value()),
+            "message coefficients must be reduced mod t"
+        );
+        RnsPoly::from_coeffs(self.base.clone(), m).scale_residues(&self.delta_residues)
+    }
+
+    /// Precomputes a plaintext (coefficients in `[0, t)`, *unscaled*) as a
+    /// reusable multiplication operand for [`RnsCiphertext::mul_plain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != n` or any coefficient is `>= t`.
+    pub fn plain_operand(&self, m: &[u64]) -> RnsOperand {
+        assert_eq!(m.len(), self.n(), "message must have length n");
+        assert!(
+            m.iter().all(|&c| c < self.t.value()),
+            "message coefficients must be reduced mod t"
+        );
+        RnsPoly::from_coeffs(self.base.clone(), m).to_operand()
+    }
+
+    /// `round(t·x/Q) mod t` for a composed value `x ∈ [0, Q)` — the BFV
+    /// decoding map. Negative noise shows up as `x` just below `Q`, which
+    /// rounds to `t` and wraps to `0`: no explicit centering needed.
+    fn decode_coeff(&self, x: &U1024) -> u64 {
+        let num = x.mul_u64(self.t.value()).overflowing_add(&self.half_q).0;
+        let (quot, _) = num.div_rem(self.base.basis().product());
+        // quot may equal t (x just below Q, i.e. small negative noise around
+        // m = 0); rem_u64 folds that wrap.
+        quot.rem_u64(self.t.value())
+    }
+
+    /// Rescales a polynomial given by extended-basis residue columns
+    /// (coefficient form) by `t/Q`, rounding exactly, and returns the result
+    /// in the base basis: `c'_j = round(t·ĉ_j/Q) mod Q` where `ĉ_j` is the
+    /// centered representative mod `Q·P`.
+    fn scale_round_to_base(&self, ext_cols: &[Vec<u64>]) -> RnsPoly {
+        let ext_basis = self.ext.basis();
+        let base_moduli = self.base.basis().moduli();
+        let q_big = self.base.basis().product();
+        let half_qp = ext_basis.half_product();
+        let n = self.n();
+        let mut out = vec![vec![0u64; n]; base_moduli.len()];
+        let mut residues = vec![0u64; ext_basis.len()];
+        for j in 0..n {
+            for (i, col) in ext_cols.iter().enumerate() {
+                residues[i] = col[j];
+            }
+            let y = ext_basis.compose(&residues);
+            if y <= *half_qp {
+                let num = y.mul_u64(self.t.value()).overflowing_add(&self.half_q).0;
+                let (quot, _) = num.div_rem(q_big);
+                for (i, m) in base_moduli.iter().enumerate() {
+                    out[i][j] = quot.rem_u64(m.value());
+                }
+            } else {
+                // Negative representative: round the magnitude, negate.
+                let mag = ext_basis.product().overflowing_sub(&y).0;
+                let num = mag.mul_u64(self.t.value()).overflowing_add(&self.half_q).0;
+                let (quot, _) = num.div_rem(q_big);
+                for (i, m) in base_moduli.iter().enumerate() {
+                    out[i][j] = m.neg(quot.rem_u64(m.value()));
+                }
+            }
+        }
+        RnsPoly::from_residues(self.base.clone(), out, PolyForm::Coeff)
+    }
+}
+
+/// The RNS-BFV secret key: a ternary ring element in per-residue NTT form.
+#[derive(Clone, Debug)]
+pub struct RnsSecretKey {
+    params: RnsBfvParams,
+    s: RnsPoly,
+}
+
+/// The RNS-BFV public key `(pk0, pk1) = (-(a·s + e), a)`.
+#[derive(Clone, Debug)]
+pub struct RnsPublicKey {
+    params: RnsBfvParams,
+    pk0: RnsPoly,
+    pk1: RnsPoly,
+}
+
+/// Relinearization (key-switching) key for `s²` under the CRT gadget: for
+/// each base prime `i`, an RLWE encryption of `g_i·s²` stored as precomputed
+/// Shoup operands — one `(values, quotients)` pair per residue per digit.
+#[derive(Clone, Debug)]
+pub struct RnsRelinKey {
+    params: RnsBfvParams,
+    /// `keys[i] = (k0_i, k1_i)` with `k0_i + k1_i·s = g_i·s² + e_i (mod Q)`.
+    keys: Vec<(RnsOperand, RnsOperand)>,
+}
+
+/// A convenience bundle of RNS-BFV keys.
+#[derive(Clone, Debug)]
+pub struct RnsKeySet {
+    /// The secret (decryption) key.
+    pub secret: RnsSecretKey,
+    /// The public (encryption) key.
+    pub public: RnsPublicKey,
+    /// The relinearization key for ciphertext multiplication.
+    pub relin: RnsRelinKey,
+}
+
+impl RnsKeySet {
+    /// Generates a fresh secret/public/relinearization key set.
+    pub fn generate<R: Rng + ?Sized>(params: &RnsBfvParams, rng: &mut R) -> Self {
+        let secret = RnsSecretKey::generate(params, rng);
+        let public = secret.public_key(rng);
+        let relin = secret.relin_key(rng);
+        Self {
+            secret,
+            public,
+            relin,
+        }
+    }
+}
+
+impl RnsSecretKey {
+    /// Samples a fresh ternary secret key.
+    pub fn generate<R: Rng + ?Sized>(params: &RnsBfvParams, rng: &mut R) -> Self {
+        let s = sample::ternary_rns(params.base(), rng).into_ntt();
+        Self {
+            params: params.clone(),
+            s,
+        }
+    }
+
+    /// Parameters this key was generated for.
+    pub fn params(&self) -> &RnsBfvParams {
+        &self.params
+    }
+
+    /// Derives the public key `(-(a·s + e), a)`.
+    pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPublicKey {
+        let params = &self.params;
+        let a = sample::uniform_rns(params.base(), rng).into_ntt();
+        let e = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
+        let pk0 = a.mul(&self.s).add(&e).neg();
+        RnsPublicKey {
+            params: params.clone(),
+            pk0,
+            pk1: a,
+        }
+    }
+
+    /// Generates the relinearization key: for each base prime `i`, an RLWE
+    /// pair `(-(a_i·s + e_i) + g_i·s², a_i)` with the CRT gadget constant
+    /// `g_i = (Q/q_i)·[(Q/q_i)^{-1}]_{q_i}`.
+    pub fn relin_key<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsRelinKey {
+        let params = &self.params;
+        let basis = params.base().basis();
+        let s_sq = self.s.mul(&self.s);
+        let mut keys = Vec::with_capacity(basis.len());
+        for i in 0..basis.len() {
+            // g_i as an RNS residue vector (g_i ≡ 1 mod q_i, structured mod
+            // the others): reduce the big integer per prime.
+            let g_big = basis.punctured(i).mul_u64(basis.punctured_inv(i));
+            let g_res: Vec<u64> = basis
+                .moduli()
+                .iter()
+                .map(|m| g_big.rem_u64(m.value()))
+                .collect();
+            let a = sample::uniform_rns(params.base(), rng).into_ntt();
+            let e = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
+            let k0 = a
+                .mul(&self.s)
+                .add(&e)
+                .neg()
+                .add(&s_sq.scale_residues(&g_res));
+            keys.push((k0.to_operand(), a.to_operand()));
+        }
+        RnsRelinKey {
+            params: params.clone(),
+            keys,
+        }
+    }
+
+    /// Decrypts a ciphertext of any degree: computes `Σ c_i·sⁱ`, CRT-composes
+    /// each coefficient, and applies the `round(t·x/Q) mod t` decoding map.
+    pub fn decrypt(&self, ct: &RnsCiphertext) -> Vec<u64> {
+        let v = self.inner_product(ct).into_coeff();
+        v.compose_coeffs()
+            .iter()
+            .map(|x| self.params.decode_coeff(x))
+            .collect()
+    }
+
+    /// Invariant noise budget in bits: `log2` of the headroom between the
+    /// worst-coefficient noise magnitude and the failure threshold `Q/(2t)`,
+    /// measured exactly via CRT composition (bit-length granularity). Zero
+    /// means decryption is unreliable.
+    pub fn noise_budget(&self, ct: &RnsCiphertext) -> u32 {
+        let params = &self.params;
+        let basis = params.base().basis();
+        let q_big = basis.product();
+        let v = self.inner_product(ct).into_coeff();
+        let delta = q_big.div_rem(&U1024::from_u64(params.t.value())).0;
+        let mut worst: u32 = u32::MAX;
+        for x in v.compose_coeffs() {
+            let m = params.decode_coeff(&x);
+            // noise = x − Δ·m (mod Q), centered.
+            let dm = delta.mul_u64(m);
+            let e = if x >= dm {
+                x.overflowing_sub(&dm).0
+            } else {
+                q_big.overflowing_sub(&dm.overflowing_sub(&x).0).0
+            };
+            let mag = if e > *basis.half_product() {
+                q_big.overflowing_sub(&e).0
+            } else {
+                e
+            };
+            if mag >= params.noise_threshold {
+                return 0;
+            }
+            let budget = params.noise_threshold.bit_len() - mag.bit_len().max(1);
+            worst = worst.min(budget);
+        }
+        worst
+    }
+
+    /// `Σ c_i·sⁱ` in evaluation form.
+    fn inner_product(&self, ct: &RnsCiphertext) -> RnsPoly {
+        assert!(!ct.polys.is_empty(), "empty ciphertext");
+        let mut acc = ct.polys[0].clone().into_ntt();
+        let mut s_pow = self.s.clone();
+        for (i, c) in ct.polys.iter().enumerate().skip(1) {
+            acc = acc.add(&c.clone().into_ntt().mul(&s_pow));
+            if i + 1 < ct.polys.len() {
+                s_pow = s_pow.mul(&self.s);
+            }
+        }
+        acc
+    }
+}
+
+impl RnsPublicKey {
+    /// Encrypts a message (coefficients in `[0, t)`):
+    /// `(pk0·u + e₁ + Δm, pk1·u + e₂)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != n` or any coefficient is `>= t`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &[u64], rng: &mut R) -> RnsCiphertext {
+        let params = &self.params;
+        let u = sample::ternary_rns(params.base(), rng).into_ntt();
+        let e1 = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
+        let e2 = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
+        let scaled = params.encode_scaled(m).into_ntt();
+        let c0 = self.pk0.mul(&u).add(&e1).add(&scaled);
+        let c1 = self.pk1.mul(&u).add(&e2);
+        RnsCiphertext {
+            polys: vec![c0, c1],
+        }
+    }
+
+    /// Parameters this key was generated for.
+    pub fn params(&self) -> &RnsBfvParams {
+        &self.params
+    }
+}
+
+/// An RNS-BFV ciphertext: `d + 1` polynomials decrypting to
+/// `round(t/Q · Σ c_i·sⁱ)`. Freshly encrypted and relinearized ciphertexts
+/// have degree 1; [`RnsCiphertext::multiply_no_relin`] yields degree 2.
+#[derive(Clone, Debug)]
+pub struct RnsCiphertext {
+    /// The component polynomials, lowest degree first.
+    pub polys: Vec<RnsPoly>,
+}
+
+impl RnsCiphertext {
+    /// Ciphertext degree (number of components minus one).
+    pub fn degree(&self) -> usize {
+        self.polys.len() - 1
+    }
+
+    /// Asserts that every component polynomial lives in the ring the given
+    /// parameters describe — mixing key material or ciphertexts across
+    /// parameter sets would otherwise reduce against the wrong moduli and
+    /// silently decrypt to garbage.
+    fn assert_ring(&self, params: &RnsBfvParams) {
+        let base = params.base();
+        for p in &self.polys {
+            assert!(
+                Arc::ptr_eq(p.ctx(), base)
+                    || (p.ctx().n() == base.n()
+                        && p.ctx().basis().moduli() == base.basis().moduli()),
+                "ciphertext ring does not match the supplied parameters"
+            );
+        }
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(&RnsPoly, &RnsPoly) -> RnsPoly) -> Self {
+        assert_eq!(
+            self.polys.len(),
+            other.polys.len(),
+            "ciphertext degree mismatch"
+        );
+        Self {
+            polys: self
+                .polys
+                .iter()
+                .zip(&other.polys)
+                .map(|(a, b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a.add(b))
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a.sub(b))
+    }
+
+    /// Homomorphic negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            polys: self.polys.iter().map(|p| p.neg()).collect(),
+        }
+    }
+
+    /// Adds a plaintext message (coefficients in `[0, t)`).
+    pub fn add_plain(&self, m: &[u64], params: &RnsBfvParams) -> Self {
+        let scaled = params.encode_scaled(m).into_ntt();
+        let mut polys = self.polys.clone();
+        polys[0] = polys[0].add(&scaled);
+        Self { polys }
+    }
+
+    /// Multiplies by a precomputed plaintext operand (see
+    /// [`RnsBfvParams::plain_operand`]). The plaintext is *not* `Δ`-scaled:
+    /// `Enc(Δm)·p` decrypts to `m·p` with noise grown by roughly `‖p‖₁`.
+    pub fn mul_plain(&self, op: &RnsOperand) -> Self {
+        Self {
+            polys: self.polys.iter().map(|p| p.mul_operand(op)).collect(),
+        }
+    }
+
+    /// Ciphertext–ciphertext multiplication with relinearization back to
+    /// degree 1: the exact lifted tensor product followed by the CRT-gadget
+    /// key switch. Both inputs must be degree-1 ciphertexts under the same
+    /// parameters as `rlk`.
+    pub fn multiply(&self, other: &Self, rlk: &RnsRelinKey) -> Self {
+        let raw = self.tensor(other, &rlk.params);
+        raw.relinearize(rlk)
+    }
+
+    /// Ciphertext–ciphertext multiplication *without* relinearization:
+    /// returns the degree-2 ciphertext `(c0, c1, c2)`. Useful when several
+    /// products are summed before a single key switch.
+    pub fn multiply_no_relin(&self, other: &Self, params: &RnsBfvParams) -> Self {
+        self.tensor(other, params)
+    }
+
+    /// The exact BFV tensor product: lift both ciphertexts into the extended
+    /// basis (centered), tensor in per-residue NTT form, rescale by `t/Q`
+    /// back into the base basis.
+    fn tensor(&self, other: &Self, params: &RnsBfvParams) -> Self {
+        assert_eq!(self.degree(), 1, "tensor expects degree-1 ciphertexts");
+        assert_eq!(other.degree(), 1, "tensor expects degree-1 ciphertexts");
+        self.assert_ring(params);
+        other.assert_ring(params);
+        let ext = params.ext();
+        let n = params.n();
+        let ext_k = ext.len();
+
+        // Lift all four polynomials into the extended basis and batch the
+        // forward transforms residue-major.
+        let mut lifted: Vec<Vec<Vec<u64>>> = [&self.polys, &other.polys]
+            .iter()
+            .flat_map(|polys| polys.iter())
+            .map(|p| p.clone().into_coeff().extend_centered(ext).into_residues())
+            .collect();
+        {
+            let mut refs: Vec<&mut [Vec<u64>]> =
+                lifted.iter_mut().map(|p| p.as_mut_slice()).collect();
+            ext.ntt().forward_many(&mut refs);
+        }
+        let (a0, rest) = lifted.split_first().unwrap();
+        let (a1, rest) = rest.split_first().unwrap();
+        let (b0, rest) = rest.split_first().unwrap();
+        let (b1, _) = rest.split_first().unwrap();
+
+        // Tensor per extended residue: t0 = a0·b0, t1 = a0·b1 + a1·b0,
+        // t2 = a1·b1 (the cross term accumulates with one fused reduction).
+        let mut t0 = vec![vec![0u64; n]; ext_k];
+        let mut t1 = vec![vec![0u64; n]; ext_k];
+        let mut t2 = vec![vec![0u64; n]; ext_k];
+        for r in 0..ext_k {
+            let tab = ext.ntt().table(r);
+            tab.dyadic_mul(&mut t0[r], &a0[r], &b0[r]);
+            tab.dyadic_mul(&mut t1[r], &a0[r], &b1[r]);
+            tab.dyadic_mul_acc(&mut t1[r], &a1[r], &b0[r]);
+            tab.dyadic_mul(&mut t2[r], &a1[r], &b1[r]);
+        }
+        {
+            let mut refs: Vec<&mut [Vec<u64>]> =
+                vec![t0.as_mut_slice(), t1.as_mut_slice(), t2.as_mut_slice()];
+            ext.ntt().inverse_many(&mut refs);
+        }
+
+        // Rescale each component by t/Q back into the base basis.
+        RnsCiphertext {
+            polys: vec![
+                params.scale_round_to_base(&t0),
+                params.scale_round_to_base(&t1),
+                params.scale_round_to_base(&t2),
+            ],
+        }
+    }
+
+    /// Key-switches a degree-2 ciphertext back to degree 1 with the CRT
+    /// gadget: the digits of `c₂` are its own residue columns, each lifted
+    /// across all primes, batch-NTT'd, and accumulated against the key
+    /// operands in the lazy `[0, 2q)` domain with one final correction.
+    pub fn relinearize(&self, rlk: &RnsRelinKey) -> Self {
+        assert_eq!(
+            self.degree(),
+            2,
+            "relinearize expects a degree-2 ciphertext"
+        );
+        self.assert_ring(&rlk.params);
+        let params = &rlk.params;
+        let base = params.base();
+        let k = base.len();
+
+        let c2 = self.polys[2].clone().into_coeff();
+        // Digit i = residue column i of c2, lifted into every base prime
+        // (values < q_i just reduce mod q_j) — coefficient form.
+        let mut digits: Vec<Vec<Vec<u64>>> = (0..k)
+            .map(|i| {
+                let col = c2.residue(i);
+                (0..k)
+                    .map(|j| {
+                        let m = base.modulus(j);
+                        col.iter().map(|&x| m.reduce(x)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        {
+            let mut refs: Vec<&mut [Vec<u64>]> =
+                digits.iter_mut().map(|d| d.as_mut_slice()).collect();
+            base.ntt().forward_many(&mut refs);
+        }
+
+        let mut acc0 = self.polys[0].clone().into_ntt().into_residues();
+        let mut acc1 = self.polys[1].clone().into_ntt().into_residues();
+        for (d, (k0, k1)) in digits.iter().zip(&rlk.keys) {
+            for j in 0..k {
+                let tab = base.ntt().table(j);
+                tab.dyadic_mul_acc_shoup(&mut acc0[j], &d[j], k0.shoup(j));
+                tab.dyadic_mul_acc_shoup(&mut acc1[j], &d[j], k1.shoup(j));
+            }
+        }
+        for (j, col) in acc0.iter_mut().chain(acc1.iter_mut()).enumerate() {
+            let m = base.modulus(j % k);
+            for x in col.iter_mut() {
+                *x = m.reduce_lazy(*x);
+            }
+        }
+        RnsCiphertext {
+            polys: vec![
+                RnsPoly::from_residues(base.clone(), acc0, PolyForm::Ntt),
+                RnsPoly::from_residues(base.clone(), acc1, PolyForm::Ntt),
+            ],
+        }
+    }
+
+    /// Serialized size in bytes (`(degree+1)·k·N` words).
+    pub fn byte_len(&self) -> usize {
+        self.polys.len() * self.polys[0].ctx().len() * self.polys[0].ctx().n() * 8
+    }
+}
+
+impl RnsRelinKey {
+    /// Parameters this key was generated for.
+    pub fn params(&self) -> &RnsBfvParams {
+        &self.params
+    }
+
+    /// Serialized size in bytes: two polynomials (`k·N` words each) per base
+    /// prime.
+    pub fn byte_len(&self) -> usize {
+        self.keys.len() * 2 * self.params.basis_len() * self.params.n() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (RnsBfvParams, RnsKeySet, rand::rngs::StdRng) {
+        let params = RnsBfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        (params, keys, rng)
+    }
+
+    fn random_message(params: &RnsBfvParams, rng: &mut impl Rng) -> Vec<u64> {
+        let t = params.t().value();
+        (0..params.n()).map(|_| rng.gen_range(0..t)).collect()
+    }
+
+    /// Negacyclic product of two messages mod t (the plaintext-ring
+    /// semantics of ciphertext multiplication).
+    #[allow(clippy::needless_range_loop)] // i, j index a, b, and out together
+    fn negacyclic_mul_mod_t(a: &[u64], b: &[u64], t: Modulus) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = t.mul(t.reduce(a[i]), t.reduce(b[j]));
+                let k = i + j;
+                if k < n {
+                    out[k] = t.add(out[k], prod);
+                } else {
+                    out[k - n] = t.sub(out[k - n], prod);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn params_meet_acceptance_floor() {
+        let params = RnsBfvParams::small_test();
+        assert!(params.basis_len() >= 3, "need a >=3-prime basis");
+        assert!(params.q_bits() > 100, "need a >100-bit modulus");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (params, keys, mut rng) = setup();
+        let m = random_message(&params, &mut rng);
+        let ct = keys.public.encrypt(&m, &mut rng);
+        assert_eq!(keys.secret.decrypt(&ct), m);
+        assert!(keys.secret.noise_budget(&ct) > 50);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let t = params.t();
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let sum = keys.secret.decrypt(&ca.add(&cb));
+        let diff = keys.secret.decrypt(&ca.sub(&cb));
+        for i in 0..params.n() {
+            assert_eq!(sum[i], t.add(a[i], b[i]));
+            assert_eq!(diff[i], t.sub(a[i], b[i]));
+        }
+    }
+
+    #[test]
+    fn add_plain_and_neg() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let t = params.t();
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let dec = keys.secret.decrypt(&ca.add_plain(&b, &params));
+        for i in 0..params.n() {
+            assert_eq!(dec[i], t.add(a[i], b[i]));
+        }
+        let neg = keys.secret.decrypt(&ca.neg());
+        for i in 0..params.n() {
+            assert_eq!(neg[i], t.neg(a[i]));
+        }
+    }
+
+    #[test]
+    fn mul_plain_matches_ring_product() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let op = params.plain_operand(&b);
+        let dec = keys.secret.decrypt(&ca.mul_plain(&op));
+        assert_eq!(dec, negacyclic_mul_mod_t(&a, &b, params.t()));
+    }
+
+    #[test]
+    fn ct_ct_multiplication_single_level() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let prod = ca.multiply(&cb, &keys.relin);
+        assert_eq!(prod.degree(), 1);
+        assert!(
+            keys.secret.noise_budget(&prod) > 10,
+            "one multiplication must leave budget"
+        );
+        assert_eq!(
+            keys.secret.decrypt(&prod),
+            negacyclic_mul_mod_t(&a, &b, params.t())
+        );
+    }
+
+    #[test]
+    fn degree_two_ciphertext_decrypts_without_relin() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let raw = ca.multiply_no_relin(&cb, &params);
+        assert_eq!(raw.degree(), 2);
+        assert_eq!(
+            keys.secret.decrypt(&raw),
+            negacyclic_mul_mod_t(&a, &b, params.t())
+        );
+    }
+
+    #[test]
+    fn depth_two_multiplication_chain() {
+        // The acceptance-criteria test: enc(a)·enc(b)·enc(c) decrypts to
+        // a·b·c under a >=3-prime, >100-bit basis.
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let c = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let cc = keys.public.encrypt(&c, &mut rng);
+
+        let ab = ca.multiply(&cb, &keys.relin);
+        let budget_after_one = keys.secret.noise_budget(&ab);
+        let abc = ab.multiply(&cc, &keys.relin);
+        let budget_after_two = keys.secret.noise_budget(&abc);
+        assert!(
+            budget_after_two > 0,
+            "depth 2 must not exhaust the noise budget \
+             (after one mul: {budget_after_one} bits, after two: {budget_after_two})"
+        );
+        assert!(budget_after_one > budget_after_two);
+
+        let t = params.t();
+        let ab_plain = negacyclic_mul_mod_t(&a, &b, t);
+        let abc_plain = negacyclic_mul_mod_t(&ab_plain, &c, t);
+        assert_eq!(keys.secret.decrypt(&abc), abc_plain);
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let c = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let cc = keys.public.encrypt(&c, &mut rng);
+        let lhs = keys.secret.decrypt(&ca.add(&cb).multiply(&cc, &keys.relin));
+        let rhs = keys.secret.decrypt(
+            &ca.multiply(&cc, &keys.relin)
+                .add(&cb.multiply(&cc, &keys.relin)),
+        );
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn single_prime_basis_still_works() {
+        // k = 1 degenerates to single-modulus BFV for everything except
+        // relinearization: the CRT-gadget digit for one prime is the full
+        // residue (≈ q bits), whose key-switch noise exceeds a single word's
+        // headroom — exactly the failure mode that motivates multi-prime
+        // bases. So exercise the degenerate lift/tensor/rescale path via
+        // multiply_no_relin and degree-2 decryption instead.
+        let params = RnsBfvParams::new(1024, 55, 1, 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        assert_eq!(keys.secret.decrypt(&ca), a);
+        let raw = ca.multiply_no_relin(&cb, &params);
+        assert_eq!(
+            keys.secret.decrypt(&raw),
+            negacyclic_mul_mod_t(&a, &b, params.t())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ciphertext ring does not match")]
+    fn mismatched_parameter_rings_rejected() {
+        // A relin key from a different parameter set (same n and prime
+        // count, different prime size) must be refused, not silently used.
+        let (_, keys, mut rng) = setup();
+        let other_params = RnsBfvParams::new(1024, 42, 3, 16);
+        let other_keys = RnsKeySet::generate(&other_params, &mut rng);
+        let m = vec![1u64; 1024];
+        let ca = keys.public.encrypt(&m, &mut rng);
+        let cb = keys.public.encrypt(&m, &mut rng);
+        ca.multiply(&cb, &other_keys.relin);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unreduced_message_rejected() {
+        let (params, keys, mut rng) = setup();
+        let m = vec![params.t().value(); params.n()];
+        keys.public.encrypt(&m, &mut rng);
+    }
+}

@@ -9,6 +9,10 @@
 //!   with ring add/sub/mul and Galois automorphisms `x ↦ x^g`.
 //! * [`sample`] — uniform, ternary, and centered-binomial error samplers used
 //!   for RLWE key generation and encryption.
+//! * [`rns`] — [`RnsPoly`], the residue-number-system lift of [`Poly`]: one
+//!   residue column per prime of a [`pi_field::CrtBasis`], per-residue NTT
+//!   tables ([`RnsNttTables`]), and exact centered basis extension — the
+//!   substrate for >62-bit ciphertext moduli in `pi-he`.
 //!
 //! # Examples
 //!
@@ -28,7 +32,9 @@
 
 pub mod ntt;
 pub mod poly;
+pub mod rns;
 pub mod sample;
 
 pub use ntt::{NttTables, ShoupVec};
 pub use poly::{Poly, PolyForm, PolyOperand, RingContext};
+pub use rns::{RnsContext, RnsNttTables, RnsOperand, RnsPoly};

@@ -1,8 +1,29 @@
-//! Randomness for RLWE: uniform, ternary, and centered-binomial samplers.
+//! Randomness for RLWE: uniform, ternary, and centered-binomial samplers,
+//! for both single-modulus ([`Poly`]) and RNS ([`RnsPoly`]) rings.
 
 use crate::poly::{Poly, RingContext};
+use crate::rns::{RnsContext, RnsPoly};
 use rand::Rng;
 use std::sync::Arc;
+
+/// Samples `n` signed ternary coefficients in `{-1, 0, 1}`.
+pub fn ternary_signed<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples `n` signed centered-binomial coefficients with parameter `k`
+/// (variance `k/2`, support `[-k, k]`).
+pub fn centered_binomial_signed<R: Rng + ?Sized>(n: usize, rng: &mut R, k: u32) -> Vec<i64> {
+    (0..n)
+        .map(|_| {
+            let mut acc = 0i64;
+            for _ in 0..k {
+                acc += rng.gen_range(0..=1) - rng.gen_range(0..=1i64);
+            }
+            acc
+        })
+        .collect()
+}
 
 /// Samples a polynomial with coefficients uniform in `[0, q)`.
 pub fn uniform<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
@@ -14,8 +35,7 @@ pub fn uniform<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
 /// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`, the
 /// standard BFV secret-key distribution.
 pub fn ternary<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
-    let coeffs: Vec<i64> = (0..ctx.n()).map(|_| rng.gen_range(-1i64..=1)).collect();
-    Poly::from_signed(ctx.clone(), &coeffs)
+    Poly::from_signed(ctx.clone(), &ternary_signed(ctx.n(), rng))
 }
 
 /// Samples an error polynomial from a centered binomial distribution with
@@ -24,16 +44,36 @@ pub fn ternary<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Poly {
 /// `k = 21` approximates the discrete Gaussian with σ ≈ 3.2 that SEAL uses;
 /// centered binomial is the standard constant-time drop-in (as in Kyber).
 pub fn centered_binomial<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R, k: u32) -> Poly {
-    let coeffs: Vec<i64> = (0..ctx.n())
-        .map(|_| {
-            let mut acc = 0i64;
-            for _ in 0..k {
-                acc += rng.gen_range(0..=1) - rng.gen_range(0..=1i64);
-            }
-            acc
+    Poly::from_signed(ctx.clone(), &centered_binomial_signed(ctx.n(), rng, k))
+}
+
+/// Samples an RNS polynomial uniform over `Z_Q`: each residue column is
+/// sampled independently uniform in `[0, q_i)`, which by CRT bijectivity is
+/// exactly the uniform distribution modulo `Q = ∏ q_i`.
+pub fn uniform_rns<R: Rng + ?Sized>(ctx: &Arc<RnsContext>, rng: &mut R) -> RnsPoly {
+    let data: Vec<Vec<u64>> = (0..ctx.len())
+        .map(|i| {
+            let q = ctx.modulus(i).value();
+            (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect()
         })
         .collect();
-    Poly::from_signed(ctx.clone(), &coeffs)
+    RnsPoly::from_residues(ctx.clone(), data, crate::poly::PolyForm::Coeff)
+}
+
+/// Samples an RNS ternary polynomial (one signed draw, embedded into every
+/// residue — the columns represent the *same* small integer polynomial).
+pub fn ternary_rns<R: Rng + ?Sized>(ctx: &Arc<RnsContext>, rng: &mut R) -> RnsPoly {
+    RnsPoly::from_signed(ctx.clone(), &ternary_signed(ctx.n(), rng))
+}
+
+/// Samples an RNS centered-binomial error polynomial (one signed draw,
+/// embedded into every residue).
+pub fn centered_binomial_rns<R: Rng + ?Sized>(
+    ctx: &Arc<RnsContext>,
+    rng: &mut R,
+    k: u32,
+) -> RnsPoly {
+    RnsPoly::from_signed(ctx.clone(), &centered_binomial_signed(ctx.n(), rng, k))
 }
 
 /// Default error sampler: centered binomial approximating σ ≈ 3.2.

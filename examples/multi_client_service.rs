@@ -11,12 +11,14 @@
 //! cargo run --release --example multi_client_service
 //! ```
 
+use pi_he::{BatchEncoder, BfvParams, KeyError, KeySet};
 use pi_nn::zoo::{Architecture, Dataset};
 use pi_sim::cost::{Garbler, ProtocolCosts};
 use pi_sim::devices::DeviceProfile;
 use pi_sim::energy::ClientEnergy;
 use pi_sim::engine::{OfflineScheduling, SystemConfig};
 use pi_sim::multi_client::{simulate_multi_client, MultiClientConfig};
+use rand::SeedableRng;
 
 fn main() {
     let arch = Architecture::ResNet32;
@@ -76,4 +78,22 @@ fn main() {
     }
     println!("\nthe role swap costs each client 1.8x GC energy (§5.1) but buys the 5x");
     println!("storage reduction that makes the precompute pipeline possible at all.");
+
+    // A service worker must never die on a malformed client request. The
+    // fallible Galois-key API turns a missing rotation key into a rejected
+    // request instead of a panic.
+    println!("\nrequest validation (fallible rotation API):");
+    let he = BfvParams::small_test();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keys = KeySet::generate(&he, &mut rng);
+    let enc = BatchEncoder::new(&he);
+    let ct = keys.public.encrypt(&enc.encode(&[1, 2, 3, 4]), &mut rng);
+    for requested_g in [3usize, 5] {
+        match keys.galois.try_apply(&ct, requested_g) {
+            Ok(_) => println!("  rotation request g={requested_g}: served"),
+            Err(KeyError::MissingGaloisKey(g)) => {
+                println!("  rotation request g={g}: rejected (no key provisioned), worker alive")
+            }
+        }
+    }
 }
