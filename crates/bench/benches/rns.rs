@@ -5,8 +5,12 @@
 //! ciphertext pair residue-major, and the BFV group reports the cost of the
 //! new capability — ciphertext×ciphertext multiplication with CRT-gadget
 //! relinearization, which no single-prime parameter set can do at all.
+//! The `rns_convert`/`rns_rescale` groups race the fast (BEHZ/HPS) CRT
+//! boundary against the exact big-integer oracle, and `multiply_exact`
+//! keeps the oracle's end-to-end cost on the scoreboard.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_field::FastBaseConverter;
 use pi_he::rns::{RnsBfvParams, RnsKeySet};
 use pi_poly::rns::RnsContext;
 use rand::{Rng, SeedableRng};
@@ -94,6 +98,9 @@ fn bench_rns_bfv(c: &mut Criterion) {
         group.bench_function(format!("multiply/{label}"), |b| {
             b.iter(|| ct1.multiply(&ct2, &keys.relin))
         });
+        group.bench_function(format!("multiply_exact/{label}"), |b| {
+            b.iter(|| ct1.multiply_exact(&ct2, &keys.relin))
+        });
         group.bench_function(format!("relinearize/{label}"), |b| {
             let raw = ct1.multiply_no_relin(&ct2, &params);
             b.iter(|| raw.relinearize(&keys.relin))
@@ -102,5 +109,47 @@ fn bench_rns_bfv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rns_ntt, bench_rns_bfv);
+fn bench_rns_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rns_rescale");
+    group.sample_size(10);
+    for (label, params) in [
+        ("n2048_3x45", RnsBfvParams::new(2048, 45, 3, 16)),
+        ("n4096_4x50", RnsBfvParams::default_rns()),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let t = params.t().value();
+        let m1: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let m2: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let ct1 = keys.public.encrypt(&m1, &mut rng);
+        let ct2 = keys.public.encrypt(&m2, &mut rng);
+
+        // Fast vs exact t/Q rescale of one tensor component, on the columns
+        // the production pipeline actually produces.
+        let tensor = ct1.tensor_ext_columns(&ct2, &params, false);
+        group.bench_function(format!("fast/{label}"), |b| {
+            b.iter(|| params.scale_round_to_base(&tensor[0]))
+        });
+        group.bench_function(format!("exact/{label}"), |b| {
+            b.iter(|| params.scale_round_to_base_exact(&tensor[0]))
+        });
+
+        // Fast vs exact centered lift of one ciphertext component into the
+        // extended basis (the other CRT crossing of the multiply).
+        let lift_conv = FastBaseConverter::new(
+            params.base().basis(),
+            &params.ext().basis().moduli()[params.basis_len()..],
+        );
+        let c0 = ct1.polys[0].clone().into_coeff();
+        group.bench_function(format!("lift_fast/{label}"), |b| {
+            b.iter(|| c0.extend_fast(params.ext(), &lift_conv))
+        });
+        group.bench_function(format!("lift_exact/{label}"), |b| {
+            b.iter(|| c0.extend_centered(params.ext()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rns_ntt, bench_rns_bfv, bench_rns_boundary);
 criterion_main!(benches);

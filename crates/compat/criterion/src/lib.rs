@@ -8,6 +8,11 @@
 //! per-iteration time, with min/max spread. Passing `--test` (as
 //! `cargo bench -- --test` does in CI) runs every closure exactly once as a
 //! smoke test, matching real criterion's behaviour.
+//!
+//! Besides the human-readable line, every measurement also emits a
+//! machine-readable one-liner `csv,<name>,<median ns>` so scripts (and
+//! future PRs tracking the perf trajectory) can `grep '^csv,'` instead of
+//! parsing the formatted output.
 
 use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;
@@ -194,6 +199,8 @@ fn run_one<F: FnMut(&mut Bencher)>(
         }
     }
     println!("{line}");
+    // Machine-readable trajectory line: `csv,<name>,<median ns>`.
+    println!("csv,{name},{median:.1}");
 }
 
 fn fmt_bytes(bps: f64) -> String {

@@ -1,0 +1,488 @@
+//! Fast (RNS-native) base conversion in the BEHZ/HPS style: lifting residue
+//! vectors from one CRT basis into another with word-sized arithmetic only —
+//! no big-integer composition anywhere.
+//!
+//! # The conversion and its error bound
+//!
+//! A value `x ∈ [0, Q)` known by its residues `x_i = x mod q_i` over a source
+//! basis `Q = ∏ q_i` (k primes) can be pushed into any target modulus `p`
+//! through the CRT reconstruction sum evaluated mod `p`:
+//!
+//! ```text
+//! d_i = x_i·(Q/q_i)^{-1} mod q_i          (the FBC "digits", one Shoup
+//!                                          multiply per source prime)
+//! x̃   = Σ_i d_i·(Q/q_i)  =  x + α·Q,      0 ≤ α < k
+//! ```
+//!
+//! The *uncorrected* lift `x̃ mod p = Σ_i d_i·|Q/q_i|_p` therefore overshoots
+//! the true value by up to `k − 1` multiples of `Q`: each digit contributes
+//! `d_i/q_i < 1` to `x̃/Q − x/Q`, so `α = ⌊Σ_i d_i/q_i⌋ ≤ k − 1`. Every
+//! correction strategy below recovers (some representative of) `x` by
+//! subtracting a multiple `v·|Q|_p` of the source product; they differ only
+//! in how `v` is obtained.
+//!
+//! ## Centered fixed-point correction ([`FastBaseConverter::convert`])
+//!
+//! Because `Σ_i d_i/q_i = α + x/Q`, rounding the sum to the nearest integer
+//! gives `v = α + round(x/Q)`, and subtracting `v·Q` yields the **centered**
+//! representative `x̂ ∈ [−Q/2, Q/2]` (i.e. `x`, or `x − Q` when `x > Q/2`) —
+//! exactly what a signed lift before a tensor product wants. The sum is
+//! evaluated in 64.64 fixed point with the precomputed per-prime constants
+//! `⌊(2^128 − 1)/q_i⌋`; each term underestimates `d_i·2^64/q_i` by less than
+//! 2, so the estimate of `Σ_i d_i/q_i` is low by less than `2k·2^{-64}`.
+//! Consequently the correction `v` — and hence the conversion — is **exact
+//! unless `x` lies within `2k·Q/2^64` of `Q/2`**, in which case the result
+//! may be the other centered representative (`x − Q` instead of `x`, or vice
+//! versa). Both candidates are congruent to `x` modulo `Q` and bounded by
+//! `Q/2·(1 + 2^{-58})` in magnitude, so a consumer that only needs *some*
+//! small representative (the tensor-product lift, the remainder channel of
+//! the rescale) never observes an error; a consumer comparing against the
+//! exact composed value can differ, with probability `≈ 2k/2^64` per
+//! uniformly random input, by exactly one multiple of `Q`.
+//!
+//! ## Shenoy–Kumaresan channel correction ([`FastBaseConverter::convert_exact`])
+//!
+//! When the *signed* value `y` (with `|y| < Q`, `Q` now the source product)
+//! is also known modulo one extra **correction prime** `m_r` — the
+//! BEHZ-`m̃`-style redundant channel carried through the whole pipeline —
+//! the overshoot can be recovered exactly with modular arithmetic alone:
+//! `x̃ − y = β·Q` for an integer `0 ≤ β ≤ k + 1` (up to `k − 1` from the FBC
+//! overshoot, plus one when `y < 0` shifts the nonnegative representative),
+//! so `β = |(x̃ − y)·Q^{-1}|_{m_r}` computed in the channel is the true `β`
+//! whenever `m_r > k + 1`. Subtracting `β·|Q|_p` gives the residues of the
+//! signed `y` itself — **always exact**, no fixed point, no floats. This is
+//! the return conversion of the HPS rescale: the scaled value is small
+//! (`|y| ≪ P/2`), its channel residue is available from the extended basis,
+//! and the result must not be off by even one multiple of `P`.
+//!
+//! All per-prime constants are precomputed as [`ShoupMul`] pairs so every
+//! hot-path multiplication is a Shoup multiply; see
+//! `pi-poly`'s `convert_columns_fast` for the batched residue-major kernels
+//! built on top of this table.
+
+use crate::crt::CrtBasis;
+use crate::modulus::{Modulus, ShoupMul};
+
+/// Precomputed constants for fast base conversion from a source [`CrtBasis`]
+/// into an arbitrary list of target moduli, with an optional
+/// Shenoy–Kumaresan correction channel for exact signed conversion.
+///
+/// # Examples
+///
+/// ```
+/// use pi_field::{CrtBasis, FastBaseConverter, Modulus, U1024};
+/// let src = CrtBasis::new(&[97, 101]).unwrap(); // Q = 9797
+/// let dst = [Modulus::new(103), Modulus::new(107)];
+/// let conv = FastBaseConverter::new(&src, &dst);
+/// // 1234 < Q/2: the centered conversion reproduces it exactly.
+/// let x = U1024::from_u64(1234);
+/// assert_eq!(conv.convert(&src.decompose(&x)), vec![1234 % 103, 1234 % 107]);
+/// // 9796 = -1 mod Q: converts to -1 mod every target prime.
+/// let r = conv.convert(&src.decompose(&U1024::from_u64(9796)));
+/// assert_eq!(r, vec![102, 106]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FastBaseConverter {
+    src: Vec<Modulus>,
+    dst: Vec<Modulus>,
+    /// `|f·(Q/q_i)^{-1}|_{q_i}` in Shoup form (`f` = optional digit factor).
+    digit_scale: Vec<ShoupMul>,
+    /// `⌊(2^128 − 1)/q_i⌋`: 64.64 fixed-point `1/q_i` for the rounding sum.
+    frac: Vec<u128>,
+    /// `cross[p][i] = |Q/q_i|_{dst_p}` in Shoup form.
+    cross: Vec<Vec<ShoupMul>>,
+    /// `|Q|_{dst_p}` in Shoup form (the correction subtrahend).
+    q_mod_dst: Vec<ShoupMul>,
+    channel: Option<SkChannel>,
+}
+
+/// The Shenoy–Kumaresan correction channel: one redundant word-sized prime
+/// whose residue of the converted value is known independently.
+#[derive(Clone, Debug)]
+struct SkChannel {
+    modulus: Modulus,
+    /// `|Q/q_i|_{m_r}` in Shoup form.
+    cross: Vec<ShoupMul>,
+    /// `|Q^{-1}|_{m_r}` in Shoup form.
+    q_inv: ShoupMul,
+}
+
+impl FastBaseConverter {
+    /// Builds a converter from `src` into the `dst` moduli (centered
+    /// fixed-point correction, digit factor 1, no channel).
+    pub fn new(src: &CrtBasis, dst: &[Modulus]) -> Self {
+        Self::build(src, dst, 1, None)
+    }
+
+    /// Builds a converter whose digits absorb a fixed multiplicative factor:
+    /// the digits become `|x_i·f·(Q/q_i)^{-1}|_{q_i}`, so the converter maps
+    /// the residues of `x` to the residues of (a centered representative of)
+    /// `f·x mod Q`. Used by the HPS rescale to fold the plaintext modulus
+    /// `t` into the remainder conversion for free.
+    pub fn with_digit_factor(src: &CrtBasis, dst: &[Modulus], factor: u64) -> Self {
+        Self::build(src, dst, factor, None)
+    }
+
+    /// Builds a converter with a Shenoy–Kumaresan correction channel for
+    /// [`FastBaseConverter::convert_exact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` divides the source product (it must be coprime so
+    /// `Q^{-1} mod m_r` exists), or if `channel ≤ k + 1` (too small to hold
+    /// the correction).
+    pub fn with_channel(src: &CrtBasis, dst: &[Modulus], channel: Modulus) -> Self {
+        Self::build(src, dst, 1, Some(channel))
+    }
+
+    fn build(src: &CrtBasis, dst: &[Modulus], factor: u64, channel: Option<Modulus>) -> Self {
+        let src_moduli = src.moduli().to_vec();
+        let digit_scale: Vec<ShoupMul> = src_moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.shoup(m.mul(src.punctured_inv(i), m.reduce(factor))))
+            .collect();
+        let frac: Vec<u128> = src_moduli
+            .iter()
+            .map(|m| u128::MAX / m.value() as u128)
+            .collect();
+        let cross: Vec<Vec<ShoupMul>> = dst
+            .iter()
+            .map(|p| {
+                (0..src.len())
+                    .map(|i| p.shoup(src.punctured(i).rem_u64(p.value())))
+                    .collect()
+            })
+            .collect();
+        let q_mod_dst: Vec<ShoupMul> = dst
+            .iter()
+            .map(|p| p.shoup(src.product().rem_u64(p.value())))
+            .collect();
+        let channel = channel.map(|m| {
+            assert!(
+                m.value() > src.len() as u64 + 1,
+                "correction prime must exceed the maximum overshoot k + 1"
+            );
+            let q_mod = src.product().rem_u64(m.value());
+            let q_inv = m
+                .inv(q_mod)
+                .expect("correction prime must be coprime to the source product");
+            SkChannel {
+                modulus: m,
+                cross: (0..src.len())
+                    .map(|i| m.shoup(src.punctured(i).rem_u64(m.value())))
+                    .collect(),
+                q_inv: m.shoup(q_inv),
+            }
+        });
+        Self {
+            src: src_moduli,
+            dst: dst.to_vec(),
+            digit_scale,
+            frac,
+            cross,
+            q_mod_dst,
+            channel,
+        }
+    }
+
+    /// The source moduli `q_0, ..., q_{k-1}`.
+    pub fn src_moduli(&self) -> &[Modulus] {
+        &self.src
+    }
+
+    /// The target moduli.
+    pub fn dst_moduli(&self) -> &[Modulus] {
+        &self.dst
+    }
+
+    /// The correction-channel modulus, if this converter carries one.
+    pub fn channel_modulus(&self) -> Option<Modulus> {
+        self.channel.as_ref().map(|c| c.modulus)
+    }
+
+    /// The Shoup digit constant `|f·(Q/q_i)^{-1}|_{q_i}` for source prime `i`.
+    #[inline]
+    pub fn digit_scale(&self, i: usize) -> ShoupMul {
+        self.digit_scale[i]
+    }
+
+    /// The 64.64 fixed-point constant `⌊(2^128 − 1)/q_i⌋`.
+    #[inline]
+    pub fn frac(&self, i: usize) -> u128 {
+        self.frac[i]
+    }
+
+    /// The cross-basis row `|Q/q_i|_{dst_p}` for target `p` (Shoup form,
+    /// indexed by source prime).
+    #[inline]
+    pub fn cross_row(&self, p: usize) -> &[ShoupMul] {
+        &self.cross[p]
+    }
+
+    /// `|Q|_{dst_p}` in Shoup form for target `p`.
+    #[inline]
+    pub fn q_mod_dst(&self, p: usize) -> ShoupMul {
+        self.q_mod_dst[p]
+    }
+
+    /// The FBC digits `d_i = |x_i·f·(Q/q_i)^{-1}|_{q_i}` of a residue vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the source-prime count.
+    pub fn digits(&self, residues: &[u64]) -> Vec<u64> {
+        assert_eq!(residues.len(), self.src.len(), "residue count mismatch");
+        residues
+            .iter()
+            .zip(&self.src)
+            .zip(&self.digit_scale)
+            .map(|((&x, m), &w)| m.mul_shoup(x, w))
+            .collect()
+    }
+
+    /// The centered rounding correction `v = round(Σ_i d_i/q_i)` evaluated in
+    /// 64.64 fixed point (see the module docs for the `2k·2^{-64}` window in
+    /// which it can be off by one).
+    #[inline]
+    pub fn round_correction(&self, digits: &[u64]) -> u64 {
+        let mut s: u128 = 1u128 << 63;
+        for (&d, &f) in digits.iter().zip(&self.frac) {
+            s += (d as u128 * f) >> 64;
+        }
+        (s >> 64) as u64
+    }
+
+    /// The Shenoy–Kumaresan correction `β = |(x̃ − y)·Q^{-1}|_{m_r}` from the
+    /// channel residue `y mod m_r` of the true signed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the converter was built without a channel.
+    #[inline]
+    pub fn channel_correction(&self, digits: &[u64], channel_residue: u64) -> u64 {
+        let ch = self
+            .channel
+            .as_ref()
+            .expect("converter has no correction channel");
+        let m = ch.modulus;
+        let mut acc: u128 = 0;
+        for (&d, &w) in digits.iter().zip(&ch.cross) {
+            acc += m.mul_shoup_lazy(d, w) as u128;
+        }
+        let lifted = m.reduce_u128(acc);
+        let beta = m.mul_shoup(m.sub(lifted, m.reduce(channel_residue)), ch.q_inv);
+        debug_assert!(
+            beta <= self.src.len() as u64 + 1,
+            "SK correction out of range: |y| must be below the source product"
+        );
+        beta
+    }
+
+    /// Folds digits and a correction into target residue `p`:
+    /// `|Σ_i d_i·(Q/q_i) − v·Q|_{dst_p}`.
+    #[inline]
+    pub fn fold(&self, digits: &[u64], v: u64, p: usize) -> u64 {
+        let m = self.dst[p];
+        let mut acc: u128 = 0;
+        for (&d, &w) in digits.iter().zip(&self.cross[p]) {
+            acc += m.mul_shoup_lazy(d, w) as u128;
+        }
+        m.sub(m.reduce_u128(acc), m.mul_shoup(v, self.q_mod_dst[p]))
+    }
+
+    /// Centered fast base conversion of one residue vector: returns the
+    /// target residues of the centered representative `x̂ ∈ [−Q/2, Q/2]`
+    /// (up to the fixed-point window described in the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the source-prime count.
+    pub fn convert(&self, residues: &[u64]) -> Vec<u64> {
+        let digits = self.digits(residues);
+        let v = self.round_correction(&digits);
+        (0..self.dst.len())
+            .map(|p| self.fold(&digits, v, p))
+            .collect()
+    }
+
+    /// Exact signed conversion via the Shenoy–Kumaresan channel: given the
+    /// residues over the source basis **and** the channel residue of the true
+    /// signed value `y` (`|y| <` source product), returns the target residues
+    /// of `y` itself — exact for every input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the converter was built without a channel or the residue
+    /// count mismatches.
+    pub fn convert_exact(&self, residues: &[u64], channel_residue: u64) -> Vec<u64> {
+        let digits = self.digits(residues);
+        let beta = self.channel_correction(&digits, channel_residue);
+        (0..self.dst.len())
+            .map(|p| self.fold(&digits, beta, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bignum::U1024;
+    use rand::{Rng, SeedableRng};
+
+    fn random_below_q(b: &CrtBasis, rng: &mut impl Rng) -> U1024 {
+        let residues: Vec<u64> = b
+            .moduli()
+            .iter()
+            .map(|m| rng.gen_range(0..m.value()))
+            .collect();
+        b.compose(&residues)
+    }
+
+    fn split_basis(bits: u32, src_count: usize, dst_count: usize, n: u64) -> (CrtBasis, CrtBasis) {
+        let primes =
+            crate::prime::find_distinct_ntt_primes(bits, src_count + dst_count, 2 * n).unwrap();
+        (
+            CrtBasis::new(&primes[..src_count]).unwrap(),
+            CrtBasis::new(&primes[src_count..]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn matches_exact_centered_extension_on_random_values() {
+        for (bits, k) in [(30u32, 1usize), (30, 3), (45, 2), (50, 4)] {
+            let (src, dst) = split_basis(bits, k, k + 2, 64);
+            let conv = FastBaseConverter::new(&src, dst.moduli());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(bits as u64 + k as u64);
+            for _ in 0..200 {
+                let x = random_below_q(&src, &mut rng);
+                assert_eq!(
+                    conv.convert(&src.decompose(&x)),
+                    src.extend_centered(&x, &dst),
+                    "bits={bits} k={k} x={x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_convert_exactly() {
+        let (src, dst) = split_basis(30, 3, 4, 64);
+        let conv = FastBaseConverter::new(&src, dst.moduli());
+        // 0, small positives, and small negatives (x near Q) are far from the
+        // Q/2 fixed-point window: conversion must be bit-exact.
+        let q = *src.product();
+        for delta in 0u64..8 {
+            let pos = U1024::from_u64(delta);
+            assert_eq!(
+                conv.convert(&src.decompose(&pos)),
+                src.extend_centered(&pos, &dst)
+            );
+            let neg = q.overflowing_sub(&U1024::from_u64(delta + 1)).0;
+            assert_eq!(
+                conv.convert(&src.decompose(&neg)),
+                src.extend_centered(&neg, &dst)
+            );
+        }
+    }
+
+    #[test]
+    fn near_half_q_yields_a_valid_small_representative() {
+        // Within the fixed-point window around Q/2 the conversion may return
+        // either centered representative; both are ≡ x (mod Q) and small.
+        let (src, dst) = split_basis(30, 3, 4, 64);
+        let conv = FastBaseConverter::new(&src, dst.moduli());
+        let half = *src.half_product();
+        for delta in -2i64..=2 {
+            let x = if delta < 0 {
+                half.overflowing_sub(&U1024::from_u64((-delta) as u64)).0
+            } else {
+                half.overflowing_add(&U1024::from_u64(delta as u64)).0
+            };
+            let got = conv.convert(&src.decompose(&x));
+            // Compose over the (larger) dst basis and compare against the two
+            // candidate representatives x and x − Q mapped into [0, D).
+            let composed = dst.compose(&got);
+            let d = dst.product();
+            let cand_pos = x;
+            let cand_neg = d.overflowing_sub(&src.product().overflowing_sub(&x).0).0;
+            assert!(
+                composed == cand_pos || composed == cand_neg,
+                "delta={delta}: {composed:?} is neither x nor x - Q"
+            );
+        }
+    }
+
+    #[test]
+    fn digit_factor_folds_multiplication() {
+        let (src, dst) = split_basis(30, 3, 4, 64);
+        let t = 65_537u64;
+        let conv = FastBaseConverter::with_digit_factor(&src, dst.moduli(), t);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = random_below_q(&src, &mut rng);
+            // The factored conversion equals converting t·x mod Q.
+            let tx = src.compose(
+                &src.moduli()
+                    .iter()
+                    .zip(src.decompose(&x))
+                    .map(|(m, r)| m.mul(r, m.reduce(t)))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                conv.convert(&src.decompose(&x)),
+                src.extend_centered(&tx, &dst)
+            );
+        }
+    }
+
+    #[test]
+    fn channel_conversion_is_exact_everywhere() {
+        // SK correction: exact for every input, including the ±Q/2 boundary
+        // where the fixed-point path is allowed to pick either representative.
+        let (src, dst) = split_basis(30, 3, 4, 64);
+        let channel = Modulus::new(crate::prime::find_prime_congruent(29, 2));
+        let conv = FastBaseConverter::with_channel(&src, dst.moduli(), channel);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let half = *src.half_product();
+        let mut values: Vec<U1024> = (0..100).map(|_| random_below_q(&src, &mut rng)).collect();
+        for delta in 0u64..3 {
+            values.push(half.overflowing_sub(&U1024::from_u64(delta)).0);
+            values.push(half.overflowing_add(&U1024::from_u64(delta + 1)).0);
+            values.push(U1024::from_u64(delta));
+            values.push(src.product().overflowing_sub(&U1024::from_u64(delta + 1)).0);
+        }
+        for x in values {
+            // The signed value ŷ is the centered representative of x; its
+            // channel residue comes from the exact big-int arithmetic.
+            let ch = if x <= half {
+                x.rem_u64(channel.value())
+            } else {
+                channel.neg(src.product().overflowing_sub(&x).0.rem_u64(channel.value()))
+            };
+            assert_eq!(
+                conv.convert_exact(&src.decompose(&x), ch),
+                src.extend_centered(&x, &dst),
+                "x = {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no correction channel")]
+    fn exact_without_channel_panics() {
+        let (src, dst) = split_basis(30, 2, 2, 64);
+        FastBaseConverter::new(&src, dst.moduli()).convert_exact(&[0, 0], 0);
+    }
+
+    #[test]
+    fn single_prime_source_roundtrips() {
+        let src = CrtBasis::new(&[1_000_003]).unwrap();
+        let dst = [Modulus::new(97), Modulus::new(101)];
+        let conv = FastBaseConverter::new(&src, &dst);
+        // 5 is below Q/2: exact.
+        assert_eq!(conv.convert(&[5]), vec![5, 5]);
+        // Q - 1 is -1.
+        assert_eq!(conv.convert(&[1_000_002]), vec![96, 100]);
+    }
+}

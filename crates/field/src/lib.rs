@@ -16,6 +16,11 @@
 //!   precomputed reconstruction constants (punctured products `Q/q_i`, their
 //!   inverses, Garner pairwise inverses) and big-integer compose/decompose —
 //!   the residue-number-system substrate for >62-bit ciphertext moduli.
+//! * [`fbc`] — [`FastBaseConverter`], BEHZ/HPS-style fast base conversion
+//!   between CRT bases with word-sized Shoup arithmetic only (centered
+//!   fixed-point correction, or exact conversion through a
+//!   Shenoy–Kumaresan correction prime); the big-int-free CRT boundary for
+//!   the RNS hot paths.
 //! * [`bignum`] — a fixed-width 1024-bit unsigned integer with Montgomery
 //!   multiplication and modular exponentiation over the Oakley Group 2 MODP
 //!   prime, used by the base oblivious transfer in `pi-ot` and by the CRT
@@ -37,10 +42,12 @@
 
 pub mod bignum;
 pub mod crt;
+pub mod fbc;
 pub mod modulus;
 pub mod prime;
 
 pub use bignum::{ModpGroup, U1024};
 pub use crt::{CrtBasis, CrtError};
+pub use fbc::FastBaseConverter;
 pub use modulus::{Modulus, ShoupMul};
 pub use prime::{find_distinct_ntt_primes, find_ntt_prime, is_prime, primitive_root};

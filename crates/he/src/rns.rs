@@ -17,15 +17,26 @@
 //!   `k` gadget digits per residue and runs one `reduce_lazy` correction
 //!   pass at the end — exactly the key-switch kernel shape from PR 1, once
 //!   per residue column.
-//! * Ciphertext–ciphertext multiplication is **exact**: operands are lifted
-//!   from the base basis into an **extended** basis (base primes plus
-//!   `k + 1` auxiliary primes) through centered CRT composition
-//!   ([`RnsPoly::extend_centered`]), so the integer tensor-product
-//!   coefficients (bounded by `N·(Q/2)²`) never wrap. The `t/Q` rescaling
-//!   then composes each coefficient, rounds with big-integer division, and
-//!   re-decomposes into the base basis. No approximate (floating-point or
-//!   BEHZ-style correction-term) machinery: correctness first, per the
-//!   differential-oracle discipline of this repo.
+//! * Ciphertext–ciphertext multiplication is **RNS-native**: operands are
+//!   lifted from the base basis into an **extended** basis (base primes,
+//!   `k + 1` auxiliary primes, and one Shenoy–Kumaresan **correction
+//!   prime** `m_r`) with the centered fast base conversion
+//!   ([`RnsPoly::extend_fast`]), so the integer tensor-product coefficients
+//!   (bounded by `N·(Q/2)²·(1 + 2^{-58})`) never wrap and no coefficient is
+//!   ever composed into a big integer. The `t/Q` rescale is the HPS simple
+//!   scaling ([`RnsBfvParams::scale_round_to_base`]): the centered remainder
+//!   `r ≡ t·x (mod Q)` is fast-converted into the auxiliary channels with
+//!   the plaintext modulus folded into the per-residue digit constants
+//!   `|t·(Q/q_i)^{-1}|_{q_i}`, the quotient `y = (t·x − r)/Q` is formed
+//!   per auxiliary prime, and `y` returns to the base basis through the
+//!   **exact** Shenoy–Kumaresan conversion (the `m_r` channel recovers the
+//!   FBC overshoot with modular arithmetic alone — see `pi_field::fbc`).
+//!   The only approximation in the whole pipeline is the remainder's
+//!   fixed-point centering, which can add ±1 (≤ 1 bit of noise) to a
+//!   rescaled coefficient with probability ≈ 2k/2^64 per coefficient. The
+//!   big-integer path survives as [`RnsBfvParams::scale_round_to_base_exact`]
+//!   / [`RnsCiphertext::multiply_exact`] — the differential-test oracle that
+//!   proves the fast path never changes a decrypted bit.
 //! * Relinearization uses the **CRT gadget**: `c₂ = Σ_i [c₂]_{q_i} · g_i
 //!   (mod Q)` with `g_i = (Q/q_i)·[(Q/q_i)^{-1}]_{q_i}`, so the "digits" are
 //!   the residue columns themselves — no base-`2^w` decomposition, and the
@@ -56,8 +67,8 @@
 //! assert!(dec[1..].iter().all(|&c| c == 0));
 //! ```
 
-use pi_field::{Modulus, U1024};
-use pi_poly::rns::{RnsContext, RnsOperand, RnsPoly};
+use pi_field::{FastBaseConverter, Modulus, ShoupMul, U1024};
+use pi_poly::rns::{convert_columns_exact, convert_columns_fast, RnsContext, RnsOperand, RnsPoly};
 use pi_poly::{sample, PolyForm};
 use rand::Rng;
 use std::sync::Arc;
@@ -68,8 +79,11 @@ use std::sync::Arc;
 /// * `n` is a power of two and every basis prime satisfies
 ///   `q_i ≡ 1 (mod 2n)` (per-residue NTT friendliness);
 /// * the extended basis holds the base primes followed by `k + 1` auxiliary
-///   primes of the same bit size, so `P > n·Q` and centered tensor-product
-///   coefficients (`≤ N·(Q/2)²`) are exactly representable mod `Q·P`;
+///   primes and one Shenoy–Kumaresan correction prime, all of the same bit
+///   size, so `P > n·Q` and centered tensor-product coefficients
+///   (`≤ N·(Q/2)²`) are exactly representable mod the extended product —
+///   and `P > t·n·Q`, so the rescaled quotient `round(t·x/Q)` fits the
+///   auxiliary basis for the exact return conversion;
 /// * `t` is prime and far below `Q` (noise headroom).
 #[derive(Clone, Debug)]
 pub struct RnsBfvParams {
@@ -77,8 +91,8 @@ pub struct RnsBfvParams {
     t: Modulus,
     /// Base context: ciphertext ring over `Q = ∏ q_i`.
     base: Arc<RnsContext>,
-    /// Extended context: base primes followed by auxiliary primes, for the
-    /// exact tensor product.
+    /// Extended context: base primes, auxiliary primes, correction prime —
+    /// for the exact tensor product.
     ext: Arc<RnsContext>,
     /// `Δ = ⌊Q/t⌋ mod q_i`, per base prime.
     delta_residues: Vec<u64>,
@@ -86,6 +100,18 @@ pub struct RnsBfvParams {
     half_q: U1024,
     /// `⌊Q/(2t)⌋`, the decryption-failure threshold.
     noise_threshold: U1024,
+    /// Centered lift base → aux ∪ {m_r} (the tensor-product extension).
+    lift_conv: FastBaseConverter,
+    /// Centered lift of `t·x mod Q` into aux ∪ {m_r} with `t` folded into
+    /// the digit constants (the rescale's remainder conversion).
+    rescale_conv: FastBaseConverter,
+    /// Exact Shenoy–Kumaresan conversion aux → base through the `m_r`
+    /// channel (the rescale's return trip).
+    back_conv: FastBaseConverter,
+    /// `|t|_{p}` in Shoup form for every auxiliary channel (aux ∪ {m_r}).
+    t_mod_aux: Vec<ShoupMul>,
+    /// `|Q^{-1}|_{p}` in Shoup form for every auxiliary channel.
+    q_inv_aux: Vec<ShoupMul>,
     /// Centered-binomial error parameter (variance k/2).
     pub error_k: u32,
 }
@@ -96,11 +122,12 @@ impl RnsBfvParams {
     ///
     /// # Panics
     ///
-    /// Panics if the prime searches cannot find `2·count + 1` distinct
+    /// Panics if the prime searches cannot find `2·count + 2` distinct
     /// NTT-friendly primes of the requested size, if the plaintext modulus
     /// leaves fewer than 30 bits of noise headroom, or if the auxiliary
-    /// basis cannot absorb the tensor-product magnitude (requires
-    /// `prime_bits > log2(n) + 2`).
+    /// basis cannot absorb the tensor-product and rescaled-quotient
+    /// magnitudes (requires `prime_bits > log2(n) + 2` and
+    /// `P > t·n·Q`).
     pub fn new(n: usize, prime_bits: u32, count: usize, t_bits: u32) -> Self {
         assert!(count >= 1, "need at least one base prime");
         assert!(
@@ -111,12 +138,16 @@ impl RnsBfvParams {
             prime_bits > (n as u64).ilog2() + 2,
             "primes too small to cover the n·Q tensor growth"
         );
-        let primes = pi_field::find_distinct_ntt_primes(prime_bits, 2 * count + 1, 2 * n as u64)
+        let primes = pi_field::find_distinct_ntt_primes(prime_bits, 2 * count + 2, 2 * n as u64)
             .unwrap_or_else(|| {
                 panic!("not enough {prime_bits}-bit NTT primes for a {count}-prime basis")
             });
         let base_basis =
             Arc::new(pi_field::CrtBasis::new(&primes[..count]).expect("base basis must be valid"));
+        // Aux basis: k + 1 primes holding the rescaled quotient; the final
+        // prime is the Shenoy–Kumaresan correction channel m_r.
+        let aux_basis = pi_field::CrtBasis::new(&primes[count..2 * count + 1])
+            .expect("auxiliary basis must be valid");
         let ext_basis =
             Arc::new(pi_field::CrtBasis::new(&primes).expect("extended basis must be valid"));
         // P > n·Q ⟺ bits(Q·P) ≥ 2·bits(Q) + log2(n) + 1: the k+1 auxiliary
@@ -127,6 +158,17 @@ impl RnsBfvParams {
             "auxiliary basis too small for exact tensor products"
         );
         let t = Modulus::new(pi_field::prime::find_prime_congruent(t_bits, 2));
+        // The rescaled quotient |round(t·x/Q)| ≤ t·n·Q/4 + 1 must stay below
+        // P/2 for the Shenoy–Kumaresan return conversion to be exact.
+        assert!(
+            *aux_basis.product()
+                > base_basis.product().mul_u64(
+                    t.value()
+                        .checked_mul(2 * n as u64)
+                        .expect("t·n overflows u64")
+                ),
+            "auxiliary basis too small for the rescaled quotient (need P > t·n·Q)"
+        );
         let q_big = *base_basis.product();
         let delta = q_big.div_rem(&U1024::from_u64(t.value())).0;
         let delta_residues = base_basis
@@ -136,6 +178,24 @@ impl RnsBfvParams {
             .collect();
         let half_q = q_big.shr1();
         let noise_threshold = q_big.div_rem(&U1024::from_u64(2 * t.value())).0;
+        let aux_moduli = &ext_basis.moduli()[count..];
+        let m_r = *aux_moduli.last().expect("extended basis has aux primes");
+        let lift_conv = FastBaseConverter::new(&base_basis, aux_moduli);
+        let rescale_conv = FastBaseConverter::with_digit_factor(&base_basis, aux_moduli, t.value());
+        let back_conv = FastBaseConverter::with_channel(&aux_basis, base_basis.moduli(), m_r);
+        let t_mod_aux = aux_moduli
+            .iter()
+            .map(|m| m.shoup(m.reduce(t.value())))
+            .collect();
+        let q_inv_aux = aux_moduli
+            .iter()
+            .map(|m| {
+                m.shoup(
+                    m.inv(q_big.rem_u64(m.value()))
+                        .expect("auxiliary primes are coprime to Q"),
+                )
+            })
+            .collect();
         let base = Arc::new(RnsContext::new(n, base_basis));
         let ext = Arc::new(RnsContext::new(n, ext_basis));
         Self {
@@ -145,6 +205,11 @@ impl RnsBfvParams {
             delta_residues,
             half_q,
             noise_threshold,
+            lift_conv,
+            rescale_conv,
+            back_conv,
+            t_mod_aux,
+            q_inv_aux,
             error_k: 8,
         }
     }
@@ -239,10 +304,68 @@ impl RnsBfvParams {
     }
 
     /// Rescales a polynomial given by extended-basis residue columns
-    /// (coefficient form) by `t/Q`, rounding exactly, and returns the result
-    /// in the base basis: `c'_j = round(t·ĉ_j/Q) mod Q` where `ĉ_j` is the
-    /// centered representative mod `Q·P`.
-    fn scale_round_to_base(&self, ext_cols: &[Vec<u64>]) -> RnsPoly {
+    /// (coefficient form) by `t/Q` with the RNS-native HPS simple scaling,
+    /// returning the result in the base basis without composing a single
+    /// big integer.
+    ///
+    /// Three word-sized steps per coefficient:
+    /// 1. the centered remainder `r ≡ t·x (mod Q)`, `|r| ≤ Q/2`, lands in
+    ///    every auxiliary channel through the fast base conversion whose
+    ///    digit constants `|t·(Q/q_i)^{-1}|_{q_i}` fold in the plaintext
+    ///    modulus;
+    /// 2. the quotient `y = (t·x − r)/Q = round(t·x/Q) ± ε` is formed per
+    ///    auxiliary prime as `(t·x_j − r_j)·|Q^{-1}|_{p_j}`;
+    /// 3. `y` (with `|y| ≤ t·n·Q/4 + 1 ≪ P/2`) returns to the base basis
+    ///    through the **exact** Shenoy–Kumaresan conversion, the correction
+    ///    prime `m_r` recovering the FBC overshoot with modular arithmetic.
+    ///
+    /// The only deviation from [`RnsBfvParams::scale_round_to_base_exact`]
+    /// is `ε ∈ {0, ±1}` from the remainder's fixed-point centering (and
+    /// rounding-tie conventions), i.e. at most one extra bit of noise —
+    /// verified against the exact oracle by the differential suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the extended-basis size.
+    pub fn scale_round_to_base(&self, ext_cols: &[Vec<u64>]) -> RnsPoly {
+        let k = self.base.len();
+        let ext = &self.ext;
+        assert_eq!(ext_cols.len(), ext.len(), "extended column count mismatch");
+        let n = self.n();
+        // Step 1: r = centered |t·x|_Q in every auxiliary channel, straight
+        // from the base residues.
+        let r_cols = convert_columns_fast(&self.rescale_conv, &ext_cols[..k]);
+        // Step 2: y_j = (t·x_j − r_j)·|Q^{-1}|_{p_j} on aux ∪ {m_r}.
+        let y_cols: Vec<Vec<u64>> = r_cols
+            .iter()
+            .enumerate()
+            .map(|(a, r_col)| {
+                let m = ext.modulus(k + a);
+                let t_sh = self.t_mod_aux[a];
+                let q_inv = self.q_inv_aux[a];
+                ext_cols[k + a]
+                    .iter()
+                    .zip(r_col)
+                    .map(|(&x, &r)| m.mul_shoup(m.sub(m.mul_shoup(x, t_sh), r), q_inv))
+                    .collect()
+            })
+            .collect();
+        // Step 3: exact Shenoy–Kumaresan return trip aux → base; the last
+        // auxiliary channel is the m_r correction column.
+        let (channel_col, aux_cols) = y_cols.split_last().expect("aux channels are non-empty");
+        let out = convert_columns_exact(&self.back_conv, aux_cols, channel_col);
+        debug_assert_eq!(out.len(), k);
+        debug_assert!(out.iter().all(|c| c.len() == n));
+        RnsPoly::from_residues(self.base.clone(), out, PolyForm::Coeff)
+    }
+
+    /// Rescales extended-basis residue columns (coefficient form) by `t/Q`
+    /// with exact big-integer arithmetic: every coefficient is CRT-composed,
+    /// rounded by long division, and re-decomposed. This is the slow oracle
+    /// the fast path is differentially tested against:
+    /// `c'_j = round(t·ĉ_j/Q) mod Q` where `ĉ_j` is the centered
+    /// representative mod the extended product.
+    pub fn scale_round_to_base_exact(&self, ext_cols: &[Vec<u64>]) -> RnsPoly {
         let ext_basis = self.ext.basis();
         let base_moduli = self.base.basis().moduli();
         let q_big = self.base.basis().product();
@@ -552,11 +675,21 @@ impl RnsCiphertext {
     }
 
     /// Ciphertext–ciphertext multiplication with relinearization back to
-    /// degree 1: the exact lifted tensor product followed by the CRT-gadget
-    /// key switch. Both inputs must be degree-1 ciphertexts under the same
+    /// degree 1: the RNS-native lifted tensor product (fast base conversion
+    /// and HPS rescale, no big integers) followed by the CRT-gadget key
+    /// switch. Both inputs must be degree-1 ciphertexts under the same
     /// parameters as `rlk`.
     pub fn multiply(&self, other: &Self, rlk: &RnsRelinKey) -> Self {
-        let raw = self.tensor(other, &rlk.params);
+        let raw = self.tensor(other, &rlk.params, false);
+        raw.relinearize(rlk)
+    }
+
+    /// Ciphertext–ciphertext multiplication through the exact big-integer
+    /// CRT boundary (centered composition lift + long-division rescale).
+    /// Slow oracle for the fast path: decryptions must agree, and the fast
+    /// path's noise may exceed this one's by at most one bit.
+    pub fn multiply_exact(&self, other: &Self, rlk: &RnsRelinKey) -> Self {
+        let raw = self.tensor(other, &rlk.params, true);
         raw.relinearize(rlk)
     }
 
@@ -564,13 +697,27 @@ impl RnsCiphertext {
     /// returns the degree-2 ciphertext `(c0, c1, c2)`. Useful when several
     /// products are summed before a single key switch.
     pub fn multiply_no_relin(&self, other: &Self, params: &RnsBfvParams) -> Self {
-        self.tensor(other, params)
+        self.tensor(other, params, false)
     }
 
-    /// The exact BFV tensor product: lift both ciphertexts into the extended
-    /// basis (centered), tensor in per-residue NTT form, rescale by `t/Q`
-    /// back into the base basis.
-    fn tensor(&self, other: &Self, params: &RnsBfvParams) -> Self {
+    /// Degree-2 multiplication through the exact big-integer oracle path.
+    pub fn multiply_no_relin_exact(&self, other: &Self, params: &RnsBfvParams) -> Self {
+        self.tensor(other, params, true)
+    }
+
+    /// The tensor-product residue columns of `self ⊗ other` over the
+    /// extended basis (coefficient form), *before* the `t/Q` rescale — the
+    /// exact input of [`RnsBfvParams::scale_round_to_base`] /
+    /// [`RnsBfvParams::scale_round_to_base_exact`]. `exact` selects the
+    /// big-integer lift oracle instead of the fast base conversion. Public
+    /// so benchmarks and diagnostics measure the rescale on pipeline-true
+    /// inputs rather than a hand-maintained replica.
+    pub fn tensor_ext_columns(
+        &self,
+        other: &Self,
+        params: &RnsBfvParams,
+        exact: bool,
+    ) -> [Vec<Vec<u64>>; 3] {
         assert_eq!(self.degree(), 1, "tensor expects degree-1 ciphertexts");
         assert_eq!(other.degree(), 1, "tensor expects degree-1 ciphertexts");
         self.assert_ring(params);
@@ -584,7 +731,14 @@ impl RnsCiphertext {
         let mut lifted: Vec<Vec<Vec<u64>>> = [&self.polys, &other.polys]
             .iter()
             .flat_map(|polys| polys.iter())
-            .map(|p| p.clone().into_coeff().extend_centered(ext).into_residues())
+            .map(|p| {
+                let coeff = p.clone().into_coeff();
+                if exact {
+                    coeff.extend_centered(ext).into_residues()
+                } else {
+                    coeff.extend_fast(ext, &params.lift_conv).into_residues()
+                }
+            })
             .collect();
         {
             let mut refs: Vec<&mut [Vec<u64>]> =
@@ -613,14 +767,25 @@ impl RnsCiphertext {
                 vec![t0.as_mut_slice(), t1.as_mut_slice(), t2.as_mut_slice()];
             ext.ntt().inverse_many(&mut refs);
         }
+        [t0, t1, t2]
+    }
 
-        // Rescale each component by t/Q back into the base basis.
+    /// The BFV tensor product: lift both ciphertexts into the extended basis
+    /// (centered), tensor in per-residue NTT form, rescale by `t/Q` back
+    /// into the base basis. `exact` selects the big-integer oracle for the
+    /// two CRT crossings; the fast path uses the word-sized base conversion
+    /// and HPS rescale.
+    fn tensor(&self, other: &Self, params: &RnsBfvParams, exact: bool) -> Self {
+        let components = self.tensor_ext_columns(other, params, exact);
+        let rescale = |cols: &[Vec<u64>]| {
+            if exact {
+                params.scale_round_to_base_exact(cols)
+            } else {
+                params.scale_round_to_base(cols)
+            }
+        };
         RnsCiphertext {
-            polys: vec![
-                params.scale_round_to_base(&t0),
-                params.scale_round_to_base(&t1),
-                params.scale_round_to_base(&t2),
-            ],
+            polys: components.iter().map(|cols| rescale(cols)).collect(),
         }
     }
 
@@ -639,16 +804,32 @@ impl RnsCiphertext {
         let base = params.base();
         let k = base.len();
 
-        let c2 = self.polys[2].clone().into_coeff();
-        // Digit i = residue column i of c2, lifted into every base prime
-        // (values < q_i just reduce mod q_j) — coefficient form.
+        // Borrow the degree-2 component when it is already in coefficient
+        // form (the tensor always leaves it there); only an NTT-form input
+        // pays for a clone + inverse transform.
+        let c2_coeff;
+        let c2 = match self.polys[2].form() {
+            PolyForm::Coeff => &self.polys[2],
+            PolyForm::Ntt => {
+                c2_coeff = self.polys[2].clone().into_coeff();
+                &c2_coeff
+            }
+        };
+        // Digit i = residue column i of c2, lifted into every base prime —
+        // coefficient form. Values are already `< q_i`, so reduction is only
+        // needed into a *smaller* target prime; otherwise copy verbatim.
         let mut digits: Vec<Vec<Vec<u64>>> = (0..k)
             .map(|i| {
                 let col = c2.residue(i);
+                let q_i = base.modulus(i).value();
                 (0..k)
                     .map(|j| {
                         let m = base.modulus(j);
-                        col.iter().map(|&x| m.reduce(x)).collect()
+                        if q_i <= m.value() {
+                            col.to_vec()
+                        } else {
+                            col.iter().map(|&x| m.reduce(x)).collect()
+                        }
                     })
                     .collect()
             })
@@ -859,6 +1040,69 @@ mod tests {
         let ab_plain = negacyclic_mul_mod_t(&a, &b, t);
         let abc_plain = negacyclic_mul_mod_t(&ab_plain, &c, t);
         assert_eq!(keys.secret.decrypt(&abc), abc_plain);
+    }
+
+    #[test]
+    fn fast_and_exact_multiply_decrypt_identically() {
+        let (params, keys, mut rng) = setup();
+        for _ in 0..3 {
+            let a = random_message(&params, &mut rng);
+            let b = random_message(&params, &mut rng);
+            let ca = keys.public.encrypt(&a, &mut rng);
+            let cb = keys.public.encrypt(&b, &mut rng);
+            let fast = ca.multiply(&cb, &keys.relin);
+            let exact = ca.multiply_exact(&cb, &keys.relin);
+            let expect = negacyclic_mul_mod_t(&a, &b, params.t());
+            assert_eq!(keys.secret.decrypt(&fast), expect);
+            assert_eq!(keys.secret.decrypt(&exact), expect);
+        }
+    }
+
+    #[test]
+    fn fast_rescale_costs_at_most_one_noise_bit() {
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let fast = keys.secret.noise_budget(&ca.multiply(&cb, &keys.relin));
+        let exact = keys
+            .secret
+            .noise_budget(&ca.multiply_exact(&cb, &keys.relin));
+        assert!(
+            fast + 1 >= exact,
+            "fast rescale lost more than one bit: fast {fast}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn fast_rescale_matches_exact_on_tensor_columns() {
+        // The rescaled polynomials themselves (not just the decryptions)
+        // may differ only by ±1 per coefficient, modulo Q.
+        let (params, keys, mut rng) = setup();
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let fast = ca.multiply_no_relin(&cb, &params);
+        let exact = ca.multiply_no_relin_exact(&cb, &params);
+        let basis = params.base().basis();
+        for (pf, pe) in fast.polys.iter().zip(&exact.polys) {
+            let diff = pf.sub(pe).into_coeff();
+            for j in 0..params.n() {
+                let residues: Vec<u64> = (0..basis.len()).map(|i| diff.residue(i)[j]).collect();
+                let d = basis.compose(&residues);
+                let centered_mag = if d > *basis.half_product() {
+                    basis.product().overflowing_sub(&d).0
+                } else {
+                    d
+                };
+                assert!(
+                    centered_mag <= U1024::ONE,
+                    "rescale deviation above 1 at coefficient {j}"
+                );
+            }
+        }
     }
 
     #[test]

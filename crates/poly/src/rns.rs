@@ -11,6 +11,11 @@
 //! coefficients through [`pi_field::CrtBasis`], and
 //! [`RnsPoly::extend_centered`] lifts a polynomial exactly into a larger
 //! basis (for tensor products whose integer coefficients must not wrap).
+//! Even that boundary now has a word-sized fast path:
+//! [`RnsPoly::convert_basis_fast`] / [`RnsPoly::extend_fast`] run the
+//! batched BEHZ/HPS base conversion ([`convert_columns_fast`] /
+//! [`convert_columns_exact`]) over a [`pi_field::FastBaseConverter`], with
+//! the exact compose-based paths retained as the differential-test oracle.
 //!
 //! # Residue layout and lazy-range invariants
 //!
@@ -29,9 +34,105 @@
 
 use crate::ntt::{NttTables, ShoupVec};
 use crate::poly::PolyForm;
-use pi_field::{CrtBasis, Modulus, U1024};
+use pi_field::{CrtBasis, FastBaseConverter, Modulus, U1024};
 use std::fmt;
 use std::sync::Arc;
+
+/// Batched centered fast base conversion of residue-major columns: one
+/// Shoup digit-scaling pass per source prime into coefficient-major digit
+/// rows, then [`FastBaseConverter::round_correction`] and
+/// [`FastBaseConverter::fold`] per coefficient — all the arithmetic (and its
+/// correctness argument) lives in `pi_field::fbc`; this function only
+/// supplies the batched column layout. `src_cols[i][j]` is coefficient `j`
+/// modulo source prime `i`; the result has the same layout over the
+/// converter's target moduli.
+///
+/// This is the big-int-free replacement for per-coefficient
+/// `compose` + `decompose` at the CRT boundary; see the `pi_field::fbc`
+/// module docs for the exact error bound (a representative off by one
+/// multiple of the source product `Q`, only within `2k·Q/2^64` of `±Q/2`).
+///
+/// # Panics
+///
+/// Panics if the column count differs from the converter's source-prime
+/// count or the columns have unequal lengths.
+pub fn convert_columns_fast(conv: &FastBaseConverter, src_cols: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let (rows, n) = digit_rows(conv, src_cols);
+    let k = conv.src_moduli().len();
+    let corrections: Vec<u64> = rows
+        .chunks_exact(k)
+        .map(|digits| conv.round_correction(digits))
+        .collect();
+    fold_rows(conv, &rows, &corrections, n)
+}
+
+/// Batched exact signed base conversion through the converter's
+/// Shenoy–Kumaresan channel: like [`convert_columns_fast`], but the
+/// per-coefficient correction is [`FastBaseConverter::channel_correction`]
+/// from `channel_col` (the residues of the true signed values modulo the
+/// correction prime), making the conversion exact for every coefficient
+/// with `|value| <` the source product.
+///
+/// # Panics
+///
+/// Panics if the converter has no channel, the column count differs from the
+/// source-prime count, or `channel_col` has the wrong length.
+pub fn convert_columns_exact(
+    conv: &FastBaseConverter,
+    src_cols: &[Vec<u64>],
+    channel_col: &[u64],
+) -> Vec<Vec<u64>> {
+    let (rows, n) = digit_rows(conv, src_cols);
+    assert_eq!(channel_col.len(), n, "channel column length mismatch");
+    let k = conv.src_moduli().len();
+    let corrections: Vec<u64> = rows
+        .chunks_exact(k)
+        .zip(channel_col)
+        .map(|(digits, &y)| conv.channel_correction(digits, y))
+        .collect();
+    fold_rows(conv, &rows, &corrections, n)
+}
+
+/// The FBC digits in coefficient-major rows (`rows[j·k + i]` = digit of
+/// coefficient `j` at source prime `i`): one Shoup scaling pass per source
+/// column, transposed so each coefficient's digits are contiguous for the
+/// per-coefficient correction and fold calls.
+fn digit_rows(conv: &FastBaseConverter, src_cols: &[Vec<u64>]) -> (Vec<u64>, usize) {
+    let src = conv.src_moduli();
+    assert_eq!(src_cols.len(), src.len(), "source column count mismatch");
+    let k = src.len();
+    let n = src_cols[0].len();
+    let mut rows = vec![0u64; n * k];
+    for (i, col) in src_cols.iter().enumerate() {
+        assert_eq!(col.len(), n, "source columns must have equal length");
+        let m = src[i];
+        let w = conv.digit_scale(i);
+        for (j, &x) in col.iter().enumerate() {
+            rows[j * k + i] = m.mul_shoup(x, w);
+        }
+    }
+    (rows, n)
+}
+
+/// One [`FastBaseConverter::fold`] pass per target prime over the digit rows
+/// and correction column.
+fn fold_rows(
+    conv: &FastBaseConverter,
+    rows: &[u64],
+    corrections: &[u64],
+    n: usize,
+) -> Vec<Vec<u64>> {
+    let k = conv.src_moduli().len();
+    debug_assert_eq!(rows.len(), n * k);
+    (0..conv.dst_moduli().len())
+        .map(|p| {
+            rows.chunks_exact(k)
+                .zip(corrections)
+                .map(|(digits, &v)| conv.fold(digits, v, p))
+                .collect()
+        })
+        .collect()
+}
 
 /// Per-residue NTT table set: [`NttTables`] lifted to a CRT basis, one table
 /// per prime, with batched stage-major transforms across residue columns.
@@ -242,9 +343,17 @@ impl fmt::Debug for RnsPoly {
 
 impl PartialEq for RnsPoly {
     fn eq(&self, other: &Self) -> bool {
-        self.ctx.n == other.ctx.n
-            && self.ctx.basis.moduli() == other.ctx.basis.moduli()
-            && self.clone().into_coeff().data == other.clone().into_coeff().data
+        if self.ctx.n != other.ctx.n || self.ctx.basis.moduli() != other.ctx.basis.moduli() {
+            return false;
+        }
+        // Matching forms compare residue columns directly (the per-column
+        // NTT over identical tables is a bijection); only a form mismatch
+        // pays for a conversion.
+        if self.form == other.form {
+            self.data == other.data
+        } else {
+            self.clone().into_coeff().data == other.clone().into_coeff().data
+        }
     }
 }
 
@@ -425,6 +534,63 @@ impl RnsPoly {
                 data[i][j] = r;
             }
         }
+        RnsPoly {
+            ctx: target.clone(),
+            form: PolyForm::Coeff,
+            data,
+        }
+    }
+
+    /// Fast (big-int-free) centered base conversion of the coefficient
+    /// columns into the converter's target primes, one column per target:
+    /// the batched [`convert_columns_fast`] over this polynomial's residues.
+    /// The converter's source basis must match this polynomial's basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is not in coefficient form or the converter
+    /// was built for a different source basis.
+    pub fn convert_basis_fast(&self, conv: &FastBaseConverter) -> Vec<Vec<u64>> {
+        assert_eq!(
+            self.form,
+            PolyForm::Coeff,
+            "basis conversion requires coefficient form"
+        );
+        assert_eq!(
+            conv.src_moduli(),
+            self.ctx.basis.moduli(),
+            "converter source basis mismatch"
+        );
+        convert_columns_fast(conv, &self.data)
+    }
+
+    /// Fast centered lift into a larger basis whose first primes are exactly
+    /// this polynomial's basis: the shared residue columns are copied
+    /// verbatim (the centered representative is congruent to the stored one
+    /// modulo every shared prime) and the remaining columns come from
+    /// [`RnsPoly::convert_basis_fast`]. The big-int-free replacement for
+    /// [`RnsPoly::extend_centered`] on the ciphertext-multiply hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in coefficient form, if the target's leading primes are
+    /// not this basis, or if the converter's targets are not the remaining
+    /// target primes.
+    pub fn extend_fast(&self, target: &Arc<RnsContext>, conv: &FastBaseConverter) -> RnsPoly {
+        assert_eq!(self.ctx.n, target.n, "ring degree mismatch");
+        let k = self.ctx.len();
+        assert_eq!(
+            &target.basis.moduli()[..k],
+            self.ctx.basis.moduli(),
+            "target basis must start with the source primes"
+        );
+        assert_eq!(
+            conv.dst_moduli(),
+            &target.basis.moduli()[k..],
+            "converter targets must be the remaining target primes"
+        );
+        let mut data = self.data.clone();
+        data.extend(self.convert_basis_fast(conv));
         RnsPoly {
             ctx: target.clone(),
             form: PolyForm::Coeff,
@@ -756,6 +922,104 @@ mod tests {
         let a = RnsPoly::from_signed(small_ctx.clone(), &[-3i64; 16]);
         let lifted = a.extend_centered(&big_ctx);
         assert_eq!(lifted, RnsPoly::from_signed(big_ctx, &[-3i64; 16]));
+    }
+
+    fn lift_converter(small: &Arc<RnsContext>, big: &Arc<RnsContext>) -> FastBaseConverter {
+        let k = small.len();
+        assert_eq!(big.basis().moduli()[..k], *small.basis().moduli());
+        FastBaseConverter::new(small.basis(), &big.basis().moduli()[k..])
+    }
+
+    #[test]
+    fn extend_fast_matches_extend_centered() {
+        // Shared-prime contexts: build the big basis from the small one's
+        // primes plus extras so extend_fast's copy-then-convert layout holds.
+        let n = 32;
+        let primes = pi_field::find_distinct_ntt_primes(30, 6, 2 * n as u64).unwrap();
+        let small_ctx = Arc::new(RnsContext::new(
+            n,
+            Arc::new(CrtBasis::new(&primes[..3]).unwrap()),
+        ));
+        let big_ctx = Arc::new(RnsContext::new(
+            n,
+            Arc::new(CrtBasis::new(&primes).unwrap()),
+        ));
+        let conv = lift_converter(&small_ctx, &big_ctx);
+        for seed in 0..8 {
+            let a = random_rns(&small_ctx, seed);
+            assert_eq!(a.extend_fast(&big_ctx, &conv), a.extend_centered(&big_ctx));
+        }
+    }
+
+    #[test]
+    fn convert_columns_exact_reproduces_signed_values() {
+        // Values with known channel residues convert exactly, worst cases
+        // included: build signed coefficients, give the converter their
+        // residues over the source basis plus the correction prime.
+        let n = 16;
+        let primes = pi_field::find_distinct_ntt_primes(30, 6, 2 * n as u64).unwrap();
+        let src = CrtBasis::new(&primes[..3]).unwrap();
+        let channel = Modulus::new(primes[3]);
+        let dst = [Modulus::new(primes[4]), Modulus::new(primes[5])];
+        let conv = FastBaseConverter::with_channel(&src, &dst, channel);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // Signed values in (-Q/2, Q/2], including the boundary.
+        let mut values: Vec<U1024> = (0..n - 4)
+            .map(|_| {
+                let residues: Vec<u64> = src
+                    .moduli()
+                    .iter()
+                    .map(|m| rng.gen_range(0..m.value()))
+                    .collect();
+                src.compose(&residues)
+            })
+            .collect();
+        values.push(*src.half_product());
+        values.push(src.half_product().overflowing_add(&U1024::ONE).0);
+        values.push(U1024::ZERO);
+        values.push(src.product().overflowing_sub(&U1024::ONE).0);
+        let src_cols: Vec<Vec<u64>> = src
+            .moduli()
+            .iter()
+            .map(|m| values.iter().map(|x| x.rem_u64(m.value())).collect())
+            .collect();
+        let channel_col: Vec<u64> = values
+            .iter()
+            .map(|x| {
+                if x <= src.half_product() {
+                    x.rem_u64(channel.value())
+                } else {
+                    channel.neg(src.product().overflowing_sub(x).0.rem_u64(channel.value()))
+                }
+            })
+            .collect();
+        let got = convert_columns_exact(&conv, &src_cols, &channel_col);
+        for (p, m) in dst.iter().enumerate() {
+            for (j, x) in values.iter().enumerate() {
+                let expect = if x <= src.half_product() {
+                    x.rem_u64(m.value())
+                } else {
+                    m.neg(src.product().overflowing_sub(x).0.rem_u64(m.value()))
+                };
+                assert_eq!(got[p][j], expect, "dst {p}, coeff {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient form")]
+    fn convert_basis_fast_rejects_ntt_form() {
+        let n = 16;
+        let primes = pi_field::find_distinct_ntt_primes(30, 4, 2 * n as u64).unwrap();
+        let ctx = Arc::new(RnsContext::new(
+            n,
+            Arc::new(CrtBasis::new(&primes[..2]).unwrap()),
+        ));
+        let conv = FastBaseConverter::new(
+            ctx.basis(),
+            &[Modulus::new(primes[2]), Modulus::new(primes[3])],
+        );
+        random_rns(&ctx, 1).into_ntt().convert_basis_fast(&conv);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Differential suite: the fast (RNS-native, big-int-free) CRT-boundary
+//! kernels against their exact big-integer oracles.
+//!
+//! Three layers, matching the stack:
+//! * `pi-field`'s `FastBaseConverter` vs `CrtBasis::compose` + decompose /
+//!   `extend_centered`, over 1–4-prime bases at 30/45/50-bit primes,
+//!   including worst-case values at `±Q/2` where the fixed-point FBC
+//!   correction is allowed to pick either centered representative;
+//! * `pi-poly`'s batched `convert_basis_fast` / `extend_fast` vs
+//!   `extend_centered` at n ∈ {16, 256, 2048};
+//! * `pi-he`'s fast multiply (FBC lift + HPS rescale + Shenoy–Kumaresan
+//!   return) vs `multiply_exact`, asserting identical decryptions, a noise
+//!   cost of at most one bit, and surviving depth-2 chains under the
+//!   3×45-bit and 4×50-bit bases.
+
+use private_inference::field::{CrtBasis, FastBaseConverter, Modulus, U1024};
+use private_inference::he::rns::{RnsBfvParams, RnsKeySet};
+use private_inference::poly::rns::{convert_columns_fast, RnsContext, RnsPoly};
+use private_inference::poly::PolyForm;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Splits `src_count + dst_count` NTT-friendly primes into disjoint bases.
+fn split_basis(bits: u32, src_count: usize, dst_count: usize, n: u64) -> (CrtBasis, CrtBasis) {
+    let primes =
+        private_inference::field::find_distinct_ntt_primes(bits, src_count + dst_count, 2 * n)
+            .unwrap();
+    (
+        CrtBasis::new(&primes[..src_count]).unwrap(),
+        CrtBasis::new(&primes[src_count..]).unwrap(),
+    )
+}
+
+fn random_below_q(b: &CrtBasis, rng: &mut impl Rng) -> U1024 {
+    let residues: Vec<u64> = b
+        .moduli()
+        .iter()
+        .map(|m| rng.gen_range(0..m.value()))
+        .collect();
+    b.compose(&residues)
+}
+
+// ---------------------------------------------------------------------------
+// Field layer: FastBaseConverter vs compose + decompose.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fbc_matches_exact_oracle_across_bases() {
+    for &bits in &[30u32, 45, 50] {
+        for k in 1..=4usize {
+            let (src, dst) = split_basis(bits, k, k + 2, 1024);
+            let conv = FastBaseConverter::new(&src, dst.moduli());
+            let mut rng = rand::rngs::StdRng::seed_from_u64((bits as u64) << 8 | k as u64);
+            for _ in 0..64 {
+                let x = random_below_q(&src, &mut rng);
+                assert_eq!(
+                    conv.convert(&src.decompose(&x)),
+                    src.extend_centered(&x, &dst),
+                    "bits={bits} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fbc_worst_case_near_half_q_stays_congruent_and_small() {
+    // Within 2k·Q/2^64 of Q/2 the fixed-point correction may legitimately
+    // return the other centered representative. Both candidates are ≡ x
+    // (mod Q); nothing else is acceptable.
+    for &(bits, k) in &[(30u32, 3usize), (45, 2), (50, 4)] {
+        let (src, dst) = split_basis(bits, k, k + 2, 1024);
+        let conv = FastBaseConverter::new(&src, dst.moduli());
+        let half = *src.half_product();
+        for delta in 0u64..4 {
+            for x in [
+                half.overflowing_sub(&U1024::from_u64(delta)).0,
+                half.overflowing_add(&U1024::from_u64(delta + 1)).0,
+            ] {
+                let composed = dst.compose(&conv.convert(&src.decompose(&x)));
+                let cand_pos = x;
+                let cand_neg = dst
+                    .product()
+                    .overflowing_sub(&src.product().overflowing_sub(&x).0)
+                    .0;
+                assert!(
+                    composed == cand_pos || composed == cand_neg,
+                    "bits={bits} k={k} delta={delta}: not a representative of x mod Q"
+                );
+            }
+        }
+        // Small negatives (x near Q) sit far from the window: bit-exact.
+        for delta in 1u64..5 {
+            let x = src.product().overflowing_sub(&U1024::from_u64(delta)).0;
+            assert_eq!(
+                conv.convert(&src.decompose(&x)),
+                src.extend_centered(&x, &dst)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poly layer: batched conversion vs exact centered extension.
+// ---------------------------------------------------------------------------
+
+fn rns_ctx_pair(
+    n: usize,
+    bits: u32,
+    k: usize,
+) -> (Arc<RnsContext>, Arc<RnsContext>, FastBaseConverter) {
+    let primes =
+        private_inference::field::find_distinct_ntt_primes(bits, 2 * k + 1, 2 * n as u64).unwrap();
+    let small = Arc::new(RnsContext::new(
+        n,
+        Arc::new(CrtBasis::new(&primes[..k]).unwrap()),
+    ));
+    let big = Arc::new(RnsContext::new(
+        n,
+        Arc::new(CrtBasis::new(&primes).unwrap()),
+    ));
+    let conv = FastBaseConverter::new(small.basis(), &big.basis().moduli()[k..]);
+    (small, big, conv)
+}
+
+fn random_rns(ctx: &Arc<RnsContext>, rng: &mut impl Rng) -> RnsPoly {
+    let data = (0..ctx.len())
+        .map(|i| {
+            let q = ctx.modulus(i).value();
+            (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect()
+        })
+        .collect();
+    RnsPoly::from_residues(ctx.clone(), data, PolyForm::Coeff)
+}
+
+#[test]
+fn poly_extend_fast_matches_extend_centered() {
+    for &(n, bits, k) in &[(16usize, 30u32, 3usize), (256, 45, 3), (2048, 45, 3)] {
+        let (small, big, conv) = rns_ctx_pair(n, bits, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 + bits as u64);
+        for _ in 0..4 {
+            let a = random_rns(&small, &mut rng);
+            assert_eq!(
+                a.extend_fast(&big, &conv),
+                a.extend_centered(&big),
+                "n={n} bits={bits} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn poly_convert_worst_case_columns_stay_congruent() {
+    // Every coefficient pinned to the ±Q/2 boundary: each converted
+    // coefficient must still be a representative of the same residue class.
+    let (small, big, conv) = rns_ctx_pair(256, 30, 3);
+    let src_basis = small.basis();
+    let half = *src_basis.half_product();
+    let boundary: Vec<U1024> = (0..256u64)
+        .map(|j| {
+            let delta = j % 8;
+            if j % 2 == 0 {
+                half.overflowing_sub(&U1024::from_u64(delta)).0
+            } else {
+                half.overflowing_add(&U1024::from_u64(delta + 1)).0
+            }
+        })
+        .collect();
+    let a = RnsPoly::from_big_coeffs(small.clone(), &boundary);
+    let cols = convert_columns_fast(&conv, a.residues());
+    let dst_moduli = &big.basis().moduli()[small.len()..];
+    let dst_basis =
+        CrtBasis::new(&dst_moduli.iter().map(|m| m.value()).collect::<Vec<_>>()).unwrap();
+    for (j, x) in boundary.iter().enumerate() {
+        let residues: Vec<u64> = cols.iter().map(|c| c[j]).collect();
+        let composed = dst_basis.compose(&residues);
+        let cand_pos = *x;
+        let cand_neg = dst_basis
+            .product()
+            .overflowing_sub(&src_basis.product().overflowing_sub(x).0)
+            .0;
+        assert!(
+            composed == cand_pos || composed == cand_neg,
+            "coefficient {j} is not a representative of its class"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HE layer: fast multiply vs the exact big-integer oracle.
+// ---------------------------------------------------------------------------
+
+fn random_message(params: &RnsBfvParams, rng: &mut impl Rng) -> Vec<u64> {
+    let t = params.t().value();
+    (0..params.n()).map(|_| rng.gen_range(0..t)).collect()
+}
+
+/// Negacyclic product of two messages mod t (plaintext-ring semantics).
+fn negacyclic_mul_mod_t(a: &[u64], b: &[u64], t: Modulus) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = t.mul(t.reduce(ai), t.reduce(bj));
+            let k = i + j;
+            if k < n {
+                out[k] = t.add(out[k], prod);
+            } else {
+                out[k - n] = t.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+fn assert_fast_exact_multiply_agree(params: &RnsBfvParams, seed: u64, pairs: usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let keys = RnsKeySet::generate(params, &mut rng);
+    // A single-prime basis cannot relinearize (the one CRT-gadget digit is
+    // the full ~q-bit residue, whose key-switch noise exceeds the headroom);
+    // compare the degree-2 tensor outputs there instead.
+    let relin = params.basis_len() > 1;
+    for _ in 0..pairs {
+        let a = random_message(params, &mut rng);
+        let b = random_message(params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let (fast, exact) = if relin {
+            (
+                ca.multiply(&cb, &keys.relin),
+                ca.multiply_exact(&cb, &keys.relin),
+            )
+        } else {
+            (
+                ca.multiply_no_relin(&cb, params),
+                ca.multiply_no_relin_exact(&cb, params),
+            )
+        };
+        let expect = negacyclic_mul_mod_t(&a, &b, params.t());
+        assert_eq!(keys.secret.decrypt(&fast), expect, "fast path wrong");
+        assert_eq!(keys.secret.decrypt(&exact), expect, "oracle path wrong");
+        let budget_fast = keys.secret.noise_budget(&fast);
+        let budget_exact = keys.secret.noise_budget(&exact);
+        assert!(
+            budget_fast + 1 >= budget_exact,
+            "fast rescale cost more than one bit: {budget_fast} vs {budget_exact}"
+        );
+    }
+}
+
+#[test]
+fn multiply_fast_vs_exact_small_rings() {
+    // 1–4 base primes; prime sizes chosen so every configuration leaves
+    // t at least 30 bits of headroom (the constructor's floor).
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(16, 50, 1, 8), 1, 4);
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(16, 30, 2, 8), 2, 4);
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(16, 30, 3, 8), 3, 4);
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(16, 30, 4, 8), 4, 4);
+}
+
+#[test]
+fn multiply_fast_vs_exact_mid_rings() {
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(256, 45, 3, 16), 5, 2);
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(256, 50, 4, 20), 6, 2);
+}
+
+#[test]
+fn multiply_fast_vs_exact_n2048_3x45() {
+    // The acceptance-criteria ring: n = 2048 over a 3×45-bit basis.
+    assert_fast_exact_multiply_agree(&RnsBfvParams::new(2048, 45, 3, 16), 7, 1);
+}
+
+#[test]
+fn depth_two_retains_budget_under_3x45_and_4x50() {
+    for (params, seed) in [
+        (RnsBfvParams::new(1024, 45, 3, 16), 11u64),
+        (RnsBfvParams::new(1024, 50, 4, 20), 12),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let a = random_message(&params, &mut rng);
+        let b = random_message(&params, &mut rng);
+        let c = random_message(&params, &mut rng);
+        let ca = keys.public.encrypt(&a, &mut rng);
+        let cb = keys.public.encrypt(&b, &mut rng);
+        let cc = keys.public.encrypt(&c, &mut rng);
+        let abc = ca.multiply(&cb, &keys.relin).multiply(&cc, &keys.relin);
+        assert!(
+            keys.secret.noise_budget(&abc) > 0,
+            "depth 2 exhausted the budget under a {}-prime basis",
+            params.basis_len()
+        );
+        let t = params.t();
+        let expect = negacyclic_mul_mod_t(&negacyclic_mul_mod_t(&a, &b, t), &c, t);
+        assert_eq!(keys.secret.decrypt(&abc), expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_fbc_matches_oracle(seed in any::<u64>()) {
+        let (src, dst) = split_basis(30, 3, 5, 1024);
+        let conv = FastBaseConverter::new(&src, dst.moduli());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = random_below_q(&src, &mut rng);
+        prop_assert_eq!(
+            conv.convert(&src.decompose(&x)),
+            src.extend_centered(&x, &dst)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn prop_fast_multiply_decrypts_like_exact(seed in any::<u64>()) {
+        let params = RnsBfvParams::new(16, 30, 3, 8);
+        assert_fast_exact_multiply_agree(&params, seed, 1);
+    }
+}
