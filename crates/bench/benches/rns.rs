@@ -7,14 +7,93 @@
 //! relinearization, which no single-prime parameter set can do at all.
 //! The `rns_convert`/`rns_rescale` groups race the fast (BEHZ/HPS) CRT
 //! boundary against the exact big-integer oracle, and `multiply_exact`
-//! keeps the oracle's end-to-end cost on the scoreboard.
+//! keeps the oracle's end-to-end cost on the scoreboard. The
+//! `ntt_simd_vs_scalar`/`bfv_simd_vs_scalar` groups pin the dispatch to
+//! the scalar oracle and to the detected vector backend in turn (also
+//! emitting `csv,simd_backend,<name>` for the CI dispatch assertion), so
+//! the SIMD speedup is measured directly on the RNS transforms and the
+//! full ct×ct multiply.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_field::simd::{self, SimdBackend};
 use pi_field::FastBaseConverter;
 use pi_he::rns::{RnsBfvParams, RnsKeySet};
 use pi_poly::rns::RnsContext;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Before/after of the SIMD dispatch: the same RNS transforms and the
+/// ct×ct multiply with the backend pinned to the scalar oracle vs the
+/// auto-detected vector path. Also prints `csv,simd_backend,<name>` so CI
+/// can assert the runner actually dispatched a vector backend (a silent
+/// fallback to scalar fails the grep loudly).
+fn bench_ntt_simd_vs_scalar(c: &mut Criterion) {
+    let auto = simd::auto_backend();
+    println!("csv,simd_backend,{}", auto.name());
+    let mut group = c.benchmark_group("ntt_simd_vs_scalar");
+    group.sample_size(20);
+    for (n, count) in [(2048usize, 3usize), (4096, 4)] {
+        let ctx = Arc::new(RnsContext::with_ntt_primes(n, 50, count));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let data: Vec<Vec<u64>> = (0..count)
+            .map(|i| {
+                let q = ctx.modulus(i).value();
+                (0..n).map(|_| rng.gen_range(0..q)).collect()
+            })
+            .collect();
+        for (label, be) in [("scalar", SimdBackend::Scalar), ("simd", auto)] {
+            simd::force_backend(be);
+            group.bench_with_input(
+                BenchmarkId::new(format!("forward_x{count}_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut cols = data.clone();
+                        ctx.ntt().forward(&mut cols);
+                        cols
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("roundtrip_x{count}_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut cols = data.clone();
+                        ctx.ntt().forward(&mut cols);
+                        ctx.ntt().inverse(&mut cols);
+                        cols
+                    })
+                },
+            );
+            simd::clear_forced_backend();
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bfv_simd_vs_scalar");
+    group.sample_size(10);
+    for (label, params) in [
+        ("n2048_3x45", RnsBfvParams::new(2048, 45, 3, 16)),
+        ("n4096_4x50", RnsBfvParams::default_rns()),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let t = params.t().value();
+        let m1: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let m2: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..t)).collect();
+        let ct1 = keys.public.encrypt(&m1, &mut rng);
+        let ct2 = keys.public.encrypt(&m2, &mut rng);
+        for (be_label, be) in [("scalar", SimdBackend::Scalar), ("simd", auto)] {
+            simd::force_backend(be);
+            group.bench_function(format!("multiply_{be_label}/{label}"), |b| {
+                b.iter(|| ct1.multiply(&ct2, &keys.relin))
+            });
+            simd::clear_forced_backend();
+        }
+    }
+    group.finish();
+}
 
 fn bench_rns_ntt(c: &mut Criterion) {
     let mut group = c.benchmark_group("rns_ntt");
@@ -151,5 +230,11 @@ fn bench_rns_boundary(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rns_ntt, bench_rns_bfv, bench_rns_boundary);
+criterion_group!(
+    benches,
+    bench_ntt_simd_vs_scalar,
+    bench_rns_ntt,
+    bench_rns_bfv,
+    bench_rns_boundary
+);
 criterion_main!(benches);

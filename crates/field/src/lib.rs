@@ -21,6 +21,11 @@
 //!   fixed-point correction, or exact conversion through a
 //!   Shenoy–Kumaresan correction prime); the big-int-free CRT boundary for
 //!   the RNS hot paths.
+//! * [`simd`] — lane-parallel SIMD kernels (AVX-512 and AVX2 on x86_64,
+//!   NEON on aarch64, a portable 4-lane scalar-unrolled fallback
+//!   elsewhere) for the Shoup/lazy hot loops and the fast-base-conversion
+//!   folds, behind runtime detection and a `PI_SIMD` toggle; the scalar
+//!   path above stays canonical and is the differential oracle.
 //! * [`bignum`] — a fixed-width 1024-bit unsigned integer with Montgomery
 //!   multiplication and modular exponentiation over the Oakley Group 2 MODP
 //!   prime, used by the base oblivious transfer in `pi-ot` and by the CRT
@@ -37,7 +42,11 @@
 //! assert_eq!(q.mul(5, q.inv(5).unwrap()), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back only inside the
+// intrinsics backends of `simd` (AVX2/NEON), where every unsafe fn's sole
+// obligation — the target feature being present — is discharged by the
+// runtime dispatcher before entry.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bignum;
@@ -45,6 +54,7 @@ pub mod crt;
 pub mod fbc;
 pub mod modulus;
 pub mod prime;
+pub mod simd;
 
 pub use bignum::{ModpGroup, U1024};
 pub use crt::{CrtBasis, CrtError};

@@ -127,6 +127,13 @@ impl Modulus {
         64 - (self.value - 1).leading_zeros()
     }
 
+    /// The Barrett constant `floor((2^128 − 1)/q)` as `(hi, lo)` words, for
+    /// the lane-wide reduction in [`crate::simd`].
+    #[inline]
+    pub(crate) fn barrett_parts(&self) -> (u64, u64) {
+        (self.barrett_hi, self.barrett_lo)
+    }
+
     /// Reduces an arbitrary `u64` into `[0, q)`.
     #[inline]
     pub fn reduce(&self, x: u64) -> u64 {

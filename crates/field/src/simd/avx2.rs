@@ -1,0 +1,435 @@
+//! AVX2 backend: 4×u64 lanes with `vpmuludq` high-half emulation.
+//!
+//! AVX2 has no 64×64-bit multiply, so every product is assembled from
+//! 32×32→64 `vpmuludq` cross products (`_mm256_mul_epu32` reads the low 32
+//! bits of each 64-bit lane). [`mulhi_epu64`]/[`mullo_epu64`]/
+//! [`mulfull_epu64`] give the exact high/low words; unsigned 64-bit
+//! comparisons use the sign-flip trick over `_mm256_cmpgt_epi64`. All
+//! arithmetic is the same sequence of wrapping u64 operations as the scalar
+//! engine, so outputs (including unreduced lazy representatives) are
+//! bit-for-bit identical.
+//!
+//! Every kernel is an `unsafe fn` solely because of
+//! `#[target_feature(enable = "avx2")]`: the dispatcher in `mod.rs`
+//! verifies `is_x86_feature_detected!("avx2")` before every entry, which is
+//! the entire safety obligation. Loads and stores go through
+//! `_mm256_loadu_si256` on `chunks_exact(4)` sub-slices, so the pointer
+//! accesses are in-bounds by construction.
+#![allow(unsafe_code)]
+
+use super::LANES;
+use crate::modulus::{Modulus, ShoupMul};
+use core::arch::x86_64::*;
+
+const SIGN: u64 = 1 << 63;
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn splat(x: u64) -> __m256i {
+    _mm256_set1_epi64x(x as i64)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load(p: &[u64]) -> __m256i {
+    debug_assert!(p.len() >= LANES);
+    _mm256_loadu_si256(p.as_ptr().cast())
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn store(p: &mut [u64], v: __m256i) {
+    debug_assert!(p.len() >= LANES);
+    _mm256_storeu_si256(p.as_mut_ptr().cast(), v)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn shr32(a: __m256i) -> __m256i {
+    _mm256_srli_epi64::<32>(a)
+}
+
+/// Lanes where `a < b` as unsigned 64-bit values (all-ones mask).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmplt_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let s = splat(SIGN);
+    _mm256_cmpgt_epi64(_mm256_xor_si256(b, s), _mm256_xor_si256(a, s))
+}
+
+/// Conditional subtraction `x − (m & [x ≥ m])` — the lane form of every
+/// scalar `if x >= m { x - m }` correction.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn csub(x: __m256i, m: __m256i) -> __m256i {
+    let lt = cmplt_epu64(x, m);
+    _mm256_sub_epi64(x, _mm256_andnot_si256(lt, m))
+}
+
+/// One opaque `vpmuludq`: the 32×32→64 multiply of the low halves of each
+/// 64-bit lane, emitted through inline asm.
+///
+/// Semantically identical to `_mm256_mul_epu32`, but deliberately opaque
+/// to the optimizer: with the intrinsic, LLVM's pattern matcher recognizes
+/// the schoolbook high-half emulation below as a generic `v4i64` high
+/// multiply and — having no such instruction pre-AVX512 — *scalarizes* it
+/// into four 64-bit `mul`s plus six cross-domain `vmovq`/`vpunpck`/
+/// `vinserti128` shuffles per block, which measured ~30% slower than the
+/// scalar Harvey path it was meant to beat. The asm keeps the four-
+/// `vpmuludq` emulation intact (`pure`/`nomem` still allows CSE and
+/// scheduling around it).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_epu32_opaque(a: __m256i, b: __m256i) -> __m256i {
+    let r: __m256i;
+    core::arch::asm!(
+        "vpmuludq {r}, {a}, {b}",
+        r = lateout(ymm_reg) r,
+        a = in(ymm_reg) a,
+        b = in(ymm_reg) b,
+        options(pure, nomem, nostack, preserves_flags)
+    );
+    r
+}
+
+/// `floor(a·b / 2^64)` per lane.
+///
+/// With `a = a1·2^32 + a0`, `b = b1·2^32 + b0`:
+/// `a·b = a1b1·2^64 + (a1b0 + a0b1)·2^32 + a0b0`. Summing the middle terms
+/// directly could overflow, so carries are threaded exactly as in the
+/// textbook schoolbook: `mid = a1b0 + (a0b0 >> 32)` (≤ (2^32−1)² + 2^32−2,
+/// no overflow) and `mid2 = a0b1 + (mid mod 2^32)` (same bound), giving
+/// `hi = a1b1 + (mid >> 32) + (mid2 >> 32)` exactly.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mulhi_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let a_hi = shr32(a);
+    let b_hi = shr32(b);
+    let low32 = splat(0xffff_ffff);
+    let lolo = mul_epu32_opaque(a, b);
+    let hilo = mul_epu32_opaque(a_hi, b);
+    let lohi = mul_epu32_opaque(a, b_hi);
+    let hihi = mul_epu32_opaque(a_hi, b_hi);
+    let mid = _mm256_add_epi64(hilo, shr32(lolo));
+    let mid2 = _mm256_add_epi64(lohi, _mm256_and_si256(mid, low32));
+    _mm256_add_epi64(_mm256_add_epi64(hihi, shr32(mid)), shr32(mid2))
+}
+
+/// `a·b mod 2^64` per lane (three `vpmuludq`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mullo_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let lolo = _mm256_mul_epu32(a, b);
+    let hilo = _mm256_mul_epu32(shr32(a), b);
+    let lohi = _mm256_mul_epu32(a, shr32(b));
+    let cross = _mm256_slli_epi64::<32>(_mm256_add_epi64(hilo, lohi));
+    _mm256_add_epi64(lolo, cross)
+}
+
+/// Full 64×64→128 product per lane as `(hi, lo)` words (four `vpmuludq`),
+/// with the same carry threading as [`mulhi_epu64`].
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mulfull_epu64(a: __m256i, b: __m256i) -> (__m256i, __m256i) {
+    let a_hi = shr32(a);
+    let b_hi = shr32(b);
+    let low32 = splat(0xffff_ffff);
+    let lolo = mul_epu32_opaque(a, b);
+    let hilo = mul_epu32_opaque(a_hi, b);
+    let lohi = mul_epu32_opaque(a, b_hi);
+    let hihi = mul_epu32_opaque(a_hi, b_hi);
+    let mid = _mm256_add_epi64(hilo, shr32(lolo));
+    let mid2 = _mm256_add_epi64(lohi, _mm256_and_si256(mid, low32));
+    let hi = _mm256_add_epi64(_mm256_add_epi64(hihi, shr32(mid)), shr32(mid2));
+    // lo = (mid2 mod 2^32)·2^32 + (a0b0 mod 2^32); cannot carry.
+    let lo = _mm256_add_epi64(_mm256_slli_epi64::<32>(mid2), _mm256_and_si256(lolo, low32));
+    (hi, lo)
+}
+
+/// Lane form of [`Modulus::mul_shoup_lazy`]: `a·w − floor(w'·a/2^64)·q`
+/// in wrapping arithmetic, result in `[0, 2q)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_shoup_lazy(a: __m256i, wv: __m256i, wq: __m256i, qv: __m256i) -> __m256i {
+    let q_est = mulhi_epu64(a, wq);
+    _mm256_sub_epi64(mullo_epu64(a, wv), mullo_epu64(q_est, qv))
+}
+
+/// Lane form of [`Modulus::reduce_u128`] on a 128-bit value `(xh, xl)`:
+/// the quotient estimate only matters modulo 2^64 (the remainder fits a
+/// word), so `mid`'s 128-bit carry count from the scalar code becomes two
+/// explicit carry masks here. Ends with the same two conditional
+/// subtractions.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn barrett_reduce(
+    xh: __m256i,
+    xl: __m256i,
+    bh: __m256i,
+    bl: __m256i,
+    qv: __m256i,
+    two_q: __m256i,
+) -> __m256i {
+    let (h1, l1) = mulfull_epu64(xl, bh);
+    let (h2, l2) = mulfull_epu64(xh, bl);
+    let g = mulhi_epu64(xl, bl);
+    let s1 = _mm256_add_epi64(g, l1);
+    let c1 = cmplt_epu64(s1, g); // carry of g + l1
+    let s2 = _mm256_add_epi64(s1, l2);
+    let c2 = cmplt_epu64(s2, s1); // carry of s1 + l2
+    let mut qhat = _mm256_add_epi64(mullo_epu64(xh, bh), _mm256_add_epi64(h1, h2));
+    // A set carry mask is −1 per lane; subtracting it adds 1.
+    qhat = _mm256_sub_epi64(qhat, c1);
+    qhat = _mm256_sub_epi64(qhat, c2);
+    let r = _mm256_sub_epi64(xl, mullo_epu64(qhat, qv));
+    csub(csub(r, two_q), qv)
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn forward_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for i in 0..m {
+        let wv = splat(w_vals[i]);
+        let wq = splat(w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            let u = csub(load(x4), two_q);
+            let v = mul_shoup_lazy(load(y4), wv, wq, qv);
+            store(x4, _mm256_add_epi64(u, v));
+            store(y4, _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v));
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn inverse_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for i in 0..h {
+        let wv = splat(w_vals[i]);
+        let wq = splat(w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            let u = load(x4);
+            let v = load(y4);
+            store(x4, csub(_mm256_add_epi64(u, v), two_q));
+            let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v);
+            store(y4, mul_shoup_lazy(d, wv, wq, qv));
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn inverse_last_stage(
+    q: &Modulus,
+    n_inv: ShoupMul,
+    psi_n_inv: ShoupMul,
+    a: &mut [u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let niv = splat(n_inv.value);
+    let niq = splat(n_inv.quotient);
+    let piv = splat(psi_n_inv.value);
+    let piq = splat(psi_n_inv.quotient);
+    let half = a.len() / 2;
+    let (lo, hi) = a.split_at_mut(half);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let u = load(x4);
+        let v = load(y4);
+        let s = _mm256_add_epi64(u, v);
+        let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v);
+        store(x4, csub(mul_shoup_lazy(s, niv, niq, qv), qv));
+        store(y4, csub(mul_shoup_lazy(d, piv, piq, qv), qv));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn reduce_4q(q: &Modulus, a: &mut [u64]) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mut chunks = a.chunks_exact_mut(LANES);
+    for x4 in chunks.by_ref() {
+        store(x4, csub(csub(load(x4), two_q), qv));
+    }
+    for x in chunks.into_remainder() {
+        *x = q.reduce_4q(*x);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn dyadic_mul_shoup(
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = splat(q.value());
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let r = mul_shoup_lazy(load(&a[j..]), load(&vals[j..]), load(&quots[j..]), qv);
+        store(&mut out[j..], csub(r, qv));
+    }
+    for j in n4..out.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn dyadic_mul_acc_shoup(
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let n4 = acc.len() - acc.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let r = mul_shoup_lazy(load(&a[j..]), load(&vals[j..]), load(&quots[j..]), qv);
+        let s = _mm256_add_epi64(load(&acc[j..]), r);
+        store(&mut acc[j..], csub(s, two_q));
+    }
+    for j in n4..acc.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        acc[j] = q.add_lazy(acc[j], q.mul_shoup_lazy(a[j], w));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn mul_shoup_bcast(q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul) {
+    let qv = splat(q.value());
+    let wv = splat(w.value);
+    let wq = splat(w.quotient);
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let r = mul_shoup_lazy(load(&a[j..]), wv, wq, qv);
+        store(&mut out[j..], csub(r, qv));
+    }
+    for j in n4..out.len() {
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn mul_shoup_lazy_acc_wide(
+    q: &Modulus,
+    lo: &mut [u64],
+    hi: &mut [u64],
+    a: &[u64],
+    w: ShoupMul,
+) {
+    let qv = splat(q.value());
+    let wv = splat(w.value);
+    let wq = splat(w.quotient);
+    let n4 = lo.len() - lo.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let t = mul_shoup_lazy(load(&a[j..]), wv, wq, qv);
+        let s = _mm256_add_epi64(load(&lo[j..]), t);
+        let carry = cmplt_epu64(s, t); // s < t ⟺ the add wrapped
+        store(&mut lo[j..], s);
+        // The mask is −1 per carried lane; subtracting it adds 1.
+        let h = load(&hi[j..]);
+        store(&mut hi[j..], _mm256_sub_epi64(h, carry));
+    }
+    for j in n4..lo.len() {
+        let t = q.mul_shoup_lazy(a[j], w);
+        let (s, carry) = lo[j].overflowing_add(t);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn fold_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    v: &[u64],
+    q_mod: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let qmv = splat(q_mod.value);
+    let qmq = splat(q_mod.quotient);
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let r = barrett_reduce(load(&hi[j..]), load(&lo[j..]), bh, bl, qv, two_q);
+        let s = csub(mul_shoup_lazy(load(&v[j..]), qmv, qmq, qv), qv);
+        // Modular subtraction of two reduced values: add q back where r < s.
+        let d = _mm256_sub_epi64(r, s);
+        let lt = cmplt_epu64(r, s);
+        store(&mut out[j..], _mm256_add_epi64(d, _mm256_and_si256(lt, qv)));
+    }
+    for j in n4..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.sub(q.reduce_u128(acc), q.mul_shoup(v[j], q_mod));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let (xh, xl) = mulfull_epu64(load(&a[j..]), load(&b[j..]));
+        store(&mut out[j..], barrett_reduce(xh, xl, bh, bl, qv, two_q));
+    }
+    for j in n4..out.len() {
+        out[j] = q.mul(a[j], b[j]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let n4 = acc.len() - acc.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let (mut xh, xl) = mulfull_epu64(load(&a[j..]), load(&b[j..]));
+        // 128-bit add of the accumulator: carry into the high word.
+        let c = load(&acc[j..]);
+        let xl = _mm256_add_epi64(xl, c);
+        let carry = cmplt_epu64(xl, c);
+        xh = _mm256_sub_epi64(xh, carry); // mask is −1 per carried lane
+        store(&mut acc[j..], barrett_reduce(xh, xl, bh, bl, qv, two_q));
+    }
+    for j in n4..acc.len() {
+        acc[j] = q.mul_add(a[j], b[j], acc[j]);
+    }
+}

@@ -1,0 +1,532 @@
+//! AVX-512 backend: 8×u64 lanes with native 64-bit low multiplies.
+//!
+//! Requires AVX512F + AVX512DQ + AVX512VL (all runtime-detected). Three
+//! things make this markedly cheaper per butterfly than the AVX2 backend:
+//!
+//! * `vpmullq` (AVX512DQ) is a native 64×64→low-64 multiply, replacing the
+//!   three-`vpmuludq` low-half emulation;
+//! * unsigned 64-bit compares go straight to mask registers
+//!   (`vpcmpuq`), so every conditional subtraction is two instructions
+//!   (compare + masked subtract) instead of the AVX2 sign-flip dance;
+//! * registers are twice as wide, so one iteration retires 8 lanes.
+//!
+//! Only the high half of a product still needs the four-`vpmuludq`
+//! schoolbook emulation (there is no 64-bit `vpmulhq` even in AVX-512),
+//! routed through the same opaque-asm guard as the AVX2 backend so LLVM
+//! cannot scalarize it (see `avx2::mul_epu32_opaque`).
+//!
+//! Unlike the 4-lane backends, this one also vectorizes the **small-stride
+//! stages** (`t ∈ {1, 2, 4}`): 16 consecutive elements are loaded as two
+//! zmm registers, repacked into a lo/hi butterfly pair with `vpermt2q`
+//! (full two-source lane permutes), processed with per-lane twiddles
+//! (`vpermq`-replicated from the stage's twiddle array), and repacked
+//! back. The permutes move data only — the arithmetic is still the
+//! identical sequence of wrapping u64 operations, so bit-for-bit equality
+//! with the scalar oracle is preserved, unreduced lazy representatives
+//! included. Rings too small for a 16-element group (`n = 8`'s `t = 4`
+//! stage, the `n = 8` last inverse stage) delegate to the AVX2 kernels —
+//! AVX512F implies AVX2, so the call is legal whenever this backend runs.
+//! Pointwise tails shorter than 8 lanes finish scalar.
+#![allow(unsafe_code)]
+
+use super::avx2;
+use crate::modulus::{Modulus, ShoupMul};
+use core::arch::x86_64::*;
+
+/// Lanes per zmm iteration.
+const W: usize = 8;
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn splat(x: u64) -> __m512i {
+    _mm512_set1_epi64(x as i64)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn load(p: &[u64]) -> __m512i {
+    debug_assert!(p.len() >= W);
+    _mm512_loadu_epi64(p.as_ptr().cast())
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn store(p: &mut [u64], v: __m512i) {
+    debug_assert!(p.len() >= W);
+    _mm512_storeu_epi64(p.as_mut_ptr().cast(), v)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn shr32(a: __m512i) -> __m512i {
+    _mm512_srli_epi64::<32>(a)
+}
+
+/// One opaque `vpmuludq` on zmm registers — same LLVM-scalarization guard
+/// as [`avx2::mul_epu32_opaque`].
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn mul_epu32_opaque(a: __m512i, b: __m512i) -> __m512i {
+    let r: __m512i;
+    core::arch::asm!(
+        "vpmuludq {r}, {a}, {b}",
+        r = lateout(zmm_reg) r,
+        a = in(zmm_reg) a,
+        b = in(zmm_reg) b,
+        options(pure, nomem, nostack, preserves_flags)
+    );
+    r
+}
+
+/// Conditional subtraction `x − (m & [x ≥ m])` via one mask compare.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn csub(x: __m512i, m: __m512i) -> __m512i {
+    let k = _mm512_cmpge_epu64_mask(x, m);
+    _mm512_mask_sub_epi64(x, k, x, m)
+}
+
+/// `floor(a·b / 2^64)` per lane — the schoolbook emulation of
+/// `avx2::mulhi_epu64`, lane-widened.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn mulhi_epu64(a: __m512i, b: __m512i) -> __m512i {
+    let a_hi = shr32(a);
+    let b_hi = shr32(b);
+    let low32 = splat(0xffff_ffff);
+    let lolo = mul_epu32_opaque(a, b);
+    let hilo = mul_epu32_opaque(a_hi, b);
+    let lohi = mul_epu32_opaque(a, b_hi);
+    let hihi = mul_epu32_opaque(a_hi, b_hi);
+    let mid = _mm512_add_epi64(hilo, shr32(lolo));
+    let mid2 = _mm512_add_epi64(lohi, _mm512_and_si512(mid, low32));
+    _mm512_add_epi64(_mm512_add_epi64(hihi, shr32(mid)), shr32(mid2))
+}
+
+/// Full 64×64→128 product per lane as `(hi, lo)`; `lo` is native
+/// (`vpmullq`), `hi` shares the emulation above.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn mulfull_epu64(a: __m512i, b: __m512i) -> (__m512i, __m512i) {
+    (mulhi_epu64(a, b), _mm512_mullo_epi64(a, b))
+}
+
+/// Lane form of [`Modulus::mul_shoup_lazy`], result in `[0, 2q)`.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn mul_shoup_lazy(a: __m512i, wv: __m512i, wq: __m512i, qv: __m512i) -> __m512i {
+    let q_est = mulhi_epu64(a, wq);
+    _mm512_sub_epi64(_mm512_mullo_epi64(a, wv), _mm512_mullo_epi64(q_est, qv))
+}
+
+/// Lane form of [`Modulus::reduce_u128`]; same carry bookkeeping as the
+/// AVX2 twin, with the carries landing in mask registers.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn barrett_reduce(
+    xh: __m512i,
+    xl: __m512i,
+    bh: __m512i,
+    bl: __m512i,
+    qv: __m512i,
+    two_q: __m512i,
+    one: __m512i,
+) -> __m512i {
+    let (h1, l1) = mulfull_epu64(xl, bh);
+    let (h2, l2) = mulfull_epu64(xh, bl);
+    let g = mulhi_epu64(xl, bl);
+    let s1 = _mm512_add_epi64(g, l1);
+    let c1 = _mm512_cmplt_epu64_mask(s1, g);
+    let s2 = _mm512_add_epi64(s1, l2);
+    let c2 = _mm512_cmplt_epu64_mask(s2, s1);
+    let mut qhat = _mm512_add_epi64(_mm512_mullo_epi64(xh, bh), _mm512_add_epi64(h1, h2));
+    qhat = _mm512_mask_add_epi64(qhat, c1, qhat, one);
+    qhat = _mm512_mask_add_epi64(qhat, c2, qhat, one);
+    let r = _mm512_sub_epi64(xl, _mm512_mullo_epi64(qhat, qv));
+    csub(csub(r, two_q), qv)
+}
+
+/// Permute tables for the small-stride stages, indexed by `log2(t)`.
+/// `lo_sel`/`hi_sel` pull the butterfly lo/hi lanes out of a 16-element
+/// group (two zmm registers; values 0–7 select the first, 8–15 the
+/// second), `a_out`/`b_out` repack the results, and `rep` replicates the
+/// `8/t` twiddles consumed per group across their lanes.
+struct SmallIdx {
+    lo_sel: [u64; 8],
+    hi_sel: [u64; 8],
+    a_out: [u64; 8],
+    b_out: [u64; 8],
+    rep: [u64; 8],
+}
+
+static SMALL_IDX: [SmallIdx; 3] = [
+    // t = 1: blocks are adjacent pairs.
+    SmallIdx {
+        lo_sel: [0, 2, 4, 6, 8, 10, 12, 14],
+        hi_sel: [1, 3, 5, 7, 9, 11, 13, 15],
+        a_out: [0, 8, 1, 9, 2, 10, 3, 11],
+        b_out: [4, 12, 5, 13, 6, 14, 7, 15],
+        rep: [0, 1, 2, 3, 4, 5, 6, 7],
+    },
+    // t = 2: blocks of four.
+    SmallIdx {
+        lo_sel: [0, 1, 4, 5, 8, 9, 12, 13],
+        hi_sel: [2, 3, 6, 7, 10, 11, 14, 15],
+        a_out: [0, 1, 8, 9, 2, 3, 10, 11],
+        b_out: [4, 5, 12, 13, 6, 7, 14, 15],
+        rep: [0, 0, 1, 1, 2, 2, 3, 3],
+    },
+    // t = 4: blocks of eight.
+    SmallIdx {
+        lo_sel: [0, 1, 2, 3, 8, 9, 10, 11],
+        hi_sel: [4, 5, 6, 7, 12, 13, 14, 15],
+        a_out: [0, 1, 2, 3, 8, 9, 10, 11],
+        b_out: [4, 5, 6, 7, 12, 13, 14, 15],
+        rep: [0, 0, 0, 0, 1, 1, 1, 1],
+    },
+];
+
+/// Loads the `8/t` twiddles a 16-element group consumes and replicates
+/// them across their lanes. Reads exactly `count` words (full/half/quarter
+/// register); upper cast lanes are undefined but never referenced by
+/// `rep` (all indices < `count`).
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn load_twiddles(w: &[u64], count: usize, rep: __m512i) -> __m512i {
+    debug_assert!(w.len() >= count);
+    let raw = match count {
+        8 => load(w),
+        4 => _mm512_castsi256_si512(_mm256_loadu_si256(w.as_ptr().cast())),
+        _ => _mm512_castsi128_si512(_mm_loadu_si128(w.as_ptr().cast())),
+    };
+    _mm512_permutexvar_epi64(rep, raw)
+}
+
+/// A small-stride stage (`t ∈ {1, 2, 4}`, `a.len()` a multiple of 16):
+/// two zmm loads per group, `vpermt2q` repack into lo/hi, per-lane
+/// twiddles, repack, store. `FWD` selects the forward or inverse
+/// butterfly.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn small_stage<const FWD: bool>(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    t: usize,
+) {
+    debug_assert!(matches!(t, 1 | 2 | 4) && a.len().is_multiple_of(16));
+    let idx = &SMALL_IDX[t.trailing_zeros() as usize];
+    let lo_sel = load(&idx.lo_sel);
+    let hi_sel = load(&idx.hi_sel);
+    let a_out = load(&idx.a_out);
+    let b_out = load(&idx.b_out);
+    let rep = load(&idx.rep);
+    let per_group = W / t;
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mut base = 0usize;
+    for group in a.chunks_exact_mut(2 * W) {
+        let (ga, gb) = group.split_at_mut(W);
+        let ra = load(ga);
+        let rb = load(gb);
+        let u = _mm512_permutex2var_epi64(ra, lo_sel, rb);
+        let v = _mm512_permutex2var_epi64(ra, hi_sel, rb);
+        let wv = load_twiddles(&w_vals[base..], per_group, rep);
+        let wq = load_twiddles(&w_quots[base..], per_group, rep);
+        let (x, y) = if FWD {
+            let u = csub(u, two_q);
+            let p = mul_shoup_lazy(v, wv, wq, qv);
+            (
+                _mm512_add_epi64(u, p),
+                _mm512_sub_epi64(_mm512_add_epi64(u, two_q), p),
+            )
+        } else {
+            let s = csub(_mm512_add_epi64(u, v), two_q);
+            let d = _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v);
+            (s, mul_shoup_lazy(d, wv, wq, qv))
+        };
+        store(ga, _mm512_permutex2var_epi64(x, a_out, y));
+        store(gb, _mm512_permutex2var_epi64(x, b_out, y));
+        base += per_group;
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn forward_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+) {
+    if !t.is_multiple_of(W) {
+        if t < W && a.len().is_multiple_of(2 * W) {
+            return small_stage::<true>(q, w_vals, w_quots, a, t);
+        }
+        // n = 8's t = 4 stage: one ymm block per butterfly, AVX2 shape.
+        return avx2::forward_stage(q, w_vals, w_quots, a, m, t);
+    }
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for (block, (&wval, &wquot)) in a
+        .chunks_exact_mut(2 * t)
+        .zip(w_vals.iter().zip(w_quots).take(m))
+    {
+        let wv = splat(wval);
+        let wq = splat(wquot);
+        let (lo, hi) = block.split_at_mut(t);
+        for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
+            let u = csub(load(x8), two_q);
+            let v = mul_shoup_lazy(load(y8), wv, wq, qv);
+            store(x8, _mm512_add_epi64(u, v));
+            store(y8, _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v));
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn inverse_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+) {
+    if !t.is_multiple_of(W) {
+        if t < W && a.len().is_multiple_of(2 * W) {
+            return small_stage::<false>(q, w_vals, w_quots, a, t);
+        }
+        return avx2::inverse_stage(q, w_vals, w_quots, a, h, t);
+    }
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for (block, (&wval, &wquot)) in a
+        .chunks_exact_mut(2 * t)
+        .zip(w_vals.iter().zip(w_quots).take(h))
+    {
+        let wv = splat(wval);
+        let wq = splat(wquot);
+        let (lo, hi) = block.split_at_mut(t);
+        for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
+            let u = load(x8);
+            let v = load(y8);
+            store(x8, csub(_mm512_add_epi64(u, v), two_q));
+            let d = _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v);
+            store(y8, mul_shoup_lazy(d, wv, wq, qv));
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn inverse_last_stage(
+    q: &Modulus,
+    n_inv: ShoupMul,
+    psi_n_inv: ShoupMul,
+    a: &mut [u64],
+) {
+    let half = a.len() / 2;
+    if !half.is_multiple_of(W) {
+        return avx2::inverse_last_stage(q, n_inv, psi_n_inv, a);
+    }
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let niv = splat(n_inv.value);
+    let niq = splat(n_inv.quotient);
+    let piv = splat(psi_n_inv.value);
+    let piq = splat(psi_n_inv.quotient);
+    let (lo, hi) = a.split_at_mut(half);
+    for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
+        let u = load(x8);
+        let v = load(y8);
+        let s = _mm512_add_epi64(u, v);
+        let d = _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v);
+        store(x8, csub(mul_shoup_lazy(s, niv, niq, qv), qv));
+        store(y8, csub(mul_shoup_lazy(d, piv, piq, qv), qv));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn reduce_4q(q: &Modulus, a: &mut [u64]) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mut chunks = a.chunks_exact_mut(W);
+    for x8 in chunks.by_ref() {
+        store(x8, csub(csub(load(x8), two_q), qv));
+    }
+    for x in chunks.into_remainder() {
+        *x = q.reduce_4q(*x);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn dyadic_mul_shoup(
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = splat(q.value());
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let r = mul_shoup_lazy(load(&a[j..]), load(&vals[j..]), load(&quots[j..]), qv);
+        store(&mut out[j..], csub(r, qv));
+    }
+    for j in n8..out.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn dyadic_mul_acc_shoup(
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let n8 = acc.len() - acc.len() % W;
+    for j in (0..n8).step_by(W) {
+        let r = mul_shoup_lazy(load(&a[j..]), load(&vals[j..]), load(&quots[j..]), qv);
+        let s = _mm512_add_epi64(load(&acc[j..]), r);
+        store(&mut acc[j..], csub(s, two_q));
+    }
+    for j in n8..acc.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        acc[j] = q.add_lazy(acc[j], q.mul_shoup_lazy(a[j], w));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn mul_shoup_bcast(q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul) {
+    let qv = splat(q.value());
+    let wv = splat(w.value);
+    let wq = splat(w.quotient);
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let r = mul_shoup_lazy(load(&a[j..]), wv, wq, qv);
+        store(&mut out[j..], csub(r, qv));
+    }
+    for j in n8..out.len() {
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn mul_shoup_lazy_acc_wide(
+    q: &Modulus,
+    lo: &mut [u64],
+    hi: &mut [u64],
+    a: &[u64],
+    w: ShoupMul,
+) {
+    let qv = splat(q.value());
+    let wv = splat(w.value);
+    let wq = splat(w.quotient);
+    let one = splat(1);
+    let n8 = lo.len() - lo.len() % W;
+    for j in (0..n8).step_by(W) {
+        let t = mul_shoup_lazy(load(&a[j..]), wv, wq, qv);
+        let s = _mm512_add_epi64(load(&lo[j..]), t);
+        let carry = _mm512_cmplt_epu64_mask(s, t); // s < t ⟺ the add wrapped
+        store(&mut lo[j..], s);
+        let h = load(&hi[j..]);
+        store(&mut hi[j..], _mm512_mask_add_epi64(h, carry, h, one));
+    }
+    for j in n8..lo.len() {
+        let t = q.mul_shoup_lazy(a[j], w);
+        let (s, carry) = lo[j].overflowing_add(t);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn fold_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    v: &[u64],
+    q_mod: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let one = splat(1);
+    let qmv = splat(q_mod.value);
+    let qmq = splat(q_mod.quotient);
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let r = barrett_reduce(load(&hi[j..]), load(&lo[j..]), bh, bl, qv, two_q, one);
+        let s = csub(mul_shoup_lazy(load(&v[j..]), qmv, qmq, qv), qv);
+        // Modular subtraction of two reduced values: add q back where r < s.
+        let d = _mm512_sub_epi64(r, s);
+        let lt = _mm512_cmplt_epu64_mask(r, s);
+        store(&mut out[j..], _mm512_mask_add_epi64(d, lt, d, qv));
+    }
+    for j in n8..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.sub(q.reduce_u128(acc), q.mul_shoup(v[j], q_mod));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let one = splat(1);
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let (xh, xl) = mulfull_epu64(load(&a[j..]), load(&b[j..]));
+        store(
+            &mut out[j..],
+            barrett_reduce(xh, xl, bh, bl, qv, two_q, one),
+        );
+    }
+    for j in n8..out.len() {
+        out[j] = q.mul(a[j], b[j]);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let one = splat(1);
+    let n8 = acc.len() - acc.len() % W;
+    for j in (0..n8).step_by(W) {
+        let (mut xh, xl) = mulfull_epu64(load(&a[j..]), load(&b[j..]));
+        let c = load(&acc[j..]);
+        let xl = _mm512_add_epi64(xl, c);
+        let carry = _mm512_cmplt_epu64_mask(xl, c);
+        xh = _mm512_mask_add_epi64(xh, carry, xh, one);
+        store(
+            &mut acc[j..],
+            barrett_reduce(xh, xl, bh, bl, qv, two_q, one),
+        );
+    }
+    for j in n8..acc.len() {
+        acc[j] = q.mul_add(a[j], b[j], acc[j]);
+    }
+}

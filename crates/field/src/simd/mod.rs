@@ -1,0 +1,798 @@
+//! Four-lane SIMD kernels for the Shoup/lazy hot loops, behind runtime
+//! backend dispatch.
+//!
+//! # Lane width and backends
+//!
+//! Every kernel in this module processes [`LANES`] = 4 residues per block.
+//! Three implementations share one code shape (block loop over
+//! `chunks_exact(LANES)` plus a scalar tail for pointwise kernels):
+//!
+//! * [`SimdBackend::Avx512`] — x86_64 with AVX512F+DQ+VL: 8 lanes per
+//!   iteration (odd 4-lane remainders delegate to the AVX2 kernels),
+//!   native `vpmullq` 64-bit low multiplies, and mask-register compares
+//!   for the conditional subtractions. Preferred over AVX2 when detected.
+//! * [`SimdBackend::Avx2`] — x86_64 with AVX2. There is no 64×64→128
+//!   multiply in AVX2, so the high and low halves of every product are
+//!   emulated from four `vpmuludq` (32×32→64) cross products; see
+//!   `avx2::mulhi_epu64` for the exactness argument.
+//! * [`SimdBackend::Neon`] — aarch64. Same cross-product emulation built
+//!   from `umull` (`vmull_u32`) over narrowed 32-bit halves, two
+//!   `uint64x2_t` registers per 4-lane block.
+//! * [`SimdBackend::Portable`] — a 4-lane scalar-unrolled fallback with the
+//!   identical blocking shape, compiled on every platform. This is the
+//!   default wherever no vector unit is detected, so all targets exercise
+//!   the same dispatch structure and block layout.
+//!
+//! [`SimdBackend::Scalar`] is a sentinel for the canonical scalar path in
+//! `pi-poly`'s NTT engine (the differential-test oracle); when it is
+//! selected, callers run their original element-at-a-time loops and the
+//! kernels here are never entered.
+//!
+//! All four paths compute the *identical* sequence of wrapping u64
+//! operations, so results agree with the scalar engine **bit for bit**,
+//! including unreduced lazy-domain representatives — which is what the
+//! `ntt_simd_differential` umbrella suite asserts.
+//!
+//! # Lazy-range invariants per kernel
+//!
+//! With `q < 2^62` every value in `[0, 4q)` fits a `u64` (see the
+//! `modulus` module docs):
+//!
+//! | kernel                    | inputs                    | outputs    |
+//! |---------------------------|---------------------------|------------|
+//! | [`forward_stage`]         | `[0, 4q)`                 | `[0, 4q)`  |
+//! | [`inverse_stage`]         | `[0, 2q)`                 | `[0, 2q)`  |
+//! | [`inverse_last_stage`]    | `[0, 2q)`                 | `[0, q)`   |
+//! | [`reduce_4q`]             | `[0, 4q)`                 | `[0, q)`   |
+//! | [`dyadic_mul_shoup`]      | `a` any u64, op reduced   | `[0, q)`   |
+//! | [`dyadic_mul_acc_shoup`]  | acc `[0, 2q)`, `a` any    | `[0, 2q)`  |
+//! | [`dyadic_mul`]            | both `[0, q)`             | `[0, q)`   |
+//! | [`dyadic_mul_acc`]        | all `[0, q)`              | `[0, q)`   |
+//!
+//! The butterfly kernels implement exactly the Harvey formulation from
+//! `pi-poly`: the forward stage conditionally subtracts `2q` from the upper
+//! operand, runs `mul_shoup_lazy` on the lower one, and emits `u + v` /
+//! `u + 2q − v`; the inverse stage pairs `add_lazy` with a lazy Shoup
+//! multiply of `u + 2q − v`; the last inverse stage folds `n^{-1}` into its
+//! twiddles and reduces exactly.
+//!
+//! # Dispatch rules
+//!
+//! [`backend`] resolves once per process (cached in an atomic), in order:
+//!
+//! 1. a programmatic override installed with [`force_backend`] (used by the
+//!    differential tests to pin both sides of a comparison);
+//! 2. the `PI_SIMD` environment variable: `scalar`/`off`/`0` select the
+//!    scalar oracle, `portable` the 4-lane fallback, `avx2`/`avx512`/
+//!    `neon` demand that specific vector unit (**panicking** if it is not
+//!    compiled in or not detected — a forced-SIMD CI run fails loudly
+//!    instead of silently degrading), and `auto`/`on`/`1` the automatic
+//!    choice;
+//! 3. automatic detection: AVX-512 (F+DQ+VL), then AVX2, via
+//!    `is_x86_feature_detected!` on x86_64; NEON unconditionally on
+//!    aarch64 (baseline feature); otherwise the portable fallback.
+//!
+//! Compiling with `--no-default-features` (disabling the `simd` cargo
+//! feature) removes the intrinsics backends entirely; resolution then picks
+//! the portable fallback, which is how the non-AVX2 code path is built and
+//! tested on every CI run.
+//!
+//! Stage granularity: `pi-poly` routes a butterfly stage here only when the
+//! stride `t` is at least [`LANES`]; the `log2(LANES)` stages with smaller
+//! strides (twiddles change faster than a vector register fills) always run
+//! the canonical scalar butterflies, as do full transforms under the
+//! `Scalar` backend.
+
+use crate::modulus::{Modulus, ShoupMul};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx512;
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon;
+mod portable;
+
+/// Number of lanes processed per vector block.
+pub const LANES: usize = 4;
+
+/// The selected kernel implementation (see the module docs for the
+/// dispatch rules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SimdBackend {
+    /// The canonical scalar path in the callers — the differential oracle.
+    /// Kernels in this module are never entered under this backend.
+    Scalar = 1,
+    /// The 4-lane scalar-unrolled fallback (compiled on every platform).
+    Portable = 2,
+    /// AVX2 `vpmuludq` high-half emulation on x86_64.
+    Avx2 = 3,
+    /// NEON `umull` cross products on aarch64.
+    Neon = 4,
+    /// AVX-512 (F+DQ+VL): 8 lanes, native `vpmullq` low multiplies, mask
+    /// compares. Preferred over AVX2 when detected.
+    Avx512 = 5,
+}
+
+impl SimdBackend {
+    /// Short lowercase name, used in bench/CI logs (`csv,simd_backend,…`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Portable => "portable",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+            SimdBackend::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether this backend routes through the lane kernels in this module
+    /// (everything except the scalar oracle).
+    pub fn is_vector(self) -> bool {
+        self != SimdBackend::Scalar
+    }
+
+    /// Whether this backend can run on the current build and CPU.
+    pub fn available(self) -> bool {
+        match self {
+            SimdBackend::Scalar | SimdBackend::Portable => true,
+            SimdBackend::Avx2 => {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
+            SimdBackend::Neon => cfg!(all(feature = "simd", target_arch = "aarch64")),
+            SimdBackend::Avx512 => {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                {
+                    std::arch::is_x86_feature_detected!("avx512f")
+                        && std::arch::is_x86_feature_detected!("avx512dq")
+                        && std::arch::is_x86_feature_detected!("avx512vl")
+                }
+                #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdBackend {
+        match v {
+            1 => SimdBackend::Scalar,
+            2 => SimdBackend::Portable,
+            3 => SimdBackend::Avx2,
+            4 => SimdBackend::Neon,
+            5 => SimdBackend::Avx512,
+            _ => unreachable!("invalid backend encoding"),
+        }
+    }
+}
+
+/// 0 = unresolved; otherwise a `SimdBackend` discriminant.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// The backend every dispatching caller should use, resolved once per
+/// process (override > `PI_SIMD` environment variable > detection) and
+/// cached. See the module docs for the full rules.
+#[inline]
+pub fn backend() -> SimdBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => {
+            let be = resolve();
+            BACKEND.store(be as u8, Ordering::Relaxed);
+            be
+        }
+        v => SimdBackend::from_u8(v),
+    }
+}
+
+/// The backend automatic detection would pick on this build and CPU,
+/// ignoring any override or environment setting.
+pub fn auto_backend() -> SimdBackend {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if SimdBackend::Avx512.available() {
+            return SimdBackend::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdBackend::Avx2;
+        }
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    return SimdBackend::Neon;
+    #[allow(unreachable_code)]
+    SimdBackend::Portable
+}
+
+/// Pins the dispatched backend, overriding environment and detection.
+/// Intended for differential tests and benchmarks that compare paths
+/// in-process; serialize callers that flip it concurrently.
+///
+/// # Panics
+///
+/// Panics if the requested backend is not available on this build/CPU.
+pub fn force_backend(be: SimdBackend) {
+    assert!(
+        be.available(),
+        "SIMD backend {} is not available on this build/CPU",
+        be.name()
+    );
+    BACKEND.store(be as u8, Ordering::Relaxed);
+}
+
+/// Removes a [`force_backend`] override; the next [`backend`] call
+/// re-resolves from the environment and detection.
+pub fn clear_forced_backend() {
+    BACKEND.store(0, Ordering::Relaxed);
+}
+
+fn resolve() -> SimdBackend {
+    match std::env::var("PI_SIMD") {
+        Err(_) => auto_backend(),
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "1" | "on" | "auto" => auto_backend(),
+            "0" | "off" | "scalar" => SimdBackend::Scalar,
+            "portable" => SimdBackend::Portable,
+            "avx2" => {
+                assert!(
+                    SimdBackend::Avx2.available(),
+                    "PI_SIMD=avx2 requested but AVX2 is unavailable \
+                     (not an x86_64 build with the `simd` feature, or the CPU lacks it)"
+                );
+                SimdBackend::Avx2
+            }
+            "avx512" => {
+                assert!(
+                    SimdBackend::Avx512.available(),
+                    "PI_SIMD=avx512 requested but AVX-512 (F+DQ+VL) is unavailable \
+                     (not an x86_64 build with the `simd` feature, or the CPU lacks it)"
+                );
+                SimdBackend::Avx512
+            }
+            "neon" => {
+                assert!(
+                    SimdBackend::Neon.available(),
+                    "PI_SIMD=neon requested but NEON is unavailable \
+                     (not an aarch64 build with the `simd` feature)"
+                );
+                SimdBackend::Neon
+            }
+            other => panic!(
+                "unknown PI_SIMD value {other:?} \
+                 (expected scalar|portable|avx2|avx512|neon|auto)"
+            ),
+        },
+    }
+}
+
+/// Routes one kernel invocation to the requested backend. An unavailable
+/// vector backend (possible only if a caller passes a stale enum value,
+/// since [`force_backend`]/[`backend`] validate) degrades to the portable
+/// fallback rather than risking an illegal-instruction fault.
+macro_rules! dispatch {
+    ($be:expr, $name:ident($($arg:expr),* $(,)?)) => {{
+        match $be {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdBackend::Avx512 if SimdBackend::Avx512.available() => {
+                // SAFETY: AVX512F/DQ/VL support was just verified on this CPU.
+                #[allow(unsafe_code)]
+                unsafe { avx512::$name($($arg),*) }
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdBackend::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                // SAFETY: AVX2 support was just verified on this CPU.
+                #[allow(unsafe_code)]
+                unsafe { avx2::$name($($arg),*) }
+            }
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            SimdBackend::Neon => {
+                // SAFETY: NEON is a baseline feature of every aarch64 target.
+                #[allow(unsafe_code)]
+                unsafe { neon::$name($($arg),*) }
+            }
+            _ => portable::$name($($arg),*),
+        }
+    }};
+}
+
+/// One forward Cooley–Tukey butterfly stage: `m` blocks of stride `t`, the
+/// `i`-th block using twiddle `(w_vals[i], w_quots[i])` in Shoup form.
+/// Values stay in the `[0, 4q)` forward domain.
+///
+/// # Panics
+///
+/// Panics if `a.len() != 2·m·t`, the twiddle slices are shorter than `m`,
+/// or the stride is unsupported: the 4-lane backends require `t` to be a
+/// positive multiple of [`LANES`], while `Avx512` additionally accepts any
+/// `t` when `a.len()` is a multiple of 16 (the permute-based small-stride
+/// path).
+pub fn forward_stage(
+    be: SimdBackend,
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+) {
+    assert_stage_geometry(be, w_vals, w_quots, a, m, t);
+    dispatch!(be, forward_stage(q, w_vals, w_quots, a, m, t))
+}
+
+/// One inverse Gentleman–Sande butterfly stage (not the last): `h` blocks
+/// of stride `t` over the `[0, 2q)` lazy domain.
+///
+/// # Panics
+///
+/// Panics under the same geometry conditions as [`forward_stage`].
+pub fn inverse_stage(
+    be: SimdBackend,
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+) {
+    assert_stage_geometry(be, w_vals, w_quots, a, h, t);
+    dispatch!(be, inverse_stage(q, w_vals, w_quots, a, h, t))
+}
+
+/// The last inverse stage with the `n^{-1}` scaling folded into its two
+/// twiddles; reduces exactly into `[0, q)`.
+///
+/// # Panics
+///
+/// Panics if `a.len()` is odd or `a.len()/2` is not a positive multiple of
+/// [`LANES`].
+pub fn inverse_last_stage(
+    be: SimdBackend,
+    q: &Modulus,
+    n_inv: ShoupMul,
+    psi_n_inv: ShoupMul,
+    a: &mut [u64],
+) {
+    let half = a.len() / 2;
+    assert!(a.len().is_multiple_of(2) && half >= LANES && half.is_multiple_of(LANES));
+    dispatch!(be, inverse_last_stage(q, n_inv, psi_n_inv, a))
+}
+
+/// Final correction pass `[0, 4q) → [0, q)` over a slice (two conditional
+/// subtractions per element; arbitrary length, scalar tail).
+pub fn reduce_4q(be: SimdBackend, q: &Modulus, a: &mut [u64]) {
+    dispatch!(be, reduce_4q(q, a))
+}
+
+/// Pointwise Shoup product `out[i] = a[i]·w[i] mod q`, strictly reduced.
+/// `a` may be in the lazy range (any u64, per the Shoup contract);
+/// `(vals, quots)` are the per-element Shoup pairs.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dyadic_mul_shoup(
+    be: SimdBackend,
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let n = out.len();
+    assert!(a.len() == n && vals.len() == n && quots.len() == n);
+    dispatch!(be, dyadic_mul_shoup(q, out, a, vals, quots))
+}
+
+/// Lazy pointwise Shoup multiply-accumulate over the `[0, 2q)` domain:
+/// `acc[i] ← add_lazy(acc[i], mul_shoup_lazy(a[i], w[i]))`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dyadic_mul_acc_shoup(
+    be: SimdBackend,
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let n = acc.len();
+    assert!(a.len() == n && vals.len() == n && quots.len() == n);
+    dispatch!(be, dyadic_mul_acc_shoup(q, acc, a, vals, quots))
+}
+
+/// Pointwise Shoup product against one broadcast multiplicand:
+/// `out[i] = a[i]·w mod q`, strictly reduced (`a` may be any u64). The
+/// digit-scaling pass of the fast base conversion.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn mul_shoup_bcast(be: SimdBackend, q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul) {
+    assert_eq!(a.len(), out.len());
+    dispatch!(be, mul_shoup_bcast(q, out, a, w))
+}
+
+/// 128-bit-wide lazy Shoup multiply-accumulate against one broadcast
+/// multiplicand: `(hi[i], lo[i]) += mul_shoup_lazy(a[i], w)` with the pair
+/// holding an exact 128-bit sum (the lane form of the `u128` accumulator
+/// in [`crate::fbc::FastBaseConverter::fold`]). Each term is `< 2q <
+/// 2^63`, so `hi` grows by at most one per call.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn mul_shoup_lazy_acc_wide(
+    be: SimdBackend,
+    q: &Modulus,
+    lo: &mut [u64],
+    hi: &mut [u64],
+    a: &[u64],
+    w: ShoupMul,
+) {
+    assert!(hi.len() == lo.len() && a.len() == lo.len());
+    dispatch!(be, mul_shoup_lazy_acc_wide(q, lo, hi, a, w))
+}
+
+/// Finishes a fold: `out[i] = reduce_u128((hi[i], lo[i])) − v[i]·q_mod
+/// (mod q)` — the Barrett reduction of the 128-bit accumulator followed by
+/// the correction subtrahend, exactly as the scalar
+/// [`crate::fbc::FastBaseConverter::fold`].
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn fold_finish(
+    be: SimdBackend,
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    v: &[u64],
+    q_mod: ShoupMul,
+) {
+    let n = out.len();
+    assert!(lo.len() == n && hi.len() == n && v.len() == n);
+    dispatch!(be, fold_finish(q, out, lo, hi, v, q_mod))
+}
+
+/// Pointwise Barrett product `out[i] = a[i]·b[i] mod q` of strictly
+/// reduced slices (the full 128-bit Barrett reduction in lane form).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dyadic_mul(be: SimdBackend, q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let n = out.len();
+    assert!(a.len() == n && b.len() == n);
+    dispatch!(be, dyadic_mul(q, out, a, b))
+}
+
+/// Pointwise Barrett multiply-accumulate
+/// `acc[i] = (acc[i] + a[i]·b[i]) mod q` for strictly reduced inputs —
+/// one fused reduction per slot, like [`Modulus::mul_add`].
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dyadic_mul_acc(be: SimdBackend, q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    let n = acc.len();
+    assert!(a.len() == n && b.len() == n);
+    dispatch!(be, dyadic_mul_acc(q, acc, a, b))
+}
+
+fn assert_stage_geometry(
+    be: SimdBackend,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &[u64],
+    m: usize,
+    t: usize,
+) {
+    let lane_ok = t >= LANES && t.is_multiple_of(LANES);
+    let small_ok = be == SimdBackend::Avx512 && a.len().is_multiple_of(16);
+    assert!(
+        t >= 1 && (lane_ok || small_ok),
+        "stage stride {t} not supported by backend {}",
+        be.name()
+    );
+    assert_eq!(a.len(), 2 * m * t, "stage slice length mismatch");
+    assert!(
+        w_vals.len() >= m && w_quots.len() >= m,
+        "twiddle slice too short"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_ntt_prime;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Backends whose kernels can run here (portable everywhere, plus any
+    /// detected vector unit). `Scalar` is excluded by construction: the
+    /// kernels are never entered under it.
+    fn runnable_backends() -> Vec<SimdBackend> {
+        let mut v = vec![SimdBackend::Portable];
+        for be in [SimdBackend::Avx2, SimdBackend::Avx512, SimdBackend::Neon] {
+            if be.available() {
+                v.push(be);
+            }
+        }
+        v
+    }
+
+    fn boundary_moduli() -> Vec<Modulus> {
+        // 28/45/59-bit NTT primes as in the scalar Shoup==Barrett tests,
+        // plus the 61-bit overflow edge where w·a approaches 2^125 and the
+        // forward domain approaches 2^63.
+        [28u32, 45, 59, 61]
+            .iter()
+            .map(|&bits| Modulus::new(find_ntt_prime(bits, 4096)))
+            .collect()
+    }
+
+    /// Operand grid at the range boundaries of every lazy domain.
+    fn boundary_operands(q: &Modulus) -> Vec<u64> {
+        vec![
+            0,
+            1,
+            q.value() - 1,
+            q.value(),
+            q.twice() - 1,
+            q.twice(),
+            4 * q.value() - 1,
+            u64::MAX,
+        ]
+    }
+
+    #[test]
+    fn dyadic_mul_shoup_boundary_values_match_scalar() {
+        for q in boundary_moduli() {
+            let a = boundary_operands(&q);
+            let w_raw: Vec<u64> = vec![
+                0,
+                1,
+                q.value() - 1,
+                q.value() / 2,
+                q.value() - 1,
+                2,
+                q.value() / 3,
+                q.value() - 2,
+            ];
+            let shoups: Vec<ShoupMul> = w_raw.iter().map(|&w| q.shoup(w)).collect();
+            let vals: Vec<u64> = shoups.iter().map(|s| s.value).collect();
+            let quots: Vec<u64> = shoups.iter().map(|s| s.quotient).collect();
+            let expect: Vec<u64> = a
+                .iter()
+                .zip(&shoups)
+                .map(|(&x, &s)| q.mul_shoup(x, s))
+                .collect();
+            for be in runnable_backends() {
+                let mut out = vec![0u64; a.len()];
+                dyadic_mul_shoup(be, &q, &mut out, &a, &vals, &quots);
+                assert_eq!(out, expect, "backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_mul_acc_shoup_boundary_values_match_scalar_bitwise() {
+        for q in boundary_moduli() {
+            let a = boundary_operands(&q);
+            // Accumulator pinned at the top of its [0, 2q) domain.
+            let acc0: Vec<u64> = (0..a.len() as u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        q.twice() - 1
+                    } else {
+                        q.value() - 1
+                    }
+                })
+                .collect();
+            let w = q.shoup(q.value() - 1);
+            let vals = vec![w.value; a.len()];
+            let quots = vec![w.quotient; a.len()];
+            let expect: Vec<u64> = acc0
+                .iter()
+                .zip(&a)
+                .map(|(&o, &x)| q.add_lazy(o, q.mul_shoup_lazy(x, w)))
+                .collect();
+            for be in runnable_backends() {
+                let mut acc = acc0.clone();
+                dyadic_mul_acc_shoup(be, &q, &mut acc, &a, &vals, &quots);
+                // Bit-for-bit on the unreduced lazy representatives.
+                assert_eq!(acc, expect, "backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_barrett_boundary_values_match_scalar() {
+        for q in boundary_moduli() {
+            // Barrett kernels require strictly reduced operands.
+            let a = vec![
+                0,
+                1,
+                q.value() - 1,
+                q.value() / 2,
+                q.value() - 1,
+                2,
+                3,
+                q.value() - 2,
+            ];
+            let b = vec![
+                q.value() - 1,
+                q.value() - 1,
+                q.value() - 1,
+                q.value() / 2,
+                1,
+                0,
+                q.value() - 3,
+                q.value() - 2,
+            ];
+            let acc0 = vec![q.value() - 1; a.len()];
+            let expect_mul: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+            let expect_acc: Vec<u64> = acc0
+                .iter()
+                .zip(a.iter().zip(&b))
+                .map(|(&c, (&x, &y))| q.mul_add(x, y, c))
+                .collect();
+            for be in runnable_backends() {
+                let mut out = vec![0u64; a.len()];
+                dyadic_mul(be, &q, &mut out, &a, &b);
+                assert_eq!(out, expect_mul, "mul backend {} q {}", be.name(), q);
+                let mut acc = acc0.clone();
+                dyadic_mul_acc(be, &q, &mut acc, &a, &b);
+                assert_eq!(acc, expect_acc, "mul_acc backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_stages_boundary_values_match_scalar_bitwise() {
+        // One stage with m = 2 blocks of stride t = 4, inputs pinned at the
+        // domain boundaries, twiddles at w = q−1 (the high-half emulation's
+        // worst case) — mirrors the scalar Harvey invariants tests.
+        for q in boundary_moduli() {
+            let two_q = q.twice();
+            let w = [q.shoup(q.value() - 1), q.shoup(q.value() / 2)];
+            let vals: Vec<u64> = w.iter().map(|s| s.value).collect();
+            let quots: Vec<u64> = w.iter().map(|s| s.quotient).collect();
+
+            // Forward stage: inputs in [0, 4q).
+            let fwd_in: Vec<u64> = (0..16u64)
+                .map(|i| [0, q.value() - 1, two_q - 1, 4 * q.value() - 1][(i % 4) as usize])
+                .collect();
+            let mut expect = fwd_in.clone();
+            #[allow(clippy::needless_range_loop)] // blk indexes both w and expect blocks
+            for blk in 0..2 {
+                for j in 0..4 {
+                    let (lo, hi) = (blk * 8 + j, blk * 8 + 4 + j);
+                    let mut u = expect[lo];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = q.mul_shoup_lazy(expect[hi], w[blk]);
+                    expect[lo] = u + v;
+                    expect[hi] = u + two_q - v;
+                }
+            }
+            for be in runnable_backends() {
+                let mut a = fwd_in.clone();
+                forward_stage(be, &q, &vals, &quots, &mut a, 2, 4);
+                assert_eq!(a, expect, "forward backend {} q {}", be.name(), q);
+            }
+
+            // Inverse stage: inputs in [0, 2q).
+            let inv_in: Vec<u64> = (0..16u64)
+                .map(|i| [0, 1, q.value() - 1, two_q - 1][(i % 4) as usize])
+                .collect();
+            let mut expect = inv_in.clone();
+            #[allow(clippy::needless_range_loop)] // blk indexes both w and expect blocks
+            for blk in 0..2 {
+                for j in 0..4 {
+                    let (lo, hi) = (blk * 8 + j, blk * 8 + 4 + j);
+                    let (u, v) = (expect[lo], expect[hi]);
+                    expect[lo] = q.add_lazy(u, v);
+                    expect[hi] = q.mul_shoup_lazy(u + two_q - v, w[blk]);
+                }
+            }
+            for be in runnable_backends() {
+                let mut a = inv_in.clone();
+                inverse_stage(be, &q, &vals, &quots, &mut a, 2, 4);
+                assert_eq!(a, expect, "inverse backend {} q {}", be.name(), q);
+            }
+
+            // Last inverse stage (folded n^{-1}): output strictly reduced.
+            let n_inv = q.shoup(q.inv(8).unwrap());
+            let psi_n_inv = q.shoup(q.mul(q.value() - 3 % q.value(), q.inv(8).unwrap()));
+            let mut expect = inv_in.clone();
+            let half = expect.len() / 2;
+            for j in 0..half {
+                let (u, v) = (expect[j], expect[half + j]);
+                expect[j] = q.mul_shoup(u + v, n_inv);
+                expect[half + j] = q.mul_shoup(u + two_q - v, psi_n_inv);
+            }
+            for be in runnable_backends() {
+                let mut a = inv_in.clone();
+                inverse_last_stage(be, &q, n_inv, psi_n_inv, &mut a);
+                assert_eq!(a, expect, "last stage backend {} q {}", be.name(), q);
+            }
+
+            // reduce_4q over an odd-length slice (scalar tail included).
+            let a: Vec<u64> = (0..13u64)
+                .map(|i| [0, q.value() - 1, two_q, 4 * q.value() - 1][(i % 4) as usize])
+                .collect();
+            let expect: Vec<u64> = a.iter().map(|&x| q.reduce_4q(x)).collect();
+            for be in runnable_backends() {
+                let mut got = a.clone();
+                reduce_4q(be, &q, &mut got);
+                assert_eq!(got, expect, "reduce_4q backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_resolution_reports_available_name() {
+        let be = auto_backend();
+        assert!(be.available());
+        assert!(be.is_vector());
+        assert!(["portable", "avx2", "avx512", "neon"].contains(&be.name()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn dyadic_kernels_match_scalar_random(seed in any::<u64>(), bits in 28u32..=61) {
+            let q = Modulus::new(find_ntt_prime(bits, 64));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = 37; // deliberately not a multiple of LANES: tail path
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let lazy_a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let acc0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let shoups: Vec<ShoupMul> = b.iter().map(|&w| q.shoup(w)).collect();
+            let vals: Vec<u64> = shoups.iter().map(|s| s.value).collect();
+            let quots: Vec<u64> = shoups.iter().map(|s| s.quotient).collect();
+
+            for be in runnable_backends() {
+                let mut out = vec![0u64; n];
+                dyadic_mul(be, &q, &mut out, &a, &b);
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+                prop_assert_eq!(&out, &expect);
+
+                let mut acc = a.clone();
+                dyadic_mul_acc(be, &q, &mut acc, &a, &b);
+                let expect: Vec<u64> =
+                    a.iter().zip(a.iter().zip(&b)).map(|(&c, (&x, &y))| q.mul_add(x, y, c)).collect();
+                prop_assert_eq!(&acc, &expect);
+
+                let mut out = vec![0u64; n];
+                dyadic_mul_shoup(be, &q, &mut out, &lazy_a, &vals, &quots);
+                let expect: Vec<u64> =
+                    lazy_a.iter().zip(&shoups).map(|(&x, &s)| q.mul_shoup(x, s)).collect();
+                prop_assert_eq!(&out, &expect);
+
+                let mut acc = acc0.clone();
+                dyadic_mul_acc_shoup(be, &q, &mut acc, &lazy_a, &vals, &quots);
+                let expect: Vec<u64> = acc0
+                    .iter()
+                    .zip(lazy_a.iter().zip(&shoups))
+                    .map(|(&o, (&x, &s))| q.add_lazy(o, q.mul_shoup_lazy(x, s)))
+                    .collect();
+                prop_assert_eq!(&acc, &expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! NEON (aarch64) backend: 64-bit lanes from `umull` cross products.
+//!
+//! NEON has no 64×64-bit vector multiply either, so products are assembled
+//! exactly like the AVX2 backend's `vpmuludq` emulation: the 64-bit lanes
+//! are narrowed to their 32-bit halves (`vmovn_u64` for the low words,
+//! `vshrn_n_u64::<32>` — the `uzp2`-equivalent narrowing shift — for the
+//! high words) and recombined from four `umull` (`vmull_u32`) cross
+//! products with the same carry threading. A 4-lane block is two
+//! `uint64x2_t` registers, processed back to back so the dispatch
+//! granularity ([`super::LANES`] = 4) matches the other backends.
+//!
+//! Unsigned 64-bit comparison is native (`vcgeq_u64`), so the conditional
+//! subtractions need no sign-flip trick. As everywhere in this module
+//! tree, the computation is the identical sequence of wrapping u64
+//! operations as the scalar engine — bit-for-bit equal outputs.
+//!
+//! Kernels are `unsafe fn` solely for symmetry with the dispatcher's
+//! contract; NEON is a baseline feature of every aarch64 target, so the
+//! feature precondition is vacuously satisfied.
+#![allow(unsafe_code)]
+
+use super::LANES;
+use crate::modulus::{Modulus, ShoupMul};
+use core::arch::aarch64::*;
+
+const LOW32: u64 = 0xffff_ffff;
+
+#[inline(always)]
+unsafe fn load2(p: &[u64]) -> (uint64x2_t, uint64x2_t) {
+    debug_assert!(p.len() >= LANES);
+    (vld1q_u64(p.as_ptr()), vld1q_u64(p.as_ptr().add(2)))
+}
+
+#[inline(always)]
+unsafe fn store2(p: &mut [u64], v: (uint64x2_t, uint64x2_t)) {
+    debug_assert!(p.len() >= LANES);
+    vst1q_u64(p.as_mut_ptr(), v.0);
+    vst1q_u64(p.as_mut_ptr().add(2), v.1);
+}
+
+/// Conditional subtraction `x − (m & [x ≥ m])` on one register.
+#[inline(always)]
+unsafe fn csub(x: uint64x2_t, m: uint64x2_t) -> uint64x2_t {
+    vsubq_u64(x, vandq_u64(vcgeq_u64(x, m), m))
+}
+
+/// `floor(a·b / 2^64)` per lane; same carry threading as the AVX2 backend.
+#[inline(always)]
+unsafe fn mulhi_u64(a: uint64x2_t, b: uint64x2_t) -> uint64x2_t {
+    let a_lo = vmovn_u64(a);
+    let a_hi = vshrn_n_u64::<32>(a);
+    let b_lo = vmovn_u64(b);
+    let b_hi = vshrn_n_u64::<32>(b);
+    let lolo = vmull_u32(a_lo, b_lo);
+    let hilo = vmull_u32(a_hi, b_lo);
+    let lohi = vmull_u32(a_lo, b_hi);
+    let hihi = vmull_u32(a_hi, b_hi);
+    let mid = vaddq_u64(hilo, vshrq_n_u64::<32>(lolo));
+    let mid2 = vaddq_u64(lohi, vandq_u64(mid, vdupq_n_u64(LOW32)));
+    vaddq_u64(
+        vaddq_u64(hihi, vshrq_n_u64::<32>(mid)),
+        vshrq_n_u64::<32>(mid2),
+    )
+}
+
+/// `a·b mod 2^64` per lane.
+#[inline(always)]
+unsafe fn mullo_u64(a: uint64x2_t, b: uint64x2_t) -> uint64x2_t {
+    let a_lo = vmovn_u64(a);
+    let a_hi = vshrn_n_u64::<32>(a);
+    let b_lo = vmovn_u64(b);
+    let b_hi = vshrn_n_u64::<32>(b);
+    let lolo = vmull_u32(a_lo, b_lo);
+    let cross = vaddq_u64(vmull_u32(a_hi, b_lo), vmull_u32(a_lo, b_hi));
+    vaddq_u64(lolo, vshlq_n_u64::<32>(cross))
+}
+
+/// Full 64×64→128 product per lane as `(hi, lo)`.
+#[inline(always)]
+unsafe fn mulfull_u64(a: uint64x2_t, b: uint64x2_t) -> (uint64x2_t, uint64x2_t) {
+    let a_lo = vmovn_u64(a);
+    let a_hi = vshrn_n_u64::<32>(a);
+    let b_lo = vmovn_u64(b);
+    let b_hi = vshrn_n_u64::<32>(b);
+    let lolo = vmull_u32(a_lo, b_lo);
+    let hilo = vmull_u32(a_hi, b_lo);
+    let lohi = vmull_u32(a_lo, b_hi);
+    let hihi = vmull_u32(a_hi, b_hi);
+    let low32 = vdupq_n_u64(LOW32);
+    let mid = vaddq_u64(hilo, vshrq_n_u64::<32>(lolo));
+    let mid2 = vaddq_u64(lohi, vandq_u64(mid, low32));
+    let hi = vaddq_u64(
+        vaddq_u64(hihi, vshrq_n_u64::<32>(mid)),
+        vshrq_n_u64::<32>(mid2),
+    );
+    let lo = vaddq_u64(vshlq_n_u64::<32>(mid2), vandq_u64(lolo, low32));
+    (hi, lo)
+}
+
+/// Lane form of [`Modulus::mul_shoup_lazy`], result in `[0, 2q)`.
+#[inline(always)]
+unsafe fn mul_shoup_lazy(
+    a: uint64x2_t,
+    wv: uint64x2_t,
+    wq: uint64x2_t,
+    qv: uint64x2_t,
+) -> uint64x2_t {
+    let q_est = mulhi_u64(a, wq);
+    vsubq_u64(mullo_u64(a, wv), mullo_u64(q_est, qv))
+}
+
+/// Lane form of [`Modulus::reduce_u128`]; see the AVX2 twin for the carry
+/// bookkeeping argument.
+#[inline(always)]
+unsafe fn barrett_reduce(
+    xh: uint64x2_t,
+    xl: uint64x2_t,
+    bh: uint64x2_t,
+    bl: uint64x2_t,
+    qv: uint64x2_t,
+    two_q: uint64x2_t,
+) -> uint64x2_t {
+    let (h1, l1) = mulfull_u64(xl, bh);
+    let (h2, l2) = mulfull_u64(xh, bl);
+    let g = mulhi_u64(xl, bl);
+    let s1 = vaddq_u64(g, l1);
+    let c1 = vcltq_u64(s1, g);
+    let s2 = vaddq_u64(s1, l2);
+    let c2 = vcltq_u64(s2, s1);
+    let mut qhat = vaddq_u64(mullo_u64(xh, bh), vaddq_u64(h1, h2));
+    qhat = vsubq_u64(qhat, c1); // mask is −1 per carried lane
+    qhat = vsubq_u64(qhat, c2);
+    let r = vsubq_u64(xl, mullo_u64(qhat, qv));
+    csub(csub(r, two_q), qv)
+}
+
+pub(super) unsafe fn forward_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    for i in 0..m {
+        let wv = vdupq_n_u64(w_vals[i]);
+        let wq = vdupq_n_u64(w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            let (u0, u1) = load2(x4);
+            let (y0, y1) = load2(y4);
+            let u0 = csub(u0, two_q);
+            let u1 = csub(u1, two_q);
+            let v0 = mul_shoup_lazy(y0, wv, wq, qv);
+            let v1 = mul_shoup_lazy(y1, wv, wq, qv);
+            store2(x4, (vaddq_u64(u0, v0), vaddq_u64(u1, v1)));
+            store2(
+                y4,
+                (
+                    vsubq_u64(vaddq_u64(u0, two_q), v0),
+                    vsubq_u64(vaddq_u64(u1, two_q), v1),
+                ),
+            );
+        }
+    }
+}
+
+pub(super) unsafe fn inverse_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    for i in 0..h {
+        let wv = vdupq_n_u64(w_vals[i]);
+        let wq = vdupq_n_u64(w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            let (u0, u1) = load2(x4);
+            let (v0, v1) = load2(y4);
+            store2(
+                x4,
+                (
+                    csub(vaddq_u64(u0, v0), two_q),
+                    csub(vaddq_u64(u1, v1), two_q),
+                ),
+            );
+            let d0 = vsubq_u64(vaddq_u64(u0, two_q), v0);
+            let d1 = vsubq_u64(vaddq_u64(u1, two_q), v1);
+            store2(
+                y4,
+                (
+                    mul_shoup_lazy(d0, wv, wq, qv),
+                    mul_shoup_lazy(d1, wv, wq, qv),
+                ),
+            );
+        }
+    }
+}
+
+pub(super) unsafe fn inverse_last_stage(
+    q: &Modulus,
+    n_inv: ShoupMul,
+    psi_n_inv: ShoupMul,
+    a: &mut [u64],
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let niv = vdupq_n_u64(n_inv.value);
+    let niq = vdupq_n_u64(n_inv.quotient);
+    let piv = vdupq_n_u64(psi_n_inv.value);
+    let piq = vdupq_n_u64(psi_n_inv.quotient);
+    let half = a.len() / 2;
+    let (lo, hi) = a.split_at_mut(half);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let (u0, u1) = load2(x4);
+        let (v0, v1) = load2(y4);
+        let s0 = vaddq_u64(u0, v0);
+        let s1 = vaddq_u64(u1, v1);
+        let d0 = vsubq_u64(vaddq_u64(u0, two_q), v0);
+        let d1 = vsubq_u64(vaddq_u64(u1, two_q), v1);
+        store2(
+            x4,
+            (
+                csub(mul_shoup_lazy(s0, niv, niq, qv), qv),
+                csub(mul_shoup_lazy(s1, niv, niq, qv), qv),
+            ),
+        );
+        store2(
+            y4,
+            (
+                csub(mul_shoup_lazy(d0, piv, piq, qv), qv),
+                csub(mul_shoup_lazy(d1, piv, piq, qv), qv),
+            ),
+        );
+    }
+}
+
+pub(super) unsafe fn reduce_4q(q: &Modulus, a: &mut [u64]) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let mut chunks = a.chunks_exact_mut(LANES);
+    for x4 in chunks.by_ref() {
+        let (x0, x1) = load2(x4);
+        store2(x4, (csub(csub(x0, two_q), qv), csub(csub(x1, two_q), qv)));
+    }
+    for x in chunks.into_remainder() {
+        *x = q.reduce_4q(*x);
+    }
+}
+
+pub(super) unsafe fn dyadic_mul_shoup(
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = vdupq_n_u64(q.value());
+    let n2 = out.len() - out.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let r = mul_shoup_lazy(
+            vld1q_u64(a.as_ptr().add(j)),
+            vld1q_u64(vals.as_ptr().add(j)),
+            vld1q_u64(quots.as_ptr().add(j)),
+            qv,
+        );
+        vst1q_u64(out.as_mut_ptr().add(j), csub(r, qv));
+    }
+    for j in n2..out.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+pub(super) unsafe fn dyadic_mul_acc_shoup(
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let n2 = acc.len() - acc.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let r = mul_shoup_lazy(
+            vld1q_u64(a.as_ptr().add(j)),
+            vld1q_u64(vals.as_ptr().add(j)),
+            vld1q_u64(quots.as_ptr().add(j)),
+            qv,
+        );
+        let s = vaddq_u64(vld1q_u64(acc.as_ptr().add(j)), r);
+        vst1q_u64(acc.as_mut_ptr().add(j), csub(s, two_q));
+    }
+    for j in n2..acc.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        acc[j] = q.add_lazy(acc[j], q.mul_shoup_lazy(a[j], w));
+    }
+}
+
+pub(super) unsafe fn mul_shoup_bcast(q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul) {
+    let qv = vdupq_n_u64(q.value());
+    let wv = vdupq_n_u64(w.value);
+    let wq = vdupq_n_u64(w.quotient);
+    let n2 = out.len() - out.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let r = mul_shoup_lazy(vld1q_u64(a.as_ptr().add(j)), wv, wq, qv);
+        vst1q_u64(out.as_mut_ptr().add(j), csub(r, qv));
+    }
+    for j in n2..out.len() {
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+pub(super) unsafe fn mul_shoup_lazy_acc_wide(
+    q: &Modulus,
+    lo: &mut [u64],
+    hi: &mut [u64],
+    a: &[u64],
+    w: ShoupMul,
+) {
+    let qv = vdupq_n_u64(q.value());
+    let wv = vdupq_n_u64(w.value);
+    let wq = vdupq_n_u64(w.quotient);
+    let n2 = lo.len() - lo.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let t = mul_shoup_lazy(vld1q_u64(a.as_ptr().add(j)), wv, wq, qv);
+        let s = vaddq_u64(vld1q_u64(lo.as_ptr().add(j)), t);
+        let carry = vcltq_u64(s, t); // s < t ⟺ the add wrapped
+        vst1q_u64(lo.as_mut_ptr().add(j), s);
+        let h = vld1q_u64(hi.as_ptr().add(j));
+        // The mask is −1 per carried lane; subtracting it adds 1.
+        vst1q_u64(hi.as_mut_ptr().add(j), vsubq_u64(h, carry));
+    }
+    for j in n2..lo.len() {
+        let t = q.mul_shoup_lazy(a[j], w);
+        let (s, carry) = lo[j].overflowing_add(t);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+pub(super) unsafe fn fold_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    v: &[u64],
+    q_mod: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let bh = vdupq_n_u64(bhi);
+    let bl = vdupq_n_u64(blo);
+    let qmv = vdupq_n_u64(q_mod.value);
+    let qmq = vdupq_n_u64(q_mod.quotient);
+    let n2 = out.len() - out.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let r = barrett_reduce(
+            vld1q_u64(hi.as_ptr().add(j)),
+            vld1q_u64(lo.as_ptr().add(j)),
+            bh,
+            bl,
+            qv,
+            two_q,
+        );
+        let s = csub(
+            mul_shoup_lazy(vld1q_u64(v.as_ptr().add(j)), qmv, qmq, qv),
+            qv,
+        );
+        // Modular subtraction of two reduced values: add q back where r < s.
+        let d = vsubq_u64(r, s);
+        let lt = vcltq_u64(r, s);
+        vst1q_u64(out.as_mut_ptr().add(j), vaddq_u64(d, vandq_u64(lt, qv)));
+    }
+    for j in n2..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.sub(q.reduce_u128(acc), q.mul_shoup(v[j], q_mod));
+    }
+}
+
+pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let bh = vdupq_n_u64(bhi);
+    let bl = vdupq_n_u64(blo);
+    let n2 = out.len() - out.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let (xh, xl) = mulfull_u64(vld1q_u64(a.as_ptr().add(j)), vld1q_u64(b.as_ptr().add(j)));
+        vst1q_u64(
+            out.as_mut_ptr().add(j),
+            barrett_reduce(xh, xl, bh, bl, qv, two_q),
+        );
+    }
+    for j in n2..out.len() {
+        out[j] = q.mul(a[j], b[j]);
+    }
+}
+
+pub(super) unsafe fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let bh = vdupq_n_u64(bhi);
+    let bl = vdupq_n_u64(blo);
+    let n2 = acc.len() - acc.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let (mut xh, xl) = mulfull_u64(vld1q_u64(a.as_ptr().add(j)), vld1q_u64(b.as_ptr().add(j)));
+        let c = vld1q_u64(acc.as_ptr().add(j));
+        let xl = vaddq_u64(xl, c);
+        let carry = vcltq_u64(xl, c);
+        xh = vsubq_u64(xh, carry);
+        vst1q_u64(
+            acc.as_mut_ptr().add(j),
+            barrett_reduce(xh, xl, bh, bl, qv, two_q),
+        );
+    }
+    for j in n2..acc.len() {
+        acc[j] = q.mul_add(a[j], b[j], acc[j]);
+    }
+}

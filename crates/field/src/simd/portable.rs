@@ -1,0 +1,182 @@
+//! Portable 4-lane fallback: the exact scalar formulas, block-structured
+//! like the vector backends (`chunks_exact(LANES)` plus scalar tails) so
+//! every platform compiles and tests the same dispatch shape. Results are
+//! bit-for-bit identical to both the scalar oracle and the intrinsics
+//! backends — all three compute the same sequence of wrapping u64 ops.
+
+use super::LANES;
+use crate::modulus::{Modulus, ShoupMul};
+
+#[inline(always)]
+fn mul_shoup_lazy(q: u64, a: u64, wv: u64, wq: u64) -> u64 {
+    let q_est = ((wq as u128 * a as u128) >> 64) as u64;
+    wv.wrapping_mul(a).wrapping_sub(q_est.wrapping_mul(q))
+}
+
+#[inline(always)]
+fn csub(x: u64, m: u64) -> u64 {
+    if x >= m {
+        x - m
+    } else {
+        x
+    }
+}
+
+pub(super) fn forward_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+) {
+    // Hard assert: a stride below the lane count would make chunks_exact
+    // silently skip elements (only the AVX-512 backend supports small
+    // strides, via permutes).
+    assert!(t >= LANES && t.is_multiple_of(LANES));
+    let qv = q.value();
+    let two_q = qv << 1;
+    for i in 0..m {
+        let (wv, wq) = (w_vals[i], w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
+                let u = csub(*x, two_q);
+                let v = mul_shoup_lazy(qv, *y, wv, wq);
+                *x = u + v;
+                *y = u + two_q - v;
+            }
+        }
+    }
+}
+
+pub(super) fn inverse_stage(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+) {
+    assert!(t >= LANES && t.is_multiple_of(LANES));
+    let qv = q.value();
+    let two_q = qv << 1;
+    for i in 0..h {
+        let (wv, wq) = (w_vals[i], w_quots[i]);
+        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
+                let (u, v) = (*x, *y);
+                *x = csub(u + v, two_q);
+                *y = mul_shoup_lazy(qv, u + two_q - v, wv, wq);
+            }
+        }
+    }
+}
+
+pub(super) fn inverse_last_stage(q: &Modulus, n_inv: ShoupMul, psi_n_inv: ShoupMul, a: &mut [u64]) {
+    let qv = q.value();
+    let two_q = qv << 1;
+    let half = a.len() / 2;
+    let (lo, hi) = a.split_at_mut(half);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
+            let (u, v) = (*x, *y);
+            *x = csub(mul_shoup_lazy(qv, u + v, n_inv.value, n_inv.quotient), qv);
+            *y = csub(
+                mul_shoup_lazy(qv, u + two_q - v, psi_n_inv.value, psi_n_inv.quotient),
+                qv,
+            );
+        }
+    }
+}
+
+pub(super) fn reduce_4q(q: &Modulus, a: &mut [u64]) {
+    let qv = q.value();
+    let two_q = qv << 1;
+    let mut chunks = a.chunks_exact_mut(LANES);
+    for x4 in chunks.by_ref() {
+        for x in x4.iter_mut() {
+            *x = csub(csub(*x, two_q), qv);
+        }
+    }
+    for x in chunks.into_remainder() {
+        *x = csub(csub(*x, two_q), qv);
+    }
+}
+
+pub(super) fn dyadic_mul_shoup(
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = q.value();
+    for (((o, &x), &wv), &wq) in out.iter_mut().zip(a).zip(vals).zip(quots) {
+        *o = csub(mul_shoup_lazy(qv, x, wv, wq), qv);
+    }
+}
+
+pub(super) fn dyadic_mul_acc_shoup(
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    let qv = q.value();
+    let two_q = qv << 1;
+    for (((o, &x), &wv), &wq) in acc.iter_mut().zip(a).zip(vals).zip(quots) {
+        *o = csub(*o + mul_shoup_lazy(qv, x, wv, wq), two_q);
+    }
+}
+
+pub(super) fn mul_shoup_bcast(q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul) {
+    let qv = q.value();
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = csub(mul_shoup_lazy(qv, x, w.value, w.quotient), qv);
+    }
+}
+
+pub(super) fn mul_shoup_lazy_acc_wide(
+    q: &Modulus,
+    lo: &mut [u64],
+    hi: &mut [u64],
+    a: &[u64],
+    w: ShoupMul,
+) {
+    let qv = q.value();
+    for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(a) {
+        let t = mul_shoup_lazy(qv, x, w.value, w.quotient);
+        let (s, carry) = l.overflowing_add(t);
+        *l = s;
+        *h += carry as u64;
+    }
+}
+
+pub(super) fn fold_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    v: &[u64],
+    q_mod: ShoupMul,
+) {
+    for (((o, &l), &h), &vj) in out.iter_mut().zip(lo).zip(hi).zip(v) {
+        let acc = ((h as u128) << 64) | l as u128;
+        *o = q.sub(q.reduce_u128(acc), q.mul_shoup(vj, q_mod));
+    }
+}
+
+pub(super) fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = q.mul(x, y);
+    }
+}
+
+pub(super) fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+        *o = q.mul_add(x, y, *o);
+    }
+}

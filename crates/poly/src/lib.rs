@@ -13,6 +13,11 @@
 //!   residue column per prime of a [`pi_field::CrtBasis`], per-residue NTT
 //!   tables ([`RnsNttTables`]), and exact centered basis extension — the
 //!   substrate for >62-bit ciphertext moduli in `pi-he`.
+//! * [`simd`] — stage-level dispatch of the Harvey butterflies and dyadic
+//!   kernels onto the four-lane SIMD backends in [`pi_field::simd`]
+//!   (runtime AVX2/NEON detection, `PI_SIMD` toggle); the scalar
+//!   butterflies in [`ntt`] stay canonical and serve as the differential
+//!   oracle.
 //!
 //! # Examples
 //!
@@ -34,6 +39,7 @@ pub mod ntt;
 pub mod poly;
 pub mod rns;
 pub mod sample;
+pub mod simd;
 
 pub use ntt::{NttTables, ShoupVec};
 pub use poly::{Poly, PolyForm, PolyOperand, RingContext};

@@ -30,10 +30,29 @@
 //!   and reduces exactly, so the output is strictly in `[0, q)` with no
 //!   separate scaling pass.
 //!
+//! # SIMD dispatch
+//!
+//! Every public transform and pointwise kernel resolves a SIMD backend once
+//! per call ([`crate::simd::backend`]: AVX-512 / AVX2 / NEON / a portable
+//! four-lane fallback, or the scalar path under `PI_SIMD=scalar`) and
+//! routes each butterfly stage with stride `t >= 4` — and the
+//! pointwise/correction passes — through the lane kernels in
+//! `pi_field::simd`; the AVX-512 backend additionally takes the small-
+//! stride stages through an in-register permute path. Stages the backend
+//! does not cover, and entire transforms under the scalar backend, run the
+//! element-at-a-time butterflies in this file: that
+//! scalar path stays canonical and doubles as the differential oracle for
+//! the SIMD paths (`tests/ntt_simd_differential.rs` proves bit-for-bit
+//! agreement, lazy representatives included). The stage-major
+//! [`NttTables::forward_many`]/[`NttTables::inverse_many`] batching applies
+//! the same per-stage rule, so `RnsNttTables` and the whole RNS-BFV
+//! multiply inherit the vector path for every residue column.
+//!
 //! The pre-optimization Barrett transforms survive as
 //! [`NttTables::forward_reference`] / [`NttTables::inverse_reference`]; they
 //! are the differential-test oracle and the before/after benchmark baseline.
 
+use crate::simd;
 use pi_field::{prime, Modulus, ShoupMul};
 
 /// A vector of fixed multiplicands in Shoup form: values plus precomputed
@@ -75,6 +94,12 @@ impl ShoupVec {
     /// The raw (reduced) values.
     pub fn values(&self) -> &[u64] {
         &self.values
+    }
+
+    /// The precomputed Shoup quotients, parallel to [`ShoupVec::values`]
+    /// (consumed by the lane kernels in `pi_field::simd`).
+    pub fn quotients(&self) -> &[u64] {
+        &self.quotients
     }
 
     /// The `i`-th element as a [`ShoupMul`].
@@ -240,15 +265,24 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        let be = simd::backend();
         let mut t = self.n;
         let mut m = 1;
         while m < self.n {
             t /= 2;
-            self.forward_stage(a, m, t);
+            if simd::stage_vectorizable(be, t, self.n) {
+                simd::forward_stage(be, self.q, &self.psi_rev, a, m, t);
+            } else {
+                self.forward_stage(a, m, t);
+            }
             m *= 2;
         }
-        for x in a.iter_mut() {
-            *x = self.q.reduce_4q(*x);
+        if be.is_vector() {
+            simd::reduce_4q(be, self.q, a);
+        } else {
+            for x in a.iter_mut() {
+                *x = self.q.reduce_4q(*x);
+            }
         }
     }
 
@@ -263,15 +297,24 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        let be = simd::backend();
         let mut t = 1;
         let mut m = self.n;
         while m > 2 {
             let h = m / 2;
-            self.inverse_stage(a, h, t);
+            if simd::stage_vectorizable(be, t, self.n) {
+                simd::inverse_stage(be, self.q, &self.psi_inv_rev, a, h, t);
+            } else {
+                self.inverse_stage(a, h, t);
+            }
             t *= 2;
             m = h;
         }
-        self.inverse_last_stage(a);
+        if simd::stage_vectorizable(be, self.n / 2, self.n) {
+            simd::inverse_last_stage(be, self.q, self.n_inv, self.psi_n_inv, a);
+        } else {
+            self.inverse_last_stage(a);
+        }
     }
 
     /// Forward-transforms a batch of polynomials stage-by-stage, so each
@@ -289,18 +332,27 @@ impl NttTables {
         for a in batch.iter() {
             assert_eq!(a.len(), self.n);
         }
+        let be = simd::backend();
         let mut t = self.n;
         let mut m = 1;
         while m < self.n {
             t /= 2;
             for a in batch.iter_mut() {
-                self.forward_stage(a, m, t);
+                if simd::stage_vectorizable(be, t, self.n) {
+                    simd::forward_stage(be, self.q, &self.psi_rev, a, m, t);
+                } else {
+                    self.forward_stage(a, m, t);
+                }
             }
             m *= 2;
         }
         for a in batch.iter_mut() {
-            for x in a.iter_mut() {
-                *x = self.q.reduce_4q(*x);
+            if be.is_vector() {
+                simd::reduce_4q(be, self.q, a);
+            } else {
+                for x in a.iter_mut() {
+                    *x = self.q.reduce_4q(*x);
+                }
             }
         }
     }
@@ -315,18 +367,27 @@ impl NttTables {
         for a in batch.iter() {
             assert_eq!(a.len(), self.n);
         }
+        let be = simd::backend();
         let mut t = 1;
         let mut m = self.n;
         while m > 2 {
             let h = m / 2;
             for a in batch.iter_mut() {
-                self.inverse_stage(a, h, t);
+                if simd::stage_vectorizable(be, t, self.n) {
+                    simd::inverse_stage(be, self.q, &self.psi_inv_rev, a, h, t);
+                } else {
+                    self.inverse_stage(a, h, t);
+                }
             }
             t *= 2;
             m = h;
         }
         for a in batch.iter_mut() {
-            self.inverse_last_stage(a);
+            if simd::stage_vectorizable(be, self.n / 2, self.n) {
+                simd::inverse_last_stage(be, self.q, self.n_inv, self.psi_n_inv, a);
+            } else {
+                self.inverse_last_stage(a);
+            }
         }
     }
 
@@ -338,6 +399,11 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
         assert!(out.len() == self.n && a.len() == self.n && b.len() == self.n);
+        let be = simd::backend();
+        if be.is_vector() {
+            simd::dyadic_mul(be, self.q, out, a, b);
+            return;
+        }
         let q = &self.q;
         for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
             *o = q.mul(x, y);
@@ -353,6 +419,11 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_acc(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
         assert!(acc.len() == self.n && a.len() == self.n && b.len() == self.n);
+        let be = simd::backend();
+        if be.is_vector() {
+            simd::dyadic_mul_acc(be, self.q, acc, a, b);
+            return;
+        }
         let q = &self.q;
         for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
             *o = q.mul_add(x, y, *o);
@@ -367,6 +438,11 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_shoup(&self, out: &mut [u64], a: &[u64], op: &ShoupVec) {
         assert!(out.len() == self.n && a.len() == self.n && op.len() == self.n);
+        let be = simd::backend();
+        if be.is_vector() {
+            simd::dyadic_mul_shoup(be, self.q, out, a, op);
+            return;
+        }
         let q = &self.q;
         for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
             *o = q.mul_shoup(x, op.get(i));
@@ -387,6 +463,11 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_acc_shoup(&self, acc: &mut [u64], a: &[u64], op: &ShoupVec) {
         assert!(acc.len() == self.n && a.len() == self.n && op.len() == self.n);
+        let be = simd::backend();
+        if be.is_vector() {
+            simd::dyadic_mul_acc_shoup(be, self.q, acc, a, op);
+            return;
+        }
         let q = &self.q;
         for (i, (o, &x)) in acc.iter_mut().zip(a).enumerate() {
             *o = q.add_lazy(*o, q.mul_shoup_lazy(x, op.get(i)));

@@ -23,6 +23,10 @@
 //!   `q_i`. Columns are independent; batched transforms
 //!   ([`RnsNttTables::forward_many`]) iterate residues outermost so each
 //!   column's twiddles are streamed once per stage for the whole batch.
+//!   Each column's stages route through the SIMD dispatch in
+//!   [`crate::simd`], so the vector butterflies (AVX2/NEON/portable) pay
+//!   off `k`× per RNS transform — once per residue column — with no code
+//!   in this module aware of the backend.
 //! * Strict form: all stored values are reduced (`< q_i`). The lazy
 //!   `[0, 2q_i)` / `[0, 4q_i)` domains of the Harvey butterflies and the
 //!   `dyadic_mul_acc_shoup` accumulators never escape a kernel call — an
@@ -34,6 +38,7 @@
 
 use crate::ntt::{NttTables, ShoupVec};
 use crate::poly::PolyForm;
+use pi_field::simd as fsimd;
 use pi_field::{CrtBasis, FastBaseConverter, Modulus, U1024};
 use std::fmt;
 use std::sync::Arc;
@@ -57,6 +62,12 @@ use std::sync::Arc;
 /// Panics if the column count differs from the converter's source-prime
 /// count or the columns have unequal lengths.
 pub fn convert_columns_fast(conv: &FastBaseConverter, src_cols: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let be = fsimd::backend();
+    if be.is_vector() {
+        return convert_columns_vector(be, conv, src_cols, |_, digits| {
+            conv.round_correction(digits)
+        });
+    }
     let (rows, n) = digit_rows(conv, src_cols);
     let k = conv.src_moduli().len();
     let corrections: Vec<u64> = rows
@@ -82,8 +93,18 @@ pub fn convert_columns_exact(
     src_cols: &[Vec<u64>],
     channel_col: &[u64],
 ) -> Vec<Vec<u64>> {
+    assert_eq!(
+        channel_col.len(),
+        src_cols[0].len(),
+        "channel column length mismatch"
+    );
+    let be = fsimd::backend();
+    if be.is_vector() {
+        return convert_columns_vector(be, conv, src_cols, |j, digits| {
+            conv.channel_correction(digits, channel_col[j])
+        });
+    }
     let (rows, n) = digit_rows(conv, src_cols);
-    assert_eq!(channel_col.len(), n, "channel column length mismatch");
     let k = conv.src_moduli().len();
     let corrections: Vec<u64> = rows
         .chunks_exact(k)
@@ -91,6 +112,57 @@ pub fn convert_columns_exact(
         .map(|(digits, &y)| conv.channel_correction(digits, y))
         .collect();
     fold_rows(conv, &rows, &corrections, n)
+}
+
+/// The vectorized (column-major) batched conversion: one broadcast-Shoup
+/// digit pass per source column, scalar per-coefficient corrections over
+/// gathered digits, then per target one 128-bit-wide lazy accumulate per
+/// source prime and a fused reduce/subtract pass — the lane decomposition
+/// of [`FastBaseConverter::fold`]'s `u128` accumulator, computing the
+/// identical sums term for term (the scalar path above remains the
+/// oracle; `tests/rns_differential.rs` runs under both).
+fn convert_columns_vector(
+    be: fsimd::SimdBackend,
+    conv: &FastBaseConverter,
+    src_cols: &[Vec<u64>],
+    mut correction: impl FnMut(usize, &[u64]) -> u64,
+) -> Vec<Vec<u64>> {
+    let src = conv.src_moduli();
+    assert_eq!(src_cols.len(), src.len(), "source column count mismatch");
+    let k = src.len();
+    let n = src_cols[0].len();
+    let dcols: Vec<Vec<u64>> = src_cols
+        .iter()
+        .enumerate()
+        .map(|(i, col)| {
+            assert_eq!(col.len(), n, "source columns must have equal length");
+            let mut out = vec![0u64; n];
+            fsimd::mul_shoup_bcast(be, &src[i], &mut out, col, conv.digit_scale(i));
+            out
+        })
+        .collect();
+    let mut buf = vec![0u64; k];
+    let corrections: Vec<u64> = (0..n)
+        .map(|j| {
+            for (b, col) in buf.iter_mut().zip(&dcols) {
+                *b = col[j];
+            }
+            correction(j, &buf)
+        })
+        .collect();
+    (0..conv.dst_moduli().len())
+        .map(|p| {
+            let m = conv.dst_moduli()[p];
+            let mut lo = vec![0u64; n];
+            let mut hi = vec![0u64; n];
+            for (i, dc) in dcols.iter().enumerate() {
+                fsimd::mul_shoup_lazy_acc_wide(be, &m, &mut lo, &mut hi, dc, conv.cross_row(p)[i]);
+            }
+            let mut out = vec![0u64; n];
+            fsimd::fold_finish(be, &m, &mut out, &lo, &hi, &corrections, conv.q_mod_dst(p));
+            out
+        })
+        .collect()
 }
 
 /// The FBC digits in coefficient-major rows (`rows[j·k + i]` = digit of

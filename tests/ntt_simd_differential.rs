@@ -1,0 +1,359 @@
+//! Differential harness: the SIMD NTT/dyadic kernels against the canonical
+//! scalar path, **bit for bit**.
+//!
+//! The scalar Harvey engine (forced via `SimdBackend::Scalar`) is the
+//! oracle; the vector paths under test are the portable 4-lane fallback
+//! (available everywhere) and whatever intrinsics backend this machine
+//! detects (AVX2 on x86_64, NEON on aarch64). Because every backend
+//! computes the identical sequence of wrapping u64 operations, the
+//! comparison is exact equality of the raw words — including **unreduced
+//! lazy-domain representatives** from `dyadic_mul_acc_shoup` and inverse
+//! transforms fed `[0, 2q)` inputs, not just canonical values.
+//!
+//! Coverage: n ∈ {4, 8, 16, 64, 256, 1024, 2048, 4096} × 28/45/61-bit NTT
+//! primes (the 61-bit prime stresses the u64 headroom of the `[0, 4q)`
+//! forward domain and the 2^125 Shoup products), plus proptest-driven
+//! random sweeps. The four umbrella e2e suites run under `PI_SIMD=scalar`
+//! and `PI_SIMD=on` in CI, completing the forced-on/forced-off matrix.
+//!
+//! Backend selection is process-global, so tests that flip it serialize on
+//! a mutex; each comparison re-runs both sides under its own forced
+//! backend.
+
+use private_inference::field::simd::{self, SimdBackend};
+use private_inference::field::{find_ntt_prime, Modulus};
+use private_inference::poly::{NttTables, ShoupVec};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard};
+
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A panicking test poisons the mutex; the guard itself carries no state.
+    BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the dispatch pinned to `be`, restoring auto-resolution
+/// afterwards. Callers must hold `BACKEND_LOCK`.
+fn with_backend<T>(be: SimdBackend, f: impl FnOnce() -> T) -> T {
+    simd::force_backend(be);
+    let out = f();
+    simd::clear_forced_backend();
+    out
+}
+
+/// The vector backends this machine can execute: always the portable
+/// fallback, plus every available intrinsics backend (on an AVX-512 host
+/// that is both AVX2 and AVX-512; the auto pick is among them).
+fn vector_backends() -> Vec<SimdBackend> {
+    let mut v = vec![SimdBackend::Portable];
+    for be in [SimdBackend::Avx2, SimdBackend::Avx512, SimdBackend::Neon] {
+        if be.available() {
+            v.push(be);
+        }
+    }
+    assert!(v.contains(&simd::auto_backend()));
+    v
+}
+
+fn tables(n: usize, bits: u32) -> NttTables {
+    NttTables::new(n, Modulus::new(find_ntt_prime(bits, n as u64)))
+}
+
+fn random_vec(n: usize, bound: u64, rng: &mut impl Rng) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[test]
+fn forward_matches_scalar_bitwise_across_sizes_and_primes() {
+    let _g = lock();
+    for n in [4usize, 8, 16, 64, 256, 1024, 2048, 4096] {
+        for bits in [28u32, 45, 61] {
+            let t = tables(n, bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 100 + bits as u64);
+            let orig = random_vec(n, t.q().value(), &mut rng);
+            let expect = with_backend(SimdBackend::Scalar, || {
+                let mut a = orig.clone();
+                t.forward(&mut a);
+                a
+            });
+            for be in vector_backends() {
+                let got = with_backend(be, || {
+                    let mut a = orig.clone();
+                    t.forward(&mut a);
+                    a
+                });
+                assert_eq!(got, expect, "forward n={n} bits={bits} be={}", be.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn inverse_matches_scalar_bitwise_on_lazy_representatives() {
+    let _g = lock();
+    for n in [4usize, 8, 16, 64, 256, 1024, 2048, 4096] {
+        for bits in [28u32, 45, 61] {
+            let t = tables(n, bits);
+            let q = t.q();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 1000 + bits as u64);
+            // Inputs across the full lazy [0, 2q) domain, not just [0, q):
+            // the inverse contract accepts unreduced accumulator output.
+            let lazy = random_vec(n, q.twice(), &mut rng);
+            let expect = with_backend(SimdBackend::Scalar, || {
+                let mut a = lazy.clone();
+                t.inverse(&mut a);
+                a
+            });
+            for be in vector_backends() {
+                let got = with_backend(be, || {
+                    let mut a = lazy.clone();
+                    t.inverse(&mut a);
+                    a
+                });
+                assert_eq!(got, expect, "inverse n={n} bits={bits} be={}", be.name());
+            }
+            // And the strict-input roundtrip recovers the original exactly.
+            let orig = random_vec(n, q.value(), &mut rng);
+            for be in vector_backends() {
+                let got = with_backend(be, || {
+                    let mut a = orig.clone();
+                    t.forward(&mut a);
+                    t.inverse(&mut a);
+                    a
+                });
+                assert_eq!(got, orig, "roundtrip n={n} bits={bits} be={}", be.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_transforms_match_scalar_bitwise() {
+    let _g = lock();
+    for (n, batch_len) in [(256usize, 3usize), (1024, 1), (2048, 6)] {
+        for bits in [28u32, 45, 61] {
+            let t = tables(n, bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 + batch_len as u64);
+            let polys: Vec<Vec<u64>> = (0..batch_len)
+                .map(|_| random_vec(n, t.q().value(), &mut rng))
+                .collect();
+            let run = |()| {
+                let mut batch = polys.clone();
+                {
+                    let mut refs: Vec<&mut [u64]> =
+                        batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+                    t.forward_many(&mut refs);
+                }
+                let fwd = batch.clone();
+                {
+                    let mut refs: Vec<&mut [u64]> =
+                        batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+                    t.inverse_many(&mut refs);
+                }
+                (fwd, batch)
+            };
+            let expect = with_backend(SimdBackend::Scalar, || run(()));
+            for be in vector_backends() {
+                let got = with_backend(be, || run(()));
+                assert_eq!(
+                    got,
+                    expect,
+                    "forward_many/inverse_many n={n} batch={batch_len} bits={bits} be={}",
+                    be.name()
+                );
+                assert_eq!(got.1, polys, "batched roundtrip lost data");
+            }
+        }
+    }
+}
+
+#[test]
+fn dyadic_kernels_match_scalar_bitwise_including_lazy_accumulators() {
+    let _g = lock();
+    for bits in [28u32, 45, 61] {
+        // (The non-multiple-of-LANES tail path is covered by the unit tests
+        // in pi-field::simd; NttTables pins slice lengths to n.)
+        let q = Modulus::new(find_ntt_prime(bits, 4096));
+        let t = NttTables::new(256, q);
+        let n_full = 256;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(bits as u64);
+        let a = random_vec(n_full, q.value(), &mut rng);
+        let b = random_vec(n_full, q.value(), &mut rng);
+        let lazy_a = random_vec(n_full, q.twice(), &mut rng);
+        let acc0 = random_vec(n_full, q.twice(), &mut rng);
+        let op = ShoupVec::new(q, &b);
+
+        let run = |()| {
+            let mut mul = vec![0u64; n_full];
+            t.dyadic_mul(&mut mul, &a, &b);
+            let mut acc = a.clone();
+            t.dyadic_mul_acc(&mut acc, &a, &b);
+            let mut shoup = vec![0u64; n_full];
+            t.dyadic_mul_shoup(&mut shoup, &lazy_a, &op);
+            let mut lazy = acc0.clone();
+            t.dyadic_mul_acc_shoup(&mut lazy, &lazy_a, &op);
+            (mul, acc, shoup, lazy)
+        };
+        let expect = with_backend(SimdBackend::Scalar, || run(()));
+        for be in vector_backends() {
+            let got = with_backend(be, || run(()));
+            // Raw-word equality: the lazy accumulator (`.3`) is compared on
+            // its unreduced [0, 2q) representatives.
+            assert_eq!(got, expect, "dyadic kernels bits={bits} be={}", be.name());
+        }
+    }
+}
+
+#[test]
+fn batched_base_conversion_matches_scalar_bitwise() {
+    // The column-major vectorized convert_columns_fast/exact against the
+    // coefficient-major scalar path: both fully reduce, so equality is
+    // exact. Exercised at the rescale-like shape (3 sources → 5 targets).
+    use private_inference::field::{find_distinct_ntt_primes, CrtBasis};
+    use private_inference::poly::rns::{convert_columns_exact, convert_columns_fast};
+
+    let _g = lock();
+    let n = 256;
+    let primes = find_distinct_ntt_primes(45, 9, 2 * n as u64).unwrap();
+    let src = CrtBasis::new(&primes[..3]).unwrap();
+    let channel = Modulus::new(primes[3]);
+    let dst: Vec<Modulus> = primes[4..].iter().map(|&p| Modulus::new(p)).collect();
+    let conv = private_inference::field::FastBaseConverter::with_channel(&src, &dst, channel);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    // The SK channel demands the *true* residue of the (centered) value, so
+    // build the inputs from composed integers rather than random residues.
+    let values: Vec<_> = (0..n)
+        .map(|_| {
+            let residues: Vec<u64> = src
+                .moduli()
+                .iter()
+                .map(|m| rng.gen_range(0..m.value()))
+                .collect();
+            src.compose(&residues)
+        })
+        .collect();
+    let src_cols: Vec<Vec<u64>> = src
+        .moduli()
+        .iter()
+        .map(|m| values.iter().map(|x| x.rem_u64(m.value())).collect())
+        .collect();
+    let channel_col: Vec<u64> = values
+        .iter()
+        .map(|x| {
+            if x <= src.half_product() {
+                x.rem_u64(channel.value())
+            } else {
+                channel.neg(src.product().overflowing_sub(x).0.rem_u64(channel.value()))
+            }
+        })
+        .collect();
+
+    let expect = with_backend(SimdBackend::Scalar, || {
+        (
+            convert_columns_fast(&conv, &src_cols),
+            convert_columns_exact(&conv, &src_cols, &channel_col),
+        )
+    });
+    for be in vector_backends() {
+        let got = with_backend(be, || {
+            (
+                convert_columns_fast(&conv, &src_cols),
+                convert_columns_exact(&conv, &src_cols, &channel_col),
+            )
+        });
+        assert_eq!(got, expect, "base conversion be={}", be.name());
+    }
+}
+
+#[test]
+fn boundary_inputs_at_61_bits_match_scalar_bitwise() {
+    // All-(q−1) inputs maximize every intermediate in the [0, 4q) domain at
+    // the largest supported prime size.
+    let _g = lock();
+    let n = 1024;
+    let q = Modulus::new(find_ntt_prime(61, n as u64));
+    assert!(q.value() > (1u64 << 60));
+    let t = NttTables::new(n, q);
+    let orig = vec![q.value() - 1; n];
+    let expect = with_backend(SimdBackend::Scalar, || {
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        let fwd = a.clone();
+        t.inverse(&mut a);
+        (fwd, a)
+    });
+    assert_eq!(expect.1, orig);
+    for be in vector_backends() {
+        let got = with_backend(be, || {
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            let fwd = a.clone();
+            t.inverse(&mut a);
+            (fwd, a)
+        });
+        assert_eq!(got, expect, "61-bit boundary be={}", be.name());
+    }
+}
+
+#[test]
+fn scalar_oracle_stays_reachable_via_force_toggle() {
+    // force_backend(Scalar) must actually route around the lane kernels:
+    // the reference Barrett transform agrees with the scalar Harvey path,
+    // and re-resolution restores a vector backend afterwards.
+    let _g = lock();
+    let t = tables(256, 45);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let orig = random_vec(256, t.q().value(), &mut rng);
+    let scalar = with_backend(SimdBackend::Scalar, || {
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        a
+    });
+    let mut reference = orig;
+    t.forward_reference(&mut reference);
+    assert_eq!(scalar, reference);
+    // Clearing the override restores environment-driven resolution: under a
+    // PI_SIMD force the requested backend, otherwise an auto-detected
+    // vector path.
+    let resolved = simd::backend();
+    match std::env::var("PI_SIMD").ok().as_deref() {
+        Some("scalar") | Some("off") | Some("0") => assert_eq!(resolved, SimdBackend::Scalar),
+        Some("portable") => assert_eq!(resolved, SimdBackend::Portable),
+        _ => assert!(
+            resolved.is_vector(),
+            "auto-resolution must pick a vector path"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_forward_inverse_match_scalar(seed in any::<u64>(), bits in 28u32..=61) {
+        let _g = lock();
+        let n = 256;
+        let t = tables(n, bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().value())).collect();
+        let lazy: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.q().twice())).collect();
+        let expect = with_backend(SimdBackend::Scalar, || {
+            let mut f = orig.clone();
+            t.forward(&mut f);
+            let mut i = lazy.clone();
+            t.inverse(&mut i);
+            (f, i)
+        });
+        for be in vector_backends() {
+            let got = with_backend(be, || {
+                let mut f = orig.clone();
+                t.forward(&mut f);
+                let mut i = lazy.clone();
+                t.inverse(&mut i);
+                (f, i)
+            });
+            prop_assert_eq!(&got, &expect, "be={}", be.name());
+        }
+    }
+}

@@ -187,6 +187,69 @@ fn poly_convert_worst_case_columns_stay_congruent() {
     }
 }
 
+#[test]
+fn forward_many_nonpow2_and_singleton_batches_match_individual() {
+    // Coverage gap fix: the batched stage-major transform was only ever
+    // exercised with "round" batch sizes. Batch counts 1 (degenerate
+    // single-polynomial batch), 3 and 5 (non-powers-of-two) walk different
+    // stage-major strides; each must agree with per-polynomial transforms,
+    // in both directions.
+    let ctx = Arc::new(RnsContext::with_ntt_primes(128, 45, 3));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for batch_len in [1usize, 3, 5] {
+        let polys: Vec<RnsPoly> = (0..batch_len).map(|_| random_rns(&ctx, &mut rng)).collect();
+        let expect: Vec<RnsPoly> = polys.iter().map(|p| p.clone().into_ntt()).collect();
+        let mut batch: Vec<Vec<Vec<u64>>> = polys.iter().map(|p| p.residues().to_vec()).collect();
+        {
+            let mut refs: Vec<&mut [Vec<u64>]> =
+                batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+            ctx.ntt().forward_many(&mut refs);
+        }
+        for (got, want) in batch.iter().zip(&expect) {
+            assert_eq!(got.as_slice(), want.residues(), "batch_len={batch_len}");
+        }
+        {
+            let mut refs: Vec<&mut [Vec<u64>]> =
+                batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+            ctx.ntt().inverse_many(&mut refs);
+        }
+        for (got, want) in batch.iter().zip(&polys) {
+            assert_eq!(got.as_slice(), want.residues(), "batch_len={batch_len}");
+        }
+    }
+}
+
+#[test]
+fn forward_many_single_column_basis_matches_individual() {
+    // The other half of the gap: a one-prime basis (a single residue
+    // column per polynomial), where the residue-outermost batching
+    // degenerates to one stage-major pass.
+    let n = 128u64;
+    let prime = private_inference::field::find_ntt_prime(45, 2 * n);
+    let ctx = Arc::new(RnsContext::new(
+        n as usize,
+        Arc::new(CrtBasis::new(&[prime]).unwrap()),
+    ));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    let polys: Vec<RnsPoly> = (0..3).map(|_| random_rns(&ctx, &mut rng)).collect();
+    let expect: Vec<RnsPoly> = polys.iter().map(|p| p.clone().into_ntt()).collect();
+    let mut batch: Vec<Vec<Vec<u64>>> = polys.iter().map(|p| p.residues().to_vec()).collect();
+    {
+        let mut refs: Vec<&mut [Vec<u64>]> = batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+        ctx.ntt().forward_many(&mut refs);
+    }
+    for (got, want) in batch.iter().zip(&expect) {
+        assert_eq!(got.as_slice(), want.residues());
+    }
+    {
+        let mut refs: Vec<&mut [Vec<u64>]> = batch.iter_mut().map(|p| p.as_mut_slice()).collect();
+        ctx.ntt().inverse_many(&mut refs);
+    }
+    for (got, want) in batch.iter().zip(&polys) {
+        assert_eq!(got.as_slice(), want.residues());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // HE layer: fast multiply vs the exact big-integer oracle.
 // ---------------------------------------------------------------------------
