@@ -7,7 +7,10 @@
 //! actually runs (one weight matrix, many clients).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pi_he::linalg::{encode_diagonals, encrypt_vector, matvec, matvec_precomputed, PlainMatrix};
+use pi_he::linalg::{
+    encode_diagonals, encode_diagonals_bsgs, encrypt_vector, matvec, matvec_naive,
+    matvec_precomputed, PlainMatrix,
+};
 use pi_he::{BatchEncoder, BfvParams, KeySet};
 use rand::{Rng, SeedableRng};
 
@@ -43,8 +46,14 @@ fn bench_he(c: &mut Criterion) {
         b.iter(|| matvec(&keys.galois, &enc, &w, &ct_v))
     });
     let diagonals = encode_diagonals(&enc, &w);
-    group.bench_function("matvec_64x64_precomputed", |b| {
-        b.iter(|| matvec_precomputed(&keys.galois, &diagonals, &ct_v))
+    group.bench_function("matvec_64x64_naive_precomputed", |b| {
+        b.iter(|| matvec_naive(&keys.galois, &diagonals, &ct_v))
+    });
+    // The hoisted-BSGS hot path under its dedicated key set (same secret).
+    let bsgs_gk = keys.secret.galois_keys_for_bsgs(&[64], &mut rng);
+    let bsgs_diagonals = encode_diagonals_bsgs(&enc, &w);
+    group.bench_function("matvec_64x64_bsgs_precomputed", |b| {
+        b.iter(|| matvec_precomputed(&bsgs_gk, &bsgs_diagonals, &ct_v))
     });
     group.finish();
 }

@@ -1,0 +1,94 @@
+//! Hoisted-BSGS vs naive Halevi–Shoup matvec, and the key-switch
+//! primitives underneath — the offline-phase hot path this repo's PI
+//! protocols spend their HE time in.
+//!
+//! Same-run A/B pairs (`matvec/naive_*` vs `matvec/bsgs_*` under one
+//! process on one core) are the meaningful comparison; absolute numbers
+//! move with the machine. The harness asserts the two paths decrypt
+//! identically before timing anything and emits
+//! `csv,matvec_check,d<dim>,ok` lines (printed even under `--test`) so CI
+//! fails loudly if the BSGS path regresses to — or diverges from — the
+//! naive chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_he::linalg::{
+    encode_diagonals, encode_diagonals_bsgs, encrypt_vector, matvec_naive, matvec_op_count,
+    matvec_op_count_naive, matvec_precomputed, PlainMatrix,
+};
+use pi_he::{BatchEncoder, BfvParams, KeySet};
+use rand::{Rng, SeedableRng};
+
+fn bench_matvec(c: &mut Criterion) {
+    // The protocol-default ring (n = 4096) at the layer dimensions the
+    // acceptance target names.
+    let params = BfvParams::default_pi();
+    let dims = [64usize, 128];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // One secret, two key sets: the power-of-two composition set drives the
+    // naive chain, the BSGS set (babies at the fine gadget) the hoisted
+    // path — each path benches under exactly the keys it ships with.
+    let keys = KeySet::generate(&params, &mut rng);
+    let bsgs_gk = keys.secret.galois_keys_for_bsgs(&dims, &mut rng);
+    let enc = BatchEncoder::new(&params);
+    let t = params.t();
+
+    let mut group = c.benchmark_group("matvec");
+    group.sample_size(10);
+    for dim in dims {
+        let data: Vec<u64> = (0..dim * dim)
+            .map(|_| rng.gen_range(0..t.value()))
+            .collect();
+        let w = PlainMatrix::new(dim, dim, &data, t);
+        let v: Vec<u64> = (0..dim).map(|_| rng.gen_range(0..t.value())).collect();
+        let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+        let naive_diag = encode_diagonals(&enc, &w);
+        let bsgs_diag = encode_diagonals_bsgs(&enc, &w);
+
+        // Differential gate before timing: identical decryptions or bust.
+        let naive_out = matvec_naive(&keys.galois, &naive_diag, &ct);
+        let bsgs_out = matvec_precomputed(&bsgs_gk, &bsgs_diag, &ct);
+        let expect = w.matvec_plain(&v, t);
+        let dec = enc.decode_prefix(&keys.secret.decrypt(&bsgs_out), dim);
+        assert_eq!(dec, expect, "BSGS matvec decrypts wrong at d={dim}");
+        assert_eq!(
+            keys.secret.decrypt(&naive_out),
+            keys.secret.decrypt(&bsgs_out),
+            "naive and BSGS matvec diverge at d={dim}"
+        );
+        println!("csv,matvec_check,d{dim},ok");
+        let (b, n) = (matvec_op_count(dim), matvec_op_count_naive(dim));
+        println!(
+            "csv,matvec_rotations,d{dim},bsgs,{},naive,{}",
+            b.rotations(),
+            n.rotations()
+        );
+
+        group.bench_function(format!("naive_d{dim}_n4096"), |bch| {
+            bch.iter(|| matvec_naive(&keys.galois, &naive_diag, &ct))
+        });
+        group.bench_function(format!("bsgs_d{dim}_n4096"), |bch| {
+            bch.iter(|| matvec_precomputed(&bsgs_gk, &bsgs_diag, &ct))
+        });
+    }
+    group.finish();
+
+    // The primitives: a cold composed rotation (decompose + digit NTTs per
+    // call), the one-time hoist, and the per-rotation cost it buys.
+    let mut group = c.benchmark_group("keyswitch");
+    group.sample_size(10);
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&vec![7u64; params.n()]), &mut rng);
+    group.bench_function("rotate_cold_1", |b| {
+        b.iter(|| keys.galois.rotate_rows(&ct, 1))
+    });
+    group.bench_function("hoist", |b| b.iter(|| bsgs_gk.hoist(&ct)));
+    let hoisted = bsgs_gk.hoist(&ct);
+    group.bench_function("rotate_hoisted_1", |b| {
+        b.iter(|| bsgs_gk.rotate_hoisted(&hoisted, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

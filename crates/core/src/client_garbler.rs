@@ -46,7 +46,7 @@ pub fn run_client<R: Rng + ?Sized>(
                 .collect()
         })
         .collect();
-    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out.offline);
+    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out);
 
     // Base OT: the client will be the online extension *sender* (it owns
     // the label pairs for the server's inputs).

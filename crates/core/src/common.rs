@@ -6,7 +6,7 @@ use crate::msg::Msg;
 use crate::report::SideCosts;
 use pi_field::Modulus;
 use pi_gc::circuit::{from_bits, to_bits};
-use pi_he::linalg::{self, EncodedDiagonals, PlainMatrix};
+use pi_he::linalg::{self, BsgsDiagonals, PlainMatrix};
 use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, PublicKey};
 use pi_nn::PiModel;
 use pi_ot::base::{BaseOtReceiver, BaseOtSender};
@@ -183,6 +183,14 @@ pub struct ClientHe {
 /// Client side of the offline linear pass: sends `E(r_cat)` per phase and
 /// decrypts the returned shares `W·r − s`.
 ///
+/// In HE mode the client generates the power-of-two composition keys plus
+/// the hoisted baby-step/giant-step rotation set for every linear-layer
+/// dimension the model metadata announces
+/// ([`KeySet::generate_for_dims`]) — the server's
+/// [`linalg::matvec_precomputed`] needs exactly those elements. The
+/// generated Galois key material (and the per-rotation set it replaces) is
+/// recorded in `outcome` for the [`crate::CostReport`] storage accounting.
+///
 /// Returns the client's additive shares, one vector per phase.
 #[allow(clippy::too_many_arguments)]
 pub fn client_offline_linear<R: Rng + ?Sized>(
@@ -191,7 +199,7 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
-    costs: &mut SideCosts,
+    outcome: &mut PartyOutcome,
 ) -> Vec<Vec<u64>> {
     let t0 = Instant::now();
     let he = match cfg.linear {
@@ -202,7 +210,15 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
                 meta.p.value(),
                 "model field must equal the HE plaintext modulus"
             );
-            let keys = KeySet::generate(params, rng);
+            let dims: Vec<usize> = meta.phases.iter().map(|ph| ph.padded_dim).collect();
+            let keys = KeySet::generate_for_dims(params, &dims, rng);
+            outcome.galois_key_bytes = keys.galois.byte_len() as u64;
+            // The per-rotation baseline for a dimension set is the UNION of
+            // the per-dim rotation sets; smaller dims' rotations {1..d−1}
+            // nest inside the largest, so the union is the max dim's set.
+            let max_dim = dims.iter().copied().max().unwrap_or(1);
+            outcome.galois_key_bytes_per_rotation =
+                GaloisKeys::per_rotation_set_byte_len(params, max_dim) as u64;
             let encoder = BatchEncoder::new(params);
             chan.send(Msg::HeKeys {
                 pk: Box::new(keys.public.clone()),
@@ -256,13 +272,14 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
         };
         shares.push(share);
     }
-    costs.he_ms += t0.elapsed().as_secs_f64() * 1e3;
+    outcome.offline.he_ms += t0.elapsed().as_secs_f64() * 1e3;
     shares
 }
 
 /// Per-model server-side precomputation for the offline linear pass: the
-/// padded plaintext matrices and — in HE mode — their Halevi–Shoup diagonals
-/// encoded as Shoup-form operands ([`EncodedDiagonals`]).
+/// padded plaintext matrices and — in HE mode — their Halevi–Shoup
+/// diagonals pre-rotated into the baby-step/giant-step layout and encoded
+/// as centered Shoup-form operands ([`BsgsDiagonals`]).
 ///
 /// Depends only on the model weights and the protocol configuration, never
 /// on a client's keys, so one instance serves every inference of every
@@ -273,8 +290,8 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
 pub struct ServerPrecomp {
     /// Padded plaintext matrix per linear phase.
     pub matrices: Vec<PlainMatrix>,
-    /// Encoded Shoup-form diagonals per phase (HE mode only).
-    pub diagonals: Option<Vec<EncodedDiagonals>>,
+    /// BSGS-layout Shoup-form diagonals per phase (HE mode only).
+    pub diagonals: Option<Vec<BsgsDiagonals>>,
 }
 
 impl ServerPrecomp {
@@ -297,7 +314,7 @@ impl ServerPrecomp {
                 Some(
                     matrices
                         .iter()
-                        .map(|w| linalg::encode_diagonals(&encoder, w))
+                        .map(|w| linalg::encode_diagonals_bsgs(&encoder, w))
                         .collect(),
                 )
             }
@@ -368,6 +385,8 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
                         .diagonals
                         .as_ref()
                         .expect("HE mode requires encoded diagonals");
+                    // Hoisted BSGS: ~2√d rotations, only the giant steps
+                    // paying a full key switch.
                     let prod = linalg::matvec_precomputed(gk, &diagonals[i], ct);
                     let resp =
                         linalg::sub_share(params, encoder, &prod, &s_vecs[i], w.padded_dim());
@@ -488,4 +507,10 @@ pub struct PartyOutcome {
     pub storage_bytes: u64,
     /// Garbled-circuit bytes this party transmitted or received.
     pub gc_bytes: u64,
+    /// Galois key material generated/uploaded under the BSGS key set
+    /// (client side, HE mode only; zero otherwise).
+    pub galois_key_bytes: u64,
+    /// What a full per-rotation key set would have cost for the same layer
+    /// dimensions (the hoisting-without-BSGS baseline).
+    pub galois_key_bytes_per_rotation: u64,
 }

@@ -124,6 +124,8 @@ pub fn private_inference_precomputed(
         server_storage_bytes: server_out.storage_bytes,
         relu_count: model.total_relus() as u64,
         gc_bytes: client_out.gc_bytes.max(server_out.gc_bytes),
+        galois_key_bytes: client_out.galois_key_bytes,
+        galois_key_bytes_per_rotation: client_out.galois_key_bytes_per_rotation,
     };
     for (dst, src) in [
         (
@@ -235,6 +237,40 @@ mod tests {
             &zoo::tiny_cnn(),
             &he,
         );
+    }
+
+    #[test]
+    fn bsgs_key_set_shrinks_offline_key_material() {
+        // HE mode reports the Galois key material actually uploaded (BSGS
+        // babies/giants for every dim + the power-of-two composition
+        // chain) against the per-rotation baseline: the UNION of the
+        // per-dim rotation sets, i.e. the max dim's d−1 elements — not a
+        // per-dim sum, which would double-count the nested sets. For
+        // tiny_cnn (padded dims {128, 64, 16}) the honest saving is ~1.8×.
+        let he = BfvParams::small_test();
+        let model = build_model(&zoo::tiny_cnn(), &he, 31);
+        let input = random_input(&model, 32);
+        let (_, report) = private_inference(&model, &input, &ProtocolConfig::server_garbler(he));
+        assert!(report.galois_key_bytes > 0);
+        assert!(
+            report.galois_key_bytes_per_rotation > report.galois_key_bytes,
+            "BSGS set must be smaller than the per-rotation set: {} vs {}",
+            report.galois_key_bytes,
+            report.galois_key_bytes_per_rotation
+        );
+        assert!(
+            report.galois_key_saving() > 1.5,
+            "saving = {}",
+            report.galois_key_saving()
+        );
+        // Clear mode reports no HE key material.
+        let (_, clear) = private_inference(
+            &model,
+            &input,
+            &ProtocolConfig::clear(ProtocolKind::ServerGarbler),
+        );
+        assert_eq!(clear.galois_key_bytes, 0);
+        assert_eq!(clear.galois_key_saving(), 1.0);
     }
 
     #[test]

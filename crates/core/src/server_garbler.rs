@@ -55,7 +55,7 @@ pub fn run_client<R: Rng + ?Sized>(
                 .collect()
         })
         .collect();
-    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out.offline);
+    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out);
 
     // Base OT: client is the extension receiver (it obtains labels).
     let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng, &mut out.offline));

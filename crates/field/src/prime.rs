@@ -72,7 +72,7 @@ fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if `bits < 4`, `bits > 61`, `n` is not a power of two, or no such
+/// Panics if `bits < 4`, `bits > 62`, `n` is not a power of two, or no such
 /// prime exists below `2^bits` (which cannot happen for the parameter ranges
 /// used in this workspace).
 ///
@@ -93,7 +93,7 @@ pub fn find_ntt_prime(bits: u32, n: u64) -> u64 {
 ///
 /// # Panics
 ///
-/// Still panics on malformed *inputs* (`bits` outside `4..=61`, `n` not a
+/// Still panics on malformed *inputs* (`bits` outside `4..=62`, `n` not a
 /// power of two, or `2n >= 2^bits`): those are caller bugs, not search
 /// failures.
 ///
@@ -112,10 +112,12 @@ pub fn try_find_ntt_prime(bits: u32, n: u64) -> Option<u64> {
 ///
 /// # Panics
 ///
-/// Panics if `bits` is outside `4..=61` or `step >= 2^bits` (input-contract
-/// violations, as in [`try_find_ntt_prime`]).
+/// Panics if `bits` is outside `4..=62` or `step >= 2^bits` (input-contract
+/// violations, as in [`try_find_ntt_prime`]). The cap of 62 matches the
+/// [`crate::Modulus`] contract `q < 2^62` (which keeps the lazy `[0, 4q)`
+/// domain inside a `u64`).
 pub fn try_find_prime_congruent(bits: u32, step: u64) -> Option<u64> {
-    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
+    assert!((4..=62).contains(&bits), "bits must be in 4..=62");
     let top = 1u64 << bits;
     assert!(step < top, "congruence step must be below 2^bits");
     // Largest candidate of the form k*step + 1 below 2^bits.
@@ -150,7 +152,7 @@ pub fn try_find_prime_congruent(bits: u32, step: u64) -> Option<u64> {
 /// ```
 pub fn find_distinct_ntt_primes(bits: u32, count: usize, step: u64) -> Option<Vec<u64>> {
     assert!(count > 0, "count must be positive");
-    assert!((4..=61).contains(&bits), "bits must be in 4..=61");
+    assert!((4..=62).contains(&bits), "bits must be in 4..=62");
     let top = 1u64 << bits;
     assert!(step < top, "congruence step must be below 2^bits");
     let mut primes = Vec::with_capacity(count);
@@ -173,7 +175,7 @@ pub fn find_distinct_ntt_primes(bits: u32, count: usize, step: u64) -> Option<Ve
 ///
 /// # Panics
 ///
-/// Panics if `bits` is outside `4..=61` or no such prime exists below
+/// Panics if `bits` is outside `4..=62` or no such prime exists below
 /// `2^bits`.
 ///
 /// # Examples

@@ -185,6 +185,31 @@ unsafe fn barrett_reduce(
     csub(csub(r, two_q), qv)
 }
 
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn forward_block(qv: __m256i, two_q: __m256i, wv: __m256i, wq: __m256i, block: &mut [u64]) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let u = csub(load(x4), two_q);
+        let v = mul_shoup_lazy(load(y4), wv, wq, qv);
+        store(x4, _mm256_add_epi64(u, v));
+        store(y4, _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v));
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn inverse_block(qv: __m256i, two_q: __m256i, wv: __m256i, wq: __m256i, block: &mut [u64]) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let u = load(x4);
+        let v = load(y4);
+        store(x4, csub(_mm256_add_epi64(u, v), two_q));
+        let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v);
+        store(y4, mul_shoup_lazy(d, wv, wq, qv));
+    }
+}
+
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn forward_stage(
     q: &Modulus,
@@ -197,14 +222,33 @@ pub(super) unsafe fn forward_stage(
     let qv = splat(q.value());
     let two_q = splat(q.value() << 1);
     for i in 0..m {
+        forward_block(
+            qv,
+            two_q,
+            splat(w_vals[i]),
+            splat(w_quots[i]),
+            &mut a[2 * i * t..2 * (i + 1) * t],
+        );
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn forward_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    // Twiddle-outer, column-inner: one splat pair serves every column.
+    for i in 0..m {
         let wv = splat(w_vals[i]);
         let wq = splat(w_quots[i]);
-        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            let u = csub(load(x4), two_q);
-            let v = mul_shoup_lazy(load(y4), wv, wq, qv);
-            store(x4, _mm256_add_epi64(u, v));
-            store(y4, _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v));
+        for a in batch.iter_mut() {
+            forward_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }
@@ -221,15 +265,32 @@ pub(super) unsafe fn inverse_stage(
     let qv = splat(q.value());
     let two_q = splat(q.value() << 1);
     for i in 0..h {
+        inverse_block(
+            qv,
+            two_q,
+            splat(w_vals[i]),
+            splat(w_quots[i]),
+            &mut a[2 * i * t..2 * (i + 1) * t],
+        );
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn inverse_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for i in 0..h {
         let wv = splat(w_vals[i]);
         let wq = splat(w_quots[i]);
-        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            let u = load(x4);
-            let v = load(y4);
-            store(x4, csub(_mm256_add_epi64(u, v), two_q));
-            let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_q), v);
-            store(y4, mul_shoup_lazy(d, wv, wq, qv));
+        for a in batch.iter_mut() {
+            inverse_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }

@@ -252,6 +252,31 @@ unsafe fn small_stage<const FWD: bool>(
     }
 }
 
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn forward_block(qv: __m512i, two_q: __m512i, wv: __m512i, wq: __m512i, block: &mut [u64]) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
+        let u = csub(load(x8), two_q);
+        let v = mul_shoup_lazy(load(y8), wv, wq, qv);
+        store(x8, _mm512_add_epi64(u, v));
+        store(y8, _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v));
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn inverse_block(qv: __m512i, two_q: __m512i, wv: __m512i, wq: __m512i, block: &mut [u64]) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
+        let u = load(x8);
+        let v = load(y8);
+        store(x8, csub(_mm512_add_epi64(u, v), two_q));
+        let d = _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v);
+        store(y8, mul_shoup_lazy(d, wv, wq, qv));
+    }
+}
+
 #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
 pub(super) unsafe fn forward_stage(
     q: &Modulus,
@@ -274,14 +299,35 @@ pub(super) unsafe fn forward_stage(
         .chunks_exact_mut(2 * t)
         .zip(w_vals.iter().zip(w_quots).take(m))
     {
-        let wv = splat(wval);
-        let wq = splat(wquot);
-        let (lo, hi) = block.split_at_mut(t);
-        for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
-            let u = csub(load(x8), two_q);
-            let v = mul_shoup_lazy(load(y8), wv, wq, qv);
-            store(x8, _mm512_add_epi64(u, v));
-            store(y8, _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v));
+        forward_block(qv, two_q, splat(wval), splat(wquot), block);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn forward_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    if !t.is_multiple_of(W) {
+        // Small-stride permute path: per-group twiddle replication already
+        // amortizes the loads; run it per column.
+        for a in batch.iter_mut() {
+            forward_stage(q, w_vals, w_quots, a, m, t);
+        }
+        return;
+    }
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    // Twiddle-outer, column-inner: one splat pair serves every column.
+    for i in 0..m {
+        let wv = splat(w_vals[i]);
+        let wq = splat(w_quots[i]);
+        for a in batch.iter_mut() {
+            forward_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }
@@ -307,15 +353,32 @@ pub(super) unsafe fn inverse_stage(
         .chunks_exact_mut(2 * t)
         .zip(w_vals.iter().zip(w_quots).take(h))
     {
-        let wv = splat(wval);
-        let wq = splat(wquot);
-        let (lo, hi) = block.split_at_mut(t);
-        for (x8, y8) in lo.chunks_exact_mut(W).zip(hi.chunks_exact_mut(W)) {
-            let u = load(x8);
-            let v = load(y8);
-            store(x8, csub(_mm512_add_epi64(u, v), two_q));
-            let d = _mm512_sub_epi64(_mm512_add_epi64(u, two_q), v);
-            store(y8, mul_shoup_lazy(d, wv, wq, qv));
+        inverse_block(qv, two_q, splat(wval), splat(wquot), block);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn inverse_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    if !t.is_multiple_of(W) {
+        for a in batch.iter_mut() {
+            inverse_stage(q, w_vals, w_quots, a, h, t);
+        }
+        return;
+    }
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for i in 0..h {
+        let wv = splat(w_vals[i]);
+        let wq = splat(w_quots[i]);
+        for a in batch.iter_mut() {
+            inverse_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }

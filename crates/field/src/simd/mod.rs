@@ -327,6 +327,30 @@ pub fn forward_stage(
     dispatch!(be, forward_stage(q, w_vals, w_quots, a, m, t))
 }
 
+/// The batched form of [`forward_stage`]: the same stage applied to every
+/// column in `batch`, with the loop order flipped to twiddle-outer /
+/// column-inner so each Shoup pair is splat into registers **once for the
+/// whole batch** instead of once per column. Arithmetic per element is
+/// identical to the single-column kernel, so outputs are bit-for-bit equal.
+///
+/// # Panics
+///
+/// Panics if any column fails the [`forward_stage`] geometry conditions.
+pub fn forward_stage_many(
+    be: SimdBackend,
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    for a in batch.iter() {
+        assert_stage_geometry(be, w_vals, w_quots, a, m, t);
+    }
+    dispatch!(be, forward_stage_many(q, w_vals, w_quots, batch, m, t))
+}
+
 /// One inverse Gentleman–Sande butterfly stage (not the last): `h` blocks
 /// of stride `t` over the `[0, 2q)` lazy domain.
 ///
@@ -344,6 +368,27 @@ pub fn inverse_stage(
 ) {
     assert_stage_geometry(be, w_vals, w_quots, a, h, t);
     dispatch!(be, inverse_stage(q, w_vals, w_quots, a, h, t))
+}
+
+/// The batched form of [`inverse_stage`] (see [`forward_stage_many`] for
+/// the twiddle-outer / column-inner rationale).
+///
+/// # Panics
+///
+/// Panics if any column fails the [`forward_stage`] geometry conditions.
+pub fn inverse_stage_many(
+    be: SimdBackend,
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    for a in batch.iter() {
+        assert_stage_geometry(be, w_vals, w_quots, a, h, t);
+    }
+    dispatch!(be, inverse_stage_many(q, w_vals, w_quots, batch, h, t))
 }
 
 /// The last inverse stage with the `n^{-1}` scaling folded into its two
@@ -534,9 +579,10 @@ mod tests {
 
     fn boundary_moduli() -> Vec<Modulus> {
         // 28/45/59-bit NTT primes as in the scalar Shoup==Barrett tests,
-        // plus the 61-bit overflow edge where w·a approaches 2^125 and the
-        // forward domain approaches 2^63.
-        [28u32, 45, 59, 61]
+        // plus the 61/62-bit overflow edges where w·a approaches 2^126 and
+        // the forward domain approaches 2^64 (62 bits is the Modulus
+        // ceiling and the production BFV modulus).
+        [28u32, 45, 59, 61, 62]
             .iter()
             .map(|&bits| Modulus::new(find_ntt_prime(bits, 4096)))
             .collect()
@@ -754,7 +800,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
-        fn dyadic_kernels_match_scalar_random(seed in any::<u64>(), bits in 28u32..=61) {
+        fn dyadic_kernels_match_scalar_random(seed in any::<u64>(), bits in 28u32..=62) {
             let q = Modulus::new(find_ntt_prime(bits, 64));
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let n = 37; // deliberately not a multiple of LANES: tail path

@@ -134,6 +134,64 @@ unsafe fn barrett_reduce(
     csub(csub(r, two_q), qv)
 }
 
+#[inline(always)]
+unsafe fn forward_block(
+    qv: uint64x2_t,
+    two_q: uint64x2_t,
+    wv: uint64x2_t,
+    wq: uint64x2_t,
+    block: &mut [u64],
+) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let (u0, u1) = load2(x4);
+        let (y0, y1) = load2(y4);
+        let u0 = csub(u0, two_q);
+        let u1 = csub(u1, two_q);
+        let v0 = mul_shoup_lazy(y0, wv, wq, qv);
+        let v1 = mul_shoup_lazy(y1, wv, wq, qv);
+        store2(x4, (vaddq_u64(u0, v0), vaddq_u64(u1, v1)));
+        store2(
+            y4,
+            (
+                vsubq_u64(vaddq_u64(u0, two_q), v0),
+                vsubq_u64(vaddq_u64(u1, two_q), v1),
+            ),
+        );
+    }
+}
+
+#[inline(always)]
+unsafe fn inverse_block(
+    qv: uint64x2_t,
+    two_q: uint64x2_t,
+    wv: uint64x2_t,
+    wq: uint64x2_t,
+    block: &mut [u64],
+) {
+    let (lo, hi) = block.split_at_mut(block.len() / 2);
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        let (u0, u1) = load2(x4);
+        let (v0, v1) = load2(y4);
+        store2(
+            x4,
+            (
+                csub(vaddq_u64(u0, v0), two_q),
+                csub(vaddq_u64(u1, v1), two_q),
+            ),
+        );
+        let d0 = vsubq_u64(vaddq_u64(u0, two_q), v0);
+        let d1 = vsubq_u64(vaddq_u64(u1, two_q), v1);
+        store2(
+            y4,
+            (
+                mul_shoup_lazy(d0, wv, wq, qv),
+                mul_shoup_lazy(d1, wv, wq, qv),
+            ),
+        );
+    }
+}
+
 pub(super) unsafe fn forward_stage(
     q: &Modulus,
     w_vals: &[u64],
@@ -147,22 +205,26 @@ pub(super) unsafe fn forward_stage(
     for i in 0..m {
         let wv = vdupq_n_u64(w_vals[i]);
         let wq = vdupq_n_u64(w_quots[i]);
-        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            let (u0, u1) = load2(x4);
-            let (y0, y1) = load2(y4);
-            let u0 = csub(u0, two_q);
-            let u1 = csub(u1, two_q);
-            let v0 = mul_shoup_lazy(y0, wv, wq, qv);
-            let v1 = mul_shoup_lazy(y1, wv, wq, qv);
-            store2(x4, (vaddq_u64(u0, v0), vaddq_u64(u1, v1)));
-            store2(
-                y4,
-                (
-                    vsubq_u64(vaddq_u64(u0, two_q), v0),
-                    vsubq_u64(vaddq_u64(u1, two_q), v1),
-                ),
-            );
+        forward_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
+    }
+}
+
+pub(super) unsafe fn forward_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    // Twiddle-outer, column-inner: one splat pair serves every column.
+    for i in 0..m {
+        let wv = vdupq_n_u64(w_vals[i]);
+        let wq = vdupq_n_u64(w_quots[i]);
+        for a in batch.iter_mut() {
+            forward_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }
@@ -180,26 +242,25 @@ pub(super) unsafe fn inverse_stage(
     for i in 0..h {
         let wv = vdupq_n_u64(w_vals[i]);
         let wq = vdupq_n_u64(w_quots[i]);
-        let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            let (u0, u1) = load2(x4);
-            let (v0, v1) = load2(y4);
-            store2(
-                x4,
-                (
-                    csub(vaddq_u64(u0, v0), two_q),
-                    csub(vaddq_u64(u1, v1), two_q),
-                ),
-            );
-            let d0 = vsubq_u64(vaddq_u64(u0, two_q), v0);
-            let d1 = vsubq_u64(vaddq_u64(u1, two_q), v1);
-            store2(
-                y4,
-                (
-                    mul_shoup_lazy(d0, wv, wq, qv),
-                    mul_shoup_lazy(d1, wv, wq, qv),
-                ),
-            );
+        inverse_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
+    }
+}
+
+pub(super) unsafe fn inverse_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    for i in 0..h {
+        let wv = vdupq_n_u64(w_vals[i]);
+        let wq = vdupq_n_u64(w_quots[i]);
+        for a in batch.iter_mut() {
+            inverse_block(qv, two_q, wv, wq, &mut a[2 * i * t..2 * (i + 1) * t]);
         }
     }
 }

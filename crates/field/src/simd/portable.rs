@@ -22,6 +22,29 @@ fn csub(x: u64, m: u64) -> u64 {
     }
 }
 
+#[inline(always)]
+fn forward_block(qv: u64, two_q: u64, wv: u64, wq: u64, lo: &mut [u64], hi: &mut [u64]) {
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
+            let u = csub(*x, two_q);
+            let v = mul_shoup_lazy(qv, *y, wv, wq);
+            *x = u + v;
+            *y = u + two_q - v;
+        }
+    }
+}
+
+#[inline(always)]
+fn inverse_block(qv: u64, two_q: u64, wv: u64, wq: u64, lo: &mut [u64], hi: &mut [u64]) {
+    for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+        for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
+            let (u, v) = (*x, *y);
+            *x = csub(u + v, two_q);
+            *y = mul_shoup_lazy(qv, u + two_q - v, wv, wq);
+        }
+    }
+}
+
 pub(super) fn forward_stage(
     q: &Modulus,
     w_vals: &[u64],
@@ -37,15 +60,29 @@ pub(super) fn forward_stage(
     let qv = q.value();
     let two_q = qv << 1;
     for i in 0..m {
-        let (wv, wq) = (w_vals[i], w_quots[i]);
         let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
-                let u = csub(*x, two_q);
-                let v = mul_shoup_lazy(qv, *y, wv, wq);
-                *x = u + v;
-                *y = u + two_q - v;
-            }
+        forward_block(qv, two_q, w_vals[i], w_quots[i], lo, hi);
+    }
+}
+
+pub(super) fn forward_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    assert!(t >= LANES && t.is_multiple_of(LANES));
+    let qv = q.value();
+    let two_q = qv << 1;
+    // Twiddle-outer, column-inner: each (value, quotient) pair is read once
+    // per stage for the whole batch.
+    for i in 0..m {
+        let (wv, wq) = (w_vals[i], w_quots[i]);
+        for a in batch.iter_mut() {
+            let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+            forward_block(qv, two_q, wv, wq, lo, hi);
         }
     }
 }
@@ -62,14 +99,27 @@ pub(super) fn inverse_stage(
     let qv = q.value();
     let two_q = qv << 1;
     for i in 0..h {
-        let (wv, wq) = (w_vals[i], w_quots[i]);
         let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
-        for (x4, y4) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
-            for (x, y) in x4.iter_mut().zip(y4.iter_mut()) {
-                let (u, v) = (*x, *y);
-                *x = csub(u + v, two_q);
-                *y = mul_shoup_lazy(qv, u + two_q - v, wv, wq);
-            }
+        inverse_block(qv, two_q, w_vals[i], w_quots[i], lo, hi);
+    }
+}
+
+pub(super) fn inverse_stage_many(
+    q: &Modulus,
+    w_vals: &[u64],
+    w_quots: &[u64],
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    assert!(t >= LANES && t.is_multiple_of(LANES));
+    let qv = q.value();
+    let two_q = qv << 1;
+    for i in 0..h {
+        let (wv, wq) = (w_vals[i], w_quots[i]);
+        for a in batch.iter_mut() {
+            let (lo, hi) = a[2 * i * t..2 * (i + 1) * t].split_at_mut(t);
+            inverse_block(qv, two_q, wv, wq, lo, hi);
         }
     }
 }

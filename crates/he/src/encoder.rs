@@ -129,6 +129,33 @@ impl BatchEncoder {
         self.encode(&full)
     }
 
+    /// Like [`BatchEncoder::encode_periodic`], but re-centers the resulting
+    /// polynomial's coefficients from `[0, t)` into the balanced range
+    /// `(−t/2, t/2]` (embedded in `Z_q` as `q − (t − c)` for `c > t/2`).
+    ///
+    /// The plaintext represents the same message modulo `t`, so slot-wise
+    /// products decrypt identically; what changes is the *magnitude* of the
+    /// coefficients a ciphertext gets multiplied by, which halves the rms
+    /// noise amplification of `mul_plain` (uniform on `(−t/2, t/2]` has
+    /// variance `t²/12` vs `t²/3` for `[0, t)`). Use for multiplication
+    /// operands — Halevi–Shoup diagonals — never for additive encodings
+    /// (`add_plain`/`sub_plain` scale by `Δ` and would wrap).
+    pub fn encode_periodic_centered(&self, values: &[u64]) -> Plaintext {
+        let pt = self.encode_periodic(values);
+        let t = self.params.t().value();
+        let q = self.params.q().value();
+        let half_t = t / 2;
+        let coeffs: Vec<u64> = pt
+            .poly
+            .coeffs()
+            .iter()
+            .map(|&c| if c > half_t { q - (t - c) } else { c })
+            .collect();
+        Plaintext {
+            poly: Poly::from_coeffs(self.params.ring().clone(), coeffs),
+        }
+    }
+
     /// Encodes signed values (balanced representation mod `t`).
     pub fn encode_signed(&self, values: &[i64]) -> Plaintext {
         let t = self.params.t();

@@ -1,9 +1,47 @@
-//! Key generation, encryption, decryption, and Galois key switching.
+//! Key generation, encryption, decryption, and Galois key switching — with
+//! Halevi–Shoup *hoisting* for the rotation-heavy linear algebra.
+//!
+//! # Hoisting invariants
+//!
+//! A rotation by `k` applies the automorphism `φ_g` (`g = 3^k mod 2N`) and
+//! key-switches `φ_g(c1)` back to `s`. The expensive part is the gadget
+//! decomposition of `c1` plus one forward NTT per digit; the cheap part is
+//! the dyadic accumulate against the keys. Because `φ_g` acts on NTT-form
+//! data as a pure slot permutation ([`pi_poly::GaloisPerm`]) and
+//! `Σ_i φ_g(d_i)·B^i = φ_g(c1)` for **any** decomposition `Σ d_i B^i = c1`
+//! (`φ_g` is a ring homomorphism fixing scalars), the digits of `c1` can be
+//! decomposed and NTT-transformed **once** ([`GaloisKeys::hoist`] →
+//! [`HoistedCiphertext`]) and reused for every rotation: each
+//! [`GaloisKeys::rotate_hoisted`] pays one gather per digit plus the dyadic
+//! accumulates — **zero NTTs per rotation**. The permuted digits
+//! `φ_g(d_i)` have the same coefficient magnitudes as `d_i` (a signed
+//! permutation), so the usual key-switch noise bound is unchanged.
+//!
+//! Domains through the hoisted path: hoisted digits live in NTT form,
+//! strictly reduced `[0, q)`; the permutation is a value-preserving gather,
+//! so any lazy range survives it; accumulation runs in the `[0, 2q)` lazy
+//! domain (`dyadic_mul_acc_shoup`) with a single `reduce_lazy` pass at the
+//! end (or none, for callers that keep accumulating).
+//!
+//! # Gadget bases
+//!
+//! Every Galois element's key records its own decomposition base
+//! ([`BfvParams::ks_log_base`] for ordinary/giant rotations,
+//! [`BfvParams::bsgs_log_base`] for BSGS baby rotations — see the
+//! `bsgs_log_base` docs for the noise rationale). A hoisted ciphertext can
+//! only be rotated by keys whose gadget matches its own decomposition
+//! ([`KeyError::GadgetMismatch`] otherwise).
+//!
+//! All key-switch paths (hoisted and not) draw their digit buffers from a
+//! thread-local scratch pool, so steady-state rotations allocate only their
+//! output polynomials.
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::params::BfvParams;
-use pi_poly::{sample, Poly, PolyOperand};
+use pi_poly::{sample, GaloisPerm, Poly, PolyForm, PolyOperand};
 use rand::Rng;
+use std::cell::RefCell;
+use std::cmp::Reverse;
 use std::collections::HashMap;
 
 /// Errors from key-dependent operations.
@@ -16,6 +54,17 @@ use std::collections::HashMap;
 pub enum KeyError {
     /// No key-switching key was generated for the requested Galois element.
     MissingGaloisKey(usize),
+    /// A hoisted ciphertext's gadget decomposition does not match the
+    /// requested element's key gadget (different `log_base`), so the
+    /// hoisted digits cannot be consumed by that key.
+    GadgetMismatch {
+        /// The requested Galois element.
+        g: usize,
+        /// log2 of the key's decomposition base.
+        key_log_base: u32,
+        /// log2 of the hoisted ciphertext's decomposition base.
+        hoisted_log_base: u32,
+    },
 }
 
 impl std::fmt::Display for KeyError {
@@ -24,11 +73,84 @@ impl std::fmt::Display for KeyError {
             KeyError::MissingGaloisKey(g) => {
                 write!(f, "no Galois key for element {g}")
             }
+            KeyError::GadgetMismatch {
+                g,
+                key_log_base,
+                hoisted_log_base,
+            } => write!(
+                f,
+                "Galois key for element {g} uses base 2^{key_log_base} but the \
+                 hoisted ciphertext was decomposed at base 2^{hoisted_log_base}"
+            ),
         }
     }
 }
 
 impl std::error::Error for KeyError {}
+
+/// Computes the Galois element realizing a row rotation by `k` slots:
+/// `3^k mod 2n` (the generator of the rotation subgroup is 3).
+pub fn rotation_element(n: usize, k: usize) -> usize {
+    let m = 2 * n;
+    let mut acc = 1usize;
+    let mut base = 3usize % m;
+    let mut e = k;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        e >>= 1;
+    }
+    acc
+}
+
+/// Thread-local scratch for the key-switch hot paths: gadget digit buffers,
+/// a coefficient-form staging buffer, and a permutation target. Every
+/// rotation (hoisted or not) borrows these instead of allocating
+/// `digits × n` words per call.
+#[derive(Default)]
+struct KsScratch {
+    coeff: Vec<u64>,
+    perm: Vec<u64>,
+    digits: Vec<Vec<u64>>,
+}
+
+impl KsScratch {
+    /// Makes `count` digit buffers of length `n` available (contents
+    /// unspecified — callers fully overwrite).
+    fn ensure_digits(&mut self, count: usize, n: usize) {
+        if self.digits.len() < count {
+            self.digits.resize_with(count, Vec::new);
+        }
+        for d in &mut self.digits[..count] {
+            d.resize(n, 0);
+        }
+    }
+}
+
+thread_local! {
+    static KS_SCRATCH: RefCell<KsScratch> = RefCell::new(KsScratch::default());
+}
+
+fn with_ks_scratch<T>(f: impl FnOnce(&mut KsScratch) -> T) -> T {
+    KS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Writes the base-`2^log_base` digits of `coeff` into `digits`
+/// (least-significant first), fully overwriting each buffer.
+fn decompose_into(coeff: &[u64], log_base: u32, digits: &mut [Vec<u64>]) {
+    let mask = if log_base == 64 {
+        u64::MAX
+    } else {
+        (1u64 << log_base) - 1
+    };
+    for (d, out) in digits.iter_mut().enumerate() {
+        let shift = d as u32 * log_base;
+        out.clear();
+        out.extend(coeff.iter().map(|&c| (c >> shift) & mask));
+    }
+}
 
 /// The BFV secret key: a ternary ring element `s`.
 #[derive(Clone, Debug)]
@@ -45,18 +167,66 @@ pub struct PublicKey {
     pk1: Poly,
 }
 
+/// One Galois element's key material: the gadget base it was generated
+/// under, the per-digit Shoup-form key pairs, and the precomputed NTT-slot
+/// permutation realizing the automorphism (used by the hoisted paths).
+#[derive(Clone, Debug)]
+struct GaloisKeyEntry {
+    /// log2 of this element's gadget decomposition base.
+    log_base: u32,
+    /// `(k0_i, k1_i)` per digit, satisfying `k0_i + k1_i·s = B^i·s(x^g) + e_i`.
+    digits: Vec<(PolyOperand, PolyOperand)>,
+    /// `x ↦ x^g` as an evaluation-slot permutation.
+    perm: GaloisPerm,
+}
+
 /// Key-switching keys for a set of Galois elements, enabling slot rotations.
 ///
 /// Keys are stored as precomputed Shoup operands ([`PolyOperand`]): each
 /// `(k0_i, k1_i)` pair multiplies every decomposed digit of every rotated
 /// ciphertext, so the one-time quotient precomputation at generation pays
-/// for itself on the first rotation.
+/// for itself on the first rotation. Each entry records its gadget base and
+/// carries the NTT-slot permutation for the hoisted rotation path; an
+/// element claimed by several roles (e.g. rotation 1 as both a
+/// power-of-two composition step and a BSGS baby) holds **one entry per
+/// gadget**, so composed rotations keep the cheap coarse gadget while
+/// hoisted babies get the fine one.
 #[derive(Clone, Debug)]
 pub struct GaloisKeys {
     params: BfvParams,
-    /// For each Galois element `g`, a vector of `(k0_i, k1_i)` pairs, one per
-    /// decomposition digit, satisfying `k0_i + k1_i·s = B^i·s(x^g) + e_i`.
-    keys: HashMap<usize, Vec<(PolyOperand, PolyOperand)>>,
+    /// Per element, one entry per generated gadget base (coarsest first).
+    keys: HashMap<usize, Vec<GaloisKeyEntry>>,
+}
+
+/// A ciphertext decomposed once for many rotations (Halevi–Shoup
+/// hoisting): both components in evaluation form plus the gadget digits of
+/// `c1`, already forward-NTT'd, under the [`BfvParams::bsgs_log_base`]
+/// base. Build with [`GaloisKeys::hoist`]; consume with
+/// [`GaloisKeys::rotate_hoisted`].
+///
+/// All stored vectors are strictly reduced `[0, q)` NTT-form data.
+#[derive(Clone, Debug)]
+pub struct HoistedCiphertext {
+    /// log2 of the gadget base the digits were decomposed under.
+    log_base: u32,
+    /// `c0` in evaluation form.
+    c0: Vec<u64>,
+    /// `c1` in evaluation form (used for the identity rotation).
+    c1: Vec<u64>,
+    /// NTT-form gadget digits of `c1`, least significant first.
+    digits: Vec<Vec<u64>>,
+}
+
+impl HoistedCiphertext {
+    /// log2 of the gadget base the digits were decomposed under.
+    pub fn log_base(&self) -> u32 {
+        self.log_base
+    }
+
+    /// Number of gadget digits held.
+    pub fn num_digits(&self) -> usize {
+        self.digits.len()
+    }
 }
 
 /// A convenience bundle of all keys one party generates.
@@ -70,31 +240,78 @@ pub struct KeySet {
     pub galois: GaloisKeys,
 }
 
+/// The power-of-two composition elements `3^(2^j) mod 2N` plus the row
+/// swap `2N−1` — the key set [`GaloisKeys::rotate_rows`] composes from.
+fn power_of_two_elements(n: usize) -> Vec<usize> {
+    let mut elements = Vec::new();
+    let m = 2 * n;
+    let mut g = 3usize;
+    let mut step = 1usize;
+    while step < n / 2 {
+        elements.push(g);
+        g = (g * g) % m;
+        step *= 2;
+    }
+    elements.push(m - 1);
+    elements
+}
+
 impl KeySet {
     /// Generates a fresh key set with rotation keys for all power-of-two
     /// row rotations (enough to compose any rotation in log steps) plus the
     /// single-step rotations the diagonal method uses directly.
     pub fn generate<R: Rng + ?Sized>(params: &BfvParams, rng: &mut R) -> Self {
+        Self::generate_for_dims(params, &[], rng)
+    }
+
+    /// Like [`KeySet::generate`], but additionally materializes the
+    /// baby-step/giant-step rotation keys for Halevi–Shoup matvecs at each
+    /// of the given padded dimensions (see
+    /// [`SecretKey::galois_keys_for_bsgs`] for the exact element set).
+    ///
+    /// This is what a DELPHI-style client generates: the power-of-two
+    /// composition set for ad-hoc rotations plus the BSGS set for every
+    /// linear-layer dimension the model metadata announces.
+    pub fn generate_for_dims<R: Rng + ?Sized>(
+        params: &BfvParams,
+        dims: &[usize],
+        rng: &mut R,
+    ) -> Self {
         let secret = SecretKey::generate(params, rng);
         let public = secret.public_key(rng);
-        let n = params.n();
-        // Galois elements 3^(2^j) mod 2N for power-of-two rotations.
-        let mut elements = Vec::new();
-        let m = 2 * n;
-        let mut g = 3usize;
-        let mut step = 1usize;
-        while step < n / 2 {
-            elements.push(g);
-            g = (g * g) % m;
-            step *= 2;
+        let mut specs: HashMap<usize, std::collections::BTreeSet<u32>> = HashMap::new();
+        for g in power_of_two_elements(params.n()) {
+            specs.entry(g).or_default().insert(params.ks_log_base);
         }
-        // Row swap (x -> x^{2N-1}).
-        elements.push(m - 1);
-        let galois = secret.galois_keys(&elements, rng);
+        merge_bsgs_specs(&mut specs, params, dims);
+        let galois = secret.galois_keys_from_specs(&specs, rng);
         Self {
             secret,
             public,
             galois,
+        }
+    }
+}
+
+/// Merges the BSGS element→gadget requirements for each dimension into
+/// `specs`. An element claimed under several bases keeps them all: the
+/// composed-rotation paths pick the cheap coarse gadget, the hoisted paths
+/// their matching fine one.
+fn merge_bsgs_specs(
+    specs: &mut HashMap<usize, std::collections::BTreeSet<u32>>,
+    params: &BfvParams,
+    dims: &[usize],
+) {
+    let n = params.n();
+    for &dim in dims {
+        let (baby_rots, giant_rots) = crate::linalg::bsgs_rotations(dim);
+        for k in baby_rots {
+            let g = rotation_element(n, k);
+            specs.entry(g).or_default().insert(params.bsgs_log_base);
+        }
+        for k in giant_rots {
+            let g = rotation_element(n, k);
+            specs.entry(g).or_default().insert(params.ks_log_base);
         }
     }
 }
@@ -126,16 +343,60 @@ impl SecretKey {
         }
     }
 
-    /// Generates key-switching keys for the given Galois elements.
+    /// Generates key-switching keys for the given Galois elements, all under
+    /// the ordinary [`BfvParams::ks_log_base`] gadget.
     pub fn galois_keys<R: Rng + ?Sized>(&self, elements: &[usize], rng: &mut R) -> GaloisKeys {
+        let specs: HashMap<usize, std::collections::BTreeSet<u32>> = elements
+            .iter()
+            .map(|&g| (g, [self.params.ks_log_base].into()))
+            .collect();
+        self.galois_keys_from_specs(&specs, rng)
+    }
+
+    /// Generates exactly the rotation keys the hoisted baby-step/giant-step
+    /// matvec needs at the given padded dimensions: for each `dim` with
+    /// baby count `b = ⌈√dim⌉` and giant count `g = ⌈dim/b⌉`, the baby
+    /// rotations `{1, …, b−1}` under the fine [`BfvParams::bsgs_log_base`]
+    /// gadget and the giant rotations `{b, 2b, …, (g−1)b}` under the
+    /// ordinary [`BfvParams::ks_log_base`] gadget — `b + g − 2 ≈ 2√dim`
+    /// keys instead of the `dim − 1` a per-rotation set would need (see
+    /// [`GaloisKeys::per_rotation_set_byte_len`] for the storage
+    /// comparison).
+    ///
+    /// An element claimed by several roles gets one gadget entry per role.
+    pub fn galois_keys_for_bsgs<R: Rng + ?Sized>(&self, dims: &[usize], rng: &mut R) -> GaloisKeys {
+        let mut specs = HashMap::new();
+        merge_bsgs_specs(&mut specs, &self.params, dims);
+        self.galois_keys_from_specs(&specs, rng)
+    }
+
+    /// Generates key-switching keys for `element → {log2(base), …}`
+    /// requirements (one [`GaloisKeyEntry`] per requested base).
+    fn galois_keys_from_specs<R: Rng + ?Sized>(
+        &self,
+        specs: &HashMap<usize, std::collections::BTreeSet<u32>>,
+        rng: &mut R,
+    ) -> GaloisKeys {
         let params = &self.params;
-        let mut keys = HashMap::new();
+        let q = params.q();
+        let mut keys: HashMap<usize, Vec<GaloisKeyEntry>> = HashMap::new();
         let s_coeff = self.s.clone().into_coeff();
-        for &g in elements {
+        // Generate in sorted (element, base) order so RNG consumption — and
+        // with it the exact key material and noise — is deterministic for a
+        // seeded RNG regardless of HashMap iteration order. Descending base
+        // within an element puts the coarse (cheap) gadget first, which is
+        // what the composed-rotation lookup prefers.
+        let mut ordered: Vec<(usize, u32)> = specs
+            .iter()
+            .flat_map(|(&g, bases)| bases.iter().map(move |&b| (g, b)))
+            .collect();
+        ordered.sort_unstable_by_key(|&(g, b)| (g, Reverse(b)));
+        for (g, log_base) in ordered {
+            let num_digits = (q.bits() as usize).div_ceil(log_base as usize);
             let s_g = s_coeff.galois(g).into_ntt();
-            let mut digit_keys = Vec::with_capacity(params.ks_digits);
+            let mut digit_keys = Vec::with_capacity(num_digits);
             let mut base_pow = 1u64;
-            for _ in 0..params.ks_digits {
+            for _ in 0..num_digits {
                 let a = sample::uniform(params.ring(), rng).into_ntt();
                 let e = sample::centered_binomial(params.ring(), rng, params.error_k);
                 // k0 = -(a·s + e) + B^i · s(x^g)
@@ -145,11 +406,13 @@ impl SecretKey {
                     .neg()
                     .add(&s_g.scale(base_pow));
                 digit_keys.push((k0.to_operand(), a.to_operand()));
-                base_pow = params
-                    .q()
-                    .reduce_u128(base_pow as u128 * (1u128 << params.ks_log_base));
+                base_pow = q.reduce_u128(base_pow as u128 * (1u128 << log_base));
             }
-            keys.insert(g, digit_keys);
+            keys.entry(g).or_default().push(GaloisKeyEntry {
+                log_base,
+                digits: digit_keys,
+                perm: params.ring().ntt().galois_permutation(g),
+            });
         }
         GaloisKeys {
             params: params.clone(),
@@ -270,12 +533,15 @@ impl GaloisKeys {
     /// Key-switches a ciphertext whose `c1` component is keyed under
     /// `s(x^g)` back to `s`.
     ///
-    /// The hot path of every rotation: all `ks_digits` decomposed digits are
+    /// The cold-rotation hot path: all decomposed digits are
     /// NTT-transformed in one batched stage-major pass
     /// ([`pi_poly::NttTables::forward_many`]), then accumulated against the
     /// Shoup-form keys in the lazy `[0, 2q)` domain with one final
     /// correction — `mul_shoup + add_lazy` per slot per digit, no Barrett
-    /// reduction and no intermediate `Poly` allocations.
+    /// reduction. Digit buffers come from the thread-local scratch pool, so
+    /// the only allocations are the two output polynomials. (For repeated
+    /// rotations of one ciphertext, [`GaloisKeys::hoist`] +
+    /// [`GaloisKeys::rotate_hoisted`] also skips all per-rotation NTTs.)
     ///
     /// # Panics
     ///
@@ -288,28 +554,129 @@ impl GaloisKeys {
     /// Fallible [`GaloisKeys::switch`]: rejects unknown Galois elements with
     /// [`KeyError::MissingGaloisKey`] instead of panicking.
     pub fn try_switch(&self, ct: &Ciphertext, g: usize) -> Result<Ciphertext, KeyError> {
-        let digit_keys = self.keys.get(&g).ok_or(KeyError::MissingGaloisKey(g))?;
+        // Coarsest gadget first in each entry list: fewest digits, fewest
+        // NTTs — the right choice when the rotation's noise only adds.
+        let entry = self
+            .keys
+            .get(&g)
+            .and_then(|v| v.first())
+            .ok_or(KeyError::MissingGaloisKey(g))?;
         let ring = self.params.ring();
         let ntt = ring.ntt();
         let q = self.params.q();
-        let mut digits: Vec<Vec<u64>> = ct
-            .c1
-            .clone()
-            .into_coeff()
-            .decompose(self.params.ks_log_base, self.params.ks_digits)
-            .into_iter()
-            .map(Poly::into_data)
-            .collect();
+        let n = self.params.n();
+        with_ks_scratch(|s| {
+            // c1 into coefficient form in the scratch staging buffer.
+            s.coeff.clear();
+            s.coeff.extend_from_slice(ct.c1.data());
+            if ct.c1.form() == PolyForm::Ntt {
+                ntt.inverse(&mut s.coeff);
+            }
+            let m = entry.digits.len();
+            s.ensure_digits(m, n);
+            decompose_into(&s.coeff, entry.log_base, &mut s.digits[..m]);
+            {
+                let mut batch: Vec<&mut [u64]> =
+                    s.digits[..m].iter_mut().map(|d| d.as_mut_slice()).collect();
+                ntt.forward_many(&mut batch);
+            }
+            let mut c0 = ct.c0.clone().into_ntt().into_data();
+            let mut c1 = vec![0u64; n];
+            for (d, (k0, k1)) in s.digits[..m].iter().zip(&entry.digits) {
+                ntt.dyadic_mul_acc_shoup(&mut c0, d, k0.shoup());
+                ntt.dyadic_mul_acc_shoup(&mut c1, d, k1.shoup());
+            }
+            for x in c0.iter_mut().chain(c1.iter_mut()) {
+                *x = q.reduce_lazy(*x);
+            }
+            Ok(Ciphertext {
+                c0: Poly::from_ntt_data(ring.clone(), c0),
+                c1: Poly::from_ntt_data(ring.clone(), c1),
+            })
+        })
+    }
+
+    /// Decomposes a ciphertext once for many rotations (Halevi–Shoup
+    /// hoisting): `c1`'s gadget digits under the fine
+    /// [`BfvParams::bsgs_log_base`] base, forward-NTT'd in one batched
+    /// pass, plus both components in evaluation form. Each subsequent
+    /// [`GaloisKeys::rotate_hoisted`] then costs one slot gather per digit
+    /// plus the dyadic key accumulates — no NTTs and no decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext's ring does not match these keys' ring
+    /// (same-degree/different-modulus inputs would otherwise silently
+    /// produce garbage).
+    pub fn hoist(&self, ct: &Ciphertext) -> HoistedCiphertext {
+        let params = &self.params;
+        let ntt = params.ring().ntt();
+        let n = params.n();
+        let ct_ctx = ct.c0.ctx();
+        assert!(
+            ct_ctx.n() == n && ct_ctx.q() == params.q(),
+            "ciphertext ring (n={}, q={}) does not match the Galois keys' ring (n={}, q={})",
+            ct_ctx.n(),
+            ct_ctx.q(),
+            n,
+            params.q()
+        );
+        let log_base = params.bsgs_log_base;
+        let m = params.bsgs_digits;
+        // c1 in coefficient form (strictly reduced, as decompose requires).
+        let mut c1_coeff = ct.c1.data().to_vec();
+        if ct.c1.form() == PolyForm::Ntt {
+            ntt.inverse(&mut c1_coeff);
+        }
+        let mut digits: Vec<Vec<u64>> = vec![Vec::with_capacity(n); m];
+        decompose_into(&c1_coeff, log_base, &mut digits);
         {
             let mut batch: Vec<&mut [u64]> = digits.iter_mut().map(|d| d.as_mut_slice()).collect();
             ntt.forward_many(&mut batch);
         }
-        let mut c0 = ct.c0.clone().into_ntt().into_data();
-        let mut c1 = vec![0u64; self.params.n()];
-        for (d, (k0, k1)) in digits.iter().zip(digit_keys) {
-            ntt.dyadic_mul_acc_shoup(&mut c0, d, k0.shoup());
-            ntt.dyadic_mul_acc_shoup(&mut c1, d, k1.shoup());
+        let c0 = ct.c0.clone().into_ntt().into_data();
+        let c1 = ct.c1.clone().into_ntt().into_data();
+        HoistedCiphertext {
+            log_base,
+            c0,
+            c1,
+            digits,
         }
+    }
+
+    /// Rotates the SIMD rows left by `k` from a hoisted decomposition: one
+    /// gather per digit (the automorphism in the NTT domain) plus the lazy
+    /// key accumulates — zero NTTs per rotation. `k = 0` reconstructs the
+    /// original ciphertext.
+    ///
+    /// Unlike [`GaloisKeys::rotate_rows`] this does **not** compose
+    /// power-of-two keys: it requires a key for the element `3^k mod 2N`
+    /// itself, generated under the same gadget base as the hoisting (see
+    /// [`SecretKey::galois_keys_for_bsgs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= N/2`, or on the [`GaloisKeys::try_rotate_hoisted`]
+    /// error conditions.
+    pub fn rotate_hoisted(&self, h: &HoistedCiphertext, k: usize) -> Ciphertext {
+        self.try_rotate_hoisted(h, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GaloisKeys::rotate_hoisted`]: rejects a missing direct
+    /// rotation key ([`KeyError::MissingGaloisKey`]) or a key generated
+    /// under a different gadget base ([`KeyError::GadgetMismatch`]).
+    pub fn try_rotate_hoisted(
+        &self,
+        h: &HoistedCiphertext,
+        k: usize,
+    ) -> Result<Ciphertext, KeyError> {
+        let ring = self.params.ring();
+        let q = self.params.q();
+        let n = self.params.n();
+        let mut c0 = vec![0u64; n];
+        let mut c1 = vec![0u64; n];
+        self.rotate_hoisted_lazy(h, k, &mut c0, &mut c1)?;
         for x in c0.iter_mut().chain(c1.iter_mut()) {
             *x = q.reduce_lazy(*x);
         }
@@ -317,6 +684,111 @@ impl GaloisKeys {
             c0: Poly::from_ntt_data(ring.clone(), c0),
             c1: Poly::from_ntt_data(ring.clone(), c1),
         })
+    }
+
+    /// Core of the hoisted rotation: writes the rotated pair into `out0`/
+    /// `out1` in the lazy `[0, 2q)` NTT domain without the final
+    /// correction, so the BSGS inner loop can keep multiply-accumulating.
+    pub(crate) fn rotate_hoisted_lazy(
+        &self,
+        h: &HoistedCiphertext,
+        k: usize,
+        out0: &mut [u64],
+        out1: &mut [u64],
+    ) -> Result<(), KeyError> {
+        let n = self.params.n();
+        assert!(k < n / 2, "rotation amount must be below N/2");
+        let ntt = self.params.ring().ntt();
+        if k == 0 {
+            out0.copy_from_slice(&h.c0);
+            out1.copy_from_slice(&h.c1);
+            return Ok(());
+        }
+        let g = rotation_element(n, k);
+        let entries = self.keys.get(&g).ok_or(KeyError::MissingGaloisKey(g))?;
+        let entry = entries
+            .iter()
+            .find(|e| e.log_base == h.log_base && e.digits.len() == h.digits.len())
+            .ok_or(KeyError::GadgetMismatch {
+                g,
+                key_log_base: entries.first().map_or(0, |e| e.log_base),
+                hoisted_log_base: h.log_base,
+            })?;
+        with_ks_scratch(|s| {
+            // c0 of the rotated ciphertext starts as φ_g(c0): a pure gather
+            // in the evaluation basis, still strictly reduced.
+            entry.perm.apply(out0, &h.c0);
+            out1.fill(0);
+            s.perm.resize(n, 0);
+            for (d, (k0, k1)) in h.digits.iter().zip(&entry.digits) {
+                entry.perm.apply(&mut s.perm, d);
+                ntt.dyadic_mul_acc_shoup(out0, &s.perm, k0.shoup());
+                ntt.dyadic_mul_acc_shoup(out1, &s.perm, k1.shoup());
+            }
+        });
+        Ok(())
+    }
+
+    /// Rotates a lazy evaluation-form pair (`inner0`, `inner1`, both in
+    /// `[0, 2q)`) left by `k` and **accumulates** the result into
+    /// `acc0`/`acc1` (also `[0, 2q)`): the fused giant-step of the BSGS
+    /// matvec. One inverse NTT (of `inner1`), one gadget decomposition and
+    /// digit-batch forward NTT under the element's own base, then permuted
+    /// dyadic accumulates — the rotated ciphertext is never materialized.
+    ///
+    /// `inner1` is consumed as scratch (left in coefficient form).
+    pub(crate) fn rotate_acc_lazy(
+        &self,
+        k: usize,
+        inner0: &[u64],
+        inner1: &mut [u64],
+        acc0: &mut [u64],
+        acc1: &mut [u64],
+    ) -> Result<(), KeyError> {
+        let params = &self.params;
+        let ntt = params.ring().ntt();
+        let q = params.q();
+        let n = params.n();
+        assert!(k < n / 2, "rotation amount must be below N/2");
+        if k == 0 {
+            for (a, &v) in acc0.iter_mut().zip(inner0.iter()) {
+                *a = q.add_lazy(*a, v);
+            }
+            for (a, &v) in acc1.iter_mut().zip(inner1.iter()) {
+                *a = q.add_lazy(*a, v);
+            }
+            return Ok(());
+        }
+        let g = rotation_element(n, k);
+        let entry = self
+            .keys
+            .get(&g)
+            .and_then(|v| v.first())
+            .ok_or(KeyError::MissingGaloisKey(g))?;
+        with_ks_scratch(|s| {
+            // Decompose φ-free: digits of inner1, permuted afterwards.
+            ntt.inverse(inner1); // [0, 2q) lazy in → [0, q) coeff out
+            let m = entry.digits.len();
+            s.ensure_digits(m, n);
+            decompose_into(inner1, entry.log_base, &mut s.digits[..m]);
+            {
+                let mut batch: Vec<&mut [u64]> =
+                    s.digits[..m].iter_mut().map(|d| d.as_mut_slice()).collect();
+                ntt.forward_many(&mut batch);
+            }
+            s.perm.resize(n, 0);
+            for (d, (k0, k1)) in s.digits[..m].iter().zip(&entry.digits) {
+                entry.perm.apply(&mut s.perm, d);
+                ntt.dyadic_mul_acc_shoup(acc0, &s.perm, k0.shoup());
+                ntt.dyadic_mul_acc_shoup(acc1, &s.perm, k1.shoup());
+            }
+            // φ_g(inner0) folds into acc0 as a permuted lazy addition.
+            entry.perm.apply(&mut s.perm, inner0);
+            for (a, &v) in acc0.iter_mut().zip(s.perm.iter()) {
+                *a = q.add_lazy(*a, v);
+            }
+        });
+        Ok(())
     }
 
     /// Rotates the SIMD rows of a batch-encoded ciphertext left by `k`
@@ -383,12 +855,29 @@ impl GaloisKeys {
     }
 
     /// Serialized size in bytes: two polynomials per decomposition digit per
-    /// Galois element.
+    /// Galois element (baby-step elements carry more digits under their
+    /// finer gadget).
     pub fn byte_len(&self) -> usize {
         self.keys
             .values()
-            .map(|digits| digits.len() * 2 * self.params.n() * 8)
+            .flat_map(|entries| entries.iter())
+            .map(|e| e.digits.len() * 2 * self.params.n() * 8)
             .sum()
+    }
+
+    /// Number of Galois elements with key material.
+    pub fn num_elements(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Serialized size a **per-rotation** key set would need at dimension
+    /// `dim`: one ordinary-gadget key for each of the `dim − 1` rotation
+    /// amounts a hoisted (non-composing) diagonal matvec would otherwise
+    /// demand. The BSGS set materializes only `⌈√dim⌉ + ⌈dim/⌈√dim⌉⌉ − 2`
+    /// elements; comparing [`GaloisKeys::byte_len`] against this figure is
+    /// the offline key-storage win reported in `pi-core`'s `CostReport`.
+    pub fn per_rotation_set_byte_len(params: &BfvParams, dim: usize) -> usize {
+        dim.saturating_sub(1) * params.ks_digits * 2 * params.n() * 8
     }
 }
 

@@ -6,15 +6,48 @@
 //! diagonal method over SIMD slots, then subtracts its own random share `s`
 //! to produce `E(W·r − s)` — the client's additive share of the layer.
 //!
-//! We use the rotate-after-multiply formulation
-//! `W·v = Σ_k rot(v ⊙ rot⁻¹(diag_k, k), k)` evaluated as a Horner-style
-//! chain (one ciphertext rotation per diagonal), so key-switching noise adds
-//! instead of being amplified by the plaintext multiplication.
+//! # Hoisted baby-step/giant-step (the hot path)
+//!
+//! [`matvec_precomputed`] evaluates `W·v = Σ_k diag_k ⊙ rot_k(v)` with
+//! `k = j·b + i` split into `b = ⌈√d⌉` baby steps and `g = ⌈d/b⌉` giant
+//! steps:
+//!
+//! ```text
+//! W·v = Σ_j rot_{jb}( Σ_i  p_{j,i} ⊙ rot_i(v) ),
+//!       p_{j,i}[s] = W[(s − jb) mod d][(s + i) mod d]
+//! ```
+//!
+//! The `b − 1` baby rotations `rot_i(v)` all come from **one** hoisted
+//! decomposition of `v` ([`GaloisKeys::hoist`]): the gadget digits are
+//! decomposed and forward-NTT'd once and each baby rotation is a slot
+//! gather plus dyadic key accumulates — zero NTTs. Each giant step is one
+//! multiply-accumulate sweep over pre-rotated diagonal operands
+//! ([`BsgsDiagonals`], encoded once per matrix) plus a single fused
+//! key switch ([`GaloisKeys`] giant keys, ordinary gadget). Total:
+//! `b + g − 2 ≈ 2√d` rotations instead of `d − 1`, with only the `g − 1`
+//! giant ones paying NTTs.
+//!
+//! Noise shape: baby key-switch noise passes through the subsequent
+//! plaintext multiplication (amplification ≈ `√(n·d)·t`), which is why
+//! baby keys use the fine [`crate::BfvParams::bsgs_log_base`] gadget and
+//! diagonals are encoded **centered** (coefficients in `(−t/2, t/2]`,
+//! halving the amplification); giant-step noise only adds, as in the
+//! naive chain.
+//!
+//! # Naive chain (the differential oracle)
+//!
+//! [`matvec_naive`] keeps the original rotate-after-multiply Horner
+//! formulation `W·v = Σ_k rot(v ⊙ rot⁻¹(diag_k, k), k)` (one composed
+//! rotation per diagonal, key-switch noise never amplified). It needs only
+//! the power-of-two composition keys and serves as the correctness oracle
+//! for the BSGS path in `tests/matvec_differential.rs` and as the bench
+//! baseline.
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::encoder::BatchEncoder;
 use crate::keys::GaloisKeys;
 use pi_field::Modulus;
+use pi_poly::Poly;
 
 /// A dense matrix over `Z_t`, stored row-major, padded internally to a
 /// power-of-two dimension for the diagonal method.
@@ -101,6 +134,38 @@ impl PlainMatrix {
             .map(|i| self.data[((i + d - k) % d) * d + i])
             .collect()
     }
+
+    /// The BSGS-layout diagonal for baby index `i` and giant offset `jb`:
+    /// `p[s] = W[(s − jb) mod d][(s + i) mod d]` — diagonal `jb + i`
+    /// pre-rotated right by the giant offset so the giant rotation can be
+    /// applied after the inner multiply-accumulate.
+    fn bsgs_diagonal(&self, jb: usize, i: usize) -> Vec<u64> {
+        let d = self.dim;
+        (0..d)
+            .map(|s| self.data[((s + d - jb) % d) * d + (s + i) % d])
+            .collect()
+    }
+}
+
+/// The baby-step/giant-step split for a padded dimension: `b = ⌈√dim⌉`
+/// baby steps and `g = ⌈dim/b⌉` giant steps.
+pub fn bsgs_plan(dim: usize) -> (usize, usize) {
+    assert!(dim >= 1, "dimension must be positive");
+    let mut b = (dim as f64).sqrt() as usize;
+    while b * b < dim {
+        b += 1;
+    }
+    (b, dim.div_ceil(b))
+}
+
+/// The rotation amounts the BSGS matvec at `dim` needs:
+/// `(baby rotations 1..b, giant rotations b·j for j in 1..g)`. Rotation 0
+/// (identity) needs no key in either role.
+pub fn bsgs_rotations(dim: usize) -> (Vec<usize>, Vec<usize>) {
+    let (b, g) = bsgs_plan(dim);
+    let baby: Vec<usize> = (1..b.min(dim)).collect();
+    let giant: Vec<usize> = (1..g).map(|j| j * b).collect();
+    (baby, giant)
 }
 
 /// A matrix's Halevi–Shoup diagonals, encoded and precomputed as Shoup-form
@@ -126,7 +191,7 @@ impl EncodedDiagonals {
 }
 
 /// Encodes all shifted diagonals of `w` and precomputes their Shoup
-/// operands for [`matvec_precomputed`].
+/// operands for [`matvec_naive`].
 ///
 /// # Panics
 ///
@@ -139,17 +204,164 @@ pub fn encode_diagonals(enc: &BatchEncoder, w: &PlainMatrix) -> EncodedDiagonals
         enc.row_size()
     );
     let ops = (0..d)
-        .map(|k| enc.encode_periodic(&w.shifted_diagonal(k)).to_operand())
+        .map(|k| {
+            enc.encode_periodic_centered(&w.shifted_diagonal(k))
+                .to_operand()
+        })
         .collect();
     EncodedDiagonals { dim: d, ops }
 }
 
-/// Computes `E(W · v)` from `E(v)` using precomputed diagonal operands.
+/// A matrix's diagonals pre-rotated into the baby-step/giant-step layout
+/// (`ops[j·b + i]` holds `p_{j,i}`, centered and Shoup-precomputed) — the
+/// per-model precomputation behind [`matvec_precomputed`].
+#[derive(Clone, Debug)]
+pub struct BsgsDiagonals {
+    dim: usize,
+    baby: usize,
+    giant: usize,
+    /// `ops[k]` with `k = j·baby + i` is the encoded `p_{j,i}`.
+    ops: Vec<crate::cipher::PlainOperand>,
+}
+
+impl BsgsDiagonals {
+    /// The padded dimension (number of diagonals).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The baby-step count `b = ⌈√dim⌉`.
+    pub fn baby(&self) -> usize {
+        self.baby
+    }
+
+    /// The giant-step count `g = ⌈dim/b⌉`.
+    pub fn giant(&self) -> usize {
+        self.giant
+    }
+}
+
+/// Encodes the diagonals of `w` in the baby-step/giant-step layout for
+/// [`matvec_precomputed`]: diagonal `j·b + i` pre-rotated right by the
+/// giant offset `j·b`, encoded centered, with Shoup operands precomputed.
+/// One encoding serves every client and every query of the same matrix.
 ///
-/// The inner loop per diagonal is a `mul_shoup` pass over the ciphertext
-/// pair plus the lazy-reduced additions inside the rotation's key switch —
-/// no Barrett reduction and no per-call plaintext encoding.
-pub fn matvec_precomputed(gk: &GaloisKeys, w: &EncodedDiagonals, ct_v: &Ciphertext) -> Ciphertext {
+/// # Panics
+///
+/// Panics if the padded dimension exceeds the encoder row size.
+pub fn encode_diagonals_bsgs(enc: &BatchEncoder, w: &PlainMatrix) -> BsgsDiagonals {
+    let d = w.dim;
+    assert!(
+        d <= enc.row_size(),
+        "matrix dimension {d} exceeds slot row size {}",
+        enc.row_size()
+    );
+    let (b, g) = bsgs_plan(d);
+    let ops = (0..d)
+        .map(|k| {
+            let (j, i) = (k / b, k % b);
+            enc.encode_periodic_centered(&w.bsgs_diagonal(j * b, i))
+                .to_operand()
+        })
+        .collect();
+    BsgsDiagonals {
+        dim: d,
+        baby: b,
+        giant: g,
+        ops,
+    }
+}
+
+/// Computes `E(W · v)` from `E(v)` with the hoisted baby-step/giant-step
+/// algorithm — the offline-phase hot path (see the module docs for the
+/// decomposition and noise shape).
+///
+/// `v` is hoisted once; the `b − 1` baby rotations are NTT-free gathers
+/// from the hoisted digits; each of the `g − 1` giant steps is one
+/// multiply-accumulate sweep over pre-rotated diagonals plus one fused
+/// key switch accumulating straight into the result. Everything runs in
+/// the lazy `[0, 2q)` evaluation domain with a single final correction.
+///
+/// # Panics
+///
+/// Panics if the Galois keys lack a required baby or giant rotation key
+/// (generate them with [`crate::keys::SecretKey::galois_keys_for_bsgs`] or
+/// [`crate::keys::KeySet::generate_for_dims`]), or if the keys and
+/// ciphertext come from different parameter sets.
+pub fn matvec_precomputed(gk: &GaloisKeys, w: &BsgsDiagonals, ct_v: &Ciphertext) -> Ciphertext {
+    let params = gk.params();
+    let ring = params.ring();
+    let ntt = ring.ntt();
+    let q = params.q();
+    let n = params.n();
+    let (d, b) = (w.dim, w.baby);
+    // The diagonal operands must live in the keys' ring: the dyadic kernels
+    // below only length-check raw slices, so a same-degree/different-modulus
+    // precomputation would otherwise silently corrupt the result.
+    let op_ctx = w.ops[0].op.ctx();
+    assert!(
+        op_ctx.n() == n && op_ctx.q() == q,
+        "diagonal operands' ring (n={}, q={}) does not match the Galois keys' ring (n={n}, q={q})",
+        op_ctx.n(),
+        op_ctx.q()
+    );
+    if d == 1 {
+        return ct_v.mul_plain_operand(&w.ops[0]);
+    }
+    let hoisted = gk.hoist(ct_v);
+    // Baby rotations of v, kept lazy in [0, 2q) evaluation form.
+    let baby_count = b.min(d);
+    let mut babies: Vec<(Vec<u64>, Vec<u64>)> = Vec::with_capacity(baby_count);
+    for i in 0..baby_count {
+        let mut c0 = vec![0u64; n];
+        let mut c1 = vec![0u64; n];
+        gk.rotate_hoisted_lazy(&hoisted, i, &mut c0, &mut c1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        babies.push((c0, c1));
+    }
+    let mut acc0 = vec![0u64; n];
+    let mut acc1 = vec![0u64; n];
+    let mut inner0 = vec![0u64; n];
+    let mut inner1 = vec![0u64; n];
+    for j in 0..w.giant {
+        let lo = j * b;
+        if lo >= d {
+            break;
+        }
+        let count = b.min(d - lo);
+        // Giant group j accumulates Σ_i p_{j,i} ⊙ rot_i(v) lazily; group 0
+        // lands directly in the result accumulator (identity rotation).
+        let (t0, t1) = if j == 0 {
+            (&mut acc0, &mut acc1)
+        } else {
+            inner0.fill(0);
+            inner1.fill(0);
+            (&mut inner0, &mut inner1)
+        };
+        for (baby, op) in babies[..count].iter().zip(&w.ops[lo..lo + count]) {
+            ntt.dyadic_mul_acc_shoup(t0, &baby.0, op.op.shoup());
+            ntt.dyadic_mul_acc_shoup(t1, &baby.1, op.op.shoup());
+        }
+        if j > 0 {
+            gk.rotate_acc_lazy(lo, &inner0, &mut inner1, &mut acc0, &mut acc1)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+    for x in acc0.iter_mut().chain(acc1.iter_mut()) {
+        *x = q.reduce_lazy(*x);
+    }
+    Ciphertext {
+        c0: Poly::from_ntt_data(ring.clone(), acc0),
+        c1: Poly::from_ntt_data(ring.clone(), acc1),
+    }
+}
+
+/// Computes `E(W · v)` from `E(v)` with the original rotate-after-multiply
+/// Horner chain — one composed rotation per diagonal. Slower than
+/// [`matvec_precomputed`] by ~`√d/2`× but needs only the power-of-two
+/// composition keys and never amplifies key-switch noise: the differential
+/// oracle and benchmark baseline for the BSGS path.
+pub fn matvec_naive(gk: &GaloisKeys, w: &EncodedDiagonals, ct_v: &Ciphertext) -> Ciphertext {
     // Horner-style chain over diagonals k = d-1 .. 0:
     //   acc <- rot(acc, 1) + v ⊙ p_k
     // yielding acc = Σ_k rot(v ⊙ p_k, k) = W·v.
@@ -171,8 +383,11 @@ pub fn matvec_precomputed(gk: &GaloisKeys, w: &EncodedDiagonals, ct_v: &Cipherte
 /// `W·v` (padded with zero rows) in the same periodic layout, so
 /// `decode_prefix(…, W.rows())` extracts the product.
 ///
-/// Encodes and precomputes the diagonals on every call; when the same matrix
-/// is applied repeatedly, use [`encode_diagonals`] + [`matvec_precomputed`].
+/// Encodes and precomputes the diagonals on every call, then runs the
+/// naive Horner chain — a convenience for one-shot products under a plain
+/// power-of-two key set. When the same matrix is applied repeatedly, use
+/// [`encode_diagonals_bsgs`] + [`matvec_precomputed`] (hot path) or
+/// [`encode_diagonals`] + [`matvec_naive`] (oracle).
 ///
 /// # Panics
 ///
@@ -183,27 +398,52 @@ pub fn matvec(
     w: &PlainMatrix,
     ct_v: &Ciphertext,
 ) -> Ciphertext {
-    matvec_precomputed(gk, &encode_diagonals(enc, w), ct_v)
+    matvec_naive(gk, &encode_diagonals(enc, w), ct_v)
 }
 
-/// Counts the homomorphic operations a `dim × dim` diagonal matvec performs.
-/// Used by the cost model in `pi-sim` (one plaintext multiplication and one
-/// rotation per diagonal).
+/// Counts the homomorphic operations a `dim × dim` diagonal matvec
+/// performs, distinguishing cheap hoisted rotations (slot gathers + dyadic
+/// accumulates, no NTTs) from full key switches (gadget decompose + digit
+/// NTT batch). Feeds the cost model in `pi-sim`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MatvecOpCount {
-    /// Plaintext multiplications.
+    /// Plaintext multiplications (one per diagonal).
     pub pt_muls: usize,
-    /// Ciphertext rotations (key switches).
-    pub rotations: usize,
+    /// Hoisted rotations: amortized against one shared decomposition.
+    pub hoisted_rotations: usize,
+    /// Full key switches (cold rotations: decompose + digit NTTs).
+    pub key_switches: usize,
     /// Ciphertext additions.
     pub additions: usize,
 }
 
-/// Returns the operation count of [`matvec`] at a padded dimension.
+impl MatvecOpCount {
+    /// Total rotations of either kind.
+    pub fn rotations(&self) -> usize {
+        self.hoisted_rotations + self.key_switches
+    }
+}
+
+/// Operation count of the hoisted-BSGS [`matvec_precomputed`] at a padded
+/// dimension: `⌈√d⌉ − 1` hoisted baby rotations and `⌈d/⌈√d⌉⌉ − 1` giant
+/// key switches instead of the naive `d − 1` full switches.
 pub fn matvec_op_count(dim: usize) -> MatvecOpCount {
+    let (b, g) = bsgs_plan(dim);
     MatvecOpCount {
         pt_muls: dim,
-        rotations: dim.saturating_sub(1),
+        hoisted_rotations: b.min(dim).saturating_sub(1),
+        key_switches: g.saturating_sub(1),
+        additions: dim.saturating_sub(1),
+    }
+}
+
+/// Operation count of the naive Horner chain ([`matvec_naive`]): one full
+/// key switch per diagonal.
+pub fn matvec_op_count_naive(dim: usize) -> MatvecOpCount {
+    MatvecOpCount {
+        pt_muls: dim,
+        hoisted_rotations: 0,
+        key_switches: dim.saturating_sub(1),
         additions: dim.saturating_sub(1),
     }
 }
@@ -329,20 +569,66 @@ mod tests {
     }
 
     #[test]
-    fn precomputed_matvec_matches_and_reuses() {
-        let (params, keys, enc, mut rng) = setup(12);
+    fn precomputed_bsgs_matvec_matches_and_reuses() {
+        let params = BfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let keys = KeySet::generate_for_dims(&params, &[16], &mut rng);
+        let enc = BatchEncoder::new(&params);
         let t = params.t();
         let w = random_matrix(16, 16, t.value(), t, &mut rng);
-        let diag = encode_diagonals(&enc, &w);
+        let diag = encode_diagonals_bsgs(&enc, &w);
         assert_eq!(diag.dim(), 16);
+        assert_eq!((diag.baby(), diag.giant()), (4, 4));
         // One precomputation serves many client vectors.
         for _ in 0..3 {
             let v: Vec<u64> = (0..16).map(|_| rng.gen_range(0..t.value())).collect();
             let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
             let out = matvec_precomputed(&keys.galois, &diag, &ct);
+            assert!(keys.secret.noise_budget(&out) > 0, "noise exhausted");
             let got = enc.decode_prefix(&keys.secret.decrypt(&out), 16);
             assert_eq!(got, w.matvec_plain(&v, t));
         }
+    }
+
+    #[test]
+    fn bsgs_matches_naive_oracle() {
+        // The BSGS path and the Horner oracle must decrypt identically,
+        // including at non-power-of-two logical shapes and dim 1/2 edges.
+        let params = BfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let keys = KeySet::generate_for_dims(&params, &[1, 2, 8, 16], &mut rng);
+        let enc = BatchEncoder::new(&params);
+        let t = params.t();
+        for (rows, cols) in [(1, 1), (2, 2), (5, 7), (16, 16)] {
+            let w = random_matrix(rows, cols, t.value(), t, &mut rng);
+            let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..t.value())).collect();
+            let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+            let naive = matvec_naive(&keys.galois, &encode_diagonals(&enc, &w), &ct);
+            let bsgs = matvec_precomputed(&keys.galois, &encode_diagonals_bsgs(&enc, &w), &ct);
+            assert_eq!(
+                keys.secret.decrypt(&naive),
+                keys.secret.decrypt(&bsgs),
+                "naive and BSGS decryptions differ at {rows}x{cols}"
+            );
+            let got = enc.decode_prefix(&keys.secret.decrypt(&bsgs), rows);
+            assert_eq!(got, w.matvec_plain(&v, t));
+        }
+    }
+
+    #[test]
+    fn bsgs_plan_shapes() {
+        assert_eq!(bsgs_plan(1), (1, 1));
+        assert_eq!(bsgs_plan(2), (2, 1));
+        assert_eq!(bsgs_plan(7), (3, 3));
+        assert_eq!(bsgs_plan(64), (8, 8));
+        assert_eq!(bsgs_plan(100), (10, 10));
+        assert_eq!(bsgs_plan(128), (12, 11));
+        // Rotation sets: babies 1..b, giants b·j; never rotation 0.
+        let (baby, giant) = bsgs_rotations(128);
+        assert_eq!(baby, (1..12).collect::<Vec<_>>());
+        assert_eq!(giant, (1..11).map(|j| 12 * j).collect::<Vec<_>>());
+        assert!(bsgs_rotations(1).0.is_empty() && bsgs_rotations(1).1.is_empty());
+        assert_eq!(bsgs_rotations(2), ((1..2).collect::<Vec<_>>(), vec![]));
     }
 
     #[test]
@@ -369,11 +655,20 @@ mod tests {
 
     #[test]
     fn op_count_formula() {
+        // BSGS: 63 full switches collapse to 7 hoisted + 7 cold at d=64.
         let c = matvec_op_count(64);
         assert_eq!(c.pt_muls, 64);
-        assert_eq!(c.rotations, 63);
+        assert_eq!(c.hoisted_rotations, 7);
+        assert_eq!(c.key_switches, 7);
+        assert_eq!(c.rotations(), 14);
         assert_eq!(c.additions, 63);
-        assert_eq!(matvec_op_count(1).rotations, 0);
+        assert_eq!(matvec_op_count(1).rotations(), 0);
+        assert_eq!(matvec_op_count(128).rotations(), 11 + 10);
+        // The naive chain keeps the old shape.
+        let naive = matvec_op_count_naive(64);
+        assert_eq!(naive.key_switches, 63);
+        assert_eq!(naive.hoisted_rotations, 0);
+        assert_eq!(naive.rotations(), 63);
     }
 
     #[test]

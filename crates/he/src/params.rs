@@ -22,6 +22,18 @@ pub struct BfvParams {
     pub ks_log_base: u32,
     /// Number of key-switching digits: ceil(bits(q) / ks_log_base).
     pub ks_digits: usize,
+    /// log2 of the decomposition base for **baby-step** (hoisted BSGS)
+    /// rotation keys. Much smaller than [`BfvParams::ks_log_base`]: a baby
+    /// rotation's key-switch noise is later *multiplied* by a plaintext
+    /// diagonal (amplification ≈ `√n·t`), whereas an ordinary rotation's
+    /// noise only adds, so baby keys need a finer gadget (noise per digit
+    /// ∝ base) even though that means more digits. The extra digits are
+    /// cheap exactly because hoisting amortizes their forward NTTs across
+    /// all baby steps and replaces the per-rotation transforms with slot
+    /// gathers.
+    pub bsgs_log_base: u32,
+    /// Number of baby-step digits: ceil(bits(q) / bsgs_log_base).
+    pub bsgs_digits: usize,
     /// Centered-binomial error parameter (variance k/2).
     pub error_k: u32,
 }
@@ -49,27 +61,34 @@ impl BfvParams {
         let delta = q.value() / t.value();
         let ks_log_base = 10;
         let ks_digits = (q.bits() as usize).div_ceil(ks_log_base as usize);
+        let bsgs_log_base = 2;
+        let bsgs_digits = (q.bits() as usize).div_ceil(bsgs_log_base as usize);
         Self {
             ring,
             t,
             delta,
             ks_log_base,
             ks_digits,
+            bsgs_log_base,
+            bsgs_digits,
             error_k: 8,
         }
     }
 
     /// The default parameter set used by the protocol crates:
-    /// `N = 4096`, 61-bit `q`, 20-bit `t`. Mirrors the Gazelle/DELPHI regime
-    /// (single-multiplication depth, SIMD batching, rotation support).
+    /// `N = 4096`, 62-bit `q`, 20-bit `t`. Mirrors the Gazelle/DELPHI regime
+    /// (single-multiplication depth, SIMD batching, rotation support); `q`
+    /// sits at the top of the `q < 2^62` lazy-arithmetic contract so the
+    /// hoisted-BSGS matvec keeps noise headroom at the largest layer
+    /// dimensions.
     pub fn default_pi() -> Self {
-        Self::new(4096, 61, 20)
+        Self::new(4096, 62, 20)
     }
 
-    /// A small, fast parameter set for unit tests: `N = 2048`, 61-bit `q`,
+    /// A small, fast parameter set for unit tests: `N = 2048`, 62-bit `q`,
     /// 20-bit `t`.
     pub fn small_test() -> Self {
-        Self::new(2048, 61, 20)
+        Self::new(2048, 62, 20)
     }
 
     /// Ring degree `N`.
@@ -130,6 +149,11 @@ mod tests {
     fn ks_digits_cover_modulus() {
         let p = BfvParams::small_test();
         assert!(p.ks_digits as u32 * p.ks_log_base >= p.q().bits());
+        assert!(p.bsgs_digits as u32 * p.bsgs_log_base >= p.q().bits());
+        assert!(
+            p.bsgs_log_base < p.ks_log_base,
+            "baby-step gadget must be finer than the ordinary key-switch gadget"
+        );
     }
 
     #[test]

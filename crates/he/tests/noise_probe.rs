@@ -1,0 +1,62 @@
+//! Noise-budget regression guard for the hoisted-BSGS matvec at the
+//! protocol's worst shapes (full-range `Z_t` entries at the largest layer
+//! dimensions). Baby-step key-switch noise is amplified by the plaintext
+//! multiplication (see the `linalg` module docs), so this pins the margin
+//! the `bsgs_log_base = 2` gadget + centered diagonals + 62-bit `q` leave:
+//! measured 2–4 bits of budget at d ∈ {64, 128}, n ∈ {2048, 4096}, 20-bit
+//! `t` (vs 6–7 bits for the unamplified naive chain). A change that eats
+//! this margin (coarser baby gadget, uncentered operands, smaller `q`)
+//! fails here before it corrupts end-to-end decryptions.
+
+use pi_he::linalg::*;
+use pi_he::{BatchEncoder, BfvParams, KeySet};
+use rand::{Rng, SeedableRng};
+
+fn probe(params: &BfvParams, dim: usize, seed: u64) -> (u32, u32) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let keys = KeySet::generate_for_dims(params, &[dim], &mut rng);
+    let enc = BatchEncoder::new(params);
+    let t = params.t();
+    let data: Vec<u64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let w = PlainMatrix::new(dim, dim, &data, t);
+    let v: Vec<u64> = (0..dim).map(|_| rng.gen_range(0..t.value())).collect();
+    let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+    let naive = matvec_naive(&keys.galois, &encode_diagonals(&enc, &w), &ct);
+    let bsgs = matvec_precomputed(&keys.galois, &encode_diagonals_bsgs(&enc, &w), &ct);
+    let nb = keys.secret.noise_budget(&naive);
+    let bb = keys.secret.noise_budget(&bsgs);
+    let got = enc.decode_prefix(&keys.secret.decrypt(&bsgs), dim);
+    assert_eq!(got, w.matvec_plain(&v, t), "bsgs wrong at dim {dim}");
+    (nb, bb)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "four keygens at n up to 4096 are release-speed work; CI runs this guard in release"
+)]
+fn noise_margins() {
+    // Three independent key/error/matrix realizations per shape: the margin
+    // must hold across the seed spread, not at one lucky draw — a
+    // production client's keys are a fresh realization of exactly this
+    // distribution.
+    for (n, dim) in [(2048usize, 64usize), (2048, 128), (4096, 64), (4096, 128)] {
+        let params = BfvParams::new(n, 62, 20);
+        for seed in 0..3u64 {
+            let (nb, bb) = probe(&params, dim, seed * 1000 + (n + dim) as u64);
+            println!(
+                "n={n} t=20 dim={dim} seed {seed}: naive budget {nb} bits, bsgs budget {bb} bits"
+            );
+            assert!(
+                nb >= 2,
+                "naive margin collapsed at n={n} dim={dim} seed={seed}: {nb} bits"
+            );
+            assert!(
+                bb >= 2,
+                "bsgs margin collapsed at n={n} dim={dim} seed={seed}: {bb} bits"
+            );
+        }
+    }
+}

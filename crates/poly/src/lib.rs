@@ -41,6 +41,6 @@ pub mod rns;
 pub mod sample;
 pub mod simd;
 
-pub use ntt::{NttTables, ShoupVec};
+pub use ntt::{GaloisPerm, NttTables, ShoupVec};
 pub use poly::{Poly, PolyForm, PolyOperand, RingContext};
 pub use rns::{RnsContext, RnsNttTables, RnsOperand, RnsPoly};

@@ -137,6 +137,56 @@ fn bit_reverse(x: usize, bits: u32) -> usize {
     x.reverse_bits() >> (usize::BITS - bits)
 }
 
+/// The Galois automorphism `x ↦ x^g` expressed as a permutation of the NTT
+/// evaluation slots.
+///
+/// In this engine's (Longa–Naehrig) ordering, output slot `j` of
+/// [`NttTables::forward`] holds `f(ψ^{e_j})` with `e_j = 2·rev(j) + 1`
+/// (`rev` = bit reversal over `log2 n` bits). Since
+/// `(φ_g f)(ψ^{e}) = f(ψ^{g·e mod 2n})` and odd exponents are closed under
+/// multiplication by odd `g`, the automorphism acts on evaluation vectors as
+/// the pure index permutation `out[j] = in[idx[j]]` with
+/// `e_{idx[j]} ≡ g·e_j (mod 2n)` — no arithmetic, so any lazy-range
+/// invariant (`[0, q)`, `[0, 2q)`, `[0, 4q)`) passes through unchanged.
+///
+/// This is the core of Halevi–Shoup *hoisting*: a ciphertext decomposed and
+/// NTT-transformed once can be rotated by any `g` at the cost of a gather
+/// instead of a fresh decompose + batch of forward transforms.
+#[derive(Clone, Debug)]
+pub struct GaloisPerm {
+    g: usize,
+    /// `idx[j]` = source slot for output slot `j`.
+    idx: Vec<u32>,
+}
+
+impl GaloisPerm {
+    /// The Galois element this permutation realizes.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// The ring degree (number of slots).
+    pub fn n(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Applies the permutation: `out[j] = input[idx[j]]`. Values are copied
+    /// untouched, so the input's (lazy) range carries over to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n`.
+    pub fn apply(&self, out: &mut [u64], input: &[u64]) {
+        assert!(
+            out.len() == self.idx.len() && input.len() == self.idx.len(),
+            "permutation length mismatch"
+        );
+        for (o, &s) in out.iter_mut().zip(&self.idx) {
+            *o = input[s as usize];
+        }
+    }
+}
+
 impl NttTables {
     /// Builds NTT tables for ring degree `n` (a power of two) and prime `q`
     /// with `q ≡ 1 (mod 2n)`.
@@ -194,6 +244,30 @@ impl NttTables {
     /// Modulus.
     pub fn q(&self) -> Modulus {
         self.q
+    }
+
+    /// Builds the evaluation-slot permutation realizing the Galois
+    /// automorphism `x ↦ x^g` directly on NTT-form data (see [`GaloisPerm`]).
+    ///
+    /// Satisfies `forward(galois(f)) == perm.apply(forward(f))` for every
+    /// `f` — pinned down by the `galois_ntt_*` differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (not a ring automorphism of `Z[x]/(x^n + 1)`).
+    pub fn galois_permutation(&self, g: usize) -> GaloisPerm {
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let n = self.n;
+        let bits = n.trailing_zeros();
+        let mask = 2 * n - 1;
+        let idx = (0..n)
+            .map(|j| {
+                let e = 2 * bit_reverse(j, bits) + 1;
+                let src_e = (g * e) & mask;
+                bit_reverse((src_e - 1) >> 1, bits) as u32
+            })
+            .collect();
+        GaloisPerm { g, idx }
     }
 
     /// One forward Cooley–Tukey stage over one polynomial.
@@ -319,8 +393,11 @@ impl NttTables {
 
     /// Forward-transforms a batch of polynomials stage-by-stage, so each
     /// twiddle is loaded once per stage for the whole batch (one pass over
-    /// the twiddle tables instead of `batch.len()` passes). The per-element
-    /// invariants match [`NttTables::forward`].
+    /// the twiddle tables instead of `batch.len()` passes). On the vector
+    /// backends the per-block twiddle **splat** is also hoisted over the
+    /// batch ([`pi_field::simd::forward_stage_many`]): twiddle-outer,
+    /// column-inner, one register broadcast serving all `k` columns. The
+    /// per-element invariants match [`NttTables::forward`].
     ///
     /// This is the kernel behind ciphertext-pair transforms and the
     /// key-switch digit transforms (`ks_digits` polynomials per rotation).
@@ -337,10 +414,10 @@ impl NttTables {
         let mut m = 1;
         while m < self.n {
             t /= 2;
-            for a in batch.iter_mut() {
-                if simd::stage_vectorizable(be, t, self.n) {
-                    simd::forward_stage(be, self.q, &self.psi_rev, a, m, t);
-                } else {
+            if simd::stage_vectorizable(be, t, self.n) {
+                simd::forward_stage_many(be, self.q, &self.psi_rev, batch, m, t);
+            } else {
+                for a in batch.iter_mut() {
                     self.forward_stage(a, m, t);
                 }
             }
@@ -372,10 +449,10 @@ impl NttTables {
         let mut m = self.n;
         while m > 2 {
             let h = m / 2;
-            for a in batch.iter_mut() {
-                if simd::stage_vectorizable(be, t, self.n) {
-                    simd::inverse_stage(be, self.q, &self.psi_inv_rev, a, h, t);
-                } else {
+            if simd::stage_vectorizable(be, t, self.n) {
+                simd::inverse_stage_many(be, self.q, &self.psi_inv_rev, batch, h, t);
+            } else {
+                for a in batch.iter_mut() {
                     self.inverse_stage(a, h, t);
                 }
             }
@@ -591,7 +668,7 @@ mod tests {
         // prime-size range: lazy Harvey ≡ Barrett reference, element for
         // element, in both directions.
         for n in [4usize, 16, 64, 256, 1024, 4096] {
-            for bits in [28u32, 45, 59, 61] {
+            for bits in [28u32, 45, 59, 62] {
                 let t = tables(n, bits);
                 let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 1000 + bits as u64);
                 let orig = random_vec(n, t.q(), &mut rng);
@@ -613,12 +690,14 @@ mod tests {
     }
 
     #[test]
-    fn harvey_at_61_bit_overflow_boundary() {
-        // q just below 2^61: the [0, 4q) forward domain tops out near 2^63,
-        // stressing the u64 headroom the lazy invariants rely on.
+    fn harvey_at_62_bit_overflow_boundary() {
+        // q just below 2^62 (the Modulus contract's ceiling, and the
+        // production BFV modulus since the BSGS headroom bump): the
+        // [0, 4q) forward domain tops out just under 2^64, stressing the
+        // u64 headroom the lazy invariants rely on.
         let n = 1024;
-        let q = Modulus::new(find_ntt_prime(61, n as u64));
-        assert!(q.value() > (1u64 << 60));
+        let q = Modulus::new(find_ntt_prime(62, n as u64));
+        assert!(q.value() > (1u64 << 61));
         let t = NttTables::new(n, q);
         // All-max-value input maximizes intermediate magnitudes.
         let mut a = vec![q.value() - 1; n];
@@ -792,7 +871,7 @@ mod tests {
         }
 
         #[test]
-        fn harvey_reference_agree_random(seed in any::<u64>(), bits in 28u32..=61) {
+        fn harvey_reference_agree_random(seed in any::<u64>(), bits in 28u32..=62) {
             let n = 64;
             let t = tables(n, bits);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

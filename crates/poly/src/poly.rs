@@ -394,6 +394,28 @@ impl Poly {
         }
     }
 
+    /// Applies the Galois automorphism `x ↦ x^g` directly in the evaluation
+    /// basis via the slot permutation `perm` (see
+    /// [`NttTables::galois_permutation`]). Semantically identical to
+    /// [`Poly::galois`], but costs one gather instead of an inverse NTT,
+    /// a coefficient permutation, and (for NTT-form consumers) a forward
+    /// NTT — the primitive behind hoisted rotations in `pi-he`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` was built for a different ring degree.
+    pub fn galois_ntt(&self, perm: &crate::ntt::GaloisPerm) -> Self {
+        assert_eq!(perm.n(), self.ctx.n, "permutation from a different ring");
+        let src = self.clone().into_ntt();
+        let mut data = vec![0u64; self.ctx.n];
+        perm.apply(&mut data, src.data());
+        Self {
+            ctx: self.ctx.clone(),
+            form: PolyForm::Ntt,
+            data,
+        }
+    }
+
     /// Decomposes the polynomial into digits base `2^log_base`, least
     /// significant digit first. Works on (and returns) coefficient-form
     /// polynomials. Used for key switching in BFV.
@@ -526,6 +548,49 @@ mod tests {
         let ctx = ctx(32);
         let a = random_poly(&ctx, 9);
         assert_eq!(a.galois(1), a);
+    }
+
+    #[test]
+    fn galois_ntt_matches_coefficient_galois() {
+        // The NTT-domain permutation must agree with the coefficient-domain
+        // automorphism for every odd g, including the row-swap element 2n−1.
+        for n in [8usize, 32, 256] {
+            let ctx = Arc::new(RingContext::new(n, 30));
+            let a = random_poly(&ctx, n as u64);
+            for g in [1usize, 3, 5, 9, 27, 2 * n - 1] {
+                let perm = ctx.ntt().galois_permutation(g);
+                assert_eq!(perm.g(), g);
+                assert_eq!(perm.n(), n);
+                assert_eq!(
+                    a.galois_ntt(&perm),
+                    a.galois(g),
+                    "galois_ntt mismatch at n={n}, g={g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn galois_perm_preserves_lazy_values() {
+        // apply() is a pure gather: applied to arbitrary u64 data it must
+        // reproduce exactly the source multiset (no reduction).
+        let ctx = ctx(64);
+        let perm = ctx.ntt().galois_permutation(3);
+        let src: Vec<u64> = (0..64u64).map(|i| u64::MAX - i * i).collect();
+        let mut dst = vec![0u64; 64];
+        perm.apply(&mut dst, &src);
+        let mut a = dst.clone();
+        let mut b = src.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "gather must be a permutation of the source values");
+    }
+
+    #[test]
+    #[should_panic]
+    fn galois_perm_rejects_even_element() {
+        let ctx = ctx(16);
+        ctx.ntt().galois_permutation(4);
     }
 
     #[test]

@@ -69,6 +69,29 @@ pub(crate) fn forward_stage(
     );
 }
 
+/// One forward stage over a whole batch of polynomials: the twiddle-outer
+/// batched kernel ([`pi_field::simd::forward_stage_many`]), so each Shoup
+/// pair is splat once for all columns — the stage-major `forward_many`
+/// batching with the per-block twiddle loads also amortized.
+pub(crate) fn forward_stage_many(
+    be: SimdBackend,
+    q: Modulus,
+    psi_rev: &ShoupVec,
+    batch: &mut [&mut [u64]],
+    m: usize,
+    t: usize,
+) {
+    fsimd::forward_stage_many(
+        be,
+        &q,
+        &psi_rev.values()[m..2 * m],
+        &psi_rev.quotients()[m..2 * m],
+        batch,
+        m,
+        t,
+    );
+}
+
 /// One inverse Gentleman–Sande stage (`h` blocks of stride `t`); twiddles
 /// are `psi_inv_rev[h..2h]`.
 pub(crate) fn inverse_stage(
@@ -85,6 +108,27 @@ pub(crate) fn inverse_stage(
         &psi_inv_rev.values()[h..2 * h],
         &psi_inv_rev.quotients()[h..2 * h],
         a,
+        h,
+        t,
+    );
+}
+
+/// One inverse stage over a whole batch of polynomials (the inverse
+/// counterpart of [`forward_stage_many`]).
+pub(crate) fn inverse_stage_many(
+    be: SimdBackend,
+    q: Modulus,
+    psi_inv_rev: &ShoupVec,
+    batch: &mut [&mut [u64]],
+    h: usize,
+    t: usize,
+) {
+    fsimd::inverse_stage_many(
+        be,
+        &q,
+        &psi_inv_rev.values()[h..2 * h],
+        &psi_inv_rev.quotients()[h..2 * h],
+        batch,
         h,
         t,
     );

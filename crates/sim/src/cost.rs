@@ -25,6 +25,40 @@ pub enum Garbler {
     Client,
 }
 
+/// Galois key material (bytes) a client uploads for one padded layer
+/// dimension under the hoisted baby-step/giant-step key set implemented in
+/// `pi-he`: `(⌈√d⌉ − 1)` baby elements at the fine gadget plus
+/// `(⌈d/⌈√d⌉⌉ − 1)` giant elements at the ordinary gadget, two ring
+/// polynomials of `n` 8-byte words per digit.
+///
+/// An analysis-side mirror of `pi_core::CostReport::galois_key_bytes` for
+/// what-if sizing at dimensions no instantiated model has (pi-sim
+/// deliberately has no pi-he dependency, so the gadget digit counts come
+/// in as parameters and the ⌈√d⌉ split is restated here; the
+/// implementation-measured figure in `CostReport` stays authoritative).
+/// The session-key constant in [`ProtocolCosts`] (`he_keys = 50e6`)
+/// remains the paper-calibrated anchor for the modeled SEAL-style system
+/// and is intentionally not replaced by this finer model.
+pub fn galois_key_bytes_bsgs(dim: usize, n: usize, giant_digits: usize, baby_digits: usize) -> f64 {
+    if dim <= 1 {
+        return 0.0;
+    }
+    let mut b = (dim as f64).sqrt() as usize;
+    while b * b < dim {
+        b += 1;
+    }
+    let g = dim.div_ceil(b);
+    let poly_bytes = 2 * n * 8;
+    ((b.min(dim) - 1) * baby_digits * poly_bytes + (g - 1) * giant_digits * poly_bytes) as f64
+}
+
+/// Galois key material (bytes) of the full per-rotation set the BSGS set
+/// replaces: one ordinary-gadget key per rotation amount (`d − 1`
+/// elements).
+pub fn galois_key_bytes_per_rotation(dim: usize, n: usize, giant_digits: usize) -> f64 {
+    (dim.saturating_sub(1) * giant_digits * 2 * n * 8) as f64
+}
+
 /// HE operation count of one linear layer under the Gazelle cost model.
 pub fn he_ops(layer: &pi_nn::spec::LinearLayerStat) -> f64 {
     let in_cts = (layer.in_features as f64 / calib::HE_SLOTS).ceil();
@@ -360,6 +394,25 @@ mod tests {
         let cg = r18_tiny(Garbler::Client);
         let ratio = cg.client_energy_j / sg.client_energy_j;
         assert!((1.7..2.0).contains(&ratio), "energy ratio = {ratio}");
+    }
+
+    #[test]
+    fn bsgs_key_material_reports_storage_win() {
+        // pi-he's default gadgets: 7 ordinary digits (base 2^10 over a
+        // 62-bit q) and 31 baby digits (base 2^2). Even with the finer baby
+        // gadget, the BSGS set beats the per-rotation set by >2x at a
+        // 128-wide layer (~2.2x measured) and the win grows with the
+        // dimension (>6x at 1024).
+        let (n, giant_d, baby_d) = (4096, 7, 31);
+        let bsgs = galois_key_bytes_bsgs(128, n, giant_d, baby_d);
+        let full = galois_key_bytes_per_rotation(128, n, giant_d);
+        assert!(full / bsgs > 2.0, "win at d=128: {}", full / bsgs);
+        let bsgs_1k = galois_key_bytes_bsgs(1024, n, giant_d, baby_d);
+        let full_1k = galois_key_bytes_per_rotation(1024, n, giant_d);
+        assert!(full_1k / bsgs_1k > full / bsgs, "win must grow with d");
+        // Degenerate dims carry no rotation keys at all.
+        assert_eq!(galois_key_bytes_bsgs(1, n, giant_d, baby_d), 0.0);
+        assert_eq!(galois_key_bytes_per_rotation(1, n, giant_d), 0.0);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! lazy-domain representatives** from `dyadic_mul_acc_shoup` and inverse
 //! transforms fed `[0, 2q)` inputs, not just canonical values.
 //!
-//! Coverage: n ∈ {4, 8, 16, 64, 256, 1024, 2048, 4096} × 28/45/61-bit NTT
-//! primes (the 61-bit prime stresses the u64 headroom of the `[0, 4q)`
+//! Coverage: n ∈ {4, 8, 16, 64, 256, 1024, 2048, 4096} × 28/45/62-bit NTT
+//! primes (the 62-bit prime — the Modulus ceiling and production BFV q — stresses the u64 headroom of the `[0, 4q)`
 //! forward domain and the 2^125 Shoup products), plus proptest-driven
 //! random sweeps. The four umbrella e2e suites run under `PI_SIMD=scalar`
 //! and `PI_SIMD=on` in CI, completing the forced-on/forced-off matrix.
@@ -69,7 +69,7 @@ fn random_vec(n: usize, bound: u64, rng: &mut impl Rng) -> Vec<u64> {
 fn forward_matches_scalar_bitwise_across_sizes_and_primes() {
     let _g = lock();
     for n in [4usize, 8, 16, 64, 256, 1024, 2048, 4096] {
-        for bits in [28u32, 45, 61] {
+        for bits in [28u32, 45, 62] {
             let t = tables(n, bits);
             let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 100 + bits as u64);
             let orig = random_vec(n, t.q().value(), &mut rng);
@@ -94,7 +94,7 @@ fn forward_matches_scalar_bitwise_across_sizes_and_primes() {
 fn inverse_matches_scalar_bitwise_on_lazy_representatives() {
     let _g = lock();
     for n in [4usize, 8, 16, 64, 256, 1024, 2048, 4096] {
-        for bits in [28u32, 45, 61] {
+        for bits in [28u32, 45, 62] {
             let t = tables(n, bits);
             let q = t.q();
             let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 1000 + bits as u64);
@@ -133,7 +133,7 @@ fn inverse_matches_scalar_bitwise_on_lazy_representatives() {
 fn batched_transforms_match_scalar_bitwise() {
     let _g = lock();
     for (n, batch_len) in [(256usize, 3usize), (1024, 1), (2048, 6)] {
-        for bits in [28u32, 45, 61] {
+        for bits in [28u32, 45, 62] {
             let t = tables(n, bits);
             let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 + batch_len as u64);
             let polys: Vec<Vec<u64>> = (0..batch_len)
@@ -172,7 +172,7 @@ fn batched_transforms_match_scalar_bitwise() {
 #[test]
 fn dyadic_kernels_match_scalar_bitwise_including_lazy_accumulators() {
     let _g = lock();
-    for bits in [28u32, 45, 61] {
+    for bits in [28u32, 45, 62] {
         // (The non-multiple-of-LANES tail path is covered by the unit tests
         // in pi-field::simd; NttTables pins slice lengths to n.)
         let q = Modulus::new(find_ntt_prime(bits, 4096));
@@ -268,13 +268,13 @@ fn batched_base_conversion_matches_scalar_bitwise() {
 }
 
 #[test]
-fn boundary_inputs_at_61_bits_match_scalar_bitwise() {
+fn boundary_inputs_at_62_bits_match_scalar_bitwise() {
     // All-(q−1) inputs maximize every intermediate in the [0, 4q) domain at
     // the largest supported prime size.
     let _g = lock();
     let n = 1024;
-    let q = Modulus::new(find_ntt_prime(61, n as u64));
-    assert!(q.value() > (1u64 << 60));
+    let q = Modulus::new(find_ntt_prime(62, n as u64));
+    assert!(q.value() > (1u64 << 61));
     let t = NttTables::new(n, q);
     let orig = vec![q.value() - 1; n];
     let expect = with_backend(SimdBackend::Scalar, || {
@@ -293,7 +293,7 @@ fn boundary_inputs_at_61_bits_match_scalar_bitwise() {
             t.inverse(&mut a);
             (fwd, a)
         });
-        assert_eq!(got, expect, "61-bit boundary be={}", be.name());
+        assert_eq!(got, expect, "62-bit boundary be={}", be.name());
     }
 }
 
@@ -331,7 +331,7 @@ fn scalar_oracle_stays_reachable_via_force_toggle() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     #[test]
-    fn prop_forward_inverse_match_scalar(seed in any::<u64>(), bits in 28u32..=61) {
+    fn prop_forward_inverse_match_scalar(seed in any::<u64>(), bits in 28u32..=62) {
         let _g = lock();
         let n = 256;
         let t = tables(n, bits);
