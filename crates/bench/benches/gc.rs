@@ -1,17 +1,30 @@
 //! Garbled-circuit throughput: garbling and evaluating the DELPHI ReLU
 //! circuit (the per-ReLU costs behind Figures 3 and 4).
+//!
+//! The `relu_aes_vs_soft` group is the online-phase A/B: the same batch of
+//! ReLU circuits garbled/evaluated with the AES dispatch pinned to the
+//! scalar software oracle and then to the auto-detected batched backend
+//! (AES-NI or the bitsliced fallback), in one run. It also prints
+//! `csv,aes_backend,<name>` so CI can assert the runner actually dispatched
+//! a hardware path — a silent fallback to software AES fails the grep
+//! loudly, mirroring the `csv,simd_backend` guard.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pi_gc::aes::{self, AesBackend};
 use pi_gc::circuit::to_bits;
-use pi_gc::garble::{evaluate, garble};
+use pi_gc::garble::{evaluate, evaluate_many, garble, garble_many};
 use pi_gc::relu::relu_trunc_circuit;
 use rand::SeedableRng;
 
 fn bench_gc(c: &mut Criterion) {
+    let auto = aes::auto_backend();
+    println!("csv,aes_backend,{}", auto.name());
+
     let p = 1032193u64; // 20-bit NTT prime (the protocol field)
     let (circuit, layout) = relu_trunc_circuit(p, 5);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
 
+    // Single-instance path (scalar hash, the seed numbers' continuity).
     let mut group = c.benchmark_group("garbled_relu");
     group.sample_size(20);
     group.throughput(Throughput::Elements(1));
@@ -25,6 +38,30 @@ fn bench_gc(c: &mut Criterion) {
     group.bench_function("evaluate", |b| {
         b.iter(|| evaluate(&circuit, &g.garbled, &labels))
     });
+    group.finish();
+
+    // Same-run A/B: a batch of 64 ReLU instances through `garble_many` /
+    // `evaluate_many` under the software oracle and the batched backend.
+    let m = 64usize;
+    let mut group = c.benchmark_group("relu_aes_vs_soft");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((m * circuit.and_count()) as u64));
+    for (label, be) in [("soft", AesBackend::Soft), (auto.name(), auto)] {
+        aes::force_backend(be);
+        group.bench_function(format!("garble{m}_{label}"), |b| {
+            b.iter(|| garble_many(&circuit, m, &mut rng))
+        });
+        let garblings = garble_many(&circuit, m, &mut rng);
+        let tables: Vec<_> = garblings.iter().map(|g| g.garbled.tables.clone()).collect();
+        let label_inputs: Vec<Vec<u128>> = garblings
+            .iter()
+            .map(|g| g.encoding.encode_bits(0, &inputs))
+            .collect();
+        group.bench_function(format!("evaluate{m}_{label}"), |b| {
+            b.iter(|| evaluate_many(&circuit, &tables, &label_inputs))
+        });
+        aes::clear_forced_backend();
+    }
     group.finish();
 
     println!(

@@ -1,16 +1,28 @@
 //! IKNP OT-extension throughput (labels per second).
+//!
+//! The `ot_packed_vs_bool` group is the same-run A/B for the extension hot
+//! path: the packed bit-matrix pipeline (AES-CTR PRG into `u128` words,
+//! blocked SWAR transpose, batched transfer masks) against the retained
+//! bool-matrix `ext::reference` oracle on identical setups and inputs.
+//! Prints `csv,aes_backend,<name>` so CI can assert the hardware AES
+//! dispatch engaged.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pi_ot::ext::{setup_in_process, OtExtReceiver, OtExtSender};
+use pi_gc::aes;
+use pi_ot::bitmat::BitVec;
+use pi_ot::ext::{reference, setup_in_process, OtExtReceiver, OtExtSender};
 use rand::{Rng, SeedableRng};
 
 fn bench_ot(c: &mut Criterion) {
+    println!("csv,aes_backend,{}", aes::auto_backend().name());
+
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let (s, r) = setup_in_process(&mut rng);
-    let sender = OtExtSender::new(s);
-    let receiver = OtExtReceiver::new(r);
+    let sender = OtExtSender::new(s.clone());
+    let receiver = OtExtReceiver::new(r.clone());
     let m = 1024usize;
-    let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+    let choice_bits: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+    let choices = BitVec::from_bools(&choice_bits);
     let pairs: Vec<(u128, u128)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
 
     let mut group = c.benchmark_group("ot_extension");
@@ -25,6 +37,32 @@ fn bench_ot(c: &mut Criterion) {
     });
     let y = sender.transfer(&u_msg, &pairs);
     group.bench_function("decode_1024", |b| {
+        b.iter(|| receiver.decode(&y, &choices, &keys))
+    });
+    group.finish();
+
+    // Same-run A/B: the packed pipeline against the seed bool-matrix path
+    // on the same setups — both produce bit-identical messages, so this is
+    // a pure representation/batching comparison.
+    let mut group = c.benchmark_group("ot_packed_vs_bool");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("extend_1024_bool", |b| {
+        b.iter(|| reference::extend(&r, &choice_bits))
+    });
+    group.bench_function("extend_1024_packed", |b| {
+        b.iter(|| receiver.extend(&choices, &mut rng))
+    });
+    group.bench_function("transfer_1024_bool", |b| {
+        b.iter(|| reference::transfer(&s, &u_msg, &pairs))
+    });
+    group.bench_function("transfer_1024_packed", |b| {
+        b.iter(|| sender.transfer(&u_msg, &pairs))
+    });
+    group.bench_function("decode_1024_bool", |b| {
+        b.iter(|| reference::decode(&y, &choice_bits, &keys))
+    });
+    group.bench_function("decode_1024_packed", |b| {
         b.iter(|| receiver.decode(&y, &choices, &keys))
     });
     group.finish();

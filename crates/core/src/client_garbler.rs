@@ -14,13 +14,14 @@
 use crate::channel::Channel;
 use crate::common::{
     bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
-    server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
+    push_field_bits, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
 };
 use crate::msg::Msg;
-use pi_gc::garble::{evaluate, garble, Garbling};
+use pi_gc::garble::{evaluate_many, garble_many, Garbling};
 use pi_gc::relu::relu_trunc_circuit;
 use pi_gc::{Circuit, GarbledCircuit, Label};
 use pi_nn::PiModel;
+use pi_ot::bitmat::BitVec;
 use pi_ot::ext::{OtExtReceiver, OtExtSender};
 use rand::Rng;
 use std::time::Instant;
@@ -64,7 +65,9 @@ pub fn run_client<R: Rng + ?Sized>(
         let shift = ph.relu_shift.expect("relu phase");
         let t0 = Instant::now();
         let (circuit, _) = relu_trunc_circuit(p.value(), shift);
-        let phase_g: Vec<Garbling> = (0..m).map(|_| garble(&circuit, rng)).collect();
+        // Lockstep batch garbling: 8 circuit instances per AES call.
+        let phase_g: Vec<Garbling> = garble_many(&circuit, m, rng);
+        out.gc_and_gates += (m * circuit.and_count()) as u64;
         out.offline.garble_ms += t0.elapsed().as_secs_f64() * 1e3;
         let tables: Vec<Vec<(Label, Label)>> =
             phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
@@ -124,6 +127,7 @@ pub fn run_client<R: Rng + ?Sized>(
                 pairs.push(g.encoding.label_pair(k + bit));
             }
         }
+        out.ot_count += pairs.len() as u64;
         chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
         out.online.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
     }
@@ -239,12 +243,14 @@ pub fn run_server<R: Rng + ?Sized>(
         match ph.relu_shift {
             Some(_) => {
                 let m = y_s.len();
-                // Fetch labels for the server's share bits via OT.
+                // Fetch labels for the server's share bits via OT (packed
+                // choices straight from the field bits).
                 let t1 = Instant::now();
-                let mut choices = Vec::with_capacity(m * k);
+                let mut choices = BitVec::zeros(0);
                 for &v in &y_s {
-                    choices.extend(field_bits(v, k));
+                    push_field_bits(&mut choices, v, k);
                 }
+                out.ot_count += choices.len() as u64;
                 let (extend, keys) = ext_receiver.extend(&choices, rng);
                 chan.send(Msg::OtExtend(extend));
                 let transfer = match chan.recv() {
@@ -253,23 +259,32 @@ pub fn run_server<R: Rng + ?Sized>(
                 };
                 let my_labels = ext_receiver.decode(&transfer, &choices, &keys);
                 out.online.ot_ms += t1.elapsed().as_secs_f64() * 1e3;
-                // Evaluate.
+                // Evaluate, batched 8 instances per AES call.
                 let t2 = Instant::now();
                 let phase = &gcs[gc_idx];
                 let circuit = &circuits[gc_idx];
+                let inputs: Vec<Vec<Label>> = (0..m)
+                    .map(|j| {
+                        let mut labels = Vec::with_capacity(3 * k);
+                        // share_a (client) | share_b (server, via OT) | r (client)
+                        labels.extend_from_slice(&phase.client_labels[j * 2 * k..j * 2 * k + k]);
+                        labels.extend_from_slice(&my_labels[j * k..(j + 1) * k]);
+                        labels.extend_from_slice(
+                            &phase.client_labels[j * 2 * k + k..(j + 1) * 2 * k],
+                        );
+                        labels
+                    })
+                    .collect();
+                let per_instance = evaluate_many(circuit, &phase.tables, &inputs);
+                out.gc_eval_and_gates += (m * circuit.and_count()) as u64;
                 let mut next_masked = Vec::with_capacity(m);
-                for j in 0..m {
-                    let mut labels = Vec::with_capacity(3 * k);
-                    // share_a (client) | share_b (server, via OT) | r (client)
-                    labels.extend_from_slice(&phase.client_labels[j * 2 * k..j * 2 * k + k]);
-                    labels.extend_from_slice(&my_labels[j * k..(j + 1) * k]);
-                    labels.extend_from_slice(&phase.client_labels[j * 2 * k + k..(j + 1) * 2 * k]);
+                for (j, out_labels) in per_instance.iter().enumerate() {
+                    // decode_outputs only consults the decode bits.
                     let garbled = GarbledCircuit {
-                        tables: phase.tables[j].clone(),
+                        tables: Vec::new(),
                         output_decode: phase.decode[j].clone(),
                     };
-                    let out_labels = evaluate(circuit, &garbled, &labels);
-                    next_masked.push(bits_field(&garbled.decode_outputs(&out_labels)));
+                    next_masked.push(bits_field(&garbled.decode_outputs(out_labels)));
                 }
                 out.online.eval_ms += t2.elapsed().as_secs_f64() * 1e3;
                 masked_acts.push(next_masked);

@@ -168,6 +168,15 @@ pub fn bits_field(bits: &[bool]) -> u64 {
     from_bits(bits)
 }
 
+/// Appends a field element's `width` little-endian bits onto a packed OT
+/// choice vector — same bit order as [`field_bits`], no intermediate
+/// bool vector.
+pub fn push_field_bits(choices: &mut pi_ot::bitmat::BitVec, v: u64, width: usize) {
+    for b in 0..width {
+        choices.push((v >> b) & 1 == 1);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Offline linear pass (identical in both protocols).
 // ---------------------------------------------------------------------------
@@ -476,12 +485,13 @@ pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(
 ) -> SenderSetup {
     let t0 = Instant::now();
     let s: u128 = rng.gen();
-    let s_bits: Vec<bool> = (0..KAPPA).map(|i| (s >> i) & 1 == 1).collect();
     let setup = match chan.recv() {
         Msg::OtBaseSetup(s) => s,
         other => panic!("expected OtBaseSetup, got {other:?}"),
     };
-    let (receiver, choice) = BaseOtReceiver::choose(&setup, &s_bits, rng);
+    // The IKNP choice string is already packed — feed it to the base OT
+    // as-is instead of round-tripping through a bool vector.
+    let (receiver, choice) = BaseOtReceiver::choose_packed(&setup, s, KAPPA, rng);
     chan.send(Msg::OtBaseChoice(choice));
     let transfer = match chan.recv() {
         Msg::OtBaseTransfer(t) => t,
@@ -513,4 +523,10 @@ pub struct PartyOutcome {
     /// What a full per-rotation key set would have cost for the same layer
     /// dimensions (the hoisting-without-BSGS baseline).
     pub galois_key_bytes_per_rotation: u64,
+    /// AND gates this party garbled (zero for the evaluator).
+    pub gc_and_gates: u64,
+    /// AND gates this party evaluated (zero for the garbler).
+    pub gc_eval_and_gates: u64,
+    /// Extended OTs this party took part in.
+    pub ot_count: u64,
 }

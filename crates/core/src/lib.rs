@@ -126,6 +126,11 @@ pub fn private_inference_precomputed(
         gc_bytes: client_out.gc_bytes.max(server_out.gc_bytes),
         galois_key_bytes: client_out.galois_key_bytes,
         galois_key_bytes_per_rotation: client_out.galois_key_bytes_per_rotation,
+        // Exactly one party garbles / evaluates; both parties count the
+        // same OTs, so take the max rather than double-count.
+        garbled_and_gates: client_out.gc_and_gates + server_out.gc_and_gates,
+        evaluated_and_gates: client_out.gc_eval_and_gates + server_out.gc_eval_and_gates,
+        ot_count: client_out.ot_count.max(server_out.ot_count),
     };
     for (dst, src) in [
         (

@@ -31,6 +31,16 @@ impl SideCosts {
     }
 }
 
+/// Events per second from a count and a millisecond duration; `0.0` when
+/// either is zero (nothing measured).
+fn rate(count: u64, ms: f64) -> f64 {
+    if count == 0 || ms <= 0.0 {
+        0.0
+    } else {
+        count as f64 / (ms / 1e3)
+    }
+}
+
 /// Full cost report of one private inference.
 #[derive(Clone, Debug, Default)]
 pub struct CostReport {
@@ -55,6 +65,12 @@ pub struct CostReport {
     /// the hoisting-without-BSGS baseline) would cost — the offline
     /// key-storage figure the BSGS set replaces.
     pub galois_key_bytes_per_rotation: u64,
+    /// AND gates garbled across all ReLU phases.
+    pub garbled_and_gates: u64,
+    /// AND gates evaluated across all ReLU phases.
+    pub evaluated_and_gates: u64,
+    /// Extended OTs executed (one per evaluator input bit served).
+    pub ot_count: u64,
 }
 
 impl CostReport {
@@ -66,6 +82,30 @@ impl CostReport {
         } else {
             self.client_storage_bytes as f64 / self.relu_count as f64
         }
+    }
+
+    /// Measured garbling throughput in AND gates per second (offline +
+    /// online garble time; `0.0` if nothing was garbled or timed). Feeds
+    /// the fig07/fig12 online-phase rate columns.
+    pub fn garble_gates_per_sec(&self) -> f64 {
+        rate(
+            self.garbled_and_gates,
+            self.offline.garble_ms + self.online.garble_ms,
+        )
+    }
+
+    /// Measured GC evaluation throughput in AND gates per second.
+    pub fn eval_gates_per_sec(&self) -> f64 {
+        rate(
+            self.evaluated_and_gates,
+            self.offline.eval_ms + self.online.eval_ms,
+        )
+    }
+
+    /// Measured extended-OT throughput in transfers per second (includes
+    /// the base-OT phase the extension amortizes away).
+    pub fn ot_per_sec(&self) -> f64 {
+        rate(self.ot_count, self.offline.ot_ms + self.online.ot_ms)
     }
 
     /// Offline Galois-key storage/upload saving of the BSGS key set over a
@@ -107,5 +147,23 @@ mod tests {
     fn per_relu_guard() {
         let r = CostReport::default();
         assert_eq!(r.client_storage_per_relu(), 0.0);
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut r = CostReport::default();
+        // Empty report: no division by zero.
+        assert_eq!(r.garble_gates_per_sec(), 0.0);
+        assert_eq!(r.eval_gates_per_sec(), 0.0);
+        assert_eq!(r.ot_per_sec(), 0.0);
+        r.garbled_and_gates = 1000;
+        r.offline.garble_ms = 500.0;
+        assert!((r.garble_gates_per_sec() - 2000.0).abs() < 1e-9);
+        r.evaluated_and_gates = 300;
+        r.online.eval_ms = 100.0;
+        assert!((r.eval_gates_per_sec() - 3000.0).abs() < 1e-9);
+        r.ot_count = 640;
+        r.offline.ot_ms = 3200.0;
+        assert!((r.ot_per_sec() - 200.0).abs() < 1e-9);
     }
 }

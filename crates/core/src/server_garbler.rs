@@ -14,13 +14,14 @@
 use crate::channel::Channel;
 use crate::common::{
     bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
-    server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
+    push_field_bits, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
 };
 use crate::msg::Msg;
-use pi_gc::garble::{evaluate, garble, Garbling};
+use pi_gc::garble::{evaluate_many, garble_many, Garbling};
 use pi_gc::relu::relu_trunc_circuit;
 use pi_gc::{Circuit, Label};
 use pi_nn::PiModel;
+use pi_ot::bitmat::BitVec;
 use pi_ot::ext::{OtExtReceiver, OtExtSender};
 use rand::Rng;
 use std::time::Instant;
@@ -73,13 +74,14 @@ pub fn run_client<R: Rng + ?Sized>(
             other => panic!("expected GcTables, got {other:?}"),
         };
         out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
-        // Choice bits: per element, share_b bits then r bits.
+        // Choice bits: per element, share_b bits then r bits (packed).
         let t0 = Instant::now();
-        let mut choices = Vec::with_capacity(m * 2 * k);
+        let mut choices = BitVec::zeros(0);
         for j in 0..m {
-            choices.extend(field_bits(c_shares[i][j], k));
-            choices.extend(field_bits(r_acts[i + 1][j], k));
+            push_field_bits(&mut choices, c_shares[i][j], k);
+            push_field_bits(&mut choices, r_acts[i + 1][j], k);
         }
+        out.ot_count += choices.len() as u64;
         let (extend, keys) = ext_receiver.extend(&choices, rng);
         chan.send(Msg::OtExtend(extend));
         let transfer = match chan.recv() {
@@ -127,17 +129,19 @@ pub fn run_client<R: Rng + ?Sized>(
         assert_eq!(server_labels.len(), m * k, "server label count");
         let t0 = Instant::now();
         let circuit = &circuits[gc_idx];
-        let mut out_labels = Vec::with_capacity(m * k);
-        for j in 0..m {
-            let mut labels = Vec::with_capacity(3 * k);
-            labels.extend_from_slice(&server_labels[j * k..(j + 1) * k]);
-            labels.extend_from_slice(&gcs[gc_idx].my_labels[j]);
-            let garbled = pi_gc::GarbledCircuit {
-                tables: gcs[gc_idx].tables[j].clone(),
-                output_decode: vec![false; k], // decode stays with the garbler
-            };
-            out_labels.extend(evaluate(circuit, &garbled, &labels));
-        }
+        // Batched evaluation: 8 instances per AES call through the
+        // fixed-key hash; decode stays with the garbler.
+        let inputs: Vec<Vec<Label>> = (0..m)
+            .map(|j| {
+                let mut labels = Vec::with_capacity(3 * k);
+                labels.extend_from_slice(&server_labels[j * k..(j + 1) * k]);
+                labels.extend_from_slice(&gcs[gc_idx].my_labels[j]);
+                labels
+            })
+            .collect();
+        let per_instance = evaluate_many(circuit, &gcs[gc_idx].tables, &inputs);
+        let out_labels: Vec<Label> = per_instance.into_iter().flatten().collect();
+        out.gc_eval_and_gates += (m * circuit.and_count()) as u64;
         out.online.eval_ms += t0.elapsed().as_secs_f64() * 1e3;
         chan.send(Msg::GcLabels(out_labels));
     }
@@ -189,7 +193,9 @@ pub fn run_server<R: Rng + ?Sized>(
         let shift = ph.relu_shift.expect("relu phase");
         let t0 = Instant::now();
         let (circuit, _) = relu_trunc_circuit(p.value(), shift);
-        let phase_g: Vec<Garbling> = (0..m).map(|_| garble(&circuit, rng)).collect();
+        // Lockstep batch garbling: 8 circuit instances per AES call.
+        let phase_g: Vec<Garbling> = garble_many(&circuit, m, rng);
+        out.gc_and_gates += (m * circuit.and_count()) as u64;
         out.offline.garble_ms += t0.elapsed().as_secs_f64() * 1e3;
         let tables: Vec<Vec<(Label, Label)>> =
             phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
@@ -207,6 +213,7 @@ pub fn run_server<R: Rng + ?Sized>(
                 pairs.push(g.encoding.label_pair(k + bit));
             }
         }
+        out.ot_count += pairs.len() as u64;
         chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
         out.offline.ot_ms += t1.elapsed().as_secs_f64() * 1e3;
         circuits.push(circuit);

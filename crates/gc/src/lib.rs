@@ -31,7 +31,10 @@
 //! assert_eq!(g.garbled.decode_outputs(&out_labels), vec![true]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AES-NI backend (`aes::ni`) carries the
+// one scoped `#![allow(unsafe_code)]` for its intrinsics, exactly like
+// `pi_field::simd`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
@@ -40,10 +43,13 @@ pub mod gadgets;
 pub mod garble;
 pub mod relu;
 
-pub use aes::{Aes128, GcHash};
+pub use aes::{Aes128, AesBackend, GcHash};
 pub use circuit::{Circuit, CircuitBuilder};
 pub use gadgets::{argmax_circuit, argmax_reference, ArgmaxLayout};
-pub use garble::{evaluate, garble, GarbledCircuit, Garbling, InputEncoding, Label};
+pub use garble::{
+    evaluate, evaluate_many, garble, garble_many, GarbledCircuit, Garbling, InputEncoding, Label,
+};
 pub use relu::{
-    relu_circuit, relu_reference, relu_trunc_circuit, relu_trunc_reference, ReluLayout,
+    garble_relus, relu_circuit, relu_reference, relu_trunc_circuit, relu_trunc_reference,
+    ReluLayout,
 };

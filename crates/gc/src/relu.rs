@@ -121,6 +121,23 @@ pub fn relu_and_count(p: u64) -> usize {
     relu_circuit(p).0.and_count()
 }
 
+/// Garbles `m` independent ReLU-with-truncation comparators through the
+/// batched hash — 8 instances per AES batch (see
+/// [`crate::garble::garble_many`]) — and returns the shared circuit, its
+/// layout, and the per-element garblings. This is the shape every layer of
+/// the online phase needs: one comparator per activation element, all over
+/// the same circuit.
+pub fn garble_relus<R: rand::Rng + ?Sized>(
+    p: u64,
+    shift: u32,
+    m: usize,
+    rng: &mut R,
+) -> (Circuit, ReluLayout, Vec<crate::garble::Garbling>) {
+    let (circuit, layout) = relu_trunc_circuit(p, shift);
+    let garblings = crate::garble::garble_many(&circuit, m, rng);
+    (circuit, layout, garblings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

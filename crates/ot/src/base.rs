@@ -141,22 +141,51 @@ impl BaseOtReceiver {
         choices: &[bool],
         rng: &mut R,
     ) -> (Self, ReceiverChoiceMsg) {
+        Self::choose_iter(setup, choices.iter().copied(), choices.len(), rng)
+    }
+
+    /// Like [`BaseOtReceiver::choose`], but for `n ≤ 128` choice bits packed
+    /// into `s` (bit `i` of `s` is transfer `i`'s choice). The IKNP setup
+    /// feeds its secret column-choice string through here directly, with no
+    /// bool-vector round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    pub fn choose_packed<R: Rng + ?Sized>(
+        setup: &SenderSetupMsg,
+        s: u128,
+        n: usize,
+        rng: &mut R,
+    ) -> (Self, ReceiverChoiceMsg) {
+        assert!(n <= 128, "at most 128 packed choices, got {n}");
+        Self::choose_iter(setup, (0..n).map(|i| (s >> i) & 1 == 1), n, rng)
+    }
+
+    fn choose_iter<R: Rng + ?Sized>(
+        setup: &SenderSetupMsg,
+        choice_bits: impl Iterator<Item = bool>,
+        n: usize,
+        rng: &mut R,
+    ) -> (Self, ReceiverChoiceMsg) {
         let group = ModpGroup::oakley2();
-        let mut secrets = Vec::with_capacity(choices.len());
-        let mut pk0 = Vec::with_capacity(choices.len());
-        for &b in choices {
+        let mut secrets = Vec::with_capacity(n);
+        let mut pk0 = Vec::with_capacity(n);
+        let mut choices = Vec::with_capacity(n);
+        for b in choice_bits {
             let k = group.random_exponent(rng);
             let gk = group.pow_g(&k);
             let pk_b = gk;
             let pk_other = group.div(&setup.c, &pk_b);
             pk0.push(if b { pk_other } else { pk_b });
             secrets.push(k);
+            choices.push(b);
         }
         (
             Self {
                 group,
                 secrets,
-                choices: choices.to_vec(),
+                choices,
             },
             ReceiverChoiceMsg { pk0 },
         )

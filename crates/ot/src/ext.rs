@@ -1,4 +1,4 @@
-//! IKNP oblivious-transfer extension (semi-honest).
+//! IKNP oblivious-transfer extension (semi-honest), packed-bit hot path.
 //!
 //! 128 base OTs (with the roles *reversed*) bootstrap an unbounded number of
 //! extended OTs that cost only symmetric-key operations:
@@ -13,30 +13,38 @@
 //! * Transfer: the sender masks `m_j^0` with `H(j, q_j)` and `m_j^1` with
 //!   `H(j, q_j ⊕ s)`; the receiver unmasks its chosen message with
 //!   `H(j, t_j)`.
+//!
+//! # Packed representation
+//!
+//! Every bit of the `m × 128` matrix lives in a `u128` word (see
+//! [`crate::bitmat`] for the LSB-first ordering invariant): choices are a
+//! [`BitVec`], a matrix column is `⌈m/128⌉` words, and the PRG expansion
+//! `G(seed)` writes raw AES-CTR blocks straight into column words — word
+//! `w` of a column *is* `E_seed(w)`, bit-identical to the bit-at-a-time
+//! [`reference::prg_bits`] stream. Column-major work (extension) is
+//! word-wide XOR; the row-major view (`t_j`/`q_j`) comes from the blocked
+//! [`crate::bitmat::transpose128`]; transfer masks are derived 8 rows per
+//! batched [`GcHash::kdf8`] call. The seed bool-matrix implementation is
+//! retained, bit for bit, in [`reference`] as the differential oracle —
+//! and `PI_AES=soft` additionally pins the packed path's AES to the scalar
+//! software oracle.
 
 use crate::base::{BaseOtReceiver, BaseOtSender};
+use crate::bitmat::{columns_to_rows, BitVec};
 use pi_gc::{Aes128, GcHash};
 use rand::Rng;
 
 /// Security parameter: number of base OTs / matrix columns.
 pub const KAPPA: usize = 128;
 
-/// PRG: expands a 128-bit seed into `n` bits (AES-CTR).
-fn prg_bits(seed: u128, n: usize) -> Vec<bool> {
+/// PRG: expands a 128-bit seed into `words` packed 128-bit words (AES-CTR,
+/// counter from 0). Word `w` equals `E_seed(w)`; bit `n` of the packed
+/// stream equals bit `n` of [`reference::prg_bits`].
+fn prg_words(seed: u128, words: usize) -> Vec<u128> {
     let aes = Aes128::new(seed.to_le_bytes());
-    let mut bits = Vec::with_capacity(n);
-    let mut counter = 0u128;
-    while bits.len() < n {
-        let block = aes.encrypt_u128(counter);
-        counter += 1;
-        for b in 0..128 {
-            if bits.len() == n {
-                break;
-            }
-            bits.push((block >> b) & 1 == 1);
-        }
-    }
-    bits
+    let mut out = vec![0u128; words];
+    aes.ctr_keystream(0, &mut out);
+    out
 }
 
 /// Sender-side outcome of the base phase: the secret column-choice string
@@ -58,15 +66,15 @@ pub struct ReceiverSetup {
 
 /// Runs the base phase in process (both parties local). Real deployments
 /// move the three base-OT messages over the network; `pi-core` does exactly
-/// that with its channels.
+/// that with its channels. The sender's packed choice string feeds the
+/// base OT directly — no bool-vector round trip.
 pub fn setup_in_process<R: Rng + ?Sized>(rng: &mut R) -> (SenderSetup, ReceiverSetup) {
     let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
     let s: u128 = rng.gen();
-    let s_bits: Vec<bool> = (0..KAPPA).map(|i| (s >> i) & 1 == 1).collect();
 
     // Extension-sender plays base-OT receiver.
     let (base_sender, setup_msg) = BaseOtSender::new(rng);
-    let (base_receiver, choice_msg) = BaseOtReceiver::choose(&setup_msg, &s_bits, rng);
+    let (base_receiver, choice_msg) = BaseOtReceiver::choose_packed(&setup_msg, s, KAPPA, rng);
     let transfer = base_sender.transfer(&choice_msg, &seed_pairs, rng);
     let seeds = base_receiver.receive(&transfer);
 
@@ -74,19 +82,22 @@ pub fn setup_in_process<R: Rng + ?Sized>(rng: &mut R) -> (SenderSetup, ReceiverS
 }
 
 /// The receiver's extension message: one packed column of `u` bits per base
-/// OT (column-major, `num_transfers` bits each).
-#[derive(Clone, Debug)]
+/// OT (column-major, `num_transfers` bits each, `⌈num_transfers/128⌉`
+/// words; bits past `num_transfers` in the last word are zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExtendMsg {
-    /// `u_i` columns, each of length `num_transfers` (bit-packed in bytes).
-    pub u_columns: Vec<Vec<u8>>,
+    /// `u_i` columns, each `num_transfers` bits packed into `u128` words.
+    pub u_columns: Vec<Vec<u128>>,
     /// Number of transfers (rows).
     pub num_transfers: usize,
 }
 
 impl ExtendMsg {
-    /// Serialized size in bytes.
+    /// Serialized size in bytes: each column carries `num_transfers` live
+    /// bits on the wire (byte-padded), independent of the in-memory word
+    /// padding.
     pub fn byte_len(&self) -> usize {
-        self.u_columns.iter().map(|c| c.len()).sum()
+        self.u_columns.len() * self.num_transfers.div_ceil(8)
     }
 }
 
@@ -104,18 +115,24 @@ impl TransferMsg {
     }
 }
 
-fn pack_bits(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; bits.len().div_ceil(8)];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 8] |= 1 << (i % 8);
+/// Derives the 2·m transfer masks `H(j, x_j)` in batches of 8 rows per
+/// AES call; `rows` yields the mask input per row index.
+fn kdf_rows(h: &GcHash, m: usize, mut rows: impl FnMut(usize) -> u128) -> Vec<u128> {
+    let mut out = Vec::with_capacity(m);
+    let mut j = 0usize;
+    while j < m {
+        let w = (m - j).min(8);
+        let mut xs = [0u128; 8];
+        let mut idx = [0u64; 8];
+        for t in 0..w {
+            xs[t] = rows(j + t);
+            idx[t] = (j + t) as u64;
         }
+        let ks = h.kdf8(xs, idx);
+        out.extend_from_slice(&ks[..w]);
+        j += w;
     }
     out
-}
-
-fn unpack_bit(bytes: &[u8], i: usize) -> bool {
-    (bytes[i / 8] >> (i % 8)) & 1 == 1
 }
 
 /// OT-extension sender: holds message pairs, learns nothing about choices.
@@ -141,27 +158,29 @@ impl OtExtSender {
         let m = pairs.len();
         assert_eq!(msg.num_transfers, m, "extension rows must match pair count");
         assert_eq!(msg.u_columns.len(), KAPPA, "need {KAPPA} u columns");
-        let h = GcHash::new();
-        // q rows: q_j = bits j of columns (G(k_i^{s_i}) ^ s_i * u_i).
-        let mut q_rows = vec![0u128; m];
-        for i in 0..KAPPA {
-            let s_i = (self.setup.s >> i) & 1 == 1;
-            let col = prg_bits(self.setup.seeds[i], m);
-            for (j, &g_bit) in col.iter().enumerate() {
-                let bit = g_bit ^ (s_i && unpack_bit(&msg.u_columns[i], j));
-                if bit {
-                    q_rows[j] |= 1u128 << i;
+        let words = m.div_ceil(128);
+        // Column-major: q_i = G(k_i^{s_i}) ^ s_i * u_i, one XOR per word.
+        let q_columns: Vec<Vec<u128>> = (0..KAPPA)
+            .map(|i| {
+                let mut col = prg_words(self.setup.seeds[i], words);
+                if (self.setup.s >> i) & 1 == 1 {
+                    assert_eq!(msg.u_columns[i].len(), words, "column {i} word count");
+                    for (q, &u) in col.iter_mut().zip(&msg.u_columns[i]) {
+                        *q ^= u;
+                    }
                 }
-            }
-        }
+                col
+            })
+            .collect();
+        // Row-major view via the blocked transpose, then batched masking.
+        let q_rows = columns_to_rows(&q_columns, words);
+        let h = GcHash::new();
+        let k0 = kdf_rows(&h, m, |j| q_rows[j]);
+        let k1 = kdf_rows(&h, m, |j| q_rows[j] ^ self.setup.s);
         let out = pairs
             .iter()
             .enumerate()
-            .map(|(j, &(m0, m1))| {
-                let y0 = m0 ^ h.kdf(q_rows[j], j as u64);
-                let y1 = m1 ^ h.kdf(q_rows[j] ^ self.setup.s, j as u64);
-                (y0, y1)
-            })
+            .map(|(j, &(m0, m1))| (m0 ^ k0[j], m1 ^ k1[j]))
             .collect();
         TransferMsg { pairs: out }
     }
@@ -185,22 +204,132 @@ impl OtExtReceiver {
         Self { setup }
     }
 
-    /// Builds the extension message for the given choice bits and returns it
-    /// together with the per-transfer decode keys `t_j` (kept locally).
+    /// Builds the extension message for the given packed choice bits and
+    /// returns it together with the per-transfer decode keys `t_j` (kept
+    /// locally).
     pub fn extend<R: Rng + ?Sized>(
         &self,
-        choices: &[bool],
+        choices: &BitVec,
         _rng: &mut R,
     ) -> (ExtendMsg, Vec<u128>) {
+        let m = choices.len();
+        let words = m.div_ceil(128);
+        // Zero bits past m in the last word so the wire message matches the
+        // reference oracle exactly (BitVec guarantees its own tail is zero).
+        let tail_mask = if m.is_multiple_of(128) {
+            u128::MAX
+        } else {
+            (1u128 << (m % 128)) - 1
+        };
+        let mut t_columns = Vec::with_capacity(KAPPA);
+        let mut u_columns = Vec::with_capacity(KAPPA);
+        for i in 0..KAPPA {
+            let (k0, k1) = self.setup.seed_pairs[i];
+            let g0 = prg_words(k0, words);
+            let mut u = prg_words(k1, words);
+            for (w, uw) in u.iter_mut().enumerate() {
+                *uw ^= g0[w] ^ choices.words()[w];
+            }
+            if let Some(last) = u.last_mut() {
+                *last &= tail_mask;
+            }
+            u_columns.push(u);
+            t_columns.push(g0);
+        }
+        let mut t_rows = columns_to_rows(&t_columns, words);
+        t_rows.truncate(m);
+        (
+            ExtendMsg {
+                u_columns,
+                num_transfers: m,
+            },
+            t_rows,
+        )
+    }
+
+    /// Unmasks the chosen messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts disagree.
+    pub fn decode(&self, msg: &TransferMsg, choices: &BitVec, t_rows: &[u128]) -> Vec<u128> {
+        assert_eq!(msg.pairs.len(), choices.len(), "transfer count mismatch");
+        assert_eq!(t_rows.len(), choices.len(), "key count mismatch");
+        let m = choices.len();
+        let h = GcHash::new();
+        let keys = kdf_rows(&h, m, |j| t_rows[j]);
+        msg.pairs
+            .iter()
+            .enumerate()
+            .map(|(j, &(y0, y1))| {
+                let y = if choices.get(j) { y1 } else { y0 };
+                y ^ keys[j]
+            })
+            .collect()
+    }
+}
+
+/// Communication cost of one extended OT in bytes (the `u` column bits
+/// amortized per transfer, plus the two masked labels), used by `pi-sim`.
+pub fn bytes_per_extended_ot() -> usize {
+    KAPPA / 8 + 32
+}
+
+/// The seed bool-matrix implementation, retained bit for bit as the
+/// differential oracle for the packed hot path. Every function here
+/// produces/consumes the *same* message types as the packed path (columns
+/// are packed only at the message boundary), runs one bit per loop
+/// iteration, and hashes one row per scalar AES call — the
+/// `gc_ot_differential` suite asserts exact agreement, and the benches use
+/// it as the seed baseline.
+pub mod reference {
+    use super::{ExtendMsg, ReceiverSetup, SenderSetup, TransferMsg, KAPPA};
+    use pi_gc::{Aes128, GcHash};
+
+    /// Bit-at-a-time PRG: expands a 128-bit seed into `n` bits (AES-CTR,
+    /// scalar path).
+    pub fn prg_bits(seed: u128, n: usize) -> Vec<bool> {
+        let aes = Aes128::new(seed.to_le_bytes());
+        let mut bits = Vec::with_capacity(n);
+        let mut counter = 0u128;
+        while bits.len() < n {
+            let block = aes.encrypt_u128(counter);
+            counter += 1;
+            for b in 0..128 {
+                if bits.len() == n {
+                    break;
+                }
+                bits.push((block >> b) & 1 == 1);
+            }
+        }
+        bits
+    }
+
+    fn pack_column(bits: &[bool]) -> Vec<u128> {
+        let mut out = vec![0u128; bits.len().div_ceil(128)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                out[i / 128] |= 1u128 << (i % 128);
+            }
+        }
+        out
+    }
+
+    fn unpack_bit(words: &[u128], i: usize) -> bool {
+        (words[i / 128] >> (i % 128)) & 1 == 1
+    }
+
+    /// Bool-path extension (receiver side).
+    pub fn extend(setup: &ReceiverSetup, choices: &[bool]) -> (ExtendMsg, Vec<u128>) {
         let m = choices.len();
         let mut t_rows = vec![0u128; m];
         let mut u_columns = Vec::with_capacity(KAPPA);
         for i in 0..KAPPA {
-            let (k0, k1) = self.setup.seed_pairs[i];
+            let (k0, k1) = setup.seed_pairs[i];
             let g0 = prg_bits(k0, m);
             let g1 = prg_bits(k1, m);
             let u: Vec<bool> = (0..m).map(|j| g0[j] ^ g1[j] ^ choices[j]).collect();
-            u_columns.push(pack_bits(&u));
+            u_columns.push(pack_column(&u));
             for (j, &g_bit) in g0.iter().enumerate() {
                 if g_bit {
                     t_rows[j] |= 1u128 << i;
@@ -216,12 +345,37 @@ impl OtExtReceiver {
         )
     }
 
-    /// Unmasks the chosen messages.
-    ///
-    /// # Panics
-    ///
-    /// Panics if counts disagree.
-    pub fn decode(&self, msg: &TransferMsg, choices: &[bool], t_rows: &[u128]) -> Vec<u128> {
+    /// Bool-path transfer (sender side).
+    pub fn transfer(setup: &SenderSetup, msg: &ExtendMsg, pairs: &[(u128, u128)]) -> TransferMsg {
+        let m = pairs.len();
+        assert_eq!(msg.num_transfers, m, "extension rows must match pair count");
+        assert_eq!(msg.u_columns.len(), KAPPA, "need {KAPPA} u columns");
+        let h = GcHash::new();
+        let mut q_rows = vec![0u128; m];
+        for i in 0..KAPPA {
+            let s_i = (setup.s >> i) & 1 == 1;
+            let col = prg_bits(setup.seeds[i], m);
+            for (j, &g_bit) in col.iter().enumerate() {
+                let bit = g_bit ^ (s_i && unpack_bit(&msg.u_columns[i], j));
+                if bit {
+                    q_rows[j] |= 1u128 << i;
+                }
+            }
+        }
+        let out = pairs
+            .iter()
+            .enumerate()
+            .map(|(j, &(m0, m1))| {
+                let y0 = m0 ^ h.kdf(q_rows[j], j as u64);
+                let y1 = m1 ^ h.kdf(q_rows[j] ^ setup.s, j as u64);
+                (y0, y1)
+            })
+            .collect();
+        TransferMsg { pairs: out }
+    }
+
+    /// Bool-path decode (receiver side).
+    pub fn decode(msg: &TransferMsg, choices: &[bool], t_rows: &[u128]) -> Vec<u128> {
         assert_eq!(msg.pairs.len(), choices.len(), "transfer count mismatch");
         assert_eq!(t_rows.len(), choices.len(), "key count mismatch");
         let h = GcHash::new();
@@ -234,12 +388,6 @@ impl OtExtReceiver {
             })
             .collect()
     }
-}
-
-/// Communication cost of one extended OT in bytes (the `u` column bits
-/// amortized per transfer, plus the two masked labels), used by `pi-sim`.
-pub fn bytes_per_extended_ot() -> usize {
-    KAPPA / 8 + 32
 }
 
 #[cfg(test)]
@@ -258,21 +406,60 @@ mod tests {
         let (sender, receiver, mut rng) = setup();
         use rand::Rng;
         let m = 500;
-        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let choices = {
+            let mut v = BitVec::zeros(0);
+            for _ in 0..m {
+                v.push(rng.gen());
+            }
+            v
+        };
         let pairs: Vec<(u128, u128)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
         let (u_msg, keys) = receiver.extend(&choices, &mut rng);
         let y_msg = sender.transfer(&u_msg, &pairs);
         let got = receiver.decode(&y_msg, &choices, &keys);
         for j in 0..m {
-            let expect = if choices[j] { pairs[j].1 } else { pairs[j].0 };
+            let expect = if choices.get(j) {
+                pairs[j].1
+            } else {
+                pairs[j].0
+            };
             assert_eq!(got[j], expect, "transfer {j}");
+        }
+    }
+
+    #[test]
+    fn packed_path_matches_reference_oracle() {
+        // The packed extension/transfer must reproduce the seed bool-matrix
+        // implementation bit for bit — messages, keys and decode output.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1FF);
+        let (s_setup, r_setup) = setup_in_process(&mut rng);
+        let sender = OtExtSender::new(s_setup.clone());
+        let receiver = OtExtReceiver::new(r_setup.clone());
+        use rand::Rng;
+        for m in [0usize, 1, 7, 64, 127, 128, 129, 500] {
+            let bools: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+            let packed = BitVec::from_bools(&bools);
+            let pairs: Vec<(u128, u128)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
+
+            let (u_fast, t_fast) = receiver.extend(&packed, &mut rng);
+            let (u_ref, t_ref) = reference::extend(&r_setup, &bools);
+            assert_eq!(u_fast, u_ref, "extend msg m={m}");
+            assert_eq!(t_fast, t_ref, "t rows m={m}");
+
+            let y_fast = sender.transfer(&u_fast, &pairs);
+            let y_ref = reference::transfer(&s_setup, &u_ref, &pairs);
+            assert_eq!(y_fast.pairs, y_ref.pairs, "transfer m={m}");
+
+            let got_fast = receiver.decode(&y_fast, &packed, &t_fast);
+            let got_ref = reference::decode(&y_ref, &bools, &t_ref);
+            assert_eq!(got_fast, got_ref, "decode m={m}");
         }
     }
 
     #[test]
     fn unchosen_messages_unrecoverable_with_wrong_key() {
         let (sender, receiver, mut rng) = setup();
-        let choices = vec![false];
+        let choices = BitVec::from_bools(&[false]);
         let pairs = vec![(42u128, 77u128)];
         let (u_msg, keys) = receiver.extend(&choices, &mut rng);
         let y_msg = sender.transfer(&u_msg, &pairs);
@@ -285,16 +472,16 @@ mod tests {
     #[test]
     fn empty_extension_is_fine() {
         let (sender, receiver, mut rng) = setup();
-        let (u_msg, keys) = receiver.extend(&[], &mut rng);
+        let (u_msg, keys) = receiver.extend(&BitVec::zeros(0), &mut rng);
         let y_msg = sender.transfer(&u_msg, &[]);
-        assert!(receiver.decode(&y_msg, &[], &keys).is_empty());
+        assert!(receiver.decode(&y_msg, &BitVec::zeros(0), &keys).is_empty());
     }
 
     #[test]
     fn message_sizes() {
         let (sender, receiver, mut rng) = setup();
         let m = 64;
-        let choices = vec![true; m];
+        let choices = BitVec::from_bools(&vec![true; m]);
         let pairs = vec![(0u128, 1u128); m];
         let (u_msg, keys) = receiver.extend(&choices, &mut rng);
         assert_eq!(u_msg.byte_len(), KAPPA * (m / 8));
@@ -304,17 +491,23 @@ mod tests {
     }
 
     #[test]
-    fn prg_deterministic_and_seed_sensitive() {
-        assert_eq!(prg_bits(5, 300), prg_bits(5, 300));
-        assert_ne!(prg_bits(5, 300), prg_bits(6, 300));
-        assert_eq!(prg_bits(5, 300).len(), 300);
+    fn prg_packed_matches_bit_stream() {
+        for (seed, n) in [(5u128, 300usize), (6, 300), (7, 128), (8, 1)] {
+            let bits = reference::prg_bits(seed, n);
+            let words = prg_words(seed, n.div_ceil(128));
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!((words[i / 128] >> (i % 128)) & 1 == 1, b, "bit {i}");
+            }
+        }
+        assert_eq!(reference::prg_bits(5, 300), reference::prg_bits(5, 300));
+        assert_ne!(reference::prg_bits(5, 300), reference::prg_bits(6, 300));
     }
 
     #[test]
     #[should_panic]
     fn mismatched_counts_rejected() {
         let (sender, receiver, mut rng) = setup();
-        let (u_msg, _) = receiver.extend(&[true, false], &mut rng);
+        let (u_msg, _) = receiver.extend(&BitVec::from_bools(&[true, false]), &mut rng);
         sender.transfer(&u_msg, &[(0, 0)]);
     }
 }

@@ -12,9 +12,17 @@
 //! `byte_len` accessors, and `pi-core` moves them over its byte-counting
 //! channels.
 //!
+//! The extension hot path works entirely on packed bits: choices travel as
+//! a [`bitmat::BitVec`] (128 bits per `u128` word), the `m × 128` OT matrix
+//! is built column-major from raw AES-CTR blocks and flipped to row-major
+//! with a blocked SWAR transpose, and transfer masks are derived 8 rows per
+//! batched AES call. The seed bool-matrix code survives as
+//! [`ext::reference`], the bit-exact differential oracle.
+//!
 //! # Example (in-process round trip)
 //!
 //! ```
+//! use pi_ot::bitmat::BitVec;
 //! use pi_ot::ext::{self, OtExtReceiver, OtExtSender};
 //! use rand::SeedableRng;
 //!
@@ -24,7 +32,7 @@
 //! let sender = OtExtSender::new(sender_setup);
 //! let receiver = OtExtReceiver::new(receiver_setup);
 //!
-//! let choices = vec![true, false, true];
+//! let choices = BitVec::from_bools(&[true, false, true]);
 //! let pairs: Vec<(u128, u128)> = vec![(1, 2), (3, 4), (5, 6)];
 //! let (u_msg, keys) = receiver.extend(&choices, &mut rng);
 //! let y_msg = sender.transfer(&u_msg, &pairs);
@@ -36,7 +44,9 @@
 #![warn(missing_docs)]
 
 pub mod base;
+pub mod bitmat;
 pub mod ext;
 
 pub use base::{BaseOtReceiver, BaseOtSender};
+pub use bitmat::BitVec;
 pub use ext::{OtExtReceiver, OtExtSender};

@@ -86,6 +86,24 @@ fn main() {
         "ms",
     );
     row("online OT", sg.online.ot_ms, cg.online.ot_ms, "ms");
+    row(
+        "garbling throughput",
+        sg.garble_gates_per_sec() / 1e6,
+        cg.garble_gates_per_sec() / 1e6,
+        "M gates/s",
+    );
+    row(
+        "GC eval throughput",
+        sg.eval_gates_per_sec() / 1e6,
+        cg.eval_gates_per_sec() / 1e6,
+        "M gates/s",
+    );
+    row(
+        "OT throughput",
+        sg.ot_per_sec() / 1e3,
+        cg.ot_per_sec() / 1e3,
+        "k OTs/s",
+    );
 
     println!();
     println!(

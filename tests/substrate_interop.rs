@@ -9,6 +9,7 @@ use pi_he::linalg::{encrypt_vector, matvec, sub_share, PlainMatrix};
 use pi_he::{BatchEncoder, BfvParams, KeySet};
 use pi_nn::quant::relu_trunc_field;
 use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+use pi_ot::bitmat::BitVec;
 use pi_ot::ext::{setup_in_process, OtExtReceiver, OtExtSender};
 use rand::{Rng, SeedableRng};
 
@@ -92,8 +93,9 @@ fn ot_delivered_labels_evaluate_correctly() {
     let share_a = 100u64;
     let share_b = 23u64;
     let r = 3u64;
-    let mut choices = to_bits(share_b, layout.width);
-    choices.extend(to_bits(r, layout.width));
+    let mut choice_bits = to_bits(share_b, layout.width);
+    choice_bits.extend(to_bits(r, layout.width));
+    let choices = BitVec::from_bools(&choice_bits);
     let pairs: Vec<(u128, u128)> = (0..2 * layout.width)
         .map(|i| g.encoding.label_pair(layout.width + i))
         .collect();
