@@ -18,6 +18,7 @@ fn main() {
         Dataset::TinyImageNet,
         Garbler::Server,
     );
+    println!("calibration: {}", c.source.label());
     let sys = SystemConfig {
         scheduling: OfflineScheduling::Sequential,
         link: Link::even(1e9),

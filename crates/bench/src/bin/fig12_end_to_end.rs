@@ -3,12 +3,16 @@
 //! LPHE + WSA) at 16 GB, for all six network/dataset pairs.
 
 use pi_bench::{eval_pairs, header, paper_costs, sim_runs};
+use pi_sim::calib::CalibSource;
 use pi_sim::cost::Garbler;
 use pi_sim::engine::{simulate, OfflineScheduling, SystemConfig, Workload};
 use pi_sim::link::Link;
 
 fn main() {
     header("End-to-end comparison: baseline vs proposed", "Figure 12");
+    // `paper_costs` profiles are always paper-calibrated; say so once.
+    println!("calibration: {}", CalibSource::Paper.label());
+    println!();
     for (arch, ds) in eval_pairs() {
         let sg = paper_costs(arch, ds, Garbler::Server);
         let cg = paper_costs(arch, ds, Garbler::Client);

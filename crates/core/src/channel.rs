@@ -47,9 +47,15 @@ impl Channel {
     ///
     /// Panics if the peer disconnected (protocol bug in tests).
     pub fn send(&self, msg: Msg) {
-        self.sent_bytes
-            .fetch_add(msg.byte_len() as u64, Ordering::Relaxed);
+        let len = msg.byte_len() as u64;
+        self.sent_bytes.fetch_add(len, Ordering::Relaxed);
         self.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        // The per-channel atomics stay authoritative for the exact
+        // upload/download accounting; the trace mirror aggregates across
+        // channels and feeds the wire.msg_bytes histogram.
+        pi_trace::add(pi_trace::Counter::WireBytes, len);
+        pi_trace::incr(pi_trace::Counter::WireMsgs);
+        pi_trace::record(pi_trace::Hist::WireMsgBytes, len);
         self.tx.send(msg).expect("peer disconnected");
     }
 

@@ -24,7 +24,6 @@ use pi_nn::PiModel;
 use pi_ot::bitmat::BitVec;
 use pi_ot::ext::{OtExtReceiver, OtExtSender};
 use rand::Rng;
-use std::time::Instant;
 
 /// Runs the client role (garbler). Returns the inference output and costs.
 pub fn run_client<R: Rng + ?Sized>(
@@ -38,6 +37,8 @@ pub fn run_client<R: Rng + ?Sized>(
     let p = meta.p;
     let k = meta.relu_width;
     let mut out = PartyOutcome::default();
+    let trace_scope = pi_trace::begin_local();
+    let root_span = pi_trace::span!("client");
 
     // ---------------- Offline ----------------
     let r_acts: Vec<Vec<u64>> = (0..meta.num_acts())
@@ -51,7 +52,7 @@ pub fn run_client<R: Rng + ?Sized>(
 
     // Base OT: the client will be the online extension *sender* (it owns
     // the label pairs for the server's inputs).
-    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng, &mut out.offline));
+    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng));
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())
         .filter(|&i| meta.phases[i].relu_shift.is_some())
@@ -63,15 +64,18 @@ pub fn run_client<R: Rng + ?Sized>(
         let ph = &meta.phases[i];
         let m = ph.rows;
         let shift = ph.relu_shift.expect("relu phase");
-        let t0 = Instant::now();
+        let garble_span = pi_trace::span!("offline.garble");
         let (circuit, _) = relu_trunc_circuit(p.value(), shift);
         // Lockstep batch garbling: 8 circuit instances per AES call.
         let phase_g: Vec<Garbling> = garble_many(&circuit, m, rng);
         out.gc_and_gates += (m * circuit.and_count()) as u64;
-        out.offline.garble_ms += t0.elapsed().as_secs_f64() * 1e3;
+        pi_trace::add(pi_trace::Counter::GcRelu, m as u64);
+        drop(garble_span);
         let tables: Vec<Vec<(Label, Label)>> =
             phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
-        out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        let table_bytes = tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        out.gc_bytes += table_bytes;
+        pi_trace::add(pi_trace::Counter::GcBytes, table_bytes);
         chan.send(Msg::GcTables(tables));
         chan.send(Msg::GcDecode(
             phase_g
@@ -115,7 +119,7 @@ pub fn run_client<R: Rng + ?Sized>(
     for (gc_idx, &i) in relu_phases.iter().enumerate() {
         let ph = &meta.phases[i];
         let m = ph.rows;
-        let t0 = Instant::now();
+        let _ot_span = pi_trace::span!("online.ot");
         let extend = match chan.recv() {
             Msg::OtExtend(e) => e,
             other => panic!("expected OtExtend, got {other:?}"),
@@ -129,7 +133,6 @@ pub fn run_client<R: Rng + ?Sized>(
         }
         out.ot_count += pairs.len() as u64;
         chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
-        out.online.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
     }
 
     // Final phase: combine output shares.
@@ -144,6 +147,8 @@ pub fn run_client<R: Rng + ?Sized>(
         .map(|(&a, &b)| p.add(a, b))
         .collect();
     out.total_sent = chan.bytes_sent();
+    drop(root_span);
+    out.trace = trace_scope.finish();
     (output, out)
 }
 
@@ -162,10 +167,12 @@ pub fn run_server<R: Rng + ?Sized>(
     let meta = ModelMeta::of(model);
     let k = meta.relu_width;
     let mut out = PartyOutcome::default();
+    let trace_scope = pi_trace::begin_local();
+    let root_span = pi_trace::span!("server");
 
     // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng, &mut out.offline);
-    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng, &mut out.offline));
+    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng);
+    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng));
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())
         .filter(|&i| meta.phases[i].relu_shift.is_some())
@@ -229,7 +236,7 @@ pub fn run_server<R: Rng + ?Sized>(
     let mut masked_acts: Vec<Vec<u64>> = vec![masked_input];
     let mut gc_idx = 0usize;
     for (i, ph) in model.phases.iter().enumerate() {
-        let t0 = Instant::now();
+        let ss_span = pi_trace::span!("online.ss");
         let x_cat: Vec<u64> = ph
             .inputs
             .iter()
@@ -239,13 +246,13 @@ pub fn run_server<R: Rng + ?Sized>(
         for (v, &s) in y_s.iter_mut().zip(&s_vecs[i]) {
             *v = p.add(*v, s);
         }
-        out.online.ss_ms += t0.elapsed().as_secs_f64() * 1e3;
+        drop(ss_span);
         match ph.relu_shift {
             Some(_) => {
                 let m = y_s.len();
                 // Fetch labels for the server's share bits via OT (packed
                 // choices straight from the field bits).
-                let t1 = Instant::now();
+                let ot_span = pi_trace::span!("online.ot");
                 let mut choices = BitVec::zeros(0);
                 for &v in &y_s {
                     push_field_bits(&mut choices, v, k);
@@ -258,9 +265,9 @@ pub fn run_server<R: Rng + ?Sized>(
                     other => panic!("expected OtTransfer, got {other:?}"),
                 };
                 let my_labels = ext_receiver.decode(&transfer, &choices, &keys);
-                out.online.ot_ms += t1.elapsed().as_secs_f64() * 1e3;
+                drop(ot_span);
                 // Evaluate, batched 8 instances per AES call.
-                let t2 = Instant::now();
+                let eval_span = pi_trace::span!("online.eval");
                 let phase = &gcs[gc_idx];
                 let circuit = &circuits[gc_idx];
                 let inputs: Vec<Vec<Label>> = (0..m)
@@ -286,7 +293,7 @@ pub fn run_server<R: Rng + ?Sized>(
                     };
                     next_masked.push(bits_field(&garbled.decode_outputs(out_labels)));
                 }
-                out.online.eval_ms += t2.elapsed().as_secs_f64() * 1e3;
+                drop(eval_span);
                 masked_acts.push(next_masked);
                 gc_idx += 1;
             }
@@ -296,5 +303,7 @@ pub fn run_server<R: Rng + ?Sized>(
         }
     }
     out.total_sent = chan.bytes_sent();
+    drop(root_span);
+    out.trace = trace_scope.finish();
     out
 }

@@ -3,17 +3,15 @@
 
 use crate::channel::Channel;
 use crate::msg::Msg;
-use crate::report::SideCosts;
 use pi_field::Modulus;
 use pi_gc::circuit::{from_bits, to_bits};
 use pi_he::linalg::{self, BsgsDiagonals, PlainMatrix};
-use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, PublicKey};
+use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, NoiseStage, PublicKey};
 use pi_nn::PiModel;
 use pi_ot::base::{BaseOtReceiver, BaseOtSender};
 use pi_ot::ext::{ReceiverSetup, SenderSetup, KAPPA};
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Which hybrid protocol variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -210,7 +208,7 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
     rng: &mut R,
     outcome: &mut PartyOutcome,
 ) -> Vec<Vec<u64>> {
-    let t0 = Instant::now();
+    let _span = pi_trace::span!("offline.he");
     let he = match cfg.linear {
         LinearMode::He => {
             let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
@@ -257,6 +255,9 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
                     .keys
                     .public
                     .encrypt(&ch.encoder.encode_periodic(&r_cat), rng);
+                // Only the client can gauge noise (it holds the secret
+                // key); no-op below PI_TRACE=full.
+                ch.keys.secret.gauge_noise(&ct, NoiseStage::Encrypt);
                 let _ = params;
                 chan.send(Msg::HeCts(vec![ct]));
             }
@@ -281,7 +282,6 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
         };
         shares.push(share);
     }
-    outcome.offline.he_ms += t0.elapsed().as_secs_f64() * 1e3;
     shares
 }
 
@@ -346,9 +346,8 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
-    costs: &mut SideCosts,
 ) -> Vec<Vec<u64>> {
-    let t0 = Instant::now();
+    let _span = pi_trace::span!("offline.he");
     let p = model.p;
     // Receive keys (HE mode).
     let he: Option<(PublicKey, GaloisKeys, BatchEncoder)> = match cfg.linear {
@@ -447,7 +446,6 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
     for msg in responses {
         chan.send(msg);
     }
-    costs.he_ms += t0.elapsed().as_secs_f64() * 1e3;
     s_vecs
 }
 
@@ -457,12 +455,8 @@ pub fn server_offline_linear<R: Rng + ?Sized>(
 
 /// The party that will act as OT-extension *receiver* (it plays base-OT
 /// sender). Returns its extension setup.
-pub fn ot_base_as_ext_receiver<R: Rng + ?Sized>(
-    chan: &Channel,
-    rng: &mut R,
-    costs: &mut SideCosts,
-) -> ReceiverSetup {
-    let t0 = Instant::now();
+pub fn ot_base_as_ext_receiver<R: Rng + ?Sized>(chan: &Channel, rng: &mut R) -> ReceiverSetup {
+    let _span = pi_trace::span!("offline.ot");
     let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
     let (sender, setup) = BaseOtSender::new(rng);
     chan.send(Msg::OtBaseSetup(setup));
@@ -472,18 +466,13 @@ pub fn ot_base_as_ext_receiver<R: Rng + ?Sized>(
     };
     let transfer = sender.transfer(&choice, &seed_pairs, rng);
     chan.send(Msg::OtBaseTransfer(transfer));
-    costs.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
     ReceiverSetup { seed_pairs }
 }
 
 /// The party that will act as OT-extension *sender* (it plays base-OT
 /// receiver). Returns its extension setup.
-pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(
-    chan: &Channel,
-    rng: &mut R,
-    costs: &mut SideCosts,
-) -> SenderSetup {
-    let t0 = Instant::now();
+pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(chan: &Channel, rng: &mut R) -> SenderSetup {
+    let _span = pi_trace::span!("offline.ot");
     let s: u128 = rng.gen();
     let setup = match chan.recv() {
         Msg::OtBaseSetup(s) => s,
@@ -498,7 +487,6 @@ pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(
         other => panic!("expected OtBaseTransfer, got {other:?}"),
     };
     let seeds = receiver.receive(&transfer);
-    costs.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
     SenderSetup { s, seeds }
 }
 
@@ -509,10 +497,10 @@ pub struct PartyOutcome {
     pub offline_sent: u64,
     /// Total bytes this party sent.
     pub total_sent: u64,
-    /// Compute timings attributed to the offline phase.
-    pub offline: SideCosts,
-    /// Compute timings attributed to the online phase.
-    pub online: SideCosts,
+    /// This party's trace: the phase span tree rooted at `client` /
+    /// `server` plus every substrate counter its thread touched. The
+    /// [`crate::CostReport`] timing fields are derived from these spans.
+    pub trace: pi_trace::TraceReport,
     /// Bytes this party must store between offline and online.
     pub storage_bytes: u64,
     /// Garbled-circuit bytes this party transmitted or received.

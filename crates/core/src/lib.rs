@@ -109,6 +109,12 @@ pub fn private_inference_precomputed(
         (output, client_out, server_out)
     });
 
+    // Each party collected its own span tree (rooted at `client` /
+    // `server`) on its own thread; the merged report accumulates both, so a
+    // leaf lookup like `offline.he` sums the two parties' contributions.
+    let mut trace = client_out.trace.clone();
+    trace.merge(&server_out.trace);
+
     let mut report = CostReport {
         offline: SideCosts {
             upload_bytes: client_out.offline_sent,
@@ -131,20 +137,16 @@ pub fn private_inference_precomputed(
         garbled_and_gates: client_out.gc_and_gates + server_out.gc_and_gates,
         evaluated_and_gates: client_out.gc_eval_and_gates + server_out.gc_eval_and_gates,
         ot_count: client_out.ot_count.max(server_out.ot_count),
+        trace,
     };
-    for (dst, src) in [
-        (
-            &mut report.offline,
-            (&client_out.offline, &server_out.offline),
-        ),
-        (&mut report.online, (&client_out.online, &server_out.online)),
-    ] {
-        dst.he_ms = src.0.he_ms + src.1.he_ms;
-        dst.garble_ms = src.0.garble_ms + src.1.garble_ms;
-        dst.eval_ms = src.0.eval_ms + src.1.eval_ms;
-        dst.ot_ms = src.0.ot_ms + src.1.ot_ms;
-        dst.ss_ms = src.0.ss_ms + src.1.ss_ms;
-    }
+    // Phase timings come from the span tree instead of hand-threaded
+    // timers: `None` when spans were not recorded (PI_TRACE below `full`).
+    report.offline.he_ms = report.trace.span_total_ms("offline.he");
+    report.offline.garble_ms = report.trace.span_total_ms("offline.garble");
+    report.offline.ot_ms = report.trace.span_total_ms("offline.ot");
+    report.online.ot_ms = report.trace.span_total_ms("online.ot");
+    report.online.eval_ms = report.trace.span_total_ms("online.eval");
+    report.online.ss_ms = report.trace.span_total_ms("online.ss");
     (output, report)
 }
 

@@ -1,4 +1,13 @@
 //! Cost accounting: compute time, communication, and storage per phase.
+//!
+//! Byte and count fields are exact (they come from the byte-counting
+//! channels and protocol bookkeeping). Timing fields are `Option<f64>`:
+//! `None` means *not measured* — the run executed with `PI_TRACE` below
+//! `full`, so no span timings exist — while `Some(0.0)` means the phase
+//! ran under full tracing and genuinely took no measurable time. The
+//! distinction keeps "tracing was off" from masquerading as "infinitely
+//! fast" in downstream rate math: a rate over an unmeasured duration is
+//! `None`, never a silent zero.
 
 /// Costs attributed to one protocol phase (offline or online).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -7,16 +16,17 @@ pub struct SideCosts {
     pub upload_bytes: u64,
     /// Bytes sent server → client during this phase.
     pub download_bytes: u64,
-    /// Wall-clock milliseconds spent in homomorphic evaluation.
-    pub he_ms: f64,
+    /// Wall-clock milliseconds spent in homomorphic evaluation (`None` =
+    /// not measured: spans need `PI_TRACE=full`).
+    pub he_ms: Option<f64>,
     /// Wall-clock milliseconds spent garbling.
-    pub garble_ms: f64,
+    pub garble_ms: Option<f64>,
     /// Wall-clock milliseconds spent evaluating garbled circuits.
-    pub eval_ms: f64,
+    pub eval_ms: Option<f64>,
     /// Wall-clock milliseconds spent in oblivious transfer (both roles).
-    pub ot_ms: f64,
+    pub ot_ms: Option<f64>,
     /// Wall-clock milliseconds spent in secret-sharing arithmetic.
-    pub ss_ms: f64,
+    pub ss_ms: Option<f64>,
 }
 
 impl SideCosts {
@@ -25,19 +35,38 @@ impl SideCosts {
         self.upload_bytes + self.download_bytes
     }
 
-    /// Total accounted compute milliseconds.
-    pub fn total_compute_ms(&self) -> f64 {
-        self.he_ms + self.garble_ms + self.eval_ms + self.ot_ms + self.ss_ms
+    /// Total accounted compute milliseconds: the sum of the measured phase
+    /// timings, or `None` if none of them was measured.
+    pub fn total_compute_ms(&self) -> Option<f64> {
+        let parts = [
+            self.he_ms,
+            self.garble_ms,
+            self.eval_ms,
+            self.ot_ms,
+            self.ss_ms,
+        ];
+        if parts.iter().all(Option::is_none) {
+            return None;
+        }
+        Some(parts.iter().flatten().sum())
     }
 }
 
-/// Events per second from a count and a millisecond duration; `0.0` when
-/// either is zero (nothing measured).
-fn rate(count: u64, ms: f64) -> f64 {
-    if count == 0 || ms <= 0.0 {
-        0.0
+/// Events per second from a count and an optional millisecond duration.
+///
+/// * duration `None` (not measured) → `None`;
+/// * `count == 0` with a measured duration → `Some(0.0)` (measured, and
+///   nothing happened);
+/// * `count > 0` against a measured zero/negative duration → `None` (the
+///   clock resolution defeated us; an infinite rate would be a lie).
+fn rate(count: u64, ms: Option<f64>) -> Option<f64> {
+    let ms = ms?;
+    if count == 0 {
+        Some(0.0)
+    } else if ms <= 0.0 {
+        None
     } else {
-        count as f64 / (ms / 1e3)
+        Some(count as f64 / (ms / 1e3))
     }
 }
 
@@ -71,6 +100,12 @@ pub struct CostReport {
     pub evaluated_and_gates: u64,
     /// Extended OTs executed (one per evaluator input bit served).
     pub ot_count: u64,
+    /// Merged client+server trace of the inference: phase spans, substrate
+    /// counters (NTTs, key switches, AES blocks, OTs, wire bytes), and
+    /// histograms. The timing fields above are derived from its spans;
+    /// everything finer-grained (per-span min/max, counter totals) is read
+    /// from here.
+    pub trace: pi_trace::TraceReport,
 }
 
 impl CostReport {
@@ -84,28 +119,40 @@ impl CostReport {
         }
     }
 
+    /// Sum of two optional durations: `None` only when *both* are
+    /// unmeasured (a phase that only one party timed is still measured).
+    fn opt_sum(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+        match (a, b) {
+            (None, None) => None,
+            _ => Some(a.unwrap_or(0.0) + b.unwrap_or(0.0)),
+        }
+    }
+
     /// Measured garbling throughput in AND gates per second (offline +
-    /// online garble time; `0.0` if nothing was garbled or timed). Feeds
+    /// online garble time; `None` if garble time was not measured). Feeds
     /// the fig07/fig12 online-phase rate columns.
-    pub fn garble_gates_per_sec(&self) -> f64 {
+    pub fn garble_gates_per_sec(&self) -> Option<f64> {
         rate(
             self.garbled_and_gates,
-            self.offline.garble_ms + self.online.garble_ms,
+            Self::opt_sum(self.offline.garble_ms, self.online.garble_ms),
         )
     }
 
     /// Measured GC evaluation throughput in AND gates per second.
-    pub fn eval_gates_per_sec(&self) -> f64 {
+    pub fn eval_gates_per_sec(&self) -> Option<f64> {
         rate(
             self.evaluated_and_gates,
-            self.offline.eval_ms + self.online.eval_ms,
+            Self::opt_sum(self.offline.eval_ms, self.online.eval_ms),
         )
     }
 
     /// Measured extended-OT throughput in transfers per second (includes
     /// the base-OT phase the extension amortizes away).
-    pub fn ot_per_sec(&self) -> f64 {
-        rate(self.ot_count, self.offline.ot_ms + self.online.ot_ms)
+    pub fn ot_per_sec(&self) -> Option<f64> {
+        rate(
+            self.ot_count,
+            Self::opt_sum(self.offline.ot_ms, self.online.ot_ms),
+        )
     }
 
     /// Offline Galois-key storage/upload saving of the BSGS key set over a
@@ -133,14 +180,27 @@ mod tests {
         let c = SideCosts {
             upload_bytes: 10,
             download_bytes: 20,
-            he_ms: 1.0,
-            garble_ms: 2.0,
-            eval_ms: 3.0,
-            ot_ms: 4.0,
-            ss_ms: 5.0,
+            he_ms: Some(1.0),
+            garble_ms: Some(2.0),
+            eval_ms: Some(3.0),
+            ot_ms: Some(4.0),
+            ss_ms: Some(5.0),
         };
         assert_eq!(c.total_bytes(), 30);
-        assert!((c.total_compute_ms() - 15.0).abs() < 1e-12);
+        assert!((c.total_compute_ms().unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_compute_distinguishes_unmeasured() {
+        // Nothing measured: None, not 0.0.
+        assert_eq!(SideCosts::default().total_compute_ms(), None);
+        // Partially measured: sum of what exists.
+        let c = SideCosts {
+            he_ms: Some(2.0),
+            ss_ms: Some(1.0),
+            ..Default::default()
+        };
+        assert!((c.total_compute_ms().unwrap() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -152,18 +212,30 @@ mod tests {
     #[test]
     fn throughput_rates() {
         let mut r = CostReport::default();
-        // Empty report: no division by zero.
-        assert_eq!(r.garble_gates_per_sec(), 0.0);
-        assert_eq!(r.eval_gates_per_sec(), 0.0);
-        assert_eq!(r.ot_per_sec(), 0.0);
+        // Untimed report: rates are "not measured", not zero.
+        assert_eq!(r.garble_gates_per_sec(), None);
+        assert_eq!(r.eval_gates_per_sec(), None);
+        assert_eq!(r.ot_per_sec(), None);
         r.garbled_and_gates = 1000;
-        r.offline.garble_ms = 500.0;
-        assert!((r.garble_gates_per_sec() - 2000.0).abs() < 1e-9);
+        r.offline.garble_ms = Some(500.0);
+        assert!((r.garble_gates_per_sec().unwrap() - 2000.0).abs() < 1e-9);
         r.evaluated_and_gates = 300;
-        r.online.eval_ms = 100.0;
-        assert!((r.eval_gates_per_sec() - 3000.0).abs() < 1e-9);
+        r.online.eval_ms = Some(100.0);
+        assert!((r.eval_gates_per_sec().unwrap() - 3000.0).abs() < 1e-9);
         r.ot_count = 640;
-        r.offline.ot_ms = 3200.0;
-        assert!((r.ot_per_sec() - 200.0).abs() < 1e-9);
+        r.offline.ot_ms = Some(3200.0);
+        assert!((r.ot_per_sec().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_zero_vs_unmeasured() {
+        let mut r = CostReport::default();
+        // Measured time, zero events: a true zero rate.
+        r.offline.ot_ms = Some(10.0);
+        assert_eq!(r.ot_per_sec(), Some(0.0));
+        // Events against an unmeasurably small duration: refuse to divide.
+        r.ot_count = 5;
+        r.offline.ot_ms = Some(0.0);
+        assert_eq!(r.ot_per_sec(), None);
     }
 }

@@ -24,7 +24,6 @@ use pi_nn::PiModel;
 use pi_ot::bitmat::BitVec;
 use pi_ot::ext::{OtExtReceiver, OtExtSender};
 use rand::Rng;
-use std::time::Instant;
 
 /// Client state for one garbled ReLU phase.
 struct ClientPhaseGc {
@@ -46,6 +45,8 @@ pub fn run_client<R: Rng + ?Sized>(
     let p = meta.p;
     let k = meta.relu_width;
     let mut out = PartyOutcome::default();
+    let trace_scope = pi_trace::begin_local();
+    let root_span = pi_trace::span!("client");
 
     // ---------------- Offline ----------------
     // Randomness per activation.
@@ -59,7 +60,7 @@ pub fn run_client<R: Rng + ?Sized>(
     let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out);
 
     // Base OT: client is the extension receiver (it obtains labels).
-    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng, &mut out.offline));
+    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng));
 
     // Per ReLU phase: receive circuits, fetch own labels via OT.
     let relu_phases: Vec<usize> = (0..meta.phases.len())
@@ -75,7 +76,7 @@ pub fn run_client<R: Rng + ?Sized>(
         };
         out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
         // Choice bits: per element, share_b bits then r bits (packed).
-        let t0 = Instant::now();
+        let ot_span = pi_trace::span!("offline.ot");
         let mut choices = BitVec::zeros(0);
         for j in 0..m {
             push_field_bits(&mut choices, c_shares[i][j], k);
@@ -89,7 +90,7 @@ pub fn run_client<R: Rng + ?Sized>(
             other => panic!("expected OtTransfer, got {other:?}"),
         };
         let labels = ext_receiver.decode(&transfer, &choices, &keys);
-        out.offline.ot_ms += t0.elapsed().as_secs_f64() * 1e3;
+        drop(ot_span);
         let my_labels: Vec<Vec<Label>> = labels.chunks(2 * k).map(|c| c.to_vec()).collect();
         gcs.push(ClientPhaseGc { tables, my_labels });
     }
@@ -127,7 +128,7 @@ pub fn run_client<R: Rng + ?Sized>(
             other => panic!("expected GcLabels, got {other:?}"),
         };
         assert_eq!(server_labels.len(), m * k, "server label count");
-        let t0 = Instant::now();
+        let eval_span = pi_trace::span!("online.eval");
         let circuit = &circuits[gc_idx];
         // Batched evaluation: 8 instances per AES call through the
         // fixed-key hash; decode stays with the garbler.
@@ -142,7 +143,7 @@ pub fn run_client<R: Rng + ?Sized>(
         let per_instance = evaluate_many(circuit, &gcs[gc_idx].tables, &inputs);
         let out_labels: Vec<Label> = per_instance.into_iter().flatten().collect();
         out.gc_eval_and_gates += (m * circuit.and_count()) as u64;
-        out.online.eval_ms += t0.elapsed().as_secs_f64() * 1e3;
+        drop(eval_span);
         chan.send(Msg::GcLabels(out_labels));
     }
 
@@ -158,6 +159,8 @@ pub fn run_client<R: Rng + ?Sized>(
         .map(|(&a, &b)| p.add(a, b))
         .collect();
     out.total_sent = chan.bytes_sent();
+    drop(root_span);
+    out.trace = trace_scope.finish();
     (output, out)
 }
 
@@ -176,10 +179,12 @@ pub fn run_server<R: Rng + ?Sized>(
     let meta = ModelMeta::of(model);
     let k = meta.relu_width;
     let mut out = PartyOutcome::default();
+    let trace_scope = pi_trace::begin_local();
+    let root_span = pi_trace::span!("server");
 
     // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng, &mut out.offline);
-    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng, &mut out.offline));
+    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng);
+    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng));
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())
         .filter(|&i| meta.phases[i].relu_shift.is_some())
@@ -191,18 +196,21 @@ pub fn run_server<R: Rng + ?Sized>(
         let ph = &meta.phases[i];
         let m = ph.rows;
         let shift = ph.relu_shift.expect("relu phase");
-        let t0 = Instant::now();
+        let garble_span = pi_trace::span!("offline.garble");
         let (circuit, _) = relu_trunc_circuit(p.value(), shift);
         // Lockstep batch garbling: 8 circuit instances per AES call.
         let phase_g: Vec<Garbling> = garble_many(&circuit, m, rng);
         out.gc_and_gates += (m * circuit.and_count()) as u64;
-        out.offline.garble_ms += t0.elapsed().as_secs_f64() * 1e3;
+        pi_trace::add(pi_trace::Counter::GcRelu, m as u64);
+        drop(garble_span);
         let tables: Vec<Vec<(Label, Label)>> =
             phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
-        out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        let table_bytes = tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
+        out.gc_bytes += table_bytes;
+        pi_trace::add(pi_trace::Counter::GcBytes, table_bytes);
         chan.send(Msg::GcTables(tables));
         // OT: client's inputs occupy wire positions [k, 3k).
-        let t1 = Instant::now();
+        let ot_span = pi_trace::span!("offline.ot");
         let extend = match chan.recv() {
             Msg::OtExtend(e) => e,
             other => panic!("expected OtExtend, got {other:?}"),
@@ -215,7 +223,7 @@ pub fn run_server<R: Rng + ?Sized>(
         }
         out.ot_count += pairs.len() as u64;
         chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
-        out.offline.ot_ms += t1.elapsed().as_secs_f64() * 1e3;
+        drop(ot_span);
         circuits.push(circuit);
         garblings.push(phase_g);
     }
@@ -240,7 +248,7 @@ pub fn run_server<R: Rng + ?Sized>(
     let mut gc_idx = 0usize;
     for (i, ph) in model.phases.iter().enumerate() {
         // Server share: W (x - r) + s + b.
-        let t0 = Instant::now();
+        let ss_span = pi_trace::span!("online.ss");
         let x_cat: Vec<u64> = ph
             .inputs
             .iter()
@@ -250,11 +258,11 @@ pub fn run_server<R: Rng + ?Sized>(
         for (v, &s) in y_s.iter_mut().zip(&s_vecs[i]) {
             *v = p.add(*v, s);
         }
-        out.online.ss_ms += t0.elapsed().as_secs_f64() * 1e3;
+        drop(ss_span);
         match ph.relu_shift {
             Some(_) => {
                 // Send labels for the server's share (wire positions 0..k).
-                let t1 = Instant::now();
+                let eval_span = pi_trace::span!("online.eval");
                 let phase_g = &garblings[gc_idx];
                 let mut labels = Vec::with_capacity(y_s.len() * k);
                 for (j, &v) in y_s.iter().enumerate() {
@@ -271,7 +279,7 @@ pub fn run_server<R: Rng + ?Sized>(
                     let bits = phase_g[j].garbled.decode_outputs(chunk);
                     next_masked.push(bits_field(&bits));
                 }
-                out.online.eval_ms += t1.elapsed().as_secs_f64() * 1e3;
+                drop(eval_span);
                 masked_acts.push(next_masked);
                 gc_idx += 1;
             }
@@ -281,5 +289,7 @@ pub fn run_server<R: Rng + ?Sized>(
         }
     }
     out.total_sent = chan.bytes_sent();
+    drop(root_span);
+    out.trace = trace_scope.finish();
     out
 }

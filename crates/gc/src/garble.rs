@@ -167,6 +167,12 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Garbling {
 /// drop-in replacement, and that equality is a structural differential
 /// test.
 pub fn garble_many<R: Rng + ?Sized>(circuit: &Circuit, n: usize, rng: &mut R) -> Vec<Garbling> {
+    // Batch-boundary accounting (never per gate or per hash): half-gates
+    // garbling hashes 4 AES blocks per AND instance.
+    let ands = (n * circuit.and_count()) as u64;
+    pi_trace::add(pi_trace::Counter::GcAndGarbled, ands);
+    pi_trace::add(pi_trace::Counter::AesBlocks, 4 * ands);
+    pi_trace::record(pi_trace::Hist::GcBatchInstances, n as u64);
     let hash = GcHash::new();
     let mut deltas = Vec::with_capacity(n);
     let mut input_label0: Vec<Vec<Label>> = Vec::with_capacity(n);
@@ -323,6 +329,11 @@ pub fn evaluate_many(
     }
     let hash = GcHash::new();
     let n = tables.len();
+    // Batch-boundary accounting: evaluation hashes 2 AES blocks per AND.
+    let ands = (n * circuit.and_count()) as u64;
+    pi_trace::add(pi_trace::Counter::GcAndEvaluated, ands);
+    pi_trace::add(pi_trace::Counter::AesBlocks, 2 * ands);
+    pi_trace::record(pi_trace::Hist::GcBatchInstances, n as u64);
     let mut out = Vec::with_capacity(n);
     for chunk_start in (0..n).step_by(8) {
         let w = (n - chunk_start).min(8);

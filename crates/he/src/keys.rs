@@ -123,9 +123,16 @@ impl KsScratch {
         if self.digits.len() < count {
             self.digits.resize_with(count, Vec::new);
         }
+        let mut grown = 0u64;
         for d in &mut self.digits[..count] {
+            if d.capacity() < n {
+                grown += 1;
+            }
             d.resize(n, 0);
         }
+        // Steady state is zero: a warm scratch pool never reallocates. A
+        // nonzero rate after warmup means the pool is being churned.
+        pi_trace::add(pi_trace::Counter::KsScratchAlloc, grown);
     }
 }
 
@@ -421,7 +428,13 @@ impl SecretKey {
     }
 
     /// Decrypts a ciphertext to a plaintext (coefficients in `[0, t)`).
+    ///
+    /// In full trace mode this also gauges the ciphertext's noise budget
+    /// into the `he.noise_decrypt_bits` histogram (see
+    /// [`SecretKey::gauge_noise`]).
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        pi_trace::incr(pi_trace::Counter::HeDecrypt);
+        self.gauge_noise(ct, NoiseStage::Decrypt);
         let v = ct.c0.add(&ct.c1.mul(&self.s)).into_coeff();
         let q = self.params.q().value();
         let t = self.params.t().value();
@@ -469,11 +482,49 @@ impl SecretKey {
         }
         (threshold / max_noise).ilog2()
     }
+
+    /// Records `ct`'s noise budget (bits) into the per-`stage` trace
+    /// histogram. Active in full trace mode only: measuring the budget costs
+    /// a decrypt-sized pass, which the `counters` overhead contract does not
+    /// allow. The decrypt boundary gauges automatically; encrypt, multiply,
+    /// and rescale boundaries need the secret key, so call this explicitly
+    /// where one is held (e.g. the client after encrypting its randomness).
+    pub fn gauge_noise(&self, ct: &Ciphertext, stage: NoiseStage) {
+        if pi_trace::mode() == pi_trace::TraceMode::Full {
+            pi_trace::record(stage.hist(), self.noise_budget(ct) as u64);
+        }
+    }
+}
+
+/// Which pipeline boundary a noise-budget gauge was taken at. Feeds the
+/// `he.noise_*_bits` histograms the 2–4-bit-cliff parameter work consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseStage {
+    /// Right after public-key encryption (fresh ciphertext).
+    Encrypt,
+    /// After a homomorphic multiply (before relinearization/rescale).
+    Multiply,
+    /// After rescaling / modulus management.
+    Rescale,
+    /// Right before decryption (end of the homomorphic pipeline).
+    Decrypt,
+}
+
+impl NoiseStage {
+    pub(crate) fn hist(self) -> pi_trace::Hist {
+        match self {
+            NoiseStage::Encrypt => pi_trace::Hist::NoiseEncryptBits,
+            NoiseStage::Multiply => pi_trace::Hist::NoiseMultiplyBits,
+            NoiseStage::Rescale => pi_trace::Hist::NoiseRescaleBits,
+            NoiseStage::Decrypt => pi_trace::Hist::NoiseDecryptBits,
+        }
+    }
 }
 
 impl PublicKey {
     /// Encrypts a plaintext: `(pk0·u + e1 + Δm, pk1·u + e2)`.
     pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        pi_trace::incr(pi_trace::Counter::HeEncrypt);
         let params = &self.params;
         let u = sample::ternary(params.ring(), rng).into_ntt();
         let e1 = sample::centered_binomial(params.ring(), rng, params.error_k);
@@ -554,6 +605,8 @@ impl GaloisKeys {
     /// Fallible [`GaloisKeys::switch`]: rejects unknown Galois elements with
     /// [`KeyError::MissingGaloisKey`] instead of panicking.
     pub fn try_switch(&self, ct: &Ciphertext, g: usize) -> Result<Ciphertext, KeyError> {
+        let _span = pi_trace::span!("he.keyswitch");
+        pi_trace::incr(pi_trace::Counter::HeKeySwitch);
         // Coarsest gadget first in each entry list: fewest digits, fewest
         // NTTs — the right choice when the rotation's noise only adds.
         let entry = self
@@ -609,6 +662,8 @@ impl GaloisKeys {
     /// (same-degree/different-modulus inputs would otherwise silently
     /// produce garbage).
     pub fn hoist(&self, ct: &Ciphertext) -> HoistedCiphertext {
+        let _span = pi_trace::span!("he.hoist");
+        pi_trace::incr(pi_trace::Counter::HeHoist);
         let params = &self.params;
         let ntt = params.ring().ntt();
         let n = params.n();
@@ -698,6 +753,7 @@ impl GaloisKeys {
     ) -> Result<(), KeyError> {
         let n = self.params.n();
         assert!(k < n / 2, "rotation amount must be below N/2");
+        pi_trace::incr(pi_trace::Counter::HeRotation);
         let ntt = self.params.ring().ntt();
         if k == 0 {
             out0.copy_from_slice(&h.c0);
@@ -750,6 +806,7 @@ impl GaloisKeys {
         let q = params.q();
         let n = params.n();
         assert!(k < n / 2, "rotation amount must be below N/2");
+        pi_trace::incr(pi_trace::Counter::HeRotation);
         if k == 0 {
             for (a, &v) in acc0.iter_mut().zip(inner0.iter()) {
                 *a = q.add_lazy(*a, v);

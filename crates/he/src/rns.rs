@@ -67,6 +67,7 @@
 //! assert!(dec[1..].iter().all(|&c| c == 0));
 //! ```
 
+use crate::keys::NoiseStage;
 use pi_field::{FastBaseConverter, Modulus, ShoupMul, U1024};
 use pi_poly::rns::{convert_columns_exact, convert_columns_fast, RnsContext, RnsOperand, RnsPoly};
 use pi_poly::{sample, PolyForm};
@@ -510,7 +511,13 @@ impl RnsSecretKey {
 
     /// Decrypts a ciphertext of any degree: computes `Σ c_i·sⁱ`, CRT-composes
     /// each coefficient, and applies the `round(t·x/Q) mod t` decoding map.
+    ///
+    /// In full trace mode this also gauges the ciphertext's noise budget
+    /// into the `he.noise_decrypt_bits` histogram (see
+    /// [`RnsSecretKey::gauge_noise`]).
     pub fn decrypt(&self, ct: &RnsCiphertext) -> Vec<u64> {
+        pi_trace::incr(pi_trace::Counter::HeDecrypt);
+        self.gauge_noise(ct, NoiseStage::Decrypt);
         let v = self.inner_product(ct).into_coeff();
         v.compose_coeffs()
             .iter()
@@ -552,6 +559,17 @@ impl RnsSecretKey {
         worst
     }
 
+    /// Records `ct`'s noise budget (bits) into the per-`stage` trace
+    /// histogram; full trace mode only (measuring costs a decrypt-sized
+    /// pass). The decrypt boundary gauges automatically; call this
+    /// explicitly at encrypt/multiply/rescale boundaries where the secret
+    /// key is held.
+    pub fn gauge_noise(&self, ct: &RnsCiphertext, stage: NoiseStage) {
+        if pi_trace::mode() == pi_trace::TraceMode::Full {
+            pi_trace::record(stage.hist(), self.noise_budget(ct) as u64);
+        }
+    }
+
     /// `Σ c_i·sⁱ` in evaluation form.
     fn inner_product(&self, ct: &RnsCiphertext) -> RnsPoly {
         assert!(!ct.polys.is_empty(), "empty ciphertext");
@@ -575,6 +593,7 @@ impl RnsPublicKey {
     ///
     /// Panics if `m.len() != n` or any coefficient is `>= t`.
     pub fn encrypt<R: Rng + ?Sized>(&self, m: &[u64], rng: &mut R) -> RnsCiphertext {
+        pi_trace::incr(pi_trace::Counter::HeEncrypt);
         let params = &self.params;
         let u = sample::ternary_rns(params.base(), rng).into_ntt();
         let e1 = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
@@ -794,6 +813,8 @@ impl RnsCiphertext {
     /// across all primes, batch-NTT'd, and accumulated against the key
     /// operands in the lazy `[0, 2q)` domain with one final correction.
     pub fn relinearize(&self, rlk: &RnsRelinKey) -> Self {
+        let _span = pi_trace::span!("he.keyswitch");
+        pi_trace::incr(pi_trace::Counter::HeKeySwitch);
         assert_eq!(
             self.degree(),
             2,

@@ -104,6 +104,7 @@ impl BaseOtSender {
         rng: &mut R,
     ) -> SenderTransferMsg {
         assert_eq!(pairs.len(), choice.pk0.len(), "transfer count mismatch");
+        pi_trace::add(pi_trace::Counter::OtBase, pairs.len() as u64);
         let h = GcHash::new();
         let items = choice
             .pk0

@@ -213,6 +213,8 @@ impl OtExtReceiver {
         _rng: &mut R,
     ) -> (ExtendMsg, Vec<u128>) {
         let m = choices.len();
+        pi_trace::add(pi_trace::Counter::OtExtended, m as u64);
+        pi_trace::record(pi_trace::Hist::OtBatchSize, m as u64);
         let words = m.div_ceil(128);
         // Zero bits past m in the last word so the wire message matches the
         // reference oracle exactly (BitVec guarantees its own tail is zero).

@@ -339,6 +339,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        pi_trace::incr(pi_trace::Counter::NttForward);
         let be = simd::backend();
         let mut t = self.n;
         let mut m = 1;
@@ -371,6 +372,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        pi_trace::incr(pi_trace::Counter::NttInverse);
         let be = simd::backend();
         let mut t = 1;
         let mut m = self.n;
@@ -409,6 +411,7 @@ impl NttTables {
         for a in batch.iter() {
             assert_eq!(a.len(), self.n);
         }
+        pi_trace::add(pi_trace::Counter::NttForward, batch.len() as u64);
         let be = simd::backend();
         let mut t = self.n;
         let mut m = 1;
@@ -444,6 +447,7 @@ impl NttTables {
         for a in batch.iter() {
             assert_eq!(a.len(), self.n);
         }
+        pi_trace::add(pi_trace::Counter::NttInverse, batch.len() as u64);
         let be = simd::backend();
         let mut t = 1;
         let mut m = self.n;
@@ -476,6 +480,7 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
         assert!(out.len() == self.n && a.len() == self.n && b.len() == self.n);
+        pi_trace::incr(pi_trace::Counter::NttDyadic);
         let be = simd::backend();
         if be.is_vector() {
             simd::dyadic_mul(be, self.q, out, a, b);
@@ -496,6 +501,7 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_acc(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
         assert!(acc.len() == self.n && a.len() == self.n && b.len() == self.n);
+        pi_trace::incr(pi_trace::Counter::NttDyadic);
         let be = simd::backend();
         if be.is_vector() {
             simd::dyadic_mul_acc(be, self.q, acc, a, b);
@@ -515,6 +521,7 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_shoup(&self, out: &mut [u64], a: &[u64], op: &ShoupVec) {
         assert!(out.len() == self.n && a.len() == self.n && op.len() == self.n);
+        pi_trace::incr(pi_trace::Counter::NttDyadic);
         let be = simd::backend();
         if be.is_vector() {
             simd::dyadic_mul_shoup(be, self.q, out, a, op);
@@ -540,6 +547,7 @@ impl NttTables {
     /// Panics on length mismatch.
     pub fn dyadic_mul_acc_shoup(&self, acc: &mut [u64], a: &[u64], op: &ShoupVec) {
         assert!(acc.len() == self.n && a.len() == self.n && op.len() == self.n);
+        pi_trace::incr(pi_trace::Counter::NttDyadic);
         let be = simd::backend();
         if be.is_vector() {
             simd::dyadic_mul_acc_shoup(be, self.q, acc, a, op);

@@ -62,6 +62,7 @@ use std::sync::Arc;
 /// Panics if the column count differs from the converter's source-prime
 /// count or the columns have unequal lengths.
 pub fn convert_columns_fast(conv: &FastBaseConverter, src_cols: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    pi_trace::incr(pi_trace::Counter::FbcConvert);
     let be = fsimd::backend();
     if be.is_vector() {
         return convert_columns_vector(be, conv, src_cols, |_, digits| {
@@ -98,6 +99,7 @@ pub fn convert_columns_exact(
         src_cols[0].len(),
         "channel column length mismatch"
     );
+    pi_trace::incr(pi_trace::Counter::FbcConvert);
     let be = fsimd::backend();
     if be.is_vector() {
         return convert_columns_vector(be, conv, src_cols, |j, digits| {

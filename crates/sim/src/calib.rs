@@ -1,4 +1,5 @@
-//! Calibration constants, anchored to the paper's measurements.
+//! Calibration constants, anchored to the paper's measurements — plus
+//! measured-trace calibration from this repo's own runtime.
 //!
 //! The paper's own artifact is a SimPy simulator driven by constants
 //! measured on an Intel Atom Z8350 client and an AMD EPYC 7502 server with
@@ -6,6 +7,13 @@
 //! the section/figure they come from) so the Rust simulator reproduces the
 //! same system behaviour. Derived rates use the ResNet-18/TinyImageNet
 //! anchor of 2,228,224 ReLUs.
+//!
+//! The paper constants are the documented fallback; [`Calibration`] closes
+//! the loop against the real runtime: [`from_trace`] derives the same
+//! per-ReLU rates from a `pi-trace` [`pi_trace::TraceReport`] of an actual
+//! protocol run (spans for the durations, counters for the unit counts),
+//! tagged [`CalibSource::Measured`] so figure output can say which numbers
+//! drove it.
 
 /// ReLU count of ResNet-18 on TinyImageNet — the paper's running example
 /// (matches our model zoo and the paper's 41 GB / 18.2 KB figure).
@@ -90,6 +98,103 @@ pub const ATOM_GARBLE_J_PER_RELU: f64 = 2.33 / 10_000.0;
 /// Client energy to evaluate one ReLU on the Atom: 1.25 J / 10,000 ReLUs.
 pub const ATOM_EVAL_J_PER_RELU: f64 = 1.25 / 10_000.0;
 
+// ---------------------------------------------------------------------------
+// Measured-trace calibration
+// ---------------------------------------------------------------------------
+
+/// Where a set of calibration rates came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CalibSource {
+    /// The paper's published constants (Table 1, §4–5) — the default and
+    /// documented fallback.
+    #[default]
+    Paper,
+    /// Derived from a `pi-trace` report of a real run of this repo's
+    /// protocol implementation (`PI_TRACE=full`).
+    Measured,
+}
+
+impl CalibSource {
+    /// Short label for figure/table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalibSource::Paper => "paper constants",
+            CalibSource::Measured => "measured trace",
+        }
+    }
+}
+
+/// Per-unit rates that drive the simulator, with their provenance.
+///
+/// Every rate is `Option`: `None` means the source had nothing to say
+/// about it (the paper publishes no per-OT wall time; a counters-only
+/// trace has counts but no span durations) — callers fall back to the
+/// paper constant or skip the row, never to a silent zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Calibration {
+    /// Provenance of the rates below.
+    pub source: CalibSource,
+    /// Garbling seconds per ReLU (garbler device).
+    pub garble_s_per_relu: Option<f64>,
+    /// GC evaluation seconds per ReLU (evaluator device).
+    pub eval_s_per_relu: Option<f64>,
+    /// Extended-OT seconds per transfer (base + extension + decode).
+    pub ot_s_per_ot: Option<f64>,
+    /// Garbled-circuit table bytes per ReLU.
+    pub gc_bytes_per_relu: Option<f64>,
+    /// Total wire bytes per ReLU (both phases, both directions).
+    pub wire_bytes_per_relu: Option<f64>,
+}
+
+impl Calibration {
+    /// The paper's published server-side rates (EPYC garble/eval, §5.1;
+    /// evaluator GC size, §4.1.1). The paper reports no per-OT time or
+    /// total-wire-per-ReLU figure, so those stay `None`.
+    pub fn paper() -> Self {
+        Self {
+            source: CalibSource::Paper,
+            garble_s_per_relu: Some(SERVER_GARBLE_S_PER_RELU),
+            eval_s_per_relu: Some(SERVER_EVAL_S_PER_RELU),
+            ot_s_per_ot: None,
+            gc_bytes_per_relu: Some(GC_EVALUATOR_BYTES_PER_RELU),
+            wire_bytes_per_relu: None,
+        }
+    }
+}
+
+/// Divides a measured total by a unit count, demanding both exist and the
+/// count is nonzero.
+fn per_unit(total: Option<f64>, count: Option<u64>) -> Option<f64> {
+    match (total, count) {
+        (Some(t), Some(c)) if c > 0 => Some(t / c as f64),
+        _ => None,
+    }
+}
+
+/// Derives measured calibration rates from a trace of a real protocol run.
+///
+/// Durations come from the phase spans (`offline.garble`, `online.eval`,
+/// `offline.ot` + `online.ot`) and unit counts from the substrate counters
+/// (`gc.relu`, `ot.extended`, `gc.bytes`, `wire.bytes`). A rate is `None`
+/// whenever its span or counter is absent — e.g. the whole compute column
+/// under `PI_TRACE=counters`, everything under `off`.
+pub fn from_trace(trace: &pi_trace::TraceReport) -> Calibration {
+    let relus = trace.counter("gc.relu");
+    let ms = |name: &str| trace.span_total_ms(name).map(|m| m / 1e3);
+    let ot_s = match (ms("offline.ot"), ms("online.ot")) {
+        (None, None) => None,
+        (a, b) => Some(a.unwrap_or(0.0) + b.unwrap_or(0.0)),
+    };
+    Calibration {
+        source: CalibSource::Measured,
+        garble_s_per_relu: per_unit(ms("offline.garble"), relus),
+        eval_s_per_relu: per_unit(ms("online.eval"), relus),
+        ot_s_per_ot: per_unit(ot_s, trace.counter("ot.extended")),
+        gc_bytes_per_relu: per_unit(trace.counter("gc.bytes").map(|b| b as f64), relus),
+        wire_bytes_per_relu: per_unit(trace.counter("wire.bytes").map(|b| b as f64), relus),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +216,91 @@ mod tests {
     fn garbler_storage_is_5x_smaller() {
         let ratio = GC_EVALUATOR_BYTES_PER_RELU / GC_GARBLER_BYTES_PER_RELU;
         assert!((4.5..5.5).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn paper_calibration_carries_provenance() {
+        let c = Calibration::paper();
+        assert_eq!(c.source, CalibSource::Paper);
+        assert_eq!(c.source.label(), "paper constants");
+        assert_eq!(c.garble_s_per_relu, Some(SERVER_GARBLE_S_PER_RELU));
+        // The paper never published these; they must stay unmeasured.
+        assert_eq!(c.ot_s_per_ot, None);
+        assert_eq!(c.wire_bytes_per_relu, None);
+    }
+
+    fn synthetic_trace() -> pi_trace::TraceReport {
+        use pi_trace::{CounterSnap, SpanSnap, SpanStat, TraceReport};
+        let span = |path: &str, total_ns: u64| SpanSnap {
+            path: path.to_string(),
+            stat: SpanStat {
+                count: 1,
+                total_ns,
+                min_ns: total_ns,
+                max_ns: total_ns,
+            },
+        };
+        TraceReport {
+            counters: vec![
+                CounterSnap {
+                    name: "gc.relu",
+                    value: 100,
+                },
+                CounterSnap {
+                    name: "ot.extended",
+                    value: 2_000,
+                },
+                CounterSnap {
+                    name: "gc.bytes",
+                    value: 1_820_000,
+                },
+                CounterSnap {
+                    name: "wire.bytes",
+                    value: 5_000_000,
+                },
+            ],
+            spans: vec![
+                span("client/offline.garble", 2_000_000_000),
+                span("server/online.eval", 1_000_000_000),
+                span("client/offline.ot", 300_000_000),
+                span("server/online.ot", 100_000_000),
+            ],
+            ..TraceReport::default()
+        }
+    }
+
+    #[test]
+    fn from_trace_derives_per_unit_rates() {
+        let c = from_trace(&synthetic_trace());
+        assert_eq!(c.source, CalibSource::Measured);
+        // 2 s of garbling over 100 ReLUs.
+        assert!((c.garble_s_per_relu.unwrap() - 0.02).abs() < 1e-12);
+        assert!((c.eval_s_per_relu.unwrap() - 0.01).abs() < 1e-12);
+        // 0.4 s of OT over 2000 transfers.
+        assert!((c.ot_s_per_ot.unwrap() - 2e-4).abs() < 1e-12);
+        assert!((c.gc_bytes_per_relu.unwrap() - 18_200.0).abs() < 1e-9);
+        assert!((c.wire_bytes_per_relu.unwrap() - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_trace_without_spans_yields_unmeasured_rates() {
+        // A counters-only trace (PI_TRACE=counters) has counts but no
+        // durations: time-based rates must be None, byte ratios survive.
+        let mut t = synthetic_trace();
+        t.spans.clear();
+        let c = from_trace(&t);
+        assert_eq!(c.garble_s_per_relu, None);
+        assert_eq!(c.eval_s_per_relu, None);
+        assert_eq!(c.ot_s_per_ot, None);
+        assert!(c.gc_bytes_per_relu.is_some());
+        // And an empty trace measures nothing at all.
+        let c = from_trace(&pi_trace::TraceReport::default());
+        assert_eq!(
+            c,
+            Calibration {
+                source: CalibSource::Measured,
+                ..Calibration::default()
+            }
+        );
     }
 }

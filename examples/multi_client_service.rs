@@ -11,14 +11,16 @@
 //! cargo run --release --example multi_client_service
 //! ```
 
+use pi_core::{private_inference_precomputed, ProtocolConfig, ServerPrecomp};
 use pi_he::{BatchEncoder, BfvParams, KeyError, KeySet};
 use pi_nn::zoo::{Architecture, Dataset};
+use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
 use pi_sim::cost::{Garbler, ProtocolCosts};
 use pi_sim::devices::DeviceProfile;
 use pi_sim::energy::ClientEnergy;
 use pi_sim::engine::{OfflineScheduling, SystemConfig};
 use pi_sim::multi_client::{simulate_multi_client, MultiClientConfig};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn main() {
     let arch = Architecture::ResNet32;
@@ -97,4 +99,60 @@ fn main() {
             Err(e) => println!("  rotation request g={requested_g}: rejected ({e}), worker alive"),
         }
     }
+
+    // The sweep above is a simulator projection. Close the loop at toy
+    // scale: one shared `ServerPrecomp`, fresh keys per request — every
+    // client walks away with its own TraceReport, and the service
+    // aggregates them with `TraceReport::merge` to see fleet-wide message
+    // sizes.
+    println!("\nmeasured per-client traces (tiny-cnn, shared server precompute):");
+    pi_trace::force_mode(Some(pi_trace::TraceMode::Full));
+    let fx = FixedConfig { p: he.t(), f: 5 };
+    let spec = zoo::tiny_cnn();
+    let net = Network::materialize(&spec, &mut rng);
+    let model = PiModel::lower(&QuantNetwork::quantize(&net, fx));
+    let cfg = ProtocolConfig::client_garbler(he, 2);
+    let pre = ServerPrecomp::new(&model, &cfg);
+    // Per-request views come from the reports' local traces; the
+    // message-size histogram is process-global, so start it from zero.
+    pi_trace::reset();
+    let mut fleet = pi_trace::TraceReport::default();
+    for client in 0..3 {
+        let input: Vec<u64> = (0..model.input_len)
+            .map(|_| fx.p.from_signed(rng.gen_range(-16..=16)))
+            .collect();
+        let (_, report) = private_inference_precomputed(&model, &pre, &input, &cfg);
+        let t = &report.trace;
+        let ms = |name: &str| t.span_total_ms(name).unwrap_or(0.0);
+        println!(
+            "  client {client}: {:>3} msgs / {:>6.1} KB on the wire | HE {:>5.1} ms, garble {:>5.1} ms, eval {:>5.1} ms",
+            t.counter("wire.msgs").unwrap_or(0),
+            t.counter("wire.bytes").unwrap_or(0) as f64 / 1e3,
+            ms("offline.he"),
+            ms("offline.garble"),
+            ms("online.eval"),
+        );
+        fleet.merge(t);
+    }
+    println!(
+        "  fleet totals: {} msgs / {:.1} KB across {} ReLU evaluations",
+        fleet.counter("wire.msgs").unwrap_or(0),
+        fleet.counter("wire.bytes").unwrap_or(0) as f64 / 1e3,
+        fleet.counter("gc.relu").unwrap_or(0),
+    );
+    // Histograms are recorded process-wide (local scopes carry counters
+    // and spans only), so the message-size distribution comes from the
+    // global report.
+    match pi_trace::global_report().hist("wire.msg_bytes") {
+        Some(h) => println!(
+            "  fleet message sizes: {} msgs, p50 {} B, p90 {} B, max {} B (mean {:.0} B)",
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.max,
+            h.mean(),
+        ),
+        None => println!("  fleet message sizes: no histogram (built without the `trace` feature)"),
+    }
+    pi_trace::force_mode(None);
 }

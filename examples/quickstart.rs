@@ -63,17 +63,21 @@ fn main() {
     }
 
     println!("\ncosts:");
+    // Timings are span-derived Options: "n/a" = tracing below PI_TRACE=full.
+    let ms = |x: Option<f64>| x.map_or_else(|| "n/a".to_string(), |v| format!("{v:.0} ms"));
     println!(
-        "  offline: {} B up, {} B down, HE {:.0} ms, garble {:.0} ms, OT {:.0} ms",
+        "  offline: {} B up, {} B down, HE {}, garble {}, OT {}",
         report.offline.upload_bytes,
         report.offline.download_bytes,
-        report.offline.he_ms,
-        report.offline.garble_ms,
-        report.offline.ot_ms
+        ms(report.offline.he_ms),
+        ms(report.offline.garble_ms),
+        ms(report.offline.ot_ms)
     );
     println!(
-        "  online:  {} B up, {} B down, eval {:.0} ms",
-        report.online.upload_bytes, report.online.download_bytes, report.online.eval_ms
+        "  online:  {} B up, {} B down, eval {}",
+        report.online.upload_bytes,
+        report.online.download_bytes,
+        ms(report.online.eval_ms)
     );
     println!(
         "  storage: client {} B, server {} B ({} ReLUs, {:.1} KB of GC per ReLU)",

@@ -40,6 +40,9 @@ fn random_input_f(len: usize, seed: u64) -> Vec<f64> {
 /// reference and within quantization error of f64 inference.
 #[test]
 fn he_protocols_match_reference_and_f64() {
+    // Force full tracing regardless of the PI_TRACE the suite runs under:
+    // the report assertions below need span-derived timings to exist.
+    pi_trace::force_mode(Some(pi_trace::TraceMode::Full));
     let spec = zoo::tiny_cnn();
     let s = setup(&spec, 100);
     let input_f = random_input_f(s.model.input_len, 101);
@@ -64,9 +67,22 @@ fn he_protocols_match_reference_and_f64() {
                 "{kind:?}: dequantized {deq} too far from f64 {f}"
             );
         }
-        assert!(report.offline.he_ms > 0.0, "HE must actually run");
+        let he_ms = report.offline.he_ms.expect("full tracing measures HE");
+        assert!(he_ms > 0.0, "HE must actually run");
         assert!(report.gc_bytes > 0);
+        // The merged trace carries both parties' span trees and the
+        // substrate counters the run generated.
+        assert!(report.trace.span_stat("client").is_some());
+        assert!(report.trace.span_stat("server").is_some());
+        assert!(report.trace.counter("ntt.forward").unwrap_or(0) > 0);
+        assert!(report.trace.counter("aes.blocks").unwrap_or(0) > 0);
+        assert_eq!(
+            report.trace.counter("gc.relu"),
+            Some(report.relu_count),
+            "trace ReLU counter must agree with the report"
+        );
     }
+    pi_trace::force_mode(None);
 }
 
 /// Residual networks (two-input phases) through the full stack.
