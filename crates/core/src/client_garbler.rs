@@ -10,22 +10,38 @@
 //! circuits itself, cutting online GC evaluation from 200 s (Atom client)
 //! to 11.1 s (EPYC server) for ResNet-18/TinyImageNet in the paper's
 //! measurements.
+//!
+//! The server role is the shared state machine in
+//! [`crate::serve::session::ServerSession`]; [`run_server`] drives it over
+//! a blocking channel. Every driver has a `try_` variant returning
+//! [`ProtocolError`] instead of panicking on a misbehaving or vanished
+//! peer.
 
 use crate::channel::Channel;
 use crate::common::{
-    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
-    push_field_bits, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
+    field_bits, try_client_offline_linear, try_ot_base_as_ext_sender, unexpected, ModelMeta,
+    PartyOutcome, ProtocolConfig, ProtocolKind, ServerPrecomp,
 };
+use crate::error::ProtocolError;
 use crate::msg::Msg;
-use pi_gc::garble::{evaluate_many, garble_many, Garbling};
+use crate::serve::session;
+use pi_gc::garble::{garble_many, Garbling};
 use pi_gc::relu::relu_trunc_circuit;
-use pi_gc::{Circuit, GarbledCircuit, Label};
+use pi_gc::Label;
+use pi_he::KeySet;
 use pi_nn::PiModel;
-use pi_ot::bitmat::BitVec;
-use pi_ot::ext::{OtExtReceiver, OtExtSender};
+use pi_ot::ext::OtExtSender;
+use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Runs the client role (garbler). Returns the inference output and costs.
+///
+/// # Panics
+///
+/// Panics on any [`ProtocolError`] — for tests and single-inference tools
+/// where a protocol failure is a bug. Use [`try_run_client`] in anything
+/// long-lived.
 pub fn run_client<R: Rng + ?Sized>(
     meta: &ModelMeta,
     input: &[u64],
@@ -33,6 +49,37 @@ pub fn run_client<R: Rng + ?Sized>(
     chan: &Channel,
     rng: &mut R,
 ) -> (Vec<u64>, PartyOutcome) {
+    try_run_client(meta, input, cfg, chan, rng).expect("client-side protocol failure")
+}
+
+/// Fallible [`run_client`]: a dropped or deviating server is an `Err`, not
+/// a panic.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on disconnect or protocol violation.
+pub fn try_run_client<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+) -> Result<(Vec<u64>, PartyOutcome), ProtocolError> {
+    try_run_client_with_keys(meta, input, cfg, chan, rng, &mut None, true)
+}
+
+/// [`try_run_client`] with an external HE key cache: `retained` keys are
+/// reused instead of regenerated, and uploaded only when `upload` is true
+/// (the serving runtime's `KeyStatus` handshake).
+pub(crate) fn try_run_client_with_keys<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+    retained: &mut Option<Arc<KeySet>>,
+    upload: bool,
+) -> Result<(Vec<u64>, PartyOutcome), ProtocolError> {
     assert_eq!(input.len(), meta.input_len, "input length mismatch");
     let p = meta.p;
     let k = meta.relu_width;
@@ -48,11 +95,12 @@ pub fn run_client<R: Rng + ?Sized>(
                 .collect()
         })
         .collect();
-    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out);
+    let c_shares =
+        try_client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out, retained, upload)?;
 
     // Base OT: the client will be the online extension *sender* (it owns
     // the label pairs for the server's inputs).
-    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng));
+    let ext_sender = OtExtSender::new(try_ot_base_as_ext_sender(chan, rng)?);
 
     let relu_phases: Vec<usize> = (0..meta.phases.len())
         .filter(|&i| meta.phases[i].relu_shift.is_some())
@@ -76,13 +124,13 @@ pub fn run_client<R: Rng + ?Sized>(
         let table_bytes = tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
         out.gc_bytes += table_bytes;
         pi_trace::add(pi_trace::Counter::GcBytes, table_bytes);
-        chan.send(Msg::GcTables(tables));
+        chan.send(Msg::GcTables(tables))?;
         chan.send(Msg::GcDecode(
             phase_g
                 .iter()
                 .map(|g| g.garbled.output_decode.clone())
                 .collect(),
-        ));
+        ))?;
         let mut labels = Vec::with_capacity(m * 2 * k);
         for (j, g) in phase_g.iter().enumerate() {
             labels.extend(g.encoding.encode_bits(0, &field_bits(c_shares[i][j], k)));
@@ -91,7 +139,7 @@ pub fn run_client<R: Rng + ?Sized>(
                     .encode_bits(2 * k, &field_bits(r_acts[i + 1][j], k)),
             );
         }
-        chan.send(Msg::GcLabels(labels));
+        chan.send(Msg::GcLabels(labels))?;
         garblings.push(phase_g);
     }
 
@@ -113,16 +161,16 @@ pub fn run_client<R: Rng + ?Sized>(
         .zip(&r_acts[0])
         .map(|(&x, &r)| p.sub(x, r))
         .collect();
-    chan.send(Msg::VecU64(masked));
+    chan.send(Msg::VecU64(masked))?;
 
     // Serve the server's labels via OT, one extension per ReLU phase.
     for (gc_idx, &i) in relu_phases.iter().enumerate() {
         let ph = &meta.phases[i];
         let m = ph.rows;
         let _ot_span = pi_trace::span!("online.ot");
-        let extend = match chan.recv() {
+        let extend = match chan.recv()? {
             Msg::OtExtend(e) => e,
-            other => panic!("expected OtExtend, got {other:?}"),
+            other => return Err(unexpected("OtExtend", &other)),
         };
         // Server's input occupies wire positions [k, 2k).
         let mut pairs = Vec::with_capacity(m * k);
@@ -132,13 +180,13 @@ pub fn run_client<R: Rng + ?Sized>(
             }
         }
         out.ot_count += pairs.len() as u64;
-        chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
+        chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)))?;
     }
 
     // Final phase: combine output shares.
-    let server_share = match chan.recv() {
+    let server_share = match chan.recv()? {
         Msg::VecU64(v) => v,
-        other => panic!("expected final share, got {other:?}"),
+        other => return Err(unexpected("VecU64", &other)),
     };
     let last = meta.phases.len() - 1;
     let output: Vec<u64> = server_share
@@ -149,161 +197,45 @@ pub fn run_client<R: Rng + ?Sized>(
     out.total_sent = chan.bytes_sent();
     drop(root_span);
     out.trace = trace_scope.finish();
-    (output, out)
+    Ok((output, out))
 }
 
 /// Runs the server role (evaluator; holds the model weights).
 ///
 /// `pre` holds the model's precomputed offline-linear operands
-/// ([`ServerPrecomp`]); build it once and reuse it across inferences.
-pub fn run_server<R: Rng + ?Sized>(
+/// ([`ServerPrecomp`]); build it once and reuse it across inferences. The
+/// session owns `rng` outright — it is consumed by the resumable state
+/// machine.
+///
+/// # Panics
+///
+/// Panics on any [`ProtocolError`]; use [`try_run_server`] in anything
+/// long-lived.
+pub fn run_server(
     model: &PiModel,
     pre: &ServerPrecomp,
     cfg: &ProtocolConfig,
     chan: &Channel,
-    rng: &mut R,
+    rng: StdRng,
 ) -> PartyOutcome {
-    let p = model.p;
-    let meta = ModelMeta::of(model);
-    let k = meta.relu_width;
-    let mut out = PartyOutcome::default();
-    let trace_scope = pi_trace::begin_local();
-    let root_span = pi_trace::span!("server");
+    try_run_server(model, pre, cfg, chan, rng).expect("server-side protocol failure")
+}
 
-    // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng);
-    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng));
-
-    let relu_phases: Vec<usize> = (0..meta.phases.len())
-        .filter(|&i| meta.phases[i].relu_shift.is_some())
-        .collect();
-    struct ServerPhaseGc {
-        tables: Vec<Vec<(Label, Label)>>,
-        decode: Vec<Vec<bool>>,
-        client_labels: Vec<Label>,
-    }
-    let mut gcs: Vec<ServerPhaseGc> = Vec::with_capacity(relu_phases.len());
-    for _ in &relu_phases {
-        let tables = match chan.recv() {
-            Msg::GcTables(t) => t,
-            other => panic!("expected GcTables, got {other:?}"),
-        };
-        out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
-        let decode = match chan.recv() {
-            Msg::GcDecode(d) => d,
-            other => panic!("expected GcDecode, got {other:?}"),
-        };
-        let client_labels = match chan.recv() {
-            Msg::GcLabels(l) => l,
-            other => panic!("expected GcLabels, got {other:?}"),
-        };
-        gcs.push(ServerPhaseGc {
-            tables,
-            decode,
-            client_labels,
-        });
-    }
-
-    // Server storage: garbled circuits + the client's labels + decode bits
-    // + its linear shares. This is where the paper's client-storage burden
-    // lands after the role swap.
-    out.storage_bytes = out.gc_bytes
-        + gcs
-            .iter()
-            .map(|g| g.client_labels.len() as u64 * 16)
-            .sum::<u64>()
-        + gcs
-            .iter()
-            .map(|g| {
-                g.decode
-                    .iter()
-                    .map(|d| d.len().div_ceil(8) as u64)
-                    .sum::<u64>()
-            })
-            .sum::<u64>()
-        + s_vecs.iter().map(|s| s.len() as u64 * 8).sum::<u64>();
-    out.offline_sent = chan.bytes_sent();
-
-    // ---------------- Online ----------------
-    let masked_input = match chan.recv() {
-        Msg::VecU64(v) => v,
-        other => panic!("expected masked input, got {other:?}"),
-    };
-    let circuits: Vec<Circuit> = relu_phases
-        .iter()
-        .map(|&i| relu_trunc_circuit(p.value(), meta.phases[i].relu_shift.expect("relu")).0)
-        .collect();
-    let mut masked_acts: Vec<Vec<u64>> = vec![masked_input];
-    let mut gc_idx = 0usize;
-    for (i, ph) in model.phases.iter().enumerate() {
-        let ss_span = pi_trace::span!("online.ss");
-        let x_cat: Vec<u64> = ph
-            .inputs
-            .iter()
-            .flat_map(|&a| masked_acts[a].iter().copied())
-            .collect();
-        let mut y_s = ph.apply(&x_cat, p);
-        for (v, &s) in y_s.iter_mut().zip(&s_vecs[i]) {
-            *v = p.add(*v, s);
-        }
-        drop(ss_span);
-        match ph.relu_shift {
-            Some(_) => {
-                let m = y_s.len();
-                // Fetch labels for the server's share bits via OT (packed
-                // choices straight from the field bits).
-                let ot_span = pi_trace::span!("online.ot");
-                let mut choices = BitVec::zeros(0);
-                for &v in &y_s {
-                    push_field_bits(&mut choices, v, k);
-                }
-                out.ot_count += choices.len() as u64;
-                let (extend, keys) = ext_receiver.extend(&choices, rng);
-                chan.send(Msg::OtExtend(extend));
-                let transfer = match chan.recv() {
-                    Msg::OtTransfer(t) => t,
-                    other => panic!("expected OtTransfer, got {other:?}"),
-                };
-                let my_labels = ext_receiver.decode(&transfer, &choices, &keys);
-                drop(ot_span);
-                // Evaluate, batched 8 instances per AES call.
-                let eval_span = pi_trace::span!("online.eval");
-                let phase = &gcs[gc_idx];
-                let circuit = &circuits[gc_idx];
-                let inputs: Vec<Vec<Label>> = (0..m)
-                    .map(|j| {
-                        let mut labels = Vec::with_capacity(3 * k);
-                        // share_a (client) | share_b (server, via OT) | r (client)
-                        labels.extend_from_slice(&phase.client_labels[j * 2 * k..j * 2 * k + k]);
-                        labels.extend_from_slice(&my_labels[j * k..(j + 1) * k]);
-                        labels.extend_from_slice(
-                            &phase.client_labels[j * 2 * k + k..(j + 1) * 2 * k],
-                        );
-                        labels
-                    })
-                    .collect();
-                let per_instance = evaluate_many(circuit, &phase.tables, &inputs);
-                out.gc_eval_and_gates += (m * circuit.and_count()) as u64;
-                let mut next_masked = Vec::with_capacity(m);
-                for (j, out_labels) in per_instance.iter().enumerate() {
-                    // decode_outputs only consults the decode bits.
-                    let garbled = GarbledCircuit {
-                        tables: Vec::new(),
-                        output_decode: phase.decode[j].clone(),
-                    };
-                    next_masked.push(bits_field(&garbled.decode_outputs(out_labels)));
-                }
-                drop(eval_span);
-                masked_acts.push(next_masked);
-                gc_idx += 1;
-            }
-            None => {
-                chan.send(Msg::VecU64(y_s));
-            }
-        }
-    }
-    out.total_sent = chan.bytes_sent();
-    drop(root_span);
-    out.trace = trace_scope.finish();
-    out
+/// Fallible [`run_server`]: drives the shared
+/// [`ServerSession`](session::ServerSession) state machine synchronously —
+/// the same implementation the concurrent serving runtime schedules, so
+/// both deployments share one protocol body.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on disconnect or protocol violation.
+pub fn try_run_server(
+    model: &PiModel,
+    pre: &ServerPrecomp,
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: StdRng,
+) -> Result<PartyOutcome, ProtocolError> {
+    debug_assert!(matches!(cfg.kind, ProtocolKind::ClientGarbler));
+    session::drive_sync(model, pre, cfg, chan, rng)
 }

@@ -1,17 +1,23 @@
 //! Shared protocol machinery: configuration, model metadata, the HE-powered
-//! offline linear pass (with layer-parallel HE), and OT-over-channel setup.
+//! offline linear pass (client side), and OT-over-channel setup.
+//!
+//! The server side of the offline linear pass lives in
+//! [`crate::serve::session::ServerSession`] — a resumable state machine the
+//! single-inference drivers run synchronously and the serving runtime runs
+//! event-by-event, so both paths share one implementation.
 
 use crate::channel::Channel;
+use crate::error::ProtocolError;
 use crate::msg::Msg;
 use pi_field::Modulus;
 use pi_gc::circuit::{from_bits, to_bits};
 use pi_he::linalg::{self, BsgsDiagonals, PlainMatrix};
-use pi_he::{BatchEncoder, BfvParams, Ciphertext, GaloisKeys, KeySet, NoiseStage, PublicKey};
+use pi_he::{BatchEncoder, BfvParams, GaloisKeys, KeySet, NoiseStage, PublicKey};
 use pi_nn::PiModel;
 use pi_ot::base::{BaseOtReceiver, BaseOtSender};
 use pi_ot::ext::{ReceiverSetup, SenderSetup, KAPPA};
 use rand::Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which hybrid protocol variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -175,39 +181,76 @@ pub fn push_field_bits(choices: &mut pi_ot::bitmat::BitVec, v: u64, width: usize
     }
 }
 
+/// Builds the [`ProtocolError::UnexpectedMsg`] for a message that arrived
+/// in the wrong protocol state.
+pub(crate) fn unexpected(expected: &'static str, got: &Msg) -> ProtocolError {
+    ProtocolError::UnexpectedMsg {
+        expected,
+        got: got.kind(),
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Offline linear pass (identical in both protocols).
+// Offline linear pass, client side.
 // ---------------------------------------------------------------------------
 
 /// Client state for the HE path.
 pub struct ClientHe {
-    /// Key material (secret stays here).
-    pub keys: KeySet,
+    /// Key material (secret stays here; shared with the client's retained
+    /// key cache across serving-runtime requests).
+    pub keys: Arc<KeySet>,
     /// Batch encoder.
     pub encoder: BatchEncoder,
+}
+
+/// The client's upload of HE key material, as the server caches it in its
+/// session table: encryption key plus rotation keys, no secret key.
+#[derive(Debug)]
+pub struct ClientHeKeys {
+    /// Encryption key.
+    pub pk: PublicKey,
+    /// Rotation keys (BSGS babies/giants + power-of-two composition chain).
+    pub gk: GaloisKeys,
+}
+
+impl ClientHeKeys {
+    /// Wire/storage footprint — the quantity the session table's byte
+    /// budget meters.
+    pub fn byte_len(&self) -> usize {
+        self.pk.byte_len() + self.gk.byte_len()
+    }
 }
 
 /// Client side of the offline linear pass: sends `E(r_cat)` per phase and
 /// decrypts the returned shares `W·r − s`.
 ///
-/// In HE mode the client generates the power-of-two composition keys plus
-/// the hoisted baby-step/giant-step rotation set for every linear-layer
-/// dimension the model metadata announces
-/// ([`KeySet::generate_for_dims`]) — the server's
-/// [`linalg::matvec_precomputed`] needs exactly those elements. The
-/// generated Galois key material (and the per-rotation set it replaces) is
-/// recorded in `outcome` for the [`crate::CostReport`] storage accounting.
+/// In HE mode the client needs the power-of-two composition keys plus the
+/// hoisted baby-step/giant-step rotation set for every linear-layer
+/// dimension the model metadata announces ([`KeySet::generate_for_dims`]).
+/// `retained` is the client's own key cache: when `Some`, the cached keys
+/// are reused (no regeneration — the serving runtime's [`Msg::KeyStatus`]
+/// handshake relies on this); when `None`, fresh keys are generated and
+/// stored back into it. The keys are uploaded only when `upload` is true —
+/// a serving-runtime session whose server still caches them skips the
+/// multi-megabyte transfer entirely.
 ///
 /// Returns the client's additive shares, one vector per phase.
+///
+/// # Errors
+///
+/// [`ProtocolError::Channel`] if the server disconnects;
+/// [`ProtocolError::UnexpectedMsg`] if it violates the message sequence.
 #[allow(clippy::too_many_arguments)]
-pub fn client_offline_linear<R: Rng + ?Sized>(
+pub fn try_client_offline_linear<R: Rng + ?Sized>(
     meta: &ModelMeta,
     r_acts: &[Vec<u64>],
     cfg: &ProtocolConfig,
     chan: &Channel,
     rng: &mut R,
     outcome: &mut PartyOutcome,
-) -> Vec<Vec<u64>> {
+    retained: &mut Option<Arc<KeySet>>,
+    upload: bool,
+) -> Result<Vec<Vec<u64>>, ProtocolError> {
     let _span = pi_trace::span!("offline.he");
     let he = match cfg.linear {
         LinearMode::He => {
@@ -217,20 +260,33 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
                 meta.p.value(),
                 "model field must equal the HE plaintext modulus"
             );
-            let dims: Vec<usize> = meta.phases.iter().map(|ph| ph.padded_dim).collect();
-            let keys = KeySet::generate_for_dims(params, &dims, rng);
+            let keys = match retained.take() {
+                Some(k) => k,
+                None => {
+                    let dims: Vec<usize> = meta.phases.iter().map(|ph| ph.padded_dim).collect();
+                    Arc::new(KeySet::generate_for_dims(params, &dims, rng))
+                }
+            };
             outcome.galois_key_bytes = keys.galois.byte_len() as u64;
             // The per-rotation baseline for a dimension set is the UNION of
             // the per-dim rotation sets; smaller dims' rotations {1..d−1}
             // nest inside the largest, so the union is the max dim's set.
-            let max_dim = dims.iter().copied().max().unwrap_or(1);
+            let max_dim = meta
+                .phases
+                .iter()
+                .map(|ph| ph.padded_dim)
+                .max()
+                .unwrap_or(1);
             outcome.galois_key_bytes_per_rotation =
                 GaloisKeys::per_rotation_set_byte_len(params, max_dim) as u64;
+            if upload {
+                chan.send(Msg::HeKeys {
+                    pk: Box::new(keys.public.clone()),
+                    gk: Box::new(keys.galois.clone()),
+                })?;
+            }
             let encoder = BatchEncoder::new(params);
-            chan.send(Msg::HeKeys {
-                pk: Box::new(keys.public.clone()),
-                gk: Box::new(keys.galois.clone()),
-            });
+            *retained = Some(keys.clone());
             Some(ClientHe { keys, encoder })
         }
         LinearMode::Clear => None,
@@ -243,7 +299,6 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
         }
         match &he {
             Some(ch) => {
-                let params = cfg.he_params.as_ref().expect("HE mode");
                 assert!(
                     ph.padded_dim <= ch.encoder.row_size(),
                     "phase dimension {} exceeds HE slot capacity {}",
@@ -258,31 +313,30 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
                 // Only the client can gauge noise (it holds the secret
                 // key); no-op below PI_TRACE=full.
                 ch.keys.secret.gauge_noise(&ct, NoiseStage::Encrypt);
-                let _ = params;
-                chan.send(Msg::HeCts(vec![ct]));
+                chan.send(Msg::HeCts(vec![ct]))?;
             }
-            None => chan.send(Msg::VecU64(r_cat)),
+            None => chan.send(Msg::VecU64(r_cat))?,
         }
     }
     // Receive shares.
     let mut shares = Vec::with_capacity(meta.phases.len());
     for ph in &meta.phases {
         let share = match &he {
-            Some(ch) => match chan.recv() {
+            Some(ch) => match chan.recv()? {
                 Msg::HeCts(cts) => {
                     let pt = ch.keys.secret.decrypt(&cts[0]);
                     ch.encoder.decode_prefix(&pt, ph.rows)
                 }
-                other => panic!("expected HeCts, got {other:?}"),
+                other => return Err(unexpected("HeCts", &other)),
             },
-            None => match chan.recv() {
+            None => match chan.recv()? {
                 Msg::VecU64(v) => v,
-                other => panic!("expected VecU64, got {other:?}"),
+                other => return Err(unexpected("VecU64", &other)),
             },
         };
         shares.push(share);
     }
-    shares
+    Ok(shares)
 }
 
 /// Per-model server-side precomputation for the offline linear pass: the
@@ -292,9 +346,9 @@ pub fn client_offline_linear<R: Rng + ?Sized>(
 ///
 /// Depends only on the model weights and the protocol configuration, never
 /// on a client's keys, so one instance serves every inference of every
-/// client. Build it once per served model and pass it to each
-/// [`server_offline_linear`] / `run_server` call (or use
-/// [`crate::private_inference_precomputed`]).
+/// client. Build it once per served model and pass it to each `run_server`
+/// call (or use [`crate::private_inference_precomputed`] /
+/// [`crate::serve::ServeRuntime`], which cache it).
 #[derive(Debug)]
 pub struct ServerPrecomp {
     /// Padded plaintext matrix per linear phase.
@@ -334,160 +388,78 @@ impl ServerPrecomp {
             diagonals,
         }
     }
-}
 
-/// Server side of the offline linear pass: computes `E(W·r − s)` per phase,
-/// optionally in parallel across layers (LPHE, §5.2 of the paper).
-///
-/// Returns the server's random shares `s_i`.
-pub fn server_offline_linear<R: Rng + ?Sized>(
-    model: &PiModel,
-    pre: &ServerPrecomp,
-    cfg: &ProtocolConfig,
-    chan: &Channel,
-    rng: &mut R,
-) -> Vec<Vec<u64>> {
-    let _span = pi_trace::span!("offline.he");
-    let p = model.p;
-    // Receive keys (HE mode).
-    let he: Option<(PublicKey, GaloisKeys, BatchEncoder)> = match cfg.linear {
-        LinearMode::He => match chan.recv() {
-            Msg::HeKeys { pk, gk } => {
-                let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
-                let encoder = BatchEncoder::new(params);
-                Some((*pk, *gk, encoder))
-            }
-            other => panic!("expected HeKeys, got {other:?}"),
-        },
-        LinearMode::Clear => None,
-    };
-    // Receive per-phase inputs.
-    enum PhaseInput {
-        Ct(Ciphertext),
-        Clear(Vec<u64>),
-    }
-    let inputs: Vec<PhaseInput> = model
-        .phases
-        .iter()
-        .map(|_| match chan.recv() {
-            Msg::HeCts(mut cts) => PhaseInput::Ct(cts.remove(0)),
-            Msg::VecU64(v) => PhaseInput::Clear(v),
-            other => panic!("unexpected offline linear message {other:?}"),
-        })
-        .collect();
-    // Sample server shares.
-    let s_vecs: Vec<Vec<u64>> = model
-        .phases
-        .iter()
-        .map(|ph| (0..ph.rows).map(|_| rng.gen_range(0..p.value())).collect())
-        .collect();
-    // Evaluate each phase, optionally layer-parallel, using the per-model
-    // precomputed matrices and Shoup-form diagonals.
-    let responses: Vec<Msg> = {
-        let work = |i: usize, input: &PhaseInput| -> Msg {
-            let w = &pre.matrices[i];
-            match (input, &he) {
-                (PhaseInput::Ct(ct), Some((_, gk, encoder))) => {
-                    let params = cfg.he_params.as_ref().expect("HE mode");
-                    let diagonals = pre
-                        .diagonals
-                        .as_ref()
-                        .expect("HE mode requires encoded diagonals");
-                    // Hoisted BSGS: ~2√d rotations, only the giant steps
-                    // paying a full key switch.
-                    let prod = linalg::matvec_precomputed(gk, &diagonals[i], ct);
-                    let resp =
-                        linalg::sub_share(params, encoder, &prod, &s_vecs[i], w.padded_dim());
-                    Msg::HeCts(vec![resp])
-                }
-                (PhaseInput::Clear(r_cat), _) => {
-                    let wr = w.matvec_plain(&r_cat[..w.cols()], p);
-                    let share: Vec<u64> = wr
-                        .iter()
-                        .zip(&s_vecs[i])
-                        .map(|(&a, &s)| p.sub(a, s))
-                        .collect();
-                    Msg::VecU64(share)
-                }
-                (PhaseInput::Ct(_), None) => unreachable!("ciphertext without HE keys"),
-            }
+    /// Rough in-memory footprint, for the session table's byte budget: the
+    /// padded matrices (8 B/entry) plus, in HE mode, the encoded diagonal
+    /// operands (value + Shoup form, 16 B per ring coefficient).
+    pub fn approx_bytes(&self, cfg: &ProtocolConfig) -> u64 {
+        let mat: u64 = self
+            .matrices
+            .iter()
+            .map(|m| (m.padded_dim() * m.padded_dim() * 8) as u64)
+            .sum();
+        let diag: u64 = match (&self.diagonals, &cfg.he_params) {
+            (Some(ds), Some(params)) => ds.iter().map(|d| (d.dim() * params.n() * 16) as u64).sum(),
+            _ => 0,
         };
-        let threads = cfg.lphe_threads.max(1).min(model.phases.len().max(1));
-        if threads <= 1 {
-            inputs
-                .iter()
-                .enumerate()
-                .map(|(i, inp)| work(i, inp))
-                .collect()
-        } else {
-            // Layer-parallel HE: a shared work queue over the phases.
-            let next = AtomicUsize::new(0);
-            let slots: Vec<parking_lot::Mutex<Option<Msg>>> = (0..inputs.len())
-                .map(|_| parking_lot::Mutex::new(None))
-                .collect();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= inputs.len() {
-                            break;
-                        }
-                        let msg = work(i, &inputs[i]);
-                        *slots[i].lock() = Some(msg);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|m| m.into_inner().expect("all phases processed"))
-                .collect()
-        }
-    };
-    for msg in responses {
-        chan.send(msg);
+        mat + diag
     }
-    s_vecs
 }
 
 // ---------------------------------------------------------------------------
-// Base OT over the channel.
+// Base OT over the channel (client side; the server side lives in the
+// session state machine).
 // ---------------------------------------------------------------------------
 
 /// The party that will act as OT-extension *receiver* (it plays base-OT
 /// sender). Returns its extension setup.
-pub fn ot_base_as_ext_receiver<R: Rng + ?Sized>(chan: &Channel, rng: &mut R) -> ReceiverSetup {
+///
+/// # Errors
+///
+/// [`ProtocolError`] if the peer disconnects or deviates.
+pub fn try_ot_base_as_ext_receiver<R: Rng + ?Sized>(
+    chan: &Channel,
+    rng: &mut R,
+) -> Result<ReceiverSetup, ProtocolError> {
     let _span = pi_trace::span!("offline.ot");
     let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
     let (sender, setup) = BaseOtSender::new(rng);
-    chan.send(Msg::OtBaseSetup(setup));
-    let choice = match chan.recv() {
+    chan.send(Msg::OtBaseSetup(setup))?;
+    let choice = match chan.recv()? {
         Msg::OtBaseChoice(c) => c,
-        other => panic!("expected OtBaseChoice, got {other:?}"),
+        other => return Err(unexpected("OtBaseChoice", &other)),
     };
     let transfer = sender.transfer(&choice, &seed_pairs, rng);
-    chan.send(Msg::OtBaseTransfer(transfer));
-    ReceiverSetup { seed_pairs }
+    chan.send(Msg::OtBaseTransfer(transfer))?;
+    Ok(ReceiverSetup { seed_pairs })
 }
 
 /// The party that will act as OT-extension *sender* (it plays base-OT
 /// receiver). Returns its extension setup.
-pub fn ot_base_as_ext_sender<R: Rng + ?Sized>(chan: &Channel, rng: &mut R) -> SenderSetup {
+///
+/// # Errors
+///
+/// [`ProtocolError`] if the peer disconnects or deviates.
+pub fn try_ot_base_as_ext_sender<R: Rng + ?Sized>(
+    chan: &Channel,
+    rng: &mut R,
+) -> Result<SenderSetup, ProtocolError> {
     let _span = pi_trace::span!("offline.ot");
     let s: u128 = rng.gen();
-    let setup = match chan.recv() {
+    let setup = match chan.recv()? {
         Msg::OtBaseSetup(s) => s,
-        other => panic!("expected OtBaseSetup, got {other:?}"),
+        other => return Err(unexpected("OtBaseSetup", &other)),
     };
     // The IKNP choice string is already packed — feed it to the base OT
     // as-is instead of round-tripping through a bool vector.
     let (receiver, choice) = BaseOtReceiver::choose_packed(&setup, s, KAPPA, rng);
-    chan.send(Msg::OtBaseChoice(choice));
-    let transfer = match chan.recv() {
+    chan.send(Msg::OtBaseChoice(choice))?;
+    let transfer = match chan.recv()? {
         Msg::OtBaseTransfer(t) => t,
-        other => panic!("expected OtBaseTransfer, got {other:?}"),
+        other => return Err(unexpected("OtBaseTransfer", &other)),
     };
     let seeds = receiver.receive(&transfer);
-    SenderSetup { s, seeds }
+    Ok(SenderSetup { s, seeds })
 }
 
 /// Per-party cost summary returned by protocol party functions.

@@ -1,0 +1,55 @@
+//! Typed protocol errors.
+//!
+//! A two-party deployment used to treat every deviation — a dropped peer,
+//! an out-of-order message — as a `panic!`, which is fatal in a process
+//! that serves one client but unacceptable in a shared server. Every
+//! driver now has a `try_` variant threading [`ProtocolError`] up to the
+//! caller, so a misbehaving or vanished client aborts exactly one session;
+//! the panicking wrappers survive for tests and single-inference tools.
+
+use crate::channel::ChannelError;
+
+/// A per-session protocol failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The transport failed (peer dropped mid-protocol).
+    Channel(ChannelError),
+    /// The peer sent a message the protocol state machine cannot accept in
+    /// its current state.
+    UnexpectedMsg {
+        /// What the state machine was waiting for.
+        expected: &'static str,
+        /// The [`crate::msg::Msg::kind`] actually received.
+        got: &'static str,
+    },
+    /// A request violated the session contract (bad lengths, missing key
+    /// material, a reused session) — the peer's fault, not the server's.
+    BadRequest(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Channel(e) => write!(f, "channel failure: {e}"),
+            ProtocolError::UnexpectedMsg { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            ProtocolError::BadRequest(what) => write!(f, "bad request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Channel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChannelError> for ProtocolError {
+    fn from(e: ChannelError) -> Self {
+        ProtocolError::Channel(e)
+    }
+}

@@ -40,12 +40,19 @@
 pub mod channel;
 pub mod client_garbler;
 pub mod common;
+pub mod error;
 pub mod msg;
 pub mod report;
+pub mod serve;
 pub mod server_garbler;
 
-pub use common::{LinearMode, ModelMeta, ProtocolConfig, ProtocolKind, ServerPrecomp};
-pub use report::{CostReport, SideCosts};
+pub use channel::ChannelError;
+pub use common::{
+    LinearMode, ModelMeta, PartyOutcome, ProtocolConfig, ProtocolKind, ServerPrecomp,
+};
+pub use error::ProtocolError;
+pub use report::{merge_cost_report, CostReport, SideCosts};
+pub use serve::{ClientConn, ServeConfig, ServeRuntime, ServiceClient, SessionHandle, TableStats};
 
 use pi_nn::PiModel;
 use rand::SeedableRng;
@@ -86,13 +93,13 @@ pub fn private_inference_precomputed(
     let (client_seed, server_seed) = cfg.seeds;
     let (output, client_out, server_out) = std::thread::scope(|scope| {
         let server = scope.spawn(|| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(server_seed);
+            let rng = rand::rngs::StdRng::seed_from_u64(server_seed);
             match cfg.kind {
                 ProtocolKind::ServerGarbler => {
-                    server_garbler::run_server(model, pre, cfg, &chan_s, &mut rng)
+                    server_garbler::run_server(model, pre, cfg, &chan_s, rng)
                 }
                 ProtocolKind::ClientGarbler => {
-                    client_garbler::run_server(model, pre, cfg, &chan_s, &mut rng)
+                    client_garbler::run_server(model, pre, cfg, &chan_s, rng)
                 }
             }
         });
@@ -109,45 +116,10 @@ pub fn private_inference_precomputed(
         (output, client_out, server_out)
     });
 
-    // Each party collected its own span tree (rooted at `client` /
-    // `server`) on its own thread; the merged report accumulates both, so a
-    // leaf lookup like `offline.he` sums the two parties' contributions.
-    let mut trace = client_out.trace.clone();
-    trace.merge(&server_out.trace);
-
-    let mut report = CostReport {
-        offline: SideCosts {
-            upload_bytes: client_out.offline_sent,
-            download_bytes: server_out.offline_sent,
-            ..Default::default()
-        },
-        online: SideCosts {
-            upload_bytes: client_out.total_sent - client_out.offline_sent,
-            download_bytes: server_out.total_sent - server_out.offline_sent,
-            ..Default::default()
-        },
-        client_storage_bytes: client_out.storage_bytes,
-        server_storage_bytes: server_out.storage_bytes,
-        relu_count: model.total_relus() as u64,
-        gc_bytes: client_out.gc_bytes.max(server_out.gc_bytes),
-        galois_key_bytes: client_out.galois_key_bytes,
-        galois_key_bytes_per_rotation: client_out.galois_key_bytes_per_rotation,
-        // Exactly one party garbles / evaluates; both parties count the
-        // same OTs, so take the max rather than double-count.
-        garbled_and_gates: client_out.gc_and_gates + server_out.gc_and_gates,
-        evaluated_and_gates: client_out.gc_eval_and_gates + server_out.gc_eval_and_gates,
-        ot_count: client_out.ot_count.max(server_out.ot_count),
-        trace,
-    };
-    // Phase timings come from the span tree instead of hand-threaded
-    // timers: `None` when spans were not recorded (PI_TRACE below `full`).
-    report.offline.he_ms = report.trace.span_total_ms("offline.he");
-    report.offline.garble_ms = report.trace.span_total_ms("offline.garble");
-    report.offline.ot_ms = report.trace.span_total_ms("offline.ot");
-    report.online.ot_ms = report.trace.span_total_ms("online.ot");
-    report.online.eval_ms = report.trace.span_total_ms("online.eval");
-    report.online.ss_ms = report.trace.span_total_ms("online.ss");
-    (output, report)
+    (
+        output,
+        merge_cost_report(&client_out, &server_out, model.total_relus() as u64),
+    )
 }
 
 #[cfg(test)]

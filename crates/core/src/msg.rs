@@ -12,6 +12,13 @@ use pi_ot::ext::{ExtendMsg, TransferMsg};
 /// A message between the client and the server.
 #[derive(Debug)]
 pub enum Msg {
+    /// Server → client (serving runtime only, first message of a session):
+    /// whether the server needs the client's HE key material uploaded, or
+    /// still holds it in its session table from an earlier request.
+    KeyStatus {
+        /// `true` if the client must (re-)upload `HeKeys`.
+        need_keys: bool,
+    },
     /// Client → server: HE public key and rotation keys (offline, once).
     HeKeys {
         /// Encryption key.
@@ -49,6 +56,7 @@ impl Msg {
     /// Wire-format size in bytes.
     pub fn byte_len(&self) -> usize {
         match self {
+            Msg::KeyStatus { .. } => 1,
             Msg::HeKeys { pk, gk } => pk.byte_len() + gk.byte_len(),
             Msg::HeCts(cts) => 8 + cts.iter().map(|c| c.byte_len()).sum::<usize>(),
             Msg::VecU64(v) => 8 + v.len() * 8,
@@ -60,6 +68,26 @@ impl Msg {
             Msg::OtBaseTransfer(m) => m.byte_len(),
             Msg::OtExtend(m) => 8 + m.byte_len(),
             Msg::OtTransfer(m) => 8 + m.byte_len(),
+        }
+    }
+
+    /// Short stable name of the message variant, used by
+    /// [`crate::error::ProtocolError::UnexpectedMsg`] to report what a
+    /// misbehaving peer actually sent.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::KeyStatus { .. } => "KeyStatus",
+            Msg::HeKeys { .. } => "HeKeys",
+            Msg::HeCts(_) => "HeCts",
+            Msg::VecU64(_) => "VecU64",
+            Msg::GcTables(_) => "GcTables",
+            Msg::GcDecode(_) => "GcDecode",
+            Msg::GcLabels(_) => "GcLabels",
+            Msg::OtBaseSetup(_) => "OtBaseSetup",
+            Msg::OtBaseChoice(_) => "OtBaseChoice",
+            Msg::OtBaseTransfer(_) => "OtBaseTransfer",
+            Msg::OtExtend(_) => "OtExtend",
+            Msg::OtTransfer(_) => "OtTransfer",
         }
     }
 }

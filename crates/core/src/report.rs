@@ -9,6 +9,59 @@
 //! fast" in downstream rate math: a rate over an unmeasured duration is
 //! `None`, never a silent zero.
 
+use crate::common::PartyOutcome;
+
+/// Merges the two parties' [`PartyOutcome`]s into one [`CostReport`] — the
+/// canonical accounting used by [`crate::private_inference`], shared with
+/// serving-runtime callers that collect the two outcomes themselves (a
+/// [`crate::serve::SessionHandle`] on the server side, a
+/// [`crate::serve::ServiceClient`] on the client side).
+pub fn merge_cost_report(
+    client: &PartyOutcome,
+    server: &PartyOutcome,
+    relu_count: u64,
+) -> CostReport {
+    // Each party collected its own span tree (rooted at `client` /
+    // `server`) on its own thread; the merged report accumulates both, so a
+    // leaf lookup like `offline.he` sums the two parties' contributions.
+    let mut trace = client.trace.clone();
+    trace.merge(&server.trace);
+
+    let mut report = CostReport {
+        offline: SideCosts {
+            upload_bytes: client.offline_sent,
+            download_bytes: server.offline_sent,
+            ..Default::default()
+        },
+        online: SideCosts {
+            upload_bytes: client.total_sent - client.offline_sent,
+            download_bytes: server.total_sent - server.offline_sent,
+            ..Default::default()
+        },
+        client_storage_bytes: client.storage_bytes,
+        server_storage_bytes: server.storage_bytes,
+        relu_count,
+        gc_bytes: client.gc_bytes.max(server.gc_bytes),
+        galois_key_bytes: client.galois_key_bytes,
+        galois_key_bytes_per_rotation: client.galois_key_bytes_per_rotation,
+        // Exactly one party garbles / evaluates; both parties count the
+        // same OTs, so take the max rather than double-count.
+        garbled_and_gates: client.gc_and_gates + server.gc_and_gates,
+        evaluated_and_gates: client.gc_eval_and_gates + server.gc_eval_and_gates,
+        ot_count: client.ot_count.max(server.ot_count),
+        trace,
+    };
+    // Phase timings come from the span tree instead of hand-threaded
+    // timers: `None` when spans were not recorded (PI_TRACE below `full`).
+    report.offline.he_ms = report.trace.span_total_ms("offline.he");
+    report.offline.garble_ms = report.trace.span_total_ms("offline.garble");
+    report.offline.ot_ms = report.trace.span_total_ms("offline.ot");
+    report.online.ot_ms = report.trace.span_total_ms("online.ot");
+    report.online.eval_ms = report.trace.span_total_ms("online.eval");
+    report.online.ss_ms = report.trace.span_total_ms("online.ss");
+    report
+}
+
 /// Costs attributed to one protocol phase (offline or online).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SideCosts {

@@ -1,0 +1,90 @@
+//! The client's serving-runtime driver: HE key retention across requests.
+//!
+//! A [`ServiceClient`] is the client-side counterpart of the runtime's
+//! session table: it keeps the expensive [`KeySet`] (secret key included —
+//! that never leaves the client) alive between requests and listens to the
+//! server's [`Msg::KeyStatus`] preamble to learn whether the multi-megabyte
+//! public/rotation-key upload can be skipped this time. If the server
+//! evicted the keys, the retained set is simply re-uploaded; nothing is
+//! regenerated.
+
+use crate::channel::Channel;
+use crate::common::{
+    unexpected, LinearMode, ModelMeta, PartyOutcome, ProtocolConfig, ProtocolKind,
+};
+use crate::error::ProtocolError;
+use crate::msg::Msg;
+use crate::{client_garbler, server_garbler};
+use pi_he::KeySet;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A serving-runtime client: runs inferences against sessions opened with
+/// [`crate::serve::ServeRuntime::connect`], retaining HE key material
+/// across them.
+#[derive(Default)]
+pub struct ServiceClient {
+    retained: Option<Arc<KeySet>>,
+}
+
+impl ServiceClient {
+    /// Creates a client with no retained key material (the first HE request
+    /// generates and uploads fresh keys).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this client currently retains HE key material.
+    pub fn has_keys(&self) -> bool {
+        self.retained.is_some()
+    }
+
+    /// Runs one inference over a serving-runtime channel. The first
+    /// message on the downlink is the server's [`Msg::KeyStatus`]; the
+    /// upload is skipped when the server still caches this client's keys.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Channel`] if the server vanishes,
+    /// [`ProtocolError::UnexpectedMsg`] if it deviates from the protocol,
+    /// and [`ProtocolError::BadRequest`] if the server claims cached keys
+    /// this client no longer holds (a client-identity mix-up).
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        meta: &ModelMeta,
+        input: &[u64],
+        cfg: &ProtocolConfig,
+        chan: &Channel,
+        rng: &mut R,
+    ) -> Result<(Vec<u64>, PartyOutcome), ProtocolError> {
+        let need_keys = match chan.recv()? {
+            Msg::KeyStatus { need_keys } => need_keys,
+            other => return Err(unexpected("KeyStatus", &other)),
+        };
+        if matches!(cfg.linear, LinearMode::He) && !need_keys && self.retained.is_none() {
+            return Err(ProtocolError::BadRequest(
+                "server caches keys this client does not hold",
+            ));
+        }
+        match cfg.kind {
+            ProtocolKind::ServerGarbler => server_garbler::try_run_client_with_keys(
+                meta,
+                input,
+                cfg,
+                chan,
+                rng,
+                &mut self.retained,
+                need_keys,
+            ),
+            ProtocolKind::ClientGarbler => client_garbler::try_run_client_with_keys(
+                meta,
+                input,
+                cfg,
+                chan,
+                rng,
+                &mut self.retained,
+                need_keys,
+            ),
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Concurrent multi-client serving runtime.
+//!
+//! The single-inference drivers dedicate one blocking thread to each
+//! session; a shared server serving many clients wants the opposite shape:
+//! a fixed worker pool advancing whichever sessions have work. This module
+//! provides that runtime:
+//!
+//! * **Resumable sessions** — each connection owns a
+//!   [`session::ServerSession`], the server role of both protocol kinds as
+//!   an explicit state machine. A misbehaving or vanished client is a typed
+//!   [`ProtocolError`] that aborts exactly one session.
+//! * **Session table** — a sharded, byte-budgeted LRU ([`ShardedLru`])
+//!   caches each client's uploaded HE keys and each model's
+//!   [`ServerPrecomp`] across requests. Eviction drops only the table's
+//!   reference (in-flight sessions keep their `Arc`); an evicted client
+//!   simply re-uploads on its next request, driven by the
+//!   [`Msg::KeyStatus`](crate::msg::Msg::KeyStatus) handshake. Evicted
+//!   precomputations are rebuilt on demand from the weights.
+//! * **Work-stealing executor** — session pumps and batch work run on a
+//!   fixed pool; a worker that stacks follow-on work posts a steal token so
+//!   idle workers take the oldest task from whoever has one. One dispatcher
+//!   thread drains the shared client ingress and never touches session
+//!   bodies, so slow session compute cannot stall message intake.
+//! * **Cross-request batching** — sessions stalled on the offline HE
+//!   matvec enqueue their jobs with the skew-aware [`batch::Batcher`];
+//!   workers drain the deepest `(model, phase)` queue first and fuse the
+//!   whole batch through one pass over the shared diagonal operands
+//!   ([`session::compute_matvec_batch`]), preserving per-client operation
+//!   order so results stay bit-identical to sequential runs.
+//!
+//! Concurrency discipline per session slot: the *inbox* lock is the only
+//! one the dispatcher takes (always short); the *body* lock serializes the
+//! actual protocol compute and is only contended when a pump is already
+//! running — which the `scheduled` flag prevents. Per-session traces cover
+//! the session-serial work; time spent in fused cross-session batches is
+//! recorded in the runtime's [`ServeRuntime::aggregate_trace`] instead
+//! (attributing a shared pass to a single session would double-count).
+
+pub mod session;
+
+mod batch;
+mod client;
+mod executor;
+mod table;
+
+pub use client::ServiceClient;
+pub use executor::resolve_workers;
+pub use table::{ShardedLru, TableStats};
+
+use crate::channel::{service_pair, Channel, ChannelError, ChannelTx, ClientEvent, SessionPacket};
+use crate::common::{ClientHeKeys, LinearMode, PartyOutcome, ProtocolConfig, ServerPrecomp};
+use crate::error::ProtocolError;
+use crate::msg::Msg;
+use batch::Batcher;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use executor::Executor;
+use pi_he::Ciphertext;
+use pi_nn::PiModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use session::{MatvecJob, ServerSession, SessionCtx, Step};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel session id the runtime uses to stop its own dispatcher; real
+/// session ids count up from zero.
+const SHUTDOWN_SID: u64 = u64::MAX;
+
+/// Serving-runtime configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (0 = `PI_WORKERS` env or the machine's parallelism).
+    pub workers: usize,
+    /// Byte budget of each session table (client keys; model precomps).
+    pub table_budget_bytes: u64,
+    /// Shards per session table.
+    pub table_shards: usize,
+    /// Maximum jobs fused into one cross-request matvec batch.
+    pub max_batch: usize,
+    /// Maximum jobs one session contributes to a single batch (skew-aware
+    /// admission: a many-phase straggler cannot starve new arrivals).
+    pub batch_session_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            table_budget_bytes: 256 << 20,
+            table_shards: 8,
+            max_batch: 8,
+            batch_session_cap: 2,
+        }
+    }
+}
+
+/// A registered model: weights plus the protocol configuration it serves
+/// under.
+struct ModelEntry {
+    model: PiModel,
+    cfg: ProtocolConfig,
+}
+
+/// One event on a session slot's inbox.
+enum SlotEvent {
+    /// Arm the session (send the `KeyStatus` preamble).
+    Start,
+    /// A client protocol message.
+    Msg(Msg),
+    /// The client endpoint was dropped.
+    Gone,
+    /// A fused matvec batch delivered this session's product for a phase.
+    Matvec(usize, Ciphertext),
+}
+
+/// The session-serial state a pump works on (guarded by the body lock).
+struct SlotBody {
+    session: ServerSession,
+    tx: ChannelTx,
+    pre: Arc<ServerPrecomp>,
+    entry: Arc<ModelEntry>,
+    result_tx: Sender<Result<PartyOutcome, ProtocolError>>,
+    finished: bool,
+    done: Option<Result<PartyOutcome, ProtocolError>>,
+    trace: pi_trace::TraceReport,
+}
+
+/// One live session: lock discipline is inbox ≺ body, and the dispatcher
+/// only ever takes the inbox lock.
+struct Slot {
+    sid: u64,
+    model_id: usize,
+    client_id: u64,
+    scheduled: AtomicBool,
+    inbox: parking_lot::Mutex<VecDeque<SlotEvent>>,
+    body: parking_lot::Mutex<SlotBody>,
+}
+
+struct Inner {
+    models: parking_lot::Mutex<Vec<Arc<ModelEntry>>>,
+    slots: parking_lot::Mutex<HashMap<u64, Arc<Slot>>>,
+    next_sid: AtomicU64,
+    keys_table: ShardedLru<u64, ClientHeKeys>,
+    precomp_table: ShardedLru<usize, ServerPrecomp>,
+    batcher: Batcher,
+    agg_trace: parking_lot::Mutex<pi_trace::TraceReport>,
+    ingress_tx: Sender<SessionPacket>,
+    // Behind an Option so `Drop` can take and join the pool on the runtime
+    // thread — if the executor died with the last `Arc<Inner>` inside one
+    // of its own tasks, it would join itself.
+    exec: parking_lot::Mutex<Option<Executor>>,
+    workers: usize,
+}
+
+/// The concurrent serving runtime. See the module docs for the moving
+/// parts; the lifecycle is `new` → `register_model` → any number of
+/// concurrent `connect`s → drop (stops the dispatcher and joins workers).
+pub struct ServeRuntime {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The client half of one serving-runtime session.
+pub struct ClientConn {
+    /// The client's protocol channel (drive it with [`ServiceClient`]).
+    pub chan: Channel,
+    /// Handle resolving to the server-side outcome of the session.
+    pub handle: SessionHandle,
+}
+
+/// Resolves to the server's [`PartyOutcome`] (or the session's error) once
+/// the session finishes.
+pub struct SessionHandle {
+    rx: Receiver<Result<PartyOutcome, ProtocolError>>,
+}
+
+impl SessionHandle {
+    /// Blocks until the server side of the session completes.
+    ///
+    /// # Errors
+    ///
+    /// The session's [`ProtocolError`]; a runtime torn down before the
+    /// session finished reports as a channel disconnect.
+    pub fn wait(self) -> Result<PartyOutcome, ProtocolError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(ProtocolError::Channel(ChannelError::Disconnected)))
+    }
+}
+
+impl ServeRuntime {
+    /// Starts the runtime: spawns the worker pool and the ingress
+    /// dispatcher.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let workers = resolve_workers(cfg.workers);
+        let (ingress_tx, ingress_rx) = unbounded::<SessionPacket>();
+        let inner = Arc::new(Inner {
+            models: parking_lot::Mutex::new(Vec::new()),
+            slots: parking_lot::Mutex::new(HashMap::new()),
+            next_sid: AtomicU64::new(0),
+            keys_table: ShardedLru::new(cfg.table_shards, cfg.table_budget_bytes),
+            precomp_table: ShardedLru::new(cfg.table_shards, cfg.table_budget_bytes),
+            batcher: Batcher::new(cfg.max_batch, cfg.batch_session_cap),
+            agg_trace: parking_lot::Mutex::new(pi_trace::TraceReport::default()),
+            ingress_tx,
+            exec: parking_lot::Mutex::new(Some(Executor::new(workers))),
+            workers,
+        });
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("pi-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&inner, &ingress_rx))
+                .expect("spawn serve dispatcher")
+        };
+        Self {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Registers a model to serve and returns its id. The offline-linear
+    /// precomputation is built lazily on first connect and cached in the
+    /// session table.
+    pub fn register_model(&self, model: PiModel, cfg: ProtocolConfig) -> usize {
+        let mut models = self.inner.models.lock();
+        models.push(Arc::new(ModelEntry { model, cfg }));
+        models.len() - 1
+    }
+
+    /// Opens a session for `client_id` against `model_id`, seeding the
+    /// server's session RNG with `server_seed`. If the session table still
+    /// holds the client's HE keys, the session skips the key upload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model_id` was not registered.
+    pub fn connect(&self, client_id: u64, model_id: usize, server_seed: u64) -> ClientConn {
+        let inner = &self.inner;
+        let entry = inner.models.lock()[model_id].clone();
+        let sid = inner.next_sid.fetch_add(1, Ordering::Relaxed);
+        let (chan, tx) = service_pair(sid, inner.ingress_tx.clone());
+        let cached = match entry.cfg.linear {
+            LinearMode::He => inner.keys_table.get(&client_id),
+            LinearMode::Clear => None,
+        };
+        let pre = precomp_for(inner, model_id, &entry);
+        let session = ServerSession::new(
+            &entry.model,
+            &entry.cfg,
+            StdRng::seed_from_u64(server_seed),
+            true,
+            cached,
+        );
+        let (result_tx, result_rx) = unbounded();
+        let slot = Arc::new(Slot {
+            sid,
+            model_id,
+            client_id,
+            scheduled: AtomicBool::new(false),
+            inbox: parking_lot::Mutex::new(VecDeque::new()),
+            body: parking_lot::Mutex::new(SlotBody {
+                session,
+                tx,
+                pre,
+                entry,
+                result_tx,
+                finished: false,
+                done: None,
+                trace: pi_trace::TraceReport::default(),
+            }),
+        });
+        inner.slots.lock().insert(sid, slot.clone());
+        enqueue(inner, &slot, SlotEvent::Start);
+        ClientConn {
+            chan,
+            handle: SessionHandle { rx: result_rx },
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Counters of the client-key session table.
+    pub fn key_table_stats(&self) -> TableStats {
+        self.inner.keys_table.stats()
+    }
+
+    /// Counters of the model-precomputation table.
+    pub fn precomp_table_stats(&self) -> TableStats {
+        self.inner.precomp_table.stats()
+    }
+
+    /// Bytes of client key material currently resident in the session
+    /// table.
+    pub fn key_table_bytes(&self) -> u64 {
+        self.inner.keys_table.used_bytes()
+    }
+
+    /// Snapshot of the runtime-wide trace: every finished session's server
+    /// trace plus the fused cross-session batch work.
+    pub fn aggregate_trace(&self) -> pi_trace::TraceReport {
+        self.inner.agg_trace.lock().clone()
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        let _ = self.inner.ingress_tx.send(SessionPacket {
+            sid: SHUTDOWN_SID,
+            event: ClientEvent::Gone,
+        });
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        // Take the pool out from under the shared state, then join it with
+        // no lock held (see the field comment on `Inner::exec`).
+        let exec = self.inner.exec.lock().take();
+        drop(exec);
+    }
+}
+
+fn dispatcher_loop(inner: &Arc<Inner>, ingress_rx: &Receiver<SessionPacket>) {
+    while let Ok(pkt) = ingress_rx.recv() {
+        if pkt.sid == SHUTDOWN_SID {
+            break;
+        }
+        // A packet for a finished (removed) session is dropped: the slot is
+        // gone, there is nobody to misbehave against.
+        let slot = inner.slots.lock().get(&pkt.sid).cloned();
+        let Some(slot) = slot else { continue };
+        let event = match pkt.event {
+            ClientEvent::Msg(m) => SlotEvent::Msg(m),
+            ClientEvent::Gone => SlotEvent::Gone,
+        };
+        enqueue(inner, &slot, event);
+    }
+}
+
+fn enqueue(inner: &Arc<Inner>, slot: &Arc<Slot>, event: SlotEvent) {
+    slot.inbox.lock().push_back(event);
+    schedule(inner, slot);
+}
+
+/// Schedules a pump for `slot` unless one is already scheduled or running.
+/// The pump clears the flag only after seeing an empty inbox, so no event
+/// is ever stranded.
+fn schedule(inner: &Arc<Inner>, slot: &Arc<Slot>) {
+    if !slot.scheduled.swap(true, Ordering::SeqCst) {
+        let exec = inner.exec.lock();
+        match exec.as_ref() {
+            Some(exec) => {
+                let inner = inner.clone();
+                let slot = slot.clone();
+                exec.spawn(Box::new(move || pump(&inner, &slot)));
+            }
+            // Runtime shutting down: nothing left to run the pump.
+            None => slot.scheduled.store(false, Ordering::SeqCst),
+        }
+    }
+}
+
+/// Advances one session as far as its inbox allows. Holds the body lock for
+/// the whole pump — the dispatcher never takes it, so intake stays live
+/// while this session grinds garbling or evaluation.
+fn pump(inner: &Arc<Inner>, slot: &Arc<Slot>) {
+    let mut body = slot.body.lock();
+    let trace_scope = pi_trace::begin_local();
+    let root_span = pi_trace::span!("server");
+    loop {
+        let events: Vec<SlotEvent> = {
+            let mut inbox = slot.inbox.lock();
+            inbox.drain(..).collect()
+        };
+        if events.is_empty() {
+            slot.scheduled.store(false, Ordering::SeqCst);
+            // Lost-wakeup check: an event may have slipped in between the
+            // drain and the flag clear. Reclaim the flag and go again —
+            // unless someone else already scheduled a fresh pump.
+            if slot.inbox.lock().is_empty() || slot.scheduled.swap(true, Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        }
+        for event in events {
+            if body.finished {
+                break;
+            }
+            step_event(inner, slot, &mut body, event);
+        }
+    }
+    drop(root_span);
+    body.trace.merge(&trace_scope.finish());
+    if body.finished {
+        if let Some(mut res) = body.done.take() {
+            inner.agg_trace.lock().merge(&body.trace);
+            if let Ok(out) = &mut res {
+                out.trace = std::mem::take(&mut body.trace);
+            }
+            let _ = body.result_tx.send(res);
+        }
+    }
+}
+
+/// Applies one inbox event to the session and services the resulting
+/// [`Step`].
+fn step_event(inner: &Arc<Inner>, slot: &Arc<Slot>, body: &mut SlotBody, event: SlotEvent) {
+    let entry = body.entry.clone();
+    let pre = body.pre.clone();
+    let SlotBody { session, tx, .. } = body;
+    let ctx = SessionCtx {
+        model: &entry.model,
+        pre: &pre,
+        cfg: &entry.cfg,
+        sink: &*tx,
+    };
+    let result = match event {
+        SlotEvent::Start => session.start(&ctx),
+        SlotEvent::Msg(m) => session.on_msg(&ctx, m),
+        SlotEvent::Matvec(phase, ct) => session.on_matvec_done(&ctx, phase, ct),
+        SlotEvent::Gone => Err(ProtocolError::Channel(ChannelError::Disconnected)),
+    };
+    // Freshly uploaded client keys go into the session table as soon as
+    // they exist, so even a session that later fails leaves them cached.
+    if let Some(keys) = session.take_received_keys() {
+        let bytes = keys.byte_len() as u64;
+        inner.keys_table.insert(slot.client_id, keys, bytes);
+    }
+    match result {
+        Ok(Step::Idle) => {}
+        Ok(Step::NeedMatvec(jobs)) => {
+            inner.batcher.push(slot.model_id, slot.sid, jobs);
+            let drainer = inner.clone();
+            let exec = inner.exec.lock();
+            if let Some(exec) = exec.as_ref() {
+                exec.spawn(Box::new(move || drain_batches(&drainer)));
+            }
+        }
+        Ok(Step::Done) => {
+            body.done = Some(Ok(body.session.take_outcome()));
+            body.finished = true;
+            inner.slots.lock().remove(&slot.sid);
+        }
+        Err(e) => {
+            body.done = Some(Err(e));
+            body.finished = true;
+            inner.slots.lock().remove(&slot.sid);
+        }
+    }
+}
+
+/// Drains the batcher: deepest `(model, phase)` queue first, one fused
+/// diagonals pass per batch, results delivered back to each session's
+/// inbox. Several drainers may run at once; each batch is taken exactly
+/// once.
+fn drain_batches(inner: &Arc<Inner>) {
+    while let Some(batch) = inner.batcher.take_batch() {
+        let entry = inner.models.lock()[batch.model].clone();
+        let pre = precomp_for(inner, batch.model, &entry);
+        let Some(diagonals) = pre.diagonals.as_ref() else {
+            continue;
+        };
+        let trace_scope = pi_trace::begin_local();
+        let prods = {
+            let _span = pi_trace::span!("offline.he");
+            let jobs: Vec<&MatvecJob> = batch.jobs.iter().map(|p| &p.job).collect();
+            session::compute_matvec_batch(&jobs, &diagonals[batch.phase])
+        };
+        inner.agg_trace.lock().merge(&trace_scope.finish());
+        for (pending, prod) in batch.jobs.iter().zip(prods) {
+            let slot = inner.slots.lock().get(&pending.sid).cloned();
+            if let Some(slot) = slot {
+                enqueue(inner, &slot, SlotEvent::Matvec(pending.job.phase, prod));
+            }
+        }
+    }
+}
+
+/// Fetches (or rebuilds) the cached precomputation for a model. Two
+/// threads racing a rebuild both produce correct (deterministic) operands;
+/// one insert wins the table.
+fn precomp_for(inner: &Arc<Inner>, model_id: usize, entry: &ModelEntry) -> Arc<ServerPrecomp> {
+    if let Some(pre) = inner.precomp_table.get(&model_id) {
+        return pre;
+    }
+    let pre = Arc::new(ServerPrecomp::new(&entry.model, &entry.cfg));
+    let bytes = pre.approx_bytes(&entry.cfg);
+    inner.precomp_table.insert(model_id, pre.clone(), bytes);
+    pre
+}

@@ -1,0 +1,192 @@
+//! Sharded, byte-budgeted LRU cache — the serving runtime's session table.
+//!
+//! The expensive per-client state a shared server wants to keep between
+//! requests (a client's uploaded HE keys, a model's encoded diagonals) is
+//! large: a single client's Galois keys run to megabytes. The table meters
+//! admission by **bytes, not entries**, evicting least-recently-used
+//! entries per shard once the shard's slice of the budget is exceeded.
+//! Sharding (key-hash modulo shard count) keeps the lock a worker grabs on
+//! the request path short and uncontended.
+//!
+//! Values are handed out as `Arc`s: eviction drops the table's reference
+//! only, so sessions already holding an entry are never invalidated
+//! mid-protocol — an evicted client simply re-uploads on its *next*
+//! request (the [`crate::msg::Msg::KeyStatus`] handshake).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters describing table behaviour, for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Shard<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    used_bytes: u64,
+    clock: u64,
+}
+
+/// A sharded LRU map bounded by a total byte budget.
+pub struct ShardedLru<K, V> {
+    shards: Vec<parking_lot::Mutex<Shard<K, V>>>,
+    shard_budget: u64,
+    stats: StatCells,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
+    /// Creates a table with `shards` shards splitting `budget_bytes`
+    /// evenly. Budgets and shard counts are clamped to at least 1.
+    pub fn new(shards: usize, budget_bytes: u64) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shard_budget: (budget_bytes / shards as u64).max(1),
+            shards: (0..shards)
+                .map(|_| {
+                    parking_lot::Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        used_bytes: 0,
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            stats: StatCells::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &parking_lot::Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut shard = self.shard_of(key).lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = clock;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until the shard fits its budget again. The entry just
+    /// inserted is exempt from its own eviction pass — an entry larger
+    /// than the whole budget still serves its session, it just won't
+    /// survive the next insert.
+    pub fn insert(&self, key: K, value: Arc<V>, bytes: u64) {
+        let mut shard = self.shard_of(&key).lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(old) = shard.entries.insert(
+            key.clone(),
+            Entry {
+                value,
+                bytes,
+                last_used: clock,
+            },
+        ) {
+            shard.used_bytes -= old.bytes;
+        }
+        shard.used_bytes += bytes;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        while shard.used_bytes > self.shard_budget {
+            let victim = shard
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = shard.entries.remove(&k).expect("victim exists");
+                    shard.used_bytes -= e.bytes;
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Total bytes currently resident across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().used_bytes).sum()
+    }
+
+    /// Snapshot of the hit/miss/insert/eviction counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_by_bytes_not_count() {
+        let t: ShardedLru<u64, &'static str> = ShardedLru::new(1, 100);
+        t.insert(1, Arc::new("a"), 40);
+        t.insert(2, Arc::new("b"), 40);
+        assert!(t.get(&1).is_some());
+        // Touch 1 so 2 is the LRU victim when 3 overflows the budget.
+        t.insert(3, Arc::new("c"), 40);
+        assert!(t.get(&2).is_none());
+        assert!(t.get(&1).is_some());
+        assert!(t.get(&3).is_some());
+        let s = t.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.inserts, 3);
+        assert!(t.used_bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_entry_still_admitted() {
+        let t: ShardedLru<u64, u8> = ShardedLru::new(1, 10);
+        t.insert(7, Arc::new(0), 1000);
+        assert!(t.get(&7).is_some(), "oversized entries serve their session");
+        t.insert(8, Arc::new(1), 5);
+        // The oversized entry is the eviction victim of the next insert.
+        assert!(t.get(&7).is_none());
+        assert!(t.get(&8).is_some());
+    }
+}

@@ -10,20 +10,31 @@
 //! share, the **client evaluates** the garbled circuits (the 200-second
 //! Atom-class bottleneck of Figure 4) and returns output labels, which the
 //! server decodes into the next masked activation.
+//!
+//! The server role is the shared state machine in
+//! [`crate::serve::session::ServerSession`]; [`run_server`] drives it over
+//! a blocking channel. Every driver has a `try_` variant returning
+//! [`ProtocolError`] instead of panicking on a misbehaving or vanished
+//! peer.
 
 use crate::channel::Channel;
 use crate::common::{
-    bits_field, client_offline_linear, field_bits, ot_base_as_ext_receiver, ot_base_as_ext_sender,
-    push_field_bits, server_offline_linear, ModelMeta, PartyOutcome, ProtocolConfig, ServerPrecomp,
+    push_field_bits, try_client_offline_linear, try_ot_base_as_ext_receiver, unexpected, ModelMeta,
+    PartyOutcome, ProtocolConfig, ProtocolKind, ServerPrecomp,
 };
+use crate::error::ProtocolError;
 use crate::msg::Msg;
-use pi_gc::garble::{evaluate_many, garble_many, Garbling};
+use crate::serve::session;
+use pi_gc::garble::evaluate_many;
 use pi_gc::relu::relu_trunc_circuit;
 use pi_gc::{Circuit, Label};
+use pi_he::KeySet;
 use pi_nn::PiModel;
 use pi_ot::bitmat::BitVec;
-use pi_ot::ext::{OtExtReceiver, OtExtSender};
+use pi_ot::ext::OtExtReceiver;
+use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Client state for one garbled ReLU phase.
 struct ClientPhaseGc {
@@ -34,6 +45,12 @@ struct ClientPhaseGc {
 }
 
 /// Runs the client role. Returns the inference output and cost summary.
+///
+/// # Panics
+///
+/// Panics on any [`ProtocolError`] — for tests and single-inference tools
+/// where a protocol failure is a bug. Use [`try_run_client`] in anything
+/// long-lived.
 pub fn run_client<R: Rng + ?Sized>(
     meta: &ModelMeta,
     input: &[u64],
@@ -41,6 +58,37 @@ pub fn run_client<R: Rng + ?Sized>(
     chan: &Channel,
     rng: &mut R,
 ) -> (Vec<u64>, PartyOutcome) {
+    try_run_client(meta, input, cfg, chan, rng).expect("client-side protocol failure")
+}
+
+/// Fallible [`run_client`]: a dropped or deviating server is an `Err`, not
+/// a panic.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on disconnect or protocol violation.
+pub fn try_run_client<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+) -> Result<(Vec<u64>, PartyOutcome), ProtocolError> {
+    try_run_client_with_keys(meta, input, cfg, chan, rng, &mut None, true)
+}
+
+/// [`try_run_client`] with an external HE key cache: `retained` keys are
+/// reused instead of regenerated, and uploaded only when `upload` is true
+/// (the serving runtime's `KeyStatus` handshake).
+pub(crate) fn try_run_client_with_keys<R: Rng + ?Sized>(
+    meta: &ModelMeta,
+    input: &[u64],
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: &mut R,
+    retained: &mut Option<Arc<KeySet>>,
+    upload: bool,
+) -> Result<(Vec<u64>, PartyOutcome), ProtocolError> {
     assert_eq!(input.len(), meta.input_len, "input length mismatch");
     let p = meta.p;
     let k = meta.relu_width;
@@ -57,10 +105,11 @@ pub fn run_client<R: Rng + ?Sized>(
                 .collect()
         })
         .collect();
-    let c_shares = client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out);
+    let c_shares =
+        try_client_offline_linear(meta, &r_acts, cfg, chan, rng, &mut out, retained, upload)?;
 
     // Base OT: client is the extension receiver (it obtains labels).
-    let ext_receiver = OtExtReceiver::new(ot_base_as_ext_receiver(chan, rng));
+    let ext_receiver = OtExtReceiver::new(try_ot_base_as_ext_receiver(chan, rng)?);
 
     // Per ReLU phase: receive circuits, fetch own labels via OT.
     let relu_phases: Vec<usize> = (0..meta.phases.len())
@@ -70,9 +119,9 @@ pub fn run_client<R: Rng + ?Sized>(
     for &i in &relu_phases {
         let ph = &meta.phases[i];
         let m = ph.rows;
-        let tables = match chan.recv() {
+        let tables = match chan.recv()? {
             Msg::GcTables(t) => t,
-            other => panic!("expected GcTables, got {other:?}"),
+            other => return Err(unexpected("GcTables", &other)),
         };
         out.gc_bytes += tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
         // Choice bits: per element, share_b bits then r bits (packed).
@@ -84,10 +133,10 @@ pub fn run_client<R: Rng + ?Sized>(
         }
         out.ot_count += choices.len() as u64;
         let (extend, keys) = ext_receiver.extend(&choices, rng);
-        chan.send(Msg::OtExtend(extend));
-        let transfer = match chan.recv() {
+        chan.send(Msg::OtExtend(extend))?;
+        let transfer = match chan.recv()? {
             Msg::OtTransfer(t) => t,
-            other => panic!("expected OtTransfer, got {other:?}"),
+            other => return Err(unexpected("OtTransfer", &other)),
         };
         let labels = ext_receiver.decode(&transfer, &choices, &keys);
         drop(ot_span);
@@ -112,7 +161,7 @@ pub fn run_client<R: Rng + ?Sized>(
         .zip(&r_acts[0])
         .map(|(&x, &r)| p.sub(x, r))
         .collect();
-    chan.send(Msg::VecU64(masked));
+    chan.send(Msg::VecU64(masked))?;
 
     // Rebuild circuits (topology is public).
     let circuits: Vec<Circuit> = relu_phases
@@ -123,11 +172,13 @@ pub fn run_client<R: Rng + ?Sized>(
     for (gc_idx, &i) in relu_phases.iter().enumerate() {
         let ph = &meta.phases[i];
         let m = ph.rows;
-        let server_labels = match chan.recv() {
+        let server_labels = match chan.recv()? {
             Msg::GcLabels(l) => l,
-            other => panic!("expected GcLabels, got {other:?}"),
+            other => return Err(unexpected("GcLabels", &other)),
         };
-        assert_eq!(server_labels.len(), m * k, "server label count");
+        if server_labels.len() != m * k {
+            return Err(ProtocolError::BadRequest("server label count"));
+        }
         let eval_span = pi_trace::span!("online.eval");
         let circuit = &circuits[gc_idx];
         // Batched evaluation: 8 instances per AES call through the
@@ -144,13 +195,13 @@ pub fn run_client<R: Rng + ?Sized>(
         let out_labels: Vec<Label> = per_instance.into_iter().flatten().collect();
         out.gc_eval_and_gates += (m * circuit.and_count()) as u64;
         drop(eval_span);
-        chan.send(Msg::GcLabels(out_labels));
+        chan.send(Msg::GcLabels(out_labels))?;
     }
 
     // Final phase: combine output shares.
-    let server_share = match chan.recv() {
+    let server_share = match chan.recv()? {
         Msg::VecU64(v) => v,
-        other => panic!("expected final share, got {other:?}"),
+        other => return Err(unexpected("VecU64", &other)),
     };
     let last = meta.phases.len() - 1;
     let output: Vec<u64> = server_share
@@ -161,135 +212,45 @@ pub fn run_client<R: Rng + ?Sized>(
     out.total_sent = chan.bytes_sent();
     drop(root_span);
     out.trace = trace_scope.finish();
-    (output, out)
+    Ok((output, out))
 }
 
 /// Runs the server role (holds the model weights).
 ///
 /// `pre` holds the model's precomputed offline-linear operands
-/// ([`ServerPrecomp`]); build it once and reuse it across inferences.
-pub fn run_server<R: Rng + ?Sized>(
+/// ([`ServerPrecomp`]); build it once and reuse it across inferences. The
+/// session owns `rng` outright — it is consumed by the resumable state
+/// machine.
+///
+/// # Panics
+///
+/// Panics on any [`ProtocolError`]; use [`try_run_server`] in anything
+/// long-lived.
+pub fn run_server(
     model: &PiModel,
     pre: &ServerPrecomp,
     cfg: &ProtocolConfig,
     chan: &Channel,
-    rng: &mut R,
+    rng: StdRng,
 ) -> PartyOutcome {
-    let p = model.p;
-    let meta = ModelMeta::of(model);
-    let k = meta.relu_width;
-    let mut out = PartyOutcome::default();
-    let trace_scope = pi_trace::begin_local();
-    let root_span = pi_trace::span!("server");
+    try_run_server(model, pre, cfg, chan, rng).expect("server-side protocol failure")
+}
 
-    // ---------------- Offline ----------------
-    let s_vecs = server_offline_linear(model, pre, cfg, chan, rng);
-    let ext_sender = OtExtSender::new(ot_base_as_ext_sender(chan, rng));
-
-    let relu_phases: Vec<usize> = (0..meta.phases.len())
-        .filter(|&i| meta.phases[i].relu_shift.is_some())
-        .collect();
-    // Garble each ReLU phase and serve the client's labels via OT.
-    let mut garblings: Vec<Vec<Garbling>> = Vec::with_capacity(relu_phases.len());
-    let mut circuits: Vec<Circuit> = Vec::with_capacity(relu_phases.len());
-    for &i in &relu_phases {
-        let ph = &meta.phases[i];
-        let m = ph.rows;
-        let shift = ph.relu_shift.expect("relu phase");
-        let garble_span = pi_trace::span!("offline.garble");
-        let (circuit, _) = relu_trunc_circuit(p.value(), shift);
-        // Lockstep batch garbling: 8 circuit instances per AES call.
-        let phase_g: Vec<Garbling> = garble_many(&circuit, m, rng);
-        out.gc_and_gates += (m * circuit.and_count()) as u64;
-        pi_trace::add(pi_trace::Counter::GcRelu, m as u64);
-        drop(garble_span);
-        let tables: Vec<Vec<(Label, Label)>> =
-            phase_g.iter().map(|g| g.garbled.tables.clone()).collect();
-        let table_bytes = tables.iter().map(|t| t.len() as u64 * 32).sum::<u64>();
-        out.gc_bytes += table_bytes;
-        pi_trace::add(pi_trace::Counter::GcBytes, table_bytes);
-        chan.send(Msg::GcTables(tables));
-        // OT: client's inputs occupy wire positions [k, 3k).
-        let ot_span = pi_trace::span!("offline.ot");
-        let extend = match chan.recv() {
-            Msg::OtExtend(e) => e,
-            other => panic!("expected OtExtend, got {other:?}"),
-        };
-        let mut pairs = Vec::with_capacity(m * 2 * k);
-        for g in &phase_g {
-            for bit in 0..2 * k {
-                pairs.push(g.encoding.label_pair(k + bit));
-            }
-        }
-        out.ot_count += pairs.len() as u64;
-        chan.send(Msg::OtTransfer(ext_sender.transfer(&extend, &pairs)));
-        drop(ot_span);
-        circuits.push(circuit);
-        garblings.push(phase_g);
-    }
-
-    // Server storage: its own input encodings (k labels + delta per
-    // element), output decode bits, and the shares s_i.
-    out.storage_bytes = garblings
-        .iter()
-        .flatten()
-        .map(|_| (k as u64 + 1) * 16 + k.div_ceil(8) as u64)
-        .sum::<u64>()
-        + s_vecs.iter().map(|s| s.len() as u64 * 8).sum::<u64>();
-    out.offline_sent = chan.bytes_sent();
-
-    // ---------------- Online ----------------
-    let masked_input = match chan.recv() {
-        Msg::VecU64(v) => v,
-        other => panic!("expected masked input, got {other:?}"),
-    };
-    // masked_acts[a] = x_a - r_a.
-    let mut masked_acts: Vec<Vec<u64>> = vec![masked_input];
-    let mut gc_idx = 0usize;
-    for (i, ph) in model.phases.iter().enumerate() {
-        // Server share: W (x - r) + s + b.
-        let ss_span = pi_trace::span!("online.ss");
-        let x_cat: Vec<u64> = ph
-            .inputs
-            .iter()
-            .flat_map(|&a| masked_acts[a].iter().copied())
-            .collect();
-        let mut y_s = ph.apply(&x_cat, p);
-        for (v, &s) in y_s.iter_mut().zip(&s_vecs[i]) {
-            *v = p.add(*v, s);
-        }
-        drop(ss_span);
-        match ph.relu_shift {
-            Some(_) => {
-                // Send labels for the server's share (wire positions 0..k).
-                let eval_span = pi_trace::span!("online.eval");
-                let phase_g = &garblings[gc_idx];
-                let mut labels = Vec::with_capacity(y_s.len() * k);
-                for (j, &v) in y_s.iter().enumerate() {
-                    labels.extend(phase_g[j].encoding.encode_bits(0, &field_bits(v, k)));
-                }
-                chan.send(Msg::GcLabels(labels));
-                // Receive and decode output labels.
-                let out_labels = match chan.recv() {
-                    Msg::GcLabels(l) => l,
-                    other => panic!("expected output labels, got {other:?}"),
-                };
-                let mut next_masked = Vec::with_capacity(y_s.len());
-                for (j, chunk) in out_labels.chunks(k).enumerate() {
-                    let bits = phase_g[j].garbled.decode_outputs(chunk);
-                    next_masked.push(bits_field(&bits));
-                }
-                drop(eval_span);
-                masked_acts.push(next_masked);
-                gc_idx += 1;
-            }
-            None => {
-                chan.send(Msg::VecU64(y_s));
-            }
-        }
-    }
-    out.total_sent = chan.bytes_sent();
-    drop(root_span);
-    out.trace = trace_scope.finish();
-    out
+/// Fallible [`run_server`]: drives the shared
+/// [`ServerSession`](session::ServerSession) state machine synchronously —
+/// the same implementation the concurrent serving runtime schedules, so
+/// both deployments share one protocol body.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on disconnect or protocol violation.
+pub fn try_run_server(
+    model: &PiModel,
+    pre: &ServerPrecomp,
+    cfg: &ProtocolConfig,
+    chan: &Channel,
+    rng: StdRng,
+) -> Result<PartyOutcome, ProtocolError> {
+    debug_assert!(matches!(cfg.kind, ProtocolKind::ServerGarbler));
+    session::drive_sync(model, pre, cfg, chan, rng)
 }

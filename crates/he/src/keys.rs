@@ -105,8 +105,8 @@ pub fn rotation_element(n: usize, k: usize) -> usize {
     acc
 }
 
-/// Thread-local scratch for the key-switch hot paths: gadget digit buffers,
-/// a coefficient-form staging buffer, and a permutation target. Every
+/// Scratch buffers for the key-switch hot paths: gadget digit buffers, a
+/// coefficient-form staging buffer, and a permutation target. Every
 /// rotation (hoisted or not) borrows these instead of allocating
 /// `digits × n` words per call.
 #[derive(Default)]
@@ -136,12 +136,89 @@ impl KsScratch {
     }
 }
 
+/// A bounded, shareable pool of key-switch scratch buffers.
+///
+/// The default scratch home is a plain thread-local, which is right for
+/// the classic one-party-per-thread deployment. A work-stealing serving
+/// runtime breaks that assumption two ways: every executor thread grows
+/// its own private scratch (workers × digits × n words of dead memory),
+/// and when a session migrates between workers the `scratch-alloc` trace
+/// counter charges one session for warming another thread's cold buffers.
+/// A runtime therefore creates **one** `KsScratchPool` bounded to its
+/// worker count, hands it through the session state, and binds it on each
+/// worker via [`bind_scratch_pool`]: all key-switch paths then draw from
+/// the shared warm pool, capping retained scratch at `cap` sets no matter
+/// how sessions migrate.
+#[derive(Debug)]
+pub struct KsScratchPool {
+    slots: std::sync::Mutex<Vec<KsScratch>>,
+    cap: usize,
+}
+
+impl std::fmt::Debug for KsScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KsScratch")
+            .field("digits", &self.digits.len())
+            .finish()
+    }
+}
+
+impl KsScratchPool {
+    /// Creates a pool retaining at most `cap` scratch sets (one per
+    /// executor worker is the natural bound).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            slots: std::sync::Mutex::new(Vec::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Number of warm scratch sets currently parked in the pool.
+    pub fn warm(&self) -> usize {
+        self.slots.lock().expect("scratch pool poisoned").len()
+    }
+
+    fn acquire(&self) -> KsScratch {
+        self.slots
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, scratch: KsScratch) {
+        let mut slots = self.slots.lock().expect("scratch pool poisoned");
+        if slots.len() < self.cap {
+            slots.push(scratch);
+        }
+        // Over-cap scratch is dropped: the pool is a bound, not a leak.
+    }
+}
+
 thread_local! {
     static KS_SCRATCH: RefCell<KsScratch> = RefCell::new(KsScratch::default());
+    static KS_POOL: RefCell<Option<std::sync::Arc<KsScratchPool>>> = const { RefCell::new(None) };
+}
+
+/// Binds (or, with `None`, unbinds) a shared scratch pool on the current
+/// thread. While bound, every key-switch path on this thread draws its
+/// scratch from the pool instead of the thread-local set. Executor workers
+/// bind their runtime's pool once at startup.
+pub fn bind_scratch_pool(pool: Option<std::sync::Arc<KsScratchPool>>) {
+    KS_POOL.with(|p| *p.borrow_mut() = pool);
 }
 
 fn with_ks_scratch<T>(f: impl FnOnce(&mut KsScratch) -> T) -> T {
-    KS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    let pool = KS_POOL.with(|p| p.borrow().clone());
+    match pool {
+        Some(pool) => {
+            let mut scratch = pool.acquire();
+            let out = f(&mut scratch);
+            pool.release(scratch);
+            out
+        }
+        None => KS_SCRATCH.with(|s| f(&mut s.borrow_mut())),
+    }
 }
 
 /// Writes the base-`2^log_base` digits of `coeff` into `digits`

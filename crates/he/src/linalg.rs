@@ -356,6 +356,127 @@ pub fn matvec_precomputed(gk: &GaloisKeys, w: &BsgsDiagonals, ct_v: &Ciphertext)
     }
 }
 
+/// Computes `E(W · vᶜ)` for a batch of independent clients sharing the same
+/// matrix — the serving-runtime cross-request fusion of
+/// [`matvec_precomputed`].
+///
+/// Each job carries its own Galois keys (clients never share key material)
+/// and input ciphertext, but all jobs multiply against the **same**
+/// [`BsgsDiagonals`]: the loop nest walks each pre-rotated diagonal operand
+/// once per giant group and applies it to every client's baby rotation
+/// before moving to the next, so the large shared operands stream through
+/// cache once instead of once per request.
+///
+/// Per client, the arithmetic sequence (hoist, baby gathers in step order,
+/// giant groups in order with in-order operand accumulation, one final lazy
+/// reduction) is **identical** to a standalone [`matvec_precomputed`] call:
+/// batching is a scheduling change, never a semantic one, so batched
+/// results are bit-identical to sequential ones.
+///
+/// # Panics
+///
+/// Panics under the same per-job conditions as [`matvec_precomputed`].
+pub fn matvec_precomputed_many(
+    jobs: &[(&GaloisKeys, &Ciphertext)],
+    w: &BsgsDiagonals,
+) -> Vec<Ciphertext> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let params = jobs[0].0.params();
+    let ring = params.ring();
+    let ntt = ring.ntt();
+    let q = params.q();
+    let n = params.n();
+    let (d, b) = (w.dim, w.baby);
+    let op_ctx = w.ops[0].op.ctx();
+    assert!(
+        op_ctx.n() == n && op_ctx.q() == q,
+        "diagonal operands' ring (n={}, q={}) does not match the Galois keys' ring (n={n}, q={q})",
+        op_ctx.n(),
+        op_ctx.q()
+    );
+    if d == 1 {
+        return jobs
+            .iter()
+            .map(|(_, ct)| ct.mul_plain_operand(&w.ops[0]))
+            .collect();
+    }
+    // Per-client hoist + baby rotations, in client order (rotations touch
+    // only that client's keys and ciphertext, so there is nothing to share).
+    let baby_count = b.min(d);
+    let babies: Vec<Vec<(Vec<u64>, Vec<u64>)>> = jobs
+        .iter()
+        .map(|(gk, ct_v)| {
+            let hoisted = gk.hoist(ct_v);
+            (0..baby_count)
+                .map(|i| {
+                    let mut c0 = vec![0u64; n];
+                    let mut c1 = vec![0u64; n];
+                    gk.rotate_hoisted_lazy(&hoisted, i, &mut c0, &mut c1)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (c0, c1)
+                })
+                .collect()
+        })
+        .collect();
+    let mut accs: Vec<(Vec<u64>, Vec<u64>)> = jobs
+        .iter()
+        .map(|_| (vec![0u64; n], vec![0u64; n]))
+        .collect();
+    let mut inners: Vec<(Vec<u64>, Vec<u64>)> = jobs
+        .iter()
+        .map(|_| (vec![0u64; n], vec![0u64; n]))
+        .collect();
+    for j in 0..w.giant {
+        let lo = j * b;
+        if lo >= d {
+            break;
+        }
+        let count = b.min(d - lo);
+        if j > 0 {
+            for inner in inners.iter_mut() {
+                inner.0.fill(0);
+                inner.1.fill(0);
+            }
+        }
+        // Operand-outer, client-inner: the shared diagonal op streams once.
+        for (i, op) in w.ops[lo..lo + count].iter().enumerate() {
+            for (c, client_babies) in babies.iter().enumerate() {
+                let (t0, t1) = if j == 0 {
+                    let acc = &mut accs[c];
+                    (&mut acc.0, &mut acc.1)
+                } else {
+                    let inner = &mut inners[c];
+                    (&mut inner.0, &mut inner.1)
+                };
+                let baby = &client_babies[i];
+                ntt.dyadic_mul_acc_shoup(t0, &baby.0, op.op.shoup());
+                ntt.dyadic_mul_acc_shoup(t1, &baby.1, op.op.shoup());
+            }
+        }
+        if j > 0 {
+            for (c, (gk, _)) in jobs.iter().enumerate() {
+                let (inner0, inner1) = &mut inners[c];
+                let acc = &mut accs[c];
+                gk.rotate_acc_lazy(lo, inner0, inner1, &mut acc.0, &mut acc.1)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+    accs.into_iter()
+        .map(|(mut acc0, mut acc1)| {
+            for x in acc0.iter_mut().chain(acc1.iter_mut()) {
+                *x = q.reduce_lazy(*x);
+            }
+            Ciphertext {
+                c0: Poly::from_ntt_data(ring.clone(), acc0),
+                c1: Poly::from_ntt_data(ring.clone(), acc1),
+            }
+        })
+        .collect()
+}
+
 /// Computes `E(W · v)` from `E(v)` with the original rotate-after-multiply
 /// Horner chain — one composed rotation per diagonal. Slower than
 /// [`matvec_precomputed`] by ~`√d/2`× but needs only the power-of-two

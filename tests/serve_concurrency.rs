@@ -1,0 +1,228 @@
+//! Serving-runtime integration tests: N-client concurrency bit-identity,
+//! dropped and misbehaving clients, and session-table eviction under a
+//! tiny byte budget.
+
+use pi_core::msg::Msg;
+use pi_core::{
+    ModelMeta, ProtocolConfig, ProtocolError, ProtocolKind, ServeConfig, ServeRuntime,
+    ServiceClient,
+};
+use pi_he::BfvParams;
+use pi_nn::{zoo, FixedConfig, Network, PiModel, QuantNetwork};
+use rand::{Rng, SeedableRng};
+
+fn build_model(he: &BfvParams, seed: u64) -> PiModel {
+    let fx = FixedConfig { p: he.t(), f: 5 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = Network::materialize(&zoo::tiny_cnn(), &mut rng);
+    PiModel::lower(&QuantNetwork::quantize(&net, fx))
+}
+
+fn random_input(model: &PiModel, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let f = 1u64 << model.f;
+    (0..model.input_len)
+        .map(|_| {
+            let v: i64 = rng.gen_range(-(f as i64)..=f as i64);
+            model.p.from_signed(v)
+        })
+        .collect()
+}
+
+fn serve_cfg(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        ..Default::default()
+    }
+}
+
+/// Runs `n` concurrent clients against one registered model and checks
+/// every output against the fixed-point reference — the same ground truth
+/// the sequential drivers are tested against, so concurrent == sequential
+/// bit-identity follows.
+fn run_concurrent_clients(rt: &ServeRuntime, model: &PiModel, cfg: &ProtocolConfig, n: u64) {
+    let model_id = rt.register_model(model.clone(), cfg.clone());
+    let meta = ModelMeta::of(model);
+    std::thread::scope(|scope| {
+        for c in 0..n {
+            let meta = &meta;
+            scope.spawn(move || {
+                let conn = rt.connect(c, model_id, 1_000 + c);
+                let input = random_input(model, 50 + c);
+                let mut client = ServiceClient::new();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(77 + c);
+                let (out, c_out) = client
+                    .run(meta, &input, cfg, &conn.chan, &mut rng)
+                    .expect("client protocol run");
+                assert_eq!(out, model.forward(&input), "client {c} output");
+                let s_out = conn.handle.wait().expect("server outcome");
+                assert!(s_out.total_sent > 0);
+                assert!(c_out.total_sent > 0);
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_clients_match_reference_clear_both_kinds() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    for kind in [ProtocolKind::ServerGarbler, ProtocolKind::ClientGarbler] {
+        let rt = ServeRuntime::new(serve_cfg(4));
+        run_concurrent_clients(&rt, &model, &ProtocolConfig::clear(kind), 4);
+    }
+}
+
+#[test]
+fn concurrent_clients_match_reference_he_client_garbler() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let rt = ServeRuntime::new(serve_cfg(4));
+    run_concurrent_clients(&rt, &model, &ProtocolConfig::client_garbler(he, 1), 3);
+    // Three distinct clients uploaded keys; the fused matvec batches ran.
+    assert_eq!(rt.key_table_stats().inserts, 3);
+}
+
+#[test]
+fn concurrent_clients_match_reference_he_server_garbler() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let rt = ServeRuntime::new(serve_cfg(2));
+    run_concurrent_clients(&rt, &model, &ProtocolConfig::server_garbler(he), 2);
+}
+
+#[test]
+fn dropped_client_aborts_one_session_not_the_server() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let cfg = ProtocolConfig::clear(ProtocolKind::ServerGarbler);
+    let rt = ServeRuntime::new(serve_cfg(2));
+    let model_id = rt.register_model(model.clone(), cfg.clone());
+    let meta = ModelMeta::of(&model);
+
+    // The dropper connects, reads the KeyStatus preamble, and vanishes
+    // mid-protocol.
+    let dropper = rt.connect(0, model_id, 1);
+    assert!(matches!(
+        dropper.chan.recv(),
+        Ok(Msg::KeyStatus { need_keys: false })
+    ));
+    drop(dropper.chan);
+    assert!(matches!(
+        dropper.handle.wait(),
+        Err(ProtocolError::Channel(_))
+    ));
+
+    // Neighbours opened after the drop still complete.
+    std::thread::scope(|scope| {
+        for c in 1..3u64 {
+            let (meta, cfg, rt, model) = (&meta, &cfg, &rt, &model);
+            scope.spawn(move || {
+                let conn = rt.connect(c, model_id, 1_000 + c);
+                let input = random_input(model, 60 + c);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(88 + c);
+                let (out, _) = ServiceClient::new()
+                    .run(meta, &input, cfg, &conn.chan, &mut rng)
+                    .expect("surviving client");
+                assert_eq!(out, model.forward(&input));
+                conn.handle.wait().expect("surviving server session");
+            });
+        }
+    });
+}
+
+#[test]
+fn misbehaving_client_gets_a_typed_error_not_a_panic() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let cfg = ProtocolConfig::clear(ProtocolKind::ServerGarbler);
+    let rt = ServeRuntime::new(serve_cfg(1));
+    let model_id = rt.register_model(model.clone(), cfg);
+
+    let conn = rt.connect(0, model_id, 1);
+    assert!(matches!(conn.chan.recv(), Ok(Msg::KeyStatus { .. })));
+    // Clear mode expects a VecU64 offline input; send garbage labels.
+    conn.chan.send(Msg::GcLabels(Vec::new())).unwrap();
+    match conn.handle.wait() {
+        Err(ProtocolError::UnexpectedMsg { expected, got }) => {
+            assert_eq!(expected, "VecU64");
+            assert_eq!(got, "GcLabels");
+        }
+        other => panic!("expected UnexpectedMsg, got {other:?}"),
+    }
+}
+
+#[test]
+fn key_table_eviction_forces_reupload_and_stays_correct() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let cfg = ProtocolConfig::client_garbler(he, 1);
+    // A 1-byte budget: each key insert evicts the previous client's keys.
+    let rt = ServeRuntime::new(ServeConfig {
+        workers: 2,
+        table_budget_bytes: 1,
+        table_shards: 1,
+        ..Default::default()
+    });
+    let model_id = rt.register_model(model.clone(), cfg.clone());
+    let meta = ModelMeta::of(&model);
+
+    let mut c0 = ServiceClient::new();
+    let mut c1 = ServiceClient::new();
+    let run = |c: u64, client: &mut ServiceClient, seed: u64| {
+        let conn = rt.connect(c, model_id, seed);
+        let input = random_input(&model, 70 + seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99 + seed);
+        let (out, c_out) = client
+            .run(&meta, &input, &cfg, &conn.chan, &mut rng)
+            .expect("client run");
+        assert_eq!(out, model.forward(&input));
+        conn.handle.wait().expect("server outcome");
+        c_out
+    };
+    let first = run(0, &mut c0, 1);
+    run(1, &mut c1, 2); // evicts client 0's keys
+    let again = run(0, &mut c0, 3); // miss → re-upload of the retained set
+    let stats = rt.key_table_stats();
+    assert!(stats.evictions >= 1, "stats: {stats:?}");
+    assert_eq!(stats.inserts, 3);
+    // The re-upload really happened: the offline upload is key-sized both
+    // times (no regeneration, but no skip either).
+    assert!(again.offline_sent > first.offline_sent / 2);
+}
+
+#[test]
+fn key_table_hit_skips_the_upload() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let cfg = ProtocolConfig::client_garbler(he, 1);
+    let rt = ServeRuntime::new(serve_cfg(2));
+    let model_id = rt.register_model(model.clone(), cfg.clone());
+    let meta = ModelMeta::of(&model);
+
+    let mut client = ServiceClient::new();
+    let run = |seed: u64, client: &mut ServiceClient| {
+        let conn = rt.connect(7, model_id, seed);
+        let input = random_input(&model, 80 + seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(111 + seed);
+        let (out, c_out) = client
+            .run(&meta, &input, &cfg, &conn.chan, &mut rng)
+            .expect("client run");
+        assert_eq!(out, model.forward(&input));
+        conn.handle.wait().expect("server outcome");
+        c_out
+    };
+    let first = run(1, &mut client);
+    assert!(client.has_keys());
+    let second = run(2, &mut client);
+    let stats = rt.key_table_stats();
+    assert!(stats.hits >= 1, "stats: {stats:?}");
+    assert_eq!(stats.inserts, 1);
+    // Cached keys: the second request's upload drops by the key material.
+    assert!(
+        second.offline_sent < first.offline_sent / 2,
+        "first={} second={}",
+        first.offline_sent,
+        second.offline_sent
+    );
+}
