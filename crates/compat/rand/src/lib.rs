@@ -253,6 +253,21 @@ pub mod rngs {
             }
             Self { s }
         }
+
+        /// Seeds from a full 256-bit seed (API-compatible with
+        /// `rand::SeedableRng::from_seed` for the real `StdRng`).
+        ///
+        /// Each little-endian `u64` limb of the seed is diffused through
+        /// splitmix64 so that sparse seeds (e.g. mostly-zero byte arrays)
+        /// still yield a well-mixed, non-zero xoshiro256++ state.
+        pub fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (limb, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                let mut v = u64::from_le_bytes(chunk.try_into().unwrap());
+                *limb = splitmix64(&mut v);
+            }
+            Self { s }
+        }
     }
 
     impl RngCore for StdRng {

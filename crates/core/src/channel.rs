@@ -68,12 +68,14 @@ pub struct SessionPacket {
 /// returns its wire size. The per-channel atomics stay authoritative for
 /// the exact upload/download accounting; the trace mirror aggregates
 /// across channels and feeds the `wire.msg_bytes` histogram.
-fn account_wire(msg: &Msg) -> u64 {
+fn account_wire(msg: &Msg) -> (u64, u64) {
     let len = msg.byte_len() as u64;
+    let flat = msg.flat_byte_len() as u64;
     pi_trace::add(pi_trace::Counter::WireBytes, len);
+    pi_trace::add(pi_trace::Counter::WireFlatBytes, flat);
     pi_trace::incr(pi_trace::Counter::WireMsgs);
     pi_trace::record(pi_trace::Hist::WireMsgBytes, len);
-    len
+    (len, flat)
 }
 
 /// The sending half of a [`Channel`]: either a dedicated peer link or a
@@ -92,6 +94,7 @@ pub struct Channel {
     tx: Uplink,
     rx: Receiver<Msg>,
     sent_bytes: Arc<AtomicU64>,
+    sent_flat_bytes: Arc<AtomicU64>,
     sent_msgs: Arc<AtomicU64>,
 }
 
@@ -104,12 +107,14 @@ pub fn local_pair() -> (Channel, Channel) {
         tx: Uplink::Direct(tx_a),
         rx: rx_a,
         sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_flat_bytes: Arc::new(AtomicU64::new(0)),
         sent_msgs: Arc::new(AtomicU64::new(0)),
     };
     let b = Channel {
         tx: Uplink::Direct(tx_b),
         rx: rx_b,
         sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_flat_bytes: Arc::new(AtomicU64::new(0)),
         sent_msgs: Arc::new(AtomicU64::new(0)),
     };
     (a, b)
@@ -128,11 +133,13 @@ pub fn service_pair(sid: u64, ingress: Sender<SessionPacket>) -> (Channel, Chann
         tx: Uplink::Tagged { tx: ingress, sid },
         rx: down_rx,
         sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_flat_bytes: Arc::new(AtomicU64::new(0)),
         sent_msgs: Arc::new(AtomicU64::new(0)),
     };
     let server_tx = ChannelTx {
         tx: down_tx,
         sent_bytes: Arc::new(AtomicU64::new(0)),
+        sent_flat_bytes: Arc::new(AtomicU64::new(0)),
         sent_msgs: Arc::new(AtomicU64::new(0)),
     };
     (client, server_tx)
@@ -146,8 +153,9 @@ impl Channel {
     /// [`ChannelError::Disconnected`] if the peer endpoint was dropped; the
     /// message is counted as sent (it left this party) but goes nowhere.
     pub fn send(&self, msg: Msg) -> Result<(), ChannelError> {
-        let len = account_wire(&msg);
+        let (len, flat) = account_wire(&msg);
         self.sent_bytes.fetch_add(len, Ordering::Relaxed);
+        self.sent_flat_bytes.fetch_add(flat, Ordering::Relaxed);
         self.sent_msgs.fetch_add(1, Ordering::Relaxed);
         match &self.tx {
             Uplink::Direct(tx) => tx.send(msg).map_err(|_| ChannelError::Disconnected),
@@ -195,6 +203,12 @@ impl Channel {
         self.sent_bytes.load(Ordering::Relaxed)
     }
 
+    /// Bytes this endpoint would have sent under the legacy flat-u64 HE
+    /// encoding (see [`Msg::flat_byte_len`]).
+    pub fn bytes_sent_flat(&self) -> u64 {
+        self.sent_flat_bytes.load(Ordering::Relaxed)
+    }
+
     /// Total messages sent from this endpoint (round counting).
     pub fn messages_sent(&self) -> u64 {
         self.sent_msgs.load(Ordering::Relaxed)
@@ -229,6 +243,10 @@ pub trait MsgSink {
 
     /// Total bytes sent through this sink.
     fn sent_bytes(&self) -> u64;
+
+    /// Bytes this sink would have sent under the legacy flat-u64 HE
+    /// encoding (see [`Msg::flat_byte_len`]).
+    fn sent_bytes_flat(&self) -> u64;
 }
 
 impl MsgSink for Channel {
@@ -238,6 +256,10 @@ impl MsgSink for Channel {
 
     fn sent_bytes(&self) -> u64 {
         self.bytes_sent()
+    }
+
+    fn sent_bytes_flat(&self) -> u64 {
+        self.bytes_sent_flat()
     }
 }
 
@@ -249,6 +271,10 @@ impl MsgSink for ChannelTx {
     fn sent_bytes(&self) -> u64 {
         self.bytes_sent()
     }
+
+    fn sent_bytes_flat(&self) -> u64 {
+        self.bytes_sent_flat()
+    }
 }
 
 /// The server-side downlink sender of a [`service_pair`] session: a
@@ -258,6 +284,7 @@ impl MsgSink for ChannelTx {
 pub struct ChannelTx {
     tx: Sender<Msg>,
     sent_bytes: Arc<AtomicU64>,
+    sent_flat_bytes: Arc<AtomicU64>,
     sent_msgs: Arc<AtomicU64>,
 }
 
@@ -268,8 +295,9 @@ impl ChannelTx {
     ///
     /// [`ChannelError::Disconnected`] if the client endpoint was dropped.
     pub fn send(&self, msg: Msg) -> Result<(), ChannelError> {
-        let len = account_wire(&msg);
+        let (len, flat) = account_wire(&msg);
         self.sent_bytes.fetch_add(len, Ordering::Relaxed);
+        self.sent_flat_bytes.fetch_add(flat, Ordering::Relaxed);
         self.sent_msgs.fetch_add(1, Ordering::Relaxed);
         self.tx.send(msg).map_err(|_| ChannelError::Disconnected)
     }
@@ -277,6 +305,12 @@ impl ChannelTx {
     /// Total bytes sent from this endpoint.
     pub fn bytes_sent(&self) -> u64 {
         self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes this endpoint would have sent under the legacy flat-u64 HE
+    /// encoding (see [`Msg::flat_byte_len`]).
+    pub fn bytes_sent_flat(&self) -> u64 {
+        self.sent_flat_bytes.load(Ordering::Relaxed)
     }
 
     /// Total messages sent from this endpoint.

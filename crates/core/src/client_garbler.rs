@@ -154,6 +154,7 @@ pub(crate) fn try_run_client_with_keys<R: Rng + ?Sized>(
         + c_shares.iter().map(|s| s.len() as u64 * 8).sum::<u64>()
         + r_acts.iter().map(|r| r.len() as u64 * 8).sum::<u64>();
     out.offline_sent = chan.bytes_sent();
+    out.offline_sent_flat = chan.bytes_sent_flat();
 
     // ---------------- Online ----------------
     let masked: Vec<u64> = input
@@ -195,6 +196,7 @@ pub(crate) fn try_run_client_with_keys<R: Rng + ?Sized>(
         .map(|(&a, &b)| p.add(a, b))
         .collect();
     out.total_sent = chan.bytes_sent();
+    out.total_sent_flat = chan.bytes_sent_flat();
     drop(root_span);
     out.trace = trace_scope.finish();
     Ok((output, out))

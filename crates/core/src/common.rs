@@ -267,7 +267,9 @@ pub fn try_client_offline_linear<R: Rng + ?Sized>(
                     Arc::new(KeySet::generate_for_dims(params, &dims, rng))
                 }
             };
-            outcome.galois_key_bytes = keys.galois.byte_len() as u64;
+            // Accounting reports the serialized frame length — the bytes
+            // that actually cross the wire — not the in-memory footprint.
+            outcome.galois_key_bytes = keys.galois.wire_byte_len() as u64;
             // The per-rotation baseline for a dimension set is the UNION of
             // the per-dim rotation sets; smaller dims' rotations {1..d−1}
             // nest inside the largest, so the union is the max dim's set.
@@ -281,8 +283,8 @@ pub fn try_client_offline_linear<R: Rng + ?Sized>(
                 GaloisKeys::per_rotation_set_byte_len(params, max_dim) as u64;
             if upload {
                 chan.send(Msg::HeKeys {
-                    pk: Box::new(keys.public.clone()),
-                    gk: Box::new(keys.galois.clone()),
+                    pk: pi_he::public_key_to_bytes(&keys.public),
+                    gk: pi_he::galois_keys_to_bytes(&keys.galois),
                 })?;
             }
             let encoder = BatchEncoder::new(params);
@@ -306,14 +308,20 @@ pub fn try_client_offline_linear<R: Rng + ?Sized>(
                     ch.encoder.row_size()
                 );
                 r_cat.resize(ph.padded_dim, 0);
-                let ct = ch
+                // Seed-expanded symmetric encryption: the frame carries
+                // packed c0 plus a 32-byte seed instead of c1 — the client
+                // holds the secret key, so the cheaper symmetric form is
+                // always available here.
+                let (ct, seed) = ch
                     .keys
-                    .public
-                    .encrypt(&ch.encoder.encode_periodic(&r_cat), rng);
+                    .secret
+                    .encrypt_seeded(&ch.encoder.encode_periodic(&r_cat), rng);
                 // Only the client can gauge noise (it holds the secret
                 // key); no-op below PI_TRACE=full.
                 ch.keys.secret.gauge_noise(&ct, NoiseStage::Encrypt);
-                chan.send(Msg::HeCts(vec![ct]))?;
+                chan.send(Msg::HeCts(vec![pi_he::ciphertext_to_bytes_seeded(
+                    &ct, &seed,
+                )]))?;
             }
             None => chan.send(Msg::VecU64(r_cat))?,
         }
@@ -323,8 +331,18 @@ pub fn try_client_offline_linear<R: Rng + ?Sized>(
     for ph in &meta.phases {
         let share = match &he {
             Some(ch) => match chan.recv()? {
-                Msg::HeCts(cts) => {
-                    let pt = ch.keys.secret.decrypt(&cts[0]);
+                Msg::HeCts(frames) => {
+                    let frame = frames
+                        .first()
+                        .ok_or(ProtocolError::BadRequest("empty HeCts response"))?;
+                    let params = cfg.he_params.as_ref().expect("HE mode requires parameters");
+                    let ct = pi_he::ciphertext_from_bytes(frame, params)?;
+                    if ct.c0.ctx().q() != params.down_q() {
+                        return Err(ProtocolError::BadRequest(
+                            "response ciphertext not modulus-switched",
+                        ));
+                    }
+                    let pt = ch.keys.secret.decrypt_switched(&ct);
                     ch.encoder.decode_prefix(&pt, ph.rows)
                 }
                 other => return Err(unexpected("HeCts", &other)),
@@ -469,6 +487,13 @@ pub struct PartyOutcome {
     pub offline_sent: u64,
     /// Total bytes this party sent.
     pub total_sent: u64,
+    /// What [`PartyOutcome::offline_sent`] would have been under the legacy
+    /// flat-u64 HE encoding (no packing, no seed expansion, no modulus
+    /// switch).
+    pub offline_sent_flat: u64,
+    /// What [`PartyOutcome::total_sent`] would have been under the legacy
+    /// flat-u64 HE encoding.
+    pub total_sent_flat: u64,
     /// This party's trace: the phase span tree rooted at `client` /
     /// `server` plus every substrate counter its thread touched. The
     /// [`crate::CostReport`] timing fields are derived from these spans.

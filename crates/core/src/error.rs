@@ -25,6 +25,9 @@ pub enum ProtocolError {
     /// A request violated the session contract (bad lengths, missing key
     /// material, a reused session) — the peer's fault, not the server's.
     BadRequest(&'static str),
+    /// An HE wire frame failed to deserialize (truncated, corrupted, or
+    /// under mismatched parameters) — the peer's bytes, the peer's fault.
+    Wire(pi_he::WireError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -35,6 +38,7 @@ impl std::fmt::Display for ProtocolError {
                 write!(f, "protocol violation: expected {expected}, got {got}")
             }
             ProtocolError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ProtocolError::Wire(e) => write!(f, "wire format error: {e}"),
         }
     }
 }
@@ -43,6 +47,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Channel(e) => Some(e),
+            ProtocolError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -51,5 +56,11 @@ impl std::error::Error for ProtocolError {
 impl From<ChannelError> for ProtocolError {
     fn from(e: ChannelError) -> Self {
         ProtocolError::Channel(e)
+    }
+}
+
+impl From<pi_he::WireError> for ProtocolError {
+    fn from(e: pi_he::WireError) -> Self {
+        ProtocolError::Wire(e)
     }
 }

@@ -1,11 +1,16 @@
 //! Protocol messages and their wire-format sizes.
 //!
-//! Parties exchange typed values in process; `byte_len` reports the size
-//! each message would occupy in a binary wire format (fixed-width fields,
-//! length-prefixed sequences), which drives all communication accounting.
+//! Parties exchange typed values in process. HE material — key uploads,
+//! ciphertext vectors — travels as **actual serialized frames**
+//! ([`pi_he::wire`]): seed-expanded, bit-packed bytes produced by the
+//! sender and parsed by the receiver, so `byte_len` for those variants is
+//! the real frame length, not an analytic estimate. The remaining variants
+//! report the size they would occupy in a binary encoding (fixed-width
+//! fields, length-prefixed sequences). [`Msg::flat_byte_len`] additionally
+//! reports what each message *would have cost* under the legacy flat-`u64`
+//! encoding, which is the baseline the bandwidth figures compare against.
 
 use pi_gc::Label;
-use pi_he::{Ciphertext, GaloisKeys, PublicKey};
 use pi_ot::base::{ReceiverChoiceMsg, SenderSetupMsg, SenderTransferMsg};
 use pi_ot::ext::{ExtendMsg, TransferMsg};
 
@@ -19,16 +24,19 @@ pub enum Msg {
         /// `true` if the client must (re-)upload `HeKeys`.
         need_keys: bool,
     },
-    /// Client → server: HE public key and rotation keys (offline, once).
+    /// Client → server: HE public key and rotation keys (offline, once), as
+    /// serialized seed-expanded wire frames ([`pi_he::public_key_to_bytes`]
+    /// / [`pi_he::galois_keys_to_bytes`]).
     HeKeys {
-        /// Encryption key.
-        pk: Box<PublicKey>,
-        /// Rotation keys.
-        gk: Box<GaloisKeys>,
+        /// Serialized encryption-key frame.
+        pk: Vec<u8>,
+        /// Serialized rotation-key frame.
+        gk: Vec<u8>,
     },
     /// Encrypted vectors (client's `E(r)` per phase, or the server's
-    /// `E(W·r − s)` response).
-    HeCts(Vec<Ciphertext>),
+    /// mod-switched `E(W·r − s)` response), one serialized ciphertext frame
+    /// each.
+    HeCts(Vec<Vec<u8>>),
     /// Cleartext field vector: masked activations, output shares, or — in
     /// the insecure test-only `LinearMode::Clear` — the raw randomness.
     VecU64(Vec<u64>),
@@ -53,12 +61,14 @@ pub enum Msg {
 }
 
 impl Msg {
-    /// Wire-format size in bytes.
+    /// Wire-format size in bytes. For HE frames this is the exact length of
+    /// the serialized bytes being carried (plus an 8-byte length prefix per
+    /// frame); for everything else, the analytic binary-encoding size.
     pub fn byte_len(&self) -> usize {
         match self {
             Msg::KeyStatus { .. } => 1,
-            Msg::HeKeys { pk, gk } => pk.byte_len() + gk.byte_len(),
-            Msg::HeCts(cts) => 8 + cts.iter().map(|c| c.byte_len()).sum::<usize>(),
+            Msg::HeKeys { pk, gk } => 8 + pk.len() + 8 + gk.len(),
+            Msg::HeCts(frames) => 8 + frames.iter().map(|f| 8 + f.len()).sum::<usize>(),
             Msg::VecU64(v) => 8 + v.len() * 8,
             Msg::GcTables(circuits) => 8 + circuits.iter().map(|t| 8 + t.len() * 32).sum::<usize>(),
             Msg::GcDecode(bits) => 8 + bits.iter().map(|b| 8 + b.len().div_ceil(8)).sum::<usize>(),
@@ -68,6 +78,20 @@ impl Msg {
             Msg::OtBaseTransfer(m) => m.byte_len(),
             Msg::OtExtend(m) => 8 + m.byte_len(),
             Msg::OtTransfer(m) => 8 + m.byte_len(),
+        }
+    }
+
+    /// The bytes this message would have cost under the legacy flat-`u64`
+    /// HE encoding (8 bytes per coefficient, no seed expansion, no modulus
+    /// switch) — the pre-packing baseline for bandwidth comparisons.
+    /// Non-HE variants cost the same as [`Msg::byte_len`]; an HE frame the
+    /// flat model cannot parse falls back to its real length.
+    pub fn flat_byte_len(&self) -> usize {
+        let flat = |f: &Vec<u8>| pi_he::flat_frame_len(f).unwrap_or(f.len());
+        match self {
+            Msg::HeKeys { pk, gk } => 8 + flat(pk) + 8 + flat(gk),
+            Msg::HeCts(frames) => 8 + frames.iter().map(|f| 8 + flat(f)).sum::<usize>(),
+            other => other.byte_len(),
         }
     }
 
@@ -105,5 +129,18 @@ mod tests {
             8 + 2 * (8 + 96)
         );
         assert_eq!(Msg::GcDecode(vec![vec![true; 17]]).byte_len(), 8 + 8 + 3);
+    }
+
+    #[test]
+    fn he_frames_count_serialized_bytes() {
+        let msg = Msg::HeCts(vec![vec![0u8; 100], vec![0u8; 7]]);
+        assert_eq!(msg.byte_len(), 8 + (8 + 100) + (8 + 7));
+        // Unparseable frames fall back to their real length in flat mode.
+        assert_eq!(msg.flat_byte_len(), msg.byte_len());
+        let keys = Msg::HeKeys {
+            pk: vec![0u8; 10],
+            gk: vec![0u8; 20],
+        };
+        assert_eq!(keys.byte_len(), 8 + 10 + 8 + 20);
     }
 }

@@ -31,11 +31,15 @@ pub fn merge_cost_report(
         offline: SideCosts {
             upload_bytes: client.offline_sent,
             download_bytes: server.offline_sent,
+            upload_bytes_flat: client.offline_sent_flat,
+            download_bytes_flat: server.offline_sent_flat,
             ..Default::default()
         },
         online: SideCosts {
             upload_bytes: client.total_sent - client.offline_sent,
             download_bytes: server.total_sent - server.offline_sent,
+            upload_bytes_flat: client.total_sent_flat - client.offline_sent_flat,
+            download_bytes_flat: server.total_sent_flat - server.offline_sent_flat,
             ..Default::default()
         },
         client_storage_bytes: client.storage_bytes,
@@ -65,10 +69,18 @@ pub fn merge_cost_report(
 /// Costs attributed to one protocol phase (offline or online).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SideCosts {
-    /// Bytes sent client → server during this phase.
+    /// Bytes sent client → server during this phase (actual serialized
+    /// frames: seed-expanded, bit-packed, mod-switched).
     pub upload_bytes: u64,
     /// Bytes sent server → client during this phase.
     pub download_bytes: u64,
+    /// What `upload_bytes` would have been under the legacy flat-u64 HE
+    /// encoding — the baseline the wire-format savings are measured
+    /// against.
+    pub upload_bytes_flat: u64,
+    /// What `download_bytes` would have been under the legacy flat-u64 HE
+    /// encoding.
+    pub download_bytes_flat: u64,
     /// Wall-clock milliseconds spent in homomorphic evaluation (`None` =
     /// not measured: spans need `PI_TRACE=full`).
     pub he_ms: Option<f64>,
@@ -86,6 +98,11 @@ impl SideCosts {
     /// Total communication in bytes.
     pub fn total_bytes(&self) -> u64 {
         self.upload_bytes + self.download_bytes
+    }
+
+    /// Total communication under the legacy flat-u64 HE encoding.
+    pub fn total_bytes_flat(&self) -> u64 {
+        self.upload_bytes_flat + self.download_bytes_flat
     }
 
     /// Total accounted compute milliseconds: the sum of the measured phase
@@ -233,6 +250,8 @@ mod tests {
         let c = SideCosts {
             upload_bytes: 10,
             download_bytes: 20,
+            upload_bytes_flat: 40,
+            download_bytes_flat: 50,
             he_ms: Some(1.0),
             garble_ms: Some(2.0),
             eval_ms: Some(3.0),
@@ -240,6 +259,7 @@ mod tests {
             ss_ms: Some(5.0),
         };
         assert_eq!(c.total_bytes(), 30);
+        assert_eq!(c.total_bytes_flat(), 90);
         assert!((c.total_compute_ms().unwrap() - 15.0).abs() < 1e-12);
     }
 

@@ -271,7 +271,13 @@ impl ServerSession {
         let state = std::mem::replace(&mut self.state, State::Done);
         match (state, msg) {
             (State::AwaitKeys, Msg::HeKeys { pk, gk }) => {
-                let keys = Arc::new(ClientHeKeys { pk: *pk, gk: *gk });
+                // Keys arrive as serialized seed-expanded frames; a frame
+                // that fails to parse is the client's fault and aborts only
+                // this session.
+                let params = ctx.cfg.he_params.as_ref().expect("HE mode parameters");
+                let pk = pi_he::public_key_from_bytes(&pk, params)?;
+                let gk = pi_he::galois_keys_from_bytes(&gk, params)?;
+                let keys = Arc::new(ClientHeKeys { pk, gk });
                 self.received_keys = Some(keys.clone());
                 self.he = Some(HeCtx {
                     keys,
@@ -285,11 +291,18 @@ impl ServerSession {
             (State::AwaitKeys, other) => Err(unexpected("HeKeys", &other)),
             (State::AwaitInput(i), msg) => {
                 let input = match (ctx.cfg.linear, msg) {
-                    (LinearMode::He, Msg::HeCts(mut cts)) => {
-                        if cts.is_empty() {
+                    (LinearMode::He, Msg::HeCts(frames)) => {
+                        let Some(frame) = frames.first() else {
                             return Err(ProtocolError::BadRequest("empty ciphertext batch"));
+                        };
+                        let params = ctx.cfg.he_params.as_ref().expect("HE mode parameters");
+                        let ct = pi_he::ciphertext_from_bytes(frame, params)?;
+                        if ct.c0.ctx().q() != params.q() {
+                            return Err(ProtocolError::BadRequest(
+                                "offline upload not at the full ciphertext modulus",
+                            ));
                         }
-                        PhaseInput::Ct(cts.remove(0))
+                        PhaseInput::Ct(ct)
                     }
                     (LinearMode::He, other) => return Err(unexpected("HeCts", &other)),
                     (LinearMode::Clear, Msg::VecU64(v)) => {
@@ -535,7 +548,12 @@ impl ServerSession {
                     &self.s_vecs[i],
                     ctx.pre.matrices[i].padded_dim(),
                 );
-                ctx.sink.send_msg(Msg::HeCts(vec![resp]))?;
+                // Every server→client response is modulus-down-switched
+                // before serialization: fewer packed bits per coefficient
+                // AND more absolute noise headroom at the GC handoff.
+                let resp = resp.mod_switch_down(params);
+                ctx.sink
+                    .send_msg(Msg::HeCts(vec![pi_he::ciphertext_to_bytes(&resp)]))?;
             }
         }
         self.start_ot_stage(ctx)?;
@@ -705,6 +723,7 @@ impl ServerSession {
                 .collect();
         }
         self.outcome.offline_sent = ctx.sink.sent_bytes();
+        self.outcome.offline_sent_flat = ctx.sink.sent_bytes_flat();
         self.state = State::AwaitMaskedInput;
     }
 
@@ -773,6 +792,7 @@ impl ServerSession {
             }
         }
         self.outcome.total_sent = ctx.sink.sent_bytes();
+        self.outcome.total_sent_flat = ctx.sink.sent_bytes_flat();
         self.state = State::Done;
         Ok(Step::Done)
     }

@@ -123,4 +123,39 @@ impl Ciphertext {
     pub fn byte_len(&self) -> usize {
         2 * self.c0.ctx().n() * 8
     }
+
+    /// Switches both components to the smaller response modulus
+    /// `q' =` [`BfvParams::down_q`], coefficient-wise `c' = round(q'·c/q)`.
+    ///
+    /// The result lives in [`BfvParams::down_ring`] and decrypts with
+    /// [`crate::SecretKey::decrypt_switched`]. Scaling tracks the phase
+    /// `Δm + e ↦ (q'/q)(Δm + e) + e_round`, so the message survives as long
+    /// as the scaled noise plus the O(n·‖s‖) rounding term stays under
+    /// `q'/(2t)` — the switch *gains* absolute noise headroom at the GC
+    /// handoff. When the down ring is the ciphertext ring this is a cheap
+    /// canonicalizing copy.
+    pub fn mod_switch_down(&self, params: &BfvParams) -> Self {
+        let down = params.down_ring();
+        let q = params.q().value();
+        let q_down = params.down_q().value();
+        let switch = |p: &Poly| {
+            if q == q_down {
+                return Poly::from_coeffs(down.clone(), p.coeffs());
+            }
+            let half = u128::from(q) / 2;
+            let coeffs = p
+                .coeffs()
+                .iter()
+                .map(|&c| {
+                    let num = u128::from(c) * u128::from(q_down) + half;
+                    params.down_q().reduce_u128(num / u128::from(q))
+                })
+                .collect();
+            Poly::from_coeffs(down.clone(), coeffs)
+        };
+        Self {
+            c0: switch(&self.c0),
+            c1: switch(&self.c1),
+        }
+    }
 }

@@ -236,30 +236,47 @@ fn decompose_into(coeff: &[u64], log_base: u32, digits: &mut [Vec<u64>]) {
     }
 }
 
-/// The BFV secret key: a ternary ring element `s`.
+/// The BFV secret key: a ternary ring element `s`, plus the same element
+/// re-embedded in the down-switch response ring (see
+/// [`BfvParams::down_ring`]) so [`SecretKey::decrypt_switched`] can run
+/// entirely under `q'`.
 #[derive(Clone, Debug)]
 pub struct SecretKey {
     params: BfvParams,
     s: Poly,
+    /// `s` embedded in the down ring, NTT form.
+    s_down: Poly,
 }
 
-/// The BFV public key: an RLWE sample `(pk0, pk1) = (-(a·s + e), a)`.
+/// The BFV public key: an RLWE sample `(pk0, pk1) = (-(a·s + e), a)`, where
+/// `a` is expanded from a 32-byte PRG seed. The wire layer transmits
+/// `(pk0, seed)` and regenerates `a` on the far side.
 #[derive(Clone, Debug)]
 pub struct PublicKey {
     params: BfvParams,
     pk0: Poly,
     pk1: Poly,
+    /// PRG seed `pk1` was expanded from.
+    seed: [u8; 32],
+}
+
+/// The deterministic PRG stream a 32-byte wire seed expands to. Uniform
+/// polynomial regeneration draws from this stream via the scalar
+/// `sample::uniform` path, so expansion is bit-identical on every `PI_SIMD`
+/// backend and across machines.
+pub(crate) fn expansion_rng(seed: &[u8; 32]) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_seed(*seed)
 }
 
 /// One Galois element's key material: the gadget base it was generated
 /// under, the per-digit Shoup-form key pairs, and the precomputed NTT-slot
 /// permutation realizing the automorphism (used by the hoisted paths).
 #[derive(Clone, Debug)]
-struct GaloisKeyEntry {
+pub(crate) struct GaloisKeyEntry {
     /// log2 of this element's gadget decomposition base.
-    log_base: u32,
+    pub(crate) log_base: u32,
     /// `(k0_i, k1_i)` per digit, satisfying `k0_i + k1_i·s = B^i·s(x^g) + e_i`.
-    digits: Vec<(PolyOperand, PolyOperand)>,
+    pub(crate) digits: Vec<(PolyOperand, PolyOperand)>,
     /// `x ↦ x^g` as an evaluation-slot permutation.
     perm: GaloisPerm,
 }
@@ -280,6 +297,8 @@ pub struct GaloisKeys {
     params: BfvParams,
     /// Per element, one entry per generated gadget base (coarsest first).
     keys: HashMap<usize, Vec<GaloisKeyEntry>>,
+    /// PRG seed every gadget `a` column was expanded from (wire layer).
+    seed: [u8; 32],
 }
 
 /// A ciphertext decomposed once for many rotations (Halevi–Shoup
@@ -310,6 +329,24 @@ impl HoistedCiphertext {
     /// Number of gadget digits held.
     pub fn num_digits(&self) -> usize {
         self.digits.len()
+    }
+
+    pub(crate) fn wire_parts(&self) -> (&[u64], &[u64], &[Vec<u64>]) {
+        (&self.c0, &self.c1, &self.digits)
+    }
+
+    pub(crate) fn from_wire_parts(
+        log_base: u32,
+        c0: Vec<u64>,
+        c1: Vec<u64>,
+        digits: Vec<Vec<u64>>,
+    ) -> Self {
+        Self {
+            log_base,
+            c0,
+            c1,
+            digits,
+        }
     }
 }
 
@@ -403,10 +440,16 @@ fn merge_bsgs_specs(
 impl SecretKey {
     /// Samples a fresh ternary secret key.
     pub fn generate<R: Rng + ?Sized>(params: &BfvParams, rng: &mut R) -> Self {
-        let s = sample::ternary(params.ring(), rng).into_ntt();
+        let s_coeff = sample::ternary(params.ring(), rng);
+        // Re-embed the ternary coefficients in the down ring while the
+        // coefficient form is at hand (values are {0, 1, q−1} ↦ {0, ±1}).
+        let q = params.q();
+        let signed: Vec<i64> = s_coeff.data().iter().map(|&c| q.to_signed(c)).collect();
+        let s_down = Poly::from_signed(params.down_ring().clone(), &signed).into_ntt();
         Self {
             params: params.clone(),
-            s,
+            s: s_coeff.into_ntt(),
+            s_down,
         }
     }
 
@@ -415,16 +458,43 @@ impl SecretKey {
         &self.params
     }
 
-    /// Derives the public key `(-(a·s + e), a)`.
+    /// Derives the public key `(-(a·s + e), a)` with `a` expanded from a
+    /// fresh 32-byte seed (drawn from `rng`), so the wire layer can ship
+    /// the seed instead of the uniform polynomial.
     pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
-        let a = sample::uniform(self.params.ring(), rng).into_ntt();
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let a = sample::uniform(self.params.ring(), &mut expansion_rng(&seed)).into_ntt();
         let e = sample::centered_binomial(self.params.ring(), rng, self.params.error_k);
         let pk0 = a.mul(&self.s).add(&e.into_ntt()).neg();
         PublicKey {
             params: self.params.clone(),
             pk0,
             pk1: a,
+            seed,
         }
+    }
+
+    /// Symmetric (secret-key) encryption with a seed-expanded mask:
+    /// `c1 = a` is drawn from a fresh 32-byte PRG seed and
+    /// `c0 = Δm + e − a·s`, so `c0 + c1·s = Δm + e` exactly as for
+    /// public-key ciphertexts. Returns the ciphertext together with the
+    /// seed; the wire layer transmits `(c0, seed)` — half the bytes of a
+    /// two-polynomial frame — and the receiver regenerates `c1`.
+    pub fn encrypt_seeded<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> (Ciphertext, [u8; 32]) {
+        pi_trace::incr(pi_trace::Counter::HeEncrypt);
+        let params = &self.params;
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let a = sample::uniform(params.ring(), &mut expansion_rng(&seed)).into_ntt();
+        let e = sample::centered_binomial(params.ring(), rng, params.error_k);
+        let scaled = pt.poly.scale(params.delta());
+        let c0 = scaled.into_ntt().add(&e.into_ntt()).sub(&a.mul(&self.s));
+        (Ciphertext { c0, c1: a }, seed)
     }
 
     /// Generates key-switching keys for the given Galois elements, all under
@@ -465,6 +535,14 @@ impl SecretKey {
         let q = params.q();
         let mut keys: HashMap<usize, Vec<GaloisKeyEntry>> = HashMap::new();
         let s_coeff = self.s.clone().into_coeff();
+        // All uniform gadget columns expand from one 32-byte seed, drawn in
+        // the same sorted (element, base, digit) order the loop below
+        // iterates in. The wire layer ships the seed and the k0 halves only;
+        // deserialization replays this stream (see `GaloisKeys::
+        // from_wire_parts`). Errors keep coming from the caller's RNG.
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let mut a_stream = expansion_rng(&seed);
         // Generate in sorted (element, base) order so RNG consumption — and
         // with it the exact key material and noise — is deterministic for a
         // seeded RNG regardless of HashMap iteration order. Descending base
@@ -481,7 +559,7 @@ impl SecretKey {
             let mut digit_keys = Vec::with_capacity(num_digits);
             let mut base_pow = 1u64;
             for _ in 0..num_digits {
-                let a = sample::uniform(params.ring(), rng).into_ntt();
+                let a = sample::uniform(params.ring(), &mut a_stream).into_ntt();
                 let e = sample::centered_binomial(params.ring(), rng, params.error_k);
                 // k0 = -(a·s + e) + B^i · s(x^g)
                 let k0 = a
@@ -501,6 +579,7 @@ impl SecretKey {
         GaloisKeys {
             params: params.clone(),
             keys,
+            seed,
         }
     }
 
@@ -520,6 +599,35 @@ impl SecretKey {
             .iter()
             .map(|&c| {
                 // round(t * c / q) mod t
+                let prod = c as u128 * t as u128;
+                let rounded = ((prod + q as u128 / 2) / q as u128) as u64;
+                rounded % t
+            })
+            .collect();
+        Plaintext {
+            poly: Poly::from_coeffs(self.params.ring().clone(), coeffs),
+        }
+    }
+
+    /// Decrypts a ciphertext living in the down-switch response ring (see
+    /// [`crate::Ciphertext::mod_switch_down`]): same rounding decode as
+    /// [`SecretKey::decrypt`], but under `q' =` [`BfvParams::down_q`] with
+    /// the re-embedded secret. Accepts full-modulus ciphertexts too (the
+    /// down ring may be the ciphertext ring when headroom is tight).
+    pub fn decrypt_switched(&self, ct: &Ciphertext) -> Plaintext {
+        pi_trace::incr(pi_trace::Counter::HeDecrypt);
+        let down = self.params.down_ring();
+        assert!(
+            ct.c0.ctx().n() == down.n() && ct.c0.ctx().q() == down.q(),
+            "ciphertext is not in the down-switch ring"
+        );
+        let v = ct.c0.add(&ct.c1.mul(&self.s_down)).into_coeff();
+        let q = down.q().value();
+        let t = self.params.t().value();
+        let coeffs: Vec<u64> = v
+            .coeffs()
+            .iter()
+            .map(|&c| {
                 let prod = c as u128 * t as u128;
                 let rounded = ((prod + q as u128 / 2) / q as u128) as u64;
                 rounded % t
@@ -625,9 +733,28 @@ impl PublicKey {
         &self.params
     }
 
-    /// Serialized size in bytes (two ring polynomials).
+    /// In-memory size in bytes (two ring polynomials, flat words). The
+    /// serialized wire frame is smaller — packed `pk0` plus a 32-byte seed
+    /// (see `pi_he::wire`).
     pub fn byte_len(&self) -> usize {
         2 * self.params.n() * 8
+    }
+
+    pub(crate) fn wire_parts(&self) -> (&Poly, &[u8; 32]) {
+        (&self.pk0, &self.seed)
+    }
+
+    /// Rebuilds the key from its wire parts, regenerating `pk1` from the
+    /// seed stream.
+    pub(crate) fn from_wire_parts(params: &BfvParams, pk0: Poly, seed: [u8; 32]) -> Self {
+        pi_trace::incr(pi_trace::Counter::WireSeedExpand);
+        let pk1 = sample::uniform(params.ring(), &mut expansion_rng(&seed)).into_ntt();
+        Self {
+            params: params.clone(),
+            pk0,
+            pk1,
+            seed,
+        }
     }
 }
 
@@ -988,9 +1115,11 @@ impl GaloisKeys {
         &self.params
     }
 
-    /// Serialized size in bytes: two polynomials per decomposition digit per
+    /// In-memory size in bytes: two polynomials per decomposition digit per
     /// Galois element (baby-step elements carry more digits under their
-    /// finer gadget).
+    /// finer gadget), flat words. The serialized wire frame is roughly 4×
+    /// smaller — only the packed `k0` halves plus one 32-byte seed cross
+    /// the wire (see `pi_he::wire::galois_keys_to_bytes`).
     pub fn byte_len(&self) -> usize {
         self.keys
             .values()
@@ -1004,14 +1133,73 @@ impl GaloisKeys {
         self.keys.len()
     }
 
+    /// Exact length of this key set's serialized wire frame
+    /// ([`crate::wire::galois_keys_to_bytes`]): packed `k0` halves plus one
+    /// 32-byte seed.
+    pub fn wire_byte_len(&self) -> usize {
+        let entries = self.wire_entries();
+        let total_digits: usize = entries.iter().map(|(_, e)| e.digits.len()).sum();
+        crate::wire::galois_keys_wire_len(&self.params, entries.len(), total_digits)
+    }
+
     /// Serialized size a **per-rotation** key set would need at dimension
-    /// `dim`: one ordinary-gadget key for each of the `dim − 1` rotation
-    /// amounts a hoisted (non-composing) diagonal matvec would otherwise
-    /// demand. The BSGS set materializes only `⌈√dim⌉ + ⌈dim/⌈√dim⌉⌉ − 2`
-    /// elements; comparing [`GaloisKeys::byte_len`] against this figure is
-    /// the offline key-storage win reported in `pi-core`'s `CostReport`.
+    /// `dim`, on the same wire basis as the real frames (packed `k0`
+    /// halves, seed-expanded `a` halves): one ordinary-gadget key for each
+    /// of the `dim − 1` rotation amounts a hoisted (non-composing) diagonal
+    /// matvec would otherwise demand. The BSGS set materializes only
+    /// `⌈√dim⌉ + ⌈dim/⌈√dim⌉⌉ − 2` elements; comparing the serialized
+    /// Galois frame length against this figure is the offline key-storage
+    /// win reported in `pi-core`'s `CostReport`.
     pub fn per_rotation_set_byte_len(params: &BfvParams, dim: usize) -> usize {
-        dim.saturating_sub(1) * params.ks_digits * 2 * params.n() * 8
+        let elements = dim.saturating_sub(1);
+        crate::wire::galois_keys_wire_len(params, elements, elements * params.ks_digits)
+    }
+
+    pub(crate) fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Entries in the deterministic wire order: sorted by
+    /// `(element, descending log_base)` — the exact order the seed stream
+    /// was consumed in at generation.
+    pub(crate) fn wire_entries(&self) -> Vec<(usize, &GaloisKeyEntry)> {
+        let mut out: Vec<(usize, &GaloisKeyEntry)> = self
+            .keys
+            .iter()
+            .flat_map(|(&g, entries)| entries.iter().map(move |e| (g, e)))
+            .collect();
+        out.sort_by_key(|&(g, e)| (g, Reverse(e.log_base)));
+        out
+    }
+
+    /// Rebuilds keys from wire parts: the `k0` halves (coefficient-form
+    /// polys, wire order) plus the seed, replaying the `a` expansion stream
+    /// exactly as `galois_keys_from_specs` consumed it.
+    pub(crate) fn from_wire_parts(
+        params: &BfvParams,
+        seed: [u8; 32],
+        parts: Vec<(usize, u32, Vec<Poly>)>,
+    ) -> Self {
+        pi_trace::incr(pi_trace::Counter::WireSeedExpand);
+        let mut a_stream = expansion_rng(&seed);
+        let mut keys: HashMap<usize, Vec<GaloisKeyEntry>> = HashMap::new();
+        for (g, log_base, k0s) in parts {
+            let mut digits = Vec::with_capacity(k0s.len());
+            for k0 in k0s {
+                let a = sample::uniform(params.ring(), &mut a_stream).into_ntt();
+                digits.push((k0.to_operand(), a.to_operand()));
+            }
+            keys.entry(g).or_default().push(GaloisKeyEntry {
+                log_base,
+                digits,
+                perm: params.ring().ntt().galois_permutation(g),
+            });
+        }
+        Self {
+            params: params.clone(),
+            keys,
+            seed,
+        }
     }
 }
 

@@ -54,4 +54,10 @@ pub use keys::{
 };
 pub use params::BfvParams;
 pub use rns::{RnsBfvParams, RnsCiphertext, RnsKeySet, RnsPublicKey, RnsRelinKey, RnsSecretKey};
-pub use wire::{ciphertext_from_bytes, ciphertext_to_bytes, WireError};
+pub use wire::{
+    ciphertext_from_bytes, ciphertext_to_bytes, ciphertext_to_bytes_seeded, flat_frame_len,
+    galois_keys_from_bytes, galois_keys_to_bytes, hoisted_from_bytes, hoisted_to_bytes,
+    plaintext_from_bytes, plaintext_to_bytes, public_key_from_bytes, public_key_to_bytes,
+    rns_ciphertext_from_bytes, rns_ciphertext_to_bytes, rns_ciphertext_to_bytes_seeded,
+    rns_relin_key_from_bytes, rns_relin_key_to_bytes, WireError,
+};

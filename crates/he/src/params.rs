@@ -36,6 +36,15 @@ pub struct BfvParams {
     pub bsgs_digits: usize,
     /// Centered-binomial error parameter (variance k/2).
     pub error_k: u32,
+    /// Ring for the modulus-down-switched server→client response:
+    /// same `N`, but a `min(bits(t) + 25, bits(q))`-bit prime `q' ≡ 1
+    /// (mod 2N·t)`. Switching `c ↦ round(q'·c/q)` before transmit shrinks
+    /// each response coefficient to `bits(q')` packed bits and scales the
+    /// accumulated noise down with it (the switch adds only O(n) rounding
+    /// noise, far under the `q'/(2t)` decryption threshold). When
+    /// `bits(t) + 25 >= bits(q)` this is the ciphertext ring itself and
+    /// the switch is the identity.
+    down_ring: Arc<RingContext>,
 }
 
 impl BfvParams {
@@ -58,6 +67,16 @@ impl BfvParams {
             2 * n as u64 * t.value(),
         ));
         let ring = Arc::new(RingContext::with_modulus(n, q));
+        let down_bits = (t_bits + 25).min(q_bits);
+        let down_ring = if down_bits == q_bits {
+            ring.clone()
+        } else {
+            let q_down = Modulus::new(pi_field::prime::find_prime_congruent(
+                down_bits,
+                2 * n as u64 * t.value(),
+            ));
+            Arc::new(RingContext::with_modulus(n, q_down))
+        };
         let delta = q.value() / t.value();
         let ks_log_base = 10;
         let ks_digits = (q.bits() as usize).div_ceil(ks_log_base as usize);
@@ -72,6 +91,7 @@ impl BfvParams {
             bsgs_log_base,
             bsgs_digits,
             error_k: 8,
+            down_ring,
         }
     }
 
@@ -114,6 +134,16 @@ impl BfvParams {
     /// The shared ring context.
     pub fn ring(&self) -> &Arc<RingContext> {
         &self.ring
+    }
+
+    /// Ring for modulus-down-switched responses (see the field docs).
+    pub fn down_ring(&self) -> &Arc<RingContext> {
+        &self.down_ring
+    }
+
+    /// Modulus of the down-switched response ring, `q' ≡ 1 (mod 2N·t)`.
+    pub fn down_q(&self) -> Modulus {
+        self.down_ring.q()
     }
 
     /// Number of SIMD slots (= `N`, arranged as 2 rows of `N/2`).
@@ -160,5 +190,22 @@ mod tests {
     #[should_panic]
     fn rejects_headroom_violation() {
         BfvParams::new(1024, 25, 20);
+    }
+
+    #[test]
+    fn down_ring_congruence() {
+        let p = BfvParams::small_test();
+        let q_down = p.down_q().value();
+        assert!(is_prime(q_down));
+        assert!(p.down_q().bits() <= 45);
+        assert!(p.down_q().bits() > p.t().bits() + 20);
+        // NTT-friendly and ≡ 1 mod t: decode after switching stays exact.
+        assert_eq!(q_down % (2 * p.n() as u64), 1);
+        assert_eq!(q_down % p.t().value(), 1);
+
+        // Narrow headroom collapses the down ring onto the ciphertext ring.
+        let tight = BfvParams::new(1024, 40, 16);
+        assert_eq!(tight.down_q(), tight.q());
+        assert!(Arc::ptr_eq(tight.down_ring(), tight.ring()));
     }
 }

@@ -422,6 +422,9 @@ pub struct RnsRelinKey {
     params: RnsBfvParams,
     /// `keys[i] = (k0_i, k1_i)` with `k0_i + k1_i·s = g_i·s² + e_i (mod Q)`.
     keys: Vec<(RnsOperand, RnsOperand)>,
+    /// PRG seed all gadget `a_i` columns expand from: the wire frame ships
+    /// this instead of the `k1` halves (see [`crate::wire`]).
+    seed: [u8; 32],
 }
 
 /// A convenience bundle of RNS-BFV keys.
@@ -485,6 +488,11 @@ impl RnsSecretKey {
         let basis = params.base().basis();
         let s_sq = self.s.mul(&self.s);
         let mut keys = Vec::with_capacity(basis.len());
+        // All uniform gadget columns expand from one transmitted seed; only
+        // the errors keep drawing from the caller's RNG.
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let mut a_stream = crate::keys::expansion_rng(&seed);
         for i in 0..basis.len() {
             // g_i as an RNS residue vector (g_i ≡ 1 mod q_i, structured mod
             // the others): reduce the big integer per prime.
@@ -494,7 +502,7 @@ impl RnsSecretKey {
                 .iter()
                 .map(|m| g_big.rem_u64(m.value()))
                 .collect();
-            let a = sample::uniform_rns(params.base(), rng).into_ntt();
+            let a = sample::uniform_rns(params.base(), &mut a_stream).into_ntt();
             let e = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
             let k0 = a
                 .mul(&self.s)
@@ -506,7 +514,34 @@ impl RnsSecretKey {
         RnsRelinKey {
             params: params.clone(),
             keys,
+            seed,
         }
+    }
+
+    /// Symmetric seed-expanded encryption: draws a 32-byte seed from `rng`,
+    /// expands the uniform `c1 = a` from it deterministically, and returns
+    /// `(Δm + e − a·s, a)` with the seed. The wire frame ships `c0` plus the
+    /// seed — half the bytes of a full ciphertext (see
+    /// [`crate::wire::rns_ciphertext_to_bytes_seeded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != n` or any coefficient is `>= t`.
+    pub fn encrypt_seeded<R: Rng + ?Sized>(
+        &self,
+        m: &[u64],
+        rng: &mut R,
+    ) -> (RnsCiphertext, [u8; 32]) {
+        pi_trace::incr(pi_trace::Counter::HeEncrypt);
+        let params = &self.params;
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let a =
+            sample::uniform_rns(params.base(), &mut crate::keys::expansion_rng(&seed)).into_ntt();
+        let e = sample::centered_binomial_rns(params.base(), rng, params.error_k).into_ntt();
+        let scaled = params.encode_scaled(m).into_ntt();
+        let c0 = scaled.add(&e).sub(&a.mul(&self.s));
+        (RnsCiphertext { polys: vec![c0, a] }, seed)
     }
 
     /// Decrypts a ciphertext of any degree: computes `Σ c_i·sⁱ`, CRT-composes
@@ -900,6 +935,33 @@ impl RnsRelinKey {
     /// prime.
     pub fn byte_len(&self) -> usize {
         self.keys.len() * 2 * self.params.basis_len() * self.params.n() * 8
+    }
+
+    pub(crate) fn wire_parts(&self) -> (&[(RnsOperand, RnsOperand)], &[u8; 32]) {
+        (&self.keys, &self.seed)
+    }
+
+    /// Rebuilds the key from its wire frame: the `k0` halves travel packed,
+    /// every gadget `a_i` regenerates from the seed stream in key order.
+    pub(crate) fn from_wire_parts(
+        params: &RnsBfvParams,
+        seed: [u8; 32],
+        k0s: Vec<RnsPoly>,
+    ) -> Self {
+        pi_trace::incr(pi_trace::Counter::WireSeedExpand);
+        let mut a_stream = crate::keys::expansion_rng(&seed);
+        let keys = k0s
+            .into_iter()
+            .map(|k0| {
+                let a = sample::uniform_rns(params.base(), &mut a_stream).into_ntt();
+                (k0.into_ntt().to_operand(), a.to_operand())
+            })
+            .collect();
+        Self {
+            params: params.clone(),
+            keys,
+            seed,
+        }
     }
 }
 

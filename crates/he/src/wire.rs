@@ -1,23 +1,110 @@
-//! Binary wire format for ciphertexts and plaintexts.
+//! Binary wire format for every HE object that crosses a machine boundary:
+//! ciphertexts (fresh, seed-expanded, and modulus-down-switched), plaintexts,
+//! public keys, Galois key sets, hoisted-ciphertext uploads, and the RNS
+//! ciphertext/relinearization-key equivalents.
 //!
-//! The protocol crates account message sizes analytically; this module
-//! provides the actual byte-level encoding (little-endian u64 coefficients
-//! with a small header) so ciphertexts can cross process or machine
-//! boundaries, and so the analytic sizes can be validated against real
-//! serialization.
+//! # Format, version 2
+//!
+//! Every frame starts with a 10-byte common header:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic (`u32` LE, one per frame kind — see below) |
+//! | 4      | 1    | version (= [`WIRE_VERSION`]; readers reject others) |
+//! | 5      | 1    | flags (bit 0 = [`FLAG_SEEDED`]; other bits must be 0) |
+//! | 6      | 4    | ring degree `N` (`u32` LE) |
+//!
+//! **Versioning rule:** any change to the byte layout bumps
+//! [`WIRE_VERSION`]; readers reject frames whose version byte differs
+//! ([`WireError::UnsupportedVersion`]) rather than guessing. Unknown flag
+//! bits are likewise rejected ([`WireError::BadFlags`]), so flags can only
+//! be added together with a version bump.
+//!
+//! **Canonical polynomials:** a polynomial is always serialized in
+//! **coefficient form**, strictly reduced into `[0, q)` — never in the NTT
+//! basis (Longa–Naehrig slot order is an internal layout that need not
+//! match across backends) and never as lazy `[0, 2q)` representatives.
+//! Writers canonicalize (inverse-NTT + reduce) before packing; readers
+//! reject any unpacked word `>= q` ([`WireError::UnreducedCoefficient`]).
+//!
+//! **Bit-packing:** each coefficient is stored at `ceil(log2 q)` bits in
+//! one contiguous little-endian bitstream per polynomial
+//! ([`pi_poly::pack`]); the stream's final byte is zero-padded. A 62-bit
+//! modulus thus costs 7.75 bytes/coefficient instead of the flat 8, a
+//! 45-bit down-switched response 5.625, and a 2-bit hoisted baby digit
+//! 0.25.
+//!
+//! **Seed frames:** a frame with [`FLAG_SEEDED`] set replaces every
+//! *uniform* polynomial (a ciphertext's `c1`, a key's gadget `a` columns)
+//! with the 32-byte PRG seed it was expanded from; the reader regenerates
+//! them deterministically (`StdRng::from_seed` → scalar `sample::uniform`,
+//! identical on every `PI_SIMD` backend) and bumps the
+//! `wire.seed_expand` trace counter. This halves fresh-ciphertext frames
+//! and drops Galois-key frames to the `k0` halves plus 32 bytes.
+//!
+//! # Frame bodies (after the common header)
+//!
+//! * **Ciphertext** (`"BFVC"`): `q: u64 LE`, packed `c0`; then either the
+//!   32-byte seed (seeded) or packed `c1`. `q` is the modulus the
+//!   components actually live under — the ciphertext modulus for uploads,
+//!   [`BfvParams::down_q`] for modulus-down-switched responses; readers
+//!   accept either and rebuild in the matching ring.
+//! * **Plaintext** (`"BFVP"`): `t: u64 LE`, packed message (at
+//!   `ceil(log2 t)` bits).
+//! * **Public key** (`"BFVK"`, always seeded): `q: u64 LE`, packed `pk0`,
+//!   32-byte seed for `pk1`.
+//! * **Galois keys** (`"BFVG"`, always seeded): `q: u64 LE`,
+//!   `num_entries: u32 LE`, `total_digits: u32 LE`, 32-byte seed, then per
+//!   entry (sorted by `(element, descending log_base)` — the seed-stream
+//!   replay order): `g: u32 LE`, `log_base: u8`, `num_digits: u32 LE`,
+//!   `num_digits` packed `k0` polynomials.
+//! * **Hoisted ciphertext** (`"BFVH"`): `q: u64 LE`, `log_base: u8`,
+//!   `num_digits: u32 LE`, packed `c0`, packed `c1`, then each gadget
+//!   digit packed at `log_base` bits (digits are decompositions, so their
+//!   coefficient-form values fit the gadget base — 2-bit babies cost 32×
+//!   less than flat words).
+//! * **RNS ciphertext** (`"BFVR"`): `k: u8` (residue count),
+//!   `num_polys: u8`, `k` moduli (`u64` LE each), then per polynomial one
+//!   packed stream per residue at `ceil(log2 q_i)` bits. Seeded frames
+//!   carry only `c0`'s residues plus the 32-byte seed (`num_polys` must
+//!   be 2).
+//! * **RNS relinearization key** (`"BFVL"`, always seeded): `k: u8`,
+//!   `num_keys: u32 LE`, `k` moduli, 32-byte seed, then per key the packed
+//!   `k0` residues.
+//!
+//! Readers never panic on malformed input: every length is checked before
+//! indexing and every failure surfaces as a typed [`WireError`].
 
 use crate::cipher::{Ciphertext, Plaintext};
+use crate::keys::{expansion_rng, GaloisKeys, HoistedCiphertext, PublicKey};
 use crate::params::BfvParams;
-use pi_poly::{Poly, PolyForm};
+use crate::rns::{RnsBfvParams, RnsCiphertext, RnsRelinKey};
+use pi_field::Modulus;
+use pi_poly::pack::{pack_into, packed_len, unpack};
+use pi_poly::{sample, Poly, PolyForm, RingContext, RnsContext, RnsPoly};
+use std::sync::Arc;
+
+/// Current wire format version (see the module docs' versioning rule).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Flag bit 0: uniform components are replaced by a 32-byte PRG seed.
+pub const FLAG_SEEDED: u8 = 0b0000_0001;
 
 /// Serialization/deserialization failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Byte buffer too short or of the wrong length.
     Truncated,
+    /// The frame's magic does not name the expected frame kind.
+    BadMagic,
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The frame carries flag bits this version does not define, or a flag
+    /// combination the frame kind does not admit.
+    BadFlags(u8),
     /// Header fields disagree with the given parameters.
     ParamMismatch,
-    /// A coefficient was not reduced modulo `q`.
+    /// A coefficient was not reduced modulo its modulus.
     UnreducedCoefficient,
 }
 
@@ -25,6 +112,11 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated => write!(f, "byte buffer truncated"),
+            WireError::BadMagic => write!(f, "unknown frame magic"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            WireError::BadFlags(fl) => write!(f, "undefined flag bits {fl:#04x}"),
             WireError::ParamMismatch => write!(f, "header does not match parameters"),
             WireError::UnreducedCoefficient => write!(f, "coefficient not reduced mod q"),
         }
@@ -35,80 +127,239 @@ impl std::error::Error for WireError {}
 
 const MAGIC_CT: u32 = 0x4246_5643; // "BFVC"
 const MAGIC_PT: u32 = 0x4246_5650; // "BFVP"
+const MAGIC_PK: u32 = 0x4246_564B; // "BFVK"
+const MAGIC_GK: u32 = 0x4246_5647; // "BFVG"
+const MAGIC_HC: u32 = 0x4246_5648; // "BFVH"
+const MAGIC_RCT: u32 = 0x4246_5652; // "BFVR"
+const MAGIC_RRK: u32 = 0x4246_564C; // "BFVL"
 
-fn write_poly(out: &mut Vec<u8>, poly: &Poly) {
-    // Always serialize in coefficient form for canonical bytes.
-    let coeffs = poly.coeffs();
-    out.push(match poly.form() {
-        PolyForm::Coeff => 0,
-        PolyForm::Ntt => 1,
-    });
-    for c in coeffs {
-        out.extend_from_slice(&c.to_le_bytes());
-    }
+/// Common-header length: magic + version + flags + n.
+const HEADER_LEN: usize = 10;
+const SEED_LEN: usize = 32;
+
+fn write_header(out: &mut Vec<u8>, magic: u32, flags: u8, n: usize) {
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(flags);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
 }
 
-fn read_poly(bytes: &[u8], params: &BfvParams, offset: &mut usize) -> Result<Poly, WireError> {
-    let n = params.n();
-    if bytes.len() < *offset + 1 + 8 * n {
+/// Parses the common header, returning `(flags, n)`.
+fn read_header(bytes: &[u8], magic: u32, allowed_flags: u8) -> Result<(u8, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
-    let form = bytes[*offset];
-    *offset += 1;
-    let mut coeffs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&bytes[*offset..*offset + 8]);
-        *offset += 8;
-        let c = u64::from_le_bytes(b);
-        if c >= params.q().value() {
-            return Err(WireError::UnreducedCoefficient);
-        }
-        coeffs.push(c);
+    if u32::from_le_bytes(bytes[0..4].try_into().expect("len checked")) != magic {
+        return Err(WireError::BadMagic);
     }
-    let poly = Poly::from_coeffs(params.ring().clone(), coeffs);
-    Ok(if form == 1 { poly.into_ntt() } else { poly })
+    if bytes[4] != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[4]));
+    }
+    let flags = bytes[5];
+    if flags & !allowed_flags != 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    let n = u32::from_le_bytes(bytes[6..10].try_into().expect("len checked")) as usize;
+    Ok((flags, n))
 }
 
-/// Serializes a ciphertext: magic, `N`, then both polynomials.
+fn read_u64(bytes: &[u8], offset: &mut usize) -> Result<u64, WireError> {
+    let end = offset.checked_add(8).ok_or(WireError::Truncated)?;
+    if bytes.len() < end {
+        return Err(WireError::Truncated);
+    }
+    let v = u64::from_le_bytes(bytes[*offset..end].try_into().expect("len checked"));
+    *offset = end;
+    Ok(v)
+}
+
+fn read_u32(bytes: &[u8], offset: &mut usize) -> Result<u32, WireError> {
+    let end = offset.checked_add(4).ok_or(WireError::Truncated)?;
+    if bytes.len() < end {
+        return Err(WireError::Truncated);
+    }
+    let v = u32::from_le_bytes(bytes[*offset..end].try_into().expect("len checked"));
+    *offset = end;
+    Ok(v)
+}
+
+fn read_seed(bytes: &[u8], offset: &mut usize) -> Result<[u8; 32], WireError> {
+    let end = offset.checked_add(SEED_LEN).ok_or(WireError::Truncated)?;
+    if bytes.len() < end {
+        return Err(WireError::Truncated);
+    }
+    let seed: [u8; 32] = bytes[*offset..end].try_into().expect("len checked");
+    *offset = end;
+    Ok(seed)
+}
+
+/// Canonicalizes a polynomial (coefficient form, strictly reduced) and
+/// appends it bit-packed at `ceil(log2 q)` bits per coefficient.
+fn write_poly(out: &mut Vec<u8>, poly: &Poly) {
+    let q = poly.ctx().q();
+    let mut coeffs = poly.coeffs();
+    // `coeffs()` leaves the NTT basis via the strictly-reducing inverse
+    // transform, but a coefficient-form poly could in principle carry lazy
+    // representatives; one reduce pass makes the bytes canonical either way.
+    for c in &mut coeffs {
+        *c = q.reduce(*c);
+    }
+    pack_into(out, &coeffs, q.bits() as usize);
+}
+
+/// Appends raw words bit-packed at `bits`, reducing nothing (caller
+/// guarantees the range).
+fn write_words(out: &mut Vec<u8>, words: &[u64], bits: usize) {
+    pack_into(out, words, bits);
+}
+
+/// Unpacks `n` words at `bits` bits, rejecting any word `>= limit`.
+fn read_words(
+    bytes: &[u8],
+    offset: &mut usize,
+    n: usize,
+    bits: usize,
+    limit: u64,
+) -> Result<Vec<u64>, WireError> {
+    let len = packed_len(n, bits);
+    let end = offset.checked_add(len).ok_or(WireError::Truncated)?;
+    if bytes.len() < end {
+        return Err(WireError::Truncated);
+    }
+    let words = unpack(&bytes[*offset..end], n, bits).ok_or(WireError::Truncated)?;
+    if words.iter().any(|&w| w >= limit) {
+        return Err(WireError::UnreducedCoefficient);
+    }
+    *offset = end;
+    Ok(words)
+}
+
+fn read_poly(bytes: &[u8], ring: &Arc<RingContext>, offset: &mut usize) -> Result<Poly, WireError> {
+    let q = ring.q();
+    let coeffs = read_words(bytes, offset, ring.n(), q.bits() as usize, q.value())?;
+    Ok(Poly::from_coeffs(ring.clone(), coeffs))
+}
+
+/// Expands the uniform polynomial a 32-byte seed stands for (the scalar
+/// sampling path: bit-identical on every backend), in NTT form.
+fn expand_poly(ring: &Arc<RingContext>, seed: &[u8; 32]) -> Poly {
+    pi_trace::incr(pi_trace::Counter::WireSeedExpand);
+    sample::uniform(ring, &mut expansion_rng(seed)).into_ntt()
+}
+
+/// Bytes a packed polynomial occupies under modulus `m`.
+fn poly_len(n: usize, m: Modulus) -> usize {
+    packed_len(n, m.bits() as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Ciphertexts
+// ---------------------------------------------------------------------------
+
+/// Serializes a two-polynomial ciphertext. The frame records the modulus the
+/// components live under, so both full-width uploads and
+/// [`Ciphertext::mod_switch_down`] responses serialize through this one
+/// entry point.
 pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
-    let n = ct.c0.ctx().n();
-    let mut out = Vec::with_capacity(8 + 2 * (1 + 8 * n));
-    out.extend_from_slice(&MAGIC_CT.to_le_bytes());
-    out.extend_from_slice(&(n as u32).to_le_bytes());
+    let ctx = ct.c0.ctx();
+    let (n, q) = (ctx.n(), ctx.q());
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + 2 * poly_len(n, q));
+    write_header(&mut out, MAGIC_CT, 0, n);
+    out.extend_from_slice(&q.value().to_le_bytes());
     write_poly(&mut out, &ct.c0);
     write_poly(&mut out, &ct.c1);
     out
 }
 
-/// Deserializes a ciphertext under the given parameters.
+/// Serializes a seed-expanded ciphertext (from
+/// [`crate::SecretKey::encrypt_seeded`]): packed `c0` plus the 32-byte seed
+/// in place of `c1` — about half the bytes of [`ciphertext_to_bytes`].
+pub fn ciphertext_to_bytes_seeded(ct: &Ciphertext, seed: &[u8; 32]) -> Vec<u8> {
+    let ctx = ct.c0.ctx();
+    let (n, q) = (ctx.n(), ctx.q());
+    debug_assert_eq!(
+        ct.c1.clone().into_ntt().data(),
+        expand_poly(ctx, seed).data(),
+        "c1 does not match its seed expansion"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + poly_len(n, q) + SEED_LEN);
+    write_header(&mut out, MAGIC_CT, FLAG_SEEDED, n);
+    out.extend_from_slice(&q.value().to_le_bytes());
+    write_poly(&mut out, &ct.c0);
+    out.extend_from_slice(seed);
+    out
+}
+
+/// Deserializes a ciphertext under the given parameters. Accepts frames
+/// under the full ciphertext modulus or the down-switch modulus (rebuilding
+/// in the matching ring), seeded or not.
 ///
 /// # Errors
 ///
-/// Returns [`WireError`] on truncation, parameter mismatch, or unreduced
-/// coefficients.
+/// Returns a [`WireError`] on truncation, unknown magic/version/flags,
+/// parameter mismatch, or unreduced coefficients. Never panics.
 pub fn ciphertext_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext, WireError> {
-    if bytes.len() < 8 {
-        return Err(WireError::Truncated);
-    }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("length checked"));
-    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("length checked")) as usize;
-    if magic != MAGIC_CT || n != params.n() {
+    let (flags, n) = read_header(bytes, MAGIC_CT, FLAG_SEEDED)?;
+    if n != params.n() {
         return Err(WireError::ParamMismatch);
     }
-    let mut offset = 8;
-    let c0 = read_poly(bytes, params, &mut offset)?;
-    let c1 = read_poly(bytes, params, &mut offset)?;
+    let mut offset = HEADER_LEN;
+    let q = read_u64(bytes, &mut offset)?;
+    let ring = if q == params.q().value() {
+        params.ring()
+    } else if q == params.down_q().value() {
+        params.down_ring()
+    } else {
+        return Err(WireError::ParamMismatch);
+    };
+    let c0 = read_poly(bytes, ring, &mut offset)?;
+    let c1 = if flags & FLAG_SEEDED != 0 {
+        let seed = read_seed(bytes, &mut offset)?;
+        expand_poly(ring, &seed)
+    } else {
+        read_poly(bytes, ring, &mut offset)?
+    };
     Ok(Ciphertext { c0, c1 })
 }
 
-/// Serializes a plaintext (coefficients < `t`).
-pub fn plaintext_to_bytes(pt: &Plaintext) -> Vec<u8> {
+/// Exact length of a serialized ciphertext frame.
+pub fn ciphertext_wire_len(params: &BfvParams, seeded: bool, switched: bool) -> usize {
+    let q = if switched {
+        params.down_q()
+    } else {
+        params.q()
+    };
+    let body = if seeded {
+        poly_len(params.n(), q) + SEED_LEN
+    } else {
+        2 * poly_len(params.n(), q)
+    };
+    HEADER_LEN + 8 + body
+}
+
+// ---------------------------------------------------------------------------
+// Plaintexts
+// ---------------------------------------------------------------------------
+
+/// Serializes a plaintext (coefficients `< t`, packed at `ceil(log2 t)`
+/// bits).
+///
+/// # Panics
+///
+/// Panics if a coefficient is `>= t` (a violated plaintext invariant, not a
+/// wire condition).
+pub fn plaintext_to_bytes(pt: &Plaintext, params: &BfvParams) -> Vec<u8> {
     let n = pt.poly.ctx().n();
-    let mut out = Vec::with_capacity(8 + 1 + 8 * n);
-    out.extend_from_slice(&MAGIC_PT.to_le_bytes());
-    out.extend_from_slice(&(n as u32).to_le_bytes());
-    write_poly(&mut out, &pt.poly);
+    let t = params.t();
+    let coeffs = pt.poly.coeffs();
+    assert!(
+        coeffs.iter().all(|&c| c < t.value()),
+        "plaintext coefficient exceeds t"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + poly_len(n, t));
+    write_header(&mut out, MAGIC_PT, 0, n);
+    out.extend_from_slice(&t.value().to_le_bytes());
+    write_words(&mut out, &coeffs, t.bits() as usize);
     out
 }
 
@@ -116,20 +367,518 @@ pub fn plaintext_to_bytes(pt: &Plaintext) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`WireError`] on truncation, parameter mismatch, or unreduced
-/// coefficients.
+/// Returns a [`WireError`] on any malformed input; never panics.
 pub fn plaintext_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<Plaintext, WireError> {
-    if bytes.len() < 8 {
-        return Err(WireError::Truncated);
-    }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("length checked"));
-    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("length checked")) as usize;
-    if magic != MAGIC_PT || n != params.n() {
+    let (_, n) = read_header(bytes, MAGIC_PT, 0)?;
+    if n != params.n() {
         return Err(WireError::ParamMismatch);
     }
-    let mut offset = 8;
-    let poly = read_poly(bytes, params, &mut offset)?;
-    Ok(Plaintext { poly })
+    let mut offset = HEADER_LEN;
+    let t = read_u64(bytes, &mut offset)?;
+    if t != params.t().value() {
+        return Err(WireError::ParamMismatch);
+    }
+    let coeffs = read_words(
+        bytes,
+        &mut offset,
+        n,
+        params.t().bits() as usize,
+        params.t().value(),
+    )?;
+    Ok(Plaintext {
+        poly: Poly::from_coeffs(params.ring().clone(), coeffs),
+    })
+}
+
+/// Exact length of a serialized plaintext frame.
+pub fn plaintext_wire_len(params: &BfvParams) -> usize {
+    HEADER_LEN + 8 + poly_len(params.n(), params.t())
+}
+
+// ---------------------------------------------------------------------------
+// Public keys
+// ---------------------------------------------------------------------------
+
+/// Serializes a public key: packed `pk0` plus the 32-byte seed `pk1`
+/// expands from.
+pub fn public_key_to_bytes(pk: &PublicKey) -> Vec<u8> {
+    let params = pk.params().clone();
+    let (pk0, seed) = pk.wire_parts();
+    let mut out = Vec::with_capacity(public_key_wire_len(&params));
+    write_header(&mut out, MAGIC_PK, FLAG_SEEDED, params.n());
+    out.extend_from_slice(&params.q().value().to_le_bytes());
+    write_poly(&mut out, pk0);
+    out.extend_from_slice(seed);
+    out
+}
+
+/// Deserializes a public key, regenerating `pk1` from the seed.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn public_key_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<PublicKey, WireError> {
+    let (flags, n) = read_header(bytes, MAGIC_PK, FLAG_SEEDED)?;
+    if flags & FLAG_SEEDED == 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    if n != params.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = HEADER_LEN;
+    if read_u64(bytes, &mut offset)? != params.q().value() {
+        return Err(WireError::ParamMismatch);
+    }
+    let pk0 = read_poly(bytes, params.ring(), &mut offset)?;
+    let seed = read_seed(bytes, &mut offset)?;
+    Ok(PublicKey::from_wire_parts(params, pk0, seed))
+}
+
+/// Exact length of a serialized public-key frame.
+pub fn public_key_wire_len(params: &BfvParams) -> usize {
+    HEADER_LEN + 8 + poly_len(params.n(), params.q()) + SEED_LEN
+}
+
+// ---------------------------------------------------------------------------
+// Galois keys
+// ---------------------------------------------------------------------------
+
+/// Serializes a Galois key set: per entry only the packed `k0` halves —
+/// every gadget `a` column regenerates from the one 32-byte seed.
+pub fn galois_keys_to_bytes(gk: &GaloisKeys) -> Vec<u8> {
+    let params = gk.params().clone();
+    let ring = params.ring();
+    let entries = gk.wire_entries();
+    let total_digits: usize = entries.iter().map(|(_, e)| e.digits.len()).sum();
+    let mut out = Vec::with_capacity(galois_keys_wire_len(&params, entries.len(), total_digits));
+    write_header(&mut out, MAGIC_GK, FLAG_SEEDED, params.n());
+    out.extend_from_slice(&params.q().value().to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(total_digits as u32).to_le_bytes());
+    out.extend_from_slice(gk.seed());
+    for (g, entry) in entries {
+        out.extend_from_slice(&(g as u32).to_le_bytes());
+        out.push(entry.log_base as u8);
+        out.extend_from_slice(&(entry.digits.len() as u32).to_le_bytes());
+        for (k0, _) in &entry.digits {
+            // Operands hold strictly-reduced NTT values; canonicalize to
+            // coefficient form through the ring's inverse transform.
+            let k0_poly = Poly::from_ntt_data(ring.clone(), k0.shoup().values().to_vec());
+            write_poly(&mut out, &k0_poly);
+        }
+    }
+    out
+}
+
+/// Deserializes a Galois key set, regenerating every gadget `a` column from
+/// the seed stream in wire order.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn galois_keys_from_bytes(bytes: &[u8], params: &BfvParams) -> Result<GaloisKeys, WireError> {
+    let (flags, n) = read_header(bytes, MAGIC_GK, FLAG_SEEDED)?;
+    if flags & FLAG_SEEDED == 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    if n != params.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = HEADER_LEN;
+    if read_u64(bytes, &mut offset)? != params.q().value() {
+        return Err(WireError::ParamMismatch);
+    }
+    let num_entries = read_u32(bytes, &mut offset)? as usize;
+    let total_digits = read_u32(bytes, &mut offset)? as usize;
+    let seed = read_seed(bytes, &mut offset)?;
+    let mut parts = Vec::with_capacity(num_entries.min(1024));
+    let mut digits_seen = 0usize;
+    for _ in 0..num_entries {
+        let g = read_u32(bytes, &mut offset)? as usize;
+        if offset >= bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let log_base = u32::from(bytes[offset]);
+        offset += 1;
+        if log_base == 0 || log_base >= params.q().bits() {
+            return Err(WireError::ParamMismatch);
+        }
+        let num_digits = read_u32(bytes, &mut offset)? as usize;
+        let mut k0s = Vec::with_capacity(num_digits.min(1024));
+        for _ in 0..num_digits {
+            k0s.push(read_poly(bytes, params.ring(), &mut offset)?);
+        }
+        digits_seen += num_digits;
+        parts.push((g, log_base, k0s));
+    }
+    if digits_seen != total_digits {
+        return Err(WireError::ParamMismatch);
+    }
+    Ok(GaloisKeys::from_wire_parts(params, seed, parts))
+}
+
+/// Exact length of a serialized Galois-key frame with `num_entries` gadget
+/// entries holding `total_digits` digits in total.
+pub fn galois_keys_wire_len(params: &BfvParams, num_entries: usize, total_digits: usize) -> usize {
+    HEADER_LEN
+        + 8 // q
+        + 4 // num_entries
+        + 4 // total_digits
+        + SEED_LEN
+        + num_entries * (4 + 1 + 4)
+        + total_digits * poly_len(params.n(), params.q())
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted ciphertexts
+// ---------------------------------------------------------------------------
+
+/// Serializes a hoisted ciphertext. The gadget digits are packed at
+/// `log_base` bits per coefficient — their coefficient-form values are
+/// decomposition digits, so a 2-bit baby gadget costs 0.25 bytes per
+/// coefficient where a flat word costs 8.
+pub fn hoisted_to_bytes(h: &HoistedCiphertext, params: &BfvParams) -> Vec<u8> {
+    let ring = params.ring();
+    let ntt = ring.ntt();
+    let (c0, c1, digits) = h.wire_parts();
+    let log_base = h.log_base() as usize;
+    let mut out = Vec::with_capacity(hoisted_wire_len(params, h.log_base(), digits.len()));
+    write_header(&mut out, MAGIC_HC, 0, ring.n());
+    out.extend_from_slice(&ring.q().value().to_le_bytes());
+    out.push(h.log_base() as u8);
+    out.extend_from_slice(&(digits.len() as u32).to_le_bytes());
+    for data in [c0, c1] {
+        let mut coeff = data.to_vec();
+        ntt.inverse(&mut coeff);
+        write_words(&mut out, &coeff, ring.q().bits() as usize);
+    }
+    for d in digits {
+        // Inverting the digit's NTT recovers the original decomposition
+        // words, all < 2^log_base.
+        let mut coeff = d.clone();
+        ntt.inverse(&mut coeff);
+        debug_assert!(coeff.iter().all(|&c| c >> log_base == 0));
+        write_words(&mut out, &coeff, log_base);
+    }
+    out
+}
+
+/// Deserializes a hoisted ciphertext, re-applying the forward NTT to every
+/// component.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn hoisted_from_bytes(
+    bytes: &[u8],
+    params: &BfvParams,
+) -> Result<HoistedCiphertext, WireError> {
+    let (_, n) = read_header(bytes, MAGIC_HC, 0)?;
+    if n != params.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let ring = params.ring();
+    let ntt = ring.ntt();
+    let q = ring.q();
+    let mut offset = HEADER_LEN;
+    if read_u64(bytes, &mut offset)? != q.value() {
+        return Err(WireError::ParamMismatch);
+    }
+    if offset >= bytes.len() {
+        return Err(WireError::Truncated);
+    }
+    let log_base = u32::from(bytes[offset]);
+    offset += 1;
+    if log_base == 0 || log_base >= q.bits() {
+        return Err(WireError::ParamMismatch);
+    }
+    let num_digits = read_u32(bytes, &mut offset)? as usize;
+    let mut read_ntt = |bits: usize| -> Result<Vec<u64>, WireError> {
+        let mut words = read_words(bytes, &mut offset, n, bits, q.value())?;
+        ntt.forward(&mut words);
+        Ok(words)
+    };
+    let c0 = read_ntt(q.bits() as usize)?;
+    let c1 = read_ntt(q.bits() as usize)?;
+    let mut digits = Vec::with_capacity(num_digits.min(1024));
+    for _ in 0..num_digits {
+        digits.push(read_ntt(log_base as usize)?);
+    }
+    Ok(HoistedCiphertext::from_wire_parts(log_base, c0, c1, digits))
+}
+
+/// Exact length of a serialized hoisted-ciphertext frame.
+pub fn hoisted_wire_len(params: &BfvParams, log_base: u32, num_digits: usize) -> usize {
+    let n = params.n();
+    HEADER_LEN
+        + 8
+        + 1
+        + 4
+        + 2 * poly_len(n, params.q())
+        + num_digits * packed_len(n, log_base as usize)
+}
+
+// ---------------------------------------------------------------------------
+// RNS ciphertexts and relinearization keys
+// ---------------------------------------------------------------------------
+
+fn write_rns_header(out: &mut Vec<u8>, magic: u32, flags: u8, ctx: &Arc<RnsContext>) {
+    write_header(out, magic, flags, ctx.n());
+    out.push(ctx.len() as u8);
+}
+
+/// Checks `k` + moduli against the context; returns the offset past them.
+fn read_rns_moduli(
+    bytes: &[u8],
+    ctx: &Arc<RnsContext>,
+    offset: &mut usize,
+) -> Result<(), WireError> {
+    for i in 0..ctx.len() {
+        if read_u64(bytes, offset)? != ctx.modulus(i).value() {
+            return Err(WireError::ParamMismatch);
+        }
+    }
+    Ok(())
+}
+
+fn write_rns_poly(out: &mut Vec<u8>, poly: &RnsPoly) {
+    let canonical = poly.clone().into_coeff();
+    for (i, col) in canonical.residues().iter().enumerate() {
+        let m = canonical.ctx().modulus(i);
+        let reduced: Vec<u64> = col.iter().map(|&c| m.reduce(c)).collect();
+        write_words(out, &reduced, m.bits() as usize);
+    }
+}
+
+fn read_rns_poly(
+    bytes: &[u8],
+    ctx: &Arc<RnsContext>,
+    offset: &mut usize,
+) -> Result<RnsPoly, WireError> {
+    let mut data = Vec::with_capacity(ctx.len());
+    for i in 0..ctx.len() {
+        let m = ctx.modulus(i);
+        data.push(read_words(
+            bytes,
+            offset,
+            ctx.n(),
+            m.bits() as usize,
+            m.value(),
+        )?);
+    }
+    Ok(RnsPoly::from_residues(ctx.clone(), data, PolyForm::Coeff))
+}
+
+/// Serializes an RNS ciphertext of any degree, one packed stream per
+/// residue per component.
+pub fn rns_ciphertext_to_bytes(ct: &RnsCiphertext) -> Vec<u8> {
+    assert!(!ct.polys.is_empty(), "empty ciphertext");
+    let ctx = ct.polys[0].ctx();
+    let mut out = Vec::with_capacity(rns_ciphertext_wire_len(ctx, ct.polys.len(), false));
+    write_rns_header(&mut out, MAGIC_RCT, 0, ctx);
+    out.push(ct.polys.len() as u8);
+    for i in 0..ctx.len() {
+        out.extend_from_slice(&ctx.modulus(i).value().to_le_bytes());
+    }
+    for poly in &ct.polys {
+        write_rns_poly(&mut out, poly);
+    }
+    out
+}
+
+/// Serializes a seed-expanded degree-1 RNS ciphertext (from
+/// [`crate::rns::RnsSecretKey::encrypt_seeded`]): `c0`'s packed residues
+/// plus the seed `c1` expands from.
+pub fn rns_ciphertext_to_bytes_seeded(ct: &RnsCiphertext, seed: &[u8; 32]) -> Vec<u8> {
+    assert_eq!(ct.polys.len(), 2, "seeded frames are degree-1");
+    let ctx = ct.polys[0].ctx();
+    let mut out = Vec::with_capacity(rns_ciphertext_wire_len(ctx, 2, true));
+    write_rns_header(&mut out, MAGIC_RCT, FLAG_SEEDED, ctx);
+    out.push(2);
+    for i in 0..ctx.len() {
+        out.extend_from_slice(&ctx.modulus(i).value().to_le_bytes());
+    }
+    write_rns_poly(&mut out, &ct.polys[0]);
+    out.extend_from_slice(seed);
+    out
+}
+
+/// Deserializes an RNS ciphertext over the given context (the base context
+/// for uploads, a single-prime context for down-switched responses).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn rns_ciphertext_from_bytes(
+    bytes: &[u8],
+    ctx: &Arc<RnsContext>,
+) -> Result<RnsCiphertext, WireError> {
+    let (flags, n) = read_header(bytes, MAGIC_RCT, FLAG_SEEDED)?;
+    if n != ctx.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = HEADER_LEN;
+    if bytes.len() < offset + 2 {
+        return Err(WireError::Truncated);
+    }
+    let k = bytes[offset] as usize;
+    let num_polys = bytes[offset + 1] as usize;
+    offset += 2;
+    if k != ctx.len() || num_polys == 0 {
+        return Err(WireError::ParamMismatch);
+    }
+    read_rns_moduli(bytes, ctx, &mut offset)?;
+    if flags & FLAG_SEEDED != 0 {
+        if num_polys != 2 {
+            return Err(WireError::BadFlags(flags));
+        }
+        let c0 = read_rns_poly(bytes, ctx, &mut offset)?;
+        let seed = read_seed(bytes, &mut offset)?;
+        pi_trace::incr(pi_trace::Counter::WireSeedExpand);
+        let c1 = sample::uniform_rns(ctx, &mut expansion_rng(&seed)).into_ntt();
+        return Ok(RnsCiphertext {
+            polys: vec![c0, c1],
+        });
+    }
+    let mut polys = Vec::with_capacity(num_polys.min(16));
+    for _ in 0..num_polys {
+        polys.push(read_rns_poly(bytes, ctx, &mut offset)?);
+    }
+    Ok(RnsCiphertext { polys })
+}
+
+/// Exact length of a serialized RNS ciphertext frame.
+pub fn rns_ciphertext_wire_len(ctx: &Arc<RnsContext>, num_polys: usize, seeded: bool) -> usize {
+    let per_poly: usize = (0..ctx.len())
+        .map(|i| packed_len(ctx.n(), ctx.modulus(i).bits() as usize))
+        .sum();
+    let body = if seeded {
+        per_poly + SEED_LEN
+    } else {
+        num_polys * per_poly
+    };
+    HEADER_LEN + 2 + 8 * ctx.len() + body
+}
+
+/// Serializes an RNS relinearization key: packed `k0` halves plus the seed
+/// every gadget `a` expands from.
+pub fn rns_relin_key_to_bytes(rk: &RnsRelinKey) -> Vec<u8> {
+    let params = rk.params().clone();
+    let ctx = params.base();
+    let (keys, seed) = rk.wire_parts();
+    let mut out = Vec::with_capacity(rns_relin_key_wire_len(&params));
+    write_rns_header(&mut out, MAGIC_RRK, FLAG_SEEDED, ctx);
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for i in 0..ctx.len() {
+        out.extend_from_slice(&ctx.modulus(i).value().to_le_bytes());
+    }
+    out.extend_from_slice(seed);
+    for (k0, _) in keys {
+        // Reassemble the operand's strictly-reduced NTT columns and
+        // canonicalize through the inverse transform.
+        let data: Vec<Vec<u64>> = (0..ctx.len())
+            .map(|i| k0.shoup(i).values().to_vec())
+            .collect();
+        let poly = RnsPoly::from_residues(ctx.clone(), data, PolyForm::Ntt);
+        write_rns_poly(&mut out, &poly);
+    }
+    out
+}
+
+/// Deserializes an RNS relinearization key, regenerating the gadget `a`
+/// columns from the seed stream.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn rns_relin_key_from_bytes(
+    bytes: &[u8],
+    params: &RnsBfvParams,
+) -> Result<RnsRelinKey, WireError> {
+    let ctx = params.base();
+    let (flags, n) = read_header(bytes, MAGIC_RRK, FLAG_SEEDED)?;
+    if flags & FLAG_SEEDED == 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    if n != ctx.n() {
+        return Err(WireError::ParamMismatch);
+    }
+    let mut offset = HEADER_LEN;
+    if offset >= bytes.len() {
+        return Err(WireError::Truncated);
+    }
+    let k = bytes[offset] as usize;
+    offset += 1;
+    if k != ctx.len() {
+        return Err(WireError::ParamMismatch);
+    }
+    let num_keys = read_u32(bytes, &mut offset)? as usize;
+    if num_keys != ctx.len() {
+        return Err(WireError::ParamMismatch);
+    }
+    read_rns_moduli(bytes, ctx, &mut offset)?;
+    let seed = read_seed(bytes, &mut offset)?;
+    let mut k0s = Vec::with_capacity(num_keys);
+    for _ in 0..num_keys {
+        k0s.push(read_rns_poly(bytes, ctx, &mut offset)?);
+    }
+    Ok(RnsRelinKey::from_wire_parts(params, seed, k0s))
+}
+
+/// Exact length of a serialized RNS relinearization-key frame.
+pub fn rns_relin_key_wire_len(params: &RnsBfvParams) -> usize {
+    let ctx = params.base();
+    let per_poly: usize = (0..ctx.len())
+        .map(|i| packed_len(ctx.n(), ctx.modulus(i).bits() as usize))
+        .sum();
+    HEADER_LEN + 1 + 4 + 8 * ctx.len() + SEED_LEN + ctx.len() * per_poly
+}
+
+// ---------------------------------------------------------------------------
+// Flat-baseline accounting
+// ---------------------------------------------------------------------------
+
+/// The bytes this frame would have cost under the pre-packing flat-`u64`
+/// encoding (8 bytes per coefficient, uniform components shipped in full).
+/// This is the baseline `fig05_comm_bandwidth` compares against: ciphertext
+/// and plaintext frames reproduce the legacy v1 wire sizes (`2N·8 + 10` /
+/// `N·8 + 10`), key and hoisted frames the analytic flat sizes the
+/// accounting layer previously reported. Returns `None` if the buffer is
+/// not a recognizable frame.
+pub fn flat_frame_len(frame: &[u8]) -> Option<usize> {
+    if frame.len() < HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_le_bytes(frame[0..4].try_into().expect("len checked"));
+    let n = u32::from_le_bytes(frame[6..10].try_into().expect("len checked")) as usize;
+    let u32_at = |off: usize| -> Option<usize> {
+        frame
+            .get(off..off + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("len checked")) as usize)
+    };
+    match magic {
+        MAGIC_CT => Some(2 * n * 8 + 10),
+        MAGIC_PT => Some(n * 8 + 10),
+        MAGIC_PK => Some(2 * n * 8),
+        MAGIC_GK => {
+            let total_digits = u32_at(HEADER_LEN + 8 + 4)?;
+            Some(total_digits * 2 * n * 8)
+        }
+        MAGIC_HC => {
+            let num_digits = u32_at(HEADER_LEN + 8 + 1)?;
+            Some((2 + num_digits) * n * 8)
+        }
+        MAGIC_RCT => {
+            let k = *frame.get(HEADER_LEN)? as usize;
+            let num_polys = *frame.get(HEADER_LEN + 1)? as usize;
+            Some(num_polys * k * n * 8)
+        }
+        MAGIC_RRK => {
+            let k = *frame.get(HEADER_LEN)? as usize;
+            Some(k * 2 * k * n * 8)
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +902,7 @@ mod tests {
         let pt = enc.encode(&[1, 2, 3, 4, 5]);
         let ct = keys.public.encrypt(&pt, &mut rng);
         let bytes = ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), ciphertext_wire_len(&params, false, false));
         let back = ciphertext_from_bytes(&bytes, &params).unwrap();
         assert_eq!(
             &enc.decode(&keys.secret.decrypt(&back))[..5],
@@ -161,24 +911,170 @@ mod tests {
     }
 
     #[test]
-    fn serialized_size_matches_analytic_model() {
+    fn seeded_ciphertext_roundtrip_and_size() {
+        let (params, keys, enc, mut rng) = setup();
+        let pt = enc.encode(&[42, 17]);
+        let (ct, seed) = keys.secret.encrypt_seeded(&pt, &mut rng);
+        let bytes = ciphertext_to_bytes_seeded(&ct, &seed);
+        assert_eq!(bytes.len(), ciphertext_wire_len(&params, true, false));
+        // Roughly half the full frame.
+        assert!(bytes.len() * 2 < ciphertext_wire_len(&params, false, false) + 100);
+        let back = ciphertext_from_bytes(&bytes, &params).unwrap();
+        assert_eq!(&enc.decode(&keys.secret.decrypt(&back))[..2], &[42, 17]);
+        // The regenerated c1 is bit-identical to the sender's.
+        assert_eq!(
+            back.c1.clone().into_ntt().data(),
+            ct.c1.clone().into_ntt().data()
+        );
+    }
+
+    #[test]
+    fn switched_ciphertext_roundtrip() {
+        let (params, keys, enc, mut rng) = setup();
+        let pt = enc.encode(&[7, 8, 9]);
+        let ct = keys.public.encrypt(&pt, &mut rng);
+        let switched = ct.mod_switch_down(&params);
+        let bytes = ciphertext_to_bytes(&switched);
+        assert_eq!(bytes.len(), ciphertext_wire_len(&params, false, true));
+        assert!(bytes.len() < ciphertext_wire_len(&params, false, false));
+        let back = ciphertext_from_bytes(&bytes, &params).unwrap();
+        assert_eq!(back.c0.ctx().q(), params.down_q());
+        assert_eq!(
+            &enc.decode(&keys.secret.decrypt_switched(&back))[..3],
+            &[7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn lazy_representatives_roundtrip_canonically() {
+        // A poly carrying lazy [0, 2q) NTT representatives — legal
+        // everywhere else in the workspace — must serialize to the same
+        // canonical bytes as its reduced twin.
         let (params, keys, _, mut rng) = setup();
         let ct = keys.public.encrypt_zero(&mut rng);
-        let bytes = ciphertext_to_bytes(&ct);
-        // Analytic size (2 polys x N x 8) plus 10 bytes of header/form tags.
-        assert_eq!(bytes.len(), params.ciphertext_bytes() + 10);
+        let q = params.q();
+        let reduced = ct.c0.clone().into_ntt();
+        let lazy_data: Vec<u64> = reduced
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if i % 2 == 0 { x + q.value() } else { x })
+            .collect();
+        let lazy = Poly::from_ntt_data_lazy(params.ring().clone(), lazy_data);
+        let lazy_ct = Ciphertext {
+            c0: lazy,
+            c1: ct.c1.clone(),
+        };
+        let canon_ct = Ciphertext {
+            c0: reduced,
+            c1: ct.c1.clone(),
+        };
+        assert_eq!(
+            ciphertext_to_bytes(&lazy_ct),
+            ciphertext_to_bytes(&canon_ct)
+        );
+        let back = ciphertext_from_bytes(&ciphertext_to_bytes(&lazy_ct), &params).unwrap();
+        assert_eq!(back.c0.coeffs(), canon_ct.c0.coeffs());
+    }
+
+    #[test]
+    fn ntt_and_coeff_forms_serialize_identically() {
+        let (_, keys, _, mut rng) = setup();
+        let ct = keys.public.encrypt_zero(&mut rng);
+        let ntt_ct = Ciphertext {
+            c0: ct.c0.clone().into_ntt(),
+            c1: ct.c1.clone().into_ntt(),
+        };
+        let coeff_ct = Ciphertext {
+            c0: ct.c0.clone().into_coeff(),
+            c1: ct.c1.clone().into_coeff(),
+        };
+        assert_eq!(ciphertext_to_bytes(&ntt_ct), ciphertext_to_bytes(&coeff_ct));
     }
 
     #[test]
     fn plaintext_roundtrip() {
         let (params, _, enc, _) = setup();
         let pt = enc.encode(&[9, 8, 7]);
-        let back = plaintext_from_bytes(&plaintext_to_bytes(&pt), &params).unwrap();
+        let bytes = plaintext_to_bytes(&pt, &params);
+        assert_eq!(bytes.len(), plaintext_wire_len(&params));
+        let back = plaintext_from_bytes(&bytes, &params).unwrap();
         assert_eq!(enc.decode(&back), enc.decode(&pt));
     }
 
     #[test]
-    fn truncation_detected() {
+    fn public_key_roundtrip() {
+        let (params, keys, enc, mut rng) = setup();
+        let bytes = public_key_to_bytes(&keys.public);
+        assert_eq!(bytes.len(), public_key_wire_len(&params));
+        let back = public_key_from_bytes(&bytes, &params).unwrap();
+        // The rebuilt key encrypts; the original secret decrypts.
+        let ct = back.encrypt(&enc.encode(&[5, 6]), &mut rng);
+        assert_eq!(&enc.decode(&keys.secret.decrypt(&ct))[..2], &[5, 6]);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_bit_identical_rotations() {
+        let (params, keys, enc, mut rng) = setup();
+        let bytes = galois_keys_to_bytes(&keys.galois);
+        let back = galois_keys_from_bytes(&bytes, &params).unwrap();
+        assert_eq!(back.num_elements(), keys.galois.num_elements());
+        let ct = keys.public.encrypt(&enc.encode(&[1, 2, 3, 4]), &mut rng);
+        let a = keys.galois.rotate_rows(&ct, 1);
+        let b = back.rotate_rows(&ct, 1);
+        // Regenerated `a` halves are bit-identical, so the rotations are too.
+        assert_eq!(a.c0.coeffs(), b.c0.coeffs());
+        assert_eq!(a.c1.coeffs(), b.c1.coeffs());
+        assert_eq!(
+            &enc.decode(&keys.secret.decrypt(&b))[..3],
+            &[2, 3, 4],
+            "rotation through deserialized keys must still decrypt"
+        );
+    }
+
+    #[test]
+    fn galois_keys_frame_is_much_smaller_than_flat() {
+        let (params, keys, _, _) = setup();
+        let bytes = galois_keys_to_bytes(&keys.galois);
+        let entries = keys.galois.wire_entries();
+        let total_digits: usize = entries.iter().map(|(_, e)| e.digits.len()).sum();
+        assert_eq!(
+            bytes.len(),
+            galois_keys_wire_len(&params, entries.len(), total_digits)
+        );
+        let flat = flat_frame_len(&bytes).unwrap();
+        assert_eq!(flat, keys.galois.byte_len());
+        // Seed expansion halves it, packing shaves the rest: > 2×.
+        assert!(
+            flat > 2 * bytes.len(),
+            "flat {flat} vs wire {}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn hoisted_roundtrip() {
+        let (params, _, enc, mut rng) = setup();
+        let keyset = KeySet::generate_for_dims(&params, &[8], &mut rng);
+        let ct = keyset
+            .public
+            .encrypt(&enc.encode(&[1, 2, 3, 4, 5, 6, 7, 8]), &mut rng);
+        let h = keyset.galois.hoist(&ct);
+        let bytes = hoisted_to_bytes(&h, &params);
+        assert_eq!(
+            bytes.len(),
+            hoisted_wire_len(&params, h.log_base(), h.num_digits())
+        );
+        assert!(bytes.len() * 4 < flat_frame_len(&bytes).unwrap());
+        let back = hoisted_from_bytes(&bytes, &params).unwrap();
+        let a = keyset.galois.rotate_hoisted(&h, 1);
+        let b = keyset.galois.rotate_hoisted(&back, 1);
+        assert_eq!(a.c0.coeffs(), b.c0.coeffs());
+        assert_eq!(a.c1.coeffs(), b.c1.coeffs());
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
         let (params, keys, _, mut rng) = setup();
         let bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
         assert!(matches!(
@@ -189,24 +1085,42 @@ mod tests {
             ciphertext_from_bytes(&bytes[..4], &params),
             Err(WireError::Truncated)
         ));
+        let gk = galois_keys_to_bytes(&keys.galois);
+        assert!(galois_keys_from_bytes(&gk[..gk.len() / 2], &params).is_err());
     }
 
     #[test]
-    fn wrong_magic_and_params_detected() {
+    fn wrong_magic_version_flags_detected() {
         let (params, keys, _, mut rng) = setup();
         let mut bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
         bytes[0] ^= 0xFF;
         assert!(matches!(
             ciphertext_from_bytes(&bytes, &params),
-            Err(WireError::ParamMismatch)
+            Err(WireError::BadMagic)
         ));
-        // Plaintext magic fed to ciphertext parser.
-        let pt_bytes = plaintext_to_bytes(&Plaintext {
-            poly: pi_poly::Poly::zero(params.ring().clone()),
-        });
+        bytes[0] ^= 0xFF;
+        bytes[4] = 1;
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes, &params),
+            Err(WireError::UnsupportedVersion(1))
+        ));
+        bytes[4] = WIRE_VERSION;
+        bytes[5] = 0x80;
+        assert!(matches!(
+            ciphertext_from_bytes(&bytes, &params),
+            Err(WireError::BadFlags(0x80))
+        ));
+        bytes[5] = 0;
+        // Plaintext magic fed to the ciphertext parser.
+        let pt_bytes = plaintext_to_bytes(
+            &Plaintext {
+                poly: pi_poly::Poly::zero(params.ring().clone()),
+            },
+            &params,
+        );
         assert!(matches!(
             ciphertext_from_bytes(&pt_bytes, &params),
-            Err(WireError::ParamMismatch) | Err(WireError::Truncated)
+            Err(WireError::BadMagic)
         ));
     }
 
@@ -214,12 +1128,72 @@ mod tests {
     fn unreduced_coefficient_detected() {
         let (params, keys, _, mut rng) = setup();
         let mut bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
-        // Corrupt the first coefficient to u64::MAX (> q).
-        let start = 8 + 1;
-        bytes[start..start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Force the first packed coefficient to all-ones (≥ q for a 62-bit
+        // prime below 2^62).
+        let start = HEADER_LEN + 8;
+        for b in &mut bytes[start..start + 8] {
+            *b = 0xFF;
+        }
         assert!(matches!(
             ciphertext_from_bytes(&bytes, &params),
             Err(WireError::UnreducedCoefficient)
         ));
+    }
+
+    #[test]
+    fn rns_roundtrips() {
+        use crate::rns::{RnsBfvParams, RnsKeySet};
+        let params = RnsBfvParams::small_test();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let keys = RnsKeySet::generate(&params, &mut rng);
+        let m: Vec<u64> = (0..params.n() as u64)
+            .map(|i| i % params.t().value())
+            .collect();
+        let ct = keys.public.encrypt(&m, &mut rng);
+
+        let bytes = rns_ciphertext_to_bytes(&ct);
+        assert_eq!(
+            bytes.len(),
+            rns_ciphertext_wire_len(params.base(), 2, false)
+        );
+        let back = rns_ciphertext_from_bytes(&bytes, params.base()).unwrap();
+        assert_eq!(keys.secret.decrypt(&back), m);
+
+        let (sct, seed) = keys.secret.encrypt_seeded(&m, &mut rng);
+        let sbytes = rns_ciphertext_to_bytes_seeded(&sct, &seed);
+        assert_eq!(
+            sbytes.len(),
+            rns_ciphertext_wire_len(params.base(), 2, true)
+        );
+        assert!(sbytes.len() * 2 < bytes.len() + 200);
+        let sback = rns_ciphertext_from_bytes(&sbytes, params.base()).unwrap();
+        assert_eq!(keys.secret.decrypt(&sback), m);
+
+        // Relin key: round-trip, then relinearize a product with it.
+        let rbytes = rns_relin_key_to_bytes(&keys.relin);
+        assert_eq!(rbytes.len(), rns_relin_key_wire_len(&params));
+        let rback = rns_relin_key_from_bytes(&rbytes, &params).unwrap();
+        let prod = ct.multiply_no_relin(&ct, &params);
+        let a = prod.relinearize(&keys.relin);
+        let b = prod.relinearize(&rback);
+        let da = keys.secret.decrypt(&a);
+        assert_eq!(da, keys.secret.decrypt(&b));
+    }
+
+    #[test]
+    fn flat_baseline_matches_legacy_sizes() {
+        let (params, keys, enc, mut rng) = setup();
+        let ct = keys.public.encrypt(&enc.encode(&[1]), &mut rng);
+        let bytes = ciphertext_to_bytes(&ct);
+        assert_eq!(
+            flat_frame_len(&bytes).unwrap(),
+            params.ciphertext_bytes() + 10
+        );
+        // Packed beats flat even without seeding (62-bit packing alone).
+        assert!(flat_frame_len(&bytes).unwrap() > bytes.len());
+        let pk = public_key_to_bytes(&keys.public);
+        assert_eq!(flat_frame_len(&pk).unwrap(), keys.public.byte_len());
+        assert!(flat_frame_len(b"short").is_none());
+        assert!(flat_frame_len(&[0u8; 32]).is_none());
     }
 }

@@ -1,0 +1,283 @@
+//! Corruption fuzz for the HE wire layer: every reader must survive
+//! arbitrary bytes without panicking.
+//!
+//! The readers in `pi_he::wire` are the trust boundary of the serving
+//! runtime — the bytes they parse come from the network peer, not from
+//! this process. Two sweeps per frame type:
+//!
+//! * **Truncation**: every prefix of a valid frame (dense near the header
+//!   and the tail, strided through the body) must return a typed
+//!   [`WireError`] — a short buffer is never `Ok` and never a panic.
+//! * **Bit flips**: single-bit corruption at strided positions must
+//!   either fail with a typed error or decode to *some* frame — flipping
+//!   a packed coefficient bit legitimately yields another valid
+//!   coefficient — but must never panic or abort.
+//!
+//! Deterministic by construction (fixed RNG seeds, fixed stride walk), so
+//! a failure reproduces exactly. CI runs this suite in release.
+
+use pi_he::rns::{RnsBfvParams, RnsKeySet};
+use pi_he::{
+    ciphertext_from_bytes, ciphertext_to_bytes, ciphertext_to_bytes_seeded, galois_keys_from_bytes,
+    galois_keys_to_bytes, hoisted_from_bytes, hoisted_to_bytes, plaintext_from_bytes,
+    plaintext_to_bytes, public_key_from_bytes, public_key_to_bytes, rns_ciphertext_from_bytes,
+    rns_ciphertext_to_bytes, rns_ciphertext_to_bytes_seeded, rns_relin_key_from_bytes,
+    rns_relin_key_to_bytes, BatchEncoder, BfvParams, KeySet,
+};
+use rand::{Rng, SeedableRng};
+
+/// The positions a sweep visits: every byte in the first and last 48
+/// (headers, trailing seeds, final packed words), plus at most ~120
+/// strided samples through the body. The stride is odd, so strided bit
+/// flips cycle through all eight bit indexes; the cap keeps the sweep
+/// affordable on multi-hundred-KB key frames (each corrupted parse can
+/// cost a full deserialization, seed expansion included).
+fn positions(len: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len.min(48)).collect();
+    let stride = (len.saturating_sub(96) / 120).max(97) | 1;
+    let mut p = 48;
+    while p + 48 < len {
+        v.push(p);
+        p += stride;
+    }
+    v.extend(len.saturating_sub(48)..len);
+    v.dedup();
+    v
+}
+
+/// Asserts that `parse` never panics on any truncation or single-bit
+/// corruption of `bytes`, and that every strict prefix is an error.
+fn fuzz_frame<T>(name: &str, bytes: &[u8], parse: impl Fn(&[u8]) -> Result<T, pi_he::WireError>) {
+    assert!(
+        parse(bytes).is_ok(),
+        "{name}: pristine frame failed to parse"
+    );
+    for cut in positions(bytes.len()) {
+        if cut == bytes.len() {
+            continue;
+        }
+        assert!(
+            parse(&bytes[..cut]).is_err(),
+            "{name}: truncation to {cut}/{} bytes parsed Ok",
+            bytes.len()
+        );
+    }
+    let mut scratch = bytes.to_vec();
+    for pos in positions(bytes.len()) {
+        if pos >= bytes.len() {
+            continue;
+        }
+        let bit = 1u8 << (pos % 8);
+        scratch[pos] ^= bit;
+        // Err or Ok are both acceptable; the assertion is "no panic",
+        // which a panic would fail loudly on its own.
+        let _ = parse(&scratch);
+        scratch[pos] ^= bit;
+    }
+    assert_eq!(&scratch, bytes, "{name}: fuzz scratch buffer corrupted");
+}
+
+#[test]
+fn single_prime_frames_survive_corruption() {
+    // Deliberately small ring: the sweeps below pay a full parse per
+    // corrupted buffer, and nothing in the format depends on n or q size.
+    let params = BfvParams::new(1024, 40, 16);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let keys = KeySet::generate_for_dims(&params, &[4], &mut rng);
+    let enc = BatchEncoder::new(&params);
+    let msg: Vec<u64> = (0..32)
+        .map(|_| rng.gen_range(0..params.t().value()))
+        .collect();
+    let pt = enc.encode(&msg);
+
+    let ct = keys.public.encrypt(&pt, &mut rng);
+    fuzz_frame("ciphertext", &ciphertext_to_bytes(&ct), |b| {
+        ciphertext_from_bytes(b, &params)
+    });
+
+    let (sct, seed) = keys.secret.encrypt_seeded(&pt, &mut rng);
+    fuzz_frame(
+        "seeded ciphertext",
+        &ciphertext_to_bytes_seeded(&sct, &seed),
+        |b| ciphertext_from_bytes(b, &params),
+    );
+
+    let switched = ct.mod_switch_down(&params);
+    fuzz_frame(
+        "switched ciphertext",
+        &ciphertext_to_bytes(&switched),
+        |b| ciphertext_from_bytes(b, &params),
+    );
+
+    fuzz_frame("plaintext", &plaintext_to_bytes(&pt, &params), |b| {
+        plaintext_from_bytes(b, &params)
+    });
+
+    fuzz_frame("public key", &public_key_to_bytes(&keys.public), |b| {
+        public_key_from_bytes(b, &params)
+    });
+
+    fuzz_frame("galois keys", &galois_keys_to_bytes(&keys.galois), |b| {
+        galois_keys_from_bytes(b, &params)
+    });
+
+    let h = keys.galois.hoist(&ct);
+    fuzz_frame("hoisted upload", &hoisted_to_bytes(&h, &params), |b| {
+        hoisted_from_bytes(b, &params)
+    });
+}
+
+#[test]
+fn rns_frames_survive_corruption() {
+    let params = RnsBfvParams::small_test();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9001);
+    let keys = RnsKeySet::generate(&params, &mut rng);
+    let m: Vec<u64> = (0..params.n() as u64)
+        .map(|i| i % params.t().value())
+        .collect();
+
+    let ct = keys.public.encrypt(&m, &mut rng);
+    fuzz_frame("rns ciphertext", &rns_ciphertext_to_bytes(&ct), |b| {
+        rns_ciphertext_from_bytes(b, params.base())
+    });
+
+    let (sct, seed) = keys.secret.encrypt_seeded(&m, &mut rng);
+    fuzz_frame(
+        "seeded rns ciphertext",
+        &rns_ciphertext_to_bytes_seeded(&sct, &seed),
+        |b| rns_ciphertext_from_bytes(b, params.base()),
+    );
+
+    // A degree-3 product frame exercises the num_polys > 2 path.
+    let prod = ct.multiply_no_relin(&ct, &params);
+    fuzz_frame("rns product", &rns_ciphertext_to_bytes(&prod), |b| {
+        rns_ciphertext_from_bytes(b, params.base())
+    });
+
+    fuzz_frame("rns relin key", &rns_relin_key_to_bytes(&keys.relin), |b| {
+        rns_relin_key_from_bytes(b, &params)
+    });
+}
+
+#[test]
+fn cross_frame_confusion_is_rejected() {
+    // Feeding one frame type to another type's reader must fail with
+    // BadMagic (or a downstream typed error), never panic or mis-decode.
+    let params = BfvParams::new(1024, 40, 16);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let keys = KeySet::generate_for_dims(&params, &[4], &mut rng);
+    let ct_bytes = ciphertext_to_bytes(&keys.public.encrypt_zero(&mut rng));
+    let pk_bytes = public_key_to_bytes(&keys.public);
+    let gk_bytes = galois_keys_to_bytes(&keys.galois);
+
+    assert!(ciphertext_from_bytes(&pk_bytes, &params).is_err());
+    assert!(ciphertext_from_bytes(&gk_bytes, &params).is_err());
+    assert!(public_key_from_bytes(&ct_bytes, &params).is_err());
+    assert!(public_key_from_bytes(&gk_bytes, &params).is_err());
+    assert!(galois_keys_from_bytes(&ct_bytes, &params).is_err());
+    assert!(plaintext_from_bytes(&ct_bytes, &params).is_err());
+    assert!(hoisted_from_bytes(&ct_bytes, &params).is_err());
+    assert!(rns_ciphertext_from_bytes(&ct_bytes, RnsBfvParams::small_test().base()).is_err());
+
+    // Random garbage of plausible length.
+    let mut garbage = vec![0u8; 4096];
+    rng.fill(&mut garbage[..]);
+    assert!(ciphertext_from_bytes(&garbage, &params).is_err());
+    assert!(galois_keys_from_bytes(&garbage, &params).is_err());
+    assert!(rns_relin_key_from_bytes(&garbage, &RnsBfvParams::small_test()).is_err());
+    assert!(pi_he::flat_frame_len(&garbage).is_none());
+}
+
+mod roundtrip_props {
+    use super::*;
+    use pi_he::Ciphertext;
+    use pi_poly::Poly;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Serialization is canonical across random rings and polynomial
+        /// forms: NTT-form and lazy `[0,2q)` representatives produce the
+        /// same bytes as their reduced coefficient-form twin, and
+        /// parse∘serialize is idempotent (the reader's canonical form
+        /// reserializes to the identical frame).
+        #[test]
+        fn ct_frames_canonical_across_params_and_forms(
+            n_exp in 9usize..=11,
+            q_bits in 40u32..=62,
+            seed in any::<u64>(),
+            ntt_form in any::<bool>(),
+        ) {
+            let n = 1usize << n_exp;
+            let params = BfvParams::new(n, q_bits, 16);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let keys = KeySet::generate(&params, &mut rng);
+            let ct = keys.public.encrypt_zero(&mut rng);
+
+            let shaped = if ntt_form {
+                Ciphertext { c0: ct.c0.clone().into_ntt(), c1: ct.c1.clone().into_ntt() }
+            } else {
+                Ciphertext { c0: ct.c0.clone().into_coeff(), c1: ct.c1.clone().into_coeff() }
+            };
+            let bytes = ciphertext_to_bytes(&shaped);
+            prop_assert_eq!(&bytes, &ciphertext_to_bytes(&ct));
+
+            // Lazy [0,2q) representatives on c0 serialize identically.
+            let q = params.q();
+            let reduced = ct.c0.clone().into_ntt();
+            let lazy_data: Vec<u64> = reduced
+                .data()
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| if i % 3 == 0 { x + q.value() } else { x })
+                .collect();
+            let lazy_ct = Ciphertext {
+                c0: Poly::from_ntt_data_lazy(params.ring().clone(), lazy_data),
+                c1: ct.c1.clone(),
+            };
+            prop_assert_eq!(&ciphertext_to_bytes(&lazy_ct), &bytes);
+
+            // parse ∘ serialize is the identity on frames.
+            let back = ciphertext_from_bytes(&bytes, &params).unwrap();
+            prop_assert_eq!(&ciphertext_to_bytes(&back), &bytes);
+
+            // Down-switched frames round-trip under the same params.
+            let sw = ct.mod_switch_down(&params);
+            let sw_bytes = ciphertext_to_bytes(&sw);
+            let sw_back = ciphertext_from_bytes(&sw_bytes, &params).unwrap();
+            prop_assert_eq!(&ciphertext_to_bytes(&sw_back), &sw_bytes);
+        }
+
+        /// RNS frames round-trip canonically for every residue count, and
+        /// a seeded frame regenerates `c1` bit-exactly (the full-frame
+        /// serialization of the parsed result matches the sender's).
+        #[test]
+        fn rns_frames_canonical_across_residue_counts(
+            n_exp in 9usize..=10,
+            // `RnsBfvParams::new` requires `t_bits + 30 <= prime_bits * k`;
+            // 46-bit primes satisfy it even at k = 1 with the 16-bit t.
+            prime_bits in 46u32..=58,
+            k in 1usize..=3,
+            seed in any::<u64>(),
+        ) {
+            let n = 1usize << n_exp;
+            let params = RnsBfvParams::new(n, prime_bits, k, 16);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let keys = RnsKeySet::generate(&params, &mut rng);
+            let m: Vec<u64> = (0..n as u64).map(|i| i % params.t().value()).collect();
+
+            let ct = keys.public.encrypt(&m, &mut rng);
+            let bytes = rns_ciphertext_to_bytes(&ct);
+            let back = rns_ciphertext_from_bytes(&bytes, params.base()).unwrap();
+            prop_assert_eq!(&rns_ciphertext_to_bytes(&back), &bytes);
+
+            let (sct, ct_seed) = keys.secret.encrypt_seeded(&m, &mut rng);
+            let full = rns_ciphertext_to_bytes(&sct);
+            let sback =
+                rns_ciphertext_from_bytes(&rns_ciphertext_to_bytes_seeded(&sct, &ct_seed), params.base())
+                    .unwrap();
+            prop_assert_eq!(&rns_ciphertext_to_bytes(&sback), &full);
+        }
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ntt;
+pub mod pack;
 pub mod poly;
 pub mod rns;
 pub mod sample;

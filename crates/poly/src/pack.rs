@@ -1,0 +1,137 @@
+//! Little-endian bit-packing for bounded `u64` words.
+//!
+//! The wire layer stores polynomial coefficients at `ceil(log2 q)` bits
+//! each instead of a flat 8 bytes. Packing is a single contiguous
+//! little-endian bitstream: word `i` occupies bits `[i*bits, (i+1)*bits)`
+//! of the stream, least-significant bit first, and the final byte is
+//! zero-padded. `bits` may be anything in `1..=64`.
+
+/// Number of bytes needed to pack `n` words of `bits` bits each.
+pub fn packed_len(n: usize, bits: usize) -> usize {
+    debug_assert!((1..=64).contains(&bits));
+    (n * bits).div_ceil(8)
+}
+
+/// Append `words` to `out`, packed at `bits` bits per word.
+///
+/// Every word must fit in `bits` bits (debug-asserted); callers are
+/// expected to have reduced values into canonical range first.
+pub fn pack_into(out: &mut Vec<u8>, words: &[u64], bits: usize) {
+    assert!((1..=64).contains(&bits), "bit width {bits} out of range");
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    // Accumulate into a u128 so a 64-bit word straddling a byte boundary
+    // never overflows the staging register.
+    let mut acc: u128 = 0;
+    let mut acc_bits: usize = 0;
+    out.reserve(packed_len(words.len(), bits));
+    for &w in words {
+        debug_assert!(w & mask == w, "word {w:#x} exceeds {bits} bits");
+        acc |= u128::from(w & mask) << acc_bits;
+        acc_bits += bits;
+        while acc_bits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Unpack `n` words of `bits` bits each from the front of `bytes`.
+///
+/// Returns `None` if `bytes` is shorter than [`packed_len`]`(n, bits)`.
+/// Trailing pad bits in the final byte are ignored.
+pub fn unpack(bytes: &[u8], n: usize, bits: usize) -> Option<Vec<u64>> {
+    assert!((1..=64).contains(&bits), "bit width {bits} out of range");
+    if bytes.len() < packed_len(n, bits) {
+        return None;
+    }
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut words = Vec::with_capacity(n);
+    let mut acc: u128 = 0;
+    let mut acc_bits: usize = 0;
+    let mut pos = 0usize;
+    for _ in 0..n {
+        while acc_bits < bits {
+            acc |= u128::from(bytes[pos]) << acc_bits;
+            pos += 1;
+            acc_bits += 8;
+        }
+        words.push((acc as u64) & mask);
+        acc >>= bits;
+        acc_bits -= bits;
+    }
+    Some(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn packed_len_matches_output() {
+        for bits in [1, 2, 7, 8, 9, 45, 50, 62, 63, 64] {
+            for n in [0, 1, 3, 17, 256] {
+                let words: Vec<u64> = (0..n as u64)
+                    .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask(bits))
+                    .collect();
+                let mut out = Vec::new();
+                pack_into(&mut out, &words, bits);
+                assert_eq!(out.len(), packed_len(n, bits), "n={n} bits={bits}");
+            }
+        }
+    }
+
+    fn mask(bits: usize) -> u64 {
+        if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for bits in 1..=64usize {
+            let n = 1 + rng.gen_range(0..100usize);
+            let words: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() & mask(bits)).collect();
+            let mut out = vec![0xAAu8; 5]; // existing prefix must be preserved
+            pack_into(&mut out, &words, bits);
+            assert_eq!(&out[..5], &[0xAA; 5]);
+            let got = unpack(&out[5..], n, bits).expect("enough bytes");
+            assert_eq!(got, words, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_short_input() {
+        let words = [1u64, 2, 3, 4];
+        let mut out = Vec::new();
+        pack_into(&mut out, &words, 62);
+        assert!(unpack(&out[..out.len() - 1], 4, 62).is_none());
+        assert!(unpack(&[], 1, 8).is_none());
+        assert!(unpack(&[], 0, 8).is_some());
+    }
+
+    #[test]
+    fn max_width_is_flat_u64() {
+        let words = [u64::MAX, 0, 0x0123_4567_89ab_cdef];
+        let mut out = Vec::new();
+        pack_into(&mut out, &words, 64);
+        assert_eq!(out.len(), 24);
+        let got = unpack(&out, 3, 64).unwrap();
+        assert_eq!(got, words);
+    }
+}

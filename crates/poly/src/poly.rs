@@ -216,6 +216,26 @@ impl Poly {
         }
     }
 
+    /// Builds a polynomial already in evaluation (NTT) form from *lazy*
+    /// `[0, 2q)` representatives, as produced by the unreduced dyadic
+    /// kernels. Values are kept as-is; downstream ops reduce lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n`; debug-panics if any value is `>= 2q`.
+    pub fn from_ntt_data_lazy(ctx: Arc<RingContext>, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), ctx.n, "evaluation vector must have length n");
+        debug_assert!(
+            data.iter().all(|&x| x < ctx.q.twice()),
+            "lazy NTT data must be < 2q"
+        );
+        Self {
+            ctx,
+            form: PolyForm::Ntt,
+            data,
+        }
+    }
+
     /// Returns the coefficients, converting from NTT form if needed.
     pub fn coeffs(&self) -> Vec<u64> {
         match self.form {

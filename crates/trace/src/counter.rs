@@ -55,6 +55,8 @@ counters! {
     OtExtended => "ot.extended",
     WireBytes => "wire.bytes",
     WireMsgs => "wire.msgs",
+    WireFlatBytes => "wire.flat_bytes",
+    WireSeedExpand => "wire.seed_expand",
 }
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -328,6 +328,47 @@ fn scalar_oracle_stays_reachable_via_force_toggle() {
     }
 }
 
+#[test]
+fn wire_seed_expansion_is_backend_invariant() {
+    // A seeded wire frame ships 32 bytes in place of the uniform `c1`; the
+    // receiver regenerates the polynomial locally. If that expansion ever
+    // routed through a backend-dependent kernel, a client on AVX2 and a
+    // server forced to scalar would silently disagree on `c1` and every
+    // decryption downstream would be noise. Serialize under one backend,
+    // deserialize under every other: the reconstructed ciphertexts must be
+    // byte-identical.
+    use private_inference::he::{
+        ciphertext_from_bytes, ciphertext_to_bytes, ciphertext_to_bytes_seeded, BatchEncoder,
+        BfvParams, KeySet,
+    };
+    let _g = lock();
+    let params = BfvParams::small_test();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let (ct, seed) = with_backend(SimdBackend::Scalar, || {
+        let keys = KeySet::generate(&params, &mut rng);
+        let enc = BatchEncoder::new(&params);
+        keys.secret
+            .encrypt_seeded(&enc.encode(&[5, 4, 3, 2, 1]), &mut rng)
+    });
+    let frame = ciphertext_to_bytes_seeded(&ct, &seed);
+    let reference = with_backend(SimdBackend::Scalar, || {
+        ciphertext_to_bytes(&ciphertext_from_bytes(&frame, &params).unwrap())
+    });
+    let mut backends = vec![SimdBackend::Scalar];
+    backends.extend(vector_backends());
+    for be in backends {
+        let got = with_backend(be, || {
+            ciphertext_to_bytes(&ciphertext_from_bytes(&frame, &params).unwrap())
+        });
+        assert_eq!(
+            got,
+            reference,
+            "seed expansion diverged under {}",
+            be.name()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     #[test]

@@ -226,3 +226,136 @@ fn key_table_hit_skips_the_upload() {
         second.offline_sent
     );
 }
+
+/// Recomputes a message's wire size from first principles: HE variants from
+/// the lengths of the serialized frames they actually carry, everything
+/// else from the analytic binary encoding. The `flat` half replays the
+/// legacy flat-u64 baseline via [`pi_he::flat_frame_len`] — the `expect`
+/// doubles as an assertion that every HE frame crossing the wire is one the
+/// baseline scanner can parse.
+fn relayed_len(m: &Msg) -> (u64, u64) {
+    match m {
+        Msg::HeKeys { pk, gk } => {
+            let real = 8 + pk.len() + 8 + gk.len();
+            let flat = 8
+                + pi_he::flat_frame_len(pk).expect("relayed pk frame")
+                + 8
+                + pi_he::flat_frame_len(gk).expect("relayed gk frame");
+            (real as u64, flat as u64)
+        }
+        Msg::HeCts(frames) => {
+            let real = 8 + frames.iter().map(|f| 8 + f.len()).sum::<usize>();
+            let flat = 8 + frames
+                .iter()
+                .map(|f| 8 + pi_he::flat_frame_len(f).expect("relayed ct frame"))
+                .sum::<usize>();
+            (real as u64, flat as u64)
+        }
+        other => (other.byte_len() as u64, other.flat_byte_len() as u64),
+    }
+}
+
+/// Forwards messages from `from` to `to`, summing independently recomputed
+/// (real, flat) sizes, until either side hangs up.
+fn relay(from: &pi_core::channel::Channel, to: &pi_core::channel::Channel) -> (u64, u64) {
+    let (mut real, mut flat) = (0u64, 0u64);
+    while let Ok(m) = from.recv() {
+        let (r, f) = relayed_len(&m);
+        real += r;
+        flat += f;
+        if to.send(m).is_err() {
+            break;
+        }
+    }
+    (real, flat)
+}
+
+/// The byte accounting is honest: a man-in-the-middle relay that re-measures
+/// every message from the serialized frames it actually carries arrives at
+/// exactly the numbers the channel atomics (and the `PartyOutcome` totals
+/// built from them) report. Before the wire layer, the analytic counters
+/// and the real frames could drift apart silently; now any divergence fails
+/// here.
+#[test]
+fn channel_byte_atomics_match_relayed_frames() {
+    let he = BfvParams::small_test();
+    let model = build_model(&he, 11);
+    let meta = ModelMeta::of(&model);
+    for kind in [ProtocolKind::ClientGarbler, ProtocolKind::ServerGarbler] {
+        let cfg = match kind {
+            ProtocolKind::ClientGarbler => ProtocolConfig::client_garbler(he.clone(), 1),
+            ProtocolKind::ServerGarbler => ProtocolConfig::server_garbler(he.clone()),
+        };
+        let pre = pi_core::ServerPrecomp::new(&model, &cfg);
+        let input = random_input(&model, 99);
+        let (c_chan, c_peer) = pi_core::channel::local_pair();
+        let (s_peer, s_chan) = pi_core::channel::local_pair();
+        let (up, down, client_side, server_side) = std::thread::scope(|scope| {
+            let up = scope.spawn(|| relay(&c_peer, &s_peer));
+            let down = scope.spawn(|| relay(&s_peer, &c_peer));
+            // The driver threads own their channel ends: dropping them on
+            // completion is what unblocks the relays' `recv` loops.
+            let client = scope.spawn({
+                let (meta, input, cfg) = (&meta, &input, &cfg);
+                move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+                    let (out, c_out) = match kind {
+                        ProtocolKind::ClientGarbler => {
+                            pi_core::client_garbler::run_client(meta, input, cfg, &c_chan, &mut rng)
+                        }
+                        ProtocolKind::ServerGarbler => {
+                            pi_core::server_garbler::run_client(meta, input, cfg, &c_chan, &mut rng)
+                        }
+                    };
+                    let sent = (c_chan.bytes_sent(), c_chan.bytes_sent_flat());
+                    (out, c_out, sent)
+                }
+            });
+            let server = scope.spawn({
+                let (model, pre, cfg) = (&model, &pre, &cfg);
+                move || {
+                    let rng = rand::rngs::StdRng::seed_from_u64(6);
+                    let s_out = match kind {
+                        ProtocolKind::ClientGarbler => {
+                            pi_core::client_garbler::run_server(model, pre, cfg, &s_chan, rng)
+                        }
+                        ProtocolKind::ServerGarbler => {
+                            pi_core::server_garbler::run_server(model, pre, cfg, &s_chan, rng)
+                        }
+                    };
+                    let sent = (s_chan.bytes_sent(), s_chan.bytes_sent_flat());
+                    (s_out, sent)
+                }
+            });
+            let client_side = client.join().expect("client thread");
+            let server_side = server.join().expect("server thread");
+            (
+                up.join().expect("up relay"),
+                down.join().expect("down relay"),
+                client_side,
+                server_side,
+            )
+        });
+        let (out, c_out, (c_sent, c_sent_flat)) = client_side;
+        let (s_out, (s_sent, s_sent_flat)) = server_side;
+        assert_eq!(out, model.forward(&input), "{kind:?} output");
+
+        // Channel atomics == relay-recomputed serialized sums, per direction.
+        assert_eq!((c_sent, c_sent_flat), up, "{kind:?} upload accounting");
+        assert_eq!((s_sent, s_sent_flat), down, "{kind:?} download accounting");
+        // PartyOutcome totals are built from the same atomics.
+        assert_eq!(c_out.total_sent, c_sent, "{kind:?} client outcome total");
+        assert_eq!(s_out.total_sent, s_sent, "{kind:?} server outcome total");
+        assert_eq!(c_out.total_sent_flat, c_sent_flat);
+        assert_eq!(s_out.total_sent_flat, s_sent_flat);
+        // HE frames genuinely shrank relative to the flat baseline.
+        assert!(
+            c_sent_flat > c_sent,
+            "{kind:?} upload flat={c_sent_flat} real={c_sent}"
+        );
+        assert!(
+            s_sent_flat > s_sent,
+            "{kind:?} download flat={s_sent_flat} real={s_sent}"
+        );
+    }
+}
