@@ -11,12 +11,86 @@
 //! naive chain.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pi_field::simd::{self, SimdBackend};
 use pi_he::linalg::{
     encode_diagonals, encode_diagonals_bsgs, encrypt_vector, matvec_naive, matvec_op_count,
     matvec_op_count_naive, matvec_precomputed, PlainMatrix,
 };
 use pi_he::{BatchEncoder, BfvParams, KeySet};
+use pi_poly::ntt::{NttTables, ShoupVec};
+use pi_poly::rns::RnsContext;
 use rand::{Rng, SeedableRng};
+
+/// Median wall time of `f` in nanoseconds (hand-rolled so the
+/// `csv,tail_*` lines print in every mode, including `--test` where the
+/// compat criterion skips measurement and its csv output).
+fn median_ns(mut f: impl FnMut(), iters: usize) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Same-run scalar-vs-vector A/B of one kernel, printed as
+/// `csv,tail_<kernel>_scalar,<ns>` / `csv,tail_<kernel>,<ns>`.
+fn tail_ab(kernel: &str, iters: usize, mut f: impl FnMut()) {
+    let auto = simd::auto_backend();
+    simd::force_backend(SimdBackend::Scalar);
+    let scalar = median_ns(&mut f, iters);
+    simd::force_backend(auto);
+    let vector = median_ns(&mut f, iters);
+    simd::clear_forced_backend();
+    println!("csv,tail_{kernel}_scalar,{scalar:.1}");
+    println!("csv,tail_{kernel},{vector:.1}");
+}
+
+/// Kernel-level A/B of the rotation tail: the plain Galois slot gather
+/// ([`pi_poly::ntt::GaloisPerm::apply`]), the fused permute + double
+/// multiply-accumulate key-switch inner loop, and the fused permute + lazy
+/// add — each at the protocol ring degree `n = 4096`.
+fn bench_tail_breakdown(_c: &mut Criterion) {
+    let n = 4096usize;
+    let ctx = RnsContext::with_ntt_primes(n, 50, 1);
+    let q = ctx.modulus(0);
+    let ntt = NttTables::new(n, q);
+    let perm = ntt.galois_permutation(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let src: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    let ops: Vec<ShoupVec> = (0..2)
+        .map(|_| {
+            let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            ShoupVec::new(q, &vals)
+        })
+        .collect();
+
+    // Buffers live outside the timed closures (the lazy accumulators stay
+    // inside [0, 2q) across iterations, so repeated accumulation is valid)
+    // — the medians time the kernels, not the allocator.
+    let mut out = vec![0u64; n];
+    tail_ab("galois_apply", 201, || {
+        perm.apply(&mut out, &src);
+        std::hint::black_box(&out);
+    });
+    let mut acc0 = vec![0u64; n];
+    let mut acc1 = vec![0u64; n];
+    tail_ab("ks_gather2", 101, || {
+        ntt.dyadic_mul_acc_shoup_gather2(&mut acc0, &mut acc1, &src, &perm, &ops[0], &ops[1]);
+        std::hint::black_box((&acc0, &acc1));
+    });
+    let mut acc = vec![0u64; n];
+    tail_ab("gather_add", 201, || {
+        ntt.gather_add_lazy(&mut acc, &src, &perm);
+        std::hint::black_box(&acc);
+    });
+}
 
 fn bench_matvec(c: &mut Criterion) {
     // The protocol-default ring (n = 4096) at the layer dimensions the
@@ -90,5 +164,43 @@ fn bench_matvec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matvec);
+/// Same-run scalar-vs-vector A/B of the full hoisted-BSGS matvec at the
+/// acceptance dimension `d = 128`: the whole offline-layer operation with
+/// the dispatch pinned to the scalar oracle and to the detected backend
+/// in turn, under one process on one core.
+fn bench_matvec_simd_vs_scalar(c: &mut Criterion) {
+    let params = BfvParams::default_pi();
+    let dim = 128usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    let keys = KeySet::generate(&params, &mut rng);
+    let bsgs_gk = keys.secret.galois_keys_for_bsgs(&[dim], &mut rng);
+    let enc = BatchEncoder::new(&params);
+    let t = params.t();
+    let data: Vec<u64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let w = PlainMatrix::new(dim, dim, &data, t);
+    let v: Vec<u64> = (0..dim).map(|_| rng.gen_range(0..t.value())).collect();
+    let ct = encrypt_vector(&keys.public, &enc, &w, &v, &mut rng);
+    let bsgs_diag = encode_diagonals_bsgs(&enc, &w);
+
+    let auto = simd::auto_backend();
+    let mut group = c.benchmark_group("matvec_simd_vs_scalar");
+    group.sample_size(10);
+    for (label, be) in [("scalar", SimdBackend::Scalar), ("simd", auto)] {
+        simd::force_backend(be);
+        group.bench_function(format!("bsgs_{label}_d{dim}_n4096"), |b| {
+            b.iter(|| matvec_precomputed(&bsgs_gk, &bsgs_diag, &ct))
+        });
+        simd::clear_forced_backend();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tail_breakdown,
+    bench_matvec,
+    bench_matvec_simd_vs_scalar
+);
 criterion_main!(benches);

@@ -56,6 +56,9 @@ pub struct CrtBasis {
     punctured_inv: Vec<u64>,
     /// garner_inv[i][j] = q_j^{-1} mod q_i for j < i.
     garner_inv: Vec<Vec<u64>>,
+    /// The same constants in Shoup form, for the lane-parallel digit pass
+    /// of [`CrtBasis::compose_many`].
+    garner_inv_shoup: Vec<Vec<crate::modulus::ShoupMul>>,
 }
 
 /// Why a [`CrtBasis`] could not be constructed.
@@ -155,6 +158,11 @@ impl CrtBasis {
                     .collect()
             })
             .collect();
+        let garner_inv_shoup: Vec<Vec<crate::modulus::ShoupMul>> = moduli
+            .iter()
+            .zip(&garner_inv)
+            .map(|(m, row)| row.iter().map(|&inv| m.shoup(inv)).collect())
+            .collect();
         let half_product = product.shr1();
         Ok(Self {
             moduli,
@@ -163,6 +171,7 @@ impl CrtBasis {
             punctured,
             punctured_inv,
             garner_inv,
+            garner_inv_shoup,
         })
     }
 
@@ -263,6 +272,67 @@ impl CrtBasis {
             x = x.mul_u64(self.moduli[i].value()).add_u64(digits[i]);
         }
         x
+    }
+
+    /// Batched [`CrtBasis::compose`] over residue-major columns
+    /// (`cols[i][j]` = coefficient `j` modulo prime `i`): the Garner digit
+    /// recurrence runs lane-parallel down whole coefficient columns (one
+    /// Shoup pass per `(i, j < i)` prime pair instead of per coefficient),
+    /// leaving only the big-int Horner per coefficient. Digits are the
+    /// identical `[0, q_i)` values the scalar recurrence produces — the
+    /// Shoup rewrite `(v − t_j)·q_j^{-1} = v·q_j^{-1} − t_j·q_j^{-1} (mod
+    /// q_i)` changes the instruction mix, not the result — so the returned
+    /// values equal per-coefficient [`CrtBasis::compose`] exactly.
+    ///
+    /// Residues may be unreduced (the first Shoup pass reduces them). This
+    /// is the decrypt-boundary batch path; the scalar `compose` remains the
+    /// differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the basis size or the
+    /// columns have unequal lengths.
+    pub fn compose_many(&self, cols: &[Vec<u64>]) -> Vec<U1024> {
+        let k = self.len();
+        assert_eq!(cols.len(), k, "residue column count mismatch");
+        let n = cols[0].len();
+        for col in cols {
+            assert_eq!(col.len(), n, "residue columns must have equal length");
+        }
+        let be = crate::simd::backend();
+        if !be.is_vector() {
+            let mut residues = vec![0u64; k];
+            return (0..n)
+                .map(|j| {
+                    for (r, col) in residues.iter_mut().zip(cols) {
+                        *r = col[j];
+                    }
+                    self.compose(&residues)
+                })
+                .collect();
+        }
+        // Digit columns: d_cols[i][j] = mixed-radix digit i of coefficient j.
+        let mut d_cols: Vec<Vec<u64>> = Vec::with_capacity(k);
+        for (i, col) in cols.iter().enumerate() {
+            let m = self.moduli[i];
+            let mut v = vec![0u64; n];
+            // Reduce the raw residues via a Shoup multiply by 1 (exact
+            // `x mod q` for any u64 input).
+            crate::simd::mul_shoup_bcast(be, &m, &mut v, col, m.shoup(1));
+            for (j, &inv) in self.garner_inv_shoup[i].iter().enumerate() {
+                crate::simd::garner_step(be, &m, &mut v, &d_cols[j], inv);
+            }
+            d_cols.push(v);
+        }
+        (0..n)
+            .map(|j| {
+                let mut x = U1024::from_u64(d_cols[k - 1][j]);
+                for i in (0..k - 1).rev() {
+                    x = x.mul_u64(self.moduli[i].value()).add_u64(d_cols[i][j]);
+                }
+                x
+            })
+            .collect()
     }
 
     /// Decomposes the *centered* value of `x ∈ [0, Q)` into residues of a

@@ -201,6 +201,37 @@ impl FastBaseConverter {
         self.channel.as_ref().map(|c| c.modulus)
     }
 
+    /// The channel's cross-basis row `|Q/q_i|_{m_r}` (Shoup form, indexed by
+    /// source prime) — the per-source constants of
+    /// [`FastBaseConverter::channel_correction`], exposed so the batched
+    /// column path can run the same accumulation lane-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the converter was built without a channel.
+    #[inline]
+    pub fn channel_cross_row(&self) -> &[ShoupMul] {
+        &self
+            .channel
+            .as_ref()
+            .expect("converter has no correction channel")
+            .cross
+    }
+
+    /// `|Q^{-1}|_{m_r}` in Shoup form — the final multiplier of
+    /// [`FastBaseConverter::channel_correction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the converter was built without a channel.
+    #[inline]
+    pub fn channel_q_inv(&self) -> ShoupMul {
+        self.channel
+            .as_ref()
+            .expect("converter has no correction channel")
+            .q_inv
+    }
+
     /// The Shoup digit constant `|f·(Q/q_i)^{-1}|_{q_i}` for source prime `i`.
     #[inline]
     pub fn digit_scale(&self, i: usize) -> ShoupMul {

@@ -456,6 +456,233 @@ pub(super) unsafe fn fold_finish(
     }
 }
 
+/// Gather 4 u64 lanes from 32-bit indices via `vpgatherdq`.
+///
+/// Bounds are the caller's obligation: the safe wrapper in `mod.rs` asserts
+/// every index is `< src.len()` before any gather kernel runs. Indices are
+/// sign-extended by the hardware, so they must also be `< 2^31` — implied by
+/// the bounds assert for any realistic table.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn gather4(src: &[u64], idx: &[u32]) -> __m256i {
+    debug_assert!(idx.len() >= LANES);
+    let vindex = _mm_loadu_si128(idx.as_ptr().cast());
+    _mm256_i32gather_epi64::<8>(src.as_ptr().cast(), vindex)
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn gather_u64(out: &mut [u64], src: &[u64], idx: &[u32]) {
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        store(&mut out[j..], gather4(src, &idx[j..]));
+    }
+    for j in n4..out.len() {
+        out[j] = src[idx[j] as usize];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn gather_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]) {
+    let two_q = splat(q.value() << 1);
+    let n4 = acc.len() - acc.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let s = _mm256_add_epi64(load(&acc[j..]), gather4(src, &idx[j..]));
+        store(&mut acc[j..], csub(s, two_q));
+    }
+    for j in n4..acc.len() {
+        acc[j] = q.add_lazy(acc[j], src[idx[j] as usize]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn dyadic_mul_acc_shoup_gather2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let n4 = acc0.len() - acc0.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let t = gather4(src, &idx[j..]);
+        let r0 = mul_shoup_lazy(t, load(&vals0[j..]), load(&quots0[j..]), qv);
+        let s0 = _mm256_add_epi64(load(&acc0[j..]), r0);
+        store(&mut acc0[j..], csub(s0, two_q));
+        let r1 = mul_shoup_lazy(t, load(&vals1[j..]), load(&quots1[j..]), qv);
+        let s1 = _mm256_add_epi64(load(&acc1[j..]), r1);
+        store(&mut acc1[j..], csub(s1, two_q));
+    }
+    for j in n4..acc0.len() {
+        let t = src[idx[j] as usize];
+        let w0 = ShoupMul {
+            value: vals0[j],
+            quotient: quots0[j],
+        };
+        let w1 = ShoupMul {
+            value: vals1[j],
+            quotient: quots1[j],
+        };
+        acc0[j] = q.add_lazy(acc0[j], q.mul_shoup_lazy(t, w0));
+        acc1[j] = q.add_lazy(acc1[j], q.mul_shoup_lazy(t, w1));
+    }
+}
+
+/// Block-permute kernels: AVX2 has no cross-lane 64-bit permute with a
+/// runtime pattern, so the data movement is a block-local scalar shuffle
+/// out of one cache line (already far cheaper than `vpgatherqq` latency);
+/// the arithmetic halves still run on the 4-lane Shoup kernels.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn permute_block(src: &[u64], sb: u32, pat: u64) -> [u64; 8] {
+    let blk = &src[sb as usize * 8..sb as usize * 8 + 8];
+    let mut tmp = [0u64; 8];
+    for (t, o) in tmp.iter_mut().enumerate() {
+        *o = blk[(pat >> (8 * t)) as usize & 7];
+    }
+    tmp
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn permute8(out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        out[b * 8..b * 8 + 8].copy_from_slice(&permute_block(src, sb, pat));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn permute8_add_lazy(
+    q: &Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    let two_q = splat(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let tmp = permute_block(src, sb, pat);
+        for h in 0..2 {
+            let j = b * 8 + h * LANES;
+            let s = _mm256_add_epi64(load(&acc[j..]), load(&tmp[h * LANES..]));
+            store(&mut acc[j..], csub(s, two_q));
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn permute8_mul_acc_shoup2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let tmp = permute_block(src, sb, pat);
+        for h in 0..2 {
+            let j = b * 8 + h * LANES;
+            let t = load(&tmp[h * LANES..]);
+            let r0 = mul_shoup_lazy(t, load(&vals0[j..]), load(&quots0[j..]), qv);
+            let s0 = _mm256_add_epi64(load(&acc0[j..]), r0);
+            store(&mut acc0[j..], csub(s0, two_q));
+            let r1 = mul_shoup_lazy(t, load(&vals1[j..]), load(&quots1[j..]), qv);
+            let s1 = _mm256_add_epi64(load(&acc1[j..]), r1);
+            store(&mut acc1[j..], csub(s1, two_q));
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn round_term_acc_wide(lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128) {
+    let fh = splat((frac >> 64) as u64);
+    let fl = splat(frac as u64);
+    let n4 = lo.len() - lo.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let x = load(&d[j..]);
+        // (x·frac) >> 64 = x·frac_hi + mulhi(x, frac_lo), exact for x < q.
+        let term = _mm256_add_epi64(mullo_epu64(x, fh), mulhi_epu64(x, fl));
+        let s = _mm256_add_epi64(load(&lo[j..]), term);
+        let carry = cmplt_epu64(s, term);
+        store(&mut lo[j..], s);
+        let h = load(&hi[j..]);
+        store(&mut hi[j..], _mm256_sub_epi64(h, carry));
+    }
+    let fh_s = (frac >> 64) as u64;
+    let fl_s = frac as u64;
+    for j in n4..lo.len() {
+        let term = d[j]
+            .wrapping_mul(fh_s)
+            .wrapping_add(((d[j] as u128 * fl_s as u128) >> 64) as u64);
+        let (s, carry) = lo[j].overflowing_add(term);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn channel_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    y: &[u64],
+    q_inv: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let qiv = splat(q_inv.value);
+    let qiq = splat(q_inv.quotient);
+    let zero = _mm256_setzero_si256();
+    let n4 = out.len() - out.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let r = barrett_reduce(load(&hi[j..]), load(&lo[j..]), bh, bl, qv, two_q);
+        let s = barrett_reduce(zero, load(&y[j..]), bh, bl, qv, two_q);
+        let d = _mm256_sub_epi64(r, s);
+        let lt = cmplt_epu64(r, s);
+        let d = _mm256_add_epi64(d, _mm256_and_si256(lt, qv));
+        store(&mut out[j..], csub(mul_shoup_lazy(d, qiv, qiq, qv), qv));
+    }
+    for j in n4..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.mul_shoup(q.sub(q.reduce_u128(acc), q.reduce(y[j])), q_inv);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn garner_step(q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul) {
+    let qv = splat(q.value());
+    let iv = splat(inv.value);
+    let iq = splat(inv.quotient);
+    let n4 = v.len() - v.len() % LANES;
+    for j in (0..n4).step_by(LANES) {
+        let a = csub(mul_shoup_lazy(load(&v[j..]), iv, iq, qv), qv);
+        let b = csub(mul_shoup_lazy(load(&t[j..]), iv, iq, qv), qv);
+        let d = _mm256_sub_epi64(a, b);
+        let lt = cmplt_epu64(a, b);
+        store(&mut v[j..], _mm256_add_epi64(d, _mm256_and_si256(lt, qv)));
+    }
+    for j in n4..v.len() {
+        v[j] = q.sub(q.mul_shoup(v[j], inv), q.mul_shoup(t[j], inv));
+    }
+}
+
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
     let (bhi, blo) = q.barrett_parts();

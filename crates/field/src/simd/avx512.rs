@@ -569,6 +569,229 @@ pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u6
     }
 }
 
+/// Gather 8 u64 lanes from 32-bit indices via `vpgatherdq`.
+///
+/// Bounds are the caller's obligation: the safe wrapper in `mod.rs` asserts
+/// every index is `< src.len()` before any gather kernel runs. The hardware
+/// sign-extends the 32-bit offsets, so indices must also be `< 2^31` —
+/// implied by the bounds assert for any realistic table.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn gather8(src: &[u64], idx: &[u32]) -> __m512i {
+    debug_assert!(idx.len() >= W);
+    let vindex = _mm256_loadu_si256(idx.as_ptr().cast());
+    _mm512_i32gather_epi64::<8>(vindex, src.as_ptr().cast())
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn gather_u64(out: &mut [u64], src: &[u64], idx: &[u32]) {
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        store(&mut out[j..], gather8(src, &idx[j..]));
+    }
+    for j in n8..out.len() {
+        out[j] = src[idx[j] as usize];
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn gather_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]) {
+    let two_q = splat(q.value() << 1);
+    let n8 = acc.len() - acc.len() % W;
+    for j in (0..n8).step_by(W) {
+        let s = _mm512_add_epi64(load(&acc[j..]), gather8(src, &idx[j..]));
+        store(&mut acc[j..], csub(s, two_q));
+    }
+    for j in n8..acc.len() {
+        acc[j] = q.add_lazy(acc[j], src[idx[j] as usize]);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn dyadic_mul_acc_shoup_gather2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let n8 = acc0.len() - acc0.len() % W;
+    for j in (0..n8).step_by(W) {
+        let t = gather8(src, &idx[j..]);
+        let r0 = mul_shoup_lazy(t, load(&vals0[j..]), load(&quots0[j..]), qv);
+        let s0 = _mm512_add_epi64(load(&acc0[j..]), r0);
+        store(&mut acc0[j..], csub(s0, two_q));
+        let r1 = mul_shoup_lazy(t, load(&vals1[j..]), load(&quots1[j..]), qv);
+        let s1 = _mm512_add_epi64(load(&acc1[j..]), r1);
+        store(&mut acc1[j..], csub(s1, two_q));
+    }
+    for j in n8..acc0.len() {
+        let t = src[idx[j] as usize];
+        let w0 = ShoupMul {
+            value: vals0[j],
+            quotient: quots0[j],
+        };
+        let w1 = ShoupMul {
+            value: vals1[j],
+            quotient: quots1[j],
+        };
+        acc0[j] = q.add_lazy(acc0[j], q.mul_shoup_lazy(t, w0));
+        acc1[j] = q.add_lazy(acc1[j], q.mul_shoup_lazy(t, w1));
+    }
+}
+
+/// One 8-lane block of a blocked Galois permutation: a contiguous zmm load
+/// of source block `bsrc[b]`, then an in-register `vpermq`
+/// (`_mm512_permutexvar_epi64`) steered by the packed byte pattern
+/// `bpat[b]` (byte `t` = intra-block source lane of output lane `t`). One
+/// load + one permute replaces eight gather lanes — no `vpgatherqq`
+/// latency, no index vector load.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn permute_block(src: &[u64], sb: u32, pat: u64) -> __m512i {
+    debug_assert!(sb as usize * 8 + 8 <= src.len());
+    let v = load(&src[sb as usize * 8..]);
+    let patv = _mm512_cvtepu8_epi64(_mm_cvtsi64_si128(pat as i64));
+    _mm512_permutexvar_epi64(patv, v)
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn permute8(out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        store(&mut out[b * 8..], permute_block(src, sb, pat));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn permute8_add_lazy(
+    q: &Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    let two_q = splat(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let j = b * 8;
+        let s = _mm512_add_epi64(load(&acc[j..]), permute_block(src, sb, pat));
+        store(&mut acc[j..], csub(s, two_q));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn permute8_mul_acc_shoup2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let j = b * 8;
+        let t = permute_block(src, sb, pat);
+        let r0 = mul_shoup_lazy(t, load(&vals0[j..]), load(&quots0[j..]), qv);
+        let s0 = _mm512_add_epi64(load(&acc0[j..]), r0);
+        store(&mut acc0[j..], csub(s0, two_q));
+        let r1 = mul_shoup_lazy(t, load(&vals1[j..]), load(&quots1[j..]), qv);
+        let s1 = _mm512_add_epi64(load(&acc1[j..]), r1);
+        store(&mut acc1[j..], csub(s1, two_q));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn round_term_acc_wide(lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128) {
+    let fh = splat((frac >> 64) as u64);
+    let fl = splat(frac as u64);
+    let one = splat(1);
+    let n8 = lo.len() - lo.len() % W;
+    for j in (0..n8).step_by(W) {
+        let x = load(&d[j..]);
+        // (x·frac) >> 64 = x·frac_hi + mulhi(x, frac_lo), exact for x < q.
+        let term = _mm512_add_epi64(_mm512_mullo_epi64(x, fh), mulhi_epu64(x, fl));
+        let s = _mm512_add_epi64(load(&lo[j..]), term);
+        let carry = _mm512_cmplt_epu64_mask(s, term);
+        store(&mut lo[j..], s);
+        let h = load(&hi[j..]);
+        store(&mut hi[j..], _mm512_mask_add_epi64(h, carry, h, one));
+    }
+    let fh_s = (frac >> 64) as u64;
+    let fl_s = frac as u64;
+    for j in n8..lo.len() {
+        let term = d[j]
+            .wrapping_mul(fh_s)
+            .wrapping_add(((d[j] as u128 * fl_s as u128) >> 64) as u64);
+        let (s, carry) = lo[j].overflowing_add(term);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn channel_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    y: &[u64],
+    q_inv: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let bh = splat(bhi);
+    let bl = splat(blo);
+    let one = splat(1);
+    let qiv = splat(q_inv.value);
+    let qiq = splat(q_inv.quotient);
+    let zero = _mm512_setzero_si512();
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let r = barrett_reduce(load(&hi[j..]), load(&lo[j..]), bh, bl, qv, two_q, one);
+        let s = barrett_reduce(zero, load(&y[j..]), bh, bl, qv, two_q, one);
+        let d = _mm512_sub_epi64(r, s);
+        let lt = _mm512_cmplt_epu64_mask(r, s);
+        let d = _mm512_mask_add_epi64(d, lt, d, qv);
+        store(&mut out[j..], csub(mul_shoup_lazy(d, qiv, qiq, qv), qv));
+    }
+    for j in n8..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.mul_shoup(q.sub(q.reduce_u128(acc), q.reduce(y[j])), q_inv);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(super) unsafe fn garner_step(q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul) {
+    let qv = splat(q.value());
+    let iv = splat(inv.value);
+    let iq = splat(inv.quotient);
+    let n8 = v.len() - v.len() % W;
+    for j in (0..n8).step_by(W) {
+        let a = csub(mul_shoup_lazy(load(&v[j..]), iv, iq, qv), qv);
+        let b = csub(mul_shoup_lazy(load(&t[j..]), iv, iq, qv), qv);
+        let d = _mm512_sub_epi64(a, b);
+        let lt = _mm512_cmplt_epu64_mask(a, b);
+        store(&mut v[j..], _mm512_mask_add_epi64(d, lt, d, qv));
+    }
+    for j in n8..v.len() {
+        v[j] = q.sub(q.mul_shoup(v[j], inv), q.mul_shoup(t[j], inv));
+    }
+}
+
 #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
 pub(super) unsafe fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
     let (bhi, blo) = q.barrett_parts();

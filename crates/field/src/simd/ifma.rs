@@ -1,0 +1,305 @@
+//! Experimental AVX512-IFMA backend: 52-bit-limb Shoup multiplies via
+//! `vpmadd52luq`/`vpmadd52huq`.
+//!
+//! # What changes vs. the AVX-512 backend
+//!
+//! The 64-bit backends emulate `mulhi_epu64` from four `vpmuludq` cross
+//! products (~11 µops per product). IFMA's fused 52×52+64 multiply-adds give
+//! both halves of a 104-bit product in one instruction each, so a Shoup
+//! multiply collapses to three `vpmadd52*` plus a subtract and a mask —
+//! *provided every operand fits 52 bits*. That holds for the lazy NTT
+//! domain whenever `q < 2^50` (all representatives are `< 4q < 2^52`), which
+//! is where this backend applies its fast path:
+//!
+//! * [`dyadic_mul_shoup`], [`dyadic_mul_acc_shoup`], and
+//!   [`dyadic_mul_acc_shoup_gather2`] — the key-switch inner loop — run the
+//!   52-bit path when `q < 2^50` and the full kernel otherwise.
+//! * Everything else (butterfly stages, Barrett kernels, gathers,
+//!   corrections, Garner steps) delegates verbatim to the AVX-512 backend:
+//!   either its operands are not range-bounded by `q` (raw residues,
+//!   128-bit accumulators) or it is not mulhi-bound.
+//!
+//! # The value-level contract (why IFMA is *not* bit-for-bit)
+//!
+//! The 52-bit quotient estimate `floor(a·floor(w·2^52/q)/2^52)` can differ
+//! by one from the 64-bit estimate, so an unreduced lazy representative may
+//! come out as `r` where the 64-bit path produced `r ± q` (both in
+//! `[0, 2q)`, both ≡ a·w mod q). Every *strictly reduced* output is still
+//! the unique value in `[0, q)` — so decryption results, fold outputs, and
+//! final NTT outputs are unchanged, and only intermediate lazy buffers can
+//! diverge bitwise. The `ifma_differential` suite therefore checks
+//! **values** (decrypt equality, noise within one bit of the scalar
+//! oracle), not lazy representatives.
+//!
+//! The 52-bit Shoup quotient needs no extra table: with
+//! `quotient = floor(w·2^64/q)` already precomputed,
+//! `floor(quotient/2^12) = floor(w·2^52/q)` exactly, so the per-element
+//! quotient shift happens in registers.
+//!
+//! This backend is **opt-in only** (`PI_SIMD=ifma`); automatic detection
+//! never selects it, and requesting it on a CPU without AVX512-IFMA panics.
+#![allow(unsafe_code)]
+
+use super::avx512;
+use crate::modulus::{Modulus, ShoupMul};
+use core::arch::x86_64::*;
+
+const W: usize = 8;
+const MASK52: u64 = (1 << 52) - 1;
+/// Largest modulus the 52-bit path accepts: `q < 2^50` keeps every lazy
+/// operand (`< 4q`) and every Shoup product term inside 52 bits.
+const Q52_LIMIT: u64 = 1 << 50;
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn splat(x: u64) -> __m512i {
+    _mm512_set1_epi64(x as i64)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn load(p: &[u64]) -> __m512i {
+    debug_assert!(p.len() >= W);
+    _mm512_loadu_epi64(p.as_ptr().cast())
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn store(p: &mut [u64], v: __m512i) {
+    debug_assert!(p.len() >= W);
+    _mm512_storeu_epi64(p.as_mut_ptr().cast(), v)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn csub(x: __m512i, m: __m512i) -> __m512i {
+    let ge = _mm512_cmpge_epu64_mask(x, m);
+    _mm512_mask_sub_epi64(x, ge, x, m)
+}
+
+/// See [`gather8`](super::avx512) in the AVX-512 backend: bounds are the
+/// `mod.rs` wrapper's obligation.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn gather8(src: &[u64], idx: &[u32]) -> __m512i {
+    debug_assert!(idx.len() >= W);
+    let vindex = _mm256_loadu_si256(idx.as_ptr().cast());
+    _mm512_i32gather_epi64::<8>(vindex, src.as_ptr().cast())
+}
+
+/// 52-bit Shoup lazy multiply: `a·w − floor(a·wq52/2^52)·q mod 2^52`,
+/// result in `[0, 2q)` for `a < 2^52`, `w < q < 2^50`,
+/// `wq52 = floor(w·2^52/q)`.
+///
+/// Three IFMA instructions: the quotient estimate from `vpmadd52huq`
+/// (bits 52..103 of `a·wq52`), then two `vpmadd52luq` for the low 52 bits
+/// of `a·w` and `q_est·q`. The subtraction wraps mod 2^64; masking to 52
+/// bits recovers the exact remainder because `0 ≤ r < 2q < 2^52`.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn mul_shoup_lazy52(
+    a: __m512i,
+    wv: __m512i,
+    wq52: __m512i,
+    qv: __m512i,
+    mask52: __m512i,
+) -> __m512i {
+    let zero = _mm512_setzero_si512();
+    let q_est = _mm512_madd52hi_epu64(zero, a, wq52);
+    let lo = _mm512_madd52lo_epu64(zero, a, wv);
+    let sub = _mm512_madd52lo_epu64(zero, q_est, qv);
+    _mm512_and_si512(_mm512_sub_epi64(lo, sub), mask52)
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+pub(super) unsafe fn dyadic_mul_shoup(
+    q: &Modulus,
+    out: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    if q.value() >= Q52_LIMIT {
+        return avx512::dyadic_mul_shoup(q, out, a, vals, quots);
+    }
+    debug_assert!(a.iter().all(|&x| x <= MASK52), "operand exceeds 52 bits");
+    let qv = splat(q.value());
+    let mask52 = splat(MASK52);
+    let n8 = out.len() - out.len() % W;
+    for j in (0..n8).step_by(W) {
+        let wq52 = _mm512_srli_epi64::<12>(load(&quots[j..]));
+        let r = mul_shoup_lazy52(load(&a[j..]), load(&vals[j..]), wq52, qv, mask52);
+        store(&mut out[j..], csub(r, qv));
+    }
+    for j in n8..out.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        out[j] = q.mul_shoup(a[j], w);
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+pub(super) unsafe fn dyadic_mul_acc_shoup(
+    q: &Modulus,
+    acc: &mut [u64],
+    a: &[u64],
+    vals: &[u64],
+    quots: &[u64],
+) {
+    if q.value() >= Q52_LIMIT {
+        return avx512::dyadic_mul_acc_shoup(q, acc, a, vals, quots);
+    }
+    debug_assert!(a.iter().all(|&x| x <= MASK52), "operand exceeds 52 bits");
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mask52 = splat(MASK52);
+    let n8 = acc.len() - acc.len() % W;
+    for j in (0..n8).step_by(W) {
+        let wq52 = _mm512_srli_epi64::<12>(load(&quots[j..]));
+        let r = mul_shoup_lazy52(load(&a[j..]), load(&vals[j..]), wq52, qv, mask52);
+        let s = _mm512_add_epi64(load(&acc[j..]), r);
+        store(&mut acc[j..], csub(s, two_q));
+    }
+    for j in n8..acc.len() {
+        let w = ShoupMul {
+            value: vals[j],
+            quotient: quots[j],
+        };
+        acc[j] = q.add_lazy(acc[j], q.mul_shoup_lazy(a[j], w));
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn dyadic_mul_acc_shoup_gather2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    if q.value() >= Q52_LIMIT {
+        return avx512::dyadic_mul_acc_shoup_gather2(
+            q, acc0, acc1, src, idx, vals0, quots0, vals1, quots1,
+        );
+    }
+    debug_assert!(src.iter().all(|&x| x <= MASK52), "operand exceeds 52 bits");
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mask52 = splat(MASK52);
+    let n8 = acc0.len() - acc0.len() % W;
+    for j in (0..n8).step_by(W) {
+        let t = gather8(src, &idx[j..]);
+        let wq0 = _mm512_srli_epi64::<12>(load(&quots0[j..]));
+        let r0 = mul_shoup_lazy52(t, load(&vals0[j..]), wq0, qv, mask52);
+        let s0 = _mm512_add_epi64(load(&acc0[j..]), r0);
+        store(&mut acc0[j..], csub(s0, two_q));
+        let wq1 = _mm512_srli_epi64::<12>(load(&quots1[j..]));
+        let r1 = mul_shoup_lazy52(t, load(&vals1[j..]), wq1, qv, mask52);
+        let s1 = _mm512_add_epi64(load(&acc1[j..]), r1);
+        store(&mut acc1[j..], csub(s1, two_q));
+    }
+    for j in n8..acc0.len() {
+        let t = src[idx[j] as usize];
+        let w0 = ShoupMul {
+            value: vals0[j],
+            quotient: quots0[j],
+        };
+        let w1 = ShoupMul {
+            value: vals1[j],
+            quotient: quots1[j],
+        };
+        acc0[j] = q.add_lazy(acc0[j], q.mul_shoup_lazy(t, w0));
+        acc1[j] = q.add_lazy(acc1[j], q.mul_shoup_lazy(t, w1));
+    }
+}
+
+/// See [`permute_block`](super::avx512) in the AVX-512 backend: one zmm
+/// load + `vpermq` per 8-lane block of a blocked Galois permutation.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+unsafe fn permute_block(src: &[u64], sb: u32, pat: u64) -> __m512i {
+    debug_assert!(sb as usize * 8 + 8 <= src.len());
+    let v = _mm512_loadu_epi64(src.as_ptr().add(sb as usize * 8).cast());
+    let patv = _mm512_cvtepu8_epi64(_mm_cvtsi64_si128(pat as i64));
+    _mm512_permutexvar_epi64(patv, v)
+}
+
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn permute8_mul_acc_shoup2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    if q.value() >= Q52_LIMIT {
+        return avx512::permute8_mul_acc_shoup2(
+            q, acc0, acc1, src, bsrc, bpat, vals0, quots0, vals1, quots1,
+        );
+    }
+    debug_assert!(src.iter().all(|&x| x <= MASK52), "operand exceeds 52 bits");
+    let qv = splat(q.value());
+    let two_q = splat(q.value() << 1);
+    let mask52 = splat(MASK52);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let j = b * 8;
+        let t = permute_block(src, sb, pat);
+        let wq0 = _mm512_srli_epi64::<12>(load(&quots0[j..]));
+        let r0 = mul_shoup_lazy52(t, load(&vals0[j..]), wq0, qv, mask52);
+        let s0 = _mm512_add_epi64(load(&acc0[j..]), r0);
+        store(&mut acc0[j..], csub(s0, two_q));
+        let wq1 = _mm512_srli_epi64::<12>(load(&quots1[j..]));
+        let r1 = mul_shoup_lazy52(t, load(&vals1[j..]), wq1, qv, mask52);
+        let s1 = _mm512_add_epi64(load(&acc1[j..]), r1);
+        store(&mut acc1[j..], csub(s1, two_q));
+    }
+}
+
+// Everything below is not mulhi-bound on `q`-range-bounded operands (raw
+// residues, 128-bit accumulators, pure data movement, butterfly schedules),
+// so it delegates verbatim to the AVX-512 backend. AVX512-IFMA detection
+// implies F+DQ+VL, so the calls are legal whenever this backend runs.
+
+macro_rules! delegate {
+    ($(fn $name:ident($($arg:ident: $ty:ty),* $(,)?);)*) => {$(
+        #[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512ifma")]
+        #[allow(clippy::too_many_arguments)]
+        pub(super) unsafe fn $name($($arg: $ty),*) {
+            avx512::$name($($arg),*)
+        }
+    )*};
+}
+
+delegate! {
+    fn forward_stage(q: &Modulus, w_vals: &[u64], w_quots: &[u64], a: &mut [u64], m: usize, t: usize);
+    fn forward_stage_many(q: &Modulus, w_vals: &[u64], w_quots: &[u64], batch: &mut [&mut [u64]], m: usize, t: usize);
+    fn inverse_stage(q: &Modulus, w_vals: &[u64], w_quots: &[u64], a: &mut [u64], h: usize, t: usize);
+    fn inverse_stage_many(q: &Modulus, w_vals: &[u64], w_quots: &[u64], batch: &mut [&mut [u64]], h: usize, t: usize);
+    fn inverse_last_stage(q: &Modulus, n_inv: ShoupMul, psi_n_inv: ShoupMul, a: &mut [u64]);
+    fn reduce_4q(q: &Modulus, a: &mut [u64]);
+    fn mul_shoup_bcast(q: &Modulus, out: &mut [u64], a: &[u64], w: ShoupMul);
+    fn mul_shoup_lazy_acc_wide(q: &Modulus, lo: &mut [u64], hi: &mut [u64], a: &[u64], w: ShoupMul);
+    fn fold_finish(q: &Modulus, out: &mut [u64], lo: &[u64], hi: &[u64], v: &[u64], q_mod: ShoupMul);
+    fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]);
+    fn dyadic_mul_acc(q: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]);
+    fn gather_u64(out: &mut [u64], src: &[u64], idx: &[u32]);
+    fn gather_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]);
+    fn permute8(out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]);
+    fn permute8_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]);
+    fn round_term_acc_wide(lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128);
+    fn channel_finish(q: &Modulus, out: &mut [u64], lo: &[u64], hi: &[u64], y: &[u64], q_inv: ShoupMul);
+    fn garner_step(q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul);
+}

@@ -33,6 +33,58 @@
 //! including unreduced lazy-domain representatives — which is what the
 //! `ntt_simd_differential` umbrella suite asserts.
 //!
+//! # The experimental IFMA backend and its value-level contract
+//!
+//! [`SimdBackend::Ifma`] is the one exception to the bit-for-bit rule. It
+//! is **opt-in only** (`PI_SIMD=ifma`; automatic detection never selects
+//! it, and requesting it without AVX512-IFMA hardware panics loudly). When
+//! `q < 2^50` its dyadic Shoup kernels use 52-bit limbs via
+//! `vpmadd52luq`/`vpmadd52huq`, whose quotient estimate can differ by one
+//! from the 64-bit path — so an unreduced lazy representative may differ
+//! by exactly `q` (both candidates lie in `[0, 2q)` and are congruent
+//! mod `q`). Every strictly reduced output is still the unique value in
+//! `[0, q)`, so the `ifma_differential` suite asserts **value-level**
+//! equality (decrypt equality, strict-output equality, noise within one
+//! bit of the scalar oracle) instead of lazy-representative equality.
+//! Kernels whose operands are not range-bounded by `q` (raw residues,
+//! 128-bit accumulators, gathers, butterfly schedules) delegate to the
+//! AVX-512 backend unchanged.
+//!
+//! # Gather/permute lane contracts
+//!
+//! The gather kernels ([`gather_u64`], [`gather_add_lazy`],
+//! [`dyadic_mul_acc_shoup_gather2`]) read `src[idx[j]]` for every output
+//! lane `j`:
+//!
+//! * **Bounds** are asserted once up front by the safe wrappers here
+//!   (`idx[j] < src.len()` for all `j`) — the backend kernels themselves
+//!   perform *unchecked* hardware gathers (`vpgatherdq` on x86_64), so the
+//!   wrapper assert is the entire safety argument. Indices are 32-bit and
+//!   sign-extended by the hardware, so tables are limited to `2^31`
+//!   elements (far above any ring dimension here).
+//! * **Aliasing**: `src` must not overlap the destination/accumulator
+//!   slices (enforced by Rust borrows at the wrapper signatures).
+//! * NEON has no arbitrary-stride gather (`tbl` only permutes in-register
+//!   bytes), so its gather kernels do scalar indexed loads feeding lane
+//!   arithmetic — still bit-for-bit identical, since data movement has no
+//!   arithmetic to diverge.
+//!
+//! The **blocked-permute** kernels ([`permute8`], [`permute8_add_lazy`],
+//! [`permute8_mul_acc_shoup2`]) are the fast path for the same data
+//! movement when the index table has the aligned-8-block structure that
+//! every Galois automorphism has in the bit-reversed slot order: each
+//! aligned 8-lane output block reads a permutation of exactly one aligned
+//! 8-lane source block, `out[8b+t] = src[8·bsrc[b] + pat_b(t)]`. Measured
+//! on this workload, hardware gathers (`vpgatherdq`) *lose* to scalar
+//! copies when no arithmetic amortizes their latency; the blocked form
+//! replaces eight gather lanes with one contiguous zmm load + one
+//! `vpermq` (`_mm512_permutexvar_epi64`) steered by the packed pattern
+//! byte `pat_b(t) = (bpat[b] >> 8t) & 7`. Backends without a cross-lane
+//! 64-bit runtime permute (AVX2, NEON, portable) shuffle block-locally out
+//! of a single cache line and keep the lane arithmetic vectorized. Safety
+//! is again entirely in the wrapper asserts: `8·bsrc[b] + 8 ≤ src.len()`
+//! and every pattern byte `< 8`. Same bit-for-bit contract as the gathers.
+//!
 //! # Lazy-range invariants per kernel
 //!
 //! With `q < 2^62` every value in `[0, 4q)` fits a `u64` (see the
@@ -48,6 +100,12 @@
 //! | [`dyadic_mul_acc_shoup`]  | acc `[0, 2q)`, `a` any    | `[0, 2q)`  |
 //! | [`dyadic_mul`]            | both `[0, q)`             | `[0, q)`   |
 //! | [`dyadic_mul_acc`]        | all `[0, q)`              | `[0, q)`   |
+//! | [`gather_u64`]            | any u64                   | unchanged  |
+//! | [`gather_add_lazy`]       | acc, src `[0, 2q)`        | `[0, 2q)`  |
+//! | [`dyadic_mul_acc_shoup_gather2`] | acc `[0, 2q)`, src any | `[0, 2q)` |
+//! | [`round_term_acc_wide`]   | digits `[0, q_src)`       | 128-bit    |
+//! | [`channel_finish`]        | `(hi, lo)` 128-bit, y any | `[0, q)`   |
+//! | [`garner_step`]           | v `[0, q)`, t `[0, q)`    | `[0, q)`   |
 //!
 //! The butterfly kernels implement exactly the Harvey formulation from
 //! `pi-poly`: the forward stage conditionally subtracts `2q` from the upper
@@ -64,13 +122,15 @@
 //!    differential tests to pin both sides of a comparison);
 //! 2. the `PI_SIMD` environment variable: `scalar`/`off`/`0` select the
 //!    scalar oracle, `portable` the 4-lane fallback, `avx2`/`avx512`/
-//!    `neon` demand that specific vector unit (**panicking** if it is not
-//!    compiled in or not detected — a forced-SIMD CI run fails loudly
-//!    instead of silently degrading), and `auto`/`on`/`1` the automatic
-//!    choice;
+//!    `neon`/`ifma` demand that specific vector unit (**panicking** if it
+//!    is not compiled in or not detected — a forced-SIMD CI run fails
+//!    loudly instead of silently degrading), and `auto`/`on`/`1` the
+//!    automatic choice;
 //! 3. automatic detection: AVX-512 (F+DQ+VL), then AVX2, via
 //!    `is_x86_feature_detected!` on x86_64; NEON unconditionally on
-//!    aarch64 (baseline feature); otherwise the portable fallback.
+//!    aarch64 (baseline feature); otherwise the portable fallback. The
+//!    IFMA backend is never auto-selected — it trades the bit-for-bit
+//!    contract for speed, so it must be asked for by name.
 //!
 //! Compiling with `--no-default-features` (disabling the `simd` cargo
 //! feature) removes the intrinsics backends entirely; resolution then picks
@@ -90,6 +150,8 @@ use std::sync::atomic::{AtomicU8, Ordering};
 mod avx2;
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 mod avx512;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod ifma;
 #[cfg(all(feature = "simd", target_arch = "aarch64"))]
 mod neon;
 mod portable;
@@ -114,6 +176,12 @@ pub enum SimdBackend {
     /// AVX-512 (F+DQ+VL): 8 lanes, native `vpmullq` low multiplies, mask
     /// compares. Preferred over AVX2 when detected.
     Avx512 = 5,
+    /// Experimental AVX512-IFMA backend: 52-bit-limb Shoup multiplies via
+    /// `vpmadd52*` for the dyadic kernels when `q < 2^50`, AVX-512
+    /// delegation otherwise. Opt-in only (`PI_SIMD=ifma`); **not**
+    /// bit-for-bit on unreduced lazy representatives — see the module docs
+    /// for its value-level contract.
+    Ifma = 6,
 }
 
 impl SimdBackend {
@@ -125,6 +193,7 @@ impl SimdBackend {
             SimdBackend::Avx2 => "avx2",
             SimdBackend::Neon => "neon",
             SimdBackend::Avx512 => "avx512",
+            SimdBackend::Ifma => "ifma",
         }
     }
 
@@ -161,6 +230,17 @@ impl SimdBackend {
                     false
                 }
             }
+            SimdBackend::Ifma => {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                {
+                    SimdBackend::Avx512.available()
+                        && std::arch::is_x86_feature_detected!("avx512ifma")
+                }
+                #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
         }
     }
 
@@ -171,6 +251,7 @@ impl SimdBackend {
             3 => SimdBackend::Avx2,
             4 => SimdBackend::Neon,
             5 => SimdBackend::Avx512,
+            6 => SimdBackend::Ifma,
             _ => unreachable!("invalid backend encoding"),
         }
     }
@@ -265,9 +346,18 @@ fn resolve() -> SimdBackend {
                 );
                 SimdBackend::Neon
             }
+            "ifma" => {
+                assert!(
+                    SimdBackend::Ifma.available(),
+                    "PI_SIMD=ifma requested but AVX512-IFMA is unavailable \
+                     (not an x86_64 build with the `simd` feature, or the CPU \
+                     lacks avx512ifma on top of F+DQ+VL)"
+                );
+                SimdBackend::Ifma
+            }
             other => panic!(
                 "unknown PI_SIMD value {other:?} \
-                 (expected scalar|portable|avx2|avx512|neon|auto)"
+                 (expected scalar|portable|avx2|avx512|neon|ifma|auto)"
             ),
         },
     }
@@ -280,6 +370,12 @@ fn resolve() -> SimdBackend {
 macro_rules! dispatch {
     ($be:expr, $name:ident($($arg:expr),* $(,)?)) => {{
         match $be {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdBackend::Ifma if SimdBackend::Ifma.available() => {
+                // SAFETY: AVX512F/DQ/VL + IFMA support was just verified.
+                #[allow(unsafe_code)]
+                unsafe { ifma::$name($($arg),*) }
+            }
             #[cfg(all(feature = "simd", target_arch = "x86_64"))]
             SimdBackend::Avx512 if SimdBackend::Avx512.available() => {
                 // SAFETY: AVX512F/DQ/VL support was just verified on this CPU.
@@ -510,6 +606,220 @@ pub fn fold_finish(
     dispatch!(be, fold_finish(q, out, lo, hi, v, q_mod))
 }
 
+/// Bounds check shared by every gather wrapper: this assert is the entire
+/// safety argument for the unchecked hardware gathers in the backends.
+#[inline]
+fn assert_gather_idx(idx: &[u32], src_len: usize) {
+    assert!(
+        idx.iter().all(|&i| (i as usize) < src_len),
+        "gather index out of bounds (src len {src_len})"
+    );
+}
+
+/// Gather `out[j] = src[idx[j]]` — the lane form of `GaloisPerm::apply`
+/// (pure data movement, bit-for-bit on every backend, lazy inputs
+/// included).
+///
+/// # Panics
+///
+/// Panics on length mismatch or any out-of-bounds index.
+pub fn gather_u64(be: SimdBackend, out: &mut [u64], src: &[u64], idx: &[u32]) {
+    assert_eq!(out.len(), idx.len());
+    assert_gather_idx(idx, src.len());
+    dispatch!(be, gather_u64(out, src, idx))
+}
+
+/// Fused gather + lazy add over the `[0, 2q)` domain:
+/// `acc[j] ← add_lazy(acc[j], src[idx[j]])` — one pass over memory instead
+/// of gather-then-add.
+///
+/// # Panics
+///
+/// Panics on length mismatch or any out-of-bounds index.
+pub fn gather_add_lazy(be: SimdBackend, q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]) {
+    assert_eq!(acc.len(), idx.len());
+    assert_gather_idx(idx, src.len());
+    dispatch!(be, gather_add_lazy(q, acc, src, idx))
+}
+
+/// The fused key-switch inner loop: gather `t = src[idx[j]]` once, then
+/// `acc0[j] ← add_lazy(acc0[j], mul_shoup_lazy(t, w0[j]))` and the same
+/// for `acc1`/`w1` — the permuted digit feeds both halves of the switching
+/// key in one pass over memory (no materialized permuted buffer).
+///
+/// # Panics
+///
+/// Panics on length mismatch or any out-of-bounds index.
+#[allow(clippy::too_many_arguments)]
+pub fn dyadic_mul_acc_shoup_gather2(
+    be: SimdBackend,
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let n = acc0.len();
+    assert!(
+        acc1.len() == n
+            && idx.len() == n
+            && vals0.len() == n
+            && quots0.len() == n
+            && vals1.len() == n
+            && quots1.len() == n
+    );
+    assert_gather_idx(idx, src.len());
+    dispatch!(
+        be,
+        dyadic_mul_acc_shoup_gather2(q, acc0, acc1, src, idx, vals0, quots0, vals1, quots1)
+    )
+}
+
+/// Bounds check shared by the blocked-permute wrappers — the entire safety
+/// argument for the unchecked loads and `vpermq` steering in the backends:
+/// every source block must lie inside `src` and every packed pattern byte
+/// must select an intra-block lane (`< 8`).
+#[inline]
+fn assert_permute8_args(out_len: usize, src_len: usize, bsrc: &[u32], bpat: &[u64]) {
+    assert!(out_len.is_multiple_of(8), "blocked permute needs 8 | len");
+    let blocks = out_len / 8;
+    assert!(bsrc.len() == blocks && bpat.len() == blocks);
+    assert!(
+        bsrc.iter().all(|&b| (b as usize) * 8 + 8 <= src_len),
+        "permute source block out of bounds (src len {src_len})"
+    );
+    assert!(
+        bpat.iter().all(|&p| p & !0x0707_0707_0707_0707 == 0),
+        "permute pattern byte out of block range"
+    );
+}
+
+/// Blocked in-register permutation: `out[8b+t] = src[8·bsrc[b] + pat_b(t)]`
+/// where `pat_b(t)` is byte `t` of `bpat[b]`. This is `gather_u64` for the
+/// aligned-8-block index structure every power-of-two Galois automorphism
+/// has in the bit-reversed slot order: on AVX-512 each block is one zmm
+/// load + one `vpermq` + one store (no hardware gather); the other
+/// backends move block-locally out of a single cache line. Pure data
+/// movement — bit-for-bit on every backend, lazy inputs included.
+///
+/// # Panics
+///
+/// Panics on length mismatch, an out-of-range source block, or a pattern
+/// byte `≥ 8`.
+pub fn permute8(be: SimdBackend, out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    assert_permute8_args(out.len(), src.len(), bsrc, bpat);
+    dispatch!(be, permute8(out, src, bsrc, bpat))
+}
+
+/// Blocked-permute form of [`gather_add_lazy`]:
+/// `acc[8b+t] ← add_lazy(acc[8b+t], src[8·bsrc[b] + pat_b(t)])`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`permute8`].
+pub fn permute8_add_lazy(
+    be: SimdBackend,
+    q: &Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    assert_permute8_args(acc.len(), src.len(), bsrc, bpat);
+    dispatch!(be, permute8_add_lazy(q, acc, src, bsrc, bpat))
+}
+
+/// Blocked-permute form of [`dyadic_mul_acc_shoup_gather2`]: the permuted
+/// lane feeds both lazy Shoup accumulations in one pass, with the gather
+/// replaced by the load + `vpermq` block schedule of [`permute8`].
+///
+/// # Panics
+///
+/// Panics on length mismatch or under the [`permute8`] block conditions.
+#[allow(clippy::too_many_arguments)]
+pub fn permute8_mul_acc_shoup2(
+    be: SimdBackend,
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let n = acc0.len();
+    assert!(
+        acc1.len() == n
+            && vals0.len() == n
+            && quots0.len() == n
+            && vals1.len() == n
+            && quots1.len() == n
+    );
+    assert_permute8_args(n, src.len(), bsrc, bpat);
+    dispatch!(
+        be,
+        permute8_mul_acc_shoup2(q, acc0, acc1, src, bsrc, bpat, vals0, quots0, vals1, quots1)
+    )
+}
+
+/// One source-prime term of the FBC 64.64 fixed-point centered correction:
+/// `(hi[i], lo[i]) += floor(d[i]·frac / 2^64)` with the pair holding an
+/// exact 128-bit sum (the lane form of the `u128` accumulator in
+/// `FastBaseConverter::round_correction`). The term is computed as
+/// `d·frac_hi + mulhi(d, frac_lo)`, which is exact and `< 2^64` for
+/// `d < q_src` — see the scalar oracle for the fraction's provenance.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn round_term_acc_wide(be: SimdBackend, lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128) {
+    assert!(hi.len() == lo.len() && d.len() == lo.len());
+    dispatch!(be, round_term_acc_wide(lo, hi, d, frac))
+}
+
+/// Finishes the Shenoy–Kumaresan channel correction:
+/// `out[i] = (reduce_u128((hi[i], lo[i])) − y[i]) · q_inv mod q`, exactly
+/// as the scalar `FastBaseConverter::channel_correction` (the per-prime
+/// cross terms having been accumulated with [`mul_shoup_lazy_acc_wide`]).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn channel_finish(
+    be: SimdBackend,
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    y: &[u64],
+    q_inv: ShoupMul,
+) {
+    let n = out.len();
+    assert!(lo.len() == n && hi.len() == n && y.len() == n);
+    dispatch!(be, channel_finish(q, out, lo, hi, y, q_inv))
+}
+
+/// One Garner mixed-radix elimination step over a residue column:
+/// `v[i] ← (v[i] − t[i]) · inv mod q`, computed as
+/// `v·inv − t·inv (mod q)` so both products use the precomputed Shoup
+/// pair — the same unique strict value as the scalar
+/// `CrtBasis::compose` digit recurrence.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn garner_step(be: SimdBackend, q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul) {
+    assert_eq!(v.len(), t.len());
+    dispatch!(be, garner_step(q, v, t, inv))
+}
+
 /// Pointwise Barrett product `out[i] = a[i]·b[i] mod q` of strictly
 /// reduced slices (the full 128-bit Barrett reduction in lane form).
 ///
@@ -544,7 +854,10 @@ fn assert_stage_geometry(
     t: usize,
 ) {
     let lane_ok = t >= LANES && t.is_multiple_of(LANES);
-    let small_ok = be == SimdBackend::Avx512 && a.len().is_multiple_of(16);
+    // Ifma delegates its butterfly stages to the AVX-512 kernels, so it
+    // inherits the permute-based small-stride path too.
+    let small_ok =
+        matches!(be, SimdBackend::Avx512 | SimdBackend::Ifma) && a.len().is_multiple_of(16);
     assert!(
         t >= 1 && (lane_ok || small_ok),
         "stage stride {t} not supported by backend {}",
@@ -794,7 +1107,281 @@ mod tests {
         let be = auto_backend();
         assert!(be.available());
         assert!(be.is_vector());
+        // Ifma is opt-in only: auto detection must never pick it.
         assert!(["portable", "avx2", "avx512", "neon"].contains(&be.name()));
+    }
+
+    #[test]
+    fn gather_kernels_match_scalar_bitwise() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for q in boundary_moduli() {
+            // 37 elements: exercises both the lane body and the scalar tail.
+            let n = 37usize;
+            let src: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                idx.swap(i, rng.gen_range(0..=i));
+            }
+            let acc0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let w0: Vec<ShoupMul> = (0..n)
+                .map(|_| q.shoup(rng.gen_range(0..q.value())))
+                .collect();
+            let w1: Vec<ShoupMul> = (0..n)
+                .map(|_| q.shoup(rng.gen_range(0..q.value())))
+                .collect();
+            let (v0, q0): (Vec<u64>, Vec<u64>) = w0.iter().map(|s| (s.value, s.quotient)).unzip();
+            let (v1, q1): (Vec<u64>, Vec<u64>) = w1.iter().map(|s| (s.value, s.quotient)).unzip();
+
+            let expect_gather: Vec<u64> = idx.iter().map(|&i| src[i as usize]).collect();
+            let expect_add: Vec<u64> = acc0
+                .iter()
+                .zip(&idx)
+                .map(|(&a, &i)| q.add_lazy(a, src[i as usize]))
+                .collect();
+            let expect0: Vec<u64> = acc0
+                .iter()
+                .zip(idx.iter().zip(&w0))
+                .map(|(&a, (&i, &w))| q.add_lazy(a, q.mul_shoup_lazy(src[i as usize], w)))
+                .collect();
+            let expect1: Vec<u64> = acc0
+                .iter()
+                .zip(idx.iter().zip(&w1))
+                .map(|(&a, (&i, &w))| q.add_lazy(a, q.mul_shoup_lazy(src[i as usize], w)))
+                .collect();
+
+            for be in runnable_backends() {
+                let mut out = vec![0u64; n];
+                gather_u64(be, &mut out, &src, &idx);
+                assert_eq!(out, expect_gather, "gather backend {} q {}", be.name(), q);
+
+                let mut acc = acc0.clone();
+                gather_add_lazy(be, &q, &mut acc, &src, &idx);
+                assert_eq!(acc, expect_add, "gather_add backend {} q {}", be.name(), q);
+
+                let mut a0 = acc0.clone();
+                let mut a1 = acc0.clone();
+                dyadic_mul_acc_shoup_gather2(
+                    be, &q, &mut a0, &mut a1, &src, &idx, &v0, &q0, &v1, &q1,
+                );
+                assert_eq!(a0, expect0, "gather2/0 backend {} q {}", be.name(), q);
+                assert_eq!(a1, expect1, "gather2/1 backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn permute8_kernels_match_scalar_bitwise() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for q in boundary_moduli() {
+            // 8 output blocks over a 16-block source; patterns include
+            // duplicates and identity (the kernel contract only requires
+            // bytes < 8, not a bijection).
+            let blocks = 8usize;
+            let n = blocks * 8;
+            let src: Vec<u64> = (0..128).map(|_| rng.gen_range(0..q.twice())).collect();
+            let bsrc: Vec<u32> = (0..blocks as u32).map(|_| rng.gen_range(0..16)).collect();
+            let bpat: Vec<u64> = (0..blocks)
+                .map(|b| {
+                    let mut p = 0u64;
+                    for t in 0..8 {
+                        let lane = if b == 0 {
+                            t as u64
+                        } else {
+                            rng.gen_range(0..8u64)
+                        };
+                        p |= lane << (8 * t);
+                    }
+                    p
+                })
+                .collect();
+            let idx: Vec<u32> = (0..n)
+                .map(|j| bsrc[j / 8] * 8 + ((bpat[j / 8] >> (8 * (j % 8))) as u32 & 7))
+                .collect();
+            let acc0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let w0: Vec<ShoupMul> = (0..n)
+                .map(|_| q.shoup(rng.gen_range(0..q.value())))
+                .collect();
+            let w1: Vec<ShoupMul> = (0..n)
+                .map(|_| q.shoup(rng.gen_range(0..q.value())))
+                .collect();
+            let (v0, q0): (Vec<u64>, Vec<u64>) = w0.iter().map(|s| (s.value, s.quotient)).unzip();
+            let (v1, q1): (Vec<u64>, Vec<u64>) = w1.iter().map(|s| (s.value, s.quotient)).unzip();
+
+            let expect_perm: Vec<u64> = idx.iter().map(|&i| src[i as usize]).collect();
+            let expect_add: Vec<u64> = acc0
+                .iter()
+                .zip(&idx)
+                .map(|(&a, &i)| q.add_lazy(a, src[i as usize]))
+                .collect();
+            let expect0: Vec<u64> = acc0
+                .iter()
+                .zip(idx.iter().zip(&w0))
+                .map(|(&a, (&i, &w))| q.add_lazy(a, q.mul_shoup_lazy(src[i as usize], w)))
+                .collect();
+            let expect1: Vec<u64> = acc0
+                .iter()
+                .zip(idx.iter().zip(&w1))
+                .map(|(&a, (&i, &w))| q.add_lazy(a, q.mul_shoup_lazy(src[i as usize], w)))
+                .collect();
+
+            for be in runnable_backends() {
+                let mut out = vec![0u64; n];
+                permute8(be, &mut out, &src, &bsrc, &bpat);
+                assert_eq!(out, expect_perm, "permute8 backend {} q {}", be.name(), q);
+
+                let mut acc = acc0.clone();
+                permute8_add_lazy(be, &q, &mut acc, &src, &bsrc, &bpat);
+                assert_eq!(
+                    acc,
+                    expect_add,
+                    "permute8_add backend {} q {}",
+                    be.name(),
+                    q
+                );
+
+                let mut a0 = acc0.clone();
+                let mut a1 = acc0.clone();
+                permute8_mul_acc_shoup2(
+                    be, &q, &mut a0, &mut a1, &src, &bsrc, &bpat, &v0, &q0, &v1, &q1,
+                );
+                assert_eq!(a0, expect0, "permute8_mac2/0 backend {} q {}", be.name(), q);
+                assert_eq!(a1, expect1, "permute8_mac2/1 backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn correction_and_garner_kernels_match_scalar_bitwise() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for q in boundary_moduli() {
+            let n = 37usize;
+            // round_term_acc_wide: worst-case digits (q−1) and fractions at
+            // both ends of the 64.64 window, plus random fills. The largest
+            // fraction the converter ever builds is ⌊(2^128−1)/q⌋ (so
+            // d·frac never overflows 128 bits for d < q — the kernel's
+            // exactness precondition).
+            for frac in [
+                1u128,
+                u64::MAX as u128,
+                u128::MAX / q.value() as u128,
+                (1u128 << 64) + 12345,
+            ] {
+                let d: Vec<u64> = (0..n)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            q.value() - 1
+                        } else {
+                            rng.gen_range(0..q.value())
+                        }
+                    })
+                    .collect();
+                let lo0: Vec<u64> = (0..n).map(|_| rng.r#gen()).collect();
+                let hi0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+                let mut expect_lo = lo0.clone();
+                let mut expect_hi = hi0.clone();
+                for j in 0..n {
+                    let term = ((d[j] as u128 * frac) >> 64) as u64;
+                    let (s, carry) = expect_lo[j].overflowing_add(term);
+                    expect_lo[j] = s;
+                    expect_hi[j] += carry as u64;
+                }
+                for be in runnable_backends() {
+                    let mut lo = lo0.clone();
+                    let mut hi = hi0.clone();
+                    round_term_acc_wide(be, &mut lo, &mut hi, &d, frac);
+                    assert_eq!(lo, expect_lo, "round lo backend {} q {}", be.name(), q);
+                    assert_eq!(hi, expect_hi, "round hi backend {} q {}", be.name(), q);
+                }
+            }
+
+            // channel_finish: 128-bit accumulators (incl. u64::MAX limbs)
+            // against the scalar composition of reduce/sub/mul_shoup.
+            let q_inv = q.shoup(rng.gen_range(1..q.value()));
+            let lo: Vec<u64> = (0..n)
+                .map(|i| if i % 4 == 0 { u64::MAX } else { rng.r#gen() })
+                .collect();
+            let hi: Vec<u64> = (0..n)
+                .map(|i| if i % 4 == 1 { u64::MAX } else { rng.r#gen() })
+                .collect();
+            let y: Vec<u64> = (0..n)
+                .map(|i| if i % 4 == 2 { u64::MAX } else { rng.r#gen() })
+                .collect();
+            let expect: Vec<u64> = (0..n)
+                .map(|j| {
+                    let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+                    q.mul_shoup(q.sub(q.reduce_u128(acc), q.reduce(y[j])), q_inv)
+                })
+                .collect();
+            for be in runnable_backends() {
+                let mut out = vec![0u64; n];
+                channel_finish(be, &q, &mut out, &lo, &hi, &y, q_inv);
+                assert_eq!(out, expect, "channel backend {} q {}", be.name(), q);
+            }
+
+            // garner_step: strict inputs, strict outputs.
+            let inv = q.shoup(rng.gen_range(1..q.value()));
+            let v0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let t: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let expect: Vec<u64> = v0
+                .iter()
+                .zip(&t)
+                .map(|(&x, &tj)| q.sub(q.mul_shoup(x, inv), q.mul_shoup(tj, inv)))
+                .collect();
+            for be in runnable_backends() {
+                let mut v = v0.clone();
+                garner_step(be, &q, &mut v, &t, inv);
+                assert_eq!(v, expect, "garner backend {} q {}", be.name(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn ifma_dyadic_kernels_match_scalar_values() {
+        if !SimdBackend::Ifma.available() {
+            eprintln!("skipping: AVX512-IFMA not detected");
+            return;
+        }
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for bits in [28u32, 45, 49] {
+            // Moduli inside the 52-bit fast path's q < 2^50 window.
+            let q = Modulus::new(crate::find_ntt_prime(bits, 64));
+            let n = 37usize;
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4 * q.value())).collect();
+            let acc0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.twice())).collect();
+            let shoups: Vec<ShoupMul> = (0..n)
+                .map(|_| q.shoup(rng.gen_range(0..q.value())))
+                .collect();
+            let vals: Vec<u64> = shoups.iter().map(|s| s.value).collect();
+            let quots: Vec<u64> = shoups.iter().map(|s| s.quotient).collect();
+
+            // Strict outputs are unique mod-q values: bitwise equality holds
+            // even though the quotient estimate differs.
+            let mut out = vec![0u64; n];
+            dyadic_mul_shoup(SimdBackend::Ifma, &q, &mut out, &a, &vals, &quots);
+            let expect: Vec<u64> = a
+                .iter()
+                .zip(&shoups)
+                .map(|(&x, &s)| q.mul_shoup(x, s))
+                .collect();
+            assert_eq!(out, expect, "ifma strict dyadic q {q}");
+
+            // Lazy outputs are only value-equal: congruent mod q, in [0, 2q).
+            let mut acc = acc0.clone();
+            dyadic_mul_acc_shoup(SimdBackend::Ifma, &q, &mut acc, &a, &vals, &quots);
+            for j in 0..n {
+                let expect = q.add_lazy(acc0[j], q.mul_shoup_lazy(a[j], shoups[j]));
+                assert!(acc[j] < q.twice(), "ifma lazy out of range");
+                assert_eq!(
+                    q.reduce_lazy(acc[j]),
+                    q.reduce_lazy(expect),
+                    "ifma lazy value mismatch at {j} (q {q})"
+                );
+            }
+        }
     }
 
     proptest! {

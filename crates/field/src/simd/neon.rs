@@ -454,6 +454,252 @@ pub(super) unsafe fn fold_finish(
     }
 }
 
+/// NEON has no arbitrary-stride gather (`tbl` only permutes within
+/// registers), so indexed loads stay scalar: two element loads assemble one
+/// `uint64x2_t` and the *arithmetic* that consumes it still runs in lanes.
+/// Bounds are the caller's obligation (asserted by the `mod.rs` wrapper).
+#[inline(always)]
+unsafe fn gather2(src: &[u64], i0: u32, i1: u32) -> uint64x2_t {
+    let pair = [src[i0 as usize], src[i1 as usize]];
+    vld1q_u64(pair.as_ptr())
+}
+
+pub(super) unsafe fn gather_u64(out: &mut [u64], src: &[u64], idx: &[u32]) {
+    for (o, &s) in out.iter_mut().zip(idx) {
+        *o = src[s as usize];
+    }
+}
+
+pub(super) unsafe fn gather_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]) {
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let n2 = acc.len() - acc.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let s = vaddq_u64(
+            vld1q_u64(acc.as_ptr().add(j)),
+            gather2(src, idx[j], idx[j + 1]),
+        );
+        vst1q_u64(acc.as_mut_ptr().add(j), csub(s, two_q));
+    }
+    for j in n2..acc.len() {
+        acc[j] = q.add_lazy(acc[j], src[idx[j] as usize]);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn dyadic_mul_acc_shoup_gather2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let n2 = acc0.len() - acc0.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let t = gather2(src, idx[j], idx[j + 1]);
+        let r0 = mul_shoup_lazy(
+            t,
+            vld1q_u64(vals0.as_ptr().add(j)),
+            vld1q_u64(quots0.as_ptr().add(j)),
+            qv,
+        );
+        let s0 = vaddq_u64(vld1q_u64(acc0.as_ptr().add(j)), r0);
+        vst1q_u64(acc0.as_mut_ptr().add(j), csub(s0, two_q));
+        let r1 = mul_shoup_lazy(
+            t,
+            vld1q_u64(vals1.as_ptr().add(j)),
+            vld1q_u64(quots1.as_ptr().add(j)),
+            qv,
+        );
+        let s1 = vaddq_u64(vld1q_u64(acc1.as_ptr().add(j)), r1);
+        vst1q_u64(acc1.as_mut_ptr().add(j), csub(s1, two_q));
+    }
+    for j in n2..acc0.len() {
+        let t = src[idx[j] as usize];
+        let w0 = ShoupMul {
+            value: vals0[j],
+            quotient: quots0[j],
+        };
+        let w1 = ShoupMul {
+            value: vals1[j],
+            quotient: quots1[j],
+        };
+        acc0[j] = q.add_lazy(acc0[j], q.mul_shoup_lazy(t, w0));
+        acc1[j] = q.add_lazy(acc1[j], q.mul_shoup_lazy(t, w1));
+    }
+}
+
+/// Block-permute kernels: the source block is one contiguous 64-byte load
+/// target, so the shuffle is a block-local scalar move (a `tbl`-based form
+/// would need four 16-byte table lookups per block for no measured win);
+/// the lazy arithmetic still runs on the 2-lane Shoup kernels.
+#[inline(always)]
+unsafe fn permute_block(src: &[u64], sb: u32, pat: u64) -> [u64; 8] {
+    let blk = &src[sb as usize * 8..sb as usize * 8 + 8];
+    let mut tmp = [0u64; 8];
+    for (t, o) in tmp.iter_mut().enumerate() {
+        *o = blk[(pat >> (8 * t)) as usize & 7];
+    }
+    tmp
+}
+
+pub(super) unsafe fn permute8(out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        out[b * 8..b * 8 + 8].copy_from_slice(&permute_block(src, sb, pat));
+    }
+}
+
+pub(super) unsafe fn permute8_add_lazy(
+    q: &Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    let two_q = vdupq_n_u64(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let tmp = permute_block(src, sb, pat);
+        for h in 0..4 {
+            let j = b * 8 + h * 2;
+            let s = vaddq_u64(
+                vld1q_u64(acc.as_ptr().add(j)),
+                vld1q_u64(tmp.as_ptr().add(h * 2)),
+            );
+            vst1q_u64(acc.as_mut_ptr().add(j), csub(s, two_q));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn permute8_mul_acc_shoup2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let tmp = permute_block(src, sb, pat);
+        for h in 0..4 {
+            let j = b * 8 + h * 2;
+            let t = vld1q_u64(tmp.as_ptr().add(h * 2));
+            let r0 = mul_shoup_lazy(
+                t,
+                vld1q_u64(vals0.as_ptr().add(j)),
+                vld1q_u64(quots0.as_ptr().add(j)),
+                qv,
+            );
+            let s0 = vaddq_u64(vld1q_u64(acc0.as_ptr().add(j)), r0);
+            vst1q_u64(acc0.as_mut_ptr().add(j), csub(s0, two_q));
+            let r1 = mul_shoup_lazy(
+                t,
+                vld1q_u64(vals1.as_ptr().add(j)),
+                vld1q_u64(quots1.as_ptr().add(j)),
+                qv,
+            );
+            let s1 = vaddq_u64(vld1q_u64(acc1.as_ptr().add(j)), r1);
+            vst1q_u64(acc1.as_mut_ptr().add(j), csub(s1, two_q));
+        }
+    }
+}
+
+pub(super) unsafe fn round_term_acc_wide(lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128) {
+    let fh = vdupq_n_u64((frac >> 64) as u64);
+    let fl = vdupq_n_u64(frac as u64);
+    let n2 = lo.len() - lo.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let x = vld1q_u64(d.as_ptr().add(j));
+        // (x·frac) >> 64 = x·frac_hi + mulhi(x, frac_lo), exact for x < q.
+        let term = vaddq_u64(mullo_u64(x, fh), mulhi_u64(x, fl));
+        let s = vaddq_u64(vld1q_u64(lo.as_ptr().add(j)), term);
+        let carry = vcltq_u64(s, term);
+        vst1q_u64(lo.as_mut_ptr().add(j), s);
+        let h = vld1q_u64(hi.as_ptr().add(j));
+        // The mask is −1 per carried lane; subtracting it adds 1.
+        vst1q_u64(hi.as_mut_ptr().add(j), vsubq_u64(h, carry));
+    }
+    let fh_s = (frac >> 64) as u64;
+    let fl_s = frac as u64;
+    for j in n2..lo.len() {
+        let term = d[j]
+            .wrapping_mul(fh_s)
+            .wrapping_add(((d[j] as u128 * fl_s as u128) >> 64) as u64);
+        let (s, carry) = lo[j].overflowing_add(term);
+        lo[j] = s;
+        hi[j] += carry as u64;
+    }
+}
+
+pub(super) unsafe fn channel_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    y: &[u64],
+    q_inv: ShoupMul,
+) {
+    let (bhi, blo) = q.barrett_parts();
+    let qv = vdupq_n_u64(q.value());
+    let two_q = vdupq_n_u64(q.value() << 1);
+    let bh = vdupq_n_u64(bhi);
+    let bl = vdupq_n_u64(blo);
+    let qiv = vdupq_n_u64(q_inv.value);
+    let qiq = vdupq_n_u64(q_inv.quotient);
+    let zero = vdupq_n_u64(0);
+    let n2 = out.len() - out.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let r = barrett_reduce(
+            vld1q_u64(hi.as_ptr().add(j)),
+            vld1q_u64(lo.as_ptr().add(j)),
+            bh,
+            bl,
+            qv,
+            two_q,
+        );
+        let s = barrett_reduce(zero, vld1q_u64(y.as_ptr().add(j)), bh, bl, qv, two_q);
+        let d = vsubq_u64(r, s);
+        let lt = vcltq_u64(r, s);
+        let d = vaddq_u64(d, vandq_u64(lt, qv));
+        vst1q_u64(
+            out.as_mut_ptr().add(j),
+            csub(mul_shoup_lazy(d, qiv, qiq, qv), qv),
+        );
+    }
+    for j in n2..out.len() {
+        let acc = ((hi[j] as u128) << 64) | lo[j] as u128;
+        out[j] = q.mul_shoup(q.sub(q.reduce_u128(acc), q.reduce(y[j])), q_inv);
+    }
+}
+
+pub(super) unsafe fn garner_step(q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul) {
+    let qv = vdupq_n_u64(q.value());
+    let iv = vdupq_n_u64(inv.value);
+    let iq = vdupq_n_u64(inv.quotient);
+    let n2 = v.len() - v.len() % 2;
+    for j in (0..n2).step_by(2) {
+        let a = csub(mul_shoup_lazy(vld1q_u64(v.as_ptr().add(j)), iv, iq, qv), qv);
+        let b = csub(mul_shoup_lazy(vld1q_u64(t.as_ptr().add(j)), iv, iq, qv), qv);
+        let d = vsubq_u64(a, b);
+        let lt = vcltq_u64(a, b);
+        vst1q_u64(v.as_mut_ptr().add(j), vaddq_u64(d, vandq_u64(lt, qv)));
+    }
+    for j in n2..v.len() {
+        v[j] = q.sub(q.mul_shoup(v[j], inv), q.mul_shoup(t[j], inv));
+    }
+}
+
 pub(super) unsafe fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
     let (bhi, blo) = q.barrett_parts();
     let qv = vdupq_n_u64(q.value());

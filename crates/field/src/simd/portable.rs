@@ -219,6 +219,127 @@ pub(super) fn fold_finish(
     }
 }
 
+pub(super) fn gather_u64(out: &mut [u64], src: &[u64], idx: &[u32]) {
+    for (o, &s) in out.iter_mut().zip(idx) {
+        *o = src[s as usize];
+    }
+}
+
+pub(super) fn gather_add_lazy(q: &Modulus, acc: &mut [u64], src: &[u64], idx: &[u32]) {
+    let two_q = q.value() << 1;
+    for (a, &s) in acc.iter_mut().zip(idx) {
+        *a = csub(*a + src[s as usize], two_q);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn dyadic_mul_acc_shoup_gather2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = q.value();
+    let two_q = qv << 1;
+    for j in 0..acc0.len() {
+        let t = src[idx[j] as usize];
+        acc0[j] = csub(acc0[j] + mul_shoup_lazy(qv, t, vals0[j], quots0[j]), two_q);
+        acc1[j] = csub(acc1[j] + mul_shoup_lazy(qv, t, vals1[j], quots1[j]), two_q);
+    }
+}
+
+pub(super) fn permute8(out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let blk = &src[sb as usize * 8..sb as usize * 8 + 8];
+        let o = &mut out[b * 8..b * 8 + 8];
+        for (t, oj) in o.iter_mut().enumerate() {
+            *oj = blk[(pat >> (8 * t)) as usize & 7];
+        }
+    }
+}
+
+pub(super) fn permute8_add_lazy(
+    q: &Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    let two_q = q.value() << 1;
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let blk = &src[sb as usize * 8..sb as usize * 8 + 8];
+        let o = &mut acc[b * 8..b * 8 + 8];
+        for (t, oj) in o.iter_mut().enumerate() {
+            *oj = csub(*oj + blk[(pat >> (8 * t)) as usize & 7], two_q);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn permute8_mul_acc_shoup2(
+    q: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    vals0: &[u64],
+    quots0: &[u64],
+    vals1: &[u64],
+    quots1: &[u64],
+) {
+    let qv = q.value();
+    let two_q = qv << 1;
+    for (b, (&sb, &pat)) in bsrc.iter().zip(bpat).enumerate() {
+        let blk = &src[sb as usize * 8..sb as usize * 8 + 8];
+        for t in 0..8 {
+            let j = b * 8 + t;
+            let x = blk[(pat >> (8 * t)) as usize & 7];
+            acc0[j] = csub(acc0[j] + mul_shoup_lazy(qv, x, vals0[j], quots0[j]), two_q);
+            acc1[j] = csub(acc1[j] + mul_shoup_lazy(qv, x, vals1[j], quots1[j]), two_q);
+        }
+    }
+}
+
+pub(super) fn round_term_acc_wide(lo: &mut [u64], hi: &mut [u64], d: &[u64], frac: u128) {
+    let fh = (frac >> 64) as u64;
+    let fl = frac as u64;
+    for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(d) {
+        // (x·frac) >> 64 = x·fh + mulhi(x, fl), exact and < 2^64 for x < q.
+        let term = x
+            .wrapping_mul(fh)
+            .wrapping_add(((x as u128 * fl as u128) >> 64) as u64);
+        let (s, carry) = l.overflowing_add(term);
+        *l = s;
+        *h += carry as u64;
+    }
+}
+
+pub(super) fn channel_finish(
+    q: &Modulus,
+    out: &mut [u64],
+    lo: &[u64],
+    hi: &[u64],
+    y: &[u64],
+    q_inv: ShoupMul,
+) {
+    for (((o, &l), &h), &yj) in out.iter_mut().zip(lo).zip(hi).zip(y) {
+        let acc = ((h as u128) << 64) | l as u128;
+        *o = q.mul_shoup(q.sub(q.reduce_u128(acc), q.reduce(yj)), q_inv);
+    }
+}
+
+pub(super) fn garner_step(q: &Modulus, v: &mut [u64], t: &[u64], inv: ShoupMul) {
+    for (x, &tj) in v.iter_mut().zip(t) {
+        *x = q.sub(q.mul_shoup(*x, inv), q.mul_shoup(tj, inv));
+    }
+}
+
 pub(super) fn dyadic_mul(q: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = q.mul(x, y);

@@ -105,14 +105,16 @@ pub fn rotation_element(n: usize, k: usize) -> usize {
     acc
 }
 
-/// Scratch buffers for the key-switch hot paths: gadget digit buffers, a
-/// coefficient-form staging buffer, and a permutation target. Every
-/// rotation (hoisted or not) borrows these instead of allocating
-/// `digits × n` words per call.
+/// Scratch buffers for the key-switch hot paths: gadget digit buffers and
+/// a coefficient-form staging buffer. Every rotation (hoisted or not)
+/// borrows these instead of allocating `digits × n` words per call. (The
+/// permutation target that used to live here is gone: rotations now fold
+/// the Galois permutation into the gather of
+/// `NttTables::dyadic_mul_acc_shoup_gather2`, so no permuted copy is ever
+/// materialized.)
 #[derive(Default)]
 struct KsScratch {
     coeff: Vec<u64>,
-    perm: Vec<u64>,
     digits: Vec<Vec<u64>>,
 }
 
@@ -974,18 +976,15 @@ impl GaloisKeys {
                 key_log_base: entries.first().map_or(0, |e| e.log_base),
                 hoisted_log_base: h.log_base,
             })?;
-        with_ks_scratch(|s| {
-            // c0 of the rotated ciphertext starts as φ_g(c0): a pure gather
-            // in the evaluation basis, still strictly reduced.
-            entry.perm.apply(out0, &h.c0);
-            out1.fill(0);
-            s.perm.resize(n, 0);
-            for (d, (k0, k1)) in h.digits.iter().zip(&entry.digits) {
-                entry.perm.apply(&mut s.perm, d);
-                ntt.dyadic_mul_acc_shoup(out0, &s.perm, k0.shoup());
-                ntt.dyadic_mul_acc_shoup(out1, &s.perm, k1.shoup());
-            }
-        });
+        // c0 of the rotated ciphertext starts as φ_g(c0): a pure gather
+        // in the evaluation basis, still strictly reduced.
+        entry.perm.apply(out0, &h.c0);
+        out1.fill(0);
+        for (d, (k0, k1)) in h.digits.iter().zip(&entry.digits) {
+            // The permutation rides the gather of the fused kernel: one
+            // pass over each digit, no scratch polynomial.
+            ntt.dyadic_mul_acc_shoup_gather2(out0, out1, d, &entry.perm, k0.shoup(), k1.shoup());
+        }
         Ok(())
     }
 
@@ -1037,17 +1036,19 @@ impl GaloisKeys {
                     s.digits[..m].iter_mut().map(|d| d.as_mut_slice()).collect();
                 ntt.forward_many(&mut batch);
             }
-            s.perm.resize(n, 0);
             for (d, (k0, k1)) in s.digits[..m].iter().zip(&entry.digits) {
-                entry.perm.apply(&mut s.perm, d);
-                ntt.dyadic_mul_acc_shoup(acc0, &s.perm, k0.shoup());
-                ntt.dyadic_mul_acc_shoup(acc1, &s.perm, k1.shoup());
+                ntt.dyadic_mul_acc_shoup_gather2(
+                    acc0,
+                    acc1,
+                    d,
+                    &entry.perm,
+                    k0.shoup(),
+                    k1.shoup(),
+                );
             }
-            // φ_g(inner0) folds into acc0 as a permuted lazy addition.
-            entry.perm.apply(&mut s.perm, inner0);
-            for (a, &v) in acc0.iter_mut().zip(s.perm.iter()) {
-                *a = q.add_lazy(*a, v);
-            }
+            // φ_g(inner0) folds into acc0 as a permuted lazy addition —
+            // also a single gather pass, no scratch polynomial.
+            ntt.gather_add_lazy(acc0, inner0, &entry.perm);
         });
         Ok(())
     }

@@ -157,6 +157,55 @@ pub struct GaloisPerm {
     g: usize,
     /// `idx[j]` = source slot for output slot `j`.
     idx: Vec<u32>,
+    /// Blocked form of the same table (present whenever `8 | n` and the
+    /// aligned-8-block structure holds, i.e. always for the automorphism
+    /// tables built here): `idx[8b+t] = 8·bsrc[b] + pat_b(t)`.
+    blocks: Option<GaloisBlocks>,
+}
+
+/// Blocked Galois index table: in the bit-reversed slot order, multiplying
+/// the odd exponent `e_j = 2·rev(j)+1` by an odd Galois element only moves
+/// bits at or above `log2(n/4)` through the `rev(t)·n/4` term, and those
+/// reverse into the *low three* bits of the source index — so every aligned
+/// 8-lane output block reads a permutation of exactly one aligned 8-lane
+/// source block. This is what lets the gather kernels collapse to one
+/// contiguous load + `vpermq` per block ([`pi_field::simd::permute8`]).
+#[derive(Clone, Debug)]
+struct GaloisBlocks {
+    /// `bsrc[b]` = source block index for output block `b`.
+    bsrc: Vec<u32>,
+    /// Packed intra-block pattern: byte `t` of `bpat[b]` is the source lane
+    /// (`0..8`) of output lane `t`.
+    bpat: Vec<u64>,
+}
+
+impl GaloisBlocks {
+    /// Derives the blocked tables from a raw index table, or `None` when
+    /// the 8-block structure does not hold (`n < 8`, or a table that is not
+    /// a power-of-two automorphism — checked defensively rather than
+    /// assumed).
+    fn derive(idx: &[u32]) -> Option<Self> {
+        if idx.len() < 8 || !idx.len().is_multiple_of(8) {
+            return None;
+        }
+        let blocks = idx.len() / 8;
+        let mut bsrc = Vec::with_capacity(blocks);
+        let mut bpat = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let base = idx[b * 8] >> 3;
+            let mut pat = 0u64;
+            for t in 0..8 {
+                let i = idx[b * 8 + t];
+                if i >> 3 != base {
+                    return None;
+                }
+                pat |= ((i & 7) as u64) << (8 * t);
+            }
+            bsrc.push(base);
+            bpat.push(pat);
+        }
+        Some(GaloisBlocks { bsrc, bpat })
+    }
 }
 
 impl GaloisPerm {
@@ -170,8 +219,20 @@ impl GaloisPerm {
         self.idx.len()
     }
 
+    /// The raw index table: `idx[j]` is the source slot for output slot `j`.
+    /// Every entry is `< n`, so the table is safe to hand to the gather
+    /// kernels in [`pi_field::simd`].
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
     /// Applies the permutation: `out[j] = input[idx[j]]`. Values are copied
     /// untouched, so the input's (lazy) range carries over to the output.
+    /// On vector backends this runs as in-register permutes — one
+    /// contiguous load + `vpermq` per aligned 8-block when the blocked
+    /// tables are present ([`pi_field::simd::permute8`]), hardware gathers
+    /// ([`pi_field::simd::gather_u64`]) otherwise; the result is
+    /// bit-identical to the scalar index loop either way.
     ///
     /// # Panics
     ///
@@ -181,6 +242,16 @@ impl GaloisPerm {
             out.len() == self.idx.len() && input.len() == self.idx.len(),
             "permutation length mismatch"
         );
+        pi_trace::incr(pi_trace::Counter::NttGather);
+        let be = simd::backend();
+        if be.is_vector() {
+            if let Some(bl) = &self.blocks {
+                simd::permute8(be, out, input, &bl.bsrc, &bl.bpat);
+            } else {
+                simd::gather_u64(be, out, input, &self.idx);
+            }
+            return;
+        }
         for (o, &s) in out.iter_mut().zip(&self.idx) {
             *o = input[s as usize];
         }
@@ -266,8 +337,9 @@ impl NttTables {
                 let src_e = (g * e) & mask;
                 bit_reverse((src_e - 1) >> 1, bits) as u32
             })
-            .collect();
-        GaloisPerm { g, idx }
+            .collect::<Vec<u32>>();
+        let blocks = GaloisBlocks::derive(&idx);
+        GaloisPerm { g, idx, blocks }
     }
 
     /// One forward Cooley–Tukey stage over one polynomial.
@@ -556,6 +628,87 @@ impl NttTables {
         let q = &self.q;
         for (i, (o, &x)) in acc.iter_mut().zip(a).enumerate() {
             *o = q.add_lazy(*o, q.mul_shoup_lazy(x, op.get(i)));
+        }
+    }
+
+    /// Fused permute-and-double-accumulate: for each slot `j`, reads
+    /// `src[perm.idx[j]]` once and lazily accumulates its Shoup products
+    /// against `op0` into `acc0` and against `op1` into `acc1` — the
+    /// key-switch inner loop (`D(c)` digit × two key halves) with the
+    /// Galois permutation folded into the gather instead of materialized
+    /// into a scratch polynomial. One pass over memory per digit.
+    ///
+    /// `acc0`/`acc1` must be in `[0, 2q)` and stay there; `src` may be any
+    /// `u64` (the Shoup contract). Bit-identical to
+    /// [`GaloisPerm::apply`]-into-scratch followed by two
+    /// [`NttTables::dyadic_mul_acc_shoup`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch with the ring degree.
+    pub fn dyadic_mul_acc_shoup_gather2(
+        &self,
+        acc0: &mut [u64],
+        acc1: &mut [u64],
+        src: &[u64],
+        perm: &GaloisPerm,
+        op0: &ShoupVec,
+        op1: &ShoupVec,
+    ) {
+        assert!(
+            acc0.len() == self.n
+                && acc1.len() == self.n
+                && src.len() == self.n
+                && perm.n() == self.n
+                && op0.len() == self.n
+                && op1.len() == self.n
+        );
+        pi_trace::incr(pi_trace::Counter::NttDyadic);
+        pi_trace::incr(pi_trace::Counter::NttGather);
+        let be = simd::backend();
+        if be.is_vector() {
+            if let Some(bl) = &perm.blocks {
+                simd::permute8_mul_acc_shoup2(
+                    be, self.q, acc0, acc1, src, &bl.bsrc, &bl.bpat, op0, op1,
+                );
+            } else {
+                simd::dyadic_mul_acc_shoup_gather2(
+                    be, self.q, acc0, acc1, src, &perm.idx, op0, op1,
+                );
+            }
+            return;
+        }
+        let q = &self.q;
+        for (j, &s) in perm.idx.iter().enumerate() {
+            let x = src[s as usize];
+            acc0[j] = q.add_lazy(acc0[j], q.mul_shoup_lazy(x, op0.get(j)));
+            acc1[j] = q.add_lazy(acc1[j], q.mul_shoup_lazy(x, op1.get(j)));
+        }
+    }
+
+    /// Fused permute-and-add over the lazy `[0, 2q)` domain:
+    /// `acc[j] = add_lazy(acc[j], src[perm.idx[j]])`. `src` must be in
+    /// `[0, 2q)`. Bit-identical to [`GaloisPerm::apply`]-into-scratch
+    /// followed by a per-slot `add_lazy` loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch with the ring degree.
+    pub fn gather_add_lazy(&self, acc: &mut [u64], src: &[u64], perm: &GaloisPerm) {
+        assert!(acc.len() == self.n && src.len() == self.n && perm.n() == self.n);
+        pi_trace::incr(pi_trace::Counter::NttGather);
+        let be = simd::backend();
+        if be.is_vector() {
+            if let Some(bl) = &perm.blocks {
+                simd::permute8_add_lazy(be, self.q, acc, src, &bl.bsrc, &bl.bpat);
+            } else {
+                simd::gather_add_lazy(be, self.q, acc, src, &perm.idx);
+            }
+            return;
+        }
+        let q = &self.q;
+        for (j, &s) in perm.idx.iter().enumerate() {
+            acc[j] = q.add_lazy(acc[j], src[s as usize]);
         }
     }
 

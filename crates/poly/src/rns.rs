@@ -65,9 +65,7 @@ pub fn convert_columns_fast(conv: &FastBaseConverter, src_cols: &[Vec<u64>]) -> 
     pi_trace::incr(pi_trace::Counter::FbcConvert);
     let be = fsimd::backend();
     if be.is_vector() {
-        return convert_columns_vector(be, conv, src_cols, |_, digits| {
-            conv.round_correction(digits)
-        });
+        return convert_columns_vector(be, conv, src_cols, None);
     }
     let (rows, n) = digit_rows(conv, src_cols);
     let k = conv.src_moduli().len();
@@ -102,9 +100,7 @@ pub fn convert_columns_exact(
     pi_trace::incr(pi_trace::Counter::FbcConvert);
     let be = fsimd::backend();
     if be.is_vector() {
-        return convert_columns_vector(be, conv, src_cols, |j, digits| {
-            conv.channel_correction(digits, channel_col[j])
-        });
+        return convert_columns_vector(be, conv, src_cols, Some(channel_col));
     }
     let (rows, n) = digit_rows(conv, src_cols);
     let k = conv.src_moduli().len();
@@ -117,17 +113,21 @@ pub fn convert_columns_exact(
 }
 
 /// The vectorized (column-major) batched conversion: one broadcast-Shoup
-/// digit pass per source column, scalar per-coefficient corrections over
-/// gathered digits, then per target one 128-bit-wide lazy accumulate per
-/// source prime and a fused reduce/subtract pass — the lane decomposition
-/// of [`FastBaseConverter::fold`]'s `u128` accumulator, computing the
-/// identical sums term for term (the scalar path above remains the
-/// oracle; `tests/rns_differential.rs` runs under both).
+/// digit pass per source column, then the per-coefficient correction —
+/// fixed-point rounding ([`pi_field::simd::round_term_acc_wide`], `channel_col`
+/// `None`) or the Shenoy–Kumaresan channel
+/// ([`pi_field::simd::channel_finish`], `channel_col` `Some`) — computed
+/// column-at-a-time in lanes, then per target one 128-bit-wide lazy
+/// accumulate per source prime and a fused reduce/subtract pass. Every
+/// stage is the lane decomposition of the corresponding scalar `u128`
+/// accumulator, computing the identical sums term for term (the scalar
+/// path above remains the oracle; `tests/rns_differential.rs` runs under
+/// both).
 fn convert_columns_vector(
     be: fsimd::SimdBackend,
     conv: &FastBaseConverter,
     src_cols: &[Vec<u64>],
-    mut correction: impl FnMut(usize, &[u64]) -> u64,
+    channel_col: Option<&[u64]>,
 ) -> Vec<Vec<u64>> {
     let src = conv.src_moduli();
     assert_eq!(src_cols.len(), src.len(), "source column count mismatch");
@@ -143,15 +143,41 @@ fn convert_columns_vector(
             out
         })
         .collect();
-    let mut buf = vec![0u64; k];
-    let corrections: Vec<u64> = (0..n)
-        .map(|j| {
-            for (b, col) in buf.iter_mut().zip(&dcols) {
-                *b = col[j];
+    let corrections: Vec<u64> = match channel_col {
+        // Centered rounding: the (lo, hi) pair is the scalar oracle's u128
+        // accumulator split in halves — seeded with the rounding bias
+        // 2^63, one exact `floor(d·frac/2^64)` term per source prime, and
+        // the correction is the accumulator's high word.
+        None => {
+            let mut lo = vec![1u64 << 63; n];
+            let mut hi = vec![0u64; n];
+            for (i, dc) in dcols.iter().enumerate() {
+                fsimd::round_term_acc_wide(be, &mut lo, &mut hi, dc, conv.frac(i));
             }
-            correction(j, &buf)
-        })
-        .collect();
+            hi
+        }
+        // Shenoy–Kumaresan: lazy Shoup cross terms accumulate 128-bit wide
+        // over the channel modulus, then one fused
+        // reduce/subtract/multiply finish per coefficient.
+        Some(y) => {
+            let m = conv
+                .channel_modulus()
+                .expect("converter has no correction channel");
+            let cross = conv.channel_cross_row();
+            let mut lo = vec![0u64; n];
+            let mut hi = vec![0u64; n];
+            for (i, dc) in dcols.iter().enumerate() {
+                fsimd::mul_shoup_lazy_acc_wide(be, &m, &mut lo, &mut hi, dc, cross[i]);
+            }
+            let mut beta = vec![0u64; n];
+            fsimd::channel_finish(be, &m, &mut beta, &lo, &hi, y, conv.channel_q_inv());
+            debug_assert!(
+                beta.iter().all(|&b| b <= k as u64 + 1),
+                "SK correction out of range: |y| must be below the source product"
+            );
+            beta
+        }
+    };
     (0..conv.dst_moduli().len())
         .map(|p| {
             let m = conv.dst_moduli()[p];
@@ -553,6 +579,11 @@ impl RnsPoly {
 
     /// CRT-composes every coefficient into a big integer in `[0, Q)`.
     ///
+    /// The Garner mixed-radix digit recurrence runs column-at-a-time through
+    /// [`pi_field::CrtBasis::compose_many`] — lane-parallel on vector
+    /// backends, bit-identical to composing each coefficient with
+    /// [`pi_field::CrtBasis::compose`].
+    ///
     /// # Panics
     ///
     /// Panics if the polynomial is not in coefficient form (convert with
@@ -564,16 +595,7 @@ impl RnsPoly {
             PolyForm::Coeff,
             "compose requires coefficient form"
         );
-        let basis = &self.ctx.basis;
-        let mut residues = vec![0u64; self.ctx.len()];
-        (0..self.ctx.n)
-            .map(|j| {
-                for (i, col) in self.data.iter().enumerate() {
-                    residues[i] = col[j];
-                }
-                basis.compose(&residues)
-            })
-            .collect()
+        self.ctx.basis.compose_many(&self.data)
     }
 
     /// Exactly lifts the polynomial into a (typically larger) basis through

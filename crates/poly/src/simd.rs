@@ -43,7 +43,7 @@ pub use pi_field::simd::{backend, SimdBackend, LANES};
 pub fn stage_vectorizable(be: SimdBackend, t: usize, n: usize) -> bool {
     match be {
         SimdBackend::Scalar => false,
-        SimdBackend::Avx512 => t >= LANES || n.is_multiple_of(16),
+        SimdBackend::Avx512 | SimdBackend::Ifma => t >= LANES || n.is_multiple_of(16),
         _ => t >= LANES,
     }
 }
@@ -172,6 +172,102 @@ pub(crate) fn dyadic_mul_acc_shoup(
     op: &ShoupVec,
 ) {
     fsimd::dyadic_mul_acc_shoup(be, &q, acc, a, op.values(), op.quotients());
+}
+
+/// Permuted lazy double multiply-accumulate: the fused key-switch inner
+/// loop. For each lane `j`, reads `src[idx[j]]` once and feeds it into two
+/// lazy Shoup accumulations (against `op0` into `acc0` and `op1` into
+/// `acc1`), so the Galois permutation costs one gather instead of a
+/// materialized scratch polynomial. Bit-identical to
+/// `apply`-then-`dyadic_mul_acc_shoup` twice.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dyadic_mul_acc_shoup_gather2(
+    be: SimdBackend,
+    q: Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+    op0: &ShoupVec,
+    op1: &ShoupVec,
+) {
+    fsimd::dyadic_mul_acc_shoup_gather2(
+        be,
+        &q,
+        acc0,
+        acc1,
+        src,
+        idx,
+        op0.values(),
+        op0.quotients(),
+        op1.values(),
+        op1.quotients(),
+    );
+}
+
+/// Permuted lazy add: `acc[j] = add_lazy(acc[j], src[idx[j]])`, fusing a
+/// Galois permutation into a `[0, 2q)` accumulate.
+pub(crate) fn gather_add_lazy(
+    be: SimdBackend,
+    q: Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    idx: &[u32],
+) {
+    fsimd::gather_add_lazy(be, &q, acc, src, idx);
+}
+
+/// Plain permutation through the gather kernels: `out[j] = src[idx[j]]`.
+pub(crate) fn gather_u64(be: SimdBackend, out: &mut [u64], src: &[u64], idx: &[u32]) {
+    fsimd::gather_u64(be, out, src, idx);
+}
+
+/// Blocked in-register permutation (`out[8b+t] = src[8·bsrc[b] +
+/// pat_b(t)]`) — the vpermq fast path of [`gather_u64`] for Galois tables
+/// with the aligned-8-block structure.
+pub(crate) fn permute8(be: SimdBackend, out: &mut [u64], src: &[u64], bsrc: &[u32], bpat: &[u64]) {
+    fsimd::permute8(be, out, src, bsrc, bpat);
+}
+
+/// Blocked-permute lazy add, the vpermq form of [`gather_add_lazy`].
+pub(crate) fn permute8_add_lazy(
+    be: SimdBackend,
+    q: Modulus,
+    acc: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+) {
+    fsimd::permute8_add_lazy(be, &q, acc, src, bsrc, bpat);
+}
+
+/// Blocked-permute fused key-switch inner loop, the vpermq form of
+/// [`dyadic_mul_acc_shoup_gather2`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn permute8_mul_acc_shoup2(
+    be: SimdBackend,
+    q: Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    bsrc: &[u32],
+    bpat: &[u64],
+    op0: &ShoupVec,
+    op1: &ShoupVec,
+) {
+    fsimd::permute8_mul_acc_shoup2(
+        be,
+        &q,
+        acc0,
+        acc1,
+        src,
+        bsrc,
+        bpat,
+        op0.values(),
+        op0.quotients(),
+        op1.values(),
+        op1.quotients(),
+    );
 }
 
 /// Pointwise Barrett product of strictly reduced slices.

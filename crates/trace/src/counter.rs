@@ -39,6 +39,7 @@ counters! {
     NttForward => "ntt.forward",
     NttInverse => "ntt.inverse",
     NttDyadic => "ntt.dyadic_mul",
+    NttGather => "ntt.gather",
     FbcConvert => "fbc.base_convert",
     HeEncrypt => "he.encrypt",
     HeDecrypt => "he.decrypt",

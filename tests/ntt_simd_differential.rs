@@ -268,6 +268,172 @@ fn batched_base_conversion_matches_scalar_bitwise() {
 }
 
 #[test]
+fn galois_gather_kernels_match_scalar_bitwise_across_sizes() {
+    // The Galois slot gather — plain `apply`, the fused permute + double
+    // multiply-accumulate key-switch kernel, and the fused permute + lazy
+    // add — against the scalar index loops, on strict *and* unreduced
+    // lazy inputs (the permutation itself must pass any representative
+    // through untouched).
+    let _g = lock();
+    for n in [4usize, 8, 16, 64, 256, 1024, 4096] {
+        for bits in [28u32, 45, 62] {
+            let t = tables(n, bits);
+            let q = t.q();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 * 31 + bits as u64);
+            for g in [3usize, n + 1, 2 * n - 1] {
+                let perm = t.galois_permutation(g);
+                let src_lazy = random_vec(n, q.twice(), &mut rng);
+                let acc0 = random_vec(n, q.twice(), &mut rng);
+                let acc1 = random_vec(n, q.twice(), &mut rng);
+                let op0 = ShoupVec::new(q, &random_vec(n, q.value(), &mut rng));
+                let op1 = ShoupVec::new(q, &random_vec(n, q.value(), &mut rng));
+                let run = |()| {
+                    let mut out = vec![0u64; n];
+                    perm.apply(&mut out, &src_lazy);
+                    let mut a0 = acc0.clone();
+                    let mut a1 = acc1.clone();
+                    t.dyadic_mul_acc_shoup_gather2(&mut a0, &mut a1, &src_lazy, &perm, &op0, &op1);
+                    let mut aa = acc0.clone();
+                    t.gather_add_lazy(&mut aa, &src_lazy, &perm);
+                    (out, a0, a1, aa)
+                };
+                let expect = with_backend(SimdBackend::Scalar, || run(()));
+                // The scalar fused path must equal unfused
+                // gather-then-accumulate on the same representatives.
+                let mut unfused0 = acc0.clone();
+                let mut unfused1 = acc1.clone();
+                with_backend(SimdBackend::Scalar, || {
+                    let mut permuted = vec![0u64; n];
+                    perm.apply(&mut permuted, &src_lazy);
+                    t.dyadic_mul_acc_shoup(&mut unfused0, &permuted, &op0);
+                    t.dyadic_mul_acc_shoup(&mut unfused1, &permuted, &op1);
+                });
+                assert_eq!((&expect.1, &expect.2), (&unfused0, &unfused1));
+                for be in vector_backends() {
+                    let got = with_backend(be, || run(()));
+                    assert_eq!(
+                        got,
+                        expect,
+                        "galois gather n={n} bits={bits} g={g} be={}",
+                        be.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn base_conversion_boundary_values_match_scalar_bitwise() {
+    // Correction worst cases: values at the centering boundary ±Q/2 (where
+    // the SK channel's β and the rounding correction's high word sit right
+    // at a window edge), 0, 1, Q−1, and the all-(qᵢ−1) residue row that
+    // maximizes every digit.
+    use private_inference::field::{find_distinct_ntt_primes, CrtBasis};
+    use private_inference::poly::rns::{convert_columns_exact, convert_columns_fast};
+
+    let _g = lock();
+    let primes = find_distinct_ntt_primes(45, 9, 64).unwrap();
+    let src = CrtBasis::new(&primes[..3]).unwrap();
+    let channel = Modulus::new(primes[3]);
+    let dst: Vec<Modulus> = primes[4..].iter().map(|&p| Modulus::new(p)).collect();
+    let conv = private_inference::field::FastBaseConverter::with_channel(&src, &dst, channel);
+    let product = src.product();
+    let zero = product.mul_u64(0);
+    let one = zero.add_u64(1);
+    let half = src.half_product();
+    let mut values = vec![
+        zero,
+        one,
+        half.overflowing_sub(&one).0,
+        *half,
+        half.add_u64(1),
+        product.overflowing_sub(&one).0,
+    ];
+    // All-maximal digits: residue qᵢ−1 in every source prime.
+    let max_res: Vec<u64> = src.moduli().iter().map(|m| m.value() - 1).collect();
+    values.push(src.compose(&max_res));
+    // Pad to a non-multiple-of-LANES length so every backend's tail runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    while values.len() < 13 {
+        let residues: Vec<u64> = src
+            .moduli()
+            .iter()
+            .map(|m| rng.gen_range(0..m.value()))
+            .collect();
+        values.push(src.compose(&residues));
+    }
+    let src_cols: Vec<Vec<u64>> = src
+        .moduli()
+        .iter()
+        .map(|m| values.iter().map(|x| x.rem_u64(m.value())).collect())
+        .collect();
+    let channel_col: Vec<u64> = values
+        .iter()
+        .map(|x| {
+            if x <= src.half_product() {
+                x.rem_u64(channel.value())
+            } else {
+                channel.neg(src.product().overflowing_sub(x).0.rem_u64(channel.value()))
+            }
+        })
+        .collect();
+
+    let expect = with_backend(SimdBackend::Scalar, || {
+        (
+            convert_columns_fast(&conv, &src_cols),
+            convert_columns_exact(&conv, &src_cols, &channel_col),
+        )
+    });
+    for be in vector_backends() {
+        let got = with_backend(be, || {
+            (
+                convert_columns_fast(&conv, &src_cols),
+                convert_columns_exact(&conv, &src_cols, &channel_col),
+            )
+        });
+        assert_eq!(got, expect, "boundary base conversion be={}", be.name());
+    }
+}
+
+#[test]
+fn batched_crt_compose_matches_scalar_bitwise() {
+    // `CrtBasis::compose_many` (the lane-parallel Garner recurrence behind
+    // `RnsPoly::compose_coeffs`) against per-coefficient `compose`,
+    // including all-zero and all-maximal residue rows.
+    use private_inference::field::{find_distinct_ntt_primes, CrtBasis};
+
+    let _g = lock();
+    for k in [1usize, 2, 4] {
+        let primes = find_distinct_ntt_primes(50, k, 64).unwrap();
+        let basis = CrtBasis::new(&primes).unwrap();
+        let n = 69; // non-multiple of every lane width: tails run everywhere
+        let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64);
+        let mut cols: Vec<Vec<u64>> = basis
+            .moduli()
+            .iter()
+            .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+            .collect();
+        for (i, col) in cols.iter_mut().enumerate() {
+            col[0] = 0;
+            col[1] = basis.modulus(i).value() - 1;
+        }
+        let expect: Vec<_> = (0..n)
+            .map(|j| {
+                let residues: Vec<u64> = cols.iter().map(|c| c[j]).collect();
+                basis.compose(&residues)
+            })
+            .collect();
+        let mut backends = vec![SimdBackend::Scalar];
+        backends.extend(vector_backends());
+        for be in backends {
+            let got = with_backend(be, || basis.compose_many(&cols));
+            assert_eq!(got, expect, "compose_many k={k} be={}", be.name());
+        }
+    }
+}
+
+#[test]
 fn boundary_inputs_at_62_bits_match_scalar_bitwise() {
     // All-(q−1) inputs maximize every intermediate in the [0, 4q) domain at
     // the largest supported prime size.
